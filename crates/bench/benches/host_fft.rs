@@ -1,0 +1,78 @@
+//! Criterion: host wall-clock of the five algorithm versions on one input
+//! size, plus a rayon fork-join baseline for the coarse-grain (barrier)
+//! model — rayon being the canonical Rust embodiment of the coarse
+//! fork-join style the paper's baseline uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgfft::exec::shared::{execute_codelet_shared, SharedData};
+use fgfft::{
+    fft_in_place, Complex64, ExecConfig, FftPlan, SeedOrder, TwiddleLayout, TwiddleTable, Version,
+};
+use rayon::prelude::*;
+
+const N_LOG2: u32 = 16;
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.19).sin(), (i as f64 * 0.07).cos()))
+        .collect()
+}
+
+/// Coarse-grain FFT on rayon: one par_iter per stage (barrier = join).
+fn rayon_coarse_fft(data: &mut [Complex64], plan: &FftPlan, tw: &TwiddleTable) {
+    fgfft::bitrev::bit_reverse_permute(data);
+    let view = SharedData::new(data);
+    for stage in 0..plan.stages() {
+        (0..plan.codelets_per_stage())
+            .into_par_iter()
+            .for_each(|idx| {
+                // SAFETY: codelets of one stage own disjoint elements; the
+                // join at the end of the par_iter is the barrier.
+                unsafe { execute_codelet_shared(plan, tw, &view, stage, idx) };
+            });
+    }
+}
+
+fn bench_versions(c: &mut Criterion) {
+    let n = 1usize << N_LOG2;
+    let input = signal(n);
+    let flops = 5 * n as u64 * N_LOG2 as u64;
+    let mut group = c.benchmark_group("host_fft_2e16");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(20);
+
+    let cfg = ExecConfig::default();
+    for version in [
+        Version::Coarse,
+        Version::CoarseHash,
+        Version::Fine(SeedOrder::Natural),
+        Version::FineHash(SeedOrder::Natural),
+        Version::FineGuided,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("codelet", version.name()),
+            &version,
+            |b, &v| {
+                b.iter_batched(
+                    || input.clone(),
+                    |mut data| fft_in_place(&mut data, v, &cfg),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+
+    let plan = FftPlan::new(N_LOG2, 6);
+    let tw = TwiddleTable::new(N_LOG2, TwiddleLayout::Linear);
+    group.bench_function("rayon coarse baseline", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut data| rayon_coarse_fft(&mut data, &plan, &tw),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_versions);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: the codelet butterfly kernel across work-unit sizes — the
+//! host-side companion of Fig. 7's codelet-size study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgfft::kernel::execute_codelet;
+use fgfft::{Complex64, FftPlan, TwiddleLayout, TwiddleTable};
+
+fn bench_kernel_sizes(c: &mut Criterion) {
+    let n_log2 = 14;
+    let n = 1usize << n_log2;
+    let data: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+        .collect();
+
+    let mut group = c.benchmark_group("codelet_kernel");
+    for radix_log2 in [3u32, 4, 5, 6, 7] {
+        let plan = FftPlan::new(n_log2, radix_log2);
+        let tw = TwiddleTable::new(n_log2, TwiddleLayout::Linear);
+        // Flops per codelet: 5 * P * p.
+        group.throughput(Throughput::Elements(
+            5 * (1u64 << radix_log2) * radix_log2 as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("points", 1usize << radix_log2),
+            &radix_log2,
+            |b, _| {
+                let mut work = data.clone();
+                let mut idx = 0usize;
+                b.iter(|| {
+                    execute_codelet(&plan, &tw, &mut work, 1, idx);
+                    idx = (idx + 1) % plan.codelets_per_stage();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_twiddle_lookup_layouts(c: &mut Criterion) {
+    let n_log2 = 16;
+    let mut group = c.benchmark_group("kernel_with_layout");
+    for layout in [
+        TwiddleLayout::Linear,
+        TwiddleLayout::BitReversedHash,
+        TwiddleLayout::MultiplicativeHash,
+    ] {
+        let plan = FftPlan::new(n_log2, 6);
+        let tw = TwiddleTable::new(n_log2, layout);
+        let mut work: Vec<Complex64> = (0..1usize << n_log2)
+            .map(|i| Complex64::new(i as f64, -(i as f64)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("layout", format!("{layout:?}")),
+            &layout,
+            |b, _| {
+                let mut idx = 0usize;
+                b.iter(|| {
+                    execute_codelet(&plan, &tw, &mut work, 0, idx);
+                    idx = (idx + 1) % plan.codelets_per_stage();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_sizes, bench_twiddle_lookup_layouts);
+criterion_main!(benches);

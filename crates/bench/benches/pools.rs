@@ -1,0 +1,61 @@
+//! Criterion: ready-pool disciplines under a produce/consume load — the
+//! runtime-substrate cost behind the paper's "concurrent LIFO codelet
+//! pool".
+
+use codelet::pool::{PoolDiscipline, ReadyPool};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const OPS_PER_WORKER: usize = 20_000;
+
+/// Each worker pushes then pops its share; total ops = workers × 2 × OPS.
+fn hammer(pool: &dyn ReadyPool, workers: usize) {
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let total = &total;
+            s.spawn(move || {
+                for i in 0..OPS_PER_WORKER {
+                    pool.push(w, w * OPS_PER_WORKER + i);
+                }
+                let mut got = 0;
+                while got < OPS_PER_WORKER {
+                    if pool.pop(w).is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                total.fetch_add(got, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), workers * OPS_PER_WORKER);
+}
+
+fn bench_pools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ready_pools");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * OPS_PER_WORKER as u64 * 4));
+    for (name, disc) in [
+        ("fifo", PoolDiscipline::Fifo),
+        ("lifo", PoolDiscipline::Lifo),
+        ("worksteal", PoolDiscipline::WorkSteal),
+        (
+            "priority",
+            PoolDiscipline::Priority(Arc::new((0..4 * OPS_PER_WORKER as u64).collect())),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("discipline", name), &disc, |b, d| {
+            b.iter(|| {
+                let pool = d.build(4);
+                hammer(&*pool, 4);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pools);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion: throughput of the discrete-event engine itself (simulated
+//! memory operations per second of host time) — the cost of running
+//! experiments on the substrate.
+
+use c64sim::sched::SequencedScheduler;
+use c64sim::{simulate, ChipConfig, SimOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgfft::{FftPlan, FftWorkload, TwiddleLayout};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    for n_log2 in [13u32, 15] {
+        let plan = FftPlan::new(n_log2, 6);
+        let chip = ChipConfig::cyclops64();
+        let workload = FftWorkload::new(plan, TwiddleLayout::Linear, &chip);
+        let cps = plan.codelets_per_stage();
+        // Ops per run: tasks × ~(2P + P−1).
+        let ops = plan.total_codelets() as u64 * 191;
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(BenchmarkId::new("coarse_fft", n_log2), &n_log2, |b, _| {
+            b.iter(|| {
+                let phases: Vec<Vec<usize>> = (0..plan.stages())
+                    .map(|s| (s * cps..(s + 1) * cps).collect())
+                    .collect();
+                let mut sched = SequencedScheduler::coarse(phases);
+                simulate(
+                    &chip,
+                    &workload,
+                    &mut sched,
+                    &SimOptions {
+                        trace_window: 100_000,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

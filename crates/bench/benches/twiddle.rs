@@ -1,0 +1,56 @@
+//! Criterion: twiddle-table construction and hashed access — the software
+//! cost side of the Sec. IV-B address-randomization trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgfft::{TwiddleLayout, TwiddleTable};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("twiddle_table_build");
+    for n_log2 in [14u32, 18] {
+        group.throughput(Throughput::Elements(1u64 << (n_log2 - 1)));
+        for layout in [TwiddleLayout::Linear, TwiddleLayout::BitReversedHash] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{layout:?}"), n_log2),
+                &n_log2,
+                |b, &n| {
+                    b.iter(|| TwiddleTable::new(n, layout));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_strided_access(c: &mut Criterion) {
+    // The early-stage access pattern: a large power-of-two stride over the
+    // logical indices. Measures the per-access hash cost (the overhead the
+    // paper charges fine-hash for).
+    let n_log2 = 18;
+    let stride = 1usize << (n_log2 - 7);
+    let mut group = c.benchmark_group("twiddle_strided_access");
+    group.throughput(Throughput::Elements(64));
+    for layout in [
+        TwiddleLayout::Linear,
+        TwiddleLayout::BitReversedHash,
+        TwiddleLayout::MultiplicativeHash,
+    ] {
+        let table = TwiddleTable::new(n_log2, layout);
+        group.bench_with_input(
+            BenchmarkId::new("layout", format!("{layout:?}")),
+            &layout,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = fgfft::Complex64::ZERO;
+                    for k in 0..64 {
+                        acc += table.get((k * stride) & (table.len() - 1));
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_strided_access);
+criterion_main!(benches);

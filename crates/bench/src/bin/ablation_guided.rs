@@ -1,0 +1,67 @@
+//! Ablation 3 (DESIGN.md §7.3): the guided algorithm's knobs — the
+//! early/late split point (the paper fixes `last_early = last_stage − 2`),
+//! the phase-2 seed order (paper-literal grouped vs bank-rotated), and the
+//! pool discipline.
+//!
+//! Usage: `ablation_guided [--full] [--json PATH] [n_log2=18] [tus=156]`
+
+use c64sim::SimPoolDiscipline;
+use fft_repro::{paper_chip, trace_options, Cli, Figure, Series};
+use fgfft::{run_sim, run_sim_guided, FftPlan, GuidedOptions, SimVersion};
+
+fn main() {
+    let cli = Cli::parse();
+    let n_log2: u32 = cli.get("n_log2", if cli.full { 20 } else { 18 });
+    let tus: usize = cli.get("tus", 156);
+    let plan = FftPlan::new(n_log2, 6);
+    assert!(plan.stages() >= 3, "need >= 3 stages for the guided split");
+    let chip = paper_chip(tus);
+    let opts = trace_options(n_log2);
+
+    let coarse = run_sim(plan, SimVersion::Coarse, &chip, &opts);
+    println!("baseline coarse: {:.3} GFLOPS\n", coarse.gflops);
+
+    let mut fig = Figure::new(
+        "ablation-guided",
+        "guided schedule knobs: split point x seeds x discipline",
+        "last_early",
+        "GFLOPS",
+    );
+    fig.note("n_log2", n_log2);
+    fig.note("thread_units", tus);
+    fig.note("coarse_baseline", format!("{:.3}", coarse.gflops));
+    fig.note("paper_split", plan.stages() - 3);
+
+    for (label, rotated, disc) in [
+        ("rotated+lifo", true, SimPoolDiscipline::Lifo),
+        ("paper+lifo", false, SimPoolDiscipline::Lifo),
+        ("rotated+fifo", true, SimPoolDiscipline::Fifo),
+    ] {
+        let mut s = Series::new(label);
+        for last_early in 0..plan.stages() - 1 {
+            let g = GuidedOptions {
+                bank_rotated_seeds: rotated,
+                discipline: disc,
+                last_early: Some(last_early),
+            };
+            let r = run_sim_guided(plan, &chip, &opts, &g);
+            println!(
+                "{label:14} last_early={last_early}  {:7.3} GFLOPS  ({:+.1}% vs coarse)",
+                r.gflops,
+                100.0 * (r.gflops / coarse.gflops - 1.0)
+            );
+            s.push(last_early as f64, r.gflops);
+        }
+        fig.series.push(s);
+        println!();
+    }
+    cli.finish(&fig);
+
+    let paper_split = plan.stages() - 3;
+    let default = &fig.series[0];
+    let at_paper = default.y[paper_split];
+    let best = default.y.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "check: paper's split (last_early={paper_split}) achieves {at_paper:.3} of best {best:.3} GFLOPS"
+    );
+}

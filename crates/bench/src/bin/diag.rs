@@ -1,0 +1,70 @@
+//! Diagnostic: per-version GFLOPS, bank imbalance, and window traces.
+
+use c64sim::{ChipConfig, SimOptions, SimPoolDiscipline};
+use fgfft::{run_sim, run_sim_fine, run_sim_guided, FftPlan, GuidedOptions, SeedOrder, SimVersion, TwiddleLayout};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_log2: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let tus: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let mlp: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let plan = FftPlan::new(n_log2, 6);
+    let mut chip = ChipConfig::cyclops64().with_thread_units(tus);
+    chip.max_outstanding_ops = mlp;
+    let opts = SimOptions {
+        trace_window: 100_000,
+    };
+    println!(
+        "N=2^{n_log2} TUs={tus} mlp={mlp} stages={} cps={}",
+        plan.stages(),
+        plan.codelets_per_stage()
+    );
+    for v in [
+        SimVersion::Coarse,
+        SimVersion::CoarseHash,
+        SimVersion::Fine(SeedOrder::Natural),
+        SimVersion::Fine(SeedOrder::Reversed),
+        SimVersion::Fine(SeedOrder::EvenOdd),
+        SimVersion::FineHash(SeedOrder::Natural),
+        SimVersion::FineGuided,
+    ] {
+        let r = run_sim(plan, v, &chip, &opts);
+        println!(
+            "{:14} {:7.3} GFLOPS  cycles={:9}  imbalance={:.3}  dram_util={:.3}  tu_util={:.3}  barriers={}",
+            format!("{}{:?}", v.name(), if let SimVersion::Fine(o) | SimVersion::FineHash(o) = v { format!("/{o:?}") } else { String::new() }),
+            r.gflops,
+            r.makespan_cycles,
+            r.bank_imbalance(),
+            r.dram_utilization,
+            r.tu_utilization(),
+            r.barriers,
+        );
+        if args.len() > 4 {
+            for (w, counts) in r.trace.counts.iter().enumerate() {
+                println!("  w{w:3} {counts:?}");
+            }
+        }
+    }
+    for seed in [1u64, 2] {
+        let r = run_sim_fine(plan, TwiddleLayout::Linear, SeedOrder::Natural, SimPoolDiscipline::Random(seed), &chip, &opts);
+        println!("fine/randbag({seed})     {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}", r.gflops, r.makespan_cycles, r.dram_utilization);
+        let r = run_sim_fine(plan, TwiddleLayout::BitReversedHash, SeedOrder::Natural, SimPoolDiscipline::Random(seed), &chip, &opts);
+        println!("finehash/randbag({seed}) {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}", r.gflops, r.makespan_cycles, r.dram_utilization);
+    }
+    if plan.stages() >= 3 {
+        for (label, g) in [
+            ("guided/rot/lifo", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Lifo, last_early: None }),
+            ("guided/paper/lifo", GuidedOptions { bank_rotated_seeds: false, discipline: SimPoolDiscipline::Lifo, last_early: None }),
+            ("guided/rot/fifo", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Fifo, last_early: None }),
+            ("guided/rot/random", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Random(5), last_early: None }),
+            ("guided/rot/split-2", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Lifo, last_early: Some(plan.stages().saturating_sub(4)) }),
+        ] {
+            if g.last_early == Some(0) && plan.stages() < 4 { continue; }
+            let r = run_sim_guided(plan, &chip, &opts, &g);
+            println!(
+                "{label:20} {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}",
+                r.gflops, r.makespan_cycles, r.dram_utilization
+            );
+        }
+    }
+}

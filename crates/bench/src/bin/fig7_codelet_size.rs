@@ -1,0 +1,62 @@
+//! Fig. 7: performance of the fine-grain FFT as a function of **codelet
+//! size** (points per work unit). The paper's observation: performance
+//! rises with codelet size up to 64 points (fewer stages → less off-chip
+//! traffic) and drops at 128 (the working set exceeds the scratchpad and
+//! spills).
+//!
+//! Usage: `fig7_codelet_size [--full] [--json PATH] [n_log2=18] [tus=156]`
+
+use c64sim::SimPoolDiscipline;
+use fft_repro::{paper_chip, trace_options, Cli, Figure, Series};
+use fgfft::{model, run_sim_fine, FftPlan, SeedOrder, TwiddleLayout};
+
+fn main() {
+    let cli = Cli::parse();
+    let n_log2: u32 = cli.get("n_log2", if cli.full { 20 } else { 18 });
+    let tus: usize = cli.get("tus", 156);
+    let chip = paper_chip(tus);
+    let opts = trace_options(n_log2);
+
+    let mut fig = Figure::new(
+        "fig7",
+        "fine-grain FFT performance vs codelet size",
+        "points/codelet",
+        "GFLOPS",
+    );
+    fig.note("n_log2", n_log2);
+    fig.note("thread_units", tus);
+
+    let mut measured = Series::new("fine best (sim)");
+    let mut bound = Series::new("DRAM-bound model");
+    let mut best: (usize, f64) = (0, 0.0);
+    for radix_log2 in 1..=7u32 {
+        let plan = FftPlan::new(n_log2, radix_log2);
+        // "Best" over pool arrangements, as the paper reports the best
+        // fine-grain configuration per size.
+        let gflops = [
+            (SeedOrder::Natural, SimPoolDiscipline::Lifo),
+            (SeedOrder::EvenOdd, SimPoolDiscipline::Lifo),
+            (SeedOrder::Natural, SimPoolDiscipline::Random(1)),
+        ]
+        .into_iter()
+        .map(|(o, d)| run_sim_fine(plan, TwiddleLayout::Linear, o, d, &chip, &opts).gflops)
+        .fold(0.0f64, f64::max);
+        let points = 1usize << radix_log2;
+        measured.push(points as f64, gflops);
+        bound.push(
+            points as f64,
+            model::theoretical_peak_gflops(radix_log2, chip.dram_bandwidth_bytes_per_sec()),
+        );
+        if gflops > best.1 {
+            best = (points, gflops);
+        }
+    }
+    fig.series.push(measured);
+    fig.series.push(bound);
+    cli.finish(&fig);
+
+    println!(
+        "check: best codelet size = {} points at {:.3} GFLOPS (paper: 64-point codelets perform best)",
+        best.0, best.1
+    );
+}

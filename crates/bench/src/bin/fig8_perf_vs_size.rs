@@ -1,0 +1,99 @@
+//! Fig. 8: performance of the algorithm versions as the input size varies.
+//! The paper sweeps N = 2^15..2^22 on 156 thread units and reports six
+//! series: coarse, coarse hash, fine worst, fine best, fine hash, fine
+//! guided.
+//!
+//! `fine worst` / `fine best` are the min/max over a set of initial pool
+//! orders, exactly as the paper reports the spread caused by the initial
+//! arrangement of ready codelets.
+//!
+//! Usage: `fig8_perf_vs_size [--full] [--json PATH] [tus=156]`
+//! (default sweeps 2^15..2^19; `--full` extends to the paper's 2^22)
+
+use c64sim::SimPoolDiscipline;
+use fft_repro::{paper_chip, trace_options, Cli, Figure, Series};
+use fgfft::{run_sim, run_sim_fine, FftPlan, SeedOrder, SimVersion, TwiddleLayout};
+
+fn main() {
+    let cli = Cli::parse();
+    let tus: usize = cli.get("tus", 156);
+    let max_n: u32 = cli.get("max_n", if cli.full { 22 } else { 19 });
+    let chip = paper_chip(tus);
+
+    // The fine spread space: initial order x pool discipline (strict LIFO
+    // per Alg. 2, plus unordered-bag draws modeling a contended concurrent
+    // pool; see EXPERIMENTS.md "pool-order sensitivity").
+    let fine_configs: Vec<(SeedOrder, SimPoolDiscipline)> = vec![
+        (SeedOrder::Natural, SimPoolDiscipline::Lifo),
+        (SeedOrder::Reversed, SimPoolDiscipline::Lifo),
+        (SeedOrder::EvenOdd, SimPoolDiscipline::Lifo),
+        (SeedOrder::Random(7), SimPoolDiscipline::Lifo),
+        (SeedOrder::Natural, SimPoolDiscipline::Random(1)),
+        (SeedOrder::Natural, SimPoolDiscipline::Random(2)),
+        (SeedOrder::Natural, SimPoolDiscipline::Random(3)),
+    ];
+
+    let mut fig = Figure::new(
+        "fig8",
+        "FFT performance vs input size (6 versions)",
+        "log2 N",
+        "GFLOPS",
+    );
+    fig.note("thread_units", tus);
+    let mut coarse = Series::new("coarse");
+    let mut coarse_hash = Series::new("coarse hash");
+    let mut fine_worst = Series::new("fine worst");
+    let mut fine_best = Series::new("fine best");
+    let mut fine_hash = Series::new("fine hash");
+    let mut fine_guided = Series::new("fine guided");
+
+    for n_log2 in 15..=max_n {
+        let plan = FftPlan::new(n_log2, 6);
+        let opts = trace_options(n_log2);
+        let x = n_log2 as f64;
+        coarse.push(x, run_sim(plan, SimVersion::Coarse, &chip, &opts).gflops);
+        coarse_hash.push(
+            x,
+            run_sim(plan, SimVersion::CoarseHash, &chip, &opts).gflops,
+        );
+        let fine: Vec<f64> = fine_configs
+            .iter()
+            .map(|&(o, d)| run_sim_fine(plan, TwiddleLayout::Linear, o, d, &chip, &opts).gflops)
+            .collect();
+        fine_worst.push(x, fine.iter().copied().fold(f64::INFINITY, f64::min));
+        fine_best.push(x, fine.iter().copied().fold(0.0, f64::max));
+        let hash: Vec<f64> = fine_configs
+            .iter()
+            .take(5)
+            .map(|&(o, d)| {
+                run_sim_fine(plan, TwiddleLayout::BitReversedHash, o, d, &chip, &opts).gflops
+            })
+            .collect();
+        fine_hash.push(x, hash.iter().copied().fold(0.0, f64::max));
+        fine_guided.push(
+            x,
+            run_sim(plan, SimVersion::FineGuided, &chip, &opts).gflops,
+        );
+        eprintln!("done n=2^{n_log2}");
+    }
+
+    fig.series = vec![coarse, coarse_hash, fine_worst, fine_best, fine_hash, fine_guided];
+    cli.finish(&fig);
+
+    // Paper observations, checked at the largest size swept.
+    let last = |s: &Series| *s.y.last().unwrap();
+    let (c, _ch, fw, fb, fh, fg) = (
+        last(&fig.series[0]),
+        last(&fig.series[1]),
+        last(&fig.series[2]),
+        last(&fig.series[3]),
+        last(&fig.series[4]),
+        last(&fig.series[5]),
+    );
+    println!("check: fine best {fb:.2} >= fine guided {fg:.2} >= fine worst {fw:.2}");
+    println!("check: fine hash {fh:.2} > coarse {c:.2} (the large balanced-traffic gain)");
+    println!(
+        "check: fine hash / coarse = {:.2}x (paper reports up to 1.46x for the balanced versions)",
+        fh / c
+    );
+}

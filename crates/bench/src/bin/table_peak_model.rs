@@ -1,0 +1,65 @@
+//! Eqs. (1)–(4): the paper's theoretical peak-performance model, and how
+//! close each simulated version gets to it.
+//!
+//! The paper derives a DRAM-bandwidth-bound peak of **10 GFLOPS** for
+//! 64-point codelets with data and twiddles in off-chip memory. This
+//! harness prints the analytic peak per codelet size and compares the best
+//! simulated throughput against the bound.
+//!
+//! Usage: `table_peak_model [--json PATH] [n_log2=18] [tus=156]`
+
+use fft_repro::{paper_chip, trace_options, Cli, Figure, Series};
+use fgfft::{model, run_sim, FftPlan, SeedOrder, SimVersion};
+
+fn main() {
+    let cli = Cli::parse();
+    let n_log2: u32 = cli.get("n_log2", 18);
+    let tus: usize = cli.get("tus", 156);
+    let chip = paper_chip(tus);
+    let opts = trace_options(n_log2);
+
+    let mut fig = Figure::new(
+        "table-peak",
+        "theoretical peak model (Eqs. 1-4) vs simulation",
+        "points/codelet",
+        "GFLOPS",
+    );
+    fig.note("n_log2", n_log2);
+    fig.note("thread_units", tus);
+    fig.note(
+        "paper_peak_64pt",
+        format!("{:.2} GFLOPS", model::paper_peak_gflops()),
+    );
+
+    let mut analytic = Series::new("Eq.(4) peak");
+    let mut plan_bound = Series::new("exact plan bound");
+    let mut simulated = Series::new("fine hash (sim)");
+    for radix_log2 in [3u32, 4, 5, 6, 7] {
+        let p = 1usize << radix_log2;
+        let plan = FftPlan::new(n_log2, radix_log2);
+        analytic.push(
+            p as f64,
+            model::theoretical_peak_gflops(radix_log2, chip.dram_bandwidth_bytes_per_sec()),
+        );
+        plan_bound.push(p as f64, model::bandwidth_bound_gflops(&plan, &chip));
+        simulated.push(
+            p as f64,
+            run_sim(plan, SimVersion::FineHash(SeedOrder::Natural), &chip, &opts).gflops,
+        );
+    }
+    fig.series = vec![analytic, plan_bound, simulated];
+    cli.finish(&fig);
+
+    let peak = model::paper_peak_gflops();
+    println!("check: Eq.(4) with P=64, B=16 GB/s = {peak:.2} GFLOPS (paper: 10 GFLOPS)");
+    let best64 = fig.series[2].y[3];
+    println!(
+        "check: simulated best-balanced 64-pt = {best64:.2} GFLOPS = {:.0}% of the bound \
+         (must never exceed it)",
+        100.0 * best64 / peak
+    );
+    assert!(
+        best64 <= peak * 1.001,
+        "simulation exceeded the bandwidth bound — model inconsistency"
+    );
+}

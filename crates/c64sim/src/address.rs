@@ -1,0 +1,194 @@
+//! Address spaces and the DRAM interleaving function.
+//!
+//! C64 exposes a flat byte-addressed space; off-chip DRAM is striped across
+//! the four memory ports in round-robin units of 64 bytes, so the bank of a
+//! DRAM address is `(addr / 64) mod 4`. This little function is the entire
+//! root cause of the paper: any access stream whose stride is a multiple of
+//! `64 * 4` bytes (or whose addresses are all multiples of 256 within one
+//! array) keeps hitting the *same* bank.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte address within the simulated machine.
+pub type Addr = u64;
+
+/// Which physical memory a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Space {
+    /// Off-chip DRAM: 4 banks, 16 GB/s aggregate, the contended resource.
+    Dram,
+    /// On-chip SRAM (interleaved across many banks through the crossbar;
+    /// modeled as one aggregate high-bandwidth resource).
+    Sram,
+    /// Per-TU scratchpad: private, never contended; modeled as fixed latency.
+    Scratchpad,
+}
+
+/// Maps DRAM addresses to banks according to the interleaving scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interleave {
+    /// Bytes per stripe unit (64 on C64).
+    pub unit_bytes: u64,
+    /// Number of banks (4 on C64).
+    pub banks: usize,
+}
+
+impl Interleave {
+    /// C64's scheme: 64-byte units over 4 banks.
+    pub fn cyclops64() -> Self {
+        Self {
+            unit_bytes: 64,
+            banks: 4,
+        }
+    }
+
+    /// Bank holding byte address `addr`.
+    #[inline]
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((addr / self.unit_bytes) % self.banks as u64) as usize
+    }
+
+    /// Number of distinct banks touched by a contiguous `[addr, addr+len)`
+    /// region.
+    pub fn banks_touched(&self, addr: Addr, len: u64) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let first = addr / self.unit_bytes;
+        let last = (addr + len - 1) / self.unit_bytes;
+        ((last - first + 1).min(self.banks as u64)) as usize
+    }
+
+    /// Bank histogram of an access stream with fixed element size and
+    /// stride: addresses `base + i*stride_bytes` for `i in 0..count`.
+    /// Diagnostic helper used by tests and by the motivation example.
+    pub fn stride_histogram(&self, base: Addr, stride_bytes: u64, count: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; self.banks];
+        for i in 0..count {
+            hist[self.bank_of(base + i as u64 * stride_bytes)] += 1;
+        }
+        hist
+    }
+}
+
+/// A simple bump allocator laying arrays out in a chosen space, used by
+/// workload builders to assign base addresses the way the paper's runtime
+/// does (data array and twiddle array both contiguous in DRAM).
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next_dram: Addr,
+    next_sram: Addr,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layout {
+    /// Empty layout. DRAM and SRAM address spaces are tracked separately
+    /// (the simulator treats them as distinct resources, so overlapping
+    /// numeric ranges would be harmless, but distinct bases keep traces
+    /// readable).
+    pub fn new() -> Self {
+        Self {
+            next_dram: 0,
+            next_sram: 0,
+        }
+    }
+
+    /// Reserve `bytes` in `space`, aligned to `align` bytes (power of two).
+    /// Returns the base address.
+    pub fn alloc(&mut self, space: Space, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let cursor = match space {
+            Space::Dram => &mut self.next_dram,
+            Space::Sram | Space::Scratchpad => &mut self.next_sram,
+        };
+        let base = (*cursor + align - 1) & !(align - 1);
+        *cursor = base + bytes;
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_mapping_round_robin() {
+        let il = Interleave::cyclops64();
+        assert_eq!(il.bank_of(0), 0);
+        assert_eq!(il.bank_of(63), 0);
+        assert_eq!(il.bank_of(64), 1);
+        assert_eq!(il.bank_of(128), 2);
+        assert_eq!(il.bank_of(192), 3);
+        assert_eq!(il.bank_of(256), 0);
+    }
+
+    #[test]
+    fn unit_stride_streams_hit_all_banks_evenly() {
+        let il = Interleave::cyclops64();
+        // 64 consecutive 16-byte complex elements = 1024 B = 16 lines.
+        let hist = il.stride_histogram(0, 16, 64);
+        assert_eq!(hist, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn stride_256_hits_one_bank() {
+        let il = Interleave::cyclops64();
+        // Stride of 4 interleave units: every access lands on the bank of
+        // the base address. This is the twiddle-array pathology.
+        let hist = il.stride_histogram(0, 256, 64);
+        assert_eq!(hist, vec![64, 0, 0, 0]);
+        let hist = il.stride_histogram(64, 256, 64);
+        assert_eq!(hist, vec![0, 64, 0, 0]);
+    }
+
+    #[test]
+    fn large_power_of_two_strides_hit_bank_of_base() {
+        let il = Interleave::cyclops64();
+        for log_stride in 8..20 {
+            let hist = il.stride_histogram(0, 1 << log_stride, 32);
+            assert_eq!(hist[0], 32, "stride 2^{log_stride}");
+        }
+    }
+
+    #[test]
+    fn banks_touched_counts_lines() {
+        let il = Interleave::cyclops64();
+        assert_eq!(il.banks_touched(0, 0), 0);
+        assert_eq!(il.banks_touched(0, 1), 1);
+        assert_eq!(il.banks_touched(0, 64), 1);
+        assert_eq!(il.banks_touched(0, 65), 2);
+        assert_eq!(il.banks_touched(60, 8), 2);
+        assert_eq!(il.banks_touched(0, 4096), 4); // capped at bank count
+    }
+
+    #[test]
+    fn layout_respects_alignment() {
+        let mut l = Layout::new();
+        let a = l.alloc(Space::Dram, 100, 64);
+        let b = l.alloc(Space::Dram, 100, 64);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn layout_spaces_are_independent() {
+        let mut l = Layout::new();
+        let d = l.alloc(Space::Dram, 64, 64);
+        let s = l.alloc(Space::Sram, 64, 64);
+        assert_eq!(d, 0);
+        assert_eq!(s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn layout_rejects_bad_alignment() {
+        let mut l = Layout::new();
+        l.alloc(Space::Dram, 8, 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Machine configuration for the simulated Cyclops-64 chip.
+
+use codelet::amm::AbstractMachine;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated chip. Defaults reproduce the IBM Cyclops-64
+/// node described in Sec. III-A of the paper and the published C64 memory
+/// numbers (16 GB/s off-chip DRAM behind 4 ports, 320 GB/s on-chip SRAM,
+/// 500 MHz clock, 160 thread units of which 156 are available to
+/// applications).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Thread units available to the application (the paper uses 156 of 160;
+    /// 4 are reserved for the OS kernel).
+    pub thread_units: usize,
+    /// Core clock in Hz.
+    pub frequency_hz: u64,
+    /// Number of off-chip DRAM ports/banks.
+    pub dram_banks: usize,
+    /// Bytes per interleave unit: the hardware switches DRAM bank every this
+    /// many consecutive bytes (64 B = 4 double-precision complex elements).
+    pub interleave_bytes: u64,
+    /// Aggregate off-chip DRAM bandwidth in bytes per cycle (16 GB/s at
+    /// 500 MHz = 32 B/cycle, i.e. 8 B/cycle per bank).
+    pub dram_bytes_per_cycle: f64,
+    /// Unloaded DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Aggregate on-chip SRAM bandwidth in bytes per cycle (320 GB/s at
+    /// 500 MHz = 640 B/cycle).
+    pub sram_bytes_per_cycle: f64,
+    /// Unloaded SRAM access latency in cycles.
+    pub sram_latency: u64,
+    /// Cycles a hardware barrier costs once every thread unit has arrived.
+    pub barrier_cycles: u64,
+    /// Fixed per-codelet scheduling overhead in cycles (pool pop + counter
+    /// updates); fine-grain scheduling is cheap but not free.
+    pub codelet_overhead_cycles: u64,
+    /// Floating-point throughput per thread unit in flops per cycle. Each
+    /// C64 core pair shares one FMA unit issuing 1 FMA (2 flops) per cycle,
+    /// so a fully-loaded thread unit sustains ~1 flop/cycle.
+    pub flops_per_cycle_per_tu: f64,
+    /// Issue gap between consecutive memory operations of one thread unit,
+    /// in cycles (an in-order TU issues roughly one memory instruction per
+    /// cycle; outstanding requests pipeline in the memory system).
+    pub issue_cycles_per_op: u64,
+    /// Maximum memory operations one thread unit keeps in flight. C64 TUs
+    /// are simple in-order cores: a handful of loads pipeline behind each
+    /// other before a use stalls the pipeline. This knob sets the regime —
+    /// small values make execution latency-bound per TU (where codelet
+    /// ordering matters), huge values collapse to a pure bandwidth model.
+    pub max_outstanding_ops: usize,
+    /// Exposed cycles per register-spill access to the scratchpad: a
+    /// butterfly working set larger than the register file forces a
+    /// store/load round-trip per value per extra level, whose load-use
+    /// latency the in-order pipeline only partially hides.
+    pub spill_cycles_per_op: u64,
+    /// Cycles to evaluate the software hash (bit-reversal of an index) once.
+    /// The paper notes this overhead grows with the number of index bits;
+    /// the total is `hash_base_cycles + hash_cycles_per_bit * bits`.
+    pub hash_base_cycles: u64,
+    /// Per-bit cost of the software bit-reversal hash.
+    pub hash_cycles_per_bit: u64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::cyclops64()
+    }
+}
+
+impl ChipConfig {
+    /// The paper's machine: a single C64 chip.
+    pub fn cyclops64() -> Self {
+        Self {
+            thread_units: 156,
+            frequency_hz: 500_000_000,
+            dram_banks: 4,
+            interleave_bytes: 64,
+            dram_bytes_per_cycle: 32.0,
+            dram_latency: 114,
+            sram_bytes_per_cycle: 640.0,
+            sram_latency: 31,
+            barrier_cycles: 64,
+            codelet_overhead_cycles: 40,
+            flops_per_cycle_per_tu: 1.0,
+            issue_cycles_per_op: 1,
+            max_outstanding_ops: 2,
+            spill_cycles_per_op: 5,
+            hash_base_cycles: 2,
+            hash_cycles_per_bit: 1,
+        }
+    }
+
+    /// Same chip with a different number of application thread units (the
+    /// paper's scalability experiment sweeps 20..=156).
+    pub fn with_thread_units(mut self, tus: usize) -> Self {
+        assert!(tus >= 1, "at least one thread unit required");
+        self.thread_units = tus;
+        self
+    }
+
+    /// Per-bank DRAM bandwidth in bytes per cycle.
+    pub fn dram_bank_bytes_per_cycle(&self) -> f64 {
+        self.dram_bytes_per_cycle / self.dram_banks as f64
+    }
+
+    /// Convert a cycle count to seconds at this clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.frequency_hz as f64
+    }
+
+    /// Aggregate DRAM bandwidth in bytes per second.
+    pub fn dram_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.dram_bytes_per_cycle * self.frequency_hz as f64
+    }
+
+    /// Build the equivalent codelet abstract-machine description.
+    pub fn abstract_machine(&self) -> AbstractMachine {
+        AbstractMachine::cyclops64()
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.thread_units == 0 {
+            return Err("thread_units must be >= 1".into());
+        }
+        if self.dram_banks == 0 {
+            return Err("dram_banks must be >= 1".into());
+        }
+        if !self.interleave_bytes.is_power_of_two() {
+            return Err("interleave_bytes must be a power of two".into());
+        }
+        if self.dram_bytes_per_cycle <= 0.0 || self.sram_bytes_per_cycle <= 0.0 {
+            return Err("bandwidths must be positive".into());
+        }
+        if self.frequency_hz == 0 {
+            return Err("frequency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cyclops64() {
+        let c = ChipConfig::default();
+        assert_eq!(c.thread_units, 156);
+        assert_eq!(c.dram_banks, 4);
+        assert_eq!(c.interleave_bytes, 64);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn dram_numbers_match_paper() {
+        let c = ChipConfig::cyclops64();
+        // 16 GB/s aggregate at 500 MHz.
+        assert!((c.dram_bandwidth_bytes_per_sec() - 16e9).abs() < 1e6);
+        // 8 bytes/cycle per bank.
+        assert!((c.dram_bank_bytes_per_cycle() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let c = ChipConfig::cyclops64();
+        assert!((c.cycles_to_seconds(500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_thread_units_overrides() {
+        let c = ChipConfig::cyclops64().with_thread_units(20);
+        assert_eq!(c.thread_units, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread unit")]
+    fn zero_thread_units_rejected() {
+        let _ = ChipConfig::cyclops64().with_thread_units(0);
+    }
+
+    #[test]
+    fn validate_catches_bad_interleave() {
+        let mut c = ChipConfig::cyclops64();
+        c.interleave_bytes = 48;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_zero_banks() {
+        let mut c = ChipConfig::cyclops64();
+        c.dram_banks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn abstract_machine_matches_tu_count() {
+        let c = ChipConfig::cyclops64();
+        // 156 application TUs out of the machine's 160 CUs.
+        assert!(c.thread_units as u64 <= c.abstract_machine().total_compute_units());
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = ChipConfig::cyclops64();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ChipConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

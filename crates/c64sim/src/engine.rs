@@ -1,0 +1,484 @@
+//! The deterministic discrete-event simulation engine.
+//!
+//! Thread units (TUs) are the active entities. A TU picks a task from the
+//! scheduler and *executes* it by issuing the task's memory operations one
+//! by one into the memory system — each issue is its own simulation event,
+//! so operations from concurrently-running tasks interleave at the banks in
+//! true global arrival order. The TU keeps at most
+//! [`ChipConfig::max_outstanding_ops`] operations in flight (an in-order
+//! core's limited memory-level parallelism): operation `k` cannot issue
+//! before operation `k − mlp` has completed. FPU work overlaps outstanding
+//! memory; the task retires at
+//!
+//! ```text
+//! task_done = max(last mem completion,
+//!                 start + extra_cycles + flops / flop_rate)
+//! ```
+//!
+//! Freed TUs with no claimable work go idle and are woken by task
+//! completions; a phase-complete scheduler parks TUs at a hardware barrier.
+//! All contention is produced by the per-bank FIFO queues in
+//! [`crate::memory::MemorySystem`].
+//!
+//! The engine is fully deterministic: events are ordered by (cycle,
+//! insertion sequence), and schedulers are plain sequential code.
+
+use crate::config::ChipConfig;
+use crate::memory::MemorySystem;
+use crate::sched::{Directive, SimScheduler};
+use crate::stats::{BankTrace, SimReport};
+use crate::task::{Cycle, MemOp, TaskId, TaskModel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Engine knobs that are not machine properties.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Bank-trace window length in cycles.
+    pub trace_window: Cycle,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            trace_window: BankTrace::PAPER_WINDOW,
+        }
+    }
+}
+
+/// Event kinds, ordered so that at equal (cycle, seq) the tuple ordering
+/// stays total; `seq` alone already disambiguates.
+const EV_ASK: u8 = 0;
+const EV_ISSUE: u8 = 1;
+const EV_FINISH: u8 = 2;
+
+/// Execution state of one in-flight task on one TU.
+struct TuRun {
+    task: TaskId,
+    ops: Vec<MemOp>,
+    next_op: usize,
+    /// Ring of the last `mlp` completion times; op `k` waits on slot
+    /// `k % mlp` (the completion of op `k − mlp`).
+    window: Vec<Cycle>,
+    /// Latest memory completion seen so far.
+    mem_done: Cycle,
+    /// When the FPU/overhead side of the task is done.
+    cpu_done: Cycle,
+    /// When the TU started the task (for busy accounting).
+    started: Cycle,
+}
+
+/// Run `model` under `scheduler` on the machine described by `config`.
+///
+/// Panics if the scheduler deadlocks (stops producing events while tasks
+/// remain) — that indicates an ill-formed program (e.g. a cyclic codelet
+/// graph) rather than a machine condition.
+pub fn simulate(
+    config: &ChipConfig,
+    model: &dyn TaskModel,
+    scheduler: &mut dyn SimScheduler,
+    options: &SimOptions,
+) -> SimReport {
+    config.validate().expect("invalid chip configuration");
+    let n_tus = config.thread_units;
+    let mlp = config.max_outstanding_ops.max(1);
+    let mut memory = MemorySystem::new(config, options.trace_window);
+
+    // Event heap: Reverse((cycle, seq, tu, kind)) → earliest cycle first,
+    // FIFO among ties. `seq` makes ordering total and deterministic.
+    let mut events: BinaryHeap<Reverse<(Cycle, u64, usize, u8)>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |events: &mut BinaryHeap<Reverse<(Cycle, u64, usize, u8)>>,
+                seq: &mut u64,
+                time: Cycle,
+                tu: usize,
+                kind: u8| {
+        *seq += 1;
+        events.push(Reverse((time, *seq, tu, kind)));
+    };
+
+    for tu in 0..n_tus {
+        push(&mut events, &mut seq, 0, tu, EV_ASK);
+    }
+
+    let mut runs: Vec<Option<TuRun>> = (0..n_tus).map(|_| None).collect();
+    let mut op_buffers: Vec<Vec<MemOp>> = (0..n_tus).map(|_| Vec::new()).collect();
+    let mut idle: Vec<bool> = vec![false; n_tus];
+    let mut idle_list: Vec<usize> = Vec::new();
+    let mut at_barrier: Vec<bool> = vec![false; n_tus];
+    let mut barrier_count = 0usize;
+    let mut done: Vec<bool> = vec![false; n_tus];
+    let mut done_count = 0usize;
+
+    let mut busy_cycles: Vec<Cycle> = vec![0; n_tus];
+    let mut tasks_executed: u64 = 0;
+    let mut flops: u64 = 0;
+    let mut barriers: u64 = 0;
+    let mut idle_wakeups: u64 = 0;
+    let mut makespan: Cycle = 0;
+    let flop_rate = config.flops_per_cycle_per_tu;
+
+    while let Some(Reverse((now, _, tu, kind))) = events.pop() {
+        makespan = makespan.max(now);
+        match kind {
+            EV_ISSUE => {
+                let run = runs[tu].as_mut().expect("issue event without a run");
+                let op = run.ops[run.next_op];
+                let completion = memory.service(&op, now);
+                run.window[run.next_op % mlp] = completion;
+                run.mem_done = run.mem_done.max(completion);
+                run.next_op += 1;
+                if run.next_op < run.ops.len() {
+                    let gate = run.window[run.next_op % mlp];
+                    let next_issue = (now + config.issue_cycles_per_op).max(gate);
+                    push(&mut events, &mut seq, next_issue, tu, EV_ISSUE);
+                } else {
+                    let end = run.mem_done.max(run.cpu_done);
+                    push(&mut events, &mut seq, end, tu, EV_FINISH);
+                }
+            }
+            EV_FINISH => {
+                let run = runs[tu].take().expect("finish event without a run");
+                op_buffers[tu] = run.ops;
+                busy_cycles[tu] += now - run.started;
+                scheduler.task_completed(run.task, now);
+                // Wake idlers according to how much work became claimable.
+                let hint = scheduler.ready_hint();
+                let wake = if hint == usize::MAX {
+                    idle_list.len()
+                } else {
+                    hint.min(idle_list.len())
+                };
+                for _ in 0..wake {
+                    let w = idle_list.pop().expect("idle list length checked");
+                    if idle[w] {
+                        idle[w] = false;
+                        idle_wakeups += 1;
+                        push(&mut events, &mut seq, now, w, EV_ASK);
+                    }
+                }
+                // This TU asks for new work immediately.
+                push(&mut events, &mut seq, now, tu, EV_ASK);
+            }
+            _ => {
+                // EV_ASK
+                if done[tu] {
+                    continue;
+                }
+                if idle[tu] {
+                    // Woken while still flagged: normalize.
+                    idle[tu] = false;
+                }
+                match scheduler.next(tu, now) {
+                    Directive::Run(task) => {
+                        let mut ops = std::mem::take(&mut op_buffers[tu]);
+                        ops.clear();
+                        let cost = model.emit(task, &mut ops);
+                        let start = now + config.codelet_overhead_cycles;
+                        let cpu_done = start
+                            + cost.extra_cycles
+                            + (cost.flops as f64 / flop_rate).ceil() as Cycle;
+                        tasks_executed += 1;
+                        flops += cost.flops;
+                        let has_ops = !ops.is_empty();
+                        runs[tu] = Some(TuRun {
+                            task,
+                            ops,
+                            next_op: 0,
+                            window: vec![0; mlp],
+                            mem_done: start,
+                            cpu_done,
+                            started: now,
+                        });
+                        if has_ops {
+                            push(&mut events, &mut seq, start, tu, EV_ISSUE);
+                        } else {
+                            push(&mut events, &mut seq, cpu_done, tu, EV_FINISH);
+                        }
+                    }
+                    Directive::Idle => {
+                        if !idle[tu] {
+                            idle[tu] = true;
+                            idle_list.push(tu);
+                        }
+                    }
+                    Directive::Barrier => {
+                        debug_assert!(!at_barrier[tu]);
+                        at_barrier[tu] = true;
+                        barrier_count += 1;
+                        if barrier_count + done_count == n_tus {
+                            let release = now + config.barrier_cycles;
+                            scheduler.barrier_released(release);
+                            barriers += 1;
+                            for (w, flag) in at_barrier.iter_mut().enumerate() {
+                                if *flag {
+                                    *flag = false;
+                                    push(&mut events, &mut seq, release, w, EV_ASK);
+                                }
+                            }
+                            barrier_count = 0;
+                        }
+                    }
+                    Directive::Finished => {
+                        done[tu] = true;
+                        done_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        done_count, n_tus,
+        "simulation wedged: {} of {} thread units never retired \
+         (idle={}, at_barrier={}) — scheduler/program is ill-formed",
+        n_tus - done_count,
+        n_tus,
+        idle_list.len(),
+        barrier_count,
+    );
+    assert_eq!(
+        tasks_executed as usize,
+        model.num_tasks(),
+        "scheduler did not run every task exactly once"
+    );
+
+    let dram_bytes = memory.dram_bytes_total();
+    let bank_accesses = memory.bank_accesses();
+    let bank_bytes = memory.bank_bytes();
+    let trace = memory.into_trace();
+    let seconds = config.cycles_to_seconds(makespan);
+    SimReport {
+        makespan_cycles: makespan,
+        tasks: tasks_executed,
+        flops,
+        gflops: if seconds > 0.0 {
+            flops as f64 / seconds / 1e9
+        } else {
+            0.0
+        },
+        bank_accesses,
+        bank_bytes,
+        trace,
+        barriers,
+        busy_cycles,
+        idle_wakeups,
+        dram_utilization: if makespan > 0 {
+            dram_bytes as f64 / (makespan as f64 * config.dram_bytes_per_cycle)
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{SequencedScheduler, SimPoolDiscipline};
+    use crate::task::{TaskCost, VecTaskModel};
+    use codelet::graph::ExplicitGraph;
+
+    fn small_config() -> ChipConfig {
+        let mut c = ChipConfig::cyclops64();
+        c.thread_units = 4;
+        c.codelet_overhead_cycles = 0;
+        c.barrier_cycles = 10;
+        c
+    }
+
+    /// n independent tasks, each one 16-byte DRAM load on a chosen bank.
+    fn one_op_model(addrs: &[u64]) -> (VecTaskModel, Vec<TaskId>) {
+        let mut m = VecTaskModel::default();
+        let ids = addrs
+            .iter()
+            .map(|&a| {
+                m.push(
+                    vec![MemOp::dram_load(a, 16)],
+                    TaskCost {
+                        flops: 10,
+                        extra_cycles: 0,
+                    },
+                )
+            })
+            .collect();
+        (m, ids)
+    }
+
+    #[test]
+    fn independent_tasks_all_run() {
+        let (m, ids) = one_op_model(&[0, 64, 128, 192, 256, 320, 384, 448]);
+        let mut s = SequencedScheduler::coarse(vec![ids]);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        assert_eq!(r.tasks, 8);
+        assert_eq!(r.flops, 80);
+        assert!(r.makespan_cycles > 0);
+        assert_eq!(r.barriers, 0, "single phase ends without a barrier");
+    }
+
+    #[test]
+    fn same_bank_tasks_take_longer_than_spread_tasks() {
+        let spread: Vec<u64> = (0..32).map(|i| i * 64).collect();
+        let hot: Vec<u64> = (0..32).map(|i| i * 256).collect(); // all bank 0
+        let (ms, ids) = one_op_model(&spread);
+        let mut ss = SequencedScheduler::coarse(vec![ids]);
+        let rs = simulate(&small_config(), &ms, &mut ss, &SimOptions::default());
+        let (mh, idh) = one_op_model(&hot);
+        let mut sh = SequencedScheduler::coarse(vec![idh]);
+        let rh = simulate(&small_config(), &mh, &mut sh, &SimOptions::default());
+        assert!(
+            rh.makespan_cycles > rs.makespan_cycles,
+            "contended {} <= balanced {}",
+            rh.makespan_cycles,
+            rs.makespan_cycles
+        );
+        assert!(rh.bank_imbalance() > 3.9);
+        assert!(rs.bank_imbalance() < 1.1);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        let (m, ids) = one_op_model(&[0, 64, 128, 192]);
+        let mut s = SequencedScheduler::coarse(vec![ids[..2].to_vec(), ids[2..].to_vec()]);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        assert_eq!(r.barriers, 1);
+        assert_eq!(r.tasks, 4);
+    }
+
+    #[test]
+    fn dataflow_dependencies_are_respected() {
+        // Chain of 3 tasks; makespan must be at least the sum of their
+        // individual latencies.
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let (m, _) = one_op_model(&[0, 0, 0]);
+        let mut s = SequencedScheduler::fine(&g, SimPoolDiscipline::Lifo);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        // each task: 2 cycles service + 114 latency, serialized = >= 348
+        assert!(r.makespan_cycles >= 348, "got {}", r.makespan_cycles);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let addrs: Vec<u64> = (0..64).map(|i| (i * 7919) % 4096).collect();
+        let (m, _) = one_op_model(&addrs);
+        let mut g = ExplicitGraph::new(64);
+        for i in 0..32 {
+            g.add_edge(i, 63 - i);
+        }
+        let run = || {
+            let mut s = SequencedScheduler::fine(&g, SimPoolDiscipline::Lifo);
+            simulate(&small_config(), &m, &mut s, &SimOptions::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.bank_accesses, b.bank_accesses);
+        assert_eq!(a.busy_cycles, b.busy_cycles);
+    }
+
+    #[test]
+    fn compute_bound_task_times_by_flops() {
+        let mut m = VecTaskModel::default();
+        let id = m.push(
+            vec![],
+            TaskCost {
+                flops: 1000,
+                extra_cycles: 0,
+            },
+        );
+        let mut s = SequencedScheduler::coarse(vec![vec![id]]);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        // 1000 flops at 1 flop/cycle.
+        assert_eq!(r.makespan_cycles, 1000);
+        assert_eq!(r.gflops, 1000.0 / (1000.0 / 5e8) / 1e9);
+    }
+
+    #[test]
+    fn more_tus_speed_up_independent_work() {
+        let addrs: Vec<u64> = (0..128).map(|i| i * 64).collect();
+        let (m, ids) = one_op_model(&addrs);
+        let mut c1 = small_config();
+        c1.thread_units = 1;
+        let mut s1 = SequencedScheduler::coarse(vec![ids.clone()]);
+        let r1 = simulate(&c1, &m, &mut s1, &SimOptions::default());
+        let mut c4 = small_config();
+        c4.thread_units = 16;
+        let mut s4 = SequencedScheduler::coarse(vec![ids]);
+        let r4 = simulate(&c4, &m, &mut s4, &SimOptions::default());
+        assert!(r4.makespan_cycles < r1.makespan_cycles);
+    }
+
+    #[test]
+    fn limited_mlp_serializes_a_lone_task() {
+        // One task with 8 dependent loads on idle banks: with mlp=1 the
+        // loads serialize (8 × (service+latency)); with a large window they
+        // pipeline (≈ service chain + one latency).
+        let mut m = VecTaskModel::default();
+        let ops: Vec<MemOp> = (0..8).map(|i| MemOp::dram_load(i * 64, 16)).collect();
+        let id = m.push(ops, TaskCost::default());
+        let run = |mlp: usize| {
+            let mut c = small_config();
+            c.thread_units = 1;
+            c.max_outstanding_ops = mlp;
+            let mut s = SequencedScheduler::coarse(vec![vec![id]]);
+            simulate(&c, &m, &mut s, &SimOptions::default()).makespan_cycles
+        };
+        let serial = run(1);
+        let pipelined = run(64);
+        assert_eq!(serial, 8 * (2 + 114));
+        assert!(pipelined < serial / 4, "pipelined {pipelined} vs serial {serial}");
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_at_banks() {
+        // Two TUs, each a task of 4 serialized (mlp=1) loads on bank 0.
+        // Proper interleaving: both finish at ~4 serial loads + small queue
+        // delays — NOT 8 serial loads (which whole-task atomic reservation
+        // would produce for the second TU).
+        let mut m = VecTaskModel::default();
+        let ops: Vec<MemOp> = (0..4).map(|_| MemOp::dram_load(0, 16)).collect();
+        let a = m.push(ops.clone(), TaskCost::default());
+        let b = m.push(ops, TaskCost::default());
+        let mut c = small_config();
+        c.thread_units = 2;
+        c.max_outstanding_ops = 1;
+        let mut s = SequencedScheduler::coarse(vec![vec![a, b]]);
+        let r = simulate(&c, &m, &mut s, &SimOptions::default());
+        let serial_one = 4 * (2 + 114);
+        assert!(
+            r.makespan_cycles < (serial_one as f64 * 1.2) as u64,
+            "interleaving broken: {} vs one-task serial {}",
+            r.makespan_cycles,
+            serial_one
+        );
+    }
+
+    #[test]
+    fn utilization_fields_are_sane() {
+        let (m, ids) = one_op_model(&[0, 64, 128, 192]);
+        let mut s = SequencedScheduler::coarse(vec![ids]);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        assert!(r.dram_utilization > 0.0 && r.dram_utilization <= 1.0);
+        assert!(r.tu_utilization() > 0.0 && r.tu_utilization() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not run every task")]
+    fn scheduler_missing_tasks_is_detected() {
+        let (m, ids) = one_op_model(&[0, 64, 128, 192]);
+        // Schedule only half the tasks.
+        let mut s = SequencedScheduler::coarse(vec![ids[..2].to_vec()]);
+        simulate(&small_config(), &m, &mut s, &SimOptions::default());
+    }
+
+    #[test]
+    fn empty_model_completes() {
+        let m = VecTaskModel::default();
+        let g = ExplicitGraph::new(0);
+        let mut s = SequencedScheduler::fine(&g, SimPoolDiscipline::Lifo);
+        let r = simulate(&small_config(), &m, &mut s, &SimOptions::default());
+        assert_eq!(r.tasks, 0);
+        assert_eq!(r.makespan_cycles, 0);
+    }
+}

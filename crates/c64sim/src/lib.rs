@@ -1,0 +1,66 @@
+//! # c64sim — a deterministic discrete-event simulator of IBM Cyclops-64
+//!
+//! The IPPS 2013 memory-load-balanced FFT study ran on the IBM Cyclops-64
+//! (C64) many-core chip through the FAST functionally-accurate simulator.
+//! Neither is available today, so this crate rebuilds the parts of the
+//! machine that the paper's phenomenon depends on:
+//!
+//! * **160 (156 usable) in-order thread units** at 500 MHz, with one FMA
+//!   unit per core pair ([`config::ChipConfig`]);
+//! * **four off-chip DRAM ports** behind a 64-byte round-robin interleave,
+//!   16 GB/s aggregate, with per-bank FIFO queueing
+//!   ([`address::Interleave`], [`memory::MemorySystem`]);
+//! * **on-chip SRAM** (320 GB/s aggregate through the crossbar) and private
+//!   scratchpads;
+//! * a **hardware barrier** and a fine-grain codelet scheduler interface
+//!   ([`sched`]) covering the paper's coarse, fine, and guided schedules;
+//! * the paper's **instrument**: per-bank access-rate traces in 3×10⁶-cycle
+//!   windows ([`stats::BankTrace`]) and end-to-end GFLOPS accounting
+//!   ([`stats::SimReport`]).
+//!
+//! The simulator executes *task models* ([`task::TaskModel`]): each codelet
+//! is a bag of byte-addressed memory operations plus a flop count. The
+//! `fgfft` crate provides FFT task models; anything else (stencils, sorts,
+//! graph kernels) can be expressed the same way.
+//!
+//! Simulation is single-threaded and **bit-for-bit deterministic**: events
+//! are totally ordered by (cycle, insertion sequence). Determinism is what
+//! lets the test suite assert exact cycle counts and lets experiments be
+//! reproduced across machines.
+//!
+//! ## Example: two tasks fighting over one DRAM bank
+//!
+//! ```
+//! use c64sim::config::ChipConfig;
+//! use c64sim::engine::{simulate, SimOptions};
+//! use c64sim::sched::SequencedScheduler;
+//! use c64sim::task::{MemOp, TaskCost, VecTaskModel};
+//!
+//! let mut model = VecTaskModel::default();
+//! // Both tasks load from addresses 0 and 256 — the same bank (0).
+//! let a = model.push(vec![MemOp::dram_load(0, 64)], TaskCost::default());
+//! let b = model.push(vec![MemOp::dram_load(256, 64)], TaskCost::default());
+//!
+//! let config = ChipConfig::cyclops64();
+//! let mut sched = SequencedScheduler::coarse(vec![vec![a, b]]);
+//! let report = simulate(&config, &model, &mut sched, &SimOptions::default());
+//! assert_eq!(report.bank_accesses, vec![2, 0, 0, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod config;
+pub mod engine;
+pub mod memory;
+pub mod sched;
+pub mod stats;
+pub mod task;
+
+pub use address::{Addr, Interleave, Space};
+pub use config::ChipConfig;
+pub use engine::{simulate, SimOptions};
+pub use sched::{Directive, SequencedScheduler, SimPoolDiscipline, SimScheduler};
+pub use stats::{BankTrace, SimReport};
+pub use task::{Cycle, MemOp, SyncOverlay, TaskCost, TaskId, TaskModel, VecTaskModel};

@@ -1,0 +1,480 @@
+//! Simulated codelet schedulers.
+//!
+//! The engine asks the scheduler which task a freed thread unit should run
+//! next. Schedulers are built from *phases* separated by hardware barriers:
+//!
+//! * a **coarse-grain** program is a sequence of [`StaticListScheduler`]
+//!   phases (one per FFT stage) — every barrier is real;
+//! * a **fine-grain** program is a single [`PoolScheduler`] phase — no
+//!   barriers, dependence counters decide readiness;
+//! * the **guided** program of Alg. 3 is two `PoolScheduler` phases with one
+//!   barrier in between.
+//!
+//! Schedulers run inside the single-threaded simulation, so counters are
+//! plain integers; the host runtime in the `codelet` crate is the atomic
+//! analogue.
+
+use crate::task::{Cycle, TaskId};
+use codelet::graph::CodeletProgram;
+use std::collections::VecDeque;
+
+/// What a freed thread unit should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Execute this task.
+    Run(TaskId),
+    /// No task is ready; sleep until a completion wakes you.
+    Idle,
+    /// The current phase is complete; wait at the barrier.
+    Barrier,
+    /// The whole program is complete; retire.
+    Finished,
+}
+
+/// Top-level scheduler interface consumed by the engine.
+pub trait SimScheduler {
+    /// Decide what thread unit `tu` does at cycle `now`.
+    fn next(&mut self, tu: usize, now: Cycle) -> Directive;
+    /// Observe the completion of `task` at cycle `now`.
+    fn task_completed(&mut self, task: TaskId, now: Cycle);
+    /// The barrier every thread unit was waiting at has been released.
+    fn barrier_released(&mut self, now: Cycle);
+    /// How many idle thread units it is worth waking right now:
+    /// the number of claimable tasks, or `usize::MAX` when the phase just
+    /// completed (so sleepers must wake to reach the barrier / retire).
+    fn ready_hint(&self) -> usize;
+}
+
+/// One phase of a sequenced schedule.
+pub trait PhaseScheduler {
+    /// Claim a ready task, if any.
+    fn next(&mut self, tu: usize, now: Cycle) -> Option<TaskId>;
+    /// Observe a completion.
+    fn task_completed(&mut self, task: TaskId, now: Cycle);
+    /// All tasks of this phase have completed.
+    fn done(&self) -> bool;
+    /// Number of tasks currently claimable.
+    fn claimable(&self) -> usize;
+    /// Total tasks this phase will run.
+    fn expected(&self) -> usize;
+}
+
+/// A phase that self-schedules a fixed list of independent tasks (the
+/// paper's coarse-grain stage: "for t_id in 0..N/64-1 in parallel").
+#[derive(Debug, Clone)]
+pub struct StaticListScheduler {
+    tasks: Vec<TaskId>,
+    cursor: usize,
+    completed: usize,
+}
+
+impl StaticListScheduler {
+    /// Phase over `tasks`, claimed in order.
+    pub fn new(tasks: Vec<TaskId>) -> Self {
+        Self {
+            tasks,
+            cursor: 0,
+            completed: 0,
+        }
+    }
+}
+
+impl PhaseScheduler for StaticListScheduler {
+    fn next(&mut self, _tu: usize, _now: Cycle) -> Option<TaskId> {
+        let t = self.tasks.get(self.cursor).copied();
+        if t.is_some() {
+            self.cursor += 1;
+        }
+        t
+    }
+
+    fn task_completed(&mut self, _task: TaskId, _now: Cycle) {
+        self.completed += 1;
+    }
+
+    fn done(&self) -> bool {
+        self.completed == self.tasks.len()
+    }
+
+    fn claimable(&self) -> usize {
+        self.tasks.len() - self.cursor
+    }
+
+    fn expected(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+/// Pop discipline of the simulated ready pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimPoolDiscipline {
+    /// Last-in first-out (the paper's concurrent LIFO pool).
+    Lifo,
+    /// First-in first-out.
+    Fifo,
+    /// Uniform-random draw from the ready set (deterministic per seed).
+    /// Models an *unordered* concurrent bag — closer to what a lock-based
+    /// pool contended by 156 hardware threads actually serves, and the
+    /// antidote to the same-bank convoys that strict stack order produces
+    /// when a shared counter enables 64 like-addressed codelets at once.
+    Random(u64),
+}
+
+/// A dataflow phase: tasks become claimable when their dependence counters
+/// (or shared group counters) fill, exactly as in the host runtime.
+pub struct PoolScheduler<'a> {
+    program: &'a dyn CodeletProgram,
+    discipline: SimPoolDiscipline,
+    remaining: Vec<u32>,
+    shared_remaining: Vec<u32>,
+    shared_target: Vec<u32>,
+    ready: VecDeque<TaskId>,
+    completed: usize,
+    expected: usize,
+    rng_state: u64,
+    scratch_children: Vec<TaskId>,
+    scratch_groups: Vec<usize>,
+    scratch_members: Vec<TaskId>,
+}
+
+impl<'a> PoolScheduler<'a> {
+    /// Build a pool phase over `program`, seeded with `seeds` (claimed in
+    /// discipline order: a LIFO pool pops the *last* seed first), expecting
+    /// `expected` task completions in total.
+    pub fn new(
+        program: &'a dyn CodeletProgram,
+        seeds: &[TaskId],
+        discipline: SimPoolDiscipline,
+        expected: usize,
+    ) -> Self {
+        let n = program.num_codelets();
+        let remaining = (0..n).map(|c| program.dep_count(c)).collect();
+        let groups = program.num_shared_groups();
+        let mut shared_target = vec![0u32; groups];
+        for c in 0..n {
+            if let Some(g) = program.shared_group(c) {
+                shared_target[g.group] = g.target;
+            }
+        }
+        Self {
+            program,
+            discipline,
+            remaining,
+            shared_remaining: vec![0; groups],
+            shared_target,
+            ready: seeds.iter().copied().collect(),
+            completed: 0,
+            expected,
+            rng_state: match discipline {
+                SimPoolDiscipline::Random(seed) => seed | 1,
+                _ => 1,
+            },
+            scratch_children: Vec::new(),
+            scratch_groups: Vec::new(),
+            scratch_members: Vec::new(),
+        }
+    }
+
+    /// Convenience: a fine-grain phase covering the *whole* program.
+    pub fn whole_program(
+        program: &'a dyn CodeletProgram,
+        discipline: SimPoolDiscipline,
+    ) -> Self {
+        let seeds = program.initial_ready();
+        let expected = program.num_codelets();
+        Self::new(program, &seeds, discipline, expected)
+    }
+
+    fn push_ready(&mut self, t: TaskId) {
+        self.ready.push_back(t);
+    }
+}
+
+impl PhaseScheduler for PoolScheduler<'_> {
+    fn next(&mut self, _tu: usize, _now: Cycle) -> Option<TaskId> {
+        match self.discipline {
+            SimPoolDiscipline::Lifo => self.ready.pop_back(),
+            SimPoolDiscipline::Fifo => self.ready.pop_front(),
+            SimPoolDiscipline::Random(_) => {
+                let len = self.ready.len();
+                if len == 0 {
+                    return None;
+                }
+                // xorshift64*: fast, deterministic, full period.
+                self.rng_state ^= self.rng_state << 13;
+                self.rng_state ^= self.rng_state >> 7;
+                self.rng_state ^= self.rng_state << 17;
+                let pick = (self.rng_state % len as u64) as usize;
+                self.ready.swap(pick, len - 1);
+                self.ready.pop_back()
+            }
+        }
+    }
+
+    fn task_completed(&mut self, task: TaskId, _now: Cycle) {
+        self.completed += 1;
+        self.scratch_children.clear();
+        self.program.dependents(task, &mut self.scratch_children);
+        if self.shared_target.is_empty() {
+            for i in 0..self.scratch_children.len() {
+                let child = self.scratch_children[i];
+                self.remaining[child] -= 1;
+                if self.remaining[child] == 0 {
+                    self.push_ready(child);
+                }
+            }
+        } else {
+            self.scratch_groups.clear();
+            for i in 0..self.scratch_children.len() {
+                let child = self.scratch_children[i];
+                match self.program.shared_group(child) {
+                    Some(g) => {
+                        if !self.scratch_groups.contains(&g.group) {
+                            self.scratch_groups.push(g.group);
+                        }
+                    }
+                    None => {
+                        self.remaining[child] -= 1;
+                        if self.remaining[child] == 0 {
+                            self.push_ready(child);
+                        }
+                    }
+                }
+            }
+            for gi in 0..self.scratch_groups.len() {
+                let g = self.scratch_groups[gi];
+                self.shared_remaining[g] += 1;
+                if self.shared_remaining[g] == self.shared_target[g] {
+                    self.scratch_members.clear();
+                    self.program
+                        .shared_group_members(g, &mut self.scratch_members);
+                    for mi in 0..self.scratch_members.len() {
+                        let m = self.scratch_members[mi];
+                        self.push_ready(m);
+                    }
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.completed == self.expected
+    }
+
+    fn claimable(&self) -> usize {
+        self.ready.len()
+    }
+
+    fn expected(&self) -> usize {
+        self.expected
+    }
+}
+
+/// A sequence of phases separated by hardware barriers.
+pub struct SequencedScheduler<'a> {
+    phases: Vec<Box<dyn PhaseScheduler + 'a>>,
+    current: usize,
+}
+
+impl<'a> SequencedScheduler<'a> {
+    /// Build from a list of phases, executed in order.
+    pub fn new(phases: Vec<Box<dyn PhaseScheduler + 'a>>) -> Self {
+        Self { phases, current: 0 }
+    }
+
+    /// Coarse-grain schedule: one static-list phase per stage.
+    pub fn coarse(stages: Vec<Vec<TaskId>>) -> Self {
+        Self::new(
+            stages
+                .into_iter()
+                .map(|s| Box::new(StaticListScheduler::new(s)) as Box<dyn PhaseScheduler>)
+                .collect(),
+        )
+    }
+
+    /// Fine-grain schedule: one pool phase over the whole program.
+    pub fn fine(program: &'a dyn CodeletProgram, discipline: SimPoolDiscipline) -> Self {
+        Self::new(vec![Box::new(PoolScheduler::whole_program(
+            program, discipline,
+        ))])
+    }
+
+    /// Fine-grain schedule with an explicit initial pool order (the paper's
+    /// `fine worst`/`fine best` differ only in this order).
+    pub fn fine_with_seeds(
+        program: &'a dyn CodeletProgram,
+        seeds: &[TaskId],
+        discipline: SimPoolDiscipline,
+    ) -> Self {
+        Self::new(vec![Box::new(PoolScheduler::new(
+            program,
+            seeds,
+            discipline,
+            program.num_codelets(),
+        ))])
+    }
+
+    /// Total expected tasks across all phases.
+    pub fn total_expected(&self) -> usize {
+        self.phases.iter().map(|p| p.expected()).sum()
+    }
+}
+
+impl SimScheduler for SequencedScheduler<'_> {
+    fn next(&mut self, tu: usize, now: Cycle) -> Directive {
+        loop {
+            let last = self.phases.len().saturating_sub(1);
+            match self.phases.get_mut(self.current) {
+                None => return Directive::Finished,
+                Some(ph) => {
+                    if let Some(t) = ph.next(tu, now) {
+                        return Directive::Run(t);
+                    }
+                    if !ph.done() {
+                        return Directive::Idle;
+                    }
+                    // Phase complete. An *empty* phase needs no barrier —
+                    // skip it immediately so zero-task phases cannot wedge
+                    // the machine.
+                    if ph.expected() == 0 {
+                        self.current += 1;
+                        continue;
+                    }
+                    if self.current == last {
+                        return Directive::Finished;
+                    }
+                    return Directive::Barrier;
+                }
+            }
+        }
+    }
+
+    fn task_completed(&mut self, task: TaskId, now: Cycle) {
+        self.phases[self.current].task_completed(task, now);
+    }
+
+    fn barrier_released(&mut self, _now: Cycle) {
+        self.current += 1;
+    }
+
+    fn ready_hint(&self) -> usize {
+        match self.phases.get(self.current) {
+            None => usize::MAX,
+            Some(ph) => {
+                if ph.done() {
+                    usize::MAX
+                } else {
+                    ph.claimable()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelet::graph::ExplicitGraph;
+
+    #[test]
+    fn static_list_claims_in_order() {
+        let mut s = StaticListScheduler::new(vec![5, 6, 7]);
+        assert_eq!(s.claimable(), 3);
+        assert_eq!(s.next(0, 0), Some(5));
+        assert_eq!(s.next(0, 0), Some(6));
+        assert_eq!(s.next(1, 0), Some(7));
+        assert_eq!(s.next(0, 0), None);
+        assert!(!s.done());
+        for t in [5, 6, 7] {
+            s.task_completed(t, 10);
+        }
+        assert!(s.done());
+    }
+
+    #[test]
+    fn pool_lifo_pops_last_seed_first() {
+        let g = ExplicitGraph::new(3);
+        let mut p = PoolScheduler::new(&g, &[0, 1, 2], SimPoolDiscipline::Lifo, 3);
+        assert_eq!(p.next(0, 0), Some(2));
+        assert_eq!(p.next(0, 0), Some(1));
+        assert_eq!(p.next(0, 0), Some(0));
+    }
+
+    #[test]
+    fn pool_fifo_pops_first_seed_first() {
+        let g = ExplicitGraph::new(3);
+        let mut p = PoolScheduler::new(&g, &[0, 1, 2], SimPoolDiscipline::Fifo, 3);
+        assert_eq!(p.next(0, 0), Some(0));
+    }
+
+    #[test]
+    fn pool_enables_children_on_counter_fill() {
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let mut p = PoolScheduler::whole_program(&g, SimPoolDiscipline::Fifo);
+        assert_eq!(p.claimable(), 2);
+        let a = p.next(0, 0).unwrap();
+        let b = p.next(1, 0).unwrap();
+        p.task_completed(a, 1);
+        assert_eq!(p.claimable(), 0, "child not ready after one parent");
+        p.task_completed(b, 2);
+        assert_eq!(p.claimable(), 1);
+        let c = p.next(0, 2).unwrap();
+        assert_eq!(c, 2);
+        p.task_completed(c, 3);
+        assert!(p.done());
+    }
+
+    #[test]
+    fn sequenced_coarse_barriers_between_stages() {
+        let mut s = SequencedScheduler::coarse(vec![vec![0], vec![1]]);
+        assert_eq!(s.total_expected(), 2);
+        assert_eq!(s.next(0, 0), Directive::Run(0));
+        assert_eq!(s.next(1, 0), Directive::Idle, "stage 0 not yet complete");
+        s.task_completed(0, 5);
+        assert_eq!(s.ready_hint(), usize::MAX, "phase done: wake everyone");
+        assert_eq!(s.next(0, 5), Directive::Barrier);
+        s.barrier_released(6);
+        assert_eq!(s.next(0, 6), Directive::Run(1));
+        s.task_completed(1, 9);
+        assert_eq!(s.next(0, 9), Directive::Finished);
+    }
+
+    #[test]
+    fn sequenced_skips_empty_phases() {
+        let mut s = SequencedScheduler::coarse(vec![vec![], vec![0]]);
+        assert_eq!(s.next(0, 0), Directive::Run(0));
+    }
+
+    #[test]
+    fn sequenced_fine_runs_dataflow() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(0, 1);
+        let mut s = SequencedScheduler::fine(&g, SimPoolDiscipline::Lifo);
+        assert_eq!(s.next(0, 0), Directive::Run(0));
+        assert_eq!(s.next(1, 0), Directive::Idle);
+        s.task_completed(0, 3);
+        assert_eq!(s.ready_hint(), 1);
+        assert_eq!(s.next(1, 3), Directive::Run(1));
+        s.task_completed(1, 6);
+        assert_eq!(s.next(0, 6), Directive::Finished);
+        assert_eq!(s.next(1, 6), Directive::Finished);
+    }
+
+    #[test]
+    fn fine_with_seeds_controls_start_order() {
+        let g = ExplicitGraph::new(3);
+        let mut s = SequencedScheduler::fine_with_seeds(&g, &[2, 0, 1], SimPoolDiscipline::Lifo);
+        assert_eq!(s.next(0, 0), Directive::Run(1));
+        assert_eq!(s.next(0, 0), Directive::Run(0));
+        assert_eq!(s.next(0, 0), Directive::Run(2));
+    }
+
+    #[test]
+    fn empty_program_finishes_immediately() {
+        let g = ExplicitGraph::new(0);
+        let mut s = SequencedScheduler::fine(&g, SimPoolDiscipline::Lifo);
+        assert_eq!(s.next(0, 0), Directive::Finished);
+    }
+}

@@ -1,0 +1,294 @@
+//! Measurement instruments: per-bank access-rate traces (the paper's
+//! Fig. 1/2/6 instrument) and whole-run summaries.
+
+use crate::config::ChipConfig;
+use crate::task::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Counts DRAM accesses per bank in fixed windows of simulated time. The
+/// paper plots "number of memory accesses per 3×10⁶ cycles" for each of the
+/// 4 banks over the run — this is exactly that counter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankTrace {
+    /// Window length in cycles.
+    pub window_cycles: Cycle,
+    /// Number of banks.
+    pub banks: usize,
+    /// `counts[w][b]` = accesses to bank `b` whose service started in window
+    /// `w` (i.e. in `[w*window_cycles, (w+1)*window_cycles)`).
+    pub counts: Vec<Vec<u64>>,
+    /// `queue_delay[w][b]` = total cycles requests to bank `b` spent queued
+    /// behind earlier requests, for accesses serviced in window `w` — the
+    /// contention cost itself, as opposed to the traffic volume.
+    pub queue_delay: Vec<Vec<u64>>,
+}
+
+impl BankTrace {
+    /// The paper's window: 3×10⁶ cycles.
+    pub const PAPER_WINDOW: Cycle = 3_000_000;
+
+    /// New empty trace.
+    pub fn new(window_cycles: Cycle, banks: usize) -> Self {
+        assert!(window_cycles > 0 && banks > 0);
+        Self {
+            window_cycles,
+            banks,
+            counts: Vec::new(),
+            queue_delay: Vec::new(),
+        }
+    }
+
+    /// Record one access to `bank` serviced at `time`, having waited
+    /// `delay` cycles behind earlier requests.
+    #[inline]
+    pub fn record(&mut self, bank: usize, time: Cycle, delay: Cycle) {
+        let w = (time / self.window_cycles) as usize;
+        if w >= self.counts.len() {
+            self.counts.resize(w + 1, vec![0; self.banks]);
+            self.queue_delay.resize(w + 1, vec![0; self.banks]);
+        }
+        self.counts[w][bank] += 1;
+        self.queue_delay[w][bank] += delay;
+    }
+
+    /// Mean queue delay (cycles per access) for `bank` in window `w`.
+    pub fn mean_delay(&self, w: usize, bank: usize) -> f64 {
+        let c = self.counts[w][bank];
+        if c == 0 {
+            0.0
+        } else {
+            self.queue_delay[w][bank] as f64 / c as f64
+        }
+    }
+
+    /// Total queue-delay cycles per bank over the run.
+    pub fn delay_totals(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.banks];
+        for w in &self.queue_delay {
+            for (b, &d) in w.iter().enumerate() {
+                t[b] += d;
+            }
+        }
+        t
+    }
+
+    /// Number of windows observed.
+    pub fn windows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total accesses per bank over the whole run.
+    pub fn totals(&self) -> Vec<u64> {
+        let mut t = vec![0u64; self.banks];
+        for w in &self.counts {
+            for (b, &c) in w.iter().enumerate() {
+                t[b] += c;
+            }
+        }
+        t
+    }
+
+    /// Peak-to-mean ratio of per-bank totals: 1.0 = perfectly balanced,
+    /// `banks as f64` = everything on one bank.
+    pub fn imbalance(&self) -> f64 {
+        let totals = self.totals();
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / self.banks as f64;
+        *totals.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Per-window imbalance series (peak-to-mean per window; windows with no
+    /// accesses report 1.0). Useful to see *when* contention happens.
+    pub fn imbalance_series(&self) -> Vec<f64> {
+        self.counts
+            .iter()
+            .map(|w| {
+                let sum: u64 = w.iter().sum();
+                if sum == 0 {
+                    1.0
+                } else {
+                    let mean = sum as f64 / self.banks as f64;
+                    *w.iter().max().unwrap() as f64 / mean
+                }
+            })
+            .collect()
+    }
+
+    /// The fraction of windows (among non-empty ones) in which the hottest
+    /// bank receives more than `threshold` times the mean — the paper's
+    /// "first 2/3 of the execution time" observation quantified.
+    pub fn contended_fraction(&self, threshold: f64) -> f64 {
+        let series: Vec<f64> = self
+            .counts
+            .iter()
+            .filter(|w| w.iter().sum::<u64>() > 0)
+            .map(|w| {
+                let mean = w.iter().sum::<u64>() as f64 / self.banks as f64;
+                *w.iter().max().unwrap() as f64 / mean
+            })
+            .collect();
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().filter(|&&r| r > threshold).count() as f64 / series.len() as f64
+    }
+}
+
+/// Summary of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated cycles (makespan).
+    pub makespan_cycles: Cycle,
+    /// Number of tasks executed.
+    pub tasks: u64,
+    /// Total floating-point operations performed.
+    pub flops: u64,
+    /// Achieved GFLOPS at the configured clock.
+    pub gflops: f64,
+    /// Total DRAM accesses per bank.
+    pub bank_accesses: Vec<u64>,
+    /// Total DRAM bytes per bank.
+    pub bank_bytes: Vec<u64>,
+    /// Windowed access trace.
+    pub trace: BankTrace,
+    /// Number of barriers executed.
+    pub barriers: u64,
+    /// Busy cycles per thread unit (running a task, including memory stalls).
+    pub busy_cycles: Vec<Cycle>,
+    /// Number of times an idle thread unit was woken to look for work.
+    pub idle_wakeups: u64,
+    /// Fraction of aggregate DRAM bandwidth actually used over the makespan.
+    pub dram_utilization: f64,
+}
+
+impl SimReport {
+    /// Wall-clock seconds the run would have taken on real hardware.
+    pub fn seconds(&self, config: &ChipConfig) -> f64 {
+        config.cycles_to_seconds(self.makespan_cycles)
+    }
+
+    /// Peak-to-mean bank imbalance over the whole run.
+    pub fn bank_imbalance(&self) -> f64 {
+        self.trace.imbalance()
+    }
+
+    /// Mean thread-unit utilization (busy / makespan).
+    pub fn tu_utilization(&self) -> f64 {
+        if self.makespan_cycles == 0 || self.busy_cycles.is_empty() {
+            return 0.0;
+        }
+        let busy: u128 = self.busy_cycles.iter().map(|&b| b as u128).sum();
+        busy as f64 / (self.makespan_cycles as u128 * self.busy_cycles.len() as u128) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_bins_by_window() {
+        let mut t = BankTrace::new(100, 4);
+        t.record(0, 0, 0);
+        t.record(0, 99, 0);
+        t.record(1, 100, 0);
+        t.record(3, 250, 0);
+        assert_eq!(t.windows(), 3);
+        assert_eq!(t.counts[0], vec![2, 0, 0, 0]);
+        assert_eq!(t.counts[1], vec![0, 1, 0, 0]);
+        assert_eq!(t.counts[2], vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn totals_sum_windows() {
+        let mut t = BankTrace::new(10, 2);
+        t.record(0, 5, 0);
+        t.record(1, 15, 0);
+        t.record(1, 25, 0);
+        assert_eq!(t.totals(), vec![1, 2]);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_trace_is_one() {
+        let mut t = BankTrace::new(10, 4);
+        for b in 0..4 {
+            t.record(b, 1, 0);
+        }
+        assert!((t.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_single_bank_trace_is_bank_count() {
+        let mut t = BankTrace::new(10, 4);
+        for _ in 0..8 {
+            t.record(0, 1, 0);
+        }
+        assert!((t.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_balanced() {
+        let t = BankTrace::new(10, 4);
+        assert_eq!(t.imbalance(), 1.0);
+        assert_eq!(t.contended_fraction(1.5), 0.0);
+    }
+
+    #[test]
+    fn contended_fraction_counts_hot_windows() {
+        let mut t = BankTrace::new(10, 4);
+        // Window 0: all on bank 0 (ratio 4). Window 1: balanced (ratio 1).
+        for _ in 0..4 {
+            t.record(0, 0, 0);
+        }
+        for b in 0..4 {
+            t.record(b, 10, 0);
+        }
+        assert!((t.contended_fraction(1.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_series_matches_windows() {
+        let mut t = BankTrace::new(10, 2);
+        t.record(0, 0, 0);
+        t.record(0, 1, 0);
+        t.record(0, 10, 0);
+        t.record(1, 11, 0);
+        let s = t.imbalance_series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_delay_accumulates_and_averages() {
+        let mut t = BankTrace::new(100, 2);
+        t.record(0, 10, 5);
+        t.record(0, 20, 15);
+        t.record(1, 30, 0);
+        assert_eq!(t.queue_delay[0], vec![20, 0]);
+        assert!((t.mean_delay(0, 0) - 10.0).abs() < 1e-12);
+        assert_eq!(t.mean_delay(0, 1), 0.0);
+        assert_eq!(t.delay_totals(), vec![20, 0]);
+    }
+
+    #[test]
+    fn report_utilization() {
+        let r = SimReport {
+            makespan_cycles: 100,
+            tasks: 1,
+            flops: 0,
+            gflops: 0.0,
+            bank_accesses: vec![],
+            bank_bytes: vec![],
+            trace: BankTrace::new(10, 4),
+            barriers: 0,
+            busy_cycles: vec![50, 100],
+            idle_wakeups: 0,
+            dram_utilization: 0.0,
+        };
+        assert!((r.tu_utilization() - 0.75).abs() < 1e-12);
+    }
+}

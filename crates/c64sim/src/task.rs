@@ -1,0 +1,261 @@
+//! Task (codelet) descriptions consumed by the simulation engine.
+//!
+//! A simulated codelet is, from the machine's point of view, a bag of memory
+//! operations plus some compute. Workload builders (e.g. the FFT crate)
+//! implement [`TaskModel`] to describe, for each task id, the exact byte
+//! addresses it touches and how many floating-point operations it performs;
+//! the engine turns that into cycles using the machine configuration.
+
+use crate::address::{Addr, Space};
+
+/// Dense task identifier, shared with `codelet::CodeletId`.
+pub type TaskId = usize;
+
+/// Simulation time in clock cycles.
+pub type Cycle = u64;
+
+/// One memory operation issued by a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// Byte address of the access.
+    pub addr: Addr,
+    /// Transfer size in bytes.
+    pub bytes: u32,
+    /// `true` for stores, `false` for loads. (The bank model treats both
+    /// directions identically, as the C64 DRAM ports do; the flag is kept
+    /// for tracing.)
+    pub write: bool,
+    /// Target memory space.
+    pub space: Space,
+}
+
+impl MemOp {
+    /// A DRAM load.
+    pub fn dram_load(addr: Addr, bytes: u32) -> Self {
+        Self {
+            addr,
+            bytes,
+            write: false,
+            space: Space::Dram,
+        }
+    }
+
+    /// A DRAM store.
+    pub fn dram_store(addr: Addr, bytes: u32) -> Self {
+        Self {
+            addr,
+            bytes,
+            write: true,
+            space: Space::Dram,
+        }
+    }
+
+    /// An SRAM access.
+    pub fn sram(addr: Addr, bytes: u32, write: bool) -> Self {
+        Self {
+            addr,
+            bytes,
+            write,
+            space: Space::Sram,
+        }
+    }
+}
+
+/// Non-memory cost of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskCost {
+    /// Floating-point operations performed (for GFLOPS accounting).
+    pub flops: u64,
+    /// Additional non-FP cycles (address arithmetic, hash evaluation,
+    /// scheduling bookkeeping beyond the global per-codelet overhead).
+    pub extra_cycles: u64,
+}
+
+/// Describes the work of every task in a program.
+pub trait TaskModel {
+    /// Number of tasks.
+    fn num_tasks(&self) -> usize;
+
+    /// Write the memory operations of `task` into `ops` (a reusable scratch
+    /// buffer that is cleared by the engine before the call) and return its
+    /// compute cost.
+    fn emit(&self, task: TaskId, ops: &mut Vec<MemOp>) -> TaskCost;
+}
+
+/// Wraps a task model, appending explicit synchronization traffic per task
+/// according to the dependence structure of a codelet program — used to
+/// study signaling protocols (sender-initiated dataflow vs
+/// receiver-initiated polling, as in the EARTH-model comparison of the
+/// paper's related work).
+pub struct SyncOverlay<'a> {
+    inner: &'a dyn TaskModel,
+    /// Per-task: (sync ops to issue, are they writes).
+    sync_ops: Vec<(u32, bool)>,
+}
+
+impl<'a> SyncOverlay<'a> {
+    /// Sender-initiated signaling: a completing task writes one sync word
+    /// per dependent counter (one per distinct shared group, one per
+    /// private dependent) — what the codelet runtime actually does.
+    pub fn sender_initiated(
+        inner: &'a dyn TaskModel,
+        program: &dyn codelet::graph::CodeletProgram,
+    ) -> Self {
+        let n = program.num_codelets();
+        assert_eq!(n, inner.num_tasks(), "model/program size mismatch");
+        let mut kids = Vec::new();
+        let mut sync_ops = Vec::with_capacity(n);
+        for id in 0..n {
+            kids.clear();
+            program.dependents(id, &mut kids);
+            let mut groups: Vec<usize> = Vec::new();
+            let mut count = 0u32;
+            for &k in &kids {
+                match program.shared_group(k) {
+                    Some(g) => {
+                        if !groups.contains(&g.group) {
+                            groups.push(g.group);
+                        }
+                    }
+                    None => count += 1,
+                }
+            }
+            sync_ops.push((count + groups.len() as u32, true));
+        }
+        Self { inner, sync_ops }
+    }
+
+    /// Receiver-initiated signaling: a starting task issues a request and
+    /// receives a reply per dependency — two remote accesses each.
+    pub fn receiver_initiated(
+        inner: &'a dyn TaskModel,
+        program: &dyn codelet::graph::CodeletProgram,
+    ) -> Self {
+        let n = program.num_codelets();
+        assert_eq!(n, inner.num_tasks(), "model/program size mismatch");
+        let sync_ops = (0..n).map(|id| (2 * program.dep_count(id), false)).collect();
+        Self { inner, sync_ops }
+    }
+
+    /// Total synchronization operations this overlay will issue.
+    pub fn total_sync_ops(&self) -> u64 {
+        self.sync_ops.iter().map(|&(c, _)| c as u64).sum()
+    }
+}
+
+impl TaskModel for SyncOverlay<'_> {
+    fn num_tasks(&self) -> usize {
+        self.inner.num_tasks()
+    }
+
+    fn emit(&self, task: TaskId, ops: &mut Vec<MemOp>) -> TaskCost {
+        let cost = self.inner.emit(task, ops);
+        let (count, write) = self.sync_ops[task];
+        // Sync words live in on-chip SRAM (where the runtime's counters
+        // are); addresses spread so the SRAM model sees distinct words.
+        for s in 0..count as u64 {
+            ops.push(MemOp {
+                addr: (task as u64 * 64 + s) * 8 % (1 << 20),
+                bytes: 8,
+                write,
+                space: Space::Sram,
+            });
+        }
+        cost
+    }
+}
+
+/// A trivially materialized task model, convenient for tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecTaskModel {
+    /// Per-task operation lists.
+    pub tasks: Vec<(Vec<MemOp>, TaskCost)>,
+}
+
+impl VecTaskModel {
+    /// Add a task; returns its id.
+    pub fn push(&mut self, ops: Vec<MemOp>, cost: TaskCost) -> TaskId {
+        self.tasks.push((ops, cost));
+        self.tasks.len() - 1
+    }
+}
+
+impl TaskModel for VecTaskModel {
+    fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn emit(&self, task: TaskId, ops: &mut Vec<MemOp>) -> TaskCost {
+        let (o, c) = &self.tasks[task];
+        ops.extend_from_slice(o);
+        *c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memop_constructors() {
+        let l = MemOp::dram_load(256, 16);
+        assert!(!l.write);
+        assert_eq!(l.space, Space::Dram);
+        let s = MemOp::dram_store(0, 16);
+        assert!(s.write);
+        let m = MemOp::sram(4, 8, true);
+        assert_eq!(m.space, Space::Sram);
+    }
+
+    #[test]
+    fn sync_overlay_charges_by_protocol() {
+        use codelet::graph::ExplicitGraph;
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let mut m = VecTaskModel::default();
+        for _ in 0..3 {
+            m.push(vec![MemOp::dram_load(0, 16)], TaskCost::default());
+        }
+        let si = SyncOverlay::sender_initiated(&m, &g);
+        assert_eq!(si.total_sync_ops(), 2, "one signal per child edge");
+        let ri = SyncOverlay::receiver_initiated(&m, &g);
+        assert_eq!(ri.total_sync_ops(), 4, "request+reply per dependency");
+        let mut ops = Vec::new();
+        si.emit(0, &mut ops);
+        assert_eq!(ops.len(), 2, "inner op + 1 sync write");
+        assert!(ops[1].write && ops[1].space == Space::Sram);
+        ops.clear();
+        ri.emit(2, &mut ops);
+        assert_eq!(ops.len(), 1 + 4);
+        assert!(!ops[2].write);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn sync_overlay_checks_sizes() {
+        use codelet::graph::ExplicitGraph;
+        let g = ExplicitGraph::new(2);
+        let m = VecTaskModel::default();
+        SyncOverlay::sender_initiated(&m, &g);
+    }
+
+    #[test]
+    fn vec_model_roundtrip() {
+        let mut m = VecTaskModel::default();
+        let id = m.push(
+            vec![MemOp::dram_load(0, 64)],
+            TaskCost {
+                flops: 10,
+                extra_cycles: 3,
+            },
+        );
+        assert_eq!(id, 0);
+        assert_eq!(m.num_tasks(), 1);
+        let mut ops = Vec::new();
+        let cost = m.emit(0, &mut ops);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(cost.flops, 10);
+        assert_eq!(cost.extra_cycles, 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! The codelet **abstract machine model** (AMM).
+//!
+//! The codelet PXM is defined against an abstract machine: compute *nodes*
+//! joined by an interconnect; each node holds one or more many-core *chips*;
+//! each chip is a set of *clusters*; each cluster contains *compute units*
+//! (CUs) that execute codelets and at least one *synchronization unit* (SU)
+//! that schedules codelets and handles off-cluster requests. Every level of
+//! the hierarchy can expose a memory pool shared by the components below it.
+//!
+//! The model here is descriptive: it does not execute anything itself, but
+//! the Cyclops-64 simulator builds its topology from an `AbstractMachine`,
+//! and schedulers can interrogate it (e.g. "how many CUs share this memory
+//! level?") when making placement decisions.
+
+/// A memory pool attached to one level of the machine hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryLevel {
+    /// Human-readable name ("scratchpad", "SRAM", "DRAM", ...).
+    pub name: String,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Aggregate bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Access latency in nanoseconds (unloaded).
+    pub latency_ns: u64,
+}
+
+impl MemoryLevel {
+    /// Convenience constructor.
+    pub fn new(name: &str, capacity_bytes: u64, bandwidth_bytes_per_sec: u64, latency_ns: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            capacity_bytes,
+            bandwidth_bytes_per_sec,
+            latency_ns,
+        }
+    }
+}
+
+/// A cluster: CUs + SUs + optional cluster memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Compute units dedicated to firing codelets.
+    pub compute_units: u32,
+    /// Synchronization units handling scheduling and off-cluster requests.
+    pub sync_units: u32,
+    /// Codelet contexts each CU can hold (≥ 1).
+    pub contexts_per_cu: u32,
+    /// Memory private to each CU (e.g. scratchpad), if any.
+    pub cu_memory: Option<MemoryLevel>,
+    /// Memory shared by the cluster, if any.
+    pub cluster_memory: Option<MemoryLevel>,
+}
+
+/// A chip: a set of identical clusters plus chip-level memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chip {
+    /// Number of clusters.
+    pub clusters: u32,
+    /// Description of each (homogeneous) cluster.
+    pub cluster: Cluster,
+    /// Memory shared by the whole chip (e.g. on-chip SRAM).
+    pub chip_memory: Option<MemoryLevel>,
+    /// Clock frequency in Hz.
+    pub frequency_hz: u64,
+}
+
+/// A node: chips plus node-level memory (e.g. off-chip DRAM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Number of chips.
+    pub chips: u32,
+    /// Description of each (homogeneous) chip.
+    pub chip: Chip,
+    /// Node memory (off-chip DRAM).
+    pub node_memory: Option<MemoryLevel>,
+}
+
+/// A whole abstract machine: nodes over an interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbstractMachine {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Description of each (homogeneous) node.
+    pub node: Node,
+}
+
+impl AbstractMachine {
+    /// Total number of compute units in the machine.
+    pub fn total_compute_units(&self) -> u64 {
+        self.nodes as u64
+            * self.node.chips as u64
+            * self.node.chip.clusters as u64
+            * self.node.chip.cluster.compute_units as u64
+    }
+
+    /// Total number of synchronization units in the machine.
+    pub fn total_sync_units(&self) -> u64 {
+        self.nodes as u64
+            * self.node.chips as u64
+            * self.node.chip.clusters as u64
+            * self.node.chip.cluster.sync_units as u64
+    }
+
+    /// Total codelet contexts (max codelets resident at once).
+    pub fn total_contexts(&self) -> u64 {
+        self.total_compute_units() * self.node.chip.cluster.contexts_per_cu as u64
+    }
+
+    /// The memory levels visible to a CU, innermost first.
+    pub fn memory_hierarchy(&self) -> Vec<&MemoryLevel> {
+        let mut levels = Vec::new();
+        if let Some(m) = &self.node.chip.cluster.cu_memory {
+            levels.push(m);
+        }
+        if let Some(m) = &self.node.chip.cluster.cluster_memory {
+            levels.push(m);
+        }
+        if let Some(m) = &self.node.chip.chip_memory {
+            levels.push(m);
+        }
+        if let Some(m) = &self.node.node_memory {
+            levels.push(m);
+        }
+        levels
+    }
+
+    /// The single-node IBM Cyclops-64 machine of the paper, expressed in the
+    /// AMM: 160 thread units (80 FPU-sharing pairs modeled as 80 clusters of
+    /// 2 CUs), ~30 kB banked on-chip memory per TU split into SRAM and
+    /// scratchpad, 1 GB off-chip DRAM behind 4 ports at 16 GB/s aggregate.
+    pub fn cyclops64() -> Self {
+        let scratchpad = MemoryLevel::new("scratchpad", 15 * 1024, 640_000_000_000, 4);
+        let sram = MemoryLevel::new("SRAM", 2_500_000, 320_000_000_000, 62);
+        let dram = MemoryLevel::new("DRAM", 1 << 30, 16_000_000_000, 114);
+        AbstractMachine {
+            nodes: 1,
+            node: Node {
+                chips: 1,
+                chip: Chip {
+                    clusters: 80,
+                    cluster: Cluster {
+                        compute_units: 2,
+                        sync_units: 1,
+                        contexts_per_cu: 1,
+                        cu_memory: Some(scratchpad),
+                        cluster_memory: None,
+                    },
+                    chip_memory: Some(sram),
+                    frequency_hz: 500_000_000,
+                },
+                node_memory: Some(dram),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclops64_has_160_thread_units() {
+        let m = AbstractMachine::cyclops64();
+        assert_eq!(m.total_compute_units(), 160);
+    }
+
+    #[test]
+    fn cyclops64_has_80_sync_units() {
+        let m = AbstractMachine::cyclops64();
+        assert_eq!(m.total_sync_units(), 80);
+    }
+
+    #[test]
+    fn cyclops64_contexts_match_cus() {
+        let m = AbstractMachine::cyclops64();
+        assert_eq!(m.total_contexts(), 160);
+    }
+
+    #[test]
+    fn cyclops64_memory_hierarchy_order() {
+        let m = AbstractMachine::cyclops64();
+        let names: Vec<&str> = m.memory_hierarchy().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["scratchpad", "SRAM", "DRAM"]);
+    }
+
+    #[test]
+    fn cyclops64_dram_is_slowest_level() {
+        let m = AbstractMachine::cyclops64();
+        let h = m.memory_hierarchy();
+        let bw: Vec<u64> = h.iter().map(|l| l.bandwidth_bytes_per_sec).collect();
+        assert!(bw.windows(2).all(|w| w[0] >= w[1]), "bandwidth must not increase outward");
+    }
+
+    #[test]
+    fn multi_node_machine_scales_counts() {
+        let mut m = AbstractMachine::cyclops64();
+        m.nodes = 4;
+        assert_eq!(m.total_compute_units(), 640);
+    }
+
+    #[test]
+    fn machine_without_memories_has_empty_hierarchy() {
+        let m = AbstractMachine {
+            nodes: 1,
+            node: Node {
+                chips: 1,
+                chip: Chip {
+                    clusters: 1,
+                    cluster: Cluster {
+                        compute_units: 4,
+                        sync_units: 1,
+                        contexts_per_cu: 2,
+                        cu_memory: None,
+                        cluster_memory: None,
+                    },
+                    chip_memory: None,
+                    frequency_hz: 1_000_000_000,
+                },
+                node_memory: None,
+            },
+        };
+        assert!(m.memory_hierarchy().is_empty());
+        assert_eq!(m.total_contexts(), 8);
+    }
+}

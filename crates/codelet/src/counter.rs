@@ -1,0 +1,299 @@
+//! Synchronization slots: the dependence-counting machinery of the codelet
+//! model.
+//!
+//! Every codelet owns (or shares) a *synchronization slot* that counts
+//! satisfied dependencies. A completing codelet *signals* each of its
+//! dependents' slots; the signal that makes a slot reach its threshold
+//! *enables* the dependent(s). All updates use atomic read-modify-write with
+//! acquire/release ordering so that the memory effects of every parent
+//! codelet are visible to the child when it fires — this is what makes the
+//! in-place FFT safe without locks.
+
+use crate::graph::{CodeletId, CodeletProgram, SharedGroup};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A single synchronization slot.
+///
+/// The slot counts *up* from zero toward a threshold fixed at arming time.
+#[derive(Debug)]
+pub struct SyncSlot {
+    count: AtomicU32,
+    threshold: u32,
+}
+
+impl SyncSlot {
+    /// Create a slot that fires after `threshold` signals. A threshold of 0
+    /// means the guarded codelet is ready immediately (it is the caller's job
+    /// to seed such codelets; `signal` must never be called on it).
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            count: AtomicU32::new(0),
+            threshold,
+        }
+    }
+
+    /// Deliver one signal. Returns `true` iff this signal made the slot reach
+    /// its threshold — exactly one caller observes `true`.
+    ///
+    /// `Release` on the increment publishes the signalling codelet's writes;
+    /// the winning caller performs an `Acquire` fence so the enabled
+    /// codelet(s) observe *all* parents' writes, not just the last one.
+    #[inline]
+    pub fn signal(&self) -> bool {
+        let prev = self.count.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(
+            prev < self.threshold,
+            "sync slot over-signalled: {} >= {}",
+            prev + 1,
+            self.threshold
+        );
+        prev + 1 == self.threshold
+    }
+
+    /// Current count (test/diagnostic use).
+    pub fn count(&self) -> u32 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// The firing threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Reset the slot for reuse (e.g. the guided algorithm re-arms counters
+    /// between its two phases). Must not race with `signal`.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Release);
+    }
+}
+
+/// Per-codelet private dependence counters for a whole program.
+#[derive(Debug)]
+pub struct DepCounters {
+    slots: Vec<SyncSlot>,
+}
+
+impl DepCounters {
+    /// Build one slot per codelet from the program's dependence counts.
+    pub fn for_program<P: CodeletProgram + ?Sized>(program: &P) -> Self {
+        let slots = (0..program.num_codelets())
+            .map(|c| SyncSlot::new(program.dep_count(c)))
+            .collect();
+        Self { slots }
+    }
+
+    /// Signal codelet `child`; returns `true` when `child` becomes ready.
+    #[inline]
+    pub fn signal(&self, child: CodeletId) -> bool {
+        self.slots[child].signal()
+    }
+
+    /// Access a slot (diagnostics).
+    pub fn slot(&self, id: CodeletId) -> &SyncSlot {
+        &self.slots[id]
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the program has no codelets.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Re-arm every slot.
+    pub fn reset(&self) {
+        for s in &self.slots {
+            s.reset();
+        }
+    }
+}
+
+/// Shared-counter groups: the paper's Sec. IV-A2 storage/traffic optimization.
+///
+/// In the 64-point FFT, every 64 children codelets share the same 64 parents,
+/// so instead of 64 counters each counting to 64 (4096 atomic increments per
+/// group), the group shares **one** slot counting to 64 (64 increments); when
+/// it fires, all 64 members become ready at once. `SharedCounters` stores one
+/// slot per group and answers "which codelets became ready?".
+#[derive(Debug)]
+pub struct SharedCounters {
+    slots: Vec<SyncSlot>,
+}
+
+impl SharedCounters {
+    /// Build group slots from the program's shared-group map. Panics if the
+    /// program maps two codelets of one group to different targets.
+    pub fn for_program<P: CodeletProgram + ?Sized>(program: &P) -> Self {
+        let mut targets: Vec<Option<u32>> = vec![None; program.num_shared_groups()];
+        for c in 0..program.num_codelets() {
+            if let Some(SharedGroup { group, target }) = program.shared_group(c) {
+                match targets[group] {
+                    None => targets[group] = Some(target),
+                    Some(t) => assert_eq!(
+                        t, target,
+                        "codelet {c} disagrees on target of shared group {group}"
+                    ),
+                }
+            }
+        }
+        let slots = targets
+            .into_iter()
+            .map(|t| SyncSlot::new(t.unwrap_or(0)))
+            .collect();
+        Self { slots }
+    }
+
+    /// Signal group `group` once. Returns `true` when the group fires.
+    #[inline]
+    pub fn signal(&self, group: usize) -> bool {
+        self.slots[group].signal()
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Access a group slot.
+    pub fn slot(&self, group: usize) -> &SyncSlot {
+        &self.slots[group]
+    }
+
+    /// Re-arm every group slot.
+    pub fn reset(&self) {
+        for s in &self.slots {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ExplicitGraph;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn slot_fires_exactly_once() {
+        let s = SyncSlot::new(3);
+        assert!(!s.signal());
+        assert!(!s.signal());
+        assert!(s.signal());
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.threshold(), 3);
+    }
+
+    #[test]
+    fn slot_reset_rearms() {
+        let s = SyncSlot::new(2);
+        assert!(!s.signal());
+        assert!(s.signal());
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert!(!s.signal());
+        assert!(s.signal());
+    }
+
+    #[test]
+    fn concurrent_signals_exactly_one_winner() {
+        for _ in 0..50 {
+            let s = Arc::new(SyncSlot::new(8));
+            let winners: Vec<bool> = thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let s = Arc::clone(&s);
+                        scope.spawn(move || s.signal())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(winners.iter().filter(|&&w| w).count(), 1);
+        }
+    }
+
+    #[test]
+    fn dep_counters_match_program() {
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        let c = DepCounters::for_program(&g);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.slot(2).threshold(), 2);
+        assert!(!c.signal(2));
+        assert!(c.signal(2));
+    }
+
+    #[test]
+    fn dep_counters_reset() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(0, 1);
+        let c = DepCounters::for_program(&g);
+        assert!(c.signal(1));
+        c.reset();
+        assert!(c.signal(1));
+    }
+
+    struct SharedProg;
+    impl CodeletProgram for SharedProg {
+        fn num_codelets(&self) -> usize {
+            8
+        }
+        fn dep_count(&self, id: CodeletId) -> u32 {
+            if id < 4 {
+                0
+            } else {
+                4
+            }
+        }
+        fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+            if id < 4 {
+                out.extend(4..8);
+            }
+        }
+        fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+            (id >= 4).then_some(SharedGroup {
+                group: 0,
+                target: 4,
+            })
+        }
+        fn num_shared_groups(&self) -> usize {
+            1
+        }
+        fn shared_group_members(&self, _group: usize, out: &mut Vec<CodeletId>) {
+            out.extend(4..8);
+        }
+    }
+
+    #[test]
+    fn shared_counters_fire_group_once() {
+        let sc = SharedCounters::for_program(&SharedProg);
+        assert_eq!(sc.len(), 1);
+        assert!(!sc.is_empty());
+        assert_eq!(sc.slot(0).threshold(), 4);
+        assert!(!sc.signal(0));
+        assert!(!sc.signal(0));
+        assert!(!sc.signal(0));
+        assert!(sc.signal(0));
+    }
+
+    #[test]
+    fn shared_counters_reset() {
+        let sc = SharedCounters::for_program(&SharedProg);
+        for _ in 0..3 {
+            sc.signal(0);
+        }
+        assert!(sc.signal(0));
+        sc.reset();
+        assert_eq!(sc.slot(0).count(), 0);
+    }
+}

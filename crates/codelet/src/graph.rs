@@ -1,0 +1,377 @@
+//! Codelet graph descriptions.
+//!
+//! The codelet model groups codelets into *codelet graphs* (CDGs). A CDG may
+//! be given **explicitly** (every node and arc materialized, see
+//! [`ExplicitGraph`]) or **implicitly** (arcs computed by formula, see
+//! [`CodeletProgram`]); the FFT programs of the paper are implicit — the
+//! parent/child relation of a stage-`j` codelet is closed-form index algebra,
+//! so materializing the arcs would waste memory and bandwidth.
+
+/// Identifier of a codelet within one program: a dense index in
+/// `0..program.num_codelets()`.
+pub type CodeletId = usize;
+
+/// An implicitly-described codelet graph plus the work each codelet performs.
+///
+/// This is the interface consumed by [`crate::runtime::Runtime`] (host
+/// execution) and by the Cyclops-64 simulator (simulated execution). The
+/// graph must be **well-behaved**: acyclic, with `dep_count(c)` equal to the
+/// number of distinct codelets that list `c` among their dependents. Under
+/// that contract execution is *determinate* regardless of firing order.
+pub trait CodeletProgram: Sync {
+    /// Total number of codelets in the graph.
+    fn num_codelets(&self) -> usize;
+
+    /// Number of dependencies codelet `id` must see satisfied before it can
+    /// fire. Codelets with `dep_count == 0` are ready at program start.
+    fn dep_count(&self, id: CodeletId) -> u32;
+
+    /// Append the dependents (children) of `id` to `out`. `out` is a scratch
+    /// buffer owned by the calling worker; implementations must not assume it
+    /// is empty-capacity and should only `push`.
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>);
+
+    /// The codelets that are ready at program start, in the order they should
+    /// be seeded into the ready pool. The default scans every codelet for a
+    /// zero dependence count; programs with structure (e.g. "all of stage 0")
+    /// should override this.
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        (0..self.num_codelets())
+            .filter(|&c| self.dep_count(c) == 0)
+            .collect()
+    }
+
+    /// Optional *shared-counter group* of a codelet, the paper's Sec. IV-A2
+    /// optimization: codelets mapped to the same `(group, target)` share one
+    /// synchronization slot — when the shared slot reaches `target`, **all**
+    /// members of the group become ready simultaneously. Return `None` to use
+    /// a private counter (the default).
+    fn shared_group(&self, _id: CodeletId) -> Option<SharedGroup> {
+        None
+    }
+
+    /// Number of shared-counter groups (upper bound on `SharedGroup::group`).
+    fn num_shared_groups(&self) -> usize {
+        0
+    }
+
+    /// Members of shared-counter group `group`. Must be consistent with
+    /// [`CodeletProgram::shared_group`]. Only called when shared groups are
+    /// in use.
+    fn shared_group_members(&self, _group: usize, _out: &mut Vec<CodeletId>) {}
+}
+
+/// Identifies the shared synchronization slot of a codelet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SharedGroup {
+    /// Dense group index in `0..num_shared_groups()`.
+    pub group: usize,
+    /// Count the slot must reach for the whole group to fire.
+    pub target: u32,
+}
+
+/// A small, explicitly materialized codelet DAG. Useful for tests, for
+/// irregular graphs, and as a reference implementation of the
+/// [`CodeletProgram`] contract.
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitGraph {
+    children: Vec<Vec<CodeletId>>,
+    dep_counts: Vec<u32>,
+}
+
+impl ExplicitGraph {
+    /// Create a graph with `n` codelets and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self {
+            children: vec![Vec::new(); n],
+            dep_counts: vec![0; n],
+        }
+    }
+
+    /// Number of codelets.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the graph has no codelets.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Add a dependence arc `from -> to` (codelet `to` cannot fire before
+    /// `from` completes). Parallel arcs are allowed and each counts as one
+    /// dependency, mirroring dataflow token semantics.
+    pub fn add_edge(&mut self, from: CodeletId, to: CodeletId) {
+        assert!(from < self.len() && to < self.len(), "edge out of range");
+        self.children[from].push(to);
+        self.dep_counts[to] += 1;
+    }
+
+    /// Append a new codelet, returning its id.
+    pub fn add_codelet(&mut self) -> CodeletId {
+        self.children.push(Vec::new());
+        self.dep_counts.push(0);
+        self.children.len() - 1
+    }
+
+    /// Children of `id`.
+    pub fn children(&self, id: CodeletId) -> &[CodeletId] {
+        &self.children[id]
+    }
+
+    /// Check well-behavedness: the graph must be acyclic. Returns a
+    /// topological order if so, `None` when a cycle exists (a *structural
+    /// deadlock* in codelet-model terms: the program would hang).
+    pub fn topological_order(&self) -> Option<Vec<CodeletId>> {
+        let n = self.len();
+        let mut indegree = self.dep_counts.clone();
+        let mut order = Vec::with_capacity(n);
+        let mut frontier: Vec<CodeletId> = (0..n).filter(|&c| indegree[c] == 0).collect();
+        while let Some(c) = frontier.pop() {
+            order.push(c);
+            for &child in &self.children[c] {
+                indegree[child] -= 1;
+                if indegree[child] == 0 {
+                    frontier.push(child);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Longest path length (in arcs) through the DAG — the *critical path*,
+    /// i.e. the minimum number of sequential firing steps any schedule needs.
+    /// Returns `None` for cyclic graphs.
+    pub fn critical_path_len(&self) -> Option<usize> {
+        let order = self.topological_order()?;
+        let mut depth = vec![0usize; self.len()];
+        let mut longest = 0;
+        for &c in &order {
+            for &child in &self.children[c] {
+                depth[child] = depth[child].max(depth[c] + 1);
+                longest = longest.max(depth[child]);
+            }
+        }
+        Some(longest)
+    }
+}
+
+impl CodeletProgram for ExplicitGraph {
+    fn num_codelets(&self) -> usize {
+        self.len()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.dep_counts[id]
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        out.extend_from_slice(&self.children[id]);
+    }
+}
+
+/// Adapter that hides a program's shared-counter groups, forcing private
+/// per-codelet dependence counters. Used by the shared-counter ablation
+/// (paper Sec. IV-A2 claims sharing reduces synchronization overhead; this
+/// adapter lets the same program run both ways).
+#[derive(Debug, Clone, Copy)]
+pub struct WithoutSharedGroups<P>(pub P);
+
+impl<P: CodeletProgram> CodeletProgram for WithoutSharedGroups<P> {
+    fn num_codelets(&self) -> usize {
+        self.0.num_codelets()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.0.dep_count(id)
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        self.0.dependents(id, out);
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.0.initial_ready()
+    }
+}
+
+/// Sequential reference executor: fires codelets in dataflow order, one at a
+/// time, using a caller-supplied tie-break (`pop` from the end = LIFO).
+/// Returns the firing order. This is the semantic yardstick the parallel
+/// runtime is tested against.
+pub fn execute_sequential<P: CodeletProgram + ?Sized>(
+    program: &P,
+    mut body: impl FnMut(CodeletId),
+) -> Vec<CodeletId> {
+    let n = program.num_codelets();
+    let mut remaining: Vec<u32> = (0..n).map(|c| program.dep_count(c)).collect();
+    let mut ready = program.initial_ready();
+    let mut fired = Vec::with_capacity(n);
+    let mut scratch = Vec::new();
+    while let Some(c) = ready.pop() {
+        body(c);
+        fired.push(c);
+        scratch.clear();
+        program.dependents(c, &mut scratch);
+        for &child in &scratch {
+            remaining[child] -= 1;
+            if remaining[child] == 0 {
+                ready.push(child);
+            }
+        }
+    }
+    assert_eq!(
+        fired.len(),
+        n,
+        "codelet graph is not well-behaved: {} of {} codelets never fired (structural deadlock)",
+        n - fired.len(),
+        n
+    );
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> ExplicitGraph {
+        let mut g = ExplicitGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn diamond_dep_counts() {
+        let g = diamond();
+        assert_eq!(g.dep_count(0), 0);
+        assert_eq!(g.dep_count(1), 1);
+        assert_eq!(g.dep_count(2), 1);
+        assert_eq!(g.dep_count(3), 2);
+    }
+
+    #[test]
+    fn diamond_initial_ready() {
+        let g = diamond();
+        assert_eq!(g.initial_ready(), vec![0]);
+    }
+
+    #[test]
+    fn diamond_topological_order_is_valid() {
+        let g = diamond();
+        let order = g.topological_order().expect("acyclic");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &c) in order.iter().enumerate() {
+                p[c] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.topological_order().is_none());
+        assert!(g.critical_path_len().is_none());
+    }
+
+    #[test]
+    fn critical_path_of_diamond_is_two() {
+        assert_eq!(diamond().critical_path_len(), Some(2));
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut g = ExplicitGraph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(g.critical_path_len(), Some(4));
+    }
+
+    #[test]
+    fn sequential_execution_respects_dependencies() {
+        let g = diamond();
+        let order = execute_sequential(&g, |_| {});
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "structural deadlock")]
+    fn sequential_execution_panics_on_cycle() {
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        execute_sequential(&g, |_| {});
+    }
+
+    #[test]
+    fn parallel_arcs_count_twice() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.dep_count(1), 2);
+        // Still executes: completing codelet 0 delivers both tokens.
+        let order = execute_sequential(&g, |_| {});
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn add_codelet_grows_graph() {
+        let mut g = ExplicitGraph::new(1);
+        let c = g.add_codelet();
+        assert_eq!(c, 1);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn without_shared_groups_hides_groups() {
+        struct P;
+        impl CodeletProgram for P {
+            fn num_codelets(&self) -> usize {
+                4
+            }
+            fn dep_count(&self, id: CodeletId) -> u32 {
+                (id >= 2) as u32 * 2
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                if id < 2 {
+                    out.extend([2, 3]);
+                }
+            }
+            fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+                (id >= 2).then_some(SharedGroup { group: 0, target: 2 })
+            }
+            fn num_shared_groups(&self) -> usize {
+                1
+            }
+        }
+        let wrapped = WithoutSharedGroups(P);
+        assert_eq!(wrapped.num_codelets(), 4);
+        assert_eq!(wrapped.dep_count(3), 2);
+        assert_eq!(wrapped.num_shared_groups(), 0);
+        assert!(wrapped.shared_group(3).is_none());
+        // Still executes to completion on private counters.
+        let order = execute_sequential(&wrapped, |_| {});
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn empty_graph_executes_nothing() {
+        let g = ExplicitGraph::new(0);
+        assert!(g.is_empty());
+        let order = execute_sequential(&g, |_| {});
+        assert!(order.is_empty());
+    }
+}

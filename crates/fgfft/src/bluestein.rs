@@ -1,0 +1,174 @@
+//! Bluestein's algorithm (chirp-z): DFTs of **arbitrary** length on top of
+//! the power-of-two codelet FFT.
+//!
+//! `X[k] = Σ_j x[j]·e^{−2πijk/N}` with `jk = (j² + k² − (k−j)²)/2` turns
+//! the DFT into a convolution of the *chirped* input `a[j] = x[j]·w^{j²}`
+//! with the chirp kernel `b[j] = w^{−j²}` (`w = e^{−πi/N}`), which is
+//! evaluated with three power-of-two FFTs of length ≥ 2N−1. This closes
+//! the library's only size restriction: every other entry point needs a
+//! power of two.
+
+use crate::api::Fft;
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Forward DFT of arbitrary length via Bluestein's algorithm.
+/// O(N log N) for any `N ≥ 1`.
+///
+/// ```
+/// use fgfft::Complex64;
+/// // A 7-point impulse: flat spectrum.
+/// let mut x = vec![Complex64::ZERO; 7];
+/// x[0] = Complex64::ONE;
+/// let y = fgfft::dft(&x);
+/// assert!(y.iter().all(|v| v.dist(Complex64::ONE) < 1e-10));
+/// ```
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    dft_with(input, &Fft::new())
+}
+
+/// As [`dft`] with an explicit engine for the internal FFTs.
+pub fn dft_with(input: &[Complex64], engine: &Fft) -> Vec<Complex64> {
+    let n = input.len();
+    assert!(n >= 1, "empty input");
+    if n == 1 {
+        return input.to_vec();
+    }
+    if n.is_power_of_two() {
+        let mut out = input.to_vec();
+        engine.forward(&mut out);
+        return out;
+    }
+
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp: w^{j²} with w = e^{−πi/N}. j² mod 2N keeps angles exact for
+    // large j (e^{−πi·j²/N} has period 2N in j²).
+    let chirp = |j: usize| -> Complex64 {
+        let sq = ((j as u128 * j as u128) % (2 * n as u128)) as f64;
+        Complex64::expi(-PI * sq / n as f64)
+    };
+
+    // a = x·chirp, zero-padded.
+    let mut a = vec![Complex64::ZERO; m];
+    for (j, &x) in input.iter().enumerate() {
+        a[j] = x * chirp(j);
+    }
+    // b = conj-chirp kernel, wrapped circularly so that the circular
+    // convolution at lags 0..N equals the linear chirp sum.
+    let mut b = vec![Complex64::ZERO; m];
+    for j in 0..n {
+        let v = chirp(j).conj();
+        b[j] = v;
+        if j != 0 {
+            b[m - j] = v;
+        }
+    }
+
+    engine.forward(&mut a);
+    engine.forward(&mut b);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    engine.inverse(&mut a);
+
+    (0..n).map(|k| a[k] * chirp(k)).collect()
+}
+
+/// Inverse DFT of arbitrary length (normalized by 1/N).
+pub fn idft(input: &[Complex64]) -> Vec<Complex64> {
+    idft_with(input, &Fft::new())
+}
+
+/// As [`idft`] with an explicit engine.
+pub fn idft_with(input: &[Complex64], engine: &Fft) -> Vec<Complex64> {
+    let n = input.len();
+    let conj: Vec<Complex64> = input.iter().map(|v| v.conj()).collect();
+    let mut out = dft_with(&conj, engine);
+    let scale = 1.0 / n as f64;
+    for v in &mut out {
+        *v = v.conj().scale(scale);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+    use crate::reference::{naive_dft, naive_idft};
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.47).sin(), (i as f64 * 0.21).cos() * 0.6))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_sizes() {
+        for n in [1usize, 2, 3, 5, 7, 12, 17, 100, 241, 1000] {
+            let x = signal(n);
+            let got = dft(&x);
+            let expect = naive_dft(&x);
+            let err = rms_error(&got, &expect);
+            assert!(err < 1e-8 * (n as f64).max(1.0), "n={n}: rms {err}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_path_still_works() {
+        let x = signal(64);
+        let got = dft(&x);
+        let expect = naive_dft(&x);
+        assert!(rms_error(&got, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn idft_inverts_dft_any_size() {
+        for n in [3usize, 10, 97, 300] {
+            let x = signal(n);
+            let back = idft(&dft(&x));
+            assert!(rms_error(&back, &x) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn idft_matches_naive() {
+        let x = signal(29);
+        let got = idft(&x);
+        let expect = naive_idft(&x);
+        assert!(rms_error(&got, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn prime_length_tone_detection() {
+        // A pure tone at bin k0 of a prime-length DFT.
+        let n = 101;
+        let k0 = 17;
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::expi(2.0 * PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        let y = dft(&x);
+        assert!(y[k0].dist(Complex64::new(n as f64, 0.0)) < 1e-7);
+        for (k, v) in y.iter().enumerate() {
+            if k != k0 {
+                assert!(v.abs() < 1e-7, "leak at {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn large_prime_is_stable() {
+        // Angles stay exact via the j² mod 2N reduction.
+        let n = 4099; // prime
+        let x = signal(n);
+        let y = dft(&x);
+        let back = idft(&y);
+        assert!(rms_error(&back, &x) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input")]
+    fn rejects_empty() {
+        dft(&[]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Double-precision complex arithmetic.
+//!
+//! The FFT works on `Complex64` values (16 bytes — the unit the C64 DRAM
+//! interleave packs four of into one 64-byte stripe). A tiny bespoke type is
+//! used instead of an external crate: the kernels only need add, sub, mul,
+//! conjugation and `e^{iθ}`, and keeping the type local guarantees a
+//! `#[repr(C)]` 16-byte layout that address-level reasoning in the simulator
+//! can rely on.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number, laid out as `[re, im]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Size of one element in bytes — 4 of these fill one 64-byte DRAM stripe.
+pub const ELEM_BYTES: u64 = 16;
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn expi(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Distance to another value (for approximate comparisons in tests).
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    fn from((re, im): (f64, f64)) -> Self {
+        Self { re, im }
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Root-mean-square distance between two complex slices — the oracle metric
+/// used throughout the test suite.
+pub fn rms_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).norm_sqr())
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Complex64>(), 16);
+        assert_eq!(std::mem::align_of::<Complex64>(), 8);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(3.0, -2.0);
+        let b = Complex64::new(-1.0, 4.0);
+        assert_eq!(a + b, Complex64::new(2.0, 2.0));
+        assert_eq!(a - b, Complex64::new(4.0, -6.0));
+        assert_eq!(a * Complex64::ONE, a);
+        assert_eq!(a + Complex64::ZERO, a);
+        assert_eq!(-a, Complex64::new(-3.0, 2.0));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+        assert_eq!(a * b, Complex64::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn expi_on_unit_circle() {
+        use std::f64::consts::PI;
+        let w = Complex64::expi(PI / 2.0);
+        assert!(w.dist(Complex64::I) < 1e-15);
+        let w = Complex64::expi(PI);
+        assert!(w.dist(Complex64::new(-1.0, 0.0)) < 1e-15);
+        assert!((Complex64::expi(0.7).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        // z * conj(z) = |z|^2
+        let p = a * a.conj();
+        assert!(p.dist(Complex64::new(25.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Complex64::new(1.0, 1.0);
+        a += Complex64::new(1.0, 0.0);
+        a -= Complex64::new(0.0, 1.0);
+        a *= Complex64::new(2.0, 0.0);
+        assert_eq!(a, Complex64::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Complex64::from(2.5), Complex64::new(2.5, 0.0));
+        assert_eq!(Complex64::from((1.0, -1.0)), Complex64::new(1.0, -1.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn rms_error_basics() {
+        let a = vec![Complex64::ONE, Complex64::I];
+        assert_eq!(rms_error(&a, &a), 0.0);
+        let b = vec![Complex64::ZERO, Complex64::I];
+        assert!((rms_error(&a, &b) - (0.5f64).sqrt()).abs() < 1e-15);
+        assert_eq!(rms_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rms_error_length_mismatch_panics() {
+        rms_error(&[Complex64::ZERO], &[]);
+    }
+}

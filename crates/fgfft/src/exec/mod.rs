@@ -1,0 +1,408 @@
+//! Host-parallel FFT executors: the paper's five algorithm versions running
+//! natively on the machine you are on, through the `codelet` runtime.
+//!
+//! | version | synchronization | twiddle layout |
+//! |---------|-----------------|----------------|
+//! | [`Version::Coarse`]     | barrier per stage (Alg. 1) | linear |
+//! | [`Version::CoarseHash`] | barrier per stage | bit-reversal hashed |
+//! | [`Version::Fine`]       | dataflow counters (Alg. 2) | linear |
+//! | [`Version::FineHash`]   | dataflow counters | bit-reversal hashed |
+//! | [`Version::FineGuided`] | two dataflow phases + 1 barrier (Alg. 3) | linear |
+//!
+//! All versions compute identical results (the codelet graph is
+//! well-behaved, hence determinate); they differ in scheduling and in the
+//! twiddle table's memory layout. On commodity hosts the layout has only
+//! cache effects — the Cyclops-64 *bank* effects are reproduced by the
+//! simulator workloads in [`crate::simwork`].
+
+pub mod shared;
+
+use crate::bitrev::bit_reverse_permute_parallel;
+use crate::complex::Complex64;
+use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
+use crate::plan::FftPlan;
+use crate::twiddle::{TwiddleLayout, TwiddleTable};
+use codelet::pool::PoolDiscipline;
+use codelet::runtime::{Runtime, RuntimeConfig};
+use codelet::stats::RunStats;
+use shared::{execute_codelet_shared, SharedData};
+use std::time::{Duration, Instant};
+
+/// Initial ordering of the ready codelets in the pool. The paper observes
+/// ("fine worst" vs "fine best") that this order alone swings performance;
+/// these generators cover the orders the harness sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedOrder {
+    /// Ids ascending — with a LIFO pool, execution starts from the *last*
+    /// codelet.
+    Natural,
+    /// Ids descending.
+    Reversed,
+    /// All even positions, then all odd positions — a de-clustered order.
+    EvenOdd,
+    /// Deterministic pseudo-random shuffle of the given seed.
+    Random(u64),
+}
+
+impl SeedOrder {
+    /// Produce the permutation of `0..count`.
+    pub fn order(&self, count: usize) -> Vec<usize> {
+        match *self {
+            SeedOrder::Natural => (0..count).collect(),
+            SeedOrder::Reversed => (0..count).rev().collect(),
+            SeedOrder::EvenOdd => (0..count)
+                .step_by(2)
+                .chain((1..count).step_by(2))
+                .collect(),
+            SeedOrder::Random(seed) => {
+                let mut v: Vec<usize> = (0..count).collect();
+                // splitmix64-driven Fisher-Yates: deterministic, seedable,
+                // no external dependency.
+                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut next = || {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                for i in (1..v.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    v.swap(i, j);
+                }
+                v
+            }
+        }
+    }
+}
+
+/// The algorithm versions of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// Coarse-grain synchronization: a barrier after every stage.
+    Coarse,
+    /// Coarse-grain with the hashed twiddle-factor layout.
+    CoarseHash,
+    /// Fine-grain dataflow with the given initial pool order.
+    Fine(SeedOrder),
+    /// Fine-grain with the hashed twiddle layout.
+    FineHash(SeedOrder),
+    /// Guided fine-grain: early stages, barrier, last two stages seeded in
+    /// child-sharing-group order.
+    FineGuided,
+}
+
+impl Version {
+    /// The twiddle layout this version uses.
+    pub fn layout(&self) -> TwiddleLayout {
+        match self {
+            Version::CoarseHash | Version::FineHash(_) => TwiddleLayout::BitReversedHash,
+            _ => TwiddleLayout::Linear,
+        }
+    }
+
+    /// Short name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Version::Coarse => "coarse",
+            Version::CoarseHash => "coarse hash",
+            Version::Fine(_) => "fine",
+            Version::FineHash(_) => "fine hash",
+            Version::FineGuided => "fine guided",
+        }
+    }
+
+    /// All versions as swept by the paper's figures (fine orders chosen by
+    /// the caller).
+    pub fn paper_set(order: SeedOrder) -> [Version; 5] {
+        [
+            Version::Coarse,
+            Version::CoarseHash,
+            Version::Fine(order),
+            Version::FineHash(order),
+            Version::FineGuided,
+        ]
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Codelet radix exponent (6 = the paper's 64-point codelets).
+    pub radix_log2: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            radix_log2: 6,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// What one execution did (beyond transforming the data).
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Wall-clock time including bit reversal.
+    pub elapsed: Duration,
+    /// Runtime statistics per dataflow/barrier phase.
+    pub phases: Vec<RunStats>,
+    /// Stage barriers executed (coarse: one per stage; guided: 1; fine: 0).
+    pub barriers: u64,
+    /// The codelets fired (sanity: equals `plan.total_codelets()`).
+    pub codelets: u64,
+}
+
+/// Compute the in-place forward FFT of `data` (length must be a power of
+/// two ≥ 2) with the chosen algorithm version.
+pub fn fft_in_place(data: &mut [Complex64], version: Version, config: &ExecConfig) -> ExecStats {
+    let n = data.len();
+    assert!(n >= 2 && n.is_power_of_two(), "length must be a power of two ≥ 2");
+    let n_log2 = n.trailing_zeros();
+    let plan = FftPlan::new(n_log2, config.radix_log2.min(n_log2));
+    let twiddles = TwiddleTable::new(n_log2, version.layout());
+    let runtime = Runtime::new(RuntimeConfig::with_workers(config.workers));
+
+    let start = Instant::now();
+    bit_reverse_permute_parallel(data, config.workers);
+
+    let view = SharedData::new(data);
+    // SAFETY: `run_codelet` is invoked by executors that uphold the
+    // dataflow discipline documented in `exec::shared`.
+    let body = |id: usize| unsafe {
+        execute_codelet_shared(&plan, &twiddles, &view, plan.stage_of(id), plan.idx_of(id));
+    };
+
+    let mut stats = ExecStats::default();
+    match version {
+        Version::Coarse | Version::CoarseHash => {
+            let cps = plan.codelets_per_stage();
+            let phases: Vec<Vec<usize>> = (0..plan.stages())
+                .map(|s| (s * cps..(s + 1) * cps).collect())
+                .collect();
+            let rs = runtime.run_phased(&phases, body);
+            stats.barriers = rs.barriers;
+            stats.codelets = rs.total_fired;
+            stats.phases.push(rs);
+        }
+        Version::Fine(order) | Version::FineHash(order) => {
+            let graph = FftGraph::new(plan);
+            let seeds = order.order(plan.codelets_per_stage());
+            let rs = runtime.run_with_seed_order(&graph, PoolDiscipline::Lifo, &seeds, body);
+            stats.codelets = rs.total_fired;
+            stats.phases.push(rs);
+        }
+        Version::FineGuided => {
+            if plan.stages() < 3 {
+                // Too few stages to split: degrade to plain fine-grain, as
+                // the paper's algorithm requires at least 3 stages.
+                let graph = FftGraph::new(plan);
+                let seeds = graph.stage0_ids();
+                let rs = runtime.run_with_seed_order(&graph, PoolDiscipline::Lifo, &seeds, body);
+                stats.codelets = rs.total_fired;
+                stats.phases.push(rs);
+            } else {
+                let last_early = plan.stages() - 3;
+                let early = GuidedEarlyGraph::new(plan, last_early);
+                let rs1 = runtime.run_partial(
+                    &early,
+                    PoolDiscipline::Lifo,
+                    &early.seeds(),
+                    early.expected(),
+                    body,
+                );
+                // The join of the early phase's worker scope is the barrier.
+                let late = GuidedLateGraph::new(plan, plan.stages() - 2);
+                let rs2 = runtime.run_partial(
+                    &late,
+                    PoolDiscipline::Lifo,
+                    &late.seeds(),
+                    late.expected(),
+                    body,
+                );
+                stats.barriers = 1;
+                stats.codelets = rs1.total_fired + rs2.total_fired;
+                stats.phases.push(rs1);
+                stats.phases.push(rs2);
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    debug_assert_eq!(stats.codelets, plan.total_codelets() as u64);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+    use crate::reference::recursive_fft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.23).cos() * 0.5))
+            .collect()
+    }
+
+    fn all_versions() -> Vec<Version> {
+        vec![
+            Version::Coarse,
+            Version::CoarseHash,
+            Version::Fine(SeedOrder::Natural),
+            Version::Fine(SeedOrder::Reversed),
+            Version::Fine(SeedOrder::Random(42)),
+            Version::FineHash(SeedOrder::Natural),
+            Version::FineGuided,
+        ]
+    }
+
+    #[test]
+    fn every_version_matches_reference() {
+        let n = 1 << 13; // 3 stages at radix 64 → guided is exercised
+        let input = signal(n);
+        let expect = recursive_fft(&input);
+        for version in all_versions() {
+            for workers in [1, 4] {
+                let mut data = input.clone();
+                let cfg = ExecConfig {
+                    workers,
+                    radix_log2: 6,
+                };
+                let stats = fft_in_place(&mut data, version, &cfg);
+                assert_eq!(stats.codelets, 3 * (n as u64 / 64));
+                let err = rms_error(&data, &expect);
+                assert!(
+                    err < 1e-9,
+                    "{} workers={workers}: rms {err}",
+                    version.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versions_agree_bitwise() {
+        // Determinacy: all schedules produce the same floating-point values,
+        // not merely close ones — the DAG fixes the arithmetic.
+        let n = 1 << 12;
+        let input = signal(n);
+        let cfg = ExecConfig {
+            workers: 4,
+            radix_log2: 6,
+        };
+        let mut baseline = input.clone();
+        fft_in_place(&mut baseline, Version::Coarse, &cfg);
+        for version in all_versions() {
+            let mut data = input.clone();
+            fft_in_place(&mut data, version, &cfg);
+            assert_eq!(data, baseline, "{}", version.name());
+        }
+    }
+
+    #[test]
+    fn coarse_uses_one_barrier_per_stage() {
+        let n = 1 << 13;
+        let mut data = signal(n);
+        let stats = fft_in_place(&mut data, Version::Coarse, &ExecConfig::with_workers(2));
+        assert_eq!(stats.barriers, 3);
+    }
+
+    #[test]
+    fn guided_runs_two_phases() {
+        let n = 1 << 13;
+        let mut data = signal(n);
+        let stats = fft_in_place(&mut data, Version::FineGuided, &ExecConfig::with_workers(2));
+        assert_eq!(stats.phases.len(), 2);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(
+            stats.phases[0].total_fired, 128,
+            "early phase = stage 0 only for 3 stages"
+        );
+        assert_eq!(stats.phases[1].total_fired, 256);
+    }
+
+    #[test]
+    fn guided_falls_back_for_small_transforms() {
+        let n = 1 << 7; // 2 stages at radix 64
+        let input = signal(n);
+        let expect = recursive_fft(&input);
+        let mut data = input;
+        let stats = fft_in_place(&mut data, Version::FineGuided, &ExecConfig::with_workers(2));
+        assert_eq!(stats.phases.len(), 1);
+        assert!(rms_error(&data, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn small_radix_works() {
+        let n = 1 << 10;
+        let input = signal(n);
+        let expect = recursive_fft(&input);
+        for radix_log2 in [1u32, 3, 5] {
+            let mut data = input.clone();
+            let cfg = ExecConfig {
+                workers: 3,
+                radix_log2,
+            };
+            fft_in_place(&mut data, Version::Fine(SeedOrder::Natural), &cfg);
+            assert!(rms_error(&data, &expect) < 1e-9, "radix 2^{radix_log2}");
+        }
+    }
+
+    #[test]
+    fn tiny_transform() {
+        let input = signal(2);
+        let expect = recursive_fft(&input);
+        let mut data = input;
+        fft_in_place(&mut data, Version::Coarse, &ExecConfig::with_workers(2));
+        assert!(rms_error(&data, &expect) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = signal(12);
+        fft_in_place(&mut data, Version::Coarse, &ExecConfig::default());
+    }
+
+    #[test]
+    fn seed_orders_are_permutations() {
+        for order in [
+            SeedOrder::Natural,
+            SeedOrder::Reversed,
+            SeedOrder::EvenOdd,
+            SeedOrder::Random(7),
+        ] {
+            let v = order.order(100);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..100).collect::<Vec<_>>(), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        assert_eq!(
+            SeedOrder::Random(3).order(50),
+            SeedOrder::Random(3).order(50)
+        );
+        assert_ne!(
+            SeedOrder::Random(3).order(50),
+            SeedOrder::Random(4).order(50)
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! A shared-mutable view of the data array for dataflow-disciplined access.
+//!
+//! The FFT executors run codelets from many threads over one `&mut
+//! [Complex64]`. Rust cannot see that the dataflow discipline makes those
+//! accesses exclusive, so the executors go through this raw view. The
+//! safety argument, once, in full:
+//!
+//! * Within one stage, codelets own **disjoint** element sets (the plan's
+//!   `elements_partition_every_stage` property).
+//! * Across stages, if codelets `a` (stage `j`) and `b` (stage `j' > j`)
+//!   touch a common element `e`, then the ownership chain of `e` through
+//!   stages `j, j+1, …, j'` is a dependence path from `a` to `b` (each
+//!   owner is a child of the previous one because they share `e`).
+//!   The runtime fires `b` only after that whole path completed, with
+//!   acquire/release edges through the dependence counters and the ready
+//!   pool, so `a`'s writes are visible to and ordered before `b`'s accesses.
+//! * Phased executors (coarse, guided) separate their phases by barriers /
+//!   thread-scope joins, which are stronger than the above.
+//!
+//! Hence no two threads ever access the same element concurrently, and
+//! every read observes the writes of the codelet that produced the value.
+
+use crate::complex::Complex64;
+use crate::kernel;
+use crate::plan::{FftPlan, MAX_RADIX_LOG2};
+use crate::twiddle::TwiddleTable;
+use std::marker::PhantomData;
+
+/// Raw shared view over the FFT data array. See the module docs for the
+/// access discipline that makes the `unsafe` accessors sound.
+pub struct SharedData<'a> {
+    ptr: *mut Complex64,
+    len: usize,
+    _marker: PhantomData<&'a mut [Complex64]>,
+}
+
+// SAFETY: the view is only used under the dataflow discipline documented in
+// the module docs; the pointer itself is freely sendable/shareable.
+unsafe impl Sync for SharedData<'_> {}
+unsafe impl Send for SharedData<'_> {}
+
+impl<'a> SharedData<'a> {
+    /// Wrap a uniquely-borrowed slice. The borrow is held for `'a`, so no
+    /// safe code can alias the data while views exist.
+    pub fn new(data: &'a mut [Complex64]) -> Self {
+        Self {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying array.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no thread writes element `i` concurrently.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> Complex64 {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i < len`, and no other thread accesses element `i` concurrently.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: Complex64) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = v }
+    }
+}
+
+/// Execute one codelet against the shared view: gather → compute → scatter.
+///
+/// # Safety
+/// The caller must uphold the dataflow discipline of the module docs for
+/// the elements of codelet `(stage, idx)` — i.e. all parents have completed
+/// (with proper synchronization edges) and no concurrent codelet shares any
+/// element.
+pub unsafe fn execute_codelet_shared(
+    plan: &FftPlan,
+    twiddles: &TwiddleTable,
+    data: &SharedData<'_>,
+    stage: usize,
+    idx: usize,
+) {
+    debug_assert_eq!(data.len(), plan.n());
+    let mut buf = [Complex64::ZERO; 1 << MAX_RADIX_LOG2];
+    plan.for_each_element(stage, idx, |slot, e| {
+        // SAFETY: per the function contract, this codelet has exclusive
+        // access to its elements.
+        buf[slot] = unsafe { data.read(e) };
+    });
+    kernel::compute_in_buffer(plan, twiddles, &mut buf, stage, idx);
+    plan.for_each_element(stage, idx, |slot, e| {
+        // SAFETY: as above.
+        unsafe { data.write(e, buf[slot]) };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+    use crate::twiddle::TwiddleLayout;
+
+    #[test]
+    fn shared_view_reads_and_writes() {
+        let mut v = vec![Complex64::ZERO; 4];
+        let s = SharedData::new(&mut v);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        unsafe {
+            s.write(2, Complex64::new(1.0, -1.0));
+            assert_eq!(s.read(2), Complex64::new(1.0, -1.0));
+            assert_eq!(s.read(0), Complex64::ZERO);
+        }
+    }
+
+    #[test]
+    fn shared_codelet_matches_safe_kernel() {
+        let plan = FftPlan::new(9, 6);
+        let tw = TwiddleTable::new(9, TwiddleLayout::Linear);
+        let input: Vec<Complex64> = (0..512)
+            .map(|i| Complex64::new((i as f64 * 0.3).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut a = input.clone();
+        let mut b = input;
+        for idx in 0..plan.codelets_per_stage() {
+            kernel::execute_codelet(&plan, &tw, &mut a, 0, idx);
+        }
+        {
+            let view = SharedData::new(&mut b);
+            for idx in 0..plan.codelets_per_stage() {
+                unsafe { execute_codelet_shared(&plan, &tw, &view, 0, idx) };
+            }
+        }
+        assert!(rms_error(&a, &b) < 1e-15);
+    }
+}

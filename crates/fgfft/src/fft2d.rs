@@ -1,0 +1,291 @@
+//! 2-D FFT by row–column decomposition, parallelized through the codelet
+//! runtime — the second workload of Chen et al.'s Cyclops-64 FFT study
+//! (the paper's Sec. III-B background), and the shape used by the image-
+//! filtering example.
+//!
+//! Layout: row-major `rows × cols`, both powers of two. The transform runs
+//! one 1-D FFT per row (each row is one codelet), transposes, runs one FFT
+//! per former column, and transposes back — cache-friendly unit-stride
+//! inner loops in every phase.
+
+use crate::bitrev::bit_reverse_permute;
+use crate::complex::Complex64;
+use crate::twiddle::{TwiddleLayout, TwiddleTable};
+use codelet::graph::ExplicitGraph;
+use codelet::runtime::{Runtime, RuntimeConfig};
+use std::f64::consts::PI;
+
+/// Serial in-place radix-2 FFT over one contiguous row, using a
+/// precomputed table (shared across rows).
+pub fn fft_row(data: &mut [Complex64], table: &TwiddleTable) {
+    let n = data.len();
+    debug_assert_eq!(n, 1usize << table.n_log2());
+    bit_reverse_permute(data);
+    let log_n = table.n_log2();
+    for l in 0..log_n {
+        let span = 1usize << l;
+        let stride = 1usize << (log_n - l - 1);
+        for base in (0..n).step_by(span * 2) {
+            for j in 0..span {
+                let w = table.get(j * stride);
+                let lo = base + j;
+                let hi = lo + span;
+                let t = w * data[hi];
+                let u = data[lo];
+                data[lo] = u + t;
+                data[hi] = u - t;
+            }
+        }
+    }
+}
+
+/// A 2-D FFT engine for a fixed shape.
+///
+/// ```
+/// use fgfft::{Complex64, Fft2d};
+/// let engine = Fft2d::with_workers(4, 8, 2);
+/// let mut img = vec![Complex64::ZERO; 32];
+/// img[0] = Complex64::ONE;                 // 2-D impulse
+/// engine.forward(&mut img);
+/// assert!(img.iter().all(|v| v.dist(Complex64::ONE) < 1e-12));
+/// ```
+#[derive(Debug)]
+pub struct Fft2d {
+    rows: usize,
+    cols: usize,
+    row_table: TwiddleTable,
+    col_table: TwiddleTable,
+    runtime: Runtime,
+}
+
+impl Fft2d {
+    /// Plan a `rows × cols` transform (both powers of two ≥ 2) on all
+    /// available cores.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_workers(
+            rows,
+            cols,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Plan with an explicit worker count.
+    pub fn with_workers(rows: usize, cols: usize, workers: usize) -> Self {
+        assert!(
+            rows >= 2 && cols >= 2 && rows.is_power_of_two() && cols.is_power_of_two(),
+            "rows and cols must be powers of two >= 2"
+        );
+        Self {
+            rows,
+            cols,
+            row_table: TwiddleTable::new(cols.trailing_zeros(), TwiddleLayout::Linear),
+            col_table: TwiddleTable::new(rows.trailing_zeros(), TwiddleLayout::Linear),
+            runtime: Runtime::new(RuntimeConfig::with_workers(workers)),
+        }
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// In-place forward 2-D transform of row-major `data`
+    /// (`data.len() == rows·cols`).
+    pub fn forward(&self, data: &mut [Complex64]) {
+        assert_eq!(data.len(), self.rows * self.cols, "shape mismatch");
+        // Row pass.
+        self.parallel_rows(data, self.rows, self.cols, &self.row_table);
+        // Column pass via transpose.
+        let mut t = vec![Complex64::ZERO; data.len()];
+        transpose(data, &mut t, self.rows, self.cols);
+        self.parallel_rows(&mut t, self.cols, self.rows, &self.col_table);
+        transpose(&t, data, self.cols, self.rows);
+    }
+
+    /// In-place inverse 2-D transform (normalized by `1/(rows·cols)`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let scale = 1.0 / (self.rows * self.cols) as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(scale);
+        }
+    }
+
+    /// Transform `height` rows of `width` in parallel: one codelet per row.
+    fn parallel_rows(
+        &self,
+        data: &mut [Complex64],
+        height: usize,
+        width: usize,
+        table: &TwiddleTable,
+    ) {
+        // Rows are disjoint `&mut` chunks; hand each codelet its own slice
+        // through a raw base pointer (same discipline as exec::shared).
+        struct RowView(*mut Complex64, usize);
+        unsafe impl Sync for RowView {}
+        let view = RowView(data.as_mut_ptr(), width);
+        // Capture the whole view by reference (2021 disjoint capture would
+        // otherwise capture the raw pointer field, which is not Sync).
+        let view = &view;
+        let graph = ExplicitGraph::new(height);
+        self.runtime
+            .run(&graph, codelet::pool::PoolDiscipline::WorkSteal, |row| {
+                // SAFETY: codelet `row` is the only accessor of
+                // rows[row*width .. (row+1)*width]; rows partition `data`.
+                let slice = unsafe {
+                    std::slice::from_raw_parts_mut(view.0.add(row * view.1), view.1)
+                };
+                fft_row(slice, table);
+            });
+    }
+}
+
+/// Out-of-place transpose: `dst[c][r] = src[r][c]` for `rows × cols` src.
+/// Blocked for cache friendliness.
+pub fn transpose(src: &[Complex64], dst: &mut [Complex64], rows: usize, cols: usize) {
+    assert_eq!(src.len(), rows * cols);
+    assert_eq!(dst.len(), rows * cols);
+    const BLOCK: usize = 32;
+    for rb in (0..rows).step_by(BLOCK) {
+        for cb in (0..cols).step_by(BLOCK) {
+            for r in rb..(rb + BLOCK).min(rows) {
+                for c in cb..(cb + BLOCK).min(cols) {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Naive O((RC)²) 2-D DFT: the correctness oracle.
+pub fn naive_dft2d(input: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
+    assert_eq!(input.len(), rows * cols);
+    let mut out = vec![Complex64::ZERO; rows * cols];
+    for kr in 0..rows {
+        for kc in 0..cols {
+            let mut acc = Complex64::ZERO;
+            for r in 0..rows {
+                for c in 0..cols {
+                    let angle = -2.0 * PI * (kr * r) as f64 / rows as f64
+                        - 2.0 * PI * (kc * c) as f64 / cols as f64;
+                    acc += input[r * cols + c] * Complex64::expi(angle);
+                }
+            }
+            out[kr * cols + kc] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+
+    fn image(rows: usize, cols: usize) -> Vec<Complex64> {
+        (0..rows * cols)
+            .map(|i| {
+                Complex64::new(
+                    ((i * 31 + 7) % 64) as f64 / 32.0 - 1.0,
+                    ((i * 17 + 3) % 64) as f64 / 32.0 - 1.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_2d_dft() {
+        for (r, c) in [(4usize, 4usize), (8, 4), (4, 16), (16, 16)] {
+            let x = image(r, c);
+            let expect = naive_dft2d(&x, r, c);
+            let mut got = x;
+            Fft2d::with_workers(r, c, 3).forward(&mut got);
+            assert!(rms_error(&got, &expect) < 1e-9, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (r, c) = (64, 128);
+        let x = image(r, c);
+        let engine = Fft2d::new(r, c);
+        let mut v = x.clone();
+        engine.forward(&mut v);
+        engine.inverse(&mut v);
+        assert!(rms_error(&v, &x) < 1e-12);
+    }
+
+    #[test]
+    fn impulse_is_flat_plane() {
+        let (r, c) = (16, 32);
+        let mut x = vec![Complex64::ZERO; r * c];
+        x[0] = Complex64::ONE;
+        Fft2d::new(r, c).forward(&mut x);
+        assert!(x.iter().all(|v| v.dist(Complex64::ONE) < 1e-12));
+    }
+
+    #[test]
+    fn separability_matches_1d_rows_then_cols() {
+        let (r, c) = (8, 16);
+        let x = image(r, c);
+        // Manual: FFT each row, then each column, serially.
+        let row_t = TwiddleTable::new(4, TwiddleLayout::Linear);
+        let col_t = TwiddleTable::new(3, TwiddleLayout::Linear);
+        let mut manual = x.clone();
+        for row in manual.chunks_mut(c) {
+            fft_row(row, &row_t);
+        }
+        for col in 0..c {
+            let mut column: Vec<Complex64> = (0..r).map(|i| manual[i * c + col]).collect();
+            fft_row(&mut column, &col_t);
+            for i in 0..r {
+                manual[i * c + col] = column[i];
+            }
+        }
+        let mut got = x;
+        Fft2d::with_workers(r, c, 2).forward(&mut got);
+        assert!(rms_error(&got, &manual) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let (r, c) = (8, 32);
+        let x = image(r, c);
+        let mut t = vec![Complex64::ZERO; r * c];
+        let mut back = vec![Complex64::ZERO; r * c];
+        transpose(&x, &mut t, r, c);
+        transpose(&t, &mut back, c, r);
+        assert_eq!(x, back);
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let (r, c) = (32, 64);
+        let x = image(r, c);
+        let mut a = x.clone();
+        Fft2d::with_workers(r, c, 1).forward(&mut a);
+        for workers in [2, 4, 8] {
+            let mut b = x.clone();
+            Fft2d::with_workers(r, c, workers).forward(&mut b);
+            assert_eq!(a, b, "workers={workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn forward_checks_shape() {
+        let mut x = image(4, 4);
+        Fft2d::new(8, 8).forward(&mut x);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn rejects_bad_shape() {
+        Fft2d::new(12, 8);
+    }
+}

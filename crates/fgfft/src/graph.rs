@@ -1,0 +1,351 @@
+//! Codelet-graph adapters: expose the FFT plan's dependence structure
+//! through the `codelet::CodeletProgram` trait, so the same index algebra
+//! drives both the host runtime (parallel execution) and the Cyclops-64
+//! simulator (scheduled task models).
+
+use crate::plan::FftPlan;
+use codelet::graph::{CodeletId, CodeletProgram, SharedGroup};
+
+/// The full FFT codelet graph (Alg. 2): stage-0 codelets are source nodes,
+/// every other codelet waits on its `parent_count` parents, with shared
+/// counters on full stages.
+#[derive(Debug, Clone, Copy)]
+pub struct FftGraph {
+    plan: FftPlan,
+}
+
+impl FftGraph {
+    /// Graph over `plan`.
+    pub fn new(plan: FftPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FftPlan {
+        &self.plan
+    }
+
+    /// Global ids of stage-0 codelets in natural order — the default seeds.
+    pub fn stage0_ids(&self) -> Vec<CodeletId> {
+        (0..self.plan.codelets_per_stage()).collect()
+    }
+}
+
+impl CodeletProgram for FftGraph {
+    fn num_codelets(&self) -> usize {
+        self.plan.total_codelets()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.plan.parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        self.plan
+            .children_of(self.plan.stage_of(id), self.plan.idx_of(id), out);
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.stage0_ids()
+    }
+
+    fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+        self.plan.shared_group_of(id)
+    }
+
+    fn num_shared_groups(&self) -> usize {
+        self.plan.num_shared_groups()
+    }
+
+    fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+        self.plan.shared_group_members(group, out);
+    }
+}
+
+/// Phase one of the guided algorithm (Alg. 3): the codelet graph restricted
+/// to stages `0..=last_early`. Codelets of `last_early` do not signal their
+/// children — the phase drains and a barrier follows.
+#[derive(Debug, Clone, Copy)]
+pub struct GuidedEarlyGraph {
+    plan: FftPlan,
+    last_early: usize,
+}
+
+impl GuidedEarlyGraph {
+    /// Build for `plan`; `last_early` is the last stage executed in phase
+    /// one (the paper fixes it to `last_stage − 2`).
+    pub fn new(plan: FftPlan, last_early: usize) -> Self {
+        assert!(last_early + 1 < plan.stages(), "late part must be non-empty");
+        Self { plan, last_early }
+    }
+
+    /// Codelets this phase will execute.
+    pub fn expected(&self) -> usize {
+        (self.last_early + 1) * self.plan.codelets_per_stage()
+    }
+
+    /// Default seeds: stage 0, natural order.
+    pub fn seeds(&self) -> Vec<CodeletId> {
+        (0..self.plan.codelets_per_stage()).collect()
+    }
+}
+
+impl CodeletProgram for GuidedEarlyGraph {
+    fn num_codelets(&self) -> usize {
+        self.plan.total_codelets()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.plan.parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        let stage = self.plan.stage_of(id);
+        if stage < self.last_early {
+            self.plan.children_of(stage, self.plan.idx_of(id), out);
+        }
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.seeds()
+    }
+
+    fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+        let stage = self.plan.stage_of(id);
+        if (1..=self.last_early).contains(&stage) {
+            self.plan.shared_group_of(id)
+        } else {
+            None
+        }
+    }
+
+    fn num_shared_groups(&self) -> usize {
+        self.plan.num_shared_groups()
+    }
+
+    fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+        self.plan.shared_group_members(group, out);
+    }
+}
+
+/// Phase two of the guided algorithm: the last two stages. Stage
+/// `first_late` codelets are seeded (their dependencies were satisfied in
+/// phase one) **in child-sharing-group order**, so each completed run of
+/// parents immediately enables a batch of last-stage codelets.
+#[derive(Debug, Clone, Copy)]
+pub struct GuidedLateGraph {
+    plan: FftPlan,
+    first_late: usize,
+}
+
+impl GuidedLateGraph {
+    /// Build for `plan`; `first_late` is the first stage of phase two
+    /// (`last_stage − 1` in the paper).
+    pub fn new(plan: FftPlan, first_late: usize) -> Self {
+        assert!(first_late + 2 == plan.stages(), "late part is the last two stages");
+        Self { plan, first_late }
+    }
+
+    /// Codelets this phase will execute.
+    pub fn expected(&self) -> usize {
+        2 * self.plan.codelets_per_stage()
+    }
+
+    /// Seeds: stage `first_late` in grouped order (global ids), with the
+    /// runs bank-rotated so that consecutive child-enable bursts target
+    /// different DRAM data banks (see
+    /// [`FftPlan::grouped_stage_order_bank_rotated`]).
+    pub fn seeds(&self) -> Vec<CodeletId> {
+        let base = self.first_late * self.plan.codelets_per_stage();
+        self.plan
+            .grouped_stage_order_bank_rotated(self.first_late)
+            .into_iter()
+            .map(|idx| base + idx)
+            .collect()
+    }
+
+    /// Seeds in the paper's literal Alg. 3 order (grouped, runs in plain
+    /// key order) — kept for the ablation benches.
+    pub fn seeds_paper_order(&self) -> Vec<CodeletId> {
+        let base = self.first_late * self.plan.codelets_per_stage();
+        self.plan
+            .grouped_stage_order(self.first_late)
+            .into_iter()
+            .map(|idx| base + idx)
+            .collect()
+    }
+}
+
+impl CodeletProgram for GuidedLateGraph {
+    fn num_codelets(&self) -> usize {
+        self.plan.total_codelets()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        let stage = self.plan.stage_of(id);
+        if stage == self.first_late {
+            0
+        } else {
+            self.plan.parent_count(stage, self.plan.idx_of(id))
+        }
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        let stage = self.plan.stage_of(id);
+        if stage == self.first_late {
+            self.plan.children_of(stage, self.plan.idx_of(id), out);
+        }
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.seeds()
+    }
+
+    fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+        let stage = self.plan.stage_of(id);
+        if stage == self.plan.stages() - 1 {
+            self.plan.shared_group_of(id)
+        } else {
+            None
+        }
+    }
+
+    fn num_shared_groups(&self) -> usize {
+        self.plan.num_shared_groups()
+    }
+
+    fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+        self.plan.shared_group_members(group, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelet::graph::execute_sequential;
+
+    #[test]
+    fn fft_graph_executes_completely() {
+        let plan = FftPlan::new(13, 6);
+        let g = FftGraph::new(plan);
+        let order = execute_sequential(&g, |_| {});
+        assert_eq!(order.len(), plan.total_codelets());
+    }
+
+    #[test]
+    fn fft_graph_seeds_are_stage0() {
+        let plan = FftPlan::new(12, 6);
+        let g = FftGraph::new(plan);
+        let seeds = g.initial_ready();
+        assert_eq!(seeds.len(), plan.codelets_per_stage());
+        assert!(seeds.iter().all(|&s| plan.stage_of(s) == 0));
+    }
+
+    #[test]
+    fn fft_graph_respects_stage_monotonicity() {
+        // In sequential dataflow execution, a codelet can only fire after
+        // all its parents; track max fired stage prefix property: every
+        // fired codelet's parents fired earlier.
+        let plan = FftPlan::new(9, 3);
+        let g = FftGraph::new(plan);
+        let mut fired = vec![false; plan.total_codelets()];
+        execute_sequential(&g, |id| {
+            let stage = plan.stage_of(id);
+            if stage > 0 {
+                let mut parents = Vec::new();
+                plan.parents_of(stage, plan.idx_of(id), &mut parents);
+                for p in parents {
+                    assert!(fired[p], "codelet {id} fired before parent {p}");
+                }
+            }
+            fired[id] = true;
+        });
+    }
+
+    #[test]
+    fn guided_early_stops_at_boundary() {
+        let plan = FftPlan::new(13, 6); // 3 stages
+        let early = GuidedEarlyGraph::new(plan, 0);
+        assert_eq!(early.expected(), plan.codelets_per_stage());
+        // Sequential execution fires exactly the early codelets.
+        let mut remaining: Vec<u32> = (0..early.num_codelets())
+            .map(|c| early.dep_count(c))
+            .collect();
+        let mut ready = early.initial_ready();
+        let mut fired = 0;
+        let mut kids = Vec::new();
+        while let Some(c) = ready.pop() {
+            fired += 1;
+            kids.clear();
+            early.dependents(c, &mut kids);
+            for &k in &kids {
+                remaining[k] -= 1;
+                if remaining[k] == 0 {
+                    ready.push(k);
+                }
+            }
+        }
+        assert_eq!(fired, early.expected());
+    }
+
+    #[test]
+    fn guided_late_covers_last_two_stages() {
+        let plan = FftPlan::new(18, 6); // 3 stages, all full
+        let late = GuidedLateGraph::new(plan, 1);
+        assert_eq!(late.expected(), 2 * plan.codelets_per_stage());
+        let seeds = late.seeds();
+        assert_eq!(seeds.len(), plan.codelets_per_stage());
+        assert!(seeds.iter().all(|&s| plan.stage_of(s) == 1));
+        // Dataflow from the seeds reaches every last-stage codelet.
+        let order = {
+            let mut remaining: Vec<u32> = (0..late.num_codelets())
+                .map(|c| late.dep_count(c))
+                .collect();
+            let mut ready = seeds.clone();
+            let mut out = Vec::new();
+            let mut kids = Vec::new();
+            // Shared groups are exercised through the real runtime path in
+            // the exec tests; here walk private counters by treating group
+            // members individually.
+            let mut group_count = vec![0u32; late.num_shared_groups()];
+            while let Some(c) = ready.pop() {
+                out.push(c);
+                kids.clear();
+                late.dependents(c, &mut kids);
+                let mut groups = Vec::new();
+                for &k in &kids {
+                    match late.shared_group(k) {
+                        Some(g) => {
+                            if !groups.contains(&g.group) {
+                                groups.push(g.group);
+                            }
+                        }
+                        None => {
+                            remaining[k] -= 1;
+                            if remaining[k] == 0 {
+                                ready.push(k);
+                            }
+                        }
+                    }
+                }
+                for g in groups {
+                    group_count[g] += 1;
+                    if group_count[g] == plan.radix() as u32 {
+                        let mut members = Vec::new();
+                        late.shared_group_members(g, &mut members);
+                        ready.extend(members);
+                    }
+                }
+            }
+            out
+        };
+        assert_eq!(order.len(), late.expected());
+    }
+
+    #[test]
+    #[should_panic(expected = "late part")]
+    fn guided_early_rejects_covering_everything() {
+        let plan = FftPlan::new(13, 6);
+        GuidedEarlyGraph::new(plan, plan.stages() - 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! The codelet kernel: one `2^p`-point FFT work unit.
+//!
+//! A codelet gathers its `P` elements from the (bit-reversal-permuted) data
+//! array into a local buffer — on C64 this is the per-TU scratchpad, here a
+//! stack array — applies `q` butterfly levels, and scatters the results back
+//! in place. Twiddle factors are looked up by *logical* index; the table's
+//! layout (linear vs hashed) decides which memory location that touches,
+//! which matters to the machine but not to the arithmetic.
+
+use crate::complex::Complex64;
+use crate::plan::{FftPlan, MAX_RADIX_LOG2};
+use crate::twiddle::TwiddleTable;
+
+/// Local buffer size: the largest supported codelet.
+const BUF: usize = 1 << MAX_RADIX_LOG2;
+
+/// One radix-2 butterfly: `(a, b) ← (a + w·b, a − w·b)`.
+#[inline(always)]
+pub fn butterfly(a: Complex64, b: Complex64, w: Complex64) -> (Complex64, Complex64) {
+    let t = w * b;
+    (a + t, a - t)
+}
+
+/// Execute codelet `(stage, idx)` of `plan` on `data` in place.
+///
+/// `data` must be the full `plan.n()`-element array *after* bit-reversal
+/// permutation, with stages `0..stage` already applied to this codelet's
+/// elements.
+pub fn execute_codelet(
+    plan: &FftPlan,
+    twiddles: &TwiddleTable,
+    data: &mut [Complex64],
+    stage: usize,
+    idx: usize,
+) {
+    debug_assert_eq!(data.len(), plan.n());
+    let mut buf = [Complex64::ZERO; BUF];
+    // Gather.
+    plan.for_each_element(stage, idx, |slot, e| buf[slot] = data[e]);
+    compute_in_buffer(plan, twiddles, &mut buf, stage, idx);
+    // Scatter.
+    plan.for_each_element(stage, idx, |slot, e| data[e] = buf[slot]);
+}
+
+/// The arithmetic core, operating on the gathered local buffer. Exposed so
+/// the shared-memory executors can run it on raw views; see
+/// [`crate::exec::shared`].
+pub(crate) fn compute_in_buffer(
+    plan: &FftPlan,
+    twiddles: &TwiddleTable,
+    buf: &mut [Complex64; BUF],
+    stage: usize,
+    idx: usize,
+) {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let pj = p * stage as u32;
+    let n_log2 = plan.n_log2();
+    let groups = 1usize << (p - q);
+    let group_size = 1usize << q;
+    let first_group = idx << (p - q);
+
+    for ll in 0..q {
+        let l = pj + ll;
+        let shift = n_log2 - l - 1;
+        let ll_mask = (1usize << ll) - 1;
+        for g_rel in 0..groups {
+            let g = first_group + g_rel;
+            let g_low = g & low_mask(pj);
+            let base = g_rel * group_size;
+            for b in 0..group_size / 2 {
+                // Local butterfly pattern at level ll within the group.
+                let x_lo = ((b >> ll) << (ll + 1)) | (b & ll_mask);
+                let lo = base + x_lo;
+                let hi = lo + (1 << ll);
+                // Global twiddle offset o = (x_lo mod 2^ll)·2^{p·j} + g_low;
+                // twiddle index = o · 2^{n−l−1}.
+                let o = ((b & ll_mask) << pj) + g_low;
+                let w = twiddles.get(o << shift);
+                let (a, c) = butterfly(buf[lo], buf[hi], w);
+                buf[lo] = a;
+                buf[hi] = c;
+            }
+        }
+    }
+}
+
+/// Count the twiddle-factor loads one codelet performs (distinct logical
+/// indices, each loaded once): `P − 1` for a full stage, matching the
+/// paper's "63 twiddle factors" for 64-point codelets.
+pub fn twiddle_loads(plan: &FftPlan, stage: usize) -> usize {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    // Per level ll: 2^ll distinct (x_lo mod 2^ll) values × one g_low per
+    // group; groups = 2^{p-q}.
+    let groups = 1usize << (p - q);
+    let per_group: usize = (0..q).map(|ll| 1usize << ll).sum();
+    groups * per_group
+}
+
+/// Visit the logical twiddle index of every twiddle load of a codelet, in
+/// load order (used by the simulator workload to emit its address stream).
+pub fn for_each_twiddle_index(
+    plan: &FftPlan,
+    stage: usize,
+    idx: usize,
+    mut f: impl FnMut(usize),
+) {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let pj = p * stage as u32;
+    let n_log2 = plan.n_log2();
+    let groups = 1usize << (p - q);
+    let first_group = idx << (p - q);
+    for ll in 0..q {
+        let l = pj + ll;
+        let shift = n_log2 - l - 1;
+        for g_rel in 0..groups {
+            let g = first_group + g_rel;
+            let g_low = g & low_mask(pj);
+            for t in 0..1usize << ll {
+                let o = (t << pj) + g_low;
+                f(o << shift);
+            }
+        }
+    }
+}
+
+#[inline]
+fn low_mask(bits: u32) -> usize {
+    if bits as usize >= usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrev::bit_reverse_permute;
+    use crate::complex::rms_error;
+    use crate::reference::naive_dft;
+    use crate::twiddle::TwiddleLayout;
+
+    /// Run the whole FFT single-threaded, stage by stage, codelet by
+    /// codelet. This is the semantic ground truth for every executor.
+    pub(crate) fn serial_codelet_fft(
+        data: &mut [Complex64],
+        radix_log2: u32,
+        layout: TwiddleLayout,
+    ) {
+        let n_log2 = data.len().trailing_zeros();
+        let plan = FftPlan::new(n_log2, radix_log2);
+        let tw = TwiddleTable::new(n_log2, layout);
+        bit_reverse_permute(data);
+        for stage in 0..plan.stages() {
+            for idx in 0..plan.codelets_per_stage() {
+                execute_codelet(&plan, &tw, data, stage, idx);
+            }
+        }
+    }
+
+    fn impulse_response(n: usize) {
+        // FFT of a unit impulse is all-ones.
+        let mut data = vec![Complex64::ZERO; n];
+        data[0] = Complex64::ONE;
+        serial_codelet_fft(&mut data, 6, TwiddleLayout::Linear);
+        for (i, &v) in data.iter().enumerate() {
+            assert!(v.dist(Complex64::ONE) < 1e-12, "bin {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn impulse_various_sizes() {
+        for n_log2 in [1u32, 2, 3, 6, 7, 12, 13] {
+            impulse_response(1 << n_log2);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_all_radices() {
+        for n_log2 in [4u32, 7, 9] {
+            let n = 1usize << n_log2;
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| {
+                    Complex64::new(
+                        ((i * 37 + 11) % 101) as f64 / 50.0 - 1.0,
+                        ((i * 73 + 29) % 97) as f64 / 48.0 - 1.0,
+                    )
+                })
+                .collect();
+            let expect = naive_dft(&input);
+            for radix_log2 in 1..=MAX_RADIX_LOG2 {
+                let mut data = input.clone();
+                serial_codelet_fft(&mut data, radix_log2, TwiddleLayout::Linear);
+                let err = rms_error(&data, &expect);
+                assert!(
+                    err < 1e-9,
+                    "n=2^{n_log2} radix=2^{radix_log2}: rms {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hashed_layouts_do_not_change_results() {
+        let n = 1usize << 9;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut lin = input.clone();
+        serial_codelet_fft(&mut lin, 6, TwiddleLayout::Linear);
+        for layout in [
+            TwiddleLayout::BitReversedHash,
+            TwiddleLayout::MultiplicativeHash,
+        ] {
+            let mut h = input.clone();
+            serial_codelet_fft(&mut h, 6, layout);
+            assert!(rms_error(&h, &lin) < 1e-12, "layout {layout:?}");
+        }
+    }
+
+    #[test]
+    fn butterfly_identity() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-0.5, 0.25);
+        let (s, d) = butterfly(a, b, Complex64::ONE);
+        assert!(s.dist(a + b) < 1e-15);
+        assert!(d.dist(a - b) < 1e-15);
+    }
+
+    #[test]
+    fn twiddle_loads_full_stage_is_p_minus_1() {
+        let plan = FftPlan::new(18, 6);
+        for stage in 0..plan.stages() {
+            assert_eq!(twiddle_loads(&plan, stage), 63);
+        }
+        let plan8 = FftPlan::new(9, 3);
+        assert_eq!(twiddle_loads(&plan8, 0), 7);
+    }
+
+    #[test]
+    fn twiddle_loads_partial_stage() {
+        let plan = FftPlan::new(13, 6); // last stage q=1
+        let last = plan.stages() - 1;
+        // 2^{6-1}=32 groups × (2^0) = 32 loads.
+        assert_eq!(twiddle_loads(&plan, last), 32);
+    }
+
+    #[test]
+    fn for_each_twiddle_index_count_and_range() {
+        for (n_log2, p_log2) in [(13u32, 6u32), (12, 6), (9, 3)] {
+            let plan = FftPlan::new(n_log2, p_log2);
+            for stage in 0..plan.stages() {
+                let mut count = 0;
+                for_each_twiddle_index(&plan, stage, 1 % plan.codelets_per_stage(), |t| {
+                    assert!(t < plan.n() / 2, "twiddle index out of table");
+                    count += 1;
+                });
+                assert_eq!(count, twiddle_loads(&plan, stage), "stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_stage_twiddle_indices_are_coarse_multiples() {
+        // The root cause of the paper: stage-0/1 twiddle indices are
+        // multiples of a large power of two → one DRAM bank under the linear
+        // layout.
+        let plan = FftPlan::new(18, 6);
+        for_each_twiddle_index(&plan, 0, 3, |t| {
+            assert_eq!(t % (1 << 11), 0, "stage-0 indices are multiples of 2^(n-7)");
+        });
+        for_each_twiddle_index(&plan, 1, 3, |t| {
+            assert_eq!(t % (1 << 5), 0);
+        });
+    }
+}

@@ -1,0 +1,74 @@
+//! # fgfft — memory-load balanced fine-grain FFT
+//!
+//! A Rust reproduction of *"Towards Memory-Load Balanced Fast Fourier
+//! Transformations in Fine-grain Execution Models"* (Chen, Wu, Zuckerman,
+//! Gao — IPPS 2013): an iterative radix-2⁶ Cooley–Tukey FFT decomposed into
+//! 64-point *codelets* whose execution order is scheduled — coarsely with
+//! barriers, finely with dataflow counters, or finely with a heuristic
+//! guidance — to balance traffic across interleaved DRAM banks.
+//!
+//! ## What's here
+//!
+//! * [`complex`], [`bitrev`], [`twiddle`] — arithmetic, the bit-reversal
+//!   permutation/hash, and twiddle tables with linear or hashed layouts.
+//! * [`plan`] — the stage/codelet index algebra: element ownership,
+//!   parent/child formulas, shared dependence-counter groups, and the
+//!   guided algorithm's grouped seeding order.
+//! * [`kernel`] — the 2^p-point butterfly work unit.
+//! * [`graph`] — the FFT as a `codelet::CodeletProgram` (full, and the
+//!   guided algorithm's early/late slices).
+//! * [`exec`] — host-parallel executors for all five algorithm versions of
+//!   the paper's Table I.
+//! * [`simwork`] — the same codelets as byte-addressed DRAM traffic for the
+//!   `c64sim` Cyclops-64 simulator: this is where the paper's bank-level
+//!   results are reproduced.
+//! * [`model`] — the paper's analytic peak model (Eqs. 1–4: 10 GFLOPS).
+//! * [`mod@reference`] — naive DFT / recursive FFT oracles.
+//! * [`api`] — the high-level [`Fft`] engine, [`convolve`],
+//!   [`power_spectrum`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fgfft::{forward, inverse, Complex64};
+//!
+//! let mut data: Vec<Complex64> = (0..4096)
+//!     .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+//!     .collect();
+//! let original = data.clone();
+//! forward(&mut data);
+//! inverse(&mut data);
+//! assert!(fgfft::rms_error(&data, &original) < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bitrev;
+pub mod bluestein;
+pub mod complex;
+pub mod exec;
+pub mod fft2d;
+pub mod graph;
+pub mod kernel;
+pub mod model;
+pub mod plan;
+pub mod reference;
+pub mod rfft;
+pub mod simwork;
+pub mod stft;
+pub mod stockham;
+pub mod twiddle;
+pub mod window;
+
+pub use api::{convolve, forward, inverse, power_spectrum, Fft};
+pub use bluestein::{dft, idft};
+pub use fft2d::Fft2d;
+pub use rfft::{irfft, rfft};
+pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
+pub use window::Window;
+pub use complex::{rms_error, Complex64};
+pub use exec::{fft_in_place, ExecConfig, ExecStats, SeedOrder, Version};
+pub use plan::FftPlan;
+pub use simwork::{run_sim, run_sim_fine, run_sim_guided, FftWorkload, GuidedOptions, Residence, SimVersion};
+pub use twiddle::{TwiddleLayout, TwiddleTable};

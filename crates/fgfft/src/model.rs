@@ -1,0 +1,117 @@
+//! Analytic performance models: the paper's Eqs. (1)–(4).
+//!
+//! With data and twiddles in off-chip DRAM, the FFT is bandwidth-bound. A
+//! `P`-point codelet moves `(P + P + (P−1)) · 16` bytes (load data, load
+//! twiddles, store data) and performs `5 · P · log₂P` flops, so the best
+//! achievable rate on a machine with DRAM bandwidth `B` bytes/s is
+//!
+//! ```text
+//! peak = 5 · P · log₂P · B / (16 · (3P − 1))   flops/s
+//! ```
+//!
+//! which for `P = 64`, `B = 16 GB/s` is the paper's **10 GFLOPS** (Eq. 4).
+
+use crate::kernel::twiddle_loads;
+use crate::plan::FftPlan;
+use c64sim::ChipConfig;
+
+/// Bytes per complex element.
+const ELEM: f64 = 16.0;
+
+/// The paper's Eq. (4) generalized to any codelet size: the DRAM-bound peak
+/// in GFLOPS for `2^radix_log2`-point codelets on a machine with
+/// `dram_bytes_per_sec` of off-chip bandwidth.
+pub fn theoretical_peak_gflops(radix_log2: u32, dram_bytes_per_sec: f64) -> f64 {
+    let p = (1u64 << radix_log2) as f64;
+    5.0 * p * radix_log2 as f64 * dram_bytes_per_sec / (ELEM * (3.0 * p - 1.0)) / 1e9
+}
+
+/// The paper's headline number: 10 GFLOPS for 64-point codelets at 16 GB/s.
+pub fn paper_peak_gflops() -> f64 {
+    theoretical_peak_gflops(6, 16e9)
+}
+
+/// Total floating-point operations of a full transform: `5 · N · log₂N`.
+pub fn total_flops(plan: &FftPlan) -> u64 {
+    5 * plan.n() as u64 * plan.n_log2() as u64
+}
+
+/// Total DRAM bytes a transform moves (all stages, exact — accounts for the
+/// partial last stage's reduced twiddle count).
+pub fn total_dram_bytes(plan: &FftPlan) -> u64 {
+    let cps = plan.codelets_per_stage() as u64;
+    let p = plan.radix() as u64;
+    (0..plan.stages())
+        .map(|s| cps * (2 * p + twiddle_loads(plan, s) as u64) * ELEM as u64)
+        .sum()
+}
+
+/// Upper bound on achieved GFLOPS for this exact plan on this chip: flops
+/// divided by the bandwidth-limited transfer time. Tighter than
+/// [`theoretical_peak_gflops`] for plans with a partial last stage.
+pub fn bandwidth_bound_gflops(plan: &FftPlan, chip: &ChipConfig) -> f64 {
+    let secs = total_dram_bytes(plan) as f64 / chip.dram_bandwidth_bytes_per_sec();
+    total_flops(plan) as f64 / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_peak_is_ten_gflops() {
+        // Eq. (4): 5·64·6·16G / (191·16) ≈ 10.05 GFLOPS, which the paper
+        // rounds to 10.
+        let peak = paper_peak_gflops();
+        assert!((peak - 10.05).abs() < 0.01, "got {peak}");
+    }
+
+    #[test]
+    fn peak_increases_with_codelet_size() {
+        let mut prev = 0.0;
+        for p in 1..=7 {
+            let g = theoretical_peak_gflops(p, 16e9);
+            assert!(g > prev, "2^{p}: {g} <= {prev}");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn peak_scales_linearly_with_bandwidth() {
+        let a = theoretical_peak_gflops(6, 16e9);
+        let b = theoretical_peak_gflops(6, 32e9);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_flops_is_5nlogn() {
+        let plan = FftPlan::new(13, 6);
+        assert_eq!(total_flops(&plan), 5 * 8192 * 13);
+    }
+
+    #[test]
+    fn total_bytes_full_stages() {
+        let plan = FftPlan::new(12, 6);
+        // 2 stages × 64 codelets × (128 + 63) elements × 16 B.
+        assert_eq!(total_dram_bytes(&plan), 2 * 64 * 191 * 16);
+    }
+
+    #[test]
+    fn bandwidth_bound_close_to_eq4_for_full_plans() {
+        let plan = FftPlan::new(18, 6);
+        let chip = ChipConfig::cyclops64();
+        let bound = bandwidth_bound_gflops(&plan, &chip);
+        assert!((bound - paper_peak_gflops()).abs() < 0.01, "got {bound}");
+    }
+
+    #[test]
+    fn partial_last_stage_lowers_the_bound() {
+        // Extra stage for only 1 more level of flops → worse flop/byte.
+        let full = FftPlan::new(18, 6);
+        let partial = FftPlan::new(19, 6);
+        let chip = ChipConfig::cyclops64();
+        assert!(
+            bandwidth_bound_gflops(&partial, &chip) < bandwidth_bound_gflops(&full, &chip)
+        );
+    }
+}

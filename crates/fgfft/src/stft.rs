@@ -1,0 +1,228 @@
+//! Short-time Fourier transform: windowed, hopped spectral analysis of
+//! long real signals — the workhorse behind spectrograms, built on
+//! [`crate::rfft()`] and [`crate::window`].
+
+use crate::api::Fft;
+use crate::complex::Complex64;
+use crate::rfft::rfft_with;
+use crate::window::Window;
+
+/// STFT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StftConfig {
+    /// Frame length in samples (power of two ≥ 4).
+    pub frame_len: usize,
+    /// Samples between consecutive frame starts.
+    pub hop: usize,
+    /// Analysis window applied to each frame.
+    pub window: Window,
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        Self {
+            frame_len: 1024,
+            hop: 256,
+            window: Window::Hann,
+        }
+    }
+}
+
+impl StftConfig {
+    /// Number of frames produced for a signal of `len` samples (frames are
+    /// dropped rather than zero-padded at the tail).
+    pub fn frames(&self, len: usize) -> usize {
+        if len < self.frame_len {
+            0
+        } else {
+            (len - self.frame_len) / self.hop + 1
+        }
+    }
+
+    /// Bins per frame (`frame_len/2 + 1`).
+    pub fn bins(&self) -> usize {
+        self.frame_len / 2 + 1
+    }
+}
+
+/// The magnitude-squared STFT of a real signal: a `frames × bins`
+/// time-frequency grid.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Configuration that produced this grid.
+    pub config: StftConfig,
+    /// Number of frames (rows).
+    pub frames: usize,
+    /// Row-major `frames × bins` power values.
+    pub power: Vec<f64>,
+}
+
+impl Spectrogram {
+    /// Power at (frame, bin).
+    pub fn at(&self, frame: usize, bin: usize) -> f64 {
+        self.power[frame * self.config.bins() + bin]
+    }
+
+    /// The strongest bin of each frame.
+    pub fn peak_bins(&self) -> Vec<usize> {
+        (0..self.frames)
+            .map(|f| {
+                let row = &self.power[f * self.config.bins()..(f + 1) * self.config.bins()];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Compute the complex STFT: one spectrum (length `frame_len/2+1`) per
+/// frame.
+pub fn stft(signal: &[f64], config: &StftConfig) -> Vec<Vec<Complex64>> {
+    stft_with(signal, config, &Fft::new())
+}
+
+/// As [`stft`] with an explicit engine.
+pub fn stft_with(signal: &[f64], config: &StftConfig, engine: &Fft) -> Vec<Vec<Complex64>> {
+    assert!(
+        config.frame_len >= 4 && config.frame_len.is_power_of_two(),
+        "frame_len must be a power of two >= 4"
+    );
+    assert!(config.hop >= 1, "hop must be >= 1");
+    let coeffs = config.window.coefficients(config.frame_len);
+    let mut frame = vec![0.0f64; config.frame_len];
+    (0..config.frames(signal.len()))
+        .map(|f| {
+            let start = f * config.hop;
+            for (i, w) in coeffs.iter().enumerate() {
+                frame[i] = signal[start + i] * w;
+            }
+            rfft_with(&frame, engine)
+        })
+        .collect()
+}
+
+/// Compute the power spectrogram `|STFT|²`.
+///
+/// ```
+/// use fgfft::{spectrogram, StftConfig, Window};
+/// let signal: Vec<f64> = (0..2048)
+///     .map(|i| (2.0 * std::f64::consts::PI * 32.0 * i as f64 / 256.0).sin())
+///     .collect();
+/// let config = StftConfig { frame_len: 256, hop: 128, window: Window::Hann };
+/// let spec = spectrogram(&signal, &config);
+/// assert!(spec.peak_bins().iter().all(|&b| b == 32));
+/// ```
+pub fn spectrogram(signal: &[f64], config: &StftConfig) -> Spectrogram {
+    let frames = stft(signal, config);
+    let bins = config.bins();
+    let mut power = Vec::with_capacity(frames.len() * bins);
+    for frame in &frames {
+        power.extend(frame.iter().map(|v| v.norm_sqr()));
+    }
+    Spectrogram {
+        config: *config,
+        frames: frames.len(),
+        power,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn frame_count_arithmetic() {
+        let c = StftConfig {
+            frame_len: 8,
+            hop: 4,
+            window: Window::Rectangular,
+        };
+        assert_eq!(c.frames(8), 1);
+        assert_eq!(c.frames(11), 1);
+        assert_eq!(c.frames(12), 2);
+        assert_eq!(c.frames(7), 0);
+        assert_eq!(c.bins(), 5);
+    }
+
+    #[test]
+    fn stationary_tone_peaks_at_its_bin() {
+        let n = 8192;
+        let frame_len = 512;
+        let bin = 40; // cycles per frame
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * bin as f64 * i as f64 / frame_len as f64).sin())
+            .collect();
+        let spec = spectrogram(
+            &signal,
+            &StftConfig {
+                frame_len,
+                hop: 128,
+                window: Window::Hann,
+            },
+        );
+        assert!(spec.frames > 10);
+        for (f, &peak) in spec.peak_bins().iter().enumerate() {
+            assert_eq!(peak, bin, "frame {f}");
+        }
+    }
+
+    #[test]
+    fn chirp_peak_moves_monotonically() {
+        // Frequency sweeps up → per-frame peak bin must not decrease.
+        let n = 16384;
+        let frame_len = 256;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                (2.0 * PI * (10.0 + 50.0 * t) * i as f64 / frame_len as f64).sin()
+            })
+            .collect();
+        let spec = spectrogram(
+            &signal,
+            &StftConfig {
+                frame_len,
+                hop: 256,
+                window: Window::Hann,
+            },
+        );
+        let peaks = spec.peak_bins();
+        for w in peaks.windows(2) {
+            assert!(w[1] + 1 >= w[0], "peak went backwards: {w:?}");
+        }
+        assert!(peaks.last().unwrap() > peaks.first().unwrap());
+    }
+
+    #[test]
+    fn silence_has_no_energy() {
+        let spec = spectrogram(&vec![0.0; 4096], &StftConfig::default());
+        assert!(spec.power.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn at_indexes_the_grid() {
+        let n = 4096;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let c = StftConfig {
+            frame_len: 256,
+            hop: 128,
+            window: Window::Hamming,
+        };
+        let spec = spectrogram(&signal, &c);
+        assert_eq!(spec.power.len(), spec.frames * c.bins());
+        let _ = spec.at(spec.frames - 1, c.bins() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_frame_len() {
+        stft(&[0.0; 100], &StftConfig {
+            frame_len: 24,
+            hop: 8,
+            window: Window::Hann,
+        });
+    }
+}

@@ -1,0 +1,162 @@
+//! The Stockham autosort FFT — a baseline from the paper's related work.
+//!
+//! Lloyd and Govindaraju (cited in Sec. VI) apply the radix-2 **Stockham**
+//! algorithm on GPUs because it avoids the bit-reversal preliminary pass:
+//! each stage permutes as it computes, ping-ponging between two buffers
+//! with unit-stride writes. The trade-off mirrors the paper's themes —
+//! no bit-reversal step and perfectly sequential stores, but an
+//! out-of-place buffer and a different (gather-side) stride pattern.
+//!
+//! Provided here as (a) an independently-derived correctness oracle,
+//! (b) a comparison baseline for the benches, and (c) the access-pattern
+//! generator for the "what if the paper had used Stockham?" ablation.
+
+use crate::complex::Complex64;
+use std::f64::consts::PI;
+
+/// Out-of-place radix-2 Stockham FFT (decimation in frequency, autosort).
+/// `data.len()` must be a power of two. The input buffer is consumed as
+/// scratch.
+///
+/// ```
+/// use fgfft::Complex64;
+/// use fgfft::stockham::stockham_fft;
+/// let y = stockham_fft(vec![Complex64::ONE; 8]); // constant → DC impulse
+/// assert!((y[0].re - 8.0).abs() < 1e-12);
+/// assert!(y[1..].iter().all(|v| v.abs() < 1e-12));
+/// ```
+///
+/// Stage `t` combines sub-sequences of length `n_t = n >> t` with stride
+/// `s_t = 2^t`: for each `p < n_t/2`, `q < s_t`,
+///
+/// ```text
+/// dst[q + s(2p)]   =  src[q + s·p] + src[q + s·(p + n_t/2)]
+/// dst[q + s(2p+1)] = (src[q + s·p] − src[q + s·(p + n_t/2)]) · e^{−2πip/n_t}
+/// ```
+pub fn stockham_fft(mut data: Vec<Complex64>) -> Vec<Complex64> {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    if n <= 1 {
+        return data;
+    }
+    let mut scratch = vec![Complex64::ZERO; n];
+    let mut src_is_data = true;
+    let mut n_cur = n;
+    let mut s = 1usize;
+    while n_cur > 1 {
+        let m = n_cur / 2;
+        let theta = -2.0 * PI / n_cur as f64;
+        {
+            let (src, dst) = if src_is_data {
+                (&data[..], &mut scratch[..])
+            } else {
+                (&scratch[..], &mut data[..])
+            };
+            for p in 0..m {
+                let w = Complex64::expi(theta * p as f64);
+                for q in 0..s {
+                    let a = src[q + s * p];
+                    let b = src[q + s * (p + m)];
+                    dst[q + s * 2 * p] = a + b;
+                    dst[q + s * (2 * p + 1)] = (a - b) * w;
+                }
+            }
+        }
+        n_cur = m;
+        s *= 2;
+        src_is_data = !src_is_data;
+    }
+    if src_is_data {
+        data
+    } else {
+        scratch
+    }
+}
+
+/// The access pattern of Stockham stage `t` for an `n`-point transform:
+/// reads two streams of contiguous `2^t`-element blocks whose pair
+/// distance is `n/2` elements; writes contiguous `2^t`-element blocks.
+/// Used by the ablation that maps Stockham's pattern onto the C64
+/// interleave (the pair distance is a power of two, so paired reads always
+/// share a bank phase — Stockham does not escape the interleave pathology).
+pub fn stage_strides(n: usize, t: u32) -> StageStrides {
+    let s = 1usize << t;
+    StageStrides {
+        read_block_len: s,
+        read_block_distance: n / 2,
+        write_block_len: s,
+    }
+}
+
+/// Access-pattern summary of a Stockham stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageStrides {
+    /// Contiguous elements read per block.
+    pub read_block_len: usize,
+    /// Element distance between the two read streams.
+    pub read_block_distance: usize,
+    /// Contiguous elements written per block.
+    pub write_block_len: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+    use crate::reference::naive_dft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.29).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 16, 128, 1024] {
+            let x = signal(n);
+            let got = stockham_fft(x.clone());
+            let expect = naive_dft(&x);
+            assert!(rms_error(&got, &expect) < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_codelet_fft() {
+        let n = 1 << 12;
+        let x = signal(n);
+        let got = stockham_fft(x.clone());
+        let mut codelet = x;
+        crate::api::forward(&mut codelet);
+        assert!(rms_error(&got, &codelet) < 1e-9);
+    }
+
+    #[test]
+    fn impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 64];
+        x[0] = Complex64::ONE;
+        let y = stockham_fft(x);
+        assert!(y.iter().all(|v| v.dist(Complex64::ONE) < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        stockham_fft(signal(10));
+    }
+
+    #[test]
+    fn stage_strides_grow_with_stage() {
+        let n = 1 << 10;
+        let first = stage_strides(n, 0);
+        assert_eq!(first.read_block_len, 1);
+        assert_eq!(first.write_block_len, 1);
+        let last = stage_strides(n, 9);
+        assert_eq!(last.read_block_len, 512);
+        assert_eq!(last.write_block_len, 512);
+        // Read streams always sit n/2 apart: a power-of-two element
+        // distance → the two streams land on the same C64 bank phase.
+        assert_eq!(first.read_block_distance, n / 2);
+        assert_eq!(last.read_block_distance, n / 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Spectrogram: track a frequency-hopping transmitter through time with
+//! the short-time Fourier transform (`fgfft::stft`), rendered as ASCII art.
+//!
+//! Run with: `cargo run --release -p fgfft-examples --bin spectrogram`
+
+use fgfft::{spectrogram, StftConfig, Window};
+use std::f64::consts::PI;
+
+const SAMPLE_RATE: f64 = 8_000.0;
+
+fn main() {
+    // A transmitter that hops between four frequencies, plus noise.
+    let hops = [600.0, 1800.0, 1000.0, 2600.0, 1400.0, 2200.0];
+    let samples_per_hop = 4000;
+    let n = hops.len() * samples_per_hop;
+    let mut phase = 0.0f64;
+    let signal: Vec<f64> = (0..n)
+        .map(|i| {
+            let f = hops[i / samples_per_hop];
+            phase += 2.0 * PI * f / SAMPLE_RATE;
+            phase.sin() + 0.05 * ((i * 2654435761) % 1000) as f64 / 1000.0
+        })
+        .collect();
+
+    let config = StftConfig {
+        frame_len: 512,
+        hop: 256,
+        window: Window::Hann,
+    };
+    let spec = spectrogram(&signal, &config);
+    let bin_hz = SAMPLE_RATE / config.frame_len as f64;
+    println!(
+        "{} samples at {} Hz → {} frames x {} bins ({:.1} Hz/bin)\n",
+        n,
+        SAMPLE_RATE,
+        spec.frames,
+        config.bins(),
+        bin_hz
+    );
+
+    // ASCII spectrogram: time → columns, frequency → rows (0..3 kHz).
+    let max_bin = (3000.0 / bin_hz) as usize;
+    let rows = 24;
+    let cols = spec.frames.min(78);
+    let peak = spec.power.iter().cloned().fold(0.0, f64::max);
+    for r in (0..rows).rev() {
+        let bin_lo = r * max_bin / rows;
+        let bin_hi = ((r + 1) * max_bin / rows).max(bin_lo + 1);
+        print!("{:>5.0} Hz |", bin_lo as f64 * bin_hz);
+        for c in 0..cols {
+            let frame = c * spec.frames / cols;
+            let p: f64 = (bin_lo..bin_hi).map(|b| spec.at(frame, b)).sum();
+            let rel = (p / peak).sqrt();
+            print!(
+                "{}",
+                match (rel * 5.0) as u32 {
+                    0 => ' ',
+                    1 => '░',
+                    2 => '▒',
+                    3 => '▓',
+                    _ => '█',
+                }
+            );
+        }
+        println!("|");
+    }
+
+    // Verify the tracked peaks follow the hop schedule.
+    let peaks = spec.peak_bins();
+    let mut correct = 0;
+    for (f, &peak_bin) in peaks.iter().enumerate() {
+        let sample = f * config.hop + config.frame_len / 2;
+        let truth = hops[(sample / samples_per_hop).min(hops.len() - 1)];
+        if ((peak_bin as f64 * bin_hz) - truth).abs() <= 2.0 * bin_hz {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / peaks.len() as f64;
+    println!(
+        "\nhop tracking: {}/{} frames identified the active frequency ({:.0}%)",
+        correct,
+        peaks.len(),
+        acc * 100.0
+    );
+    assert!(acc > 0.85, "tracker lost the transmitter");
+    println!("frequency hops tracked ✓");
+}

@@ -1,0 +1,197 @@
+//! Property-based tests: transform identities over random inputs, and
+//! structural invariants of random FFT plans.
+
+use fgfft::plan::FftPlan;
+use fgfft::reference::{energy, recursive_fft};
+use fgfft::{fft_in_place, rms_error, Complex64, ExecConfig, SeedOrder, Version};
+use proptest::prelude::*;
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
+        .prop_map(|v| v.into_iter().map(Complex64::from).collect())
+}
+
+fn fft(data: &[Complex64]) -> Vec<Complex64> {
+    let mut out = data.to_vec();
+    fft_in_place(
+        &mut out,
+        Version::Fine(SeedOrder::Natural),
+        &ExecConfig::with_workers(4),
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FFT(x) matches the recursive reference on random inputs.
+    #[test]
+    fn matches_reference(data in complex_vec(512)) {
+        let expect = recursive_fft(&data);
+        let got = fft(&data);
+        prop_assert!(rms_error(&got, &expect) < 1e-9);
+    }
+
+    /// Linearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
+    #[test]
+    fn linearity(x in complex_vec(256), y in complex_vec(256), ar in -2.0f64..2.0, ai in -2.0f64..2.0) {
+        let a = Complex64::new(ar, ai);
+        let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&u, &v)| a * u + v).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let rhs: Vec<Complex64> = fx.iter().zip(&fy).map(|(&u, &v)| a * u + v).collect();
+        prop_assert!(rms_error(&lhs, &rhs) < 1e-9);
+    }
+
+    /// Parseval: ‖X‖² = N·‖x‖².
+    #[test]
+    fn parseval(data in complex_vec(1024)) {
+        let freq = fft(&data);
+        let lhs = energy(&freq);
+        let rhs = energy(&data) * 1024.0;
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
+    }
+
+    /// Circular time shift ↔ linear phase: FFT(shift(x, s))[k] = X[k]·e^{-2πiks/N}.
+    #[test]
+    fn shift_theorem(data in complex_vec(256), s in 0usize..256) {
+        let n = data.len();
+        let shifted: Vec<Complex64> = (0..n).map(|i| data[(i + s) % n]).collect();
+        let fs = fft(&shifted);
+        let fx = fft(&data);
+        let expect: Vec<Complex64> = fx
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * Complex64::expi(2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64))
+            .collect();
+        prop_assert!(rms_error(&fs, &expect) < 1e-9);
+    }
+
+    /// Convolution theorem through the public API.
+    #[test]
+    fn convolution_theorem(a in complex_vec(48), b in complex_vec(17)) {
+        let fast = fgfft::convolve(&a, &b);
+        let mut direct = vec![Complex64::ZERO; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                direct[i + j] += x * y;
+            }
+        }
+        prop_assert!(rms_error(&fast, &direct) < 1e-9);
+    }
+
+    /// Inverse really inverts, for arbitrary sizes and versions.
+    #[test]
+    fn roundtrip(data in complex_vec(128), guided in proptest::bool::ANY) {
+        let version = if guided { Version::FineGuided } else { Version::CoarseHash };
+        let engine = fgfft::Fft::new().with_version(version).with_workers(2);
+        let mut v = data.clone();
+        engine.forward(&mut v);
+        engine.inverse(&mut v);
+        prop_assert!(rms_error(&v, &data) < 1e-11);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Plan invariants for random (size, radix) combinations: stages cover
+    /// all levels, every stage partitions the elements, and the
+    /// parent/child relations are mutually consistent.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn plan_invariants(n_log2 in 2u32..12, radix_log2 in 1u32..7) {
+        let plan = FftPlan::new(n_log2, radix_log2);
+        let p = plan.radix_log2();
+
+        // Levels add up to log2 N.
+        let total_levels: u32 = (0..plan.stages()).map(|s| plan.levels(s)).sum();
+        prop_assert_eq!(total_levels, n_log2);
+
+        // Each stage partitions the element set and owner() agrees.
+        for stage in 0..plan.stages() {
+            let mut seen = vec![false; plan.n()];
+            for idx in 0..plan.codelets_per_stage() {
+                plan.for_each_element(stage, idx, |_, e| {
+                    assert!(!seen[e]);
+                    seen[e] = true;
+                    assert_eq!(plan.owner(stage, e), idx);
+                });
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        // Children counts and dependence counts are duals.
+        let cps = plan.codelets_per_stage();
+        for stage in 0..plan.stages() - 1 {
+            let mut dep = vec![0u32; cps];
+            let mut kids = Vec::new();
+            for idx in 0..cps {
+                kids.clear();
+                plan.children_of(stage, idx, &mut kids);
+                // No duplicate children.
+                for w in kids.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                for &k in &kids {
+                    dep[k - (stage + 1) * cps] += 1;
+                }
+            }
+            for idx in 0..cps {
+                prop_assert_eq!(dep[idx], plan.parent_count(stage + 1, idx));
+            }
+        }
+
+        // Full stages have exactly P parents.
+        for stage in 1..plan.stages() {
+            if plan.is_full_stage(stage) {
+                prop_assert_eq!(plan.parent_count(stage, 0), 1u32 << p);
+            }
+        }
+    }
+
+    /// Grouped orders (plain and bank-rotated) are permutations, and every
+    /// run shares its children.
+    #[test]
+    fn grouped_orders_are_sound(n_log2 in 4u32..12, radix_log2 in 2u32..5) {
+        let plan = FftPlan::new(n_log2, radix_log2);
+        prop_assume!(plan.stages() >= 2);
+        for stage in 0..plan.stages() - 1 {
+            for order in [plan.grouped_stage_order(stage), plan.grouped_stage_order_bank_rotated(stage)] {
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(&sorted, &(0..plan.codelets_per_stage()).collect::<Vec<_>>());
+            }
+            let order = plan.grouped_stage_order(stage);
+            let run = plan.grouped_run_len(stage);
+            let mut kids_a = Vec::new();
+            let mut kids_b = Vec::new();
+            for chunk in order.chunks(run) {
+                kids_a.clear();
+                plan.children_of(stage, chunk[0], &mut kids_a);
+                for &idx in &chunk[1..] {
+                    kids_b.clear();
+                    plan.children_of(stage, idx, &mut kids_b);
+                    prop_assert_eq!(&kids_a, &kids_b);
+                }
+            }
+        }
+    }
+
+    /// Seed orders are permutations for any count.
+    #[test]
+    fn seed_orders_are_permutations(count in 0usize..300, seed in 0u64..1000) {
+        for order in [
+            SeedOrder::Natural,
+            SeedOrder::Reversed,
+            SeedOrder::EvenOdd,
+            SeedOrder::Random(seed),
+        ] {
+            let v = order.order(count);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..count).collect::<Vec<_>>());
+        }
+    }
+}
