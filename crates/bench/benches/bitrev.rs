@@ -1,18 +1,17 @@
 //! Criterion: bit-reversal permutation, serial vs parallel — the "first
 //! step" of every algorithm version, and the hash function of Sec. IV-B.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::bitrev::{bit_reverse, bit_reverse_permute, bit_reverse_permute_parallel};
 use fgfft::Complex64;
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 fn bench_permutation(c: &mut Criterion) {
     let mut group = c.benchmark_group("bit_reversal_permute");
     for n_log2 in [14u32, 18, 20] {
         let n = 1usize << n_log2;
         group.throughput(Throughput::Elements(n as u64));
-        let data: Vec<Complex64> = (0..n)
-            .map(|i| Complex64::new(i as f64, 0.0))
-            .collect();
+        let data: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
         group.bench_with_input(BenchmarkId::new("serial", n_log2), &n_log2, |b, _| {
             let mut work = data.clone();
             b.iter(|| bit_reverse_permute(&mut work));
@@ -36,7 +35,7 @@ fn bench_reverse_function(c: &mut Criterion) {
         let mut x = 0usize;
         b.iter(|| {
             x = (x + 1) & ((1 << 21) - 1);
-            criterion::black_box(bit_reverse(x, 21))
+            fgsupport::bench::black_box(bit_reverse(x, 21))
         });
     });
 }

@@ -1,14 +1,14 @@
 //! Criterion: host wall-clock of the five algorithm versions on one input
-//! size, plus a rayon fork-join baseline for the coarse-grain (barrier)
-//! model — rayon being the canonical Rust embodiment of the coarse
-//! fork-join style the paper's baseline uses.
+//! size, plus a plain fork-join baseline for the coarse-grain (barrier)
+//! model — scoped threads joined once per stage, the canonical embodiment
+//! of the coarse fork-join style the paper's baseline uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::exec::shared::{execute_codelet_shared, SharedData};
 use fgfft::{
     fft_in_place, Complex64, ExecConfig, FftPlan, SeedOrder, TwiddleLayout, TwiddleTable, Version,
 };
-use rayon::prelude::*;
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 const N_LOG2: u32 = 16;
 
@@ -18,18 +18,29 @@ fn signal(n: usize) -> Vec<Complex64> {
         .collect()
 }
 
-/// Coarse-grain FFT on rayon: one par_iter per stage (barrier = join).
-fn rayon_coarse_fft(data: &mut [Complex64], plan: &FftPlan, tw: &TwiddleTable) {
+/// Coarse-grain fork-join FFT: spawn scoped threads per stage, each taking
+/// a contiguous slice of the stage's codelets; the scope join is the barrier.
+fn fork_join_coarse_fft(data: &mut [Complex64], plan: &FftPlan, tw: &TwiddleTable) {
     fgfft::bitrev::bit_reverse_permute(data);
     let view = SharedData::new(data);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cps = plan.codelets_per_stage();
+    let chunk = cps.div_ceil(threads);
     for stage in 0..plan.stages() {
-        (0..plan.codelets_per_stage())
-            .into_par_iter()
-            .for_each(|idx| {
-                // SAFETY: codelets of one stage own disjoint elements; the
-                // join at the end of the par_iter is the barrier.
-                unsafe { execute_codelet_shared(plan, tw, &view, stage, idx) };
-            });
+        std::thread::scope(|s| {
+            for start in (0..cps).step_by(chunk) {
+                let view = &view;
+                s.spawn(move || {
+                    for idx in start..(start + chunk).min(cps) {
+                        // SAFETY: codelets of one stage own disjoint
+                        // elements; the scope join is the barrier.
+                        unsafe { execute_codelet_shared(plan, tw, view, stage, idx) };
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -56,7 +67,7 @@ fn bench_versions(c: &mut Criterion) {
                 b.iter_batched(
                     || input.clone(),
                     |mut data| fft_in_place(&mut data, v, &cfg),
-                    criterion::BatchSize::LargeInput,
+                    fgsupport::bench::BatchSize::LargeInput,
                 );
             },
         );
@@ -64,11 +75,11 @@ fn bench_versions(c: &mut Criterion) {
 
     let plan = FftPlan::new(N_LOG2, 6);
     let tw = TwiddleTable::new(N_LOG2, TwiddleLayout::Linear);
-    group.bench_function("rayon coarse baseline", |b| {
+    group.bench_function("fork-join coarse baseline", |b| {
         b.iter_batched(
             || input.clone(),
-            |mut data| rayon_coarse_fft(&mut data, &plan, &tw),
-            criterion::BatchSize::LargeInput,
+            |mut data| fork_join_coarse_fft(&mut data, &plan, &tw),
+            fgsupport::bench::BatchSize::LargeInput,
         );
     });
     group.finish();

@@ -1,9 +1,10 @@
 //! Criterion: the codelet butterfly kernel across work-unit sizes — the
 //! host-side companion of Fig. 7's codelet-size study.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::kernel::execute_codelet;
 use fgfft::{Complex64, FftPlan, TwiddleLayout, TwiddleTable};
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 fn bench_kernel_sizes(c: &mut Criterion) {
     let n_log2 = 14;

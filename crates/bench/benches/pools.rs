@@ -3,7 +3,8 @@
 //! pool".
 
 use codelet::pool::{PoolDiscipline, ReadyPool};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 

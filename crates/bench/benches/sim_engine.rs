@@ -4,8 +4,9 @@
 
 use c64sim::sched::SequencedScheduler;
 use c64sim::{simulate, ChipConfig, SimOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::{FftPlan, FftWorkload, TwiddleLayout};
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine");

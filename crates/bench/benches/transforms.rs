@@ -2,9 +2,10 @@
 //! promoting to complex, 2-D FFT, and the Stockham baseline vs the codelet
 //! FFT.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::stockham::stockham_fft;
 use fgfft::{Complex64, Fft, Fft2d};
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 fn bench_rfft_vs_complex(c: &mut Criterion) {
     let n = 1usize << 16;
@@ -17,8 +18,7 @@ fn bench_rfft_vs_complex(c: &mut Criterion) {
     });
     group.bench_function("complex promote", |b| {
         b.iter(|| {
-            let mut data: Vec<Complex64> =
-                signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
+            let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::new(x, 0.0)).collect();
             fgfft::forward(&mut data);
             data
         });
@@ -42,7 +42,7 @@ fn bench_fft2d(c: &mut Criterion) {
                 b.iter_batched(
                     || image.clone(),
                     |mut img| engine.forward(&mut img),
-                    criterion::BatchSize::LargeInput,
+                    fgsupport::bench::BatchSize::LargeInput,
                 );
             },
         );
@@ -62,7 +62,7 @@ fn bench_stockham_vs_codelet(c: &mut Criterion) {
         b.iter_batched(
             || data.clone(),
             stockham_fft,
-            criterion::BatchSize::LargeInput,
+            fgsupport::bench::BatchSize::LargeInput,
         );
     });
     let engine = Fft::new().with_workers(1);
@@ -73,11 +73,16 @@ fn bench_stockham_vs_codelet(c: &mut Criterion) {
                 engine.forward(&mut d);
                 d
             },
-            criterion::BatchSize::LargeInput,
+            fgsupport::bench::BatchSize::LargeInput,
         );
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_rfft_vs_complex, bench_fft2d, bench_stockham_vs_codelet);
+criterion_group!(
+    benches,
+    bench_rfft_vs_complex,
+    bench_fft2d,
+    bench_stockham_vs_codelet
+);
 criterion_main!(benches);

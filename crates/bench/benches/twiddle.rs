@@ -1,8 +1,9 @@
 //! Criterion: twiddle-table construction and hashed access — the software
 //! cost side of the Sec. IV-B address-randomization trade-off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgfft::{TwiddleLayout, TwiddleTable};
+use fgsupport::bench::{BenchmarkId, Criterion, Throughput};
+use fgsupport::{criterion_group, criterion_main};
 
 fn bench_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("twiddle_table_build");

@@ -29,7 +29,9 @@ fn main() {
     let radix_log2: u32 = cli.get("radix", 4);
     let workers: usize = cli.get(
         "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let reps: usize = cli.get("reps", 5);
 

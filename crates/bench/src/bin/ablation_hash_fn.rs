@@ -63,7 +63,10 @@ fn main() {
             )
             .gflops,
         );
-        guided.push(x, run_sim(plan, SimVersion::FineGuided, &chip, &opts).gflops);
+        guided.push(
+            x,
+            run_sim(plan, SimVersion::FineGuided, &chip, &opts).gflops,
+        );
         eprintln!("done n=2^{n_log2}");
     }
     fig.series = vec![linear, bitrev, mult, guided];

@@ -52,7 +52,11 @@ fn main() {
             let total_sync = model.total_sync_ops();
             let mut sched = SequencedScheduler::fine(&graph, SimPoolDiscipline::Random(1));
             let r = simulate(&chip, &model, &mut sched, &opts);
-            let label = if sender { "sender-initiated" } else { "receiver-initiated" };
+            let label = if sender {
+                "sender-initiated"
+            } else {
+                "receiver-initiated"
+            };
             println!(
                 "{points:4}-pt {label:20} {:7.3} GFLOPS  ({} sync ops, {:.3}/point/run)",
                 r.gflops,

@@ -68,9 +68,7 @@ fn main() {
         r.makespan_cycles
     };
 
-    println!(
-        "scanning the key field of {records} records on the simulated C64, {tus} TUs\n"
-    );
+    println!("scanning the key field of {records} records on the simulated C64, {tus} TUs\n");
     let hot = run("256-byte records", 256);
     let padded = run("256+64-byte records", 256 + 64);
     println!(

@@ -1,7 +1,10 @@
 //! Diagnostic: per-version GFLOPS, bank imbalance, and window traces.
 
 use c64sim::{ChipConfig, SimOptions, SimPoolDiscipline};
-use fgfft::{run_sim, run_sim_fine, run_sim_guided, FftPlan, GuidedOptions, SeedOrder, SimVersion, TwiddleLayout};
+use fgfft::{
+    run_sim, run_sim_fine, run_sim_guided, FftPlan, GuidedOptions, SeedOrder, SimVersion,
+    TwiddleLayout,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -46,20 +49,77 @@ fn main() {
         }
     }
     for seed in [1u64, 2] {
-        let r = run_sim_fine(plan, TwiddleLayout::Linear, SeedOrder::Natural, SimPoolDiscipline::Random(seed), &chip, &opts);
-        println!("fine/randbag({seed})     {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}", r.gflops, r.makespan_cycles, r.dram_utilization);
-        let r = run_sim_fine(plan, TwiddleLayout::BitReversedHash, SeedOrder::Natural, SimPoolDiscipline::Random(seed), &chip, &opts);
-        println!("finehash/randbag({seed}) {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}", r.gflops, r.makespan_cycles, r.dram_utilization);
+        let r = run_sim_fine(
+            plan,
+            TwiddleLayout::Linear,
+            SeedOrder::Natural,
+            SimPoolDiscipline::Random(seed),
+            &chip,
+            &opts,
+        );
+        println!(
+            "fine/randbag({seed})     {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}",
+            r.gflops, r.makespan_cycles, r.dram_utilization
+        );
+        let r = run_sim_fine(
+            plan,
+            TwiddleLayout::BitReversedHash,
+            SeedOrder::Natural,
+            SimPoolDiscipline::Random(seed),
+            &chip,
+            &opts,
+        );
+        println!(
+            "finehash/randbag({seed}) {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}",
+            r.gflops, r.makespan_cycles, r.dram_utilization
+        );
     }
     if plan.stages() >= 3 {
         for (label, g) in [
-            ("guided/rot/lifo", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Lifo, last_early: None }),
-            ("guided/paper/lifo", GuidedOptions { bank_rotated_seeds: false, discipline: SimPoolDiscipline::Lifo, last_early: None }),
-            ("guided/rot/fifo", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Fifo, last_early: None }),
-            ("guided/rot/random", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Random(5), last_early: None }),
-            ("guided/rot/split-2", GuidedOptions { bank_rotated_seeds: true, discipline: SimPoolDiscipline::Lifo, last_early: Some(plan.stages().saturating_sub(4)) }),
+            (
+                "guided/rot/lifo",
+                GuidedOptions {
+                    bank_rotated_seeds: true,
+                    discipline: SimPoolDiscipline::Lifo,
+                    last_early: None,
+                },
+            ),
+            (
+                "guided/paper/lifo",
+                GuidedOptions {
+                    bank_rotated_seeds: false,
+                    discipline: SimPoolDiscipline::Lifo,
+                    last_early: None,
+                },
+            ),
+            (
+                "guided/rot/fifo",
+                GuidedOptions {
+                    bank_rotated_seeds: true,
+                    discipline: SimPoolDiscipline::Fifo,
+                    last_early: None,
+                },
+            ),
+            (
+                "guided/rot/random",
+                GuidedOptions {
+                    bank_rotated_seeds: true,
+                    discipline: SimPoolDiscipline::Random(5),
+                    last_early: None,
+                },
+            ),
+            (
+                "guided/rot/split-2",
+                GuidedOptions {
+                    bank_rotated_seeds: true,
+                    discipline: SimPoolDiscipline::Lifo,
+                    last_early: Some(plan.stages().saturating_sub(4)),
+                },
+            ),
         ] {
-            if g.last_early == Some(0) && plan.stages() < 4 { continue; }
+            if g.last_early == Some(0) && plan.stages() < 4 {
+                continue;
+            }
             let r = run_sim_guided(plan, &chip, &opts, &g);
             println!(
                 "{label:20} {:7.3} GFLOPS  cycles={:9}  dram_util={:.3}",

@@ -1,0 +1,74 @@
+//! Static-vs-simulated bank pressure: does `fgcheck`'s address-algebra
+//! histogram (pass 3) predict what the `c64sim` memory system actually
+//! measures in the Fig. 1 / Fig. 6 runs?
+//!
+//! For each twiddle layout this prints the static whole-run per-bank totals
+//! next to the simulator's measured `bank_accesses`, plus both imbalance
+//! ratios. The static totals must match the measurement *exactly* — both
+//! sides count 64-byte-line accesses of the same address stream — so this
+//! doubles as an end-to-end audit of the footprint API.
+//!
+//! Usage: `diag_static_bank [--full] [--json PATH] [n_log2=15] [tus=156]`
+
+use fft_repro::{paper_chip, trace_options, Cli, Figure, Series};
+use fgcheck::{check_fft, FftCheckOptions};
+use fgfft::simwork::run_sim_with_layout;
+use fgfft::{FftPlan, SimVersion, TwiddleLayout};
+
+fn main() {
+    let cli = Cli::parse();
+    let n_log2: u32 = cli.get("n_log2", if cli.full { 20 } else { 15 });
+    let tus: usize = cli.get("tus", 156);
+    let plan = FftPlan::new(n_log2, 6);
+    let chip = paper_chip(tus);
+    let opts = trace_options(n_log2);
+
+    let mut fig = Figure::new(
+        "diag_static_bank",
+        "static (fgcheck) vs simulated (c64sim) per-bank accesses, coarse FFT",
+        "bank",
+        "accesses",
+    );
+    fig.note("n_log2", n_log2);
+    fig.note("thread_units", tus);
+
+    for layout in [TwiddleLayout::Linear, TwiddleLayout::BitReversedHash] {
+        let name = fgcheck::layout_name(layout);
+        let report = check_fft(&FftCheckOptions {
+            layout: Some(layout),
+            ..FftCheckOptions::new(n_log2, SimVersion::Coarse)
+        });
+        let mut static_totals = vec![0u64; 4];
+        for row in &report.bank.hist {
+            for (b, &c) in row.iter().enumerate() {
+                static_totals[b] += c;
+            }
+        }
+        let sim = run_sim_with_layout(plan, SimVersion::Coarse, layout, &chip, &opts);
+
+        let mut s_static = Series::new(format!("{name} static"));
+        let mut s_sim = Series::new(format!("{name} simulated"));
+        for (b, &total) in static_totals.iter().enumerate() {
+            s_static.push(b as f64, total as f64);
+            s_sim.push(b as f64, sim.bank_accesses[b] as f64);
+        }
+        fig.series.push(s_static);
+        fig.series.push(s_sim);
+
+        let mean = static_totals.iter().sum::<u64>() as f64 / 4.0;
+        let static_imb = *static_totals.iter().max().unwrap() as f64 / mean;
+        println!(
+            "{name:12} static {static_totals:?} (imbalance {static_imb:.3}) | \
+             simulated {:?} (imbalance {:.3}) | early-stage warnings: {}",
+            sim.bank_accesses,
+            sim.bank_imbalance(),
+            report.bank_lint.len()
+        );
+        assert_eq!(
+            static_totals, sim.bank_accesses,
+            "{name}: static histogram must equal the measured access counts"
+        );
+    }
+    println!("check: static totals equal simulated totals for both layouts");
+    cli.finish(&fig);
+}

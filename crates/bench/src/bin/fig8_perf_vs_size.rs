@@ -77,7 +77,14 @@ fn main() {
         eprintln!("done n=2^{n_log2}");
     }
 
-    fig.series = vec![coarse, coarse_hash, fine_worst, fine_best, fine_hash, fine_guided];
+    fig.series = vec![
+        coarse,
+        coarse_hash,
+        fine_worst,
+        fine_best,
+        fine_hash,
+        fine_guided,
+    ];
     cli.finish(&fig);
 
     // Paper observations, checked at the largest size swept.

@@ -16,7 +16,9 @@ fn main() {
     let cli = Cli::parse();
     let workers: usize = cli.get(
         "workers",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     );
     let reps: usize = cli.get("reps", 3);
     let max_n: u32 = cli.get("max_n", if cli.full { 22 } else { 20 });

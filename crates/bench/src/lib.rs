@@ -6,11 +6,11 @@
 //! series bookkeeping, and the standard machine setup live here.
 
 use c64sim::{ChipConfig, SimOptions};
-use serde::Serialize;
+use fgsupport::json::Value;
 use std::collections::BTreeMap;
 
 /// One line/series of a figure: a label and (x, y) points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (matches the paper's).
     pub label: String,
@@ -38,7 +38,7 @@ impl Series {
 }
 
 /// A whole figure: id, axis names, series, and free-form metadata.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Identifier, e.g. "fig8".
     pub id: String,
@@ -105,7 +105,37 @@ impl Figure {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure serializes")
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                Value::obj(vec![
+                    ("label", Value::Str(s.label.clone())),
+                    (
+                        "x",
+                        Value::Arr(s.x.iter().map(|&v| Value::Num(v)).collect()),
+                    ),
+                    (
+                        "y",
+                        Value::Arr(s.y.iter().map(|&v| Value::Num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let meta = self
+            .meta
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect();
+        Value::obj(vec![
+            ("id", Value::Str(self.id.clone())),
+            ("title", Value::Str(self.title.clone())),
+            ("x_label", Value::Str(self.x_label.clone())),
+            ("y_label", Value::Str(self.y_label.clone())),
+            ("series", Value::Arr(series)),
+            ("meta", Value::Obj(meta)),
+        ])
+        .to_string_pretty()
     }
 
     /// Write JSON to `path`.

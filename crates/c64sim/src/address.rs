@@ -7,13 +7,11 @@
 //! `64 * 4` bytes (or whose addresses are all multiples of 256 within one
 //! array) keeps hitting the *same* bank.
 
-use serde::{Deserialize, Serialize};
-
 /// Byte address within the simulated machine.
 pub type Addr = u64;
 
 /// Which physical memory a request targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Space {
     /// Off-chip DRAM: 4 banks, 16 GB/s aggregate, the contended resource.
     Dram,
@@ -25,7 +23,7 @@ pub enum Space {
 }
 
 /// Maps DRAM addresses to banks according to the interleaving scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interleave {
     /// Bytes per stripe unit (64 on C64).
     pub unit_bytes: u64,
@@ -68,6 +66,60 @@ impl Interleave {
             hist[self.bank_of(base + i as u64 * stride_bytes)] += 1;
         }
         hist
+    }
+}
+
+/// A byte range touched by one task, classified read or write — the unit of
+/// the `fgcheck` race detector's footprint analysis. Ranges are half-open:
+/// `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRange {
+    /// First byte of the range.
+    pub lo: Addr,
+    /// One past the last byte.
+    pub hi: Addr,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+}
+
+impl MemRange {
+    /// A read of `bytes` bytes at `addr`.
+    pub fn read(addr: Addr, bytes: u64) -> Self {
+        Self {
+            lo: addr,
+            hi: addr + bytes,
+            write: false,
+        }
+    }
+
+    /// A write of `bytes` bytes at `addr`.
+    pub fn write(addr: Addr, bytes: u64) -> Self {
+        Self {
+            lo: addr,
+            hi: addr + bytes,
+            write: true,
+        }
+    }
+
+    /// Bytes covered.
+    pub fn len(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// Do the two ranges share at least one byte?
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Overlapping *and* at least one side writes — the pair is a data race
+    /// unless some synchronization orders the two accesses.
+    pub fn conflicts(&self, other: &Self) -> bool {
+        (self.write || other.write) && self.overlaps(other)
     }
 }
 
@@ -164,6 +216,23 @@ mod tests {
         assert_eq!(il.banks_touched(0, 65), 2);
         assert_eq!(il.banks_touched(60, 8), 2);
         assert_eq!(il.banks_touched(0, 4096), 4); // capped at bank count
+    }
+
+    #[test]
+    fn mem_range_overlap_and_conflict() {
+        let r = MemRange::read(0, 16);
+        let w = MemRange::write(8, 16);
+        let far = MemRange::write(16, 16);
+        assert_eq!(r.len(), 16);
+        assert!(!r.is_empty());
+        assert!(r.overlaps(&w) && w.overlaps(&r));
+        assert!(r.conflicts(&w));
+        assert!(!r.overlaps(&far), "half-open ranges: [0,16) and [16,32)");
+        assert!(
+            !r.conflicts(&MemRange::read(0, 16)),
+            "read-read never conflicts"
+        );
+        assert!(MemRange::read(0, 0).is_empty());
     }
 
     #[test]

@@ -1,14 +1,13 @@
 //! Machine configuration for the simulated Cyclops-64 chip.
 
 use codelet::amm::AbstractMachine;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the simulated chip. Defaults reproduce the IBM Cyclops-64
 /// node described in Sec. III-A of the paper and the published C64 memory
 /// numbers (16 GB/s off-chip DRAM behind 4 ports, 320 GB/s on-chip SRAM,
 /// 500 MHz clock, 160 thread units of which 156 are available to
 /// applications).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipConfig {
     /// Thread units available to the application (the paper uses 156 of 160;
     /// 4 are reserved for the OS kernel).
@@ -139,6 +138,93 @@ impl ChipConfig {
         }
         Ok(())
     }
+
+    /// Serialize to a JSON object (all fields, insertion-ordered).
+    pub fn to_json(&self) -> String {
+        use fgsupport::json::Value;
+        Value::obj(vec![
+            ("thread_units", Value::Num(self.thread_units as f64)),
+            ("frequency_hz", Value::Num(self.frequency_hz as f64)),
+            ("dram_banks", Value::Num(self.dram_banks as f64)),
+            ("interleave_bytes", Value::Num(self.interleave_bytes as f64)),
+            (
+                "dram_bytes_per_cycle",
+                Value::Num(self.dram_bytes_per_cycle),
+            ),
+            ("dram_latency", Value::Num(self.dram_latency as f64)),
+            (
+                "sram_bytes_per_cycle",
+                Value::Num(self.sram_bytes_per_cycle),
+            ),
+            ("sram_latency", Value::Num(self.sram_latency as f64)),
+            ("barrier_cycles", Value::Num(self.barrier_cycles as f64)),
+            (
+                "codelet_overhead_cycles",
+                Value::Num(self.codelet_overhead_cycles as f64),
+            ),
+            (
+                "flops_per_cycle_per_tu",
+                Value::Num(self.flops_per_cycle_per_tu),
+            ),
+            (
+                "issue_cycles_per_op",
+                Value::Num(self.issue_cycles_per_op as f64),
+            ),
+            (
+                "max_outstanding_ops",
+                Value::Num(self.max_outstanding_ops as f64),
+            ),
+            (
+                "spill_cycles_per_op",
+                Value::Num(self.spill_cycles_per_op as f64),
+            ),
+            ("hash_base_cycles", Value::Num(self.hash_base_cycles as f64)),
+            (
+                "hash_cycles_per_bit",
+                Value::Num(self.hash_cycles_per_bit as f64),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parse a configuration previously produced by [`ChipConfig::to_json`].
+    /// Missing fields fall back to the Cyclops-64 defaults.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = fgsupport::json::parse(text)?;
+        let mut c = Self::cyclops64();
+        let u64_field = |key: &str, default: u64| -> Result<u64, String> {
+            match v.get(key) {
+                Some(val) => val.as_u64().ok_or_else(|| format!("{key}: not a u64")),
+                None => Ok(default),
+            }
+        };
+        let f64_field = |key: &str, default: f64| -> Result<f64, String> {
+            match v.get(key) {
+                Some(val) => val.as_f64().ok_or_else(|| format!("{key}: not a number")),
+                None => Ok(default),
+            }
+        };
+        c.thread_units = u64_field("thread_units", c.thread_units as u64)? as usize;
+        c.frequency_hz = u64_field("frequency_hz", c.frequency_hz)?;
+        c.dram_banks = u64_field("dram_banks", c.dram_banks as u64)? as usize;
+        c.interleave_bytes = u64_field("interleave_bytes", c.interleave_bytes)?;
+        c.dram_bytes_per_cycle = f64_field("dram_bytes_per_cycle", c.dram_bytes_per_cycle)?;
+        c.dram_latency = u64_field("dram_latency", c.dram_latency)?;
+        c.sram_bytes_per_cycle = f64_field("sram_bytes_per_cycle", c.sram_bytes_per_cycle)?;
+        c.sram_latency = u64_field("sram_latency", c.sram_latency)?;
+        c.barrier_cycles = u64_field("barrier_cycles", c.barrier_cycles)?;
+        c.codelet_overhead_cycles =
+            u64_field("codelet_overhead_cycles", c.codelet_overhead_cycles)?;
+        c.flops_per_cycle_per_tu = f64_field("flops_per_cycle_per_tu", c.flops_per_cycle_per_tu)?;
+        c.issue_cycles_per_op = u64_field("issue_cycles_per_op", c.issue_cycles_per_op)?;
+        c.max_outstanding_ops =
+            u64_field("max_outstanding_ops", c.max_outstanding_ops as u64)? as usize;
+        c.spill_cycles_per_op = u64_field("spill_cycles_per_op", c.spill_cycles_per_op)?;
+        c.hash_base_cycles = u64_field("hash_base_cycles", c.hash_base_cycles)?;
+        c.hash_cycles_per_bit = u64_field("hash_cycles_per_bit", c.hash_cycles_per_bit)?;
+        c.validate()?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -203,10 +289,16 @@ mod tests {
     }
 
     #[test]
-    fn config_serde_roundtrip() {
-        let c = ChipConfig::cyclops64();
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ChipConfig = serde_json::from_str(&json).unwrap();
+    fn config_json_roundtrip() {
+        let c = ChipConfig::cyclops64().with_thread_units(72);
+        let json = c.to_json();
+        let back = ChipConfig::from_json(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn config_from_json_rejects_invalid() {
+        assert!(ChipConfig::from_json("{\"dram_banks\": 0}").is_err());
+        assert!(ChipConfig::from_json("not json").is_err());
     }
 }

@@ -229,7 +229,8 @@ pub fn simulate(
     }
 
     assert_eq!(
-        done_count, n_tus,
+        done_count,
+        n_tus,
         "simulation wedged: {} of {} thread units never retired \
          (idle={}, at_barrier={}) — scheduler/program is ill-formed",
         n_tus - done_count,
@@ -427,7 +428,10 @@ mod tests {
         let serial = run(1);
         let pipelined = run(64);
         assert_eq!(serial, 8 * (2 + 114));
-        assert!(pipelined < serial / 4, "pipelined {pipelined} vs serial {serial}");
+        assert!(
+            pipelined < serial / 4,
+            "pipelined {pipelined} vs serial {serial}"
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod sched;
 pub mod stats;
 pub mod task;
 
-pub use address::{Addr, Interleave, Space};
+pub use address::{Addr, Interleave, MemRange, Space};
 pub use config::ChipConfig;
 pub use engine::{simulate, SimOptions};
 pub use sched::{Directive, SequencedScheduler, SimPoolDiscipline, SimScheduler};

@@ -176,10 +176,7 @@ impl<'a> PoolScheduler<'a> {
     }
 
     /// Convenience: a fine-grain phase covering the *whole* program.
-    pub fn whole_program(
-        program: &'a dyn CodeletProgram,
-        discipline: SimPoolDiscipline,
-    ) -> Self {
+    pub fn whole_program(program: &'a dyn CodeletProgram, discipline: SimPoolDiscipline) -> Self {
         let seeds = program.initial_ready();
         let expected = program.num_codelets();
         Self::new(program, &seeds, discipline, expected)

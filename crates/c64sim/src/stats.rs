@@ -3,12 +3,11 @@
 
 use crate::config::ChipConfig;
 use crate::task::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Counts DRAM accesses per bank in fixed windows of simulated time. The
 /// paper plots "number of memory accesses per 3×10⁶ cycles" for each of the
 /// 4 banks over the run — this is exactly that counter.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BankTrace {
     /// Window length in cycles.
     pub window_cycles: Cycle,
@@ -138,7 +137,7 @@ impl BankTrace {
 }
 
 /// Summary of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Total simulated cycles (makespan).
     pub makespan_cycles: Cycle,

@@ -133,7 +133,9 @@ impl<'a> SyncOverlay<'a> {
     ) -> Self {
         let n = program.num_codelets();
         assert_eq!(n, inner.num_tasks(), "model/program size mismatch");
-        let sync_ops = (0..n).map(|id| (2 * program.dep_count(id), false)).collect();
+        let sync_ops = (0..n)
+            .map(|id| (2 * program.dep_count(id), false))
+            .collect();
         Self { inner, sync_ops }
     }
 

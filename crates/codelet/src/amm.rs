@@ -27,7 +27,12 @@ pub struct MemoryLevel {
 
 impl MemoryLevel {
     /// Convenience constructor.
-    pub fn new(name: &str, capacity_bytes: u64, bandwidth_bytes_per_sec: u64, latency_ns: u64) -> Self {
+    pub fn new(
+        name: &str,
+        capacity_bytes: u64,
+        bandwidth_bytes_per_sec: u64,
+        latency_ns: u64,
+    ) -> Self {
         Self {
             name: name.to_string(),
             capacity_bytes,
@@ -180,7 +185,11 @@ mod tests {
     #[test]
     fn cyclops64_memory_hierarchy_order() {
         let m = AbstractMachine::cyclops64();
-        let names: Vec<&str> = m.memory_hierarchy().iter().map(|l| l.name.as_str()).collect();
+        let names: Vec<&str> = m
+            .memory_hierarchy()
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
         assert_eq!(names, vec!["scratchpad", "SRAM", "DRAM"]);
     }
 
@@ -189,7 +198,10 @@ mod tests {
         let m = AbstractMachine::cyclops64();
         let h = m.memory_hierarchy();
         let bw: Vec<u64> = h.iter().map(|l| l.bandwidth_bytes_per_sec).collect();
-        assert!(bw.windows(2).all(|w| w[0] >= w[1]), "bandwidth must not increase outward");
+        assert!(
+            bw.windows(2).all(|w| w[0] >= w[1]),
+            "bandwidth must not increase outward"
+        );
     }
 
     #[test]

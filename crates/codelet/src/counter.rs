@@ -10,6 +10,12 @@
 //! in-place FFT safe without locks.
 
 use crate::graph::{CodeletId, CodeletProgram, SharedGroup};
+// Under `--cfg loom` the slot is built on loom's model-checked atomics so
+// the `loom_model` tests below explore every interleaving; the normal build
+// uses the real ones.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU32, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A single synchronization slot.
@@ -203,6 +209,43 @@ mod tests {
         assert!(s.signal());
     }
 
+    /// The race-detector's founding assumption, as a runtime check: the
+    /// thread that *wins* the slot observes every signalling thread's plain
+    /// (non-atomic) writes, because each `signal` is an AcqRel RMW and the
+    /// RMW chain forms one release sequence. Runs under miri (`cargo +nightly
+    /// miri test -p codelet counter`), which would flag the read as a data
+    /// race if the ordering were ever weakened.
+    #[test]
+    fn winner_observes_all_parents_writes() {
+        use std::cell::UnsafeCell;
+        struct Shared([UnsafeCell<u32>; 4]);
+        unsafe impl Sync for Shared {}
+        let iters = if cfg!(miri) { 25 } else { 500 };
+        for _ in 0..iters {
+            let slot = SyncSlot::new(4);
+            let data = Shared(std::array::from_fn(|_| UnsafeCell::new(0)));
+            thread::scope(|scope| {
+                for i in 0..4 {
+                    let slot = &slot;
+                    let data = &data;
+                    scope.spawn(move || {
+                        // SAFETY: cell i is written only by thread i, before
+                        // its signal.
+                        unsafe { *data.0[i].get() = i as u32 + 1 };
+                        if slot.signal() {
+                            for (j, cell) in data.0.iter().enumerate() {
+                                // SAFETY: winning the slot happens-after
+                                // every signal, hence after every write.
+                                let v = unsafe { *cell.get() };
+                                assert_eq!(v, j as u32 + 1, "lost parent {j}'s write");
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+
     #[test]
     fn concurrent_signals_exactly_one_winner() {
         for _ in 0..50 {
@@ -295,5 +338,69 @@ mod tests {
         assert!(sc.signal(0));
         sc.reset();
         assert_eq!(sc.slot(0).count(), 0);
+    }
+}
+
+/// Exhaustive model checking of [`SyncSlot::signal`] with loom. The offline
+/// build environment does not ship the `loom` crate, so these tests are
+/// gated behind `--cfg loom` and compile only when a vendored copy is added
+/// to `[target.'cfg(loom)'.dependencies]`; run them with
+/// `RUSTFLAGS="--cfg loom" cargo test -p codelet --lib loom_model`.
+/// The miri-runnable `winner_observes_all_parents_writes` stress test above
+/// covers the same two properties on real atomics in every build.
+#[cfg(loom)]
+mod loom_model {
+    use super::SyncSlot;
+    use loom::cell::UnsafeCell;
+    use loom::sync::Arc;
+    use loom::thread;
+
+    /// Over every interleaving of two concurrent signals, exactly one
+    /// caller observes `true`.
+    #[test]
+    fn signal_has_exactly_one_winner() {
+        loom::model(|| {
+            let slot = Arc::new(SyncSlot::new(2));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let slot = Arc::clone(&slot);
+                    thread::spawn(move || slot.signal())
+                })
+                .collect();
+            let winners = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&w| w)
+                .count();
+            assert_eq!(winners, 1);
+        });
+    }
+
+    /// The winner observes every signalling thread's preceding write — the
+    /// AcqRel release-sequence argument that makes the in-place FFT safe.
+    /// Weakening `signal`'s ordering to Relaxed makes loom fail this model.
+    #[test]
+    fn winner_observes_all_parents_writes() {
+        loom::model(|| {
+            let slot = Arc::new(SyncSlot::new(2));
+            let data = Arc::new([UnsafeCell::new(0u32), UnsafeCell::new(0u32)]);
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let slot = Arc::clone(&slot);
+                    let data = Arc::clone(&data);
+                    thread::spawn(move || {
+                        data[i].with_mut(|p| unsafe { *p = i as u32 + 1 });
+                        if slot.signal() {
+                            let a = data[0].with(|p| unsafe { *p });
+                            let b = data[1].with(|p| unsafe { *p });
+                            assert_eq!((a, b), (1, 2));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
     }
 }

@@ -351,7 +351,10 @@ mod tests {
                 }
             }
             fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
-                (id >= 2).then_some(SharedGroup { group: 0, target: 2 })
+                (id >= 2).then_some(SharedGroup {
+                    group: 0,
+                    target: 2,
+                })
             }
             fn num_shared_groups(&self) -> usize {
                 1

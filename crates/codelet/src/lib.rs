@@ -36,6 +36,10 @@
 //!   programs onto machine topologies (the Cyclops-64 simulator builds its
 //!   topology from this).
 //! * [`stats`] — per-worker execution statistics gathered by the runtime.
+//! * [`verify`] — the static graph-contract checker (pass 1 of the `fgcheck`
+//!   tool): materializes an implicit program once and reports structural
+//!   violations (cycles, miscounted dependencies, shared-group
+//!   inconsistencies) as diagnostics instead of runtime deadlocks.
 //!
 //! ## Quick example
 //!
@@ -70,9 +74,11 @@ pub mod pool;
 pub mod runtime;
 pub mod stats;
 pub mod trace;
+pub mod verify;
 
 pub use counter::{DepCounters, SharedCounters, SyncSlot};
 pub use graph::{CodeletId, CodeletProgram};
 pub use pool::{PoolDiscipline, ReadyPool};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use trace::{Span, SpanRecorder, Trace};
+pub use verify::{Diagnostic, Severity};

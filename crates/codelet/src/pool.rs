@@ -9,9 +9,9 @@
 //! disciplines behind one trait so schedulers can be swapped and ablated.
 
 use crate::graph::CodeletId;
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use fgsupport::deque::{Injector, Steal, Stealer, Worker};
+use fgsupport::queue::SegQueue;
+use fgsupport::sync::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -17,7 +17,7 @@ use crate::counter::{DepCounters, SharedCounters};
 use crate::graph::{CodeletId, CodeletProgram};
 use crate::pool::{PoolDiscipline, ReadyPool};
 use crate::stats::RunStats;
-use crossbeam::utils::Backoff;
+use fgsupport::backoff::Backoff;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
@@ -114,18 +114,37 @@ impl Runtime {
     where
         P: CodeletProgram + ?Sized,
     {
+        // In debug builds every run is preceded by the pass-1 contract
+        // check (O(V+E), same order as the run itself): a miscounted
+        // dependence then fails with a named diagnostic instead of a
+        // deadlock or a silent race. Release builds skip this; use
+        // [`Runtime::run_checked`] to keep the check unconditionally.
+        #[cfg(debug_assertions)]
+        {
+            let diags = crate::verify::check_partial(program, seeds, expected);
+            assert!(
+                !crate::verify::has_errors(&diags),
+                "codelet graph contract violated:\n{}",
+                crate::verify::render(&diags)
+            );
+        }
         let n_workers = self.config.workers;
         let total = expected;
         let pool = discipline.build(n_workers);
         pool.seed(seeds);
 
         let counters = DepCounters::for_program(program);
-        let shared = (program.num_shared_groups() > 0).then(|| SharedCounters::for_program(program));
+        let shared =
+            (program.num_shared_groups() > 0).then(|| SharedCounters::for_program(program));
 
         let completed = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
-        let fired = (0..n_workers).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
-        let empty = (0..n_workers).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let fired = (0..n_workers)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>();
+        let empty = (0..n_workers)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>();
 
         let start = Instant::now();
         let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
@@ -142,8 +161,8 @@ impl Runtime {
                     let body = &body;
                     scope.spawn(move || {
                         worker_loop(
-                            w, program, pool, counters, shared, completed, poisoned, total,
-                            body, &fired[w], &empty[w],
+                            w, program, pool, counters, shared, completed, poisoned, total, body,
+                            &fired[w], &empty[w],
                         )
                     })
                 })
@@ -175,6 +194,27 @@ impl Runtime {
         }
     }
 
+    /// Fine-grain execution preceded by the full pass-1 graph-contract
+    /// check ([`crate::verify::check_program`]), in every build profile.
+    /// Returns the diagnostics instead of running when any of them is an
+    /// error; warnings are discarded (run `check_program` directly to see
+    /// them).
+    pub fn run_checked<P>(
+        &self,
+        program: &P,
+        discipline: PoolDiscipline,
+        body: impl Fn(CodeletId) + Sync,
+    ) -> Result<RunStats, Vec<crate::verify::Diagnostic>>
+    where
+        P: CodeletProgram + ?Sized,
+    {
+        let diags = crate::verify::check_program(program);
+        if crate::verify::has_errors(&diags) {
+            return Err(diags);
+        }
+        Ok(self.run(program, discipline, body))
+    }
+
     /// Coarse-grain (barrier) execution: fire every codelet of `phases[0]`,
     /// wait for all workers, then `phases[1]`, etc. Codelets within a phase
     /// must be mutually independent; dependencies may only point from phase
@@ -185,7 +225,9 @@ impl Runtime {
         body: impl Fn(CodeletId) + Sync,
     ) -> RunStats {
         let n_workers = self.config.workers;
-        let fired = (0..n_workers).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        let fired = (0..n_workers)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>();
         let barrier = Barrier::new(n_workers);
         let poisoned = AtomicBool::new(false);
         // One shared cursor per phase, allocated up front so workers never
@@ -210,9 +252,8 @@ impl Runtime {
                                 if i >= phase.len() {
                                     break;
                                 }
-                                match std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                    body(phase[i])
-                                })) {
+                                match std::panic::catch_unwind(AssertUnwindSafe(|| body(phase[i])))
+                                {
                                     Ok(()) => {
                                         fired[w].fetch_add(1, Ordering::Relaxed);
                                     }
@@ -351,7 +392,7 @@ where
 mod tests {
     use super::*;
     use crate::graph::{ExplicitGraph, SharedGroup};
-    use parking_lot::Mutex;
+    use fgsupport::sync::Mutex;
     use std::sync::atomic::AtomicU32;
 
     fn layered_graph(layers: usize, width: usize) -> ExplicitGraph {
@@ -438,8 +479,14 @@ mod tests {
         });
         assert_eq!(stats.barriers, 2);
         assert_eq!(stats.total_fired, 6);
-        let p0_max = (0..3).map(|i| times[i].load(Ordering::SeqCst)).max().unwrap();
-        let p1_min = (3..6).map(|i| times[i].load(Ordering::SeqCst)).min().unwrap();
+        let p0_max = (0..3)
+            .map(|i| times[i].load(Ordering::SeqCst))
+            .max()
+            .unwrap();
+        let p1_min = (3..6)
+            .map(|i| times[i].load(Ordering::SeqCst))
+            .min()
+            .unwrap();
         assert!(p1_min > p0_max);
     }
 
@@ -479,7 +526,10 @@ mod tests {
             }
         }
         fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
-            (id >= 4).then_some(SharedGroup { group: 0, target: 4 })
+            (id >= 4).then_some(SharedGroup {
+                group: 0,
+                target: 4,
+            })
         }
         fn num_shared_groups(&self) -> usize {
             1
@@ -547,5 +597,50 @@ mod tests {
     fn default_runtime_has_workers() {
         let rt = Runtime::default();
         assert!(rt.workers() >= 1);
+    }
+
+    #[test]
+    fn run_checked_runs_sound_programs() {
+        let g = layered_graph(3, 4);
+        let fired = AtomicU32::new(0);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2));
+        let stats = rt
+            .run_checked(&g, PoolDiscipline::Lifo, |_| {
+                fired.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("sound graph must pass the contract check");
+        assert_eq!(stats.total_fired, 12);
+        assert_eq!(fired.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn run_checked_rejects_broken_programs_without_running() {
+        // dep_count says 2 but only one parent signals: a plain run would
+        // deadlock; run_checked must refuse up front.
+        struct Starved;
+        impl CodeletProgram for Starved {
+            fn num_codelets(&self) -> usize {
+                2
+            }
+            fn dep_count(&self, id: CodeletId) -> u32 {
+                (id as u32) * 2
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                if id == 0 {
+                    out.push(1);
+                }
+            }
+        }
+        let fired = AtomicU32::new(0);
+        let rt = Runtime::new(RuntimeConfig::with_workers(2));
+        let diags = rt
+            .run_checked(&Starved, PoolDiscipline::Fifo, |_| {
+                fired.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("broken graph must be rejected");
+        assert!(diags
+            .iter()
+            .any(|d| d.code == crate::verify::CODE_DEP_MISMATCH));
+        assert_eq!(fired.load(Ordering::Relaxed), 0, "body must never run");
     }
 }

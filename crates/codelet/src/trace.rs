@@ -17,7 +17,7 @@
 //! ```
 
 use crate::graph::CodeletId;
-use parking_lot::Mutex;
+use fgsupport::sync::Mutex;
 use std::time::Instant;
 
 /// One recorded codelet execution.
@@ -34,9 +34,12 @@ pub struct Span {
 }
 
 impl Span {
-    /// Span duration in nanoseconds.
+    /// Span duration in nanoseconds. Saturating: `Instant` arithmetic on
+    /// hosts with coarse clocks can hand back equal (and, through rounding
+    /// to `u64`, formally out-of-order) timestamps for zero-length bodies,
+    /// and a duration must never panic over that.
     pub fn duration_ns(&self) -> u64 {
-        self.end_ns - self.start_ns
+        self.end_ns.saturating_sub(self.start_ns)
     }
 }
 
@@ -156,7 +159,13 @@ impl Trace {
             return String::new();
         }
         let t0 = self.spans.iter().map(|s| s.start_ns).min().unwrap();
-        let t1 = self.spans.iter().map(|s| s.end_ns).max().unwrap().max(t0 + 1);
+        let t1 = self
+            .spans
+            .iter()
+            .map(|s| s.end_ns)
+            .max()
+            .unwrap()
+            .max(t0 + 1);
         let cell = ((t1 - t0) as f64 / width as f64).max(1.0);
         let mut rows = vec![vec![0f64; width]; self.workers];
         for s in &self.spans {
@@ -164,12 +173,7 @@ impl Trace {
             let b = (s.end_ns - t0) as f64 / cell;
             let first = a.floor() as usize;
             let last = (b.ceil() as usize).min(width);
-            for (c, slot) in rows[s.worker]
-                .iter_mut()
-                .enumerate()
-                .take(last)
-                .skip(first)
-            {
+            for (c, slot) in rows[s.worker].iter_mut().enumerate().take(last).skip(first) {
                 let lo = a.max(c as f64);
                 let hi = b.min(c as f64 + 1.0);
                 *slot += (hi - lo).max(0.0);
@@ -206,9 +210,13 @@ mod tests {
         let g = ExplicitGraph::new(32);
         let rec = SpanRecorder::new();
         let rt = Runtime::new(RuntimeConfig::with_workers(4));
-        rt.run(&g, PoolDiscipline::WorkSteal, rec.wrap(|_| {
-            std::hint::black_box(0u64);
-        }));
+        rt.run(
+            &g,
+            PoolDiscipline::WorkSteal,
+            rec.wrap(|_| {
+                std::hint::black_box(0u64);
+            }),
+        );
         let trace = rec.finish();
         assert_eq!(trace.spans.len(), 32);
         let mut ids: Vec<_> = trace.spans.iter().map(|s| s.codelet).collect();
@@ -240,9 +248,13 @@ mod tests {
         g.add_edge(0, 1);
         let rec = SpanRecorder::new();
         let rt = Runtime::new(RuntimeConfig::with_workers(2));
-        rt.run(&g, PoolDiscipline::Fifo, rec.wrap(|_| {
-            std::thread::sleep(std::time::Duration::from_micros(100));
-        }));
+        rt.run(
+            &g,
+            PoolDiscipline::Fifo,
+            rec.wrap(|_| {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }),
+        );
         let trace = rec.finish();
         let s0 = trace.spans.iter().find(|s| s.codelet == 0).unwrap();
         let s1 = trace.spans.iter().find(|s| s.codelet == 1).unwrap();
@@ -254,9 +266,13 @@ mod tests {
         let g = ExplicitGraph::new(8);
         let rec = SpanRecorder::new();
         let rt = Runtime::new(RuntimeConfig::with_workers(2));
-        rt.run(&g, PoolDiscipline::Lifo, rec.wrap(|_| {
-            std::thread::sleep(std::time::Duration::from_micros(200));
-        }));
+        rt.run(
+            &g,
+            PoolDiscipline::Lifo,
+            rec.wrap(|_| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }),
+        );
         let trace = rec.finish();
         let u = trace.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
@@ -268,13 +284,36 @@ mod tests {
         let g = ExplicitGraph::new(8);
         let rec = SpanRecorder::new();
         let rt = Runtime::new(RuntimeConfig::with_workers(2));
-        rt.run(&g, PoolDiscipline::Lifo, rec.wrap(|_| {
-            std::thread::sleep(std::time::Duration::from_micros(50));
-        }));
+        rt.run(
+            &g,
+            PoolDiscipline::Lifo,
+            rec.wrap(|_| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }),
+        );
         let trace = rec.finish();
         let chart = trace.gantt(40);
         assert_eq!(chart.lines().count(), trace.workers);
         assert!(chart.lines().all(|l| l.len() >= 40));
+    }
+
+    #[test]
+    fn zero_length_span_has_zero_duration() {
+        let s = Span {
+            codelet: 0,
+            worker: 0,
+            start_ns: 1_000,
+            end_ns: 1_000,
+        };
+        assert_eq!(s.duration_ns(), 0);
+        // Clock-rounding can even invert the endpoints; saturate, don't panic.
+        let inverted = Span {
+            codelet: 0,
+            worker: 0,
+            start_ns: 1_001,
+            end_ns: 1_000,
+        };
+        assert_eq!(inverted.duration_ns(), 0);
     }
 
     #[test]

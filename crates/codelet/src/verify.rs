@@ -1,0 +1,929 @@
+//! Pass 1 of the static program checker: graph-contract verification.
+//!
+//! A [`CodeletProgram`] describes its graph *implicitly* — `dep_count` and
+//! `dependents` are formulas, and nothing forces them to agree. The runtime
+//! trusts them blindly: a child whose `dep_count` exceeds its real in-degree
+//! deadlocks the run, one whose `dep_count` undershoots fires early (a data
+//! race) and then over-signals its slot. [`check_program`] materializes the
+//! implicit graph **once** and verifies the whole structural contract,
+//! reporting each violation as a structured [`Diagnostic`] instead of a
+//! panic, so tooling (the `fgcheck` binary, `Runtime::run_checked`) can
+//! collect and render findings.
+//!
+//! ## Diagnostic codes
+//!
+//! | code    | severity | meaning                                             |
+//! |---------|----------|-----------------------------------------------------|
+//! | `FG001` | error    | dependence cycle (graph is not a DAG)               |
+//! | `FG002` | error    | `dep_count` ≠ materialized in-degree                |
+//! | `FG003` | warning  | duplicate edge (parent signals one child twice)     |
+//! | `FG004` | error    | codelet never fires (unreachable / deadlock)        |
+//! | `FG005` | error    | shared-group inconsistency (target / membership)    |
+//! | `FG006` | error    | `dependents` yields an out-of-range codelet id      |
+//! | `FG007` | error    | a sync slot is over-signalled / codelet fires twice |
+//! | `FG008` | error    | bad seed list (duplicate or out-of-range seed)      |
+//!
+//! [`check_partial`] verifies *partial* schedules (a seed set plus an
+//! expected completion count, as executed by `Runtime::run_partial`): there
+//! the graph may legitimately contain codelets that never fire — e.g. the
+//! guided FFT's early phase stops signalling at its boundary stage — so the
+//! global in-degree and reachability checks are replaced by an exact
+//! firing-count check over the seeded region.
+
+use crate::graph::{CodeletId, CodeletProgram};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but not unsound (e.g. a duplicate edge that the declared
+    /// `dep_count` accounts for).
+    Warning,
+    /// The runtime would deadlock, race, or fire codelets more than once.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One checker finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`FG001`…`FG008`, see the module docs).
+    pub code: &'static str,
+    /// Whether the runtime would actually misbehave.
+    pub severity: Severity,
+    /// The codelet the finding anchors to, when there is a single one.
+    pub codelet: Option<CodeletId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.severity, self.code)?;
+        if let Some(c) = self.codelet {
+            write!(f, " [codelet {c}]")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Dependence cycle.
+pub const CODE_CYCLE: &str = "FG001";
+/// `dep_count` ≠ in-degree.
+pub const CODE_DEP_MISMATCH: &str = "FG002";
+/// Duplicate edge.
+pub const CODE_DUP_EDGE: &str = "FG003";
+/// Codelet never fires.
+pub const CODE_NEVER_FIRES: &str = "FG004";
+/// Shared-group inconsistency.
+pub const CODE_SHARED_GROUP: &str = "FG005";
+/// Dependent id out of range.
+pub const CODE_EDGE_RANGE: &str = "FG006";
+/// Over-signalled slot / double fire.
+pub const CODE_OVER_SIGNAL: &str = "FG007";
+/// Bad seed list.
+pub const CODE_BAD_SEED: &str = "FG008";
+
+/// True when any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Render a diagnostic list, one per line.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Cap on per-code diagnostics: a broken 2^20-point program should not
+/// produce a million identical findings. Beyond the cap a summary line
+/// with the total count is emitted instead.
+const MAX_PER_CODE: usize = 16;
+
+#[derive(Default)]
+struct Sink {
+    diags: Vec<Diagnostic>,
+    counts: Vec<(&'static str, usize)>,
+}
+
+impl Sink {
+    fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        codelet: Option<CodeletId>,
+        message: String,
+    ) {
+        let entry = match self.counts.iter_mut().find(|(c, _)| *c == code) {
+            Some(e) => e,
+            None => {
+                self.counts.push((code, 0));
+                self.counts.last_mut().unwrap()
+            }
+        };
+        entry.1 += 1;
+        if entry.1 <= MAX_PER_CODE {
+            self.diags.push(Diagnostic {
+                code,
+                severity,
+                codelet,
+                message,
+            });
+        }
+    }
+
+    fn finish(mut self) -> Vec<Diagnostic> {
+        for &(code, count) in &self.counts {
+            if count > MAX_PER_CODE {
+                let severity = self
+                    .diags
+                    .iter()
+                    .find(|d| d.code == code)
+                    .map(|d| d.severity)
+                    .unwrap_or(Severity::Error);
+                self.diags.push(Diagnostic {
+                    code,
+                    severity,
+                    codelet: None,
+                    message: format!(
+                        "… and {} more {code} findings (showing first {MAX_PER_CODE})",
+                        count - MAX_PER_CODE
+                    ),
+                });
+            }
+        }
+        self.diags
+    }
+}
+
+/// The materialized graph: children in CSR form, per-codelet shared-group
+/// claims, and derived in-degrees matching the runtime's signalling rules.
+struct Materialized {
+    /// CSR offsets into `children` (length `n + 1`). Each codelet's segment
+    /// is sorted.
+    offsets: Vec<usize>,
+    /// Flat, per-parent-sorted child lists (out-of-range ids dropped).
+    children: Vec<CodeletId>,
+    /// `shared_group(c)` as `(group, target)`, when declared and in range.
+    claims: Vec<Option<(usize, u32)>>,
+    /// Whether the runtime consults shared counters at all.
+    groups_enabled: bool,
+    /// Private signals each codelet would receive over a full run.
+    private_in: Vec<u32>,
+    /// Signals each group would receive over a full run (one per parent
+    /// with ≥ 1 child in the group, matching the worker's per-parent dedup).
+    group_in: Vec<u32>,
+}
+
+fn materialize<P: CodeletProgram + ?Sized>(program: &P, sink: &mut Sink) -> Materialized {
+    let n = program.num_codelets();
+    let num_groups = program.num_shared_groups();
+    let groups_enabled = num_groups > 0;
+
+    // Shared-group claims first: child signalling depends on them.
+    let mut claims: Vec<Option<(usize, u32)>> = vec![None; n];
+    #[allow(clippy::needless_range_loop)] // `claims[c]` is one of three uses of `c`
+    for c in 0..n {
+        if let Some(g) = program.shared_group(c) {
+            if !groups_enabled {
+                sink.push(
+                    CODE_SHARED_GROUP,
+                    Severity::Error,
+                    Some(c),
+                    format!(
+                        "codelet {c} claims shared group {} but num_shared_groups() is 0 \
+                         (the runtime will use its private counter)",
+                        g.group
+                    ),
+                );
+            } else if g.group >= num_groups {
+                sink.push(
+                    CODE_SHARED_GROUP,
+                    Severity::Error,
+                    Some(c),
+                    format!(
+                        "codelet {c} claims shared group {} but only {num_groups} groups exist",
+                        g.group
+                    ),
+                );
+            } else {
+                claims[c] = Some((g.group, g.target));
+            }
+        }
+    }
+
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut children: Vec<CodeletId> = Vec::new();
+    let mut buf = Vec::new();
+    let mut private_in = vec![0u32; n];
+    let mut group_in = vec![0u32; num_groups];
+    let mut seen_groups: Vec<usize> = Vec::new();
+    for c in 0..n {
+        buf.clear();
+        program.dependents(c, &mut buf);
+        let start = children.len();
+        for &k in &buf {
+            if k >= n {
+                sink.push(
+                    CODE_EDGE_RANGE,
+                    Severity::Error,
+                    Some(c),
+                    format!("codelet {c} lists dependent {k}, outside 0..{n}"),
+                );
+            } else {
+                children.push(k);
+            }
+        }
+        children[start..].sort_unstable();
+        for w in children[start..].windows(2) {
+            if w[0] == w[1] {
+                sink.push(
+                    CODE_DUP_EDGE,
+                    Severity::Warning,
+                    Some(c),
+                    format!(
+                        "duplicate edge {c} -> {} (each occurrence signals once)",
+                        w[0]
+                    ),
+                );
+            }
+        }
+        // In-degree accounting, mirroring `worker_loop`: grouped children
+        // are signalled through their group, once per parent per group;
+        // private children are signalled per edge occurrence.
+        seen_groups.clear();
+        for &k in &children[start..] {
+            match claims[k] {
+                Some((g, _)) if groups_enabled => {
+                    if !seen_groups.contains(&g) {
+                        seen_groups.push(g);
+                        group_in[g] += 1;
+                    }
+                }
+                _ => private_in[k] += 1,
+            }
+        }
+        offsets.push(children.len());
+    }
+
+    Materialized {
+        offsets,
+        children,
+        claims,
+        groups_enabled,
+        private_in,
+        group_in,
+    }
+}
+
+impl Materialized {
+    fn kids(&self, c: CodeletId) -> &[CodeletId] {
+        &self.children[self.offsets[c]..self.offsets[c + 1]]
+    }
+}
+
+/// Verify a full program: everything [`check_partial`] verifies, plus the
+/// global `dep_count` ↔ in-degree duality and full reachability from
+/// `initial_ready()` (every codelet must fire exactly once).
+pub fn check_program<P: CodeletProgram + ?Sized>(program: &P) -> Vec<Diagnostic> {
+    check(
+        program,
+        &program.initial_ready(),
+        program.num_codelets(),
+        true,
+    )
+}
+
+/// Verify a partial schedule: exactly `expected` codelets — the seeds plus
+/// everything they transitively enable — must fire, none more than once.
+pub fn check_partial<P: CodeletProgram + ?Sized>(
+    program: &P,
+    seeds: &[CodeletId],
+    expected: usize,
+) -> Vec<Diagnostic> {
+    check(program, seeds, expected, false)
+}
+
+fn check<P: CodeletProgram + ?Sized>(
+    program: &P,
+    seeds: &[CodeletId],
+    expected: usize,
+    full: bool,
+) -> Vec<Diagnostic> {
+    let mut sink = Sink::default();
+    let n = program.num_codelets();
+    let m = materialize(program, &mut sink);
+
+    check_shared_groups(program, &m, full, &mut sink);
+    if full {
+        // dep_count ↔ in-degree duality (private counters only; grouped
+        // codelets are enabled through their group slot instead).
+        for c in 0..n {
+            if m.groups_enabled && m.claims[c].is_some() {
+                continue;
+            }
+            let declared = program.dep_count(c);
+            if declared != m.private_in[c] {
+                sink.push(
+                    CODE_DEP_MISMATCH,
+                    Severity::Error,
+                    Some(c),
+                    format!(
+                        "dep_count is {declared} but {} parent signal(s) arrive",
+                        m.private_in[c]
+                    ),
+                );
+            }
+        }
+    }
+    check_acyclic(&m, n, &mut sink);
+    simulate(program, &m, seeds, expected, full, &mut sink);
+    sink.finish()
+}
+
+fn check_shared_groups<P: CodeletProgram + ?Sized>(
+    program: &P,
+    m: &Materialized,
+    full: bool,
+    sink: &mut Sink,
+) {
+    if !m.groups_enabled {
+        return;
+    }
+    let num_groups = program.num_shared_groups();
+    let n = program.num_codelets();
+    // Collect claimants per group and check target agreement.
+    let mut target: Vec<Option<u32>> = vec![None; num_groups];
+    let mut claimants: Vec<Vec<CodeletId>> = vec![Vec::new(); num_groups];
+    for c in 0..n {
+        if let Some((g, t)) = m.claims[c] {
+            claimants[g].push(c);
+            match target[g] {
+                None => target[g] = Some(t),
+                Some(prev) if prev != t => sink.push(
+                    CODE_SHARED_GROUP,
+                    Severity::Error,
+                    Some(c),
+                    format!("codelet {c} says group {g} fires at {t}, others say {prev}"),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+    let mut members = Vec::new();
+    for g in 0..num_groups {
+        // Groups no codelet claims are dead weight; only meaningful for
+        // programs that will run them (partial schedules deliberately
+        // restrict claims to their own slice of the graph).
+        if claimants[g].is_empty() {
+            continue;
+        }
+        members.clear();
+        program.shared_group_members(g, &mut members);
+        members.sort_unstable();
+        if members != claimants[g] {
+            sink.push(
+                CODE_SHARED_GROUP,
+                Severity::Error,
+                None,
+                format!(
+                    "group {g}: shared_group_members lists {} codelet(s) but {} claim the \
+                     group (the runtime enqueues exactly the member list when it fires)",
+                    members.len(),
+                    claimants[g].len()
+                ),
+            );
+        }
+        // In a full run the group must reach its target exactly.
+        if full {
+            let t = target[g].unwrap_or(0);
+            if m.group_in[g] != t {
+                sink.push(
+                    CODE_SHARED_GROUP,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "group {g}: {} parent(s) signal the group but its target is {t}",
+                        m.group_in[g]
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_acyclic(m: &Materialized, n: usize, sink: &mut Sink) {
+    // Kahn over edge occurrences. Group membership cannot introduce cycles
+    // beyond the structural edges, so plain edges suffice here.
+    let mut indeg = vec![0u32; n];
+    for &k in &m.children {
+        indeg[k] += 1;
+    }
+    let mut stack: Vec<CodeletId> = (0..n).filter(|&c| indeg[c] == 0).collect();
+    let mut popped = 0usize;
+    while let Some(c) = stack.pop() {
+        popped += 1;
+        for &k in m.kids(c) {
+            indeg[k] -= 1;
+            if indeg[k] == 0 {
+                stack.push(k);
+            }
+        }
+    }
+    if popped < n {
+        let example = (0..n).find(|&c| indeg[c] > 0);
+        sink.push(
+            CODE_CYCLE,
+            Severity::Error,
+            example,
+            format!(
+                "dependence cycle: {} codelet(s) lie on or behind a cycle",
+                n - popped
+            ),
+        );
+    }
+}
+
+/// Virtual execution with the runtime's exact enabling rules: seeds fire
+/// first; a private child fires when its signal count reaches `dep_count`;
+/// a group enqueues all members when its signal count reaches the target.
+fn simulate<P: CodeletProgram + ?Sized>(
+    program: &P,
+    m: &Materialized,
+    seeds: &[CodeletId],
+    expected: usize,
+    full: bool,
+    sink: &mut Sink,
+) {
+    let n = program.num_codelets();
+    let num_groups = program.num_shared_groups();
+
+    let mut fires = vec![0u8; n];
+    let mut stack: Vec<CodeletId> = Vec::new();
+    let mut seen_seed = vec![false; n];
+    for &s in seeds {
+        if s >= n {
+            sink.push(
+                CODE_BAD_SEED,
+                Severity::Error,
+                None,
+                format!("seed {s} is outside 0..{n}"),
+            );
+            continue;
+        }
+        if seen_seed[s] {
+            sink.push(
+                CODE_BAD_SEED,
+                Severity::Error,
+                Some(s),
+                format!("codelet {s} seeded more than once"),
+            );
+            continue;
+        }
+        seen_seed[s] = true;
+        stack.push(s);
+    }
+
+    let mut private_cnt = vec![0u32; n];
+    let mut group_cnt = vec![0u32; num_groups];
+    let mut group_target = vec![0u32; num_groups];
+    for c in 0..n {
+        if let Some((g, t)) = m.claims[c] {
+            group_target[g] = t;
+        }
+    }
+    let mut seen_groups: Vec<usize> = Vec::new();
+    let mut members = Vec::new();
+    let mut fired = 0usize;
+    while let Some(c) = stack.pop() {
+        if fires[c] == u8::MAX {
+            continue;
+        }
+        fires[c] += 1;
+        if fires[c] == 2 {
+            sink.push(
+                CODE_OVER_SIGNAL,
+                Severity::Error,
+                Some(c),
+                "codelet fires more than once".to_string(),
+            );
+        }
+        if fires[c] > 1 {
+            continue; // don't cascade a double fire into the whole graph
+        }
+        fired += 1;
+        seen_groups.clear();
+        for &k in m.kids(c) {
+            match m.claims[k] {
+                Some((g, _)) if m.groups_enabled => {
+                    if !seen_groups.contains(&g) {
+                        seen_groups.push(g);
+                    }
+                }
+                _ => {
+                    private_cnt[k] += 1;
+                    let need = program.dep_count(k);
+                    if private_cnt[k] == need {
+                        stack.push(k);
+                    } else if private_cnt[k] > need {
+                        sink.push(
+                            CODE_OVER_SIGNAL,
+                            Severity::Error,
+                            Some(k),
+                            format!(
+                                "sync slot over-signalled: {} signals, threshold {need}",
+                                private_cnt[k]
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for &g in &seen_groups {
+            group_cnt[g] += 1;
+            if group_cnt[g] == group_target[g] {
+                members.clear();
+                program.shared_group_members(g, &mut members);
+                stack.extend(members.iter().copied().filter(|&k| k < n));
+            } else if group_cnt[g] > group_target[g] {
+                sink.push(
+                    CODE_OVER_SIGNAL,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "shared group {g} over-signalled: {} signals, target {}",
+                        group_cnt[g], group_target[g]
+                    ),
+                );
+            }
+        }
+    }
+
+    if fired != expected {
+        if full {
+            // Name the codelets that never fire.
+            for (c, &count) in fires.iter().enumerate() {
+                if count == 0 {
+                    sink.push(
+                        CODE_NEVER_FIRES,
+                        Severity::Error,
+                        Some(c),
+                        "codelet never fires (unreachable from the seeds, or starved \
+                         by an over-counted dependence)"
+                            .to_string(),
+                    );
+                }
+            }
+        } else {
+            sink.push(
+                CODE_NEVER_FIRES,
+                Severity::Error,
+                None,
+                format!("{fired} codelet(s) fire but the schedule expects {expected}"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ExplicitGraph, SharedGroup};
+    use fgsupport::rng::Rng64;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        let mut v: Vec<_> = diags.iter().map(|d| d.code).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn clean_diamond_has_no_findings() {
+        let mut g = ExplicitGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        assert!(check_program(&g).is_empty());
+    }
+
+    /// Wrap a graph and lie about one codelet's dep_count.
+    struct Miscount<'a> {
+        inner: &'a ExplicitGraph,
+        victim: CodeletId,
+        declared: u32,
+    }
+    impl CodeletProgram for Miscount<'_> {
+        fn num_codelets(&self) -> usize {
+            self.inner.num_codelets()
+        }
+        fn dep_count(&self, id: CodeletId) -> u32 {
+            if id == self.victim {
+                self.declared
+            } else {
+                self.inner.dep_count(id)
+            }
+        }
+        fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+            self.inner.dependents(id, out);
+        }
+    }
+
+    #[test]
+    fn overcounted_dep_count_is_fg002_and_fg004() {
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let p = Miscount {
+            inner: &g,
+            victim: 2,
+            declared: 2, // real in-degree is 1: codelet 2 deadlocks
+        };
+        let d = check_program(&p);
+        assert!(d
+            .iter()
+            .any(|x| x.code == CODE_DEP_MISMATCH && x.codelet == Some(2)));
+        assert!(d
+            .iter()
+            .any(|x| x.code == CODE_NEVER_FIRES && x.codelet == Some(2)));
+    }
+
+    #[test]
+    fn undercounted_dep_count_is_fg002_and_fg007() {
+        let mut g = ExplicitGraph::new(4);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let p = Miscount {
+            inner: &g,
+            victim: 3,
+            declared: 2, // fires after 2 of 3 parents: race + over-signal
+        };
+        let d = check_program(&p);
+        assert!(d
+            .iter()
+            .any(|x| x.code == CODE_DEP_MISMATCH && x.codelet == Some(3)));
+        assert!(d.iter().any(|x| x.code == CODE_OVER_SIGNAL));
+    }
+
+    #[test]
+    fn duplicate_edge_is_fg003_warning_only() {
+        let mut g = ExplicitGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1); // parallel arc; ExplicitGraph counts both
+        let d = check_program(&g);
+        assert_eq!(codes(&d), vec![CODE_DUP_EDGE]);
+        assert!(!has_errors(&d));
+    }
+
+    #[test]
+    fn cycle_is_fg001() {
+        struct Ring;
+        impl CodeletProgram for Ring {
+            fn num_codelets(&self) -> usize {
+                3
+            }
+            fn dep_count(&self, _id: CodeletId) -> u32 {
+                1
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                out.push((id + 1) % 3);
+            }
+            fn initial_ready(&self) -> Vec<CodeletId> {
+                Vec::new()
+            }
+        }
+        let d = check_program(&Ring);
+        assert!(d.iter().any(|x| x.code == CODE_CYCLE));
+        assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn unreachable_codelet_is_fg004() {
+        // Two chains but initial_ready misses the second source.
+        struct HalfSeeded(ExplicitGraph);
+        impl CodeletProgram for HalfSeeded {
+            fn num_codelets(&self) -> usize {
+                self.0.num_codelets()
+            }
+            fn dep_count(&self, id: CodeletId) -> u32 {
+                self.0.dep_count(id)
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                self.0.dependents(id, out);
+            }
+            fn initial_ready(&self) -> Vec<CodeletId> {
+                vec![0]
+            }
+        }
+        let mut g = ExplicitGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let d = check_program(&HalfSeeded(g));
+        let missing: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == CODE_NEVER_FIRES)
+            .filter_map(|x| x.codelet)
+            .collect();
+        assert_eq!(missing, vec![2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_dependent_is_fg006() {
+        struct Wild;
+        impl CodeletProgram for Wild {
+            fn num_codelets(&self) -> usize {
+                2
+            }
+            fn dep_count(&self, id: CodeletId) -> u32 {
+                u32::from(id == 1)
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                if id == 0 {
+                    out.push(1);
+                    out.push(99);
+                }
+            }
+        }
+        let d = check_program(&Wild);
+        assert!(d.iter().any(|x| x.code == CODE_EDGE_RANGE));
+    }
+
+    #[test]
+    fn duplicate_seed_is_fg008() {
+        let g = ExplicitGraph::new(2);
+        let d = check_partial(&g, &[0, 0, 1], 2);
+        assert!(d.iter().any(|x| x.code == CODE_BAD_SEED));
+    }
+
+    /// 8 children in 2 groups of 4 over 4 parents, with a configurable lie.
+    struct Grouped {
+        bad_target: Option<u32>,
+        drop_member: bool,
+    }
+    impl CodeletProgram for Grouped {
+        fn num_codelets(&self) -> usize {
+            12
+        }
+        fn dep_count(&self, id: CodeletId) -> u32 {
+            if id < 4 {
+                0
+            } else {
+                4
+            }
+        }
+        fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+            if id < 4 {
+                out.extend(4..12);
+            }
+        }
+        fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+            if id < 4 {
+                return None;
+            }
+            let group = usize::from(id >= 8);
+            let target = match self.bad_target {
+                Some(t) if id == 5 => t,
+                _ => 4,
+            };
+            Some(SharedGroup { group, target })
+        }
+        fn num_shared_groups(&self) -> usize {
+            2
+        }
+        fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+            let lo = 4 + group * 4;
+            let hi = if self.drop_member && group == 0 {
+                lo + 3
+            } else {
+                lo + 4
+            };
+            out.extend(lo..hi);
+        }
+    }
+
+    #[test]
+    fn consistent_groups_are_clean() {
+        let d = check_program(&Grouped {
+            bad_target: None,
+            drop_member: false,
+        });
+        assert!(d.is_empty(), "{}", render(&d));
+    }
+
+    #[test]
+    fn disagreeing_group_target_is_fg005() {
+        let d = check_program(&Grouped {
+            bad_target: Some(3),
+            drop_member: false,
+        });
+        assert!(d.iter().any(|x| x.code == CODE_SHARED_GROUP));
+        assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn wrong_member_list_is_fg005_and_fg004() {
+        let d = check_program(&Grouped {
+            bad_target: None,
+            drop_member: true,
+        });
+        assert!(d.iter().any(|x| x.code == CODE_SHARED_GROUP));
+        // The dropped member is never enqueued, so it never fires.
+        assert!(d
+            .iter()
+            .any(|x| x.code == CODE_NEVER_FIRES && x.codelet == Some(7)));
+    }
+
+    #[test]
+    fn partial_check_accepts_seeded_subset() {
+        // Two disjoint chains; seeding one of them is legitimate.
+        let mut g = ExplicitGraph::new(10);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+            g.add_edge(5 + i, 6 + i);
+        }
+        assert!(check_partial(&g, &[0], 5).is_empty());
+        // But a wrong expected count is flagged.
+        let d = check_partial(&g, &[0], 10);
+        assert!(d.iter().any(|x| x.code == CODE_NEVER_FIRES));
+    }
+
+    #[test]
+    fn diagnostics_are_capped_per_code() {
+        // 100 unreachable codelets must not produce 100 diagnostics.
+        struct Island;
+        impl CodeletProgram for Island {
+            fn num_codelets(&self) -> usize {
+                100
+            }
+            fn dep_count(&self, _id: CodeletId) -> u32 {
+                1
+            }
+            fn dependents(&self, _id: CodeletId, _out: &mut Vec<CodeletId>) {}
+            fn initial_ready(&self) -> Vec<CodeletId> {
+                Vec::new()
+            }
+        }
+        let d = check_program(&Island);
+        let fg004 = d.iter().filter(|x| x.code == CODE_NEVER_FIRES).count();
+        assert!(fg004 <= MAX_PER_CODE + 1, "got {fg004}");
+        assert!(d.iter().any(|x| x.message.contains("more FG004")));
+    }
+
+    #[test]
+    fn random_layered_dags_are_clean_and_mutations_are_caught() {
+        let mut rng = Rng64::seed_from_u64(42);
+        for _ in 0..25 {
+            let layers = rng.gen_range(2..6);
+            let width = rng.gen_range(1..12);
+            let mut g = ExplicitGraph::new(layers * width);
+            for l in 1..layers {
+                for c in 0..width {
+                    let deps = rng.gen_range(1..width + 1);
+                    let mut picked = Vec::new();
+                    while picked.len() < deps {
+                        let p = rng.gen_range(0..width);
+                        if !picked.contains(&p) {
+                            picked.push(p);
+                        }
+                    }
+                    for p in picked {
+                        g.add_edge((l - 1) * width + p, l * width + c);
+                    }
+                }
+            }
+            assert!(check_program(&g).is_empty());
+
+            // Any ±1 dep_count mutation on a non-source codelet is caught.
+            let victim = rng.gen_range(width..layers * width);
+            let real = g.dep_count(victim);
+            let declared = if rng.gen_bool() { real + 1 } else { real - 1 };
+            let p = Miscount {
+                inner: &g,
+                victim,
+                declared,
+            };
+            let d = check_program(&p);
+            assert!(
+                d.iter()
+                    .any(|x| x.code == CODE_DEP_MISMATCH && x.codelet == Some(victim)),
+                "mutation on {victim} ({real} -> {declared}) missed"
+            );
+            assert!(has_errors(&d));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Pass 3: the bank-pressure linter.
+//!
+//! The paper's Fig. 1 observation is *statically visible*: with the linear
+//! twiddle layout, every early-stage twiddle address of a large FFT is a
+//! multiple of `4 × 64` bytes past the table base, so the whole access wave
+//! of those stages lands on DRAM bank 0. No simulation is needed to see it —
+//! the address algebra alone condemns the layout. This pass folds every
+//! task's footprint into a per-level (per-stage) per-bank histogram under the
+//! machine's interleave and lints any level whose peak bank load exceeds
+//! `threshold × mean` — the paper's hashed layouts exist precisely to make
+//! this lint pass.
+//!
+//! Findings are **warnings**, not errors: an imbalanced schedule is slow, not
+//! wrong.
+
+use crate::hb::HbOrder;
+use c64sim::{Interleave, MemRange};
+use codelet::graph::CodeletId;
+use codelet::verify::{Diagnostic, Severity};
+
+/// Bank-pressure imbalance at some level.
+pub const CODE_BANK_IMBALANCE: &str = "FG301";
+
+/// Default lint threshold: warn when a level's peak bank sees more than 1.5×
+/// the mean per-bank load (C64's four banks put the all-on-one-bank
+/// pathology at 4.0; a balanced stream sits at ~1.0).
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// Per-level per-bank access histogram of a schedule.
+pub struct BankPressure {
+    /// `hist[level][bank]` = 64-byte-line accesses.
+    pub hist: Vec<Vec<u64>>,
+    /// The interleave the histogram was computed under.
+    pub interleave: Interleave,
+}
+
+impl BankPressure {
+    /// Fold the footprints of all tasks into per-level histograms. A range
+    /// spanning multiple interleave lines counts once per line (that is how
+    /// the memory system issues it). Tasks the schedule never runs are
+    /// skipped — pass 1 / the coverage check already reports them.
+    pub fn collect(
+        n_tasks: usize,
+        mut footprint: impl FnMut(CodeletId) -> Vec<MemRange>,
+        hb: &HbOrder,
+        interleave: Interleave,
+    ) -> Self {
+        let mut hist = vec![vec![0u64; interleave.banks]; hb.num_levels()];
+        for t in 0..n_tasks {
+            let Some(level) = hb.level(t) else { continue };
+            let row = &mut hist[level as usize];
+            for r in footprint(t) {
+                if r.is_empty() {
+                    continue;
+                }
+                let first = r.lo / interleave.unit_bytes;
+                let last = (r.hi - 1) / interleave.unit_bytes;
+                for line in first..=last {
+                    row[(line % interleave.banks as u64) as usize] += 1;
+                }
+            }
+        }
+        Self { hist, interleave }
+    }
+
+    /// Peak-to-mean ratio of one level's histogram (1.0 = perfectly
+    /// balanced, `banks as f64` = everything on one bank). `None` for an
+    /// empty level.
+    pub fn imbalance(&self, level: usize) -> Option<f64> {
+        let row = &self.hist[level];
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let max = *row.iter().max().unwrap() as f64;
+        Some(max / (total as f64 / row.len() as f64))
+    }
+
+    /// Lint every level against `threshold`, producing one
+    /// [`CODE_BANK_IMBALANCE`] warning per offending level.
+    pub fn lint(&self, threshold: f64) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for level in 0..self.hist.len() {
+            let Some(ratio) = self.imbalance(level) else {
+                continue;
+            };
+            if ratio > threshold {
+                let row = &self.hist[level];
+                let peak = row
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .map(|(b, _)| b)
+                    .unwrap_or(0);
+                out.push(Diagnostic {
+                    code: CODE_BANK_IMBALANCE,
+                    severity: Severity::Warning,
+                    codelet: None,
+                    message: format!(
+                        "level {level}: peak bank {peak} carries {ratio:.2}x the mean \
+                         load (threshold {threshold}); histogram {row:?}"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::Segment;
+
+    fn one_stage_hb(n: usize) -> HbOrder {
+        HbOrder::build(n, &[Segment::Stages(vec![(0..n).collect()])]).0
+    }
+
+    #[test]
+    fn balanced_stream_is_lint_clean() {
+        // 16 tasks, each reading a distinct 64-byte line: 4 per bank.
+        let hb = one_stage_hb(16);
+        let bp = BankPressure::collect(
+            16,
+            |t| vec![MemRange::read(t as u64 * 64, 64)],
+            &hb,
+            Interleave::cyclops64(),
+        );
+        assert_eq!(bp.hist, vec![vec![4, 4, 4, 4]]);
+        assert_eq!(bp.imbalance(0), Some(1.0));
+        assert!(bp.lint(DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn single_bank_stream_is_flagged() {
+        // Stride 256 = 4 interleave units: the twiddle pathology.
+        let hb = one_stage_hb(16);
+        let bp = BankPressure::collect(
+            16,
+            |t| vec![MemRange::read(t as u64 * 256, 16)],
+            &hb,
+            Interleave::cyclops64(),
+        );
+        assert_eq!(bp.hist, vec![vec![16, 0, 0, 0]]);
+        assert_eq!(bp.imbalance(0), Some(4.0));
+        let diags = bp.lint(DEFAULT_THRESHOLD);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, CODE_BANK_IMBALANCE);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("peak bank 0"));
+    }
+
+    #[test]
+    fn levels_are_linted_independently() {
+        // Stage 0 skewed, stage 1 balanced: exactly one warning, naming
+        // level 0.
+        let (hb, _) = HbOrder::build(
+            8,
+            &[Segment::Stages(vec![(0..4).collect(), (4..8).collect()])],
+        );
+        let bp = BankPressure::collect(
+            8,
+            |t| {
+                if t < 4 {
+                    vec![MemRange::read(0, 16)]
+                } else {
+                    vec![MemRange::read(t as u64 * 64, 16)]
+                }
+            },
+            &hb,
+            Interleave::cyclops64(),
+        );
+        let diags = bp.lint(DEFAULT_THRESHOLD);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.starts_with("level 0:"));
+    }
+
+    #[test]
+    fn multi_line_ranges_count_per_line() {
+        let hb = one_stage_hb(1);
+        let bp = BankPressure::collect(
+            1,
+            |_| vec![MemRange::write(0, 256)],
+            &hb,
+            Interleave::cyclops64(),
+        );
+        assert_eq!(bp.hist, vec![vec![1, 1, 1, 1]]);
+    }
+
+    #[test]
+    fn empty_levels_are_skipped() {
+        let (hb, _) = HbOrder::build(1, &[Segment::Stages(vec![vec![0], vec![]])]);
+        let bp = BankPressure::collect(1, |_| vec![], &hb, Interleave::cyclops64());
+        assert_eq!(bp.imbalance(0), None);
+        assert!(bp.lint(DEFAULT_THRESHOLD).is_empty());
+    }
+}

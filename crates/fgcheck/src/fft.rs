@@ -1,0 +1,281 @@
+//! The FFT driver: run all three passes against one algorithm version.
+//!
+//! [`check_fft`] rebuilds the *exact* schedule `fgfft::simwork::run_sim`
+//! would execute — same graphs, same seeds, same phase structure, including
+//! the small-plan guided fallback — and checks it without running it:
+//!
+//! 1. the graph contract (`codelet::verify`, codes FG001–FG008),
+//! 2. happens-before races over task footprints (FG101/FG201),
+//! 3. bank-pressure imbalance under the C64 interleave (FG301).
+//!
+//! A report is *clean* when it contains no errors; bank-pressure findings
+//! are warnings (slow, not wrong), so the linear-twiddle versions are clean
+//! yet loudly flagged — the static shadow of the paper's Fig. 1.
+
+use crate::bank::BankPressure;
+use crate::hb::{HbOrder, Segment};
+use crate::race::{find_races, RaceReport};
+use c64sim::{ChipConfig, Interleave};
+use codelet::verify::{self, Diagnostic};
+use fgfft::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
+use fgfft::{FftPlan, FftWorkload, SimVersion, TwiddleLayout};
+use fgsupport::json::Value;
+
+/// What to check.
+#[derive(Debug, Clone, Copy)]
+pub struct FftCheckOptions {
+    /// Problem size exponent (N = 2^n_log2).
+    pub n_log2: u32,
+    /// Codelet radix exponent (64-point codelets = 6, the paper's choice).
+    pub radix_log2: u32,
+    /// Algorithm version whose schedule to check.
+    pub version: SimVersion,
+    /// Twiddle layout override; `None` uses the version's own layout.
+    pub layout: Option<TwiddleLayout>,
+    /// Bank-pressure lint threshold (peak/mean).
+    pub threshold: f64,
+}
+
+impl FftCheckOptions {
+    /// Defaults matching the paper's setup for `version` at `N = 2^n_log2`.
+    pub fn new(n_log2: u32, version: SimVersion) -> Self {
+        Self {
+            n_log2,
+            radix_log2: 6,
+            version,
+            layout: None,
+            threshold: crate::bank::DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// The combined result of the three passes over one schedule.
+pub struct FftCheckReport {
+    /// Version legend name (paper Table I).
+    pub version: &'static str,
+    /// Twiddle layout actually checked.
+    pub layout: TwiddleLayout,
+    /// Problem size exponent.
+    pub n_log2: u32,
+    /// Total codelets in the schedule.
+    pub tasks: usize,
+    /// Pass-1 graph-contract diagnostics plus schedule-coverage findings.
+    pub contract: Vec<Diagnostic>,
+    /// Pass-2 race scan.
+    pub races: RaceReport,
+    /// Pass-3 histograms (kept for reporting; per-level imbalance).
+    pub bank: BankPressure,
+    /// Pass-3 lint findings (warnings).
+    pub bank_lint: Vec<Diagnostic>,
+}
+
+impl FftCheckReport {
+    /// Every diagnostic from every pass, contract first.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = self.contract.clone();
+        out.extend(self.races.diagnostics());
+        out.extend(self.bank_lint.iter().cloned());
+        out
+    }
+
+    /// True when some pass found an error (warnings do not count).
+    pub fn has_errors(&self) -> bool {
+        verify::has_errors(&self.diagnostics())
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "fgcheck: {} / {} layout, N = 2^{} ({} codelets)\n",
+            self.version,
+            layout_name(self.layout),
+            self.n_log2,
+            self.tasks
+        );
+        out.push_str(&format!(
+            "  contract: {}\n",
+            if verify::has_errors(&self.contract) {
+                "VIOLATED"
+            } else {
+                "ok"
+            }
+        ));
+        out.push_str(&format!(
+            "  races: {} ({} pair checks)\n",
+            if self.races.is_clean() {
+                "none".to_string()
+            } else {
+                format!("{} racing pairs", self.races.total)
+            },
+            self.races.checked
+        ));
+        let imb: Vec<String> = (0..self.bank.hist.len())
+            .map(|l| match self.bank.imbalance(l) {
+                Some(r) => format!("{r:.2}"),
+                None => "-".to_string(),
+            })
+            .collect();
+        out.push_str(&format!(
+            "  bank pressure: per-level peak/mean [{}], {} warning(s)\n",
+            imb.join(", "),
+            self.bank_lint.len()
+        ));
+        let diags = self.diagnostics();
+        if !diags.is_empty() {
+            out.push_str(&verify::render(&diags));
+        }
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> Value {
+        let diag_json = |d: &Diagnostic| {
+            Value::obj(vec![
+                ("code", Value::Str(d.code.to_string())),
+                ("severity", Value::Str(d.severity.to_string())),
+                (
+                    "codelet",
+                    d.codelet.map_or(Value::Null, |c| Value::Num(c as f64)),
+                ),
+                ("message", Value::Str(d.message.clone())),
+            ])
+        };
+        let hist = Value::Arr(
+            self.bank
+                .hist
+                .iter()
+                .map(|row| Value::Arr(row.iter().map(|&c| Value::Num(c as f64)).collect()))
+                .collect(),
+        );
+        let imbalance = Value::Arr(
+            (0..self.bank.hist.len())
+                .map(|l| self.bank.imbalance(l).map_or(Value::Null, Value::Num))
+                .collect(),
+        );
+        Value::obj(vec![
+            ("version", Value::Str(self.version.to_string())),
+            ("layout", Value::Str(layout_name(self.layout).to_string())),
+            ("n_log2", Value::Num(self.n_log2 as f64)),
+            ("tasks", Value::Num(self.tasks as f64)),
+            ("clean", Value::Bool(!self.has_errors())),
+            (
+                "diagnostics",
+                Value::Arr(self.diagnostics().iter().map(diag_json).collect()),
+            ),
+            (
+                "races",
+                Value::obj(vec![
+                    ("total", Value::Num(self.races.total as f64)),
+                    ("checked", Value::Num(self.races.checked as f64)),
+                ]),
+            ),
+            (
+                "bank",
+                Value::obj(vec![("histogram", hist), ("imbalance", imbalance)]),
+            ),
+        ])
+    }
+}
+
+/// Stable CLI-facing layout name.
+pub fn layout_name(layout: TwiddleLayout) -> &'static str {
+    match layout {
+        TwiddleLayout::Linear => "linear",
+        TwiddleLayout::BitReversedHash => "bitrev-hash",
+        TwiddleLayout::MultiplicativeHash => "mult-hash",
+    }
+}
+
+/// Statically check the schedule of `opts.version` without simulating it.
+pub fn check_fft(opts: &FftCheckOptions) -> FftCheckReport {
+    let plan = FftPlan::new(opts.n_log2, opts.radix_log2);
+    let layout = opts.layout.unwrap_or_else(|| opts.version.layout());
+    let chip = ChipConfig::cyclops64();
+    let workload = FftWorkload::new(plan, layout, &chip);
+    let n_tasks = plan.total_codelets();
+    let cps = plan.codelets_per_stage();
+
+    // Mirror `run_sim_with_layout`'s schedule construction exactly.
+    let (mut contract, hb, coverage) = match opts.version {
+        SimVersion::Coarse | SimVersion::CoarseHash => {
+            let graph = FftGraph::new(plan);
+            let contract = verify::check_program(&graph);
+            let stages: Vec<Vec<usize>> = (0..plan.stages())
+                .map(|s| (s * cps..(s + 1) * cps).collect())
+                .collect();
+            let (hb, cov) = HbOrder::build(n_tasks, &[Segment::Stages(stages)]);
+            (contract, hb, cov)
+        }
+        SimVersion::Fine(order) | SimVersion::FineHash(order) => {
+            let graph = FftGraph::new(plan);
+            let seeds = order.order(cps);
+            let contract = verify::check_partial(&graph, &seeds, n_tasks);
+            let (hb, cov) = HbOrder::build(
+                n_tasks,
+                &[Segment::Graph {
+                    program: &graph,
+                    seeds,
+                }],
+            );
+            (contract, hb, cov)
+        }
+        SimVersion::FineGuided => {
+            if plan.stages() < 3 {
+                // Small plans fall back to the plain fine schedule.
+                let graph = FftGraph::new(plan);
+                let seeds = graph.stage0_ids();
+                let contract = verify::check_partial(&graph, &seeds, n_tasks);
+                let (hb, cov) = HbOrder::build(
+                    n_tasks,
+                    &[Segment::Graph {
+                        program: &graph,
+                        seeds,
+                    }],
+                );
+                (contract, hb, cov)
+            } else {
+                let early = GuidedEarlyGraph::new(plan, plan.stages() - 3);
+                let late = GuidedLateGraph::new(plan, plan.stages() - 2);
+                let early_seeds = early.seeds();
+                let late_seeds = late.seeds();
+                let mut contract = verify::check_partial(&early, &early_seeds, early.expected());
+                contract.extend(verify::check_partial(&late, &late_seeds, late.expected()));
+                let (hb, cov) = HbOrder::build(
+                    n_tasks,
+                    &[
+                        Segment::Graph {
+                            program: &early,
+                            seeds: early_seeds,
+                        },
+                        Segment::Graph {
+                            program: &late,
+                            seeds: late_seeds,
+                        },
+                    ],
+                );
+                (contract, hb, cov)
+            }
+        }
+    };
+    contract.extend(coverage);
+
+    let races = find_races(n_tasks, |t| workload.footprint(t), &hb);
+    let bank = BankPressure::collect(
+        n_tasks,
+        |t| workload.footprint(t),
+        &hb,
+        Interleave::cyclops64(),
+    );
+    let bank_lint = bank.lint(opts.threshold);
+
+    FftCheckReport {
+        version: opts.version.name(),
+        layout,
+        n_log2: opts.n_log2,
+        tasks: n_tasks,
+        contract,
+        races,
+        bank,
+        bank_lint,
+    }
+}

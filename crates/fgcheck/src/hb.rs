@@ -1,0 +1,429 @@
+//! The happens-before model: which pairs of tasks does a schedule *order*?
+//!
+//! A schedule is a sequence of [`Segment`]s separated by global barriers.
+//! Within a [`Segment::Stages`] segment, tasks in different stage vectors
+//! are ordered by the per-stage barrier and tasks within one vector are
+//! concurrent. Within a [`Segment::Graph`] segment, two tasks are ordered
+//! iff the dependence relation (with shared-counter groups expanded: a
+//! group member is ordered after *every* parent that signals its group)
+//! connects them. Tasks in different segments are always ordered by the
+//! inter-segment barrier.
+//!
+//! [`HbOrder::build`] materializes this once — firing simulation for graph
+//! segments, then full ancestor bitsets in firing order — so that the race
+//! detector's `ordered(a, b)` queries are O(1) bit tests.
+
+use codelet::graph::{CodeletId, CodeletProgram};
+use codelet::verify::{Diagnostic, Severity};
+
+/// Schedule coverage violation (task scheduled twice or never).
+pub const CODE_COVERAGE: &str = "FG101";
+
+/// One barrier-delimited piece of a schedule.
+pub enum Segment<'a> {
+    /// Coarse-grain phases: `stages[i]` all complete (barrier) before
+    /// `stages[i + 1]` starts; tasks within one `stages[i]` are concurrent.
+    Stages(Vec<Vec<CodeletId>>),
+    /// Fine-grain dataflow over `program`, seeded with `seeds`; exactly the
+    /// seeds plus everything they transitively enable execute here.
+    Graph {
+        /// The dependence structure driving this segment.
+        program: &'a dyn CodeletProgram,
+        /// Initially-ready tasks.
+        seeds: Vec<CodeletId>,
+    },
+}
+
+enum SegmentHb {
+    /// `stage_of[dense] = stage vector index`.
+    Stages,
+    /// Index into `HbOrder::graphs`.
+    Graph(usize),
+}
+
+struct GraphHb {
+    /// Words per ancestor-bitset row.
+    words: usize,
+    /// `anc[d * words ..]` = bitset of dense ancestor indices of task `d`.
+    anc: Vec<u64>,
+}
+
+impl GraphHb {
+    #[inline]
+    fn ordered(&self, a: u32, b: u32) -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        // Edges only point from earlier to later firing positions, so only
+        // "lo is an ancestor of hi" can hold.
+        let row = hi as usize * self.words;
+        self.anc[row + lo as usize / 64] & (1u64 << (lo % 64)) != 0
+    }
+}
+
+const UNSCHEDULED: u32 = u32::MAX;
+
+/// The materialized happens-before relation of one schedule.
+pub struct HbOrder {
+    /// Segment index per task (`UNSCHEDULED` if the schedule misses it).
+    seg_of: Vec<u32>,
+    /// Within-segment position: stage vector index (Stages) or dense firing
+    /// index (Graph).
+    pos_of: Vec<u32>,
+    /// Global topological level per task (stage number for FFT schedules),
+    /// used by the bank-pressure linter.
+    level_of: Vec<u32>,
+    segments: Vec<SegmentHb>,
+    graphs: Vec<GraphHb>,
+    levels: usize,
+}
+
+impl HbOrder {
+    /// Materialize the happens-before relation of `segments` over tasks
+    /// `0..n_tasks`. Coverage violations (a task scheduled twice or never)
+    /// are returned as [`CODE_COVERAGE`] diagnostics; such tasks are
+    /// treated as unordered against everything, so downstream passes still
+    /// surface the consequences.
+    pub fn build(n_tasks: usize, segments: &[Segment<'_>]) -> (Self, Vec<Diagnostic>) {
+        let mut diags = Vec::new();
+        let mut hb = HbOrder {
+            seg_of: vec![UNSCHEDULED; n_tasks],
+            pos_of: vec![0; n_tasks],
+            level_of: vec![0; n_tasks],
+            segments: Vec::new(),
+            graphs: Vec::new(),
+            levels: 0,
+        };
+        let mut level_base = 0u32;
+        for (si, seg) in segments.iter().enumerate() {
+            let mut claim = |task: CodeletId, pos: u32, level: u32, hb: &mut HbOrder| {
+                if task >= n_tasks {
+                    diags.push(Diagnostic {
+                        code: CODE_COVERAGE,
+                        severity: Severity::Error,
+                        codelet: None,
+                        message: format!(
+                            "segment {si} schedules task {task}, outside 0..{n_tasks}"
+                        ),
+                    });
+                    return;
+                }
+                if hb.seg_of[task] != UNSCHEDULED {
+                    diags.push(Diagnostic {
+                        code: CODE_COVERAGE,
+                        severity: Severity::Error,
+                        codelet: Some(task),
+                        message: format!("task {task} is scheduled by more than one segment"),
+                    });
+                    return;
+                }
+                hb.seg_of[task] = si as u32;
+                hb.pos_of[task] = pos;
+                hb.level_of[task] = level;
+            };
+            match seg {
+                Segment::Stages(stages) => {
+                    for (stage_idx, stage) in stages.iter().enumerate() {
+                        for &t in stage {
+                            claim(t, stage_idx as u32, level_base + stage_idx as u32, &mut hb);
+                        }
+                    }
+                    hb.segments.push(SegmentHb::Stages);
+                    level_base += stages.len() as u32;
+                }
+                Segment::Graph { program, seeds } => {
+                    let depth =
+                        build_graph_hb(*program, seeds, si, level_base, &mut hb, &mut claim);
+                    hb.segments.push(SegmentHb::Graph(hb.graphs.len() - 1));
+                    level_base += depth;
+                }
+            }
+        }
+        for t in 0..n_tasks {
+            if hb.seg_of[t] == UNSCHEDULED {
+                diags.push(Diagnostic {
+                    code: CODE_COVERAGE,
+                    severity: Severity::Error,
+                    codelet: Some(t),
+                    message: format!("task {t} is never scheduled"),
+                });
+            }
+        }
+        hb.levels = level_base as usize;
+        (hb, diags)
+    }
+
+    /// Is there a happens-before order between `a` and `b` (either way)?
+    #[inline]
+    pub fn ordered(&self, a: CodeletId, b: CodeletId) -> bool {
+        if a == b {
+            return true; // program order within one task
+        }
+        let (sa, sb) = (self.seg_of[a], self.seg_of[b]);
+        if sa == UNSCHEDULED || sb == UNSCHEDULED {
+            return false;
+        }
+        if sa != sb {
+            return true; // inter-segment barrier
+        }
+        match self.segments[sa as usize] {
+            SegmentHb::Stages => self.pos_of[a] != self.pos_of[b],
+            SegmentHb::Graph(g) => self.graphs[g].ordered(self.pos_of[a], self.pos_of[b]),
+        }
+    }
+
+    /// Global topological level of a task (its stage, for FFT schedules), or
+    /// `None` when the schedule never runs it.
+    pub fn level(&self, task: CodeletId) -> Option<u32> {
+        (self.seg_of[task] != UNSCHEDULED).then(|| self.level_of[task])
+    }
+
+    /// Total number of levels across all segments.
+    pub fn num_levels(&self) -> usize {
+        self.levels
+    }
+}
+
+/// Simulate the dataflow firing of one graph segment (the same enabling
+/// rules as `codelet::verify`), assign dense indices in firing order, and
+/// fold full ancestor bitsets. Returns the segment's level depth.
+fn build_graph_hb(
+    program: &dyn CodeletProgram,
+    seeds: &[CodeletId],
+    si: usize,
+    level_base: u32,
+    hb: &mut HbOrder,
+    claim: &mut impl FnMut(CodeletId, u32, u32, &mut HbOrder),
+) -> u32 {
+    let n = program.num_codelets();
+    let num_groups = program.num_shared_groups();
+    let groups_enabled = num_groups > 0;
+
+    // Group claims and targets.
+    let mut claims: Vec<Option<usize>> = vec![None; n];
+    let mut group_target = vec![0u32; num_groups];
+    if groups_enabled {
+        for (c, claim) in claims.iter_mut().enumerate() {
+            if let Some(g) = program.shared_group(c) {
+                if g.group < num_groups {
+                    *claim = Some(g.group);
+                    group_target[g.group] = g.target;
+                }
+            }
+        }
+    }
+
+    // Firing simulation; `parents[child dense slot]` is filled as signals
+    // arrive, giving the group-expanded reverse adjacency for free. A group
+    // member's parents are all tasks signalling the group.
+    let mut private_cnt = vec![0u32; n];
+    let mut group_cnt = vec![0u32; num_groups];
+    let mut group_parents: Vec<Vec<CodeletId>> = vec![Vec::new(); num_groups];
+    let mut parents_of: Vec<Vec<CodeletId>> = vec![Vec::new(); n];
+    let mut fired = vec![false; n];
+    let mut order: Vec<CodeletId> = Vec::new();
+    let mut stack: Vec<CodeletId> = seeds.iter().copied().filter(|&s| s < n).collect();
+    let mut kids = Vec::new();
+    let mut seen_groups: Vec<usize> = Vec::new();
+    let mut members = Vec::new();
+    while let Some(c) = stack.pop() {
+        if fired[c] {
+            continue; // double enables are pass-1's problem, not ours
+        }
+        fired[c] = true;
+        order.push(c);
+        kids.clear();
+        program.dependents(c, &mut kids);
+        seen_groups.clear();
+        for &k in &kids {
+            if k >= n {
+                continue;
+            }
+            match claims[k] {
+                Some(g) if groups_enabled => {
+                    if !seen_groups.contains(&g) {
+                        seen_groups.push(g);
+                    }
+                }
+                _ => {
+                    parents_of[k].push(c);
+                    private_cnt[k] += 1;
+                    if private_cnt[k] == program.dep_count(k) {
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        for &g in &seen_groups {
+            group_parents[g].push(c);
+            group_cnt[g] += 1;
+            if group_cnt[g] == group_target[g] {
+                members.clear();
+                program.shared_group_members(g, &mut members);
+                for &m in &members {
+                    if m < n && claims[m] == Some(g) {
+                        parents_of[m] = group_parents[g].clone();
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+    }
+
+    // Dense indices in firing order (parents always precede children), then
+    // levels and ancestor bitsets in one pass.
+    let m = order.len();
+    let mut dense = vec![u32::MAX; n];
+    for (d, &t) in order.iter().enumerate() {
+        dense[t] = d as u32;
+    }
+    let words = m.div_ceil(64);
+    let mut anc = vec![0u64; m * words];
+    let mut depth = 0u32;
+    for (d, &t) in order.iter().enumerate() {
+        let mut level = 0u32;
+        let (done, rest) = anc.split_at_mut(d * words);
+        let row = &mut rest[..words];
+        for &p in &parents_of[t] {
+            let pd = dense[p] as usize;
+            debug_assert!(pd < d, "firing order must be topological");
+            let prow = &done[pd * words..(pd + 1) * words];
+            for (rw, pw) in row.iter_mut().zip(prow) {
+                *rw |= pw;
+            }
+            row[pd / 64] |= 1u64 << (pd % 64);
+            level = level.max(hb.level_of[p].saturating_sub(level_base) + 1);
+        }
+        depth = depth.max(level + 1);
+        claim(t, d as u32, level_base + level, hb);
+    }
+
+    hb.graphs.push(GraphHb { words, anc });
+    // Unused but kept for symmetry with Stages bookkeeping.
+    let _ = si;
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codelet::graph::ExplicitGraph;
+
+    #[test]
+    fn stages_order_across_not_within() {
+        let seg = Segment::Stages(vec![vec![0, 1], vec![2, 3]]);
+        let (hb, diags) = HbOrder::build(4, &[seg]);
+        assert!(diags.is_empty());
+        assert!(hb.ordered(0, 2) && hb.ordered(3, 1));
+        assert!(!hb.ordered(0, 1) && !hb.ordered(2, 3));
+        assert_eq!(hb.level(0), Some(0));
+        assert_eq!(hb.level(3), Some(1));
+        assert_eq!(hb.num_levels(), 2);
+    }
+
+    #[test]
+    fn graph_orders_exactly_the_reachable_pairs() {
+        // diamond 0 -> {1, 2} -> 3, plus an isolated 4.
+        let mut g = ExplicitGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let seg = Segment::Graph {
+            program: &g,
+            seeds: vec![0, 4],
+        };
+        let (hb, diags) = HbOrder::build(5, &[seg]);
+        assert!(diags.is_empty());
+        assert!(hb.ordered(0, 3) && hb.ordered(3, 0));
+        assert!(hb.ordered(0, 1) && hb.ordered(2, 3));
+        assert!(!hb.ordered(1, 2), "diamond arms are concurrent");
+        assert!(!hb.ordered(4, 3), "isolated task is unordered");
+        assert_eq!(hb.level(0), Some(0));
+        assert_eq!(hb.level(3), Some(2));
+        assert_eq!(hb.level(4), Some(0));
+        assert_eq!(hb.num_levels(), 3);
+    }
+
+    #[test]
+    fn barrier_between_segments_orders_everything() {
+        let g = ExplicitGraph::new(4);
+        let segs = [
+            Segment::Graph {
+                program: &g,
+                seeds: vec![0, 1],
+            },
+            Segment::Stages(vec![vec![2, 3]]),
+        ];
+        let (hb, diags) = HbOrder::build(4, &segs);
+        // Tasks 0 and 1 are concurrent seeds, 2 and 3 share a stage, but
+        // every cross-segment pair is barrier-ordered.
+        assert!(diags.is_empty());
+        assert!(!hb.ordered(0, 1) && !hb.ordered(2, 3));
+        assert!(hb.ordered(0, 2) && hb.ordered(1, 3));
+        // Levels continue across segments.
+        assert_eq!(hb.level(2), Some(1));
+    }
+
+    #[test]
+    fn coverage_violations_are_reported() {
+        let (hb, diags) = HbOrder::build(3, &[Segment::Stages(vec![vec![0, 0], vec![1]])]);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == CODE_COVERAGE && d.message.contains("more than one")));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == CODE_COVERAGE && d.codelet == Some(2)));
+        assert!(!hb.ordered(2, 0), "unscheduled tasks are unordered");
+    }
+
+    #[test]
+    fn shared_groups_order_members_after_all_signalling_parents() {
+        use codelet::graph::{CodeletProgram, SharedGroup};
+        // 4 parents -> one group of 4 children at target 4: every child is
+        // ordered after every parent even though no path is explicit per-pair.
+        struct Prog;
+        impl CodeletProgram for Prog {
+            fn num_codelets(&self) -> usize {
+                8
+            }
+            fn dep_count(&self, id: CodeletId) -> u32 {
+                if id < 4 {
+                    0
+                } else {
+                    4
+                }
+            }
+            fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+                if id < 4 {
+                    out.extend(4..8);
+                }
+            }
+            fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+                (id >= 4).then_some(SharedGroup {
+                    group: 0,
+                    target: 4,
+                })
+            }
+            fn num_shared_groups(&self) -> usize {
+                1
+            }
+            fn shared_group_members(&self, _g: usize, out: &mut Vec<CodeletId>) {
+                out.extend(4..8);
+            }
+        }
+        let (hb, diags) = HbOrder::build(
+            8,
+            &[Segment::Graph {
+                program: &Prog,
+                seeds: vec![0, 1, 2, 3],
+            }],
+        );
+        assert!(diags.is_empty());
+        for p in 0..4 {
+            for c in 4..8 {
+                assert!(hb.ordered(p, c), "parent {p} vs member {c}");
+            }
+        }
+        assert!(!hb.ordered(4, 5), "group members are concurrent");
+        assert_eq!(hb.level(6), Some(1));
+    }
+}

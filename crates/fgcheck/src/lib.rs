@@ -1,0 +1,37 @@
+//! # fgcheck — static analysis for fine-grain codelet schedules
+//!
+//! The paper's fine-grain FFT versions trade the safety of stage barriers
+//! for dataflow arcs; drop one arc and the program is silently racy, skew
+//! the twiddle layout and every early stage hammers DRAM bank 0. Both bug
+//! classes are *statically decidable* for the implicit codelet graphs this
+//! workspace uses, so this crate decides them, before any cycle is
+//! simulated:
+//!
+//! * **Pass 1 — graph contract** (`codelet::verify`, re-exported here):
+//!   acyclicity, dependence-count/in-degree duality, reachability, shared
+//!   counter group consistency. Codes FG001–FG008.
+//! * **Pass 2 — happens-before races** ([`hb`], [`race`]): a schedule is
+//!   modeled as barrier-separated [`hb::Segment`]s; tasks with overlapping
+//!   footprints (at least one writing) that the model leaves unordered are
+//!   reported as FG201 errors. Schedule-coverage holes are FG101.
+//! * **Pass 3 — bank pressure** ([`bank`]): per-stage per-bank histograms
+//!   of every footprint under the Cyclops-64 interleave; a stage whose peak
+//!   bank exceeds `threshold ×` the mean draws an FG301 warning. This is
+//!   Fig. 1 of the paper as a lint.
+//!
+//! [`fft::check_fft`] wires all three to the exact schedules that
+//! `fgfft::simwork::run_sim` executes; the `fgcheck` binary exposes it on
+//! the command line with text and JSON output.
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod fft;
+pub mod hb;
+pub mod race;
+
+pub use bank::{BankPressure, CODE_BANK_IMBALANCE, DEFAULT_THRESHOLD};
+pub use codelet::verify::{has_errors, render, Diagnostic, Severity};
+pub use fft::{check_fft, layout_name, FftCheckOptions, FftCheckReport};
+pub use hb::{HbOrder, Segment, CODE_COVERAGE};
+pub use race::{find_races, RaceReport, CODE_RACE};

@@ -1,0 +1,159 @@
+//! `fgcheck` — check FFT codelet schedules without simulating them.
+//!
+//! ```text
+//! fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] [--version V]
+//!         [--layout L] [--threshold T] [--format text|json]
+//!
+//!   --version   coarse | coarse-hash | fine | fine-hash | fine-guided | all
+//!   --layout    linear | bitrev-hash | mult-hash   (default: the version's)
+//! ```
+//!
+//! Exit status 0 when every checked schedule is free of errors (FG101
+//! coverage holes, FG201 races, FG00x contract violations); 1 otherwise.
+//! Bank-pressure findings (FG301) are warnings and do not fail the run.
+
+use fgcheck::{check_fft, FftCheckOptions};
+use fgfft::{SeedOrder, SimVersion, TwiddleLayout};
+use fgsupport::json::Value;
+use std::process::ExitCode;
+
+struct Cli {
+    n_log2: u32,
+    radix_log2: u32,
+    versions: Vec<SimVersion>,
+    layout: Option<TwiddleLayout>,
+    threshold: f64,
+    json: bool,
+}
+
+const ALL_VERSIONS: [SimVersion; 5] = [
+    SimVersion::Coarse,
+    SimVersion::CoarseHash,
+    SimVersion::Fine(SeedOrder::Natural),
+    SimVersion::FineHash(SeedOrder::Natural),
+    SimVersion::FineGuided,
+];
+
+const USAGE: &str = "usage: fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] \
+                     [--version coarse|coarse-hash|fine|fine-hash|fine-guided|all] \
+                     [--layout linear|bitrev-hash|mult-hash] [--threshold T] \
+                     [--format text|json]";
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        n_log2: 15,
+        radix_log2: 6,
+        versions: ALL_VERSIONS.to_vec(),
+        layout: None,
+        threshold: fgcheck::DEFAULT_THRESHOLD,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        if !matches!(
+            flag.as_str(),
+            "--n"
+                | "--n-log2"
+                | "--radix-log2"
+                | "--version"
+                | "--layout"
+                | "--threshold"
+                | "--format"
+        ) {
+            return Err(format!("unknown flag {flag}\n{USAGE}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        match flag.as_str() {
+            "--n" => {
+                let n: u64 = value.parse().map_err(|_| format!("bad --n {value}"))?;
+                if !n.is_power_of_two() {
+                    return Err(format!("--n {n} is not a power of two"));
+                }
+                cli.n_log2 = n.trailing_zeros();
+            }
+            "--n-log2" => {
+                cli.n_log2 = value.parse().map_err(|_| format!("bad --n-log2 {value}"))?;
+            }
+            "--radix-log2" => {
+                cli.radix_log2 = value
+                    .parse()
+                    .map_err(|_| format!("bad --radix-log2 {value}"))?;
+            }
+            "--version" => {
+                cli.versions = match value.as_str() {
+                    "coarse" => vec![SimVersion::Coarse],
+                    "coarse-hash" => vec![SimVersion::CoarseHash],
+                    "fine" => vec![SimVersion::Fine(SeedOrder::Natural)],
+                    "fine-hash" => vec![SimVersion::FineHash(SeedOrder::Natural)],
+                    "fine-guided" => vec![SimVersion::FineGuided],
+                    "all" => ALL_VERSIONS.to_vec(),
+                    other => return Err(format!("unknown version {other}\n{USAGE}")),
+                };
+            }
+            "--layout" => {
+                cli.layout = Some(match value.as_str() {
+                    "linear" => TwiddleLayout::Linear,
+                    "bitrev-hash" => TwiddleLayout::BitReversedHash,
+                    "mult-hash" => TwiddleLayout::MultiplicativeHash,
+                    other => return Err(format!("unknown layout {other}\n{USAGE}")),
+                });
+            }
+            "--threshold" => {
+                cli.threshold = value
+                    .parse()
+                    .map_err(|_| format!("bad --threshold {value}"))?;
+            }
+            "--format" => {
+                cli.json = match value.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => return Err(format!("unknown format {other}\n{USAGE}")),
+                };
+            }
+            _ => unreachable!("flag was validated above"),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    let mut reports = Vec::new();
+    for &version in &cli.versions {
+        let report = check_fft(&FftCheckOptions {
+            n_log2: cli.n_log2,
+            radix_log2: cli.radix_log2,
+            version,
+            layout: cli.layout,
+            threshold: cli.threshold,
+        });
+        failed |= report.has_errors();
+        if cli.json {
+            reports.push(report.to_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+    }
+    if cli.json {
+        println!("{}", Value::Arr(reports).to_string_pretty());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,270 @@
+//! Pass 2: the happens-before race detector.
+//!
+//! Given each task's byte-range footprint and the schedule's [`HbOrder`],
+//! flag every pair of tasks that touch overlapping bytes, where at least one
+//! side writes, and that the schedule leaves **unordered**. Such a pair is a
+//! data race: the runtime may execute the two accesses in either order (or
+//! concurrently), so the result is schedule-dependent — exactly the class of
+//! bug a fine-grain dataflow port introduces when an arc is dropped.
+//!
+//! The sweep is a sort-by-address interval walk. Accesses are flattened to
+//! `(lo, hi, write, task)` entries and sorted by `lo`; a moving window keeps
+//! the currently-overlapping entries, split into active *writes* and active
+//! *reads*. A new write is checked against both lists; a new read only
+//! against active writes. The split matters: FFT twiddle factors are read by
+//! thousands of tasks at the same address, and comparing read-read pairs
+//! would make the sweep quadratic in exactly the common, harmless case.
+
+use crate::hb::HbOrder;
+use c64sim::MemRange;
+use codelet::graph::CodeletId;
+use codelet::verify::{Diagnostic, Severity};
+
+/// Unordered conflicting access pair (a data race).
+pub const CODE_RACE: &str = "FG201";
+
+/// Cap on rendered race diagnostics; the summary line reports the rest.
+const MAX_RACES: usize = 16;
+
+#[derive(Clone, Copy)]
+struct Access {
+    lo: u64,
+    hi: u64,
+    write: bool,
+    task: CodeletId,
+}
+
+/// Result of a race scan.
+pub struct RaceReport {
+    /// Distinct unordered conflicting task pairs `(a, b, example address)`
+    /// with `a < b`, capped at [`MAX_RACES`] pairs.
+    pub pairs: Vec<(CodeletId, CodeletId, u64)>,
+    /// Total distinct racing pairs found (may exceed `pairs.len()`).
+    pub total: usize,
+    /// Conflicting-and-overlapping pair checks performed (sweep work metric).
+    pub checked: usize,
+}
+
+impl RaceReport {
+    /// True when no race was found.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Render the report as diagnostics (one [`CODE_RACE`] error per pair,
+    /// plus a summary line when the cap truncated).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out: Vec<Diagnostic> = self
+            .pairs
+            .iter()
+            .map(|&(a, b, addr)| Diagnostic {
+                code: CODE_RACE,
+                severity: Severity::Error,
+                codelet: Some(a),
+                message: format!(
+                    "tasks {a} and {b} conflict at address {addr:#x} with no happens-before order"
+                ),
+            })
+            .collect();
+        if self.total > self.pairs.len() {
+            out.push(Diagnostic {
+                code: CODE_RACE,
+                severity: Severity::Error,
+                codelet: None,
+                message: format!("… and {} more racing pairs", self.total - self.pairs.len()),
+            });
+        }
+        out
+    }
+}
+
+/// Scan for races: `footprint(t)` yields the byte ranges task `t` touches,
+/// `hb` supplies the happens-before order. `n_tasks` bounds the task ids.
+pub fn find_races(
+    n_tasks: usize,
+    mut footprint: impl FnMut(CodeletId) -> Vec<MemRange>,
+    hb: &HbOrder,
+) -> RaceReport {
+    let mut accesses = Vec::new();
+    for t in 0..n_tasks {
+        for r in footprint(t) {
+            if !r.is_empty() {
+                accesses.push(Access {
+                    lo: r.lo,
+                    hi: r.hi,
+                    write: r.write,
+                    task: t,
+                });
+            }
+        }
+    }
+    accesses.sort_unstable_by_key(|a| a.lo);
+
+    // Active windows with lazy retirement: a list is only purged when its
+    // earliest end crosses the sweep point, so the common hot spot — many
+    // reads of one twiddle cell, all ending together — costs one purge total
+    // instead of one scan per access.
+    let mut writes: Vec<Access> = Vec::new();
+    let mut reads: Vec<Access> = Vec::new();
+    let mut writes_min_hi = u64::MAX;
+    let mut reads_min_hi = u64::MAX;
+    let mut seen: Vec<(CodeletId, CodeletId)> = Vec::new();
+    let mut pairs = Vec::new();
+    let mut checked = 0usize;
+
+    let report = |a: &Access,
+                  b: &Access,
+                  seen: &mut Vec<(CodeletId, CodeletId)>,
+                  pairs: &mut Vec<(CodeletId, CodeletId, u64)>| {
+        let key = if a.task < b.task {
+            (a.task, b.task)
+        } else {
+            (b.task, a.task)
+        };
+        if !seen.contains(&key) {
+            seen.push(key);
+            if pairs.len() < MAX_RACES {
+                pairs.push((key.0, key.1, a.lo.max(b.lo)));
+            }
+        }
+    };
+
+    let purge = |list: &mut Vec<Access>, min_hi: &mut u64, lo: u64| {
+        if *min_hi <= lo {
+            list.retain(|a| a.hi > lo);
+            *min_hi = list.iter().map(|a| a.hi).min().unwrap_or(u64::MAX);
+        }
+    };
+
+    for acc in &accesses {
+        purge(&mut writes, &mut writes_min_hi, acc.lo);
+        for w in &writes {
+            // Same task may touch a byte twice (e.g. read-modify-write);
+            // program order covers that, and `ordered` returns true for it.
+            checked += 1;
+            if w.task != acc.task && !hb.ordered(w.task, acc.task) {
+                report(w, acc, &mut seen, &mut pairs);
+            }
+        }
+        if acc.write {
+            purge(&mut reads, &mut reads_min_hi, acc.lo);
+            for r in &reads {
+                checked += 1;
+                if r.task != acc.task && !hb.ordered(r.task, acc.task) {
+                    report(r, acc, &mut seen, &mut pairs);
+                }
+            }
+            writes_min_hi = writes_min_hi.min(acc.hi);
+            writes.push(*acc);
+        } else {
+            reads_min_hi = reads_min_hi.min(acc.hi);
+            reads.push(*acc);
+        }
+    }
+
+    RaceReport {
+        total: seen.len(),
+        pairs,
+        checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::Segment;
+
+    fn ranges(v: Vec<Vec<MemRange>>) -> impl FnMut(CodeletId) -> Vec<MemRange> {
+        move |t| v[t].clone()
+    }
+
+    #[test]
+    fn unordered_write_write_overlap_is_a_race() {
+        // Two tasks in the same stage writing the same 16 bytes.
+        let (hb, _) = HbOrder::build(2, &[Segment::Stages(vec![vec![0, 1]])]);
+        let fp = vec![vec![MemRange::write(0, 16)], vec![MemRange::write(8, 16)]];
+        let r = find_races(2, ranges(fp), &hb);
+        assert_eq!(r.total, 1);
+        assert_eq!(r.pairs[0].0, 0);
+        assert_eq!(r.pairs[0].1, 1);
+        assert!(!r.is_clean());
+        assert!(r.diagnostics()[0].message.contains("no happens-before"));
+    }
+
+    #[test]
+    fn barrier_ordered_conflict_is_not_a_race() {
+        let (hb, _) = HbOrder::build(2, &[Segment::Stages(vec![vec![0], vec![1]])]);
+        let fp = vec![vec![MemRange::write(0, 16)], vec![MemRange::read(0, 16)]];
+        let r = find_races(2, ranges(fp), &hb);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn read_read_sharing_is_never_a_race_and_is_cheap() {
+        // 64 concurrent tasks all reading one twiddle line: no conflict, and
+        // the read/write split keeps the sweep from comparing read pairs.
+        let (hb, _) = HbOrder::build(64, &[Segment::Stages(vec![(0..64).collect()])]);
+        let fp: Vec<Vec<MemRange>> = (0..64).map(|_| vec![MemRange::read(0, 16)]).collect();
+        let r = find_races(64, ranges(fp), &hb);
+        assert!(r.is_clean());
+        assert_eq!(r.checked, 0, "no writes, so no pair checks at all");
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let (hb, _) = HbOrder::build(2, &[Segment::Stages(vec![vec![0, 1]])]);
+        let fp = vec![vec![MemRange::write(0, 16)], vec![MemRange::write(16, 16)]];
+        let r = find_races(2, ranges(fp), &hb);
+        assert!(
+            r.is_clean(),
+            "half-open ranges [0,16) and [16,32) are disjoint"
+        );
+    }
+
+    #[test]
+    fn same_task_read_modify_write_is_fine() {
+        let (hb, _) = HbOrder::build(1, &[Segment::Stages(vec![vec![0]])]);
+        let fp = vec![vec![MemRange::read(0, 16), MemRange::write(0, 16)]];
+        let r = find_races(1, ranges(fp), &hb);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn duplicate_overlaps_report_one_pair_and_cap_holds() {
+        // 40 unordered writers on one cell: C(40,2) = 780 racing pairs, but
+        // the pair list is capped while `total` counts them all.
+        let n = 40;
+        let (hb, _) = HbOrder::build(n, &[Segment::Stages(vec![(0..n).collect()])]);
+        let fp: Vec<Vec<MemRange>> = (0..n)
+            .map(|_| vec![MemRange::write(0, 16), MemRange::write(4, 8)])
+            .collect();
+        let r = find_races(n, ranges(fp), &hb);
+        assert_eq!(r.total, n * (n - 1) / 2, "each pair reported once");
+        assert_eq!(r.pairs.len(), 16);
+        let diags = r.diagnostics();
+        assert_eq!(diags.len(), 17);
+        assert!(diags.last().unwrap().message.contains("more racing pairs"));
+    }
+
+    #[test]
+    fn graph_dependence_orders_the_conflict() {
+        use codelet::graph::ExplicitGraph;
+        let mut g = ExplicitGraph::new(3);
+        g.add_edge(0, 1); // 0 -> 1 ordered; 2 concurrent with both
+        let (hb, _) = HbOrder::build(
+            3,
+            &[Segment::Graph {
+                program: &g,
+                seeds: vec![0, 2],
+            }],
+        );
+        let fp = vec![
+            vec![MemRange::write(0, 16)],
+            vec![MemRange::read(0, 16)], // ordered after 0: fine
+            vec![MemRange::read(8, 16)], // unordered vs 0: race
+        ];
+        let r = find_races(3, ranges(fp), &hb);
+        assert_eq!(r.total, 1);
+        assert_eq!((r.pairs[0].0, r.pairs[0].1), (0, 2));
+    }
+}

@@ -175,8 +175,9 @@ mod tests {
     fn parallel_matches_serial() {
         for log_n in [2u32, 6, 10, 13] {
             let n = 1usize << log_n;
-            let mut serial: Vec<Complex64> =
-                (0..n).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+            let mut serial: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64, -(i as f64)))
+                .collect();
             let mut parallel = serial.clone();
             bit_reverse_permute(&mut serial);
             for workers in [1, 2, 3, 8] {

@@ -174,11 +174,7 @@ pub fn rms_error(a: &[Complex64], b: &[Complex64]) -> f64 {
     if a.is_empty() {
         return 0.0;
     }
-    let sum: f64 = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y).norm_sqr())
-        .sum();
+    let sum: f64 = a.iter().zip(b).map(|(&x, &y)| (x - y).norm_sqr()).sum();
     (sum / a.len() as f64).sqrt()
 }
 

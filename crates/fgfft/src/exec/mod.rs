@@ -50,10 +50,7 @@ impl SeedOrder {
         match *self {
             SeedOrder::Natural => (0..count).collect(),
             SeedOrder::Reversed => (0..count).rev().collect(),
-            SeedOrder::EvenOdd => (0..count)
-                .step_by(2)
-                .chain((1..count).step_by(2))
-                .collect(),
+            SeedOrder::EvenOdd => (0..count).step_by(2).chain((1..count).step_by(2)).collect(),
             SeedOrder::Random(seed) => {
                 let mut v: Vec<usize> = (0..count).collect();
                 // splitmix64-driven Fisher-Yates: deterministic, seedable,
@@ -172,7 +169,10 @@ pub struct ExecStats {
 /// two ≥ 2) with the chosen algorithm version.
 pub fn fft_in_place(data: &mut [Complex64], version: Version, config: &ExecConfig) -> ExecStats {
     let n = data.len();
-    assert!(n >= 2 && n.is_power_of_two(), "length must be a power of two ≥ 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "length must be a power of two ≥ 2"
+    );
     let n_log2 = n.trailing_zeros();
     let plan = FftPlan::new(n_log2, config.radix_log2.min(n_log2));
     let twiddles = TwiddleTable::new(n_log2, version.layout());

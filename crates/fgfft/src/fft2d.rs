@@ -137,9 +137,8 @@ impl Fft2d {
             .run(&graph, codelet::pool::PoolDiscipline::WorkSteal, |row| {
                 // SAFETY: codelet `row` is the only accessor of
                 // rows[row*width .. (row+1)*width]; rows partition `data`.
-                let slice = unsafe {
-                    std::slice::from_raw_parts_mut(view.0.add(row * view.1), view.1)
-                };
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(view.0.add(row * view.1), view.1) };
                 fft_row(slice, table);
             });
     }

@@ -37,7 +37,8 @@ impl CodeletProgram for FftGraph {
     }
 
     fn dep_count(&self, id: CodeletId) -> u32 {
-        self.plan.parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
+        self.plan
+            .parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
     }
 
     fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
@@ -75,7 +76,10 @@ impl GuidedEarlyGraph {
     /// Build for `plan`; `last_early` is the last stage executed in phase
     /// one (the paper fixes it to `last_stage − 2`).
     pub fn new(plan: FftPlan, last_early: usize) -> Self {
-        assert!(last_early + 1 < plan.stages(), "late part must be non-empty");
+        assert!(
+            last_early + 1 < plan.stages(),
+            "late part must be non-empty"
+        );
         Self { plan, last_early }
     }
 
@@ -96,7 +100,8 @@ impl CodeletProgram for GuidedEarlyGraph {
     }
 
     fn dep_count(&self, id: CodeletId) -> u32 {
-        self.plan.parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
+        self.plan
+            .parent_count(self.plan.stage_of(id), self.plan.idx_of(id))
     }
 
     fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
@@ -142,7 +147,10 @@ impl GuidedLateGraph {
     /// Build for `plan`; `first_late` is the first stage of phase two
     /// (`last_stage − 1` in the paper).
     pub fn new(plan: FftPlan, first_late: usize) -> Self {
-        assert!(first_late + 2 == plan.stages(), "late part is the last two stages");
+        assert!(
+            first_late + 2 == plan.stages(),
+            "late part is the last two stages"
+        );
         Self { plan, first_late }
     }
 

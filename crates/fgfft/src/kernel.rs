@@ -100,12 +100,7 @@ pub fn twiddle_loads(plan: &FftPlan, stage: usize) -> usize {
 
 /// Visit the logical twiddle index of every twiddle load of a codelet, in
 /// load order (used by the simulator workload to emit its address stream).
-pub fn for_each_twiddle_index(
-    plan: &FftPlan,
-    stage: usize,
-    idx: usize,
-    mut f: impl FnMut(usize),
-) {
+pub fn for_each_twiddle_index(plan: &FftPlan, stage: usize, idx: usize, mut f: impl FnMut(usize)) {
     let p = plan.radix_log2();
     let q = plan.levels(stage);
     let pj = p * stage as u32;
@@ -195,10 +190,7 @@ mod tests {
                 let mut data = input.clone();
                 serial_codelet_fft(&mut data, radix_log2, TwiddleLayout::Linear);
                 let err = rms_error(&data, &expect);
-                assert!(
-                    err < 1e-9,
-                    "n=2^{n_log2} radix=2^{radix_log2}: rms {err}"
-                );
+                assert!(err < 1e-9, "n=2^{n_log2} radix=2^{radix_log2}: rms {err}");
             }
         }
     }

@@ -63,12 +63,14 @@ pub mod window;
 
 pub use api::{convolve, forward, inverse, power_spectrum, Fft};
 pub use bluestein::{dft, idft};
-pub use fft2d::Fft2d;
-pub use rfft::{irfft, rfft};
-pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
-pub use window::Window;
 pub use complex::{rms_error, Complex64};
 pub use exec::{fft_in_place, ExecConfig, ExecStats, SeedOrder, Version};
+pub use fft2d::Fft2d;
 pub use plan::FftPlan;
-pub use simwork::{run_sim, run_sim_fine, run_sim_guided, FftWorkload, GuidedOptions, Residence, SimVersion};
+pub use rfft::{irfft, rfft};
+pub use simwork::{
+    run_sim, run_sim_fine, run_sim_guided, FftWorkload, GuidedOptions, Residence, SimVersion,
+};
+pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
 pub use twiddle::{TwiddleLayout, TwiddleTable};
+pub use window::Window;

@@ -110,8 +110,6 @@ mod tests {
         let full = FftPlan::new(18, 6);
         let partial = FftPlan::new(19, 6);
         let chip = ChipConfig::cyclops64();
-        assert!(
-            bandwidth_bound_gflops(&partial, &chip) < bandwidth_bound_gflops(&full, &chip)
-        );
+        assert!(bandwidth_bound_gflops(&partial, &chip) < bandwidth_bound_gflops(&full, &chip));
     }
 }

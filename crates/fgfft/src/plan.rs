@@ -251,9 +251,7 @@ impl FftPlan {
     /// degenerate case of a partial stage 1 (2-stage plans), where the key
     /// bits don't exist.
     fn stage_has_groups(&self, stage: usize) -> bool {
-        stage >= 1
-            && self.groups_per_stage() > 0
-            && (self.is_full_stage(stage) || stage >= 2)
+        stage >= 1 && self.groups_per_stage() > 0 && (self.is_full_stage(stage) || stage >= 2)
     }
 
     /// Bit positions of a stage's shared-group key: returns

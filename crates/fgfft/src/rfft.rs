@@ -42,11 +42,7 @@ pub fn rfft_with(signal: &[f64], engine: &Fft) -> Vec<Complex64> {
     let mut out = Vec::with_capacity(half + 1);
     for k in 0..=half {
         let zk = if k == half { packed[0] } else { packed[k] };
-        let zn = if k == 0 {
-            packed[0]
-        } else {
-            packed[half - k]
-        };
+        let zn = if k == 0 { packed[0] } else { packed[half - k] };
         let e = (zk + zn.conj()).scale(0.5);
         let o = (zk - zn.conj()).scale(0.5);
         // o currently holds i·O[k]; fold the -i and the twiddle together.

@@ -13,7 +13,7 @@ use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
 use crate::kernel::for_each_twiddle_index;
 use crate::plan::FftPlan;
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use c64sim::address::{Layout, Space};
+use c64sim::address::{Layout, MemRange, Space};
 use c64sim::sched::{PoolScheduler, SequencedScheduler, SimPoolDiscipline};
 use c64sim::{simulate, ChipConfig, MemOp, SimOptions, SimReport, TaskCost, TaskId, TaskModel};
 
@@ -132,6 +132,24 @@ impl FftWorkload {
     pub fn twiddle_addr(&self, t: usize) -> u64 {
         let slot = TwiddleTable::map_index(t, self.plan.n_log2(), self.layout);
         self.twiddle_base + slot as u64 * ELEM
+    }
+
+    /// The memory footprint of codelet `task`: every byte range it touches,
+    /// classified read or write — the address stream of [`TaskModel::emit`]
+    /// reduced to what the `fgcheck` race detector and bank linter need.
+    /// Data loads/stores and twiddle loads carry the same `data_addr` /
+    /// `twiddle_addr` algebra the simulator replays; spill traffic targets a
+    /// per-task private region and so can never conflict across tasks.
+    pub fn footprint(&self, task: TaskId) -> Vec<MemRange> {
+        let mut ops = Vec::new();
+        self.emit(task, &mut ops);
+        ops.iter()
+            .map(|op| MemRange {
+                lo: op.addr,
+                hi: op.addr + op.bytes as u64,
+                write: op.write,
+            })
+            .collect()
     }
 }
 
@@ -480,11 +498,27 @@ mod tests {
         // No hash cost; register spills for the 3 levels beyond the 8-point
         // register-resident butterfly.
         let chip = small_chip();
-        assert_eq!(
-            cost.extra_cycles,
-            3 * 2 * 64 * chip.spill_cycles_per_op
-        );
+        assert_eq!(cost.extra_cycles, 3 * 2 * 64 * chip.spill_cycles_per_op);
         assert_eq!(ops.iter().filter(|o| o.write).count(), 64);
+    }
+
+    #[test]
+    fn footprint_mirrors_emitted_ops() {
+        let plan = FftPlan::new(12, 6);
+        let w = FftWorkload::new(plan, TwiddleLayout::Linear, &small_chip());
+        let mut ops = Vec::new();
+        w.emit(5, &mut ops);
+        let fp = w.footprint(5);
+        assert_eq!(fp.len(), ops.len());
+        for (r, op) in fp.iter().zip(&ops) {
+            assert_eq!(
+                (r.lo, r.len(), r.write),
+                (op.addr, op.bytes as u64, op.write)
+            );
+        }
+        // Exactly the paper's P writes, and every range is one element.
+        assert_eq!(fp.iter().filter(|r| r.write).count(), 64);
+        assert!(fp.iter().all(|r| r.len() == ELEM));
     }
 
     #[test]
@@ -565,7 +599,12 @@ mod tests {
         let plan = FftPlan::new(15, 6);
         let chip = ChipConfig::cyclops64().with_thread_units(64);
         let coarse = run_sim(plan, SimVersion::Coarse, &chip, &opts());
-        let hash = run_sim(plan, SimVersion::FineHash(SeedOrder::Natural), &chip, &opts());
+        let hash = run_sim(
+            plan,
+            SimVersion::FineHash(SeedOrder::Natural),
+            &chip,
+            &opts(),
+        );
         assert!(
             coarse.bank_imbalance() > 1.3,
             "coarse must show bank-0 skew, got {}",
@@ -594,7 +633,12 @@ mod tests {
             coarse.gflops
         );
         // And the hashed fine version shows the large (~1.4x) gain.
-        let hash = run_sim(plan, SimVersion::FineHash(SeedOrder::Natural), &chip, &opts());
+        let hash = run_sim(
+            plan,
+            SimVersion::FineHash(SeedOrder::Natural),
+            &chip,
+            &opts(),
+        );
         assert!(hash.gflops > 1.25 * coarse.gflops);
     }
 

@@ -219,10 +219,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_frame_len() {
-        stft(&[0.0; 100], &StftConfig {
-            frame_len: 24,
-            hop: 8,
-            window: Window::Hann,
-        });
+        stft(
+            &[0.0; 100],
+            &StftConfig {
+                frame_len: 24,
+                hop: 8,
+                window: Window::Hann,
+            },
+        );
     }
 }

@@ -63,9 +63,7 @@ impl TwiddleTable {
         match layout {
             TwiddleLayout::Linear => t,
             TwiddleLayout::BitReversedHash => bit_reverse(t, half_bits),
-            TwiddleLayout::MultiplicativeHash => {
-                t.wrapping_mul(MULT_HASH) & ((1 << half_bits) - 1)
-            }
+            TwiddleLayout::MultiplicativeHash => t.wrapping_mul(MULT_HASH) & ((1 << half_bits) - 1),
         }
     }
 

@@ -1,0 +1,238 @@
+//! A minimal micro-benchmark harness mirroring the slice of the `criterion`
+//! API the workspace's benches use: groups, throughput annotation, batched
+//! iteration, and the `criterion_group!`/`criterion_main!` macros. It
+//! measures a mean wall-clock per iteration and prints one line per
+//! benchmark — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long to keep sampling one benchmark before reporting.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group(name.to_string());
+        g.run(None, f);
+        g.finish();
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// How costly the per-iteration setup output is to hold; accepted for API
+/// compatibility, the harness times every routine call individually either
+/// way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap input.
+    SmallInput,
+    /// Expensive input (clone of a large buffer).
+    LargeInput,
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(Some(id.text.clone()), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no parameter.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(Some(name.into()), f);
+        self
+    }
+
+    /// End the group (prints nothing; lines are emitted per benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: Option<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let label = match id {
+            Some(id) => format!("{}/{}", self.name, id),
+            None => self.name.clone(),
+        };
+        if b.iters == 0 {
+            println!("{label:60} (no iterations)");
+            return;
+        }
+        let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!("{:>12.3} Melem/s", n as f64 / ns_per_iter * 1e3),
+            Throughput::Bytes(n) => format!("{:>12.3} MB/s", n as f64 / ns_per_iter * 1e3),
+        });
+        println!(
+            "{label:60} {ns_per_iter:>14.1} ns/iter{}",
+            rate.map(|r| format!("  {r}")).unwrap_or_default()
+        );
+    }
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly until the sample cap or time budget is reached.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One untimed warmup.
+        black_box(f());
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but each iteration consumes a fresh input
+    /// built by `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + TIME_BUDGET;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::bench::Criterion::default();
+            $( $func(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            });
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::LargeInput);
+        });
+        group.finish();
+        assert!(calls >= 4, "warmup + >=3 samples, got {calls}");
+    }
+}

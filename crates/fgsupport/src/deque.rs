@@ -1,0 +1,154 @@
+//! Work-stealing deque mirroring the `crossbeam::deque` API surface the
+//! workspace uses: per-worker LIFO deques with FIFO stealing plus a global
+//! injector. Implemented over shared mutex-guarded `VecDeque`s — the
+//! runtime's deques see bursts of ≤64 items, where an uncontended lock is
+//! cheaper than the fences of a Chase-Lev deque.
+
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// One item was stolen.
+    Success(T),
+    /// The victim was empty.
+    Empty,
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+/// The owner's end of a worker deque (LIFO pop from the back).
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+/// A thief's handle to some worker's deque (FIFO steal from the front).
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// New deque whose owner pops in LIFO order.
+    pub fn new_lifo() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Push onto the owner's end.
+    pub fn push(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Pop from the owner's end (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop_back()
+    }
+
+    /// A stealer handle sharing this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest item from the victim's deque.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of items currently in the victim's deque.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the victim's deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A global injector queue every worker can push to and steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// New empty injector.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append an item.
+    pub fn push(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued items at the time of the call.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the injector was empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push('a');
+        inj.push('b');
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success('a'));
+        assert_eq!(inj.steal(), Steal::Success('b'));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+}

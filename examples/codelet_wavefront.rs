@@ -10,8 +10,7 @@
 use codelet::graph::{CodeletId, CodeletProgram};
 use codelet::pool::PoolDiscipline;
 use codelet::runtime::{Runtime, RuntimeConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fgsupport::rng::Rng64;
 use std::sync::atomic::{AtomicI64, Ordering};
 
 const TILE: usize = 64;
@@ -49,11 +48,11 @@ impl CodeletProgram for Wavefront {
 
 #[allow(clippy::needless_range_loop)] // x indexes two arrays in lockstep
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::seed_from_u64(7);
     let len_a = 4 * TILE * 8;
     let len_b = 3 * TILE * 8;
-    let a: Vec<u8> = (0..len_a).map(|_| rng.gen_range(0..4u8)).collect();
-    let b: Vec<u8> = (0..len_b).map(|_| rng.gen_range(0..4u8)).collect();
+    let a: Vec<u8> = (0..len_a).map(|_| rng.gen_range(0..4) as u8).collect();
+    let b: Vec<u8> = (0..len_b).map(|_| rng.gen_range(0..4) as u8).collect();
 
     let tiles_x = len_a / TILE;
     let tiles_y = len_b / TILE;
@@ -81,7 +80,11 @@ fn main() {
         let (tr, tc) = (id / tiles_x, id % tiles_x);
         for y in tr * TILE + 1..=(tr + 1) * TILE {
             for x in tc * TILE + 1..=(tc + 1) * TILE {
-                let sub = if a[x - 1] == b[y - 1] { MATCH } else { MISMATCH };
+                let sub = if a[x - 1] == b[y - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
                 let diag = grid[(y - 1) * width + (x - 1)].load(Ordering::Relaxed) + sub;
                 let up = grid[(y - 1) * width + x].load(Ordering::Relaxed) + GAP;
                 let left = grid[y * width + (x - 1)].load(Ordering::Relaxed) + GAP;
@@ -112,7 +115,11 @@ fn main() {
     }
     for y in 1..height {
         for x in 1..width {
-            let sub = if a[x - 1] == b[y - 1] { MATCH } else { MISMATCH };
+            let sub = if a[x - 1] == b[y - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = oracle[(y - 1) * width + (x - 1)] + sub;
             let up = oracle[(y - 1) * width + x] + GAP;
             let left = oracle[y * width + (x - 1)] + GAP;

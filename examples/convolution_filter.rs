@@ -63,7 +63,10 @@ fn main() {
     let direct_time = start.elapsed();
 
     let err = rms_error(&filtered, &direct);
-    println!("FFT convolution:    {fft_time:9.2?}  ({} output samples)", filtered.len());
+    println!(
+        "FFT convolution:    {fft_time:9.2?}  ({} output samples)",
+        filtered.len()
+    );
     println!("direct convolution: {direct_time:9.2?}");
     println!("rms(FFT − direct) = {err:.3e}");
     assert!(err < 1e-9, "convolution theorem violated");
@@ -80,6 +83,9 @@ fn main() {
         "high-band energy: {before:.1} before → {after:.3} after ({:.0} dB attenuation)",
         10.0 * (before / after).log10()
     );
-    assert!(after < before / 1e3, "low-pass filter must attenuate the chirp");
+    assert!(
+        after < before / 1e3,
+        "low-pass filter must attenuate the chirp"
+    );
     println!("chirp removed ✓");
 }

@@ -51,7 +51,14 @@ fn main() {
     let plan = FftPlan::new(n_log2, 6);
     let chip = ChipConfig::cyclops64();
     // Size the window so each run spans ~40 sparkline cells.
-    let probe = run_sim(plan, SimVersion::Coarse, &chip, &SimOptions { trace_window: 1 << 30 });
+    let probe = run_sim(
+        plan,
+        SimVersion::Coarse,
+        &chip,
+        &SimOptions {
+            trace_window: 1 << 30,
+        },
+    );
     let opts = SimOptions {
         trace_window: (probe.makespan_cycles / 40).max(1),
     };

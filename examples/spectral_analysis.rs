@@ -8,8 +8,7 @@
 //!
 //! Run with: `cargo run --release -p fgfft-examples --bin spectral_analysis`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fgsupport::rng::Rng64;
 
 const SAMPLE_RATE: f64 = 48_000.0;
 
@@ -18,7 +17,7 @@ fn main() {
     let tones = [(1_234.0, 1.0), (7_040.0, 0.6), (13_500.0, 0.35)];
     let capture_len = 40_000; // not a power of two: the API zero-pads
 
-    let mut rng = StdRng::seed_from_u64(20130520); // IPPS 2013 vintage
+    let mut rng = Rng64::seed_from_u64(20130520); // IPPS 2013 vintage
     let signal: Vec<f64> = (0..capture_len)
         .map(|i| {
             let t = i as f64 / SAMPLE_RATE;
@@ -26,14 +25,12 @@ fn main() {
                 .iter()
                 .map(|(f, a)| a * (2.0 * std::f64::consts::PI * f * t).sin())
                 .sum();
-            clean + 0.1 * (rng.gen::<f64>() - 0.5)
+            clean + 0.1 * (rng.gen_f64() - 0.5)
         })
         .collect();
 
     let (padded, spectrum) = fgfft::power_spectrum(&signal);
-    println!(
-        "captured {capture_len} samples at {SAMPLE_RATE} Hz, transformed at N = {padded}"
-    );
+    println!("captured {capture_len} samples at {SAMPLE_RATE} Hz, transformed at N = {padded}");
 
     // Peak picking: local maxima above 10x the median power.
     let mut powers: Vec<f64> = spectrum.clone();

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_counters-0524a5db1db5ed1d.d: crates/bench/src/bin/ablation_counters.rs
+
+/root/repo/target/debug/deps/ablation_counters-0524a5db1db5ed1d: crates/bench/src/bin/ablation_counters.rs
+
+crates/bench/src/bin/ablation_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_counters-749cae574f6a578b.d: crates/bench/src/bin/ablation_counters.rs
+
+/root/repo/target/debug/deps/ablation_counters-749cae574f6a578b: crates/bench/src/bin/ablation_counters.rs
+
+crates/bench/src/bin/ablation_counters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_counters-7f7e284fa9739b43.d: crates/bench/src/bin/ablation_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_counters-7f7e284fa9739b43.rmeta: crates/bench/src/bin/ablation_counters.rs Cargo.toml
+
+crates/bench/src/bin/ablation_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_counters-a2a69aa1587cbd00.d: crates/bench/src/bin/ablation_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_counters-a2a69aa1587cbd00.rmeta: crates/bench/src/bin/ablation_counters.rs Cargo.toml
+
+crates/bench/src/bin/ablation_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_counters-d96b514875582bdc.d: crates/bench/src/bin/ablation_counters.rs
+
+/root/repo/target/debug/deps/ablation_counters-d96b514875582bdc: crates/bench/src/bin/ablation_counters.rs
+
+crates/bench/src/bin/ablation_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_guided-373ff7f627f934f4.d: crates/bench/src/bin/ablation_guided.rs
+
+/root/repo/target/debug/deps/ablation_guided-373ff7f627f934f4: crates/bench/src/bin/ablation_guided.rs
+
+crates/bench/src/bin/ablation_guided.rs:

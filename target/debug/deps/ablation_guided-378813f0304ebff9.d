@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_guided-378813f0304ebff9.d: crates/bench/src/bin/ablation_guided.rs
+
+/root/repo/target/debug/deps/ablation_guided-378813f0304ebff9: crates/bench/src/bin/ablation_guided.rs
+
+crates/bench/src/bin/ablation_guided.rs:

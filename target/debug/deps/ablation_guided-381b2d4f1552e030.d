@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_guided-381b2d4f1552e030.d: crates/bench/src/bin/ablation_guided.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_guided-381b2d4f1552e030.rmeta: crates/bench/src/bin/ablation_guided.rs Cargo.toml
+
+crates/bench/src/bin/ablation_guided.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

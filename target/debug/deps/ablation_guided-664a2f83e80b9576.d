@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_guided-664a2f83e80b9576.d: crates/bench/src/bin/ablation_guided.rs
+
+/root/repo/target/debug/deps/ablation_guided-664a2f83e80b9576: crates/bench/src/bin/ablation_guided.rs
+
+crates/bench/src/bin/ablation_guided.rs:

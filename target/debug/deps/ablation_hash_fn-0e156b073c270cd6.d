@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_hash_fn-0e156b073c270cd6.d: crates/bench/src/bin/ablation_hash_fn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_hash_fn-0e156b073c270cd6.rmeta: crates/bench/src/bin/ablation_hash_fn.rs Cargo.toml
+
+crates/bench/src/bin/ablation_hash_fn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hash_fn-2b4dd5e235ced711.d: crates/bench/src/bin/ablation_hash_fn.rs
+
+/root/repo/target/debug/deps/ablation_hash_fn-2b4dd5e235ced711: crates/bench/src/bin/ablation_hash_fn.rs
+
+crates/bench/src/bin/ablation_hash_fn.rs:

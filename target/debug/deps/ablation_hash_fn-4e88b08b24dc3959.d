@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hash_fn-4e88b08b24dc3959.d: crates/bench/src/bin/ablation_hash_fn.rs
+
+/root/repo/target/debug/deps/ablation_hash_fn-4e88b08b24dc3959: crates/bench/src/bin/ablation_hash_fn.rs
+
+crates/bench/src/bin/ablation_hash_fn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_hash_fn-d7f50af9994ff17d.d: crates/bench/src/bin/ablation_hash_fn.rs
+
+/root/repo/target/debug/deps/ablation_hash_fn-d7f50af9994ff17d: crates/bench/src/bin/ablation_hash_fn.rs
+
+crates/bench/src/bin/ablation_hash_fn.rs:

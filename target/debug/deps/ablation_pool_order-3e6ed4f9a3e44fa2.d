@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool_order-3e6ed4f9a3e44fa2.d: crates/bench/src/bin/ablation_pool_order.rs
+
+/root/repo/target/debug/deps/ablation_pool_order-3e6ed4f9a3e44fa2: crates/bench/src/bin/ablation_pool_order.rs
+
+crates/bench/src/bin/ablation_pool_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool_order-79d12520e4841520.d: crates/bench/src/bin/ablation_pool_order.rs
+
+/root/repo/target/debug/deps/ablation_pool_order-79d12520e4841520: crates/bench/src/bin/ablation_pool_order.rs
+
+crates/bench/src/bin/ablation_pool_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pool_order-de12b63276c89967.d: crates/bench/src/bin/ablation_pool_order.rs
+
+/root/repo/target/debug/deps/ablation_pool_order-de12b63276c89967: crates/bench/src/bin/ablation_pool_order.rs
+
+crates/bench/src/bin/ablation_pool_order.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pool_order-ee0821b0c0ee4d9e.d: crates/bench/src/bin/ablation_pool_order.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pool_order-ee0821b0c0ee4d9e.rmeta: crates/bench/src/bin/ablation_pool_order.rs Cargo.toml
+
+crates/bench/src/bin/ablation_pool_order.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sync_protocol-56b0fdd5cf90d65f.d: crates/bench/src/bin/ablation_sync_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sync_protocol-56b0fdd5cf90d65f.rmeta: crates/bench/src/bin/ablation_sync_protocol.rs Cargo.toml
+
+crates/bench/src/bin/ablation_sync_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync_protocol-856a42e5d2467641.d: crates/bench/src/bin/ablation_sync_protocol.rs
+
+/root/repo/target/debug/deps/ablation_sync_protocol-856a42e5d2467641: crates/bench/src/bin/ablation_sync_protocol.rs
+
+crates/bench/src/bin/ablation_sync_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync_protocol-85c577ad457ad7de.d: crates/bench/src/bin/ablation_sync_protocol.rs
+
+/root/repo/target/debug/deps/ablation_sync_protocol-85c577ad457ad7de: crates/bench/src/bin/ablation_sync_protocol.rs
+
+crates/bench/src/bin/ablation_sync_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync_protocol-ff1037f96cc6f472.d: crates/bench/src/bin/ablation_sync_protocol.rs
+
+/root/repo/target/debug/deps/ablation_sync_protocol-ff1037f96cc6f472: crates/bench/src/bin/ablation_sync_protocol.rs
+
+crates/bench/src/bin/ablation_sync_protocol.rs:

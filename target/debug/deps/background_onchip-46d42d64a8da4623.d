@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/background_onchip-46d42d64a8da4623.d: crates/bench/src/bin/background_onchip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackground_onchip-46d42d64a8da4623.rmeta: crates/bench/src/bin/background_onchip.rs Cargo.toml
+
+crates/bench/src/bin/background_onchip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

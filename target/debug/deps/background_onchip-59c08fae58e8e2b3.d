@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_onchip-59c08fae58e8e2b3.d: crates/bench/src/bin/background_onchip.rs
+
+/root/repo/target/debug/deps/background_onchip-59c08fae58e8e2b3: crates/bench/src/bin/background_onchip.rs
+
+crates/bench/src/bin/background_onchip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_onchip-872042745c283355.d: crates/bench/src/bin/background_onchip.rs
+
+/root/repo/target/debug/deps/background_onchip-872042745c283355: crates/bench/src/bin/background_onchip.rs
+
+crates/bench/src/bin/background_onchip.rs:

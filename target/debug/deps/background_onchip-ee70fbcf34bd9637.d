@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/background_onchip-ee70fbcf34bd9637.d: crates/bench/src/bin/background_onchip.rs
+
+/root/repo/target/debug/deps/background_onchip-ee70fbcf34bd9637: crates/bench/src/bin/background_onchip.rs
+
+crates/bench/src/bin/background_onchip.rs:

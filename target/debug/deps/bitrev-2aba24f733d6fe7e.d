@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bitrev-2aba24f733d6fe7e.d: crates/bench/benches/bitrev.rs
+
+/root/repo/target/debug/deps/bitrev-2aba24f733d6fe7e: crates/bench/benches/bitrev.rs
+
+crates/bench/benches/bitrev.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bitrev-98e7f5ebaebb46f7.d: crates/bench/benches/bitrev.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbitrev-98e7f5ebaebb46f7.rmeta: crates/bench/benches/bitrev.rs Cargo.toml
+
+crates/bench/benches/bitrev.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/c64sim-06b814b6df8c8de7.d: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libc64sim-06b814b6df8c8de7.rmeta: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs Cargo.toml
+
+crates/c64sim/src/lib.rs:
+crates/c64sim/src/address.rs:
+crates/c64sim/src/config.rs:
+crates/c64sim/src/engine.rs:
+crates/c64sim/src/memory.rs:
+crates/c64sim/src/sched.rs:
+crates/c64sim/src/stats.rs:
+crates/c64sim/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

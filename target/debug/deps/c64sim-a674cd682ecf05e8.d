@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/c64sim-a674cd682ecf05e8.d: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+/root/repo/target/debug/deps/c64sim-a674cd682ecf05e8: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+crates/c64sim/src/lib.rs:
+crates/c64sim/src/address.rs:
+crates/c64sim/src/config.rs:
+crates/c64sim/src/engine.rs:
+crates/c64sim/src/memory.rs:
+crates/c64sim/src/sched.rs:
+crates/c64sim/src/stats.rs:
+crates/c64sim/src/task.rs:

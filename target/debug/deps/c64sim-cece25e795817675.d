@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/c64sim-cece25e795817675.d: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+/root/repo/target/debug/deps/libc64sim-cece25e795817675.rlib: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+/root/repo/target/debug/deps/libc64sim-cece25e795817675.rmeta: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+crates/c64sim/src/lib.rs:
+crates/c64sim/src/address.rs:
+crates/c64sim/src/config.rs:
+crates/c64sim/src/engine.rs:
+crates/c64sim/src/memory.rs:
+crates/c64sim/src/sched.rs:
+crates/c64sim/src/stats.rs:
+crates/c64sim/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/codelet-53c5edc3c388bdd7.d: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+/root/repo/target/debug/deps/codelet-53c5edc3c388bdd7: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+crates/codelet/src/lib.rs:
+crates/codelet/src/amm.rs:
+crates/codelet/src/counter.rs:
+crates/codelet/src/graph.rs:
+crates/codelet/src/pool.rs:
+crates/codelet/src/runtime.rs:
+crates/codelet/src/stats.rs:
+crates/codelet/src/trace.rs:
+crates/codelet/src/verify.rs:

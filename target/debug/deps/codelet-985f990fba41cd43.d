@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/codelet-985f990fba41cd43.d: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodelet-985f990fba41cd43.rmeta: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs Cargo.toml
+
+crates/codelet/src/lib.rs:
+crates/codelet/src/amm.rs:
+crates/codelet/src/counter.rs:
+crates/codelet/src/graph.rs:
+crates/codelet/src/pool.rs:
+crates/codelet/src/runtime.rs:
+crates/codelet/src/stats.rs:
+crates/codelet/src/trace.rs:
+crates/codelet/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/codelet-af468e476ef67421.d: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+/root/repo/target/debug/deps/libcodelet-af468e476ef67421.rlib: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+/root/repo/target/debug/deps/libcodelet-af468e476ef67421.rmeta: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+crates/codelet/src/lib.rs:
+crates/codelet/src/amm.rs:
+crates/codelet/src/counter.rs:
+crates/codelet/src/graph.rs:
+crates/codelet/src/pool.rs:
+crates/codelet/src/runtime.rs:
+crates/codelet/src/stats.rs:
+crates/codelet/src/trace.rs:
+crates/codelet/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codelet_wavefront-088257df6819b44d.d: examples/codelet_wavefront.rs
+
+/root/repo/target/debug/deps/codelet_wavefront-088257df6819b44d: examples/codelet_wavefront.rs
+
+examples/codelet_wavefront.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codelet_wavefront-bbb8e1f0877e3d73.d: examples/codelet_wavefront.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodelet_wavefront-bbb8e1f0877e3d73.rmeta: examples/codelet_wavefront.rs Cargo.toml
+
+examples/codelet_wavefront.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

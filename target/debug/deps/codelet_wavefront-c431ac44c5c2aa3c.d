@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codelet_wavefront-c431ac44c5c2aa3c.d: examples/codelet_wavefront.rs
+
+/root/repo/target/debug/deps/codelet_wavefront-c431ac44c5c2aa3c: examples/codelet_wavefront.rs
+
+examples/codelet_wavefront.rs:

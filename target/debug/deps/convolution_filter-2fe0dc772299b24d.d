@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convolution_filter-2fe0dc772299b24d.d: examples/convolution_filter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvolution_filter-2fe0dc772299b24d.rmeta: examples/convolution_filter.rs Cargo.toml
+
+examples/convolution_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convolution_filter-727396024b9b1ef6.d: examples/convolution_filter.rs
+
+/root/repo/target/debug/deps/convolution_filter-727396024b9b1ef6: examples/convolution_filter.rs
+
+examples/convolution_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convolution_filter-87e55dc35d61be74.d: examples/convolution_filter.rs
+
+/root/repo/target/debug/deps/convolution_filter-87e55dc35d61be74: examples/convolution_filter.rs
+
+examples/convolution_filter.rs:

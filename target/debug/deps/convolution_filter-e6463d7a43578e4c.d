@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/convolution_filter-e6463d7a43578e4c.d: examples/convolution_filter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconvolution_filter-e6463d7a43578e4c.rmeta: examples/convolution_filter.rs Cargo.toml
+
+examples/convolution_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

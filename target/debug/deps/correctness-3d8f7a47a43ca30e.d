@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-3d8f7a47a43ca30e.d: tests/tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-3d8f7a47a43ca30e.rmeta: tests/tests/correctness.rs Cargo.toml
+
+tests/tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

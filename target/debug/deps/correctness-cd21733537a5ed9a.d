@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-cd21733537a5ed9a.d: tests/tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-cd21733537a5ed9a: tests/tests/correctness.rs
+
+tests/tests/correctness.rs:

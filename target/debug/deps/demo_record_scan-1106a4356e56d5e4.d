@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/demo_record_scan-1106a4356e56d5e4.d: crates/bench/src/bin/demo_record_scan.rs
+
+/root/repo/target/debug/deps/demo_record_scan-1106a4356e56d5e4: crates/bench/src/bin/demo_record_scan.rs
+
+crates/bench/src/bin/demo_record_scan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/demo_record_scan-60c54a83f3416c53.d: crates/bench/src/bin/demo_record_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdemo_record_scan-60c54a83f3416c53.rmeta: crates/bench/src/bin/demo_record_scan.rs Cargo.toml
+
+crates/bench/src/bin/demo_record_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/demo_record_scan-af73dec2b584568d.d: crates/bench/src/bin/demo_record_scan.rs
+
+/root/repo/target/debug/deps/demo_record_scan-af73dec2b584568d: crates/bench/src/bin/demo_record_scan.rs
+
+crates/bench/src/bin/demo_record_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/demo_record_scan-bf33ea6b25529540.d: crates/bench/src/bin/demo_record_scan.rs
+
+/root/repo/target/debug/deps/demo_record_scan-bf33ea6b25529540: crates/bench/src/bin/demo_record_scan.rs
+
+crates/bench/src/bin/demo_record_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-78b3ee4bbb733287.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-78b3ee4bbb733287: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-c5a0f27cfd560a0a.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-c5a0f27cfd560a0a: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag-fc8e31dcb777f2fb.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/debug/deps/diag-fc8e31dcb777f2fb: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_static_bank-3c39f694d873826f.d: crates/bench/src/bin/diag_static_bank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_static_bank-3c39f694d873826f.rmeta: crates/bench/src/bin/diag_static_bank.rs Cargo.toml
+
+crates/bench/src/bin/diag_static_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

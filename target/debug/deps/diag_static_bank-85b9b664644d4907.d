@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diag_static_bank-85b9b664644d4907.d: crates/bench/src/bin/diag_static_bank.rs
+
+/root/repo/target/debug/deps/diag_static_bank-85b9b664644d4907: crates/bench/src/bin/diag_static_bank.rs
+
+crates/bench/src/bin/diag_static_bank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diag_static_bank-cb15a8ce55bcd41c.d: crates/bench/src/bin/diag_static_bank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiag_static_bank-cb15a8ce55bcd41c.rmeta: crates/bench/src/bin/diag_static_bank.rs Cargo.toml
+
+crates/bench/src/bin/diag_static_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fft_repro-4ad5e9aabfbce5d9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfft_repro-4ad5e9aabfbce5d9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fft_repro-4afece662b0402bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfft_repro-4afece662b0402bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfft_repro-4afece662b0402bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fft_repro-52e742e6bab507d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fft_repro-52e742e6bab507d1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

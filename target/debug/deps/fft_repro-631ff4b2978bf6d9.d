@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fft_repro-631ff4b2978bf6d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fft_repro-631ff4b2978bf6d9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

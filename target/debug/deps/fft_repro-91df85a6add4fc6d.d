@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fft_repro-91df85a6add4fc6d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfft_repro-91df85a6add4fc6d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

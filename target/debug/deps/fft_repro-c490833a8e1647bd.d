@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fft_repro-c490833a8e1647bd.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfft_repro-c490833a8e1647bd.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfft_repro-c490833a8e1647bd.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fgcheck-58986d26d38d1f55.d: tests/tests/fgcheck.rs
+
+/root/repo/target/debug/deps/fgcheck-58986d26d38d1f55: tests/tests/fgcheck.rs
+
+tests/tests/fgcheck.rs:

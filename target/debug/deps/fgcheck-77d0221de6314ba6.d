@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fgcheck-77d0221de6314ba6.d: crates/fgcheck/src/main.rs
+
+/root/repo/target/debug/deps/fgcheck-77d0221de6314ba6: crates/fgcheck/src/main.rs
+
+crates/fgcheck/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fgcheck-8089b7fc1d21f008.d: tests/tests/fgcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfgcheck-8089b7fc1d21f008.rmeta: tests/tests/fgcheck.rs Cargo.toml
+
+tests/tests/fgcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fgcheck-ae1d061d41cfa26d.d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+/root/repo/target/debug/deps/fgcheck-ae1d061d41cfa26d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+crates/fgcheck/src/lib.rs:
+crates/fgcheck/src/bank.rs:
+crates/fgcheck/src/fft.rs:
+crates/fgcheck/src/hb.rs:
+crates/fgcheck/src/race.rs:

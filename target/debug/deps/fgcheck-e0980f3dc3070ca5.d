@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fgcheck-e0980f3dc3070ca5.d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfgcheck-e0980f3dc3070ca5.rmeta: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs Cargo.toml
+
+crates/fgcheck/src/lib.rs:
+crates/fgcheck/src/bank.rs:
+crates/fgcheck/src/fft.rs:
+crates/fgcheck/src/hb.rs:
+crates/fgcheck/src/race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fgcheck-e9d14fb7488b4700.d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+/root/repo/target/debug/deps/libfgcheck-e9d14fb7488b4700.rlib: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+/root/repo/target/debug/deps/libfgcheck-e9d14fb7488b4700.rmeta: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+crates/fgcheck/src/lib.rs:
+crates/fgcheck/src/bank.rs:
+crates/fgcheck/src/fft.rs:
+crates/fgcheck/src/hb.rs:
+crates/fgcheck/src/race.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fgcheck-ea5e0c9a90d1da73.d: crates/fgcheck/src/main.rs
+
+/root/repo/target/debug/deps/fgcheck-ea5e0c9a90d1da73: crates/fgcheck/src/main.rs
+
+crates/fgcheck/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fgcheck-ffe8177f16a140a3.d: crates/fgcheck/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfgcheck-ffe8177f16a140a3.rmeta: crates/fgcheck/src/main.rs Cargo.toml
+
+crates/fgcheck/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/fgfft-c85df599cd47cbf8.d: crates/fgfft/src/lib.rs crates/fgfft/src/api.rs crates/fgfft/src/bitrev.rs crates/fgfft/src/bluestein.rs crates/fgfft/src/complex.rs crates/fgfft/src/exec/mod.rs crates/fgfft/src/exec/shared.rs crates/fgfft/src/fft2d.rs crates/fgfft/src/graph.rs crates/fgfft/src/kernel.rs crates/fgfft/src/model.rs crates/fgfft/src/plan.rs crates/fgfft/src/reference.rs crates/fgfft/src/rfft.rs crates/fgfft/src/simwork.rs crates/fgfft/src/stft.rs crates/fgfft/src/stockham.rs crates/fgfft/src/twiddle.rs crates/fgfft/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfgfft-c85df599cd47cbf8.rmeta: crates/fgfft/src/lib.rs crates/fgfft/src/api.rs crates/fgfft/src/bitrev.rs crates/fgfft/src/bluestein.rs crates/fgfft/src/complex.rs crates/fgfft/src/exec/mod.rs crates/fgfft/src/exec/shared.rs crates/fgfft/src/fft2d.rs crates/fgfft/src/graph.rs crates/fgfft/src/kernel.rs crates/fgfft/src/model.rs crates/fgfft/src/plan.rs crates/fgfft/src/reference.rs crates/fgfft/src/rfft.rs crates/fgfft/src/simwork.rs crates/fgfft/src/stft.rs crates/fgfft/src/stockham.rs crates/fgfft/src/twiddle.rs crates/fgfft/src/window.rs Cargo.toml
+
+crates/fgfft/src/lib.rs:
+crates/fgfft/src/api.rs:
+crates/fgfft/src/bitrev.rs:
+crates/fgfft/src/bluestein.rs:
+crates/fgfft/src/complex.rs:
+crates/fgfft/src/exec/mod.rs:
+crates/fgfft/src/exec/shared.rs:
+crates/fgfft/src/fft2d.rs:
+crates/fgfft/src/graph.rs:
+crates/fgfft/src/kernel.rs:
+crates/fgfft/src/model.rs:
+crates/fgfft/src/plan.rs:
+crates/fgfft/src/reference.rs:
+crates/fgfft/src/rfft.rs:
+crates/fgfft/src/simwork.rs:
+crates/fgfft/src/stft.rs:
+crates/fgfft/src/stockham.rs:
+crates/fgfft/src/twiddle.rs:
+crates/fgfft/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

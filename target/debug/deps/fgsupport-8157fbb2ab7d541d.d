@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fgsupport-8157fbb2ab7d541d.d: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+/root/repo/target/debug/deps/fgsupport-8157fbb2ab7d541d: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+crates/fgsupport/src/lib.rs:
+crates/fgsupport/src/backoff.rs:
+crates/fgsupport/src/bench.rs:
+crates/fgsupport/src/deque.rs:
+crates/fgsupport/src/json.rs:
+crates/fgsupport/src/queue.rs:
+crates/fgsupport/src/rng.rs:
+crates/fgsupport/src/sync.rs:

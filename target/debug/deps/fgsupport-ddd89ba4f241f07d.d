@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fgsupport-ddd89ba4f241f07d.d: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+/root/repo/target/debug/deps/libfgsupport-ddd89ba4f241f07d.rlib: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+/root/repo/target/debug/deps/libfgsupport-ddd89ba4f241f07d.rmeta: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+crates/fgsupport/src/lib.rs:
+crates/fgsupport/src/backoff.rs:
+crates/fgsupport/src/bench.rs:
+crates/fgsupport/src/deque.rs:
+crates/fgsupport/src/json.rs:
+crates/fgsupport/src/queue.rs:
+crates/fgsupport/src/rng.rs:
+crates/fgsupport/src/sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bank_trace-1da5b850d43d8478.d: crates/bench/src/bin/fig1_bank_trace.rs
+
+/root/repo/target/debug/deps/fig1_bank_trace-1da5b850d43d8478: crates/bench/src/bin/fig1_bank_trace.rs
+
+crates/bench/src/bin/fig1_bank_trace.rs:

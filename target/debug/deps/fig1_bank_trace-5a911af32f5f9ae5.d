@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_bank_trace-5a911af32f5f9ae5.d: crates/bench/src/bin/fig1_bank_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_bank_trace-5a911af32f5f9ae5.rmeta: crates/bench/src/bin/fig1_bank_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig1_bank_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bank_trace-99cb19597f3d5688.d: crates/bench/src/bin/fig1_bank_trace.rs
+
+/root/repo/target/debug/deps/fig1_bank_trace-99cb19597f3d5688: crates/bench/src/bin/fig1_bank_trace.rs
+
+crates/bench/src/bin/fig1_bank_trace.rs:

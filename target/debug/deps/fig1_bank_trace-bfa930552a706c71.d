@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_bank_trace-bfa930552a706c71.d: crates/bench/src/bin/fig1_bank_trace.rs
+
+/root/repo/target/debug/deps/fig1_bank_trace-bfa930552a706c71: crates/bench/src/bin/fig1_bank_trace.rs
+
+crates/bench/src/bin/fig1_bank_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_bank_trace-e20ec3ad429b115e.d: crates/bench/src/bin/fig1_bank_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_bank_trace-e20ec3ad429b115e.rmeta: crates/bench/src/bin/fig1_bank_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig1_bank_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

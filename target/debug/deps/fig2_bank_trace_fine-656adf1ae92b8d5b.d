@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_bank_trace_fine-656adf1ae92b8d5b.d: crates/bench/src/bin/fig2_bank_trace_fine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_bank_trace_fine-656adf1ae92b8d5b.rmeta: crates/bench/src/bin/fig2_bank_trace_fine.rs Cargo.toml
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_bank_trace_fine-a7692b82afcdc57a.d: crates/bench/src/bin/fig2_bank_trace_fine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_bank_trace_fine-a7692b82afcdc57a.rmeta: crates/bench/src/bin/fig2_bank_trace_fine.rs Cargo.toml
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bank_trace_fine-b321988276585c45.d: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+/root/repo/target/debug/deps/fig2_bank_trace_fine-b321988276585c45: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:

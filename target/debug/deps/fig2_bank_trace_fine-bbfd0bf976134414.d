@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bank_trace_fine-bbfd0bf976134414.d: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+/root/repo/target/debug/deps/fig2_bank_trace_fine-bbfd0bf976134414: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:

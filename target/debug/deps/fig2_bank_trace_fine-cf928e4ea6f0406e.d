@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_bank_trace_fine-cf928e4ea6f0406e.d: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+/root/repo/target/debug/deps/fig2_bank_trace_fine-cf928e4ea6f0406e: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_bank_trace_hash-0776f6031635a77a.d: crates/bench/src/bin/fig6_bank_trace_hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_bank_trace_hash-0776f6031635a77a.rmeta: crates/bench/src/bin/fig6_bank_trace_hash.rs Cargo.toml
+
+crates/bench/src/bin/fig6_bank_trace_hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

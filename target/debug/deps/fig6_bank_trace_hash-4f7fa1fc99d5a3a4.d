@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_bank_trace_hash-4f7fa1fc99d5a3a4.d: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+/root/repo/target/debug/deps/fig6_bank_trace_hash-4f7fa1fc99d5a3a4: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+crates/bench/src/bin/fig6_bank_trace_hash.rs:

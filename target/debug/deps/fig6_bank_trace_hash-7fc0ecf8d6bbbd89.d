@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_bank_trace_hash-7fc0ecf8d6bbbd89.d: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+/root/repo/target/debug/deps/fig6_bank_trace_hash-7fc0ecf8d6bbbd89: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+crates/bench/src/bin/fig6_bank_trace_hash.rs:

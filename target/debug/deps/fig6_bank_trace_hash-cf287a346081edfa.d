@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_bank_trace_hash-cf287a346081edfa.d: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+/root/repo/target/debug/deps/fig6_bank_trace_hash-cf287a346081edfa: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+crates/bench/src/bin/fig6_bank_trace_hash.rs:

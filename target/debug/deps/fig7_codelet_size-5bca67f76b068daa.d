@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_codelet_size-5bca67f76b068daa.d: crates/bench/src/bin/fig7_codelet_size.rs
+
+/root/repo/target/debug/deps/fig7_codelet_size-5bca67f76b068daa: crates/bench/src/bin/fig7_codelet_size.rs
+
+crates/bench/src/bin/fig7_codelet_size.rs:

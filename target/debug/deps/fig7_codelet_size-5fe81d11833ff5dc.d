@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_codelet_size-5fe81d11833ff5dc.d: crates/bench/src/bin/fig7_codelet_size.rs
+
+/root/repo/target/debug/deps/fig7_codelet_size-5fe81d11833ff5dc: crates/bench/src/bin/fig7_codelet_size.rs
+
+crates/bench/src/bin/fig7_codelet_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_codelet_size-c664fd0bff7c646e.d: crates/bench/src/bin/fig7_codelet_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_codelet_size-c664fd0bff7c646e.rmeta: crates/bench/src/bin/fig7_codelet_size.rs Cargo.toml
+
+crates/bench/src/bin/fig7_codelet_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

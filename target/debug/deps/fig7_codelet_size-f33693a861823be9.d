@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_codelet_size-f33693a861823be9.d: crates/bench/src/bin/fig7_codelet_size.rs
+
+/root/repo/target/debug/deps/fig7_codelet_size-f33693a861823be9: crates/bench/src/bin/fig7_codelet_size.rs
+
+crates/bench/src/bin/fig7_codelet_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_perf_vs_size-7818a0cfb1971fbf.d: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+/root/repo/target/debug/deps/fig8_perf_vs_size-7818a0cfb1971fbf: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+crates/bench/src/bin/fig8_perf_vs_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_perf_vs_size-9eed73a675c0b989.d: crates/bench/src/bin/fig8_perf_vs_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_perf_vs_size-9eed73a675c0b989.rmeta: crates/bench/src/bin/fig8_perf_vs_size.rs Cargo.toml
+
+crates/bench/src/bin/fig8_perf_vs_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_perf_vs_size-a12bdd79abb37759.d: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+/root/repo/target/debug/deps/fig8_perf_vs_size-a12bdd79abb37759: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+crates/bench/src/bin/fig8_perf_vs_size.rs:

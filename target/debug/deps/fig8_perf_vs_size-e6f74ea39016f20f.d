@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_perf_vs_size-e6f74ea39016f20f.d: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+/root/repo/target/debug/deps/fig8_perf_vs_size-e6f74ea39016f20f: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+crates/bench/src/bin/fig8_perf_vs_size.rs:

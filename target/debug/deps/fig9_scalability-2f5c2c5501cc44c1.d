@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-2f5c2c5501cc44c1.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-2f5c2c5501cc44c1: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

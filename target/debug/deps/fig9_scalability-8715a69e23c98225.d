@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-8715a69e23c98225.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-8715a69e23c98225: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

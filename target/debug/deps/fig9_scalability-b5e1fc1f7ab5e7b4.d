@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-b5e1fc1f7ab5e7b4.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-b5e1fc1f7ab5e7b4: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

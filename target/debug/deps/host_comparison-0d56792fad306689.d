@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_comparison-0d56792fad306689.d: crates/bench/src/bin/host_comparison.rs
+
+/root/repo/target/debug/deps/host_comparison-0d56792fad306689: crates/bench/src/bin/host_comparison.rs
+
+crates/bench/src/bin/host_comparison.rs:

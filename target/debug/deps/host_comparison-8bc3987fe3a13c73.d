@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_comparison-8bc3987fe3a13c73.d: crates/bench/src/bin/host_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_comparison-8bc3987fe3a13c73.rmeta: crates/bench/src/bin/host_comparison.rs Cargo.toml
+
+crates/bench/src/bin/host_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

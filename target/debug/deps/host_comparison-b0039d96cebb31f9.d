@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_comparison-b0039d96cebb31f9.d: crates/bench/src/bin/host_comparison.rs
+
+/root/repo/target/debug/deps/host_comparison-b0039d96cebb31f9: crates/bench/src/bin/host_comparison.rs
+
+crates/bench/src/bin/host_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_comparison-dbc2f363201163eb.d: crates/bench/src/bin/host_comparison.rs
+
+/root/repo/target/debug/deps/host_comparison-dbc2f363201163eb: crates/bench/src/bin/host_comparison.rs
+
+crates/bench/src/bin/host_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_fft-6129ef8e4a28492c.d: crates/bench/benches/host_fft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_fft-6129ef8e4a28492c.rmeta: crates/bench/benches/host_fft.rs Cargo.toml
+
+crates/bench/benches/host_fft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

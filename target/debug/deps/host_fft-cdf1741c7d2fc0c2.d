@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_fft-cdf1741c7d2fc0c2.d: crates/bench/benches/host_fft.rs
+
+/root/repo/target/debug/deps/host_fft-cdf1741c7d2fc0c2: crates/bench/benches/host_fft.rs
+
+crates/bench/benches/host_fft.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_schedule_trace-34b00e9110c25105.d: crates/bench/src/bin/host_schedule_trace.rs
+
+/root/repo/target/debug/deps/host_schedule_trace-34b00e9110c25105: crates/bench/src/bin/host_schedule_trace.rs
+
+crates/bench/src/bin/host_schedule_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_schedule_trace-529dc1e9cedeb2cc.d: crates/bench/src/bin/host_schedule_trace.rs
+
+/root/repo/target/debug/deps/host_schedule_trace-529dc1e9cedeb2cc: crates/bench/src/bin/host_schedule_trace.rs
+
+crates/bench/src/bin/host_schedule_trace.rs:

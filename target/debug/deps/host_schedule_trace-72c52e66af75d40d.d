@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_schedule_trace-72c52e66af75d40d.d: crates/bench/src/bin/host_schedule_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_schedule_trace-72c52e66af75d40d.rmeta: crates/bench/src/bin/host_schedule_trace.rs Cargo.toml
+
+crates/bench/src/bin/host_schedule_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_schedule_trace-aac2cd2346f09552.d: crates/bench/src/bin/host_schedule_trace.rs
+
+/root/repo/target/debug/deps/host_schedule_trace-aac2cd2346f09552: crates/bench/src/bin/host_schedule_trace.rs
+
+crates/bench/src/bin/host_schedule_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_denoise-9d22660dc2dc5515.d: examples/image_denoise.rs
+
+/root/repo/target/debug/deps/image_denoise-9d22660dc2dc5515: examples/image_denoise.rs
+
+examples/image_denoise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/image_denoise-acb438dfc6c22f46.d: examples/image_denoise.rs
+
+/root/repo/target/debug/deps/image_denoise-acb438dfc6c22f46: examples/image_denoise.rs
+
+examples/image_denoise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/image_denoise-ae44627dd33acdf7.d: examples/image_denoise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libimage_denoise-ae44627dd33acdf7.rmeta: examples/image_denoise.rs Cargo.toml
+
+examples/image_denoise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

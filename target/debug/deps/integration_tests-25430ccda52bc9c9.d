@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_tests-25430ccda52bc9c9.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-25430ccda52bc9c9.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libintegration_tests-25430ccda52bc9c9.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

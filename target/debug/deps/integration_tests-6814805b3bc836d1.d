@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tests-6814805b3bc836d1.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/integration_tests-6814805b3bc836d1: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel-4d16ef549e041bfd.d: crates/bench/benches/kernel.rs
+
+/root/repo/target/debug/deps/kernel-4d16ef549e041bfd: crates/bench/benches/kernel.rs
+
+crates/bench/benches/kernel.rs:

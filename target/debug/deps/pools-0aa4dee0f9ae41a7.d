@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pools-0aa4dee0f9ae41a7.d: crates/bench/benches/pools.rs
+
+/root/repo/target/debug/deps/pools-0aa4dee0f9ae41a7: crates/bench/benches/pools.rs
+
+crates/bench/benches/pools.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pools-8c8bc10d8e4d273a.d: crates/bench/benches/pools.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpools-8c8bc10d8e4d273a.rmeta: crates/bench/benches/pools.rs Cargo.toml
+
+crates/bench/benches/pools.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-68e250599fe8f0ca.d: tests/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-68e250599fe8f0ca.rmeta: tests/tests/properties.rs Cargo.toml
+
+tests/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

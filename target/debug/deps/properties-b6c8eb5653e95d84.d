@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6c8eb5653e95d84.d: tests/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6c8eb5653e95d84: tests/tests/properties.rs
+
+tests/tests/properties.rs:

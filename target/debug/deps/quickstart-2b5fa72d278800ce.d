@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-2b5fa72d278800ce.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-2b5fa72d278800ce: examples/quickstart.rs
+
+examples/quickstart.rs:

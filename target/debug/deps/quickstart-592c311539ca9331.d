@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-592c311539ca9331.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-592c311539ca9331.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

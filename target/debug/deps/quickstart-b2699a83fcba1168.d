@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-b2699a83fcba1168.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-b2699a83fcba1168: examples/quickstart.rs
+
+examples/quickstart.rs:

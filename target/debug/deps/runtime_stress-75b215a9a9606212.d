@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_stress-75b215a9a9606212.d: tests/tests/runtime_stress.rs
+
+/root/repo/target/debug/deps/runtime_stress-75b215a9a9606212: tests/tests/runtime_stress.rs
+
+tests/tests/runtime_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_stress-838a750f9b2dd008.d: tests/tests/runtime_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_stress-838a750f9b2dd008.rmeta: tests/tests/runtime_stress.rs Cargo.toml
+
+tests/tests/runtime_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

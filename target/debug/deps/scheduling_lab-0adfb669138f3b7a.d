@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_lab-0adfb669138f3b7a.d: examples/scheduling_lab.rs
+
+/root/repo/target/debug/deps/scheduling_lab-0adfb669138f3b7a: examples/scheduling_lab.rs
+
+examples/scheduling_lab.rs:

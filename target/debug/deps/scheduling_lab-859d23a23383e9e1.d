@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_lab-859d23a23383e9e1.d: examples/scheduling_lab.rs
+
+/root/repo/target/debug/deps/scheduling_lab-859d23a23383e9e1: examples/scheduling_lab.rs
+
+examples/scheduling_lab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_lab-b94a1e098d5d5d35.d: examples/scheduling_lab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_lab-b94a1e098d5d5d35.rmeta: examples/scheduling_lab.rs Cargo.toml
+
+examples/scheduling_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

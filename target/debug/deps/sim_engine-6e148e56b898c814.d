@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_engine-6e148e56b898c814.d: crates/bench/benches/sim_engine.rs
+
+/root/repo/target/debug/deps/sim_engine-6e148e56b898c814: crates/bench/benches/sim_engine.rs
+
+crates/bench/benches/sim_engine.rs:

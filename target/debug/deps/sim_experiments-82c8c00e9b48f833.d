@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_experiments-82c8c00e9b48f833.d: tests/tests/sim_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_experiments-82c8c00e9b48f833.rmeta: tests/tests/sim_experiments.rs Cargo.toml
+
+tests/tests/sim_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

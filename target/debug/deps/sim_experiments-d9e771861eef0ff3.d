@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_experiments-d9e771861eef0ff3.d: tests/tests/sim_experiments.rs
+
+/root/repo/target/debug/deps/sim_experiments-d9e771861eef0ff3: tests/tests/sim_experiments.rs
+
+tests/tests/sim_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_invariants-737fa79f79ddf395.d: tests/tests/sim_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_invariants-737fa79f79ddf395.rmeta: tests/tests/sim_invariants.rs Cargo.toml
+
+tests/tests/sim_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

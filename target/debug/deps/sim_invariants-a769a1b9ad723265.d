@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_invariants-a769a1b9ad723265.d: tests/tests/sim_invariants.rs
+
+/root/repo/target/debug/deps/sim_invariants-a769a1b9ad723265: tests/tests/sim_invariants.rs
+
+tests/tests/sim_invariants.rs:

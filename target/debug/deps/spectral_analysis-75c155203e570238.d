@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spectral_analysis-75c155203e570238.d: examples/spectral_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspectral_analysis-75c155203e570238.rmeta: examples/spectral_analysis.rs Cargo.toml
+
+examples/spectral_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

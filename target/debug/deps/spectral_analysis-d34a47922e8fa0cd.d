@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectral_analysis-d34a47922e8fa0cd.d: examples/spectral_analysis.rs
+
+/root/repo/target/debug/deps/spectral_analysis-d34a47922e8fa0cd: examples/spectral_analysis.rs
+
+examples/spectral_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectral_analysis-d57eff9514c11b12.d: examples/spectral_analysis.rs
+
+/root/repo/target/debug/deps/spectral_analysis-d57eff9514c11b12: examples/spectral_analysis.rs
+
+examples/spectral_analysis.rs:

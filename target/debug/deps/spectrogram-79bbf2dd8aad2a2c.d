@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spectrogram-79bbf2dd8aad2a2c.d: examples/spectrogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspectrogram-79bbf2dd8aad2a2c.rmeta: examples/spectrogram.rs Cargo.toml
+
+examples/spectrogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spectrogram-9e3a7d3cce4bf1d8.d: examples/spectrogram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspectrogram-9e3a7d3cce4bf1d8.rmeta: examples/spectrogram.rs Cargo.toml
+
+examples/spectrogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectrogram-aa745a6d09df2c72.d: examples/spectrogram.rs
+
+/root/repo/target/debug/deps/spectrogram-aa745a6d09df2c72: examples/spectrogram.rs
+
+examples/spectrogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectrogram-ffbf8c4475cd52a0.d: examples/spectrogram.rs
+
+/root/repo/target/debug/deps/spectrogram-ffbf8c4475cd52a0: examples/spectrogram.rs
+
+examples/spectrogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_peak_model-062c1ed5dafaa0fb.d: crates/bench/src/bin/table_peak_model.rs
+
+/root/repo/target/debug/deps/table_peak_model-062c1ed5dafaa0fb: crates/bench/src/bin/table_peak_model.rs
+
+crates/bench/src/bin/table_peak_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_peak_model-5946f630bafc25c7.d: crates/bench/src/bin/table_peak_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_peak_model-5946f630bafc25c7.rmeta: crates/bench/src/bin/table_peak_model.rs Cargo.toml
+
+crates/bench/src/bin/table_peak_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_peak_model-87249d682a4d2eda.d: crates/bench/src/bin/table_peak_model.rs
+
+/root/repo/target/debug/deps/table_peak_model-87249d682a4d2eda: crates/bench/src/bin/table_peak_model.rs
+
+crates/bench/src/bin/table_peak_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_peak_model-e1fb43eb84afe354.d: crates/bench/src/bin/table_peak_model.rs
+
+/root/repo/target/debug/deps/table_peak_model-e1fb43eb84afe354: crates/bench/src/bin/table_peak_model.rs
+
+crates/bench/src/bin/table_peak_model.rs:

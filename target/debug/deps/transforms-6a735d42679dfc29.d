@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-6a735d42679dfc29.d: tests/tests/transforms.rs
+
+/root/repo/target/debug/deps/transforms-6a735d42679dfc29: tests/tests/transforms.rs
+
+tests/tests/transforms.rs:

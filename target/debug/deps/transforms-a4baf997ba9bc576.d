@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-a4baf997ba9bc576.d: crates/bench/benches/transforms.rs
+
+/root/repo/target/debug/deps/transforms-a4baf997ba9bc576: crates/bench/benches/transforms.rs
+
+crates/bench/benches/transforms.rs:

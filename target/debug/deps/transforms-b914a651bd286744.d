@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-b914a651bd286744.d: crates/bench/benches/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-b914a651bd286744.rmeta: crates/bench/benches/transforms.rs Cargo.toml
+
+crates/bench/benches/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-d69958bac6c541e6.d: tests/tests/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-d69958bac6c541e6.rmeta: tests/tests/transforms.rs Cargo.toml
+
+tests/tests/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

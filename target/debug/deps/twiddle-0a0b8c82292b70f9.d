@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twiddle-0a0b8c82292b70f9.d: crates/bench/benches/twiddle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwiddle-0a0b8c82292b70f9.rmeta: crates/bench/benches/twiddle.rs Cargo.toml
+
+crates/bench/benches/twiddle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

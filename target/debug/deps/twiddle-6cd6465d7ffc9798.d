@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twiddle-6cd6465d7ffc9798.d: crates/bench/benches/twiddle.rs
+
+/root/repo/target/debug/deps/twiddle-6cd6465d7ffc9798: crates/bench/benches/twiddle.rs
+
+crates/bench/benches/twiddle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_counters-9d60b3bdcd2decdb.d: crates/bench/src/bin/ablation_counters.rs
+
+/root/repo/target/release/deps/ablation_counters-9d60b3bdcd2decdb: crates/bench/src/bin/ablation_counters.rs
+
+crates/bench/src/bin/ablation_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_guided-24bf95fced610c6f.d: crates/bench/src/bin/ablation_guided.rs
+
+/root/repo/target/release/deps/ablation_guided-24bf95fced610c6f: crates/bench/src/bin/ablation_guided.rs
+
+crates/bench/src/bin/ablation_guided.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_hash_fn-8fdc29c31ece29e4.d: crates/bench/src/bin/ablation_hash_fn.rs
+
+/root/repo/target/release/deps/ablation_hash_fn-8fdc29c31ece29e4: crates/bench/src/bin/ablation_hash_fn.rs
+
+crates/bench/src/bin/ablation_hash_fn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pool_order-02407982e788d4bc.d: crates/bench/src/bin/ablation_pool_order.rs
+
+/root/repo/target/release/deps/ablation_pool_order-02407982e788d4bc: crates/bench/src/bin/ablation_pool_order.rs
+
+crates/bench/src/bin/ablation_pool_order.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sync_protocol-1bebb6ce40046935.d: crates/bench/src/bin/ablation_sync_protocol.rs
+
+/root/repo/target/release/deps/ablation_sync_protocol-1bebb6ce40046935: crates/bench/src/bin/ablation_sync_protocol.rs
+
+crates/bench/src/bin/ablation_sync_protocol.rs:

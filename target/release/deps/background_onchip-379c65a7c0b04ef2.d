@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/background_onchip-379c65a7c0b04ef2.d: crates/bench/src/bin/background_onchip.rs
+
+/root/repo/target/release/deps/background_onchip-379c65a7c0b04ef2: crates/bench/src/bin/background_onchip.rs
+
+crates/bench/src/bin/background_onchip.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/c64sim-266733888c3064aa.d: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+/root/repo/target/release/deps/libc64sim-266733888c3064aa.rlib: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+/root/repo/target/release/deps/libc64sim-266733888c3064aa.rmeta: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs
+
+crates/c64sim/src/lib.rs:
+crates/c64sim/src/address.rs:
+crates/c64sim/src/config.rs:
+crates/c64sim/src/engine.rs:
+crates/c64sim/src/memory.rs:
+crates/c64sim/src/sched.rs:
+crates/c64sim/src/stats.rs:
+crates/c64sim/src/task.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/c64sim-7ee674dd75c1f6cc.d: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs Cargo.toml
+
+/root/repo/target/release/deps/libc64sim-7ee674dd75c1f6cc.rmeta: crates/c64sim/src/lib.rs crates/c64sim/src/address.rs crates/c64sim/src/config.rs crates/c64sim/src/engine.rs crates/c64sim/src/memory.rs crates/c64sim/src/sched.rs crates/c64sim/src/stats.rs crates/c64sim/src/task.rs Cargo.toml
+
+crates/c64sim/src/lib.rs:
+crates/c64sim/src/address.rs:
+crates/c64sim/src/config.rs:
+crates/c64sim/src/engine.rs:
+crates/c64sim/src/memory.rs:
+crates/c64sim/src/sched.rs:
+crates/c64sim/src/stats.rs:
+crates/c64sim/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/codelet-826e1c42a47f56c5.d: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+/root/repo/target/release/deps/libcodelet-826e1c42a47f56c5.rlib: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+/root/repo/target/release/deps/libcodelet-826e1c42a47f56c5.rmeta: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs
+
+crates/codelet/src/lib.rs:
+crates/codelet/src/amm.rs:
+crates/codelet/src/counter.rs:
+crates/codelet/src/graph.rs:
+crates/codelet/src/pool.rs:
+crates/codelet/src/runtime.rs:
+crates/codelet/src/stats.rs:
+crates/codelet/src/trace.rs:
+crates/codelet/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/codelet-d63e04d74c752afb.d: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libcodelet-d63e04d74c752afb.rmeta: crates/codelet/src/lib.rs crates/codelet/src/amm.rs crates/codelet/src/counter.rs crates/codelet/src/graph.rs crates/codelet/src/pool.rs crates/codelet/src/runtime.rs crates/codelet/src/stats.rs crates/codelet/src/trace.rs crates/codelet/src/verify.rs Cargo.toml
+
+crates/codelet/src/lib.rs:
+crates/codelet/src/amm.rs:
+crates/codelet/src/counter.rs:
+crates/codelet/src/graph.rs:
+crates/codelet/src/pool.rs:
+crates/codelet/src/runtime.rs:
+crates/codelet/src/stats.rs:
+crates/codelet/src/trace.rs:
+crates/codelet/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

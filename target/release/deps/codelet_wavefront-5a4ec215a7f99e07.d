@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codelet_wavefront-5a4ec215a7f99e07.d: examples/codelet_wavefront.rs
+
+/root/repo/target/release/deps/codelet_wavefront-5a4ec215a7f99e07: examples/codelet_wavefront.rs
+
+examples/codelet_wavefront.rs:

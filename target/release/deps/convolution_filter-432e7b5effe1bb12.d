@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/convolution_filter-432e7b5effe1bb12.d: examples/convolution_filter.rs
+
+/root/repo/target/release/deps/convolution_filter-432e7b5effe1bb12: examples/convolution_filter.rs
+
+examples/convolution_filter.rs:

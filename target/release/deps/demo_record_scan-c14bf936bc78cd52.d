@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/demo_record_scan-c14bf936bc78cd52.d: crates/bench/src/bin/demo_record_scan.rs
+
+/root/repo/target/release/deps/demo_record_scan-c14bf936bc78cd52: crates/bench/src/bin/demo_record_scan.rs
+
+crates/bench/src/bin/demo_record_scan.rs:

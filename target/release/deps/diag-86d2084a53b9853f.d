@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-86d2084a53b9853f.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-86d2084a53b9853f: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

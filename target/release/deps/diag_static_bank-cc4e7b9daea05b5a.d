@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag_static_bank-cc4e7b9daea05b5a.d: crates/bench/src/bin/diag_static_bank.rs
+
+/root/repo/target/release/deps/diag_static_bank-cc4e7b9daea05b5a: crates/bench/src/bin/diag_static_bank.rs
+
+crates/bench/src/bin/diag_static_bank.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fft_repro-48ff5c9ca3fcc5cc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfft_repro-48ff5c9ca3fcc5cc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfft_repro-48ff5c9ca3fcc5cc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fgcheck-2ddec8f21df97e8b.d: crates/fgcheck/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libfgcheck-2ddec8f21df97e8b.rmeta: crates/fgcheck/src/main.rs Cargo.toml
+
+crates/fgcheck/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fgcheck-3961a567a683d2a3.d: tests/tests/fgcheck.rs
+
+/root/repo/target/release/deps/fgcheck-3961a567a683d2a3: tests/tests/fgcheck.rs
+
+tests/tests/fgcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fgcheck-8fc8690cfb1325e1.d: crates/fgcheck/src/main.rs
+
+/root/repo/target/release/deps/fgcheck-8fc8690cfb1325e1: crates/fgcheck/src/main.rs
+
+crates/fgcheck/src/main.rs:

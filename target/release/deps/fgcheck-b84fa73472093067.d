@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fgcheck-b84fa73472093067.d: crates/fgcheck/src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libfgcheck-b84fa73472093067.rmeta: crates/fgcheck/src/main.rs Cargo.toml
+
+crates/fgcheck/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fgcheck-e2614b623a878f9c.d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs Cargo.toml
+
+/root/repo/target/release/deps/libfgcheck-e2614b623a878f9c.rmeta: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs Cargo.toml
+
+crates/fgcheck/src/lib.rs:
+crates/fgcheck/src/bank.rs:
+crates/fgcheck/src/fft.rs:
+crates/fgcheck/src/hb.rs:
+crates/fgcheck/src/race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

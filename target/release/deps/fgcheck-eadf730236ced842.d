@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fgcheck-eadf730236ced842.d: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+/root/repo/target/release/deps/libfgcheck-eadf730236ced842.rlib: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+/root/repo/target/release/deps/libfgcheck-eadf730236ced842.rmeta: crates/fgcheck/src/lib.rs crates/fgcheck/src/bank.rs crates/fgcheck/src/fft.rs crates/fgcheck/src/hb.rs crates/fgcheck/src/race.rs
+
+crates/fgcheck/src/lib.rs:
+crates/fgcheck/src/bank.rs:
+crates/fgcheck/src/fft.rs:
+crates/fgcheck/src/hb.rs:
+crates/fgcheck/src/race.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/fgfft-83de868ff155bf43.d: crates/fgfft/src/lib.rs crates/fgfft/src/api.rs crates/fgfft/src/bitrev.rs crates/fgfft/src/bluestein.rs crates/fgfft/src/complex.rs crates/fgfft/src/exec/mod.rs crates/fgfft/src/exec/shared.rs crates/fgfft/src/fft2d.rs crates/fgfft/src/graph.rs crates/fgfft/src/kernel.rs crates/fgfft/src/model.rs crates/fgfft/src/plan.rs crates/fgfft/src/reference.rs crates/fgfft/src/rfft.rs crates/fgfft/src/simwork.rs crates/fgfft/src/stft.rs crates/fgfft/src/stockham.rs crates/fgfft/src/twiddle.rs crates/fgfft/src/window.rs
+
+/root/repo/target/release/deps/libfgfft-83de868ff155bf43.rlib: crates/fgfft/src/lib.rs crates/fgfft/src/api.rs crates/fgfft/src/bitrev.rs crates/fgfft/src/bluestein.rs crates/fgfft/src/complex.rs crates/fgfft/src/exec/mod.rs crates/fgfft/src/exec/shared.rs crates/fgfft/src/fft2d.rs crates/fgfft/src/graph.rs crates/fgfft/src/kernel.rs crates/fgfft/src/model.rs crates/fgfft/src/plan.rs crates/fgfft/src/reference.rs crates/fgfft/src/rfft.rs crates/fgfft/src/simwork.rs crates/fgfft/src/stft.rs crates/fgfft/src/stockham.rs crates/fgfft/src/twiddle.rs crates/fgfft/src/window.rs
+
+/root/repo/target/release/deps/libfgfft-83de868ff155bf43.rmeta: crates/fgfft/src/lib.rs crates/fgfft/src/api.rs crates/fgfft/src/bitrev.rs crates/fgfft/src/bluestein.rs crates/fgfft/src/complex.rs crates/fgfft/src/exec/mod.rs crates/fgfft/src/exec/shared.rs crates/fgfft/src/fft2d.rs crates/fgfft/src/graph.rs crates/fgfft/src/kernel.rs crates/fgfft/src/model.rs crates/fgfft/src/plan.rs crates/fgfft/src/reference.rs crates/fgfft/src/rfft.rs crates/fgfft/src/simwork.rs crates/fgfft/src/stft.rs crates/fgfft/src/stockham.rs crates/fgfft/src/twiddle.rs crates/fgfft/src/window.rs
+
+crates/fgfft/src/lib.rs:
+crates/fgfft/src/api.rs:
+crates/fgfft/src/bitrev.rs:
+crates/fgfft/src/bluestein.rs:
+crates/fgfft/src/complex.rs:
+crates/fgfft/src/exec/mod.rs:
+crates/fgfft/src/exec/shared.rs:
+crates/fgfft/src/fft2d.rs:
+crates/fgfft/src/graph.rs:
+crates/fgfft/src/kernel.rs:
+crates/fgfft/src/model.rs:
+crates/fgfft/src/plan.rs:
+crates/fgfft/src/reference.rs:
+crates/fgfft/src/rfft.rs:
+crates/fgfft/src/simwork.rs:
+crates/fgfft/src/stft.rs:
+crates/fgfft/src/stockham.rs:
+crates/fgfft/src/twiddle.rs:
+crates/fgfft/src/window.rs:

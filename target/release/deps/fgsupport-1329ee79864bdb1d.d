@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fgsupport-1329ee79864bdb1d.d: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+/root/repo/target/release/deps/libfgsupport-1329ee79864bdb1d.rlib: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+/root/repo/target/release/deps/libfgsupport-1329ee79864bdb1d.rmeta: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs
+
+crates/fgsupport/src/lib.rs:
+crates/fgsupport/src/backoff.rs:
+crates/fgsupport/src/bench.rs:
+crates/fgsupport/src/deque.rs:
+crates/fgsupport/src/json.rs:
+crates/fgsupport/src/queue.rs:
+crates/fgsupport/src/rng.rs:
+crates/fgsupport/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fgsupport-bcfe54280304d7a3.d: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs Cargo.toml
+
+/root/repo/target/release/deps/libfgsupport-bcfe54280304d7a3.rmeta: crates/fgsupport/src/lib.rs crates/fgsupport/src/backoff.rs crates/fgsupport/src/bench.rs crates/fgsupport/src/deque.rs crates/fgsupport/src/json.rs crates/fgsupport/src/queue.rs crates/fgsupport/src/rng.rs crates/fgsupport/src/sync.rs Cargo.toml
+
+crates/fgsupport/src/lib.rs:
+crates/fgsupport/src/backoff.rs:
+crates/fgsupport/src/bench.rs:
+crates/fgsupport/src/deque.rs:
+crates/fgsupport/src/json.rs:
+crates/fgsupport/src/queue.rs:
+crates/fgsupport/src/rng.rs:
+crates/fgsupport/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

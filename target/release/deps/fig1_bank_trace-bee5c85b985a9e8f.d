@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_bank_trace-bee5c85b985a9e8f.d: crates/bench/src/bin/fig1_bank_trace.rs
+
+/root/repo/target/release/deps/fig1_bank_trace-bee5c85b985a9e8f: crates/bench/src/bin/fig1_bank_trace.rs
+
+crates/bench/src/bin/fig1_bank_trace.rs:

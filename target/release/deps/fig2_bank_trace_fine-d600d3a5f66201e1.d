@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_bank_trace_fine-d600d3a5f66201e1.d: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+/root/repo/target/release/deps/fig2_bank_trace_fine-d600d3a5f66201e1: crates/bench/src/bin/fig2_bank_trace_fine.rs
+
+crates/bench/src/bin/fig2_bank_trace_fine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_bank_trace_hash-ede9c52ef7b89688.d: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+/root/repo/target/release/deps/fig6_bank_trace_hash-ede9c52ef7b89688: crates/bench/src/bin/fig6_bank_trace_hash.rs
+
+crates/bench/src/bin/fig6_bank_trace_hash.rs:

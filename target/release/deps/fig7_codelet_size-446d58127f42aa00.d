@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_codelet_size-446d58127f42aa00.d: crates/bench/src/bin/fig7_codelet_size.rs
+
+/root/repo/target/release/deps/fig7_codelet_size-446d58127f42aa00: crates/bench/src/bin/fig7_codelet_size.rs
+
+crates/bench/src/bin/fig7_codelet_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_perf_vs_size-6d1e9ea0fad854f5.d: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+/root/repo/target/release/deps/fig8_perf_vs_size-6d1e9ea0fad854f5: crates/bench/src/bin/fig8_perf_vs_size.rs
+
+crates/bench/src/bin/fig8_perf_vs_size.rs:

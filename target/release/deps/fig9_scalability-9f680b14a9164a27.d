@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-9f680b14a9164a27.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-9f680b14a9164a27: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

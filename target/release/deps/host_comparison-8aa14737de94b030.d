@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/host_comparison-8aa14737de94b030.d: crates/bench/src/bin/host_comparison.rs
+
+/root/repo/target/release/deps/host_comparison-8aa14737de94b030: crates/bench/src/bin/host_comparison.rs
+
+crates/bench/src/bin/host_comparison.rs:

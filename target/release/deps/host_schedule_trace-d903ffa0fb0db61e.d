@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/host_schedule_trace-d903ffa0fb0db61e.d: crates/bench/src/bin/host_schedule_trace.rs
+
+/root/repo/target/release/deps/host_schedule_trace-d903ffa0fb0db61e: crates/bench/src/bin/host_schedule_trace.rs
+
+crates/bench/src/bin/host_schedule_trace.rs:

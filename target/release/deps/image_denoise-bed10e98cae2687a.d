@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/image_denoise-bed10e98cae2687a.d: examples/image_denoise.rs
+
+/root/repo/target/release/deps/image_denoise-bed10e98cae2687a: examples/image_denoise.rs
+
+examples/image_denoise.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/integration_tests-075cd2d72694f869.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-075cd2d72694f869.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libintegration_tests-075cd2d72694f869.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

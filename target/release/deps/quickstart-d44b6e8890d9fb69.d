@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-d44b6e8890d9fb69.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-d44b6e8890d9fb69: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scheduling_lab-1c0420894bb9af0a.d: examples/scheduling_lab.rs
+
+/root/repo/target/release/deps/scheduling_lab-1c0420894bb9af0a: examples/scheduling_lab.rs
+
+examples/scheduling_lab.rs:

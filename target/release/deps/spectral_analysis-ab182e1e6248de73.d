@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spectral_analysis-ab182e1e6248de73.d: examples/spectral_analysis.rs
+
+/root/repo/target/release/deps/spectral_analysis-ab182e1e6248de73: examples/spectral_analysis.rs
+
+examples/spectral_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spectrogram-72719806eeeab3b3.d: examples/spectrogram.rs
+
+/root/repo/target/release/deps/spectrogram-72719806eeeab3b3: examples/spectrogram.rs
+
+examples/spectrogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_peak_model-8f89394915ccc74d.d: crates/bench/src/bin/table_peak_model.rs
+
+/root/repo/target/release/deps/table_peak_model-8f89394915ccc74d: crates/bench/src/bin/table_peak_model.rs
+
+crates/bench/src/bin/table_peak_model.rs:

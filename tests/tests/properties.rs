@@ -1,14 +1,16 @@
-//! Property-based tests: transform identities over random inputs, and
-//! structural invariants of random FFT plans.
+//! Randomized property tests: transform identities over random inputs, and
+//! structural invariants of random FFT plans. Inputs are drawn from a
+//! seeded PRNG so every run checks the same cases deterministically.
 
 use fgfft::plan::FftPlan;
 use fgfft::reference::{energy, recursive_fft};
 use fgfft::{fft_in_place, rms_error, Complex64, ExecConfig, SeedOrder, Version};
-use proptest::prelude::*;
+use fgsupport::rng::Rng64;
 
-fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
-        .prop_map(|v| v.into_iter().map(Complex64::from).collect())
+fn complex_vec(rng: &mut Rng64, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| Complex64::new(rng.gen_range_f64(-1.0..1.0), rng.gen_range_f64(-1.0..1.0)))
+        .collect()
 }
 
 fn fft(data: &[Complex64]) -> Vec<Complex64> {
@@ -21,41 +23,55 @@ fn fft(data: &[Complex64]) -> Vec<Complex64> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// FFT(x) matches the recursive reference on random inputs.
-    #[test]
-    fn matches_reference(data in complex_vec(512)) {
+/// FFT(x) matches the recursive reference on random inputs.
+#[test]
+fn matches_reference() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(100 + case);
+        let data = complex_vec(&mut rng, 512);
         let expect = recursive_fft(&data);
         let got = fft(&data);
-        prop_assert!(rms_error(&got, &expect) < 1e-9);
+        assert!(rms_error(&got, &expect) < 1e-9, "case {case}");
     }
+}
 
-    /// Linearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
-    #[test]
-    fn linearity(x in complex_vec(256), y in complex_vec(256), ar in -2.0f64..2.0, ai in -2.0f64..2.0) {
-        let a = Complex64::new(ar, ai);
+/// Linearity: FFT(a·x + y) = a·FFT(x) + FFT(y).
+#[test]
+fn linearity() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(200 + case);
+        let x = complex_vec(&mut rng, 256);
+        let y = complex_vec(&mut rng, 256);
+        let a = Complex64::new(rng.gen_range_f64(-2.0..2.0), rng.gen_range_f64(-2.0..2.0));
         let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&u, &v)| a * u + v).collect();
         let lhs = fft(&combo);
         let fx = fft(&x);
         let fy = fft(&y);
         let rhs: Vec<Complex64> = fx.iter().zip(&fy).map(|(&u, &v)| a * u + v).collect();
-        prop_assert!(rms_error(&lhs, &rhs) < 1e-9);
+        assert!(rms_error(&lhs, &rhs) < 1e-9, "case {case}");
     }
+}
 
-    /// Parseval: ‖X‖² = N·‖x‖².
-    #[test]
-    fn parseval(data in complex_vec(1024)) {
+/// Parseval: ‖X‖² = N·‖x‖².
+#[test]
+fn parseval() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(300 + case);
+        let data = complex_vec(&mut rng, 1024);
         let freq = fft(&data);
         let lhs = energy(&freq);
         let rhs = energy(&data) * 1024.0;
-        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
+        assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0), "case {case}");
     }
+}
 
-    /// Circular time shift ↔ linear phase: FFT(shift(x, s))[k] = X[k]·e^{-2πiks/N}.
-    #[test]
-    fn shift_theorem(data in complex_vec(256), s in 0usize..256) {
+/// Circular time shift ↔ linear phase: FFT(shift(x, s))[k] = X[k]·e^{-2πiks/N}.
+#[test]
+fn shift_theorem() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(400 + case);
+        let data = complex_vec(&mut rng, 256);
+        let s = rng.gen_range(0..256);
         let n = data.len();
         let shifted: Vec<Complex64> = (0..n).map(|i| data[(i + s) % n]).collect();
         let fs = fft(&shifted);
@@ -63,14 +79,21 @@ proptest! {
         let expect: Vec<Complex64> = fx
             .iter()
             .enumerate()
-            .map(|(k, &v)| v * Complex64::expi(2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64))
+            .map(|(k, &v)| {
+                v * Complex64::expi(2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64)
+            })
             .collect();
-        prop_assert!(rms_error(&fs, &expect) < 1e-9);
+        assert!(rms_error(&fs, &expect) < 1e-9, "case {case} shift {s}");
     }
+}
 
-    /// Convolution theorem through the public API.
-    #[test]
-    fn convolution_theorem(a in complex_vec(48), b in complex_vec(17)) {
+/// Convolution theorem through the public API.
+#[test]
+fn convolution_theorem() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(500 + case);
+        let a = complex_vec(&mut rng, 48);
+        let b = complex_vec(&mut rng, 17);
         let fast = fgfft::convolve(&a, &b);
         let mut direct = vec![Complex64::ZERO; a.len() + b.len() - 1];
         for (i, &x) in a.iter().enumerate() {
@@ -78,36 +101,45 @@ proptest! {
                 direct[i + j] += x * y;
             }
         }
-        prop_assert!(rms_error(&fast, &direct) < 1e-9);
+        assert!(rms_error(&fast, &direct) < 1e-9, "case {case}");
     }
+}
 
-    /// Inverse really inverts, for arbitrary sizes and versions.
-    #[test]
-    fn roundtrip(data in complex_vec(128), guided in proptest::bool::ANY) {
-        let version = if guided { Version::FineGuided } else { Version::CoarseHash };
+/// Inverse really inverts, for arbitrary sizes and versions.
+#[test]
+fn roundtrip() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(600 + case);
+        let data = complex_vec(&mut rng, 128);
+        let version = if rng.gen_bool() {
+            Version::FineGuided
+        } else {
+            Version::CoarseHash
+        };
         let engine = fgfft::Fft::new().with_version(version).with_workers(2);
         let mut v = data.clone();
         engine.forward(&mut v);
         engine.inverse(&mut v);
-        prop_assert!(rms_error(&v, &data) < 1e-11);
+        assert!(rms_error(&v, &data) < 1e-11, "case {case} {version:?}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Plan invariants for random (size, radix) combinations: stages cover
-    /// all levels, every stage partitions the elements, and the
-    /// parent/child relations are mutually consistent.
-    #[test]
-    #[allow(clippy::needless_range_loop)]
-    fn plan_invariants(n_log2 in 2u32..12, radix_log2 in 1u32..7) {
+/// Plan invariants for random (size, radix) combinations: stages cover
+/// all levels, every stage partitions the elements, and the
+/// parent/child relations are mutually consistent.
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn plan_invariants() {
+    let mut rng = Rng64::seed_from_u64(7001);
+    for case in 0..32 {
+        let n_log2 = rng.gen_range(2..12) as u32;
+        let radix_log2 = rng.gen_range(1..7) as u32;
         let plan = FftPlan::new(n_log2, radix_log2);
         let p = plan.radix_log2();
 
         // Levels add up to log2 N.
         let total_levels: u32 = (0..plan.stages()).map(|s| plan.levels(s)).sum();
-        prop_assert_eq!(total_levels, n_log2);
+        assert_eq!(total_levels, n_log2, "case {case}");
 
         // Each stage partitions the element set and owner() agrees.
         for stage in 0..plan.stages() {
@@ -119,7 +151,7 @@ proptest! {
                     assert_eq!(plan.owner(stage, e), idx);
                 });
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s), "case {case}");
         }
 
         // Children counts and dependence counts are duals.
@@ -132,36 +164,48 @@ proptest! {
                 plan.children_of(stage, idx, &mut kids);
                 // No duplicate children.
                 for w in kids.windows(2) {
-                    prop_assert!(w[0] < w[1]);
+                    assert!(w[0] < w[1]);
                 }
                 for &k in &kids {
                     dep[k - (stage + 1) * cps] += 1;
                 }
             }
             for idx in 0..cps {
-                prop_assert_eq!(dep[idx], plan.parent_count(stage + 1, idx));
+                assert_eq!(dep[idx], plan.parent_count(stage + 1, idx));
             }
         }
 
         // Full stages have exactly P parents.
         for stage in 1..plan.stages() {
             if plan.is_full_stage(stage) {
-                prop_assert_eq!(plan.parent_count(stage, 0), 1u32 << p);
+                assert_eq!(plan.parent_count(stage, 0), 1u32 << p);
             }
         }
     }
+}
 
-    /// Grouped orders (plain and bank-rotated) are permutations, and every
-    /// run shares its children.
-    #[test]
-    fn grouped_orders_are_sound(n_log2 in 4u32..12, radix_log2 in 2u32..5) {
+/// Grouped orders (plain and bank-rotated) are permutations, and every
+/// run shares its children.
+#[test]
+fn grouped_orders_are_sound() {
+    let mut rng = Rng64::seed_from_u64(7002);
+    let mut checked = 0;
+    while checked < 24 {
+        let n_log2 = rng.gen_range(4..12) as u32;
+        let radix_log2 = rng.gen_range(2..5) as u32;
         let plan = FftPlan::new(n_log2, radix_log2);
-        prop_assume!(plan.stages() >= 2);
+        if plan.stages() < 2 {
+            continue;
+        }
+        checked += 1;
         for stage in 0..plan.stages() - 1 {
-            for order in [plan.grouped_stage_order(stage), plan.grouped_stage_order_bank_rotated(stage)] {
+            for order in [
+                plan.grouped_stage_order(stage),
+                plan.grouped_stage_order_bank_rotated(stage),
+            ] {
                 let mut sorted = order.clone();
                 sorted.sort_unstable();
-                prop_assert_eq!(&sorted, &(0..plan.codelets_per_stage()).collect::<Vec<_>>());
+                assert_eq!(sorted, (0..plan.codelets_per_stage()).collect::<Vec<_>>());
             }
             let order = plan.grouped_stage_order(stage);
             let run = plan.grouped_run_len(stage);
@@ -173,15 +217,20 @@ proptest! {
                 for &idx in &chunk[1..] {
                     kids_b.clear();
                     plan.children_of(stage, idx, &mut kids_b);
-                    prop_assert_eq!(&kids_a, &kids_b);
+                    assert_eq!(kids_a, kids_b);
                 }
             }
         }
     }
+}
 
-    /// Seed orders are permutations for any count.
-    #[test]
-    fn seed_orders_are_permutations(count in 0usize..300, seed in 0u64..1000) {
+/// Seed orders are permutations for any count.
+#[test]
+fn seed_orders_are_permutations() {
+    let mut rng = Rng64::seed_from_u64(7003);
+    for _ in 0..48 {
+        let count = rng.gen_range(0..300);
+        let seed = rng.gen_u64() % 1000;
         for order in [
             SeedOrder::Natural,
             SeedOrder::Reversed,
@@ -191,7 +240,7 @@ proptest! {
             let v = order.order(count);
             let mut sorted = v.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(sorted, (0..count).collect::<Vec<_>>());
+            assert_eq!(sorted, (0..count).collect::<Vec<_>>());
         }
     }
 }

@@ -5,18 +5,17 @@
 use codelet::graph::{CodeletProgram, ExplicitGraph};
 use codelet::pool::PoolDiscipline;
 use codelet::runtime::{Runtime, RuntimeConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fgsupport::rng::Rng64;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Random layered DAG: `layers` layers of `width` codelets; each codelet
 /// depends on 1..=4 random codelets of the previous layer.
 fn random_dag(seed: u64, layers: usize, width: usize) -> ExplicitGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut g = ExplicitGraph::new(layers * width);
     for l in 1..layers {
         for c in 0..width {
-            let deps = rng.gen_range(1..=4.min(width));
+            let deps = rng.gen_range(1..4.min(width) + 1);
             let mut picked = Vec::new();
             while picked.len() < deps {
                 let p = rng.gen_range(0..width);

@@ -96,7 +96,10 @@ fn fig7_codelet_size_sweet_spot() {
     let g32 = gflops(5);
     let g64 = gflops(6);
     let g128 = gflops(7);
-    assert!(g64 > g32 && g32 > g8, "larger codelets reduce traffic: {g8} {g32} {g64}");
+    assert!(
+        g64 > g32 && g32 > g8,
+        "larger codelets reduce traffic: {g8} {g32} {g64}"
+    );
     assert!(g64 > g128, "128-pt spills must lose: {g64} vs {g128}");
 }
 
@@ -110,7 +113,13 @@ fn fig8_fig9_version_ordering() {
     let chip = chip();
     let coarse = run_sim(plan, SimVersion::Coarse, &chip, &opts()).gflops;
     let guided = run_sim(plan, SimVersion::FineGuided, &chip, &opts()).gflops;
-    let hash = run_sim(plan, SimVersion::FineHash(SeedOrder::Natural), &chip, &opts()).gflops;
+    let hash = run_sim(
+        plan,
+        SimVersion::FineHash(SeedOrder::Natural),
+        &chip,
+        &opts(),
+    )
+    .gflops;
     let fine: Vec<f64> = [
         SeedOrder::Natural,
         SeedOrder::Reversed,
@@ -124,7 +133,10 @@ fn fig8_fig9_version_ordering() {
 
     assert!(guided > coarse, "guided {guided} <= coarse {coarse}");
     assert!(hash > 1.3 * coarse, "hash {hash} vs coarse {coarse}");
-    assert!(worst < 1.02 * coarse, "fine worst {worst} should not beat coarse {coarse}");
+    assert!(
+        worst < 1.02 * coarse,
+        "fine worst {worst} should not beat coarse {coarse}"
+    );
 }
 
 /// Scalability: more thread units help every version until the memory
@@ -137,7 +149,11 @@ fn fig9_scaling_with_thread_units() {
         let g80 = run_sim(plan, version, &chip().with_thread_units(80), &opts()).gflops;
         let g156 = run_sim(plan, version, &chip().with_thread_units(156), &opts()).gflops;
         assert!(g80 > 1.5 * g20, "{}: 20→80 TUs {g20}→{g80}", version.name());
-        assert!(g156 >= g80 * 0.95, "{}: 80→156 TUs regressed", version.name());
+        assert!(
+            g156 >= g80 * 0.95,
+            "{}: 80→156 TUs regressed",
+            version.name()
+        );
     }
 }
 
@@ -224,6 +240,11 @@ fn traffic_is_conserved_across_schedules() {
         assert_eq!(total, expect, "{}", version.name());
     }
     // The hashed layout relocates but does not add traffic.
-    let r = run_sim(plan, SimVersion::FineHash(SeedOrder::Natural), &chip, &opts());
+    let r = run_sim(
+        plan,
+        SimVersion::FineHash(SeedOrder::Natural),
+        &chip,
+        &opts(),
+    );
     assert_eq!(r.bank_bytes.iter().sum::<u64>(), expect);
 }

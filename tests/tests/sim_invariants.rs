@@ -1,11 +1,12 @@
-//! Property tests of the machine simulator itself: for randomized task
+//! Randomized tests of the machine simulator itself: for randomized task
 //! models, the reported makespan must respect the physical lower bounds
 //! (per-bank drain time, aggregate bandwidth, compute throughput) and the
-//! trivial serial upper bound, and accounting must balance.
+//! trivial serial upper bound, and accounting must balance. Inputs come
+//! from a seeded PRNG so runs are deterministic.
 
 use c64sim::sched::SequencedScheduler;
 use c64sim::{simulate, ChipConfig, MemOp, SimOptions, TaskCost, VecTaskModel};
-use proptest::prelude::*;
+use fgsupport::rng::Rng64;
 
 fn small_chip(tus: usize, mlp: usize) -> ChipConfig {
     let mut c = ChipConfig::cyclops64().with_thread_units(tus);
@@ -14,23 +15,25 @@ fn small_chip(tus: usize, mlp: usize) -> ChipConfig {
     c
 }
 
-/// Strategy: a task with 1..24 DRAM ops on arbitrary lines and some flops.
-fn task_strategy() -> impl Strategy<Value = (Vec<(u64, bool)>, u64)> {
-    (
-        prop::collection::vec((0u64..4096, any::<bool>()), 1..24),
-        0u64..4000,
-    )
+/// A task with 1..24 DRAM ops on arbitrary lines and some flops.
+fn random_task(rng: &mut Rng64) -> (Vec<(u64, bool)>, u64) {
+    let n_ops = rng.gen_range(1..24);
+    let ops = (0..n_ops)
+        .map(|_| (rng.gen_below(4096), rng.gen_bool()))
+        .collect();
+    (ops, rng.gen_below(4000))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn makespan_respects_physical_bounds() {
+    for case in 0..24u64 {
+        let mut rng = Rng64::seed_from_u64(9000 + case);
+        let tasks: Vec<_> = (0..rng.gen_range(1..40))
+            .map(|_| random_task(&mut rng))
+            .collect();
+        let tus = rng.gen_range(1..12);
+        let mlp = rng.gen_range(1..6);
 
-    #[test]
-    fn makespan_respects_physical_bounds(
-        tasks in prop::collection::vec(task_strategy(), 1..40),
-        tus in 1usize..12,
-        mlp in 1usize..6,
-    ) {
         let chip = small_chip(tus, mlp);
         let mut model = VecTaskModel::default();
         let mut ids = Vec::new();
@@ -44,20 +47,28 @@ proptest! {
                     space: c64sim::Space::Dram,
                 })
                 .collect();
-            ids.push(model.push(mem, TaskCost { flops: *flops, extra_cycles: 0 }));
+            ids.push(model.push(
+                mem,
+                TaskCost {
+                    flops: *flops,
+                    extra_cycles: 0,
+                },
+            ));
         }
         let mut sched = SequencedScheduler::coarse(vec![ids]);
-        let report = simulate(&chip, &model, &mut sched, &SimOptions {
-            trace_window: 10_000,
-        });
+        let report = simulate(
+            &chip,
+            &model,
+            &mut sched,
+            &SimOptions {
+                trace_window: 10_000,
+            },
+        );
 
         // Accounting: every op lands on some bank; bytes conserved.
-        let total_bytes: u64 = tasks
-            .iter()
-            .map(|(ops, _)| ops.len() as u64 * 16)
-            .sum();
-        prop_assert_eq!(report.bank_bytes.iter().sum::<u64>(), total_bytes);
-        prop_assert_eq!(
+        let total_bytes: u64 = tasks.iter().map(|(ops, _)| ops.len() as u64 * 16).sum();
+        assert_eq!(report.bank_bytes.iter().sum::<u64>(), total_bytes);
+        assert_eq!(
             report.trace.totals().iter().sum::<u64>(),
             report.bank_accesses.iter().sum::<u64>()
         );
@@ -65,9 +76,9 @@ proptest! {
         // Lower bound 1: each bank must drain its bytes at 8 B/cycle.
         for (b, &bytes) in report.bank_bytes.iter().enumerate() {
             let floor = (bytes as f64 / chip.dram_bank_bytes_per_cycle()) as u64;
-            prop_assert!(
+            assert!(
                 report.makespan_cycles + 1 >= floor,
-                "bank {b}: makespan {} < drain floor {floor}",
+                "case {case} bank {b}: makespan {} < drain floor {floor}",
                 report.makespan_cycles
             );
         }
@@ -75,9 +86,9 @@ proptest! {
         // Lower bound 2: compute throughput (flops at 1/cycle/TU).
         let total_flops: u64 = tasks.iter().map(|(_, f)| *f).sum();
         let compute_floor = total_flops / tus as u64;
-        prop_assert!(
+        assert!(
             report.makespan_cycles >= compute_floor / 2,
-            "makespan {} vs compute floor {compute_floor}",
+            "case {case}: makespan {} vs compute floor {compute_floor}",
             report.makespan_cycles
         );
 
@@ -87,47 +98,67 @@ proptest! {
             .map(|(ops, flops)| *flops.max(&(ops.len() as u64 * 2)))
             .max()
             .unwrap();
-        prop_assert!(report.makespan_cycles + 2 >= longest_task / 2);
+        assert!(report.makespan_cycles + 2 >= longest_task / 2);
 
         // Upper bound: fully serial execution with per-op latency exposed.
         let serial: u64 = tasks
             .iter()
-            .map(|(ops, flops)| {
-                flops + ops.len() as u64 * (2 + chip.dram_latency + 1)
-            })
+            .map(|(ops, flops)| flops + ops.len() as u64 * (2 + chip.dram_latency + 1))
             .sum();
-        prop_assert!(
+        assert!(
             report.makespan_cycles <= serial + chip.dram_latency,
-            "makespan {} exceeds serial bound {serial}",
+            "case {case}: makespan {} exceeds serial bound {serial}",
             report.makespan_cycles
         );
 
         // Sanity: utilization fields in range.
-        prop_assert!(report.dram_utilization >= 0.0 && report.dram_utilization <= 1.0 + 1e-9);
-        prop_assert!(report.tu_utilization() >= 0.0 && report.tu_utilization() <= 1.0 + 1e-9);
+        assert!(report.dram_utilization >= 0.0 && report.dram_utilization <= 1.0 + 1e-9);
+        assert!(report.tu_utilization() >= 0.0 && report.tu_utilization() <= 1.0 + 1e-9);
     }
+}
 
-    /// Queue-delay accounting: delays are only reported on banks that were
-    /// actually accessed, and a single-task serial run has zero delay.
-    #[test]
-    fn queue_delay_is_consistent(lines in prop::collection::vec(0u64..64, 1..16)) {
+/// Queue-delay accounting: delays are only reported on banks that were
+/// actually accessed, and a single-task serial run has zero delay.
+#[test]
+fn queue_delay_is_consistent() {
+    for case in 0..16u64 {
+        let mut rng = Rng64::seed_from_u64(9100 + case);
+        let lines: Vec<u64> = (0..rng.gen_range(1..16))
+            .map(|_| rng.gen_below(64))
+            .collect();
         let chip = small_chip(1, 1);
         let mut model = VecTaskModel::default();
-        let ops: Vec<MemOp> = lines.iter().map(|&l| MemOp::dram_load(l * 64, 16)).collect();
+        let ops: Vec<MemOp> = lines
+            .iter()
+            .map(|&l| MemOp::dram_load(l * 64, 16))
+            .collect();
         let id = model.push(ops, TaskCost::default());
         let mut sched = SequencedScheduler::coarse(vec![vec![id]]);
-        let report = simulate(&chip, &model, &mut sched, &SimOptions { trace_window: 1000 });
+        let report = simulate(
+            &chip,
+            &model,
+            &mut sched,
+            &SimOptions { trace_window: 1000 },
+        );
         // One TU, mlp=1: each op waits for the previous completion, so no
         // op ever queues at a bank.
-        prop_assert_eq!(report.trace.delay_totals().iter().sum::<u64>(), 0);
+        assert_eq!(
+            report.trace.delay_totals().iter().sum::<u64>(),
+            0,
+            "case {case}"
+        );
     }
+}
 
-    /// Determinism across repeated runs for arbitrary models.
-    #[test]
-    fn random_models_are_deterministic(
-        tasks in prop::collection::vec(task_strategy(), 1..20),
-        tus in 1usize..8,
-    ) {
+/// Determinism across repeated runs for arbitrary models.
+#[test]
+fn random_models_are_deterministic() {
+    for case in 0..12u64 {
+        let mut rng = Rng64::seed_from_u64(9200 + case);
+        let tasks: Vec<_> = (0..rng.gen_range(1..20))
+            .map(|_| random_task(&mut rng))
+            .collect();
+        let tus = rng.gen_range(1..8);
         let chip = small_chip(tus, 2);
         let mut model = VecTaskModel::default();
         let mut ids = Vec::new();
@@ -136,17 +167,30 @@ proptest! {
                 .iter()
                 .map(|&(line, _)| MemOp::dram_load(line * 64, 16))
                 .collect();
-            ids.push(model.push(mem, TaskCost { flops: *flops, extra_cycles: 0 }));
+            ids.push(model.push(
+                mem,
+                TaskCost {
+                    flops: *flops,
+                    extra_cycles: 0,
+                },
+            ));
         }
         let run = || {
             let mut sched = SequencedScheduler::coarse(vec![ids.clone()]);
-            simulate(&chip, &model, &mut sched, &SimOptions { trace_window: 10_000 })
+            simulate(
+                &chip,
+                &model,
+                &mut sched,
+                &SimOptions {
+                    trace_window: 10_000,
+                },
+            )
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a.makespan_cycles, b.makespan_cycles);
-        prop_assert_eq!(a.busy_cycles, b.busy_cycles);
-        prop_assert_eq!(a.trace.counts, b.trace.counts);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles, "case {case}");
+        assert_eq!(a.busy_cycles, b.busy_cycles, "case {case}");
+        assert_eq!(a.trace.counts, b.trace.counts, "case {case}");
     }
 }
 
@@ -160,11 +204,16 @@ fn fft_workload_byte_accounting_matches_model() {
         let plan = FftPlan::new(n_log2, radix_log2);
         let workload = FftWorkload::new(plan, TwiddleLayout::Linear, &chip);
         let graph = fgfft::graph::FftGraph::new(plan);
-        let mut sched = c64sim::sched::SequencedScheduler::fine(
-            &graph,
-            c64sim::SimPoolDiscipline::Lifo,
+        let mut sched =
+            c64sim::sched::SequencedScheduler::fine(&graph, c64sim::SimPoolDiscipline::Lifo);
+        let r = simulate(
+            &chip,
+            &workload,
+            &mut sched,
+            &SimOptions {
+                trace_window: 100_000,
+            },
         );
-        let r = simulate(&chip, &workload, &mut sched, &SimOptions { trace_window: 100_000 });
         assert_eq!(
             r.bank_bytes.iter().sum::<u64>(),
             model::total_dram_bytes(&plan),

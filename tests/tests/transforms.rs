@@ -1,42 +1,56 @@
-//! Integration and property tests for the extended transform surface:
+//! Integration and randomized tests for the extended transform surface:
 //! real-input FFT, arbitrary-length Bluestein DFT, 2-D FFT, STFT, and the
 //! Stockham baseline — all validated against each other and the naive
-//! oracles.
+//! oracles. Random inputs come from a seeded PRNG.
 
 use fgfft::fft2d::{naive_dft2d, Fft2d};
 use fgfft::reference::naive_dft;
 use fgfft::stockham::stockham_fft;
 use fgfft::{rms_error, Complex64, StftConfig, Window};
-use proptest::prelude::*;
+use fgsupport::rng::Rng64;
 
 fn cx(re: f64, im: f64) -> Complex64 {
     Complex64::new(re, im)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn complex_vec(rng: &mut Rng64, n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|_| cx(rng.gen_range_f64(-1.0..1.0), rng.gen_range_f64(-1.0..1.0)))
+        .collect()
+}
 
-    /// Bluestein matches the naive DFT for arbitrary lengths.
-    #[test]
-    fn bluestein_matches_naive(raw in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..160)) {
-        let x: Vec<Complex64> = raw.into_iter().map(|(r, i)| cx(r, i)).collect();
+/// Bluestein matches the naive DFT for arbitrary lengths.
+#[test]
+fn bluestein_matches_naive() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(1100 + case);
+        let n = rng.gen_range(1..160);
+        let x = complex_vec(&mut rng, n);
         let got = fgfft::dft(&x);
         let expect = naive_dft(&x);
-        prop_assert!(rms_error(&got, &expect) < 1e-8);
+        assert!(rms_error(&got, &expect) < 1e-8, "case {case} n={n}");
     }
+}
 
-    /// Bluestein round-trips for arbitrary lengths.
-    #[test]
-    fn bluestein_roundtrip(raw in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1..200)) {
-        let x: Vec<Complex64> = raw.into_iter().map(|(r, i)| cx(r, i)).collect();
+/// Bluestein round-trips for arbitrary lengths.
+#[test]
+fn bluestein_roundtrip() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(1200 + case);
+        let n = rng.gen_range(1..200);
+        let x = complex_vec(&mut rng, n);
         let back = fgfft::idft(&fgfft::dft(&x));
-        prop_assert!(rms_error(&back, &x) < 1e-9);
+        assert!(rms_error(&back, &x) < 1e-9, "case {case} n={n}");
     }
+}
 
-    /// rfft agrees with the complex transform on the nonredundant half.
-    #[test]
-    fn rfft_matches_complex_path(raw in prop::collection::vec(-1.0f64..1.0, 8..9), shift in 0u32..6) {
-        let n = 64usize << shift;
+/// rfft agrees with the complex transform on the nonredundant half.
+#[test]
+fn rfft_matches_complex_path() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(1300 + case);
+        let raw: Vec<f64> = (0..8).map(|_| rng.gen_range_f64(-1.0..1.0)).collect();
+        let n = 64usize << rng.gen_range(0..6);
         let signal: Vec<f64> = (0..n)
             .map(|i| raw[i % raw.len()] * ((i as f64) * 0.173).sin())
             .collect();
@@ -44,18 +58,21 @@ proptest! {
         let mut full: Vec<Complex64> = signal.iter().map(|&v| cx(v, 0.0)).collect();
         fgfft::forward(&mut full);
         for k in 0..=n / 2 {
-            prop_assert!(spec[k].dist(full[k]) < 1e-8, "bin {k}");
+            assert!(spec[k].dist(full[k]) < 1e-8, "case {case} bin {k}");
         }
     }
+}
 
-    /// Stockham agrees with the codelet FFT on random inputs.
-    #[test]
-    fn stockham_matches_codelet(raw in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 256..257)) {
-        let x: Vec<Complex64> = raw.into_iter().map(|(r, i)| cx(r, i)).collect();
+/// Stockham agrees with the codelet FFT on random inputs.
+#[test]
+fn stockham_matches_codelet() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(1400 + case);
+        let x = complex_vec(&mut rng, 256);
         let a = stockham_fft(x.clone());
         let mut b = x;
         fgfft::forward(&mut b);
-        prop_assert!(rms_error(&a, &b) < 1e-9);
+        assert!(rms_error(&a, &b) < 1e-9, "case {case}");
     }
 }
 
@@ -80,9 +97,7 @@ fn fft2d_row_of_tones_concentrates() {
         .map(|i| {
             let (r, c) = (i / cols, i % cols);
             Complex64::expi(
-                2.0 * std::f64::consts::PI
-                    * (kr * r) as f64
-                    / rows as f64
+                2.0 * std::f64::consts::PI * (kr * r) as f64 / rows as f64
                     + 2.0 * std::f64::consts::PI * (kc * c) as f64 / cols as f64,
             )
         })
@@ -163,7 +178,11 @@ fn windows_reduce_stft_sidelobes() {
             },
         );
         (0..spec.frames)
-            .map(|f| (100..spec.config.bins()).map(|b| spec.at(f, b)).sum::<f64>())
+            .map(|f| {
+                (100..spec.config.bins())
+                    .map(|b| spec.at(f, b))
+                    .sum::<f64>()
+            })
             .sum()
     };
     let rect = energy_far(Window::Rectangular);
