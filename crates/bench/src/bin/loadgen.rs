@@ -1,0 +1,274 @@
+//! Closed-loop load generator for the `fgserve` serving layer.
+//!
+//! Two phases over the same offered load (same transform size, same number
+//! of closed-loop clients, same worker budget):
+//!
+//! * **cold** — every request plans from scratch: the per-call
+//!   `fft_in_place` path (twiddle derivation, bit-reversal table, schedule
+//!   materialization per request). This is what serving without a plan
+//!   cache costs.
+//! * **warm** — requests go through an [`FftService`]: wisdom-style plan
+//!   cache (one build per size, then hits), same-size batching, bounded
+//!   queue.
+//!
+//! The headline number is `warm_rps / cold_rps`; the JSON also embeds the
+//! service's own stats snapshot so cache hit rate and rejection counts are
+//! auditable.
+//!
+//! Usage: `loadgen [--smoke] [--json PATH] [n_log2=15] [clients=4]
+//!                 [secs=2.0] [workers=N] [batch=8] [dispatchers=2]`
+//!
+//! `--smoke` runs a short self-checking pass (CI); the default full run
+//! writes `results/serve_throughput.json`.
+
+use fgfft::exec::{fft_in_place, ExecConfig, Version};
+use fgfft::Complex64;
+use fgserve::{FftService, Request, ServeConfig, ServeError, ServeStats};
+use fgsupport::json::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn signal(n: usize, phase: f64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.19 + phase).sin(), (i as f64 * 0.03).cos()))
+        .collect()
+}
+
+/// Closed-loop cold phase: each client repeatedly transforms its buffer via
+/// the uncached per-request-planning path. Returns requests completed.
+fn run_cold(n_log2: u32, clients: usize, workers: usize, duration: Duration) -> u64 {
+    let n = 1usize << n_log2;
+    let done = Arc::new(AtomicBool::new(false));
+    let count = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let done = Arc::clone(&done);
+            let count = Arc::clone(&count);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let input = signal(n, c as f64);
+                let cfg = ExecConfig {
+                    workers,
+                    radix_log2: 6,
+                };
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    let mut data = input.clone();
+                    fft_in_place(&mut data, Version::FineGuided, &cfg);
+                    std::hint::black_box(&data);
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(duration);
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("cold client panicked");
+    }
+    count.load(Ordering::Relaxed)
+}
+
+/// Closed-loop warm phase through the service. Returns (requests completed
+/// by the clients, rejections the clients observed, final service stats).
+fn run_warm(
+    n_log2: u32,
+    clients: usize,
+    config: ServeConfig,
+    duration: Duration,
+) -> (u64, u64, ServeStats) {
+    let n = 1usize << n_log2;
+    let service = Arc::new(FftService::start(config));
+    let done = Arc::new(AtomicBool::new(false));
+    let count = Arc::new(AtomicU64::new(0));
+    let rejections = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            let count = Arc::clone(&count);
+            let rejections = Arc::clone(&rejections);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let input = signal(n, c as f64);
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    match service.submit(Request::new(input.clone())) {
+                        Ok(ticket) => {
+                            ticket.wait().expect("admitted requests complete");
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            // Closed-loop clients should never overflow a
+                            // queue sized ≥ the client count; record it.
+                            rejections.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(50));
+                        }
+                        Err(other) => panic!("unexpected serve error: {other}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(duration);
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("warm client panicked");
+    }
+    let service = Arc::into_inner(service).expect("all clients joined");
+    let stats = service.shutdown();
+    (
+        count.load(Ordering::Relaxed),
+        rejections.load(Ordering::Relaxed),
+        stats,
+    )
+}
+
+fn main() {
+    // Tiny hand-rolled CLI: flags plus key=value pairs.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/serve_throughput.json".to_string());
+    let get = |key: &str, default: f64| -> f64 {
+        args.iter()
+            .filter_map(|a| a.strip_prefix(&format!("{key}=")))
+            .next_back()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let host_workers = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(4);
+    let n_log2 = get("n_log2", if smoke { 12.0 } else { 15.0 }) as u32;
+    let clients = get("clients", 4.0) as usize;
+    let secs = get("secs", if smoke { 0.25 } else { 2.0 });
+    let workers = get("workers", (host_workers / 2).max(2) as f64) as usize;
+    let batch = get("batch", 8.0) as usize;
+    let dispatchers = get("dispatchers", 2.0) as usize;
+    let duration = Duration::from_secs_f64(secs);
+
+    eprintln!(
+        "loadgen: n=2^{n_log2}, {clients} closed-loop clients, {secs}s per phase, \
+         {workers} workers, batch≤{batch}, {dispatchers} dispatchers{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Phase A: cold (plan-per-request).
+    let t0 = Instant::now();
+    let cold_requests = run_cold(n_log2, clients, workers, duration);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let cold_rps = cold_requests as f64 / cold_secs;
+    eprintln!("cold : {cold_requests:>8} requests  {cold_rps:>10.1} req/s");
+
+    // Phase B: warm (served, cached, batched). Queue sized so a closed loop
+    // can never legitimately overflow it.
+    let config = ServeConfig {
+        queue_capacity: (2 * clients).max(32),
+        max_batch: batch,
+        workers,
+        dispatchers,
+        version: Version::FineGuided,
+        radix_log2: 6,
+        latency_samples: 1 << 16,
+    };
+    let t0 = Instant::now();
+    let (warm_requests, client_rejections, stats) = run_warm(n_log2, clients, config, duration);
+    let warm_secs = t0.elapsed().as_secs_f64();
+    let warm_rps = warm_requests as f64 / warm_secs;
+    let ratio = warm_rps / cold_rps;
+    eprintln!("warm : {warm_requests:>8} requests  {warm_rps:>10.1} req/s");
+
+    println!("── serve throughput, N = 2^{n_log2} ────────────────────────");
+    println!("cold (plan per request) : {cold_rps:>10.1} req/s");
+    println!("warm (cached, batched)  : {warm_rps:>10.1} req/s");
+    println!("speedup                 : {ratio:>10.2}×");
+    println!(
+        "cache hit rate          : {:>10.4}  (built {} plan{})",
+        stats.planner.hit_rate(),
+        stats.planner.built,
+        if stats.planner.built == 1 { "" } else { "s" }
+    );
+    println!(
+        "latency ms p50/p95/p99  : {:.3} / {:.3} / {:.3}",
+        stats.latency_ms.p50, stats.latency_ms.p95, stats.latency_ms.p99
+    );
+    println!(
+        "batches {} (mean size {:.2}), queue high-water {}, rejected {}",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.queue_high_water,
+        stats.rejected
+    );
+
+    // Sanity: the run is meaningless if these fail, so fail loudly in both
+    // modes (CI runs --smoke).
+    assert!(cold_requests > 0, "cold phase did no work");
+    assert!(warm_requests > 0, "warm phase did no work");
+    assert_eq!(
+        stats.completed, stats.accepted,
+        "shutdown must drain every admitted request"
+    );
+    assert_eq!(
+        stats.rejected, client_rejections,
+        "service-counted rejections must match client-observed"
+    );
+    assert_eq!(
+        stats.rejected, 0,
+        "closed-loop load within queue capacity must see zero rejections"
+    );
+    assert!(
+        stats.planner.built == 1,
+        "one size must build exactly one plan (got {})",
+        stats.planner.built
+    );
+
+    let report = Value::obj(vec![
+        ("id", Value::Str("serve_throughput".into())),
+        (
+            "title",
+            Value::Str("fgserve warm (cached+batched) vs cold (plan per request)".into()),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("n_log2", Value::Num(n_log2 as f64)),
+        ("clients", Value::Num(clients as f64)),
+        ("workers", Value::Num(workers as f64)),
+        ("dispatchers", Value::Num(dispatchers as f64)),
+        ("max_batch", Value::Num(batch as f64)),
+        ("phase_secs", Value::Num(secs)),
+        (
+            "cold",
+            Value::obj(vec![
+                ("requests", Value::Num(cold_requests as f64)),
+                ("rps", Value::Num(cold_rps)),
+            ]),
+        ),
+        (
+            "warm",
+            Value::obj(vec![
+                ("requests", Value::Num(warm_requests as f64)),
+                ("rps", Value::Num(warm_rps)),
+            ]),
+        ),
+        ("warm_over_cold", Value::Num(ratio)),
+        ("serve_stats", stats.to_json()),
+    ]);
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, report.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("json written to {json_path}");
+
+    if !smoke && ratio < 2.0 {
+        eprintln!("WARNING: warm/cold ratio {ratio:.2} below the 2× target");
+    }
+}

@@ -195,6 +195,218 @@ impl<P: CodeletProgram> CodeletProgram for WithoutSharedGroups<P> {
     }
 }
 
+/// A fully materialized (CSR) snapshot of any [`CodeletProgram`].
+///
+/// Implicit programs recompute their arcs by index algebra on every
+/// `dependents` call — cheap once, but a measurable cost when the same graph
+/// is dispatched over and over (a *serving* workload). `CsrProgram`
+/// materializes children, dependence counts, shared groups, and the initial
+/// ready order into flat arrays once, trading memory for a branch-free hot
+/// dispatch path. This is the "codelet-graph metadata" a cached plan holds.
+#[derive(Debug, Clone, Default)]
+pub struct CsrProgram {
+    dep_counts: Vec<u32>,
+    child_offsets: Vec<u32>,
+    child_data: Vec<u32>,
+    groups: Vec<Option<SharedGroup>>,
+    num_groups: usize,
+    member_offsets: Vec<u32>,
+    member_data: Vec<u32>,
+    seeds: Vec<CodeletId>,
+}
+
+impl CsrProgram {
+    /// Materialize `program` into flat arrays. O(V + E) time and space.
+    pub fn materialize<P: CodeletProgram + ?Sized>(program: &P) -> Self {
+        let n = program.num_codelets();
+        let mut dep_counts = Vec::with_capacity(n);
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut child_data = Vec::new();
+        let mut groups = Vec::with_capacity(n);
+        let mut scratch = Vec::new();
+        child_offsets.push(0);
+        for id in 0..n {
+            dep_counts.push(program.dep_count(id));
+            groups.push(program.shared_group(id));
+            scratch.clear();
+            program.dependents(id, &mut scratch);
+            child_data.extend(scratch.iter().map(|&c| c as u32));
+            child_offsets.push(child_data.len() as u32);
+        }
+        let num_groups = program.num_shared_groups();
+        let mut member_offsets = Vec::with_capacity(num_groups + 1);
+        let mut member_data = Vec::new();
+        member_offsets.push(0);
+        for g in 0..num_groups {
+            scratch.clear();
+            program.shared_group_members(g, &mut scratch);
+            member_data.extend(scratch.iter().map(|&c| c as u32));
+            member_offsets.push(member_data.len() as u32);
+        }
+        Self {
+            dep_counts,
+            child_offsets,
+            child_data,
+            groups,
+            num_groups,
+            member_offsets,
+            member_data,
+            seeds: program.initial_ready(),
+        }
+    }
+
+    /// The materialized initial-ready order, borrowed (no clone).
+    pub fn seeds(&self) -> &[CodeletId] {
+        &self.seeds
+    }
+
+    /// Children of `id` as a slice (no per-call recomputation).
+    pub fn children(&self, id: CodeletId) -> &[u32] {
+        let lo = self.child_offsets[id] as usize;
+        let hi = self.child_offsets[id + 1] as usize;
+        &self.child_data[lo..hi]
+    }
+
+    /// Approximate resident size in bytes (for cache accounting).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.dep_counts.len() * 4
+            + self.child_offsets.len() * 4
+            + self.child_data.len() * 4
+            + self.groups.len() * std::mem::size_of::<Option<SharedGroup>>()
+            + self.member_offsets.len() * 4
+            + self.member_data.len() * 4
+            + self.seeds.len() * std::mem::size_of::<CodeletId>()) as u64
+    }
+}
+
+impl CodeletProgram for CsrProgram {
+    fn num_codelets(&self) -> usize {
+        self.dep_counts.len()
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.dep_counts[id]
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        out.extend(self.children(id).iter().map(|&c| c as CodeletId));
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.seeds.clone()
+    }
+
+    fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+        self.groups[id]
+    }
+
+    fn num_shared_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+        let lo = self.member_offsets[group] as usize;
+        let hi = self.member_offsets[group + 1] as usize;
+        out.extend(self.member_data[lo..hi].iter().map(|&c| c as CodeletId));
+    }
+}
+
+/// `copies` disjoint instances of one program, addressed as a single graph —
+/// copy `k` of codelet `c` has id `k · inner_len + c`. A batch of
+/// independent same-shape problems (e.g. same-size FFTs over different
+/// buffers) can then be fired through **one** runtime dispatch, amortizing
+/// worker-scope setup and counter allocation over the whole batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProgram<'a, P: ?Sized> {
+    inner: &'a P,
+    inner_len: usize,
+    inner_groups: usize,
+    copies: usize,
+}
+
+impl<'a, P: CodeletProgram + ?Sized> BatchProgram<'a, P> {
+    /// View `copies` disjoint instances of `inner` as one program.
+    pub fn new(inner: &'a P, copies: usize) -> Self {
+        assert!(copies >= 1, "need at least one copy");
+        Self {
+            inner,
+            inner_len: inner.num_codelets(),
+            inner_groups: inner.num_shared_groups(),
+            copies,
+        }
+    }
+
+    /// Which copy an id belongs to.
+    #[inline]
+    pub fn copy_of(&self, id: CodeletId) -> usize {
+        id / self.inner_len
+    }
+
+    /// The id within its copy.
+    #[inline]
+    pub fn local_id(&self, id: CodeletId) -> CodeletId {
+        id % self.inner_len
+    }
+
+    /// Offset `local` seed ids into every copy, preserving per-copy order.
+    pub fn batched_seeds(&self, local: &[CodeletId]) -> Vec<CodeletId> {
+        let mut out = Vec::with_capacity(local.len() * self.copies);
+        for k in 0..self.copies {
+            let base = k * self.inner_len;
+            out.extend(local.iter().map(|&s| base + s));
+        }
+        out
+    }
+}
+
+impl<P: CodeletProgram + ?Sized> CodeletProgram for BatchProgram<'_, P> {
+    fn num_codelets(&self) -> usize {
+        self.copies * self.inner_len
+    }
+
+    fn dep_count(&self, id: CodeletId) -> u32 {
+        self.inner.dep_count(self.local_id(id))
+    }
+
+    fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+        let base = self.copy_of(id) * self.inner_len;
+        let start = out.len();
+        self.inner.dependents(self.local_id(id), out);
+        for c in &mut out[start..] {
+            *c += base;
+        }
+    }
+
+    fn initial_ready(&self) -> Vec<CodeletId> {
+        self.batched_seeds(&self.inner.initial_ready())
+    }
+
+    fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+        let copy = self.copy_of(id);
+        self.inner
+            .shared_group(self.local_id(id))
+            .map(|g| SharedGroup {
+                group: copy * self.inner_groups + g.group,
+                target: g.target,
+            })
+    }
+
+    fn num_shared_groups(&self) -> usize {
+        self.copies * self.inner_groups
+    }
+
+    fn shared_group_members(&self, group: usize, out: &mut Vec<CodeletId>) {
+        let copy = group / self.inner_groups;
+        let base = copy * self.inner_len;
+        let start = out.len();
+        self.inner
+            .shared_group_members(group % self.inner_groups, out);
+        for c in &mut out[start..] {
+            *c += base;
+        }
+    }
+}
+
 /// Sequential reference executor: fires codelets in dataflow order, one at a
 /// time, using a caller-supplied tie-break (`pop` from the end = LIFO).
 /// Returns the firing order. This is the semantic yardstick the parallel
@@ -376,5 +588,115 @@ mod tests {
         assert!(g.is_empty());
         let order = execute_sequential(&g, |_| {});
         assert!(order.is_empty());
+    }
+
+    /// A small program with shared groups, for materialization tests.
+    struct GroupedProg;
+    impl CodeletProgram for GroupedProg {
+        fn num_codelets(&self) -> usize {
+            6
+        }
+        fn dep_count(&self, id: CodeletId) -> u32 {
+            if id < 2 {
+                0
+            } else {
+                2
+            }
+        }
+        fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
+            if id < 2 {
+                out.extend(2..6);
+            }
+        }
+        fn initial_ready(&self) -> Vec<CodeletId> {
+            vec![1, 0]
+        }
+        fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
+            (id >= 2).then(|| SharedGroup {
+                group: (id - 2) / 2,
+                target: 2,
+            })
+        }
+        fn num_shared_groups(&self) -> usize {
+            2
+        }
+        fn shared_group_members(&self, g: usize, out: &mut Vec<CodeletId>) {
+            out.extend([2 + 2 * g, 3 + 2 * g]);
+        }
+    }
+
+    #[test]
+    fn csr_matches_source_program() {
+        let csr = CsrProgram::materialize(&GroupedProg);
+        assert_eq!(csr.num_codelets(), 6);
+        assert_eq!(csr.initial_ready(), vec![1, 0]);
+        assert!(csr.resident_bytes() > 0);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for id in 0..6 {
+            assert_eq!(csr.dep_count(id), GroupedProg.dep_count(id));
+            assert_eq!(csr.shared_group(id), GroupedProg.shared_group(id));
+            a.clear();
+            b.clear();
+            csr.dependents(id, &mut a);
+            GroupedProg.dependents(id, &mut b);
+            assert_eq!(a, b, "children of {id}");
+        }
+        assert_eq!(csr.num_shared_groups(), 2);
+        for g in 0..2 {
+            a.clear();
+            b.clear();
+            csr.shared_group_members(g, &mut a);
+            GroupedProg.shared_group_members(g, &mut b);
+            assert_eq!(a, b, "members of group {g}");
+        }
+        let order = execute_sequential(&csr, |_| {});
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn csr_of_explicit_graph_fires_identically() {
+        let mut g = ExplicitGraph::new(5);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(2, 4);
+        let csr = CsrProgram::materialize(&g);
+        assert_eq!(
+            execute_sequential(&csr, |_| {}),
+            execute_sequential(&g, |_| {})
+        );
+    }
+
+    #[test]
+    fn batch_program_offsets_everything() {
+        let b = BatchProgram::new(&GroupedProg, 3);
+        assert_eq!(b.num_codelets(), 18);
+        assert_eq!(b.num_shared_groups(), 6);
+        assert_eq!(b.copy_of(13), 2);
+        assert_eq!(b.local_id(13), 1);
+        // Copy 1's sources feed copy 1's sinks only.
+        let mut kids = Vec::new();
+        b.dependents(6, &mut kids);
+        assert_eq!(kids, vec![8, 9, 10, 11]);
+        // Shared groups stay within their copy.
+        let g = b.shared_group(6 + 3).expect("grouped codelet");
+        assert_eq!(g.group, 2);
+        let mut members = Vec::new();
+        b.shared_group_members(g.group, &mut members);
+        assert_eq!(members, vec![8, 9]);
+        // Seeds replicate per copy in order.
+        assert_eq!(b.initial_ready(), vec![1, 0, 7, 6, 13, 12]);
+        // The whole batch executes: every copy's codelets fire once.
+        let order = execute_sequential(&b, |_| {});
+        assert_eq!(order.len(), 18);
+    }
+
+    #[test]
+    fn batch_of_one_is_the_inner_program() {
+        let b = BatchProgram::new(&GroupedProg, 1);
+        assert_eq!(b.num_codelets(), 6);
+        assert_eq!(b.initial_ready(), GroupedProg.initial_ready());
+        assert_eq!(execute_sequential(&b, |_| {}).len(), 6);
     }
 }

@@ -77,7 +77,7 @@ pub mod trace;
 pub mod verify;
 
 pub use counter::{DepCounters, SharedCounters, SyncSlot};
-pub use graph::{CodeletId, CodeletProgram};
+pub use graph::{BatchProgram, CodeletId, CodeletProgram, CsrProgram};
 pub use pool::{PoolDiscipline, ReadyPool};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use trace::{Span, SpanRecorder, Trace};

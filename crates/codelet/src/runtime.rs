@@ -64,6 +64,13 @@ impl Runtime {
         Self { config }
     }
 
+    /// Runtime with an explicit worker count (min 1) — shorthand for
+    /// long-lived holders (services) that reuse one runtime across many
+    /// dispatches.
+    pub fn with_workers(workers: usize) -> Self {
+        Self::new(RuntimeConfig::with_workers(workers))
+    }
+
     /// Number of workers this runtime uses.
     pub fn workers(&self) -> usize {
         self.config.workers

@@ -2,10 +2,19 @@
 //! FFT-based convolution, built on the codelet executors.
 
 use crate::complex::Complex64;
-use crate::exec::{fft_in_place, ExecConfig, ExecStats, Version};
+use crate::exec::{ExecConfig, ExecStats, Version};
+use crate::planner::{PlanKey, Planner};
+use codelet::runtime::Runtime;
+use std::sync::Arc;
 
 /// A configured FFT engine. Cheap to construct and reusable across calls of
 /// the same or different sizes.
+///
+/// Repeated transforms of one size reuse a cached [`crate::Plan`] — twiddle
+/// table, bit-reversal swaps, materialized schedule — through a shared
+/// [`Planner`]: only the first call of each `(size, version, layout)` pays
+/// the derivation. By default every engine shares the process-wide
+/// [`Planner::shared`] cache; [`Fft::with_planner`] isolates one.
 ///
 /// ```
 /// use fgfft::{Fft, Complex64};
@@ -21,6 +30,7 @@ use crate::exec::{fft_in_place, ExecConfig, ExecStats, Version};
 pub struct Fft {
     version: Version,
     config: ExecConfig,
+    planner: Arc<Planner>,
 }
 
 impl Default for Fft {
@@ -36,6 +46,7 @@ impl Fft {
         Self {
             version: Version::FineGuided,
             config: ExecConfig::default(),
+            planner: Planner::shared(),
         }
     }
 
@@ -57,14 +68,34 @@ impl Fft {
         self
     }
 
+    /// Use a specific plan cache instead of the process-wide shared one —
+    /// for isolation (tests, metrics) or bounded-lifetime caches.
+    pub fn with_planner(mut self, planner: Arc<Planner>) -> Self {
+        self.planner = planner;
+        self
+    }
+
     /// The algorithm version in force.
     pub fn version(&self) -> Version {
         self.version
     }
 
+    /// The plan cache this engine resolves against.
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.planner
+    }
+
     /// In-place forward transform. Length must be a power of two ≥ 2.
     pub fn forward(&self, data: &mut [Complex64]) -> ExecStats {
-        fft_in_place(data, self.version, &self.config)
+        let key = PlanKey::with_radix(
+            data.len(),
+            self.version,
+            self.version.layout(),
+            self.config.radix_log2,
+        );
+        self.planner
+            .plan_key(key)
+            .execute(data, &Runtime::with_workers(self.config.workers))
     }
 
     /// In-place inverse transform (normalized by 1/N), via the conjugation
@@ -191,6 +222,26 @@ mod tests {
         let mut data = x;
         engine.forward(&mut data);
         assert!(rms_error(&data, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn repeated_forwards_reuse_one_plan() {
+        let planner = Arc::new(Planner::new());
+        let engine = Fft::new()
+            .with_workers(2)
+            .with_planner(Arc::clone(&planner));
+        let mut a = signal(1 << 9);
+        let mut b = a.clone();
+        engine.forward(&mut a);
+        engine.forward(&mut b);
+        assert_eq!(a, b, "cached second call must be bit-identical");
+        let stats = planner.stats();
+        assert_eq!(stats.built, 1, "twiddles derived once, not per call");
+        assert_eq!(stats.hits, 1);
+        // A different size is a different plan.
+        let mut c = signal(1 << 10);
+        engine.forward(&mut c);
+        assert_eq!(planner.stats().built, 2);
     }
 
     #[test]

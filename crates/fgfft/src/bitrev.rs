@@ -75,6 +75,64 @@ pub fn bit_reverse_permute_parallel(data: &mut [Complex64], workers: usize) {
     });
 }
 
+/// Precompute the transposition list of the bit-reversal permutation of a
+/// power-of-two length `n`: every pair `(i, rev(i))` with `i < rev(i)`,
+/// in ascending `i`. Applying the swaps (in any order — they are disjoint)
+/// performs the permutation without recomputing `rev` per element, which is
+/// what a cached execution plan stores.
+pub fn bit_reverse_swaps(n: usize) -> Vec<(u32, u32)> {
+    if n <= 2 {
+        return Vec::new();
+    }
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    assert!(n <= u32::MAX as usize + 1, "swap table indexes with u32");
+    let bits = n.trailing_zeros();
+    let mut swaps = Vec::with_capacity(n / 2);
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if i < j {
+            swaps.push((i as u32, j as u32));
+        }
+    }
+    swaps
+}
+
+/// Apply a precomputed transposition list serially.
+pub fn apply_swaps<T>(data: &mut [T], swaps: &[(u32, u32)]) {
+    for &(i, j) in swaps {
+        data.swap(i as usize, j as usize);
+    }
+}
+
+/// Apply a precomputed transposition list with `workers` threads. Sound for
+/// any list of pairwise-disjoint transpositions (which
+/// [`bit_reverse_swaps`] produces): partitioning the *list* partitions the
+/// touched elements, so no two workers access the same element.
+pub fn apply_swaps_parallel(data: &mut [Complex64], swaps: &[(u32, u32)], workers: usize) {
+    if workers <= 1 || swaps.len() < 1024 {
+        apply_swaps(data, swaps);
+        return;
+    }
+    let workers = workers.min(swaps.len());
+    let chunk = swaps.len().div_ceil(workers);
+    let shared = SharedComplexSlice::new(data);
+    thread::scope(|scope| {
+        for part in swaps.chunks(chunk) {
+            let shared = &shared;
+            scope.spawn(move || {
+                for &(i, j) in part {
+                    // SAFETY: transpositions are pairwise disjoint and the
+                    // list is partitioned across workers, so this worker has
+                    // exclusive access to elements i and j.
+                    unsafe {
+                        std::ptr::swap(shared.get(i as usize), shared.get(j as usize));
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Minimal shared-mutable slice used by the parallel permutation. The
 /// invariant (each index touched by exactly one worker) is established by
 /// the caller.
@@ -169,6 +227,35 @@ mod tests {
     fn permute_rejects_non_power_of_two() {
         let mut v = vec![0u8; 12];
         bit_reverse_permute(&mut v);
+    }
+
+    #[test]
+    fn swap_table_reproduces_permutation() {
+        for log_n in [1u32, 2, 5, 11] {
+            let n = 1usize << log_n;
+            let swaps = bit_reverse_swaps(n);
+            let mut via_swaps: Vec<u32> = (0..n as u32).collect();
+            apply_swaps(&mut via_swaps, &swaps);
+            let mut direct: Vec<u32> = (0..n as u32).collect();
+            bit_reverse_permute(&mut direct);
+            assert_eq!(via_swaps, direct, "log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn parallel_swap_application_matches_serial() {
+        let n = 1usize << 13;
+        let swaps = bit_reverse_swaps(n);
+        let reference: Vec<Complex64> = {
+            let mut v: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+            apply_swaps(&mut v, &swaps);
+            v
+        };
+        for workers in [1, 2, 5, 8] {
+            let mut v: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+            apply_swaps_parallel(&mut v, &swaps, workers);
+            assert_eq!(v, reference, "workers={workers}");
+        }
     }
 
     #[test]

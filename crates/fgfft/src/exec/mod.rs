@@ -17,21 +17,17 @@
 
 pub mod shared;
 
-use crate::bitrev::bit_reverse_permute_parallel;
 use crate::complex::Complex64;
-use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
-use crate::plan::FftPlan;
-use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use codelet::pool::PoolDiscipline;
-use codelet::runtime::{Runtime, RuntimeConfig};
+use crate::planner::{Plan, PlanKey};
+use crate::twiddle::TwiddleLayout;
+use codelet::runtime::Runtime;
 use codelet::stats::RunStats;
-use shared::{execute_codelet_shared, SharedData};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Initial ordering of the ready codelets in the pool. The paper observes
 /// ("fine worst" vs "fine best") that this order alone swings performance;
 /// these generators cover the orders the harness sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeedOrder {
     /// Ids ascending — with a LIFO pool, execution starts from the *last*
     /// codelet.
@@ -74,7 +70,7 @@ impl SeedOrder {
 }
 
 /// The algorithm versions of the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Version {
     /// Coarse-grain synchronization: a barrier after every stage.
     Coarse,
@@ -167,84 +163,15 @@ pub struct ExecStats {
 
 /// Compute the in-place forward FFT of `data` (length must be a power of
 /// two ≥ 2) with the chosen algorithm version.
+///
+/// This is the *uncached* path: the full [`Plan`] (twiddles, bit-reversal
+/// swaps, materialized schedule) is derived per call and dropped afterwards.
+/// Callers transforming the same size repeatedly should hold a
+/// [`crate::planner::Planner`] (or a [`crate::Fft`] engine, which embeds one)
+/// and amortize that derivation.
 pub fn fft_in_place(data: &mut [Complex64], version: Version, config: &ExecConfig) -> ExecStats {
-    let n = data.len();
-    assert!(
-        n >= 2 && n.is_power_of_two(),
-        "length must be a power of two ≥ 2"
-    );
-    let n_log2 = n.trailing_zeros();
-    let plan = FftPlan::new(n_log2, config.radix_log2.min(n_log2));
-    let twiddles = TwiddleTable::new(n_log2, version.layout());
-    let runtime = Runtime::new(RuntimeConfig::with_workers(config.workers));
-
-    let start = Instant::now();
-    bit_reverse_permute_parallel(data, config.workers);
-
-    let view = SharedData::new(data);
-    // SAFETY: `run_codelet` is invoked by executors that uphold the
-    // dataflow discipline documented in `exec::shared`.
-    let body = |id: usize| unsafe {
-        execute_codelet_shared(&plan, &twiddles, &view, plan.stage_of(id), plan.idx_of(id));
-    };
-
-    let mut stats = ExecStats::default();
-    match version {
-        Version::Coarse | Version::CoarseHash => {
-            let cps = plan.codelets_per_stage();
-            let phases: Vec<Vec<usize>> = (0..plan.stages())
-                .map(|s| (s * cps..(s + 1) * cps).collect())
-                .collect();
-            let rs = runtime.run_phased(&phases, body);
-            stats.barriers = rs.barriers;
-            stats.codelets = rs.total_fired;
-            stats.phases.push(rs);
-        }
-        Version::Fine(order) | Version::FineHash(order) => {
-            let graph = FftGraph::new(plan);
-            let seeds = order.order(plan.codelets_per_stage());
-            let rs = runtime.run_with_seed_order(&graph, PoolDiscipline::Lifo, &seeds, body);
-            stats.codelets = rs.total_fired;
-            stats.phases.push(rs);
-        }
-        Version::FineGuided => {
-            if plan.stages() < 3 {
-                // Too few stages to split: degrade to plain fine-grain, as
-                // the paper's algorithm requires at least 3 stages.
-                let graph = FftGraph::new(plan);
-                let seeds = graph.stage0_ids();
-                let rs = runtime.run_with_seed_order(&graph, PoolDiscipline::Lifo, &seeds, body);
-                stats.codelets = rs.total_fired;
-                stats.phases.push(rs);
-            } else {
-                let last_early = plan.stages() - 3;
-                let early = GuidedEarlyGraph::new(plan, last_early);
-                let rs1 = runtime.run_partial(
-                    &early,
-                    PoolDiscipline::Lifo,
-                    &early.seeds(),
-                    early.expected(),
-                    body,
-                );
-                // The join of the early phase's worker scope is the barrier.
-                let late = GuidedLateGraph::new(plan, plan.stages() - 2);
-                let rs2 = runtime.run_partial(
-                    &late,
-                    PoolDiscipline::Lifo,
-                    &late.seeds(),
-                    late.expected(),
-                    body,
-                );
-                stats.barriers = 1;
-                stats.codelets = rs1.total_fired + rs2.total_fired;
-                stats.phases.push(rs1);
-                stats.phases.push(rs2);
-            }
-        }
-    }
-    stats.elapsed = start.elapsed();
-    debug_assert_eq!(stats.codelets, plan.total_codelets() as u64);
-    stats
+    let key = PlanKey::with_radix(data.len(), version, version.layout(), config.radix_log2);
+    Plan::build(key).execute(data, &Runtime::with_workers(config.workers))
 }
 
 #[cfg(test)]

@@ -109,6 +109,47 @@ pub unsafe fn execute_codelet_shared(
     });
 }
 
+/// Execute one codelet from *precomputed* plan tables: gather through a flat
+/// element-index slice, replay the stage's butterfly pattern against a
+/// per-codelet twiddle run, scatter back. Bitwise-identical to
+/// [`execute_codelet_shared`], but with zero per-call index algebra — the
+/// tables are materialized once at plan-build time (see
+/// [`crate::planner::Plan`]).
+///
+/// `gather` holds the codelet's element indices by buffer slot; `pairs` the
+/// stage's local `(lo, hi)` butterfly pattern in execution order; `twiddles`
+/// one factor per butterfly in the same order (`pairs.len() ==
+/// twiddles.len()`).
+///
+/// # Safety
+/// Same contract as [`execute_codelet_shared`]: the caller upholds the
+/// dataflow discipline for the elements listed in `gather`, and every index
+/// in `gather` is within `data`.
+pub unsafe fn execute_codelet_tabled(
+    gather: &[u32],
+    pairs: &[(u32, u32)],
+    twiddles: &[Complex64],
+    data: &SharedData<'_>,
+) {
+    debug_assert_eq!(pairs.len(), twiddles.len());
+    debug_assert!(gather.len() <= 1 << MAX_RADIX_LOG2);
+    let mut buf = [Complex64::ZERO; 1 << MAX_RADIX_LOG2];
+    for (slot, &e) in gather.iter().enumerate() {
+        // SAFETY: per the function contract, this codelet has exclusive
+        // access to its elements.
+        buf[slot] = unsafe { data.read(e as usize) };
+    }
+    for (&(lo, hi), &w) in pairs.iter().zip(twiddles) {
+        let (a, c) = kernel::butterfly(buf[lo as usize], buf[hi as usize], w);
+        buf[lo as usize] = a;
+        buf[hi as usize] = c;
+    }
+    for (slot, &e) in gather.iter().enumerate() {
+        // SAFETY: as above.
+        unsafe { data.write(e as usize, buf[slot]) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,65 @@ pub(crate) fn compute_in_buffer(
     }
 }
 
+/// The local butterfly pattern of one stage: `(lo, hi)` buffer-index pairs
+/// in execution order. The pattern depends only on the stage — every codelet
+/// of the stage applies the same pairs to its gathered buffer — while the
+/// twiddle factors differ per codelet (see [`append_twiddle_run`]). Plans
+/// materialize both so the hot path replays flat arrays instead of redoing
+/// this index algebra per call.
+pub(crate) fn butterfly_pairs(plan: &FftPlan, stage: usize) -> Vec<(u32, u32)> {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let groups = 1usize << (p - q);
+    let group_size = 1usize << q;
+    let mut pairs = Vec::with_capacity((q as usize) << (p - 1));
+    for ll in 0..q {
+        let ll_mask = (1usize << ll) - 1;
+        for g_rel in 0..groups {
+            let base = g_rel * group_size;
+            for b in 0..group_size / 2 {
+                let x_lo = ((b >> ll) << (ll + 1)) | (b & ll_mask);
+                let lo = base + x_lo;
+                pairs.push((lo as u32, (lo + (1 << ll)) as u32));
+            }
+        }
+    }
+    pairs
+}
+
+/// Append the twiddle factors codelet `(stage, idx)` consumes — one per
+/// butterfly, in [`butterfly_pairs`] order — to `out`. The values are
+/// bitwise the ones [`compute_in_buffer`] would load, so replaying them
+/// against the pair pattern reproduces its arithmetic exactly.
+pub(crate) fn append_twiddle_run(
+    plan: &FftPlan,
+    twiddles: &TwiddleTable,
+    stage: usize,
+    idx: usize,
+    out: &mut Vec<Complex64>,
+) {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let pj = p * stage as u32;
+    let n_log2 = plan.n_log2();
+    let groups = 1usize << (p - q);
+    let group_size = 1usize << q;
+    let first_group = idx << (p - q);
+    for ll in 0..q {
+        let l = pj + ll;
+        let shift = n_log2 - l - 1;
+        let ll_mask = (1usize << ll) - 1;
+        for g_rel in 0..groups {
+            let g = first_group + g_rel;
+            let g_low = g & low_mask(pj);
+            for b in 0..group_size / 2 {
+                let o = ((b & ll_mask) << pj) + g_low;
+                out.push(twiddles.get(o << shift));
+            }
+        }
+    }
+}
+
 /// Count the twiddle-factor loads one codelet performs (distinct logical
 /// indices, each loaded once): `P − 1` for a full stage, matching the
 /// paper's "63 twiddle factors" for 64-point codelets.
@@ -251,6 +310,40 @@ mod tests {
                     count += 1;
                 });
                 assert_eq!(count, twiddle_loads(&plan, stage), "stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn tabled_replay_is_bitwise_identical_to_compute_in_buffer() {
+        for (n_log2, p_log2) in [(13u32, 6u32), (12, 6), (9, 3), (3, 2)] {
+            let plan = FftPlan::new(n_log2, p_log2);
+            for layout in [TwiddleLayout::Linear, TwiddleLayout::BitReversedHash] {
+                let tw = TwiddleTable::new(n_log2, layout);
+                for stage in 0..plan.stages() {
+                    let pairs = butterfly_pairs(&plan, stage);
+                    for idx in [0, plan.codelets_per_stage() - 1] {
+                        let mut run = Vec::new();
+                        append_twiddle_run(&plan, &tw, stage, idx, &mut run);
+                        assert_eq!(run.len(), pairs.len(), "one twiddle per butterfly");
+                        let mut direct = [Complex64::ZERO; BUF];
+                        for (s, v) in direct.iter_mut().enumerate() {
+                            *v = Complex64::new(s as f64 * 0.3 - 1.0, (s as f64 * 0.7).cos());
+                        }
+                        let mut replay = direct;
+                        compute_in_buffer(&plan, &tw, &mut direct, stage, idx);
+                        for (&(lo, hi), &w) in pairs.iter().zip(&run) {
+                            let (a, c) = butterfly(replay[lo as usize], replay[hi as usize], w);
+                            replay[lo as usize] = a;
+                            replay[hi as usize] = c;
+                        }
+                        assert_eq!(
+                            direct.to_vec(),
+                            replay.to_vec(),
+                            "stage {stage} idx {idx} {layout:?}"
+                        );
+                    }
+                }
             }
         }
     }

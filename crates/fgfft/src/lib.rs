@@ -19,6 +19,9 @@
 //!   guided algorithm's early/late slices).
 //! * [`exec`] — host-parallel executors for all five algorithm versions of
 //!   the paper's Table I.
+//! * [`planner`] — reusable execution plans ([`Plan`]: twiddles, bit-reversal
+//!   swaps, materialized codelet schedule) and the wisdom-style single-flight
+//!   plan cache ([`Planner`]) that the `fgserve` serving layer builds on.
 //! * [`simwork`] — the same codelets as byte-addressed DRAM traffic for the
 //!   `c64sim` Cyclops-64 simulator: this is where the paper's bank-level
 //!   results are reproduced.
@@ -53,6 +56,7 @@ pub mod graph;
 pub mod kernel;
 pub mod model;
 pub mod plan;
+pub mod planner;
 pub mod reference;
 pub mod rfft;
 pub mod simwork;
@@ -67,6 +71,7 @@ pub use complex::{rms_error, Complex64};
 pub use exec::{fft_in_place, ExecConfig, ExecStats, SeedOrder, Version};
 pub use fft2d::Fft2d;
 pub use plan::FftPlan;
+pub use planner::{Plan, PlanKey, Planner, PlannerStats};
 pub use rfft::{irfft, rfft};
 pub use simwork::{
     run_sim, run_sim_fine, run_sim_guided, FftWorkload, GuidedOptions, Residence, SimVersion,

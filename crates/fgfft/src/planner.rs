@@ -1,0 +1,808 @@
+//! Reusable execution plans and the wisdom-style plan cache.
+//!
+//! [`crate::exec::fft_in_place`] derives everything a transform needs —
+//! twiddle table, bit-reversal permutation, codelet-graph schedule — on
+//! every call. That is the right shape for a one-shot API and the wrong
+//! shape for a service: under sustained traffic the same `(N, version,
+//! layout)` triple recurs millions of times. This module splits the two
+//! concerns:
+//!
+//! * [`Plan`] — everything derivable from a [`PlanKey`], computed once:
+//!   the twiddle table, the bit-reversal transposition list, the
+//!   codelet-graph schedule **materialized** into flat CSR arrays
+//!   ([`codelet::CsrProgram`]), and per-stage execution tables (gather
+//!   indices, butterfly pair pattern, per-codelet twiddle runs) so the hot
+//!   path streams flat arrays instead of redoing index algebra and twiddle
+//!   lookups per call. `Plan::execute` runs one transform;
+//!   `Plan::execute_batch` runs many same-plan transforms through a single
+//!   runtime dispatch ([`codelet::BatchProgram`]).
+//! * [`Planner`] — a sharded, single-flight cache of `Arc<Plan>` keyed by
+//!   [`PlanKey`] (FFTW calls the same idea *wisdom*). Concurrent requests
+//!   for one key build the plan exactly once: the first thread computes
+//!   while the others block on the slot and share the result.
+//!
+//! Execution through a plan is bit-identical to the uncached path: the
+//! codelet DAG fixes the arithmetic, and the plan merely caches the DAG.
+
+use crate::bitrev::{apply_swaps_parallel, bit_reverse_swaps};
+use crate::complex::Complex64;
+use crate::exec::shared::{execute_codelet_tabled, SharedData};
+use crate::exec::{ExecStats, Version};
+use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
+use crate::kernel;
+use crate::plan::{FftPlan, MAX_RADIX_LOG2};
+use crate::twiddle::{TwiddleLayout, TwiddleTable};
+use codelet::graph::{BatchProgram, CodeletId, CsrProgram};
+use codelet::pool::PoolDiscipline;
+use codelet::runtime::Runtime;
+use fgsupport::sync::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Identity of a cacheable plan. Two requests with equal keys are served by
+/// the same [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Transform size exponent (`N = 2^n_log2`).
+    pub n_log2: u32,
+    /// Codelet radix exponent, clamped to the transform size.
+    pub radix_log2: u32,
+    /// Scheduling algorithm.
+    pub version: Version,
+    /// Twiddle-table memory layout.
+    pub layout: TwiddleLayout,
+}
+
+impl PlanKey {
+    /// Key for an `n`-point transform (`n` a power of two ≥ 2) with the
+    /// default 64-point codelets.
+    pub fn new(n: usize, version: Version, layout: TwiddleLayout) -> Self {
+        Self::with_radix(n, version, layout, 6)
+    }
+
+    /// Key with an explicit codelet radix exponent (1..=7). The radix is
+    /// clamped to the transform size so equivalent configurations share one
+    /// cache entry.
+    pub fn with_radix(n: usize, version: Version, layout: TwiddleLayout, radix_log2: u32) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "length must be a power of two ≥ 2"
+        );
+        assert!(
+            (1..=MAX_RADIX_LOG2).contains(&radix_log2),
+            "radix_log2 must be in 1..={MAX_RADIX_LOG2}"
+        );
+        let n_log2 = n.trailing_zeros();
+        Self {
+            n_log2,
+            radix_log2: radix_log2.min(n_log2),
+            version,
+            layout,
+        }
+    }
+
+    /// Transform size `N`.
+    pub fn n(&self) -> usize {
+        1 << self.n_log2
+    }
+}
+
+/// The version-specific precomputed schedule of a plan.
+#[derive(Debug)]
+enum Schedule {
+    /// Coarse-grain: the per-stage codelet-id lists fed to barrier phases.
+    Phased(Vec<Vec<CodeletId>>),
+    /// Fine-grain dataflow: the materialized graph and the seed order.
+    Fine {
+        graph: CsrProgram,
+        seeds: Vec<CodeletId>,
+    },
+    /// Guided: early slice, barrier, late slice (each materialized).
+    Guided {
+        early: CsrProgram,
+        early_expected: usize,
+        late: CsrProgram,
+        late_expected: usize,
+    },
+}
+
+/// Per-stage execution tables, FFTW-style: everything a codelet's inner loop
+/// would otherwise rederive per call, flattened into arrays the hot path
+/// streams through sequentially.
+#[derive(Debug)]
+struct StageTable {
+    /// Element indices, codelet-major: entry `idx · radix + slot` is the
+    /// global index of buffer slot `slot` of codelet `idx`.
+    gather: Vec<u32>,
+    /// The stage's local `(lo, hi)` butterfly pattern (shared by every
+    /// codelet of the stage), in execution order.
+    pairs: Vec<(u32, u32)>,
+    /// Twiddle factors, codelet-major: one per butterfly, `pairs.len()`
+    /// values per codelet, in pattern order. Looked up (and, for hashed
+    /// layouts, hashed) once at build time.
+    twiddles: Vec<Complex64>,
+}
+
+impl StageTable {
+    fn build(fft: &FftPlan, twiddles: &TwiddleTable, stage: usize) -> Self {
+        let cps = fft.codelets_per_stage();
+        let radix = 1usize << fft.radix_log2();
+        let mut gather = vec![0u32; cps * radix];
+        for idx in 0..cps {
+            fft.for_each_element(stage, idx, |slot, e| gather[idx * radix + slot] = e as u32);
+        }
+        let pairs = kernel::butterfly_pairs(fft, stage);
+        let mut tw = Vec::with_capacity(cps * pairs.len());
+        for idx in 0..cps {
+            kernel::append_twiddle_run(fft, twiddles, stage, idx, &mut tw);
+        }
+        Self {
+            gather,
+            pairs,
+            twiddles: tw,
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        (self.gather.len() * std::mem::size_of::<u32>()
+            + self.pairs.len() * std::mem::size_of::<(u32, u32)>()
+            + self.twiddles.len() * std::mem::size_of::<Complex64>()) as u64
+    }
+}
+
+/// A fully precomputed, immutable, shareable FFT execution plan.
+///
+/// Construction ([`Plan::build`]) does all per-size derivation work;
+/// [`Plan::execute`] only moves data. Plans are `Sync` and meant to live in
+/// an `Arc` inside a [`Planner`] cache, shared by every thread transforming
+/// that size.
+#[derive(Debug)]
+pub struct Plan {
+    key: PlanKey,
+    fft: FftPlan,
+    twiddles: TwiddleTable,
+    bitrev_swaps: Vec<(u32, u32)>,
+    schedule: Schedule,
+    tables: Vec<StageTable>,
+}
+
+impl Plan {
+    /// Derive the complete plan for `key`. This is the *cold path* a cache
+    /// miss pays once — and the per-call path `fft_in_place` pays always.
+    pub fn build(key: PlanKey) -> Self {
+        let fft = FftPlan::new(key.n_log2, key.radix_log2);
+        let twiddles = TwiddleTable::new(key.n_log2, key.layout);
+        let bitrev_swaps = bit_reverse_swaps(key.n());
+        let cps = fft.codelets_per_stage();
+        let schedule = match key.version {
+            Version::Coarse | Version::CoarseHash => Schedule::Phased(
+                (0..fft.stages())
+                    .map(|s| (s * cps..(s + 1) * cps).collect())
+                    .collect(),
+            ),
+            Version::Fine(order) | Version::FineHash(order) => Schedule::Fine {
+                graph: CsrProgram::materialize(&FftGraph::new(fft)),
+                seeds: order.order(cps),
+            },
+            Version::FineGuided => {
+                if fft.stages() < 3 {
+                    // Too few stages to split (see `exec::fft_in_place`):
+                    // degrade to plain fine-grain.
+                    let g = FftGraph::new(fft);
+                    let seeds = g.stage0_ids();
+                    Schedule::Fine {
+                        graph: CsrProgram::materialize(&g),
+                        seeds,
+                    }
+                } else {
+                    let early_src = GuidedEarlyGraph::new(fft, fft.stages() - 3);
+                    let late_src = GuidedLateGraph::new(fft, fft.stages() - 2);
+                    Schedule::Guided {
+                        early_expected: early_src.expected(),
+                        early: CsrProgram::materialize(&early_src),
+                        late_expected: late_src.expected(),
+                        late: CsrProgram::materialize(&late_src),
+                    }
+                }
+            }
+        };
+        let tables = (0..fft.stages())
+            .map(|stage| StageTable::build(&fft, &twiddles, stage))
+            .collect();
+        Self {
+            key,
+            fft,
+            twiddles,
+            bitrev_swaps,
+            schedule,
+            tables,
+        }
+    }
+
+    /// Run one codelet of one copy through the precomputed stage tables.
+    ///
+    /// # Safety
+    /// The caller upholds the dataflow discipline documented in
+    /// [`crate::exec::shared`] for codelet `local` over `view`.
+    #[inline]
+    unsafe fn run_codelet(&self, view: &SharedData<'_>, local: usize) {
+        let stage = self.fft.stage_of(local);
+        let idx = self.fft.idx_of(local);
+        let table = &self.tables[stage];
+        let radix = 1usize << self.fft.radix_log2();
+        let run = table.pairs.len();
+        // SAFETY: forwarded from the caller's contract; the table slices are
+        // in bounds by construction (codelet-major layout).
+        unsafe {
+            execute_codelet_tabled(
+                &table.gather[idx * radix..(idx + 1) * radix],
+                &table.pairs,
+                &table.twiddles[idx * run..(idx + 1) * run],
+                view,
+            );
+        }
+    }
+
+    /// The identity this plan was built for.
+    pub fn key(&self) -> PlanKey {
+        self.key
+    }
+
+    /// Transform size `N`.
+    pub fn n(&self) -> usize {
+        self.key.n()
+    }
+
+    /// The stage/codelet index algebra.
+    pub fn fft_plan(&self) -> &FftPlan {
+        &self.fft
+    }
+
+    /// The precomputed twiddle table.
+    pub fn twiddles(&self) -> &TwiddleTable {
+        &self.twiddles
+    }
+
+    /// Approximate bytes this plan keeps resident (twiddles, swap table,
+    /// materialized schedule) — what a cache eviction would reclaim.
+    pub fn resident_bytes(&self) -> u64 {
+        let schedule = match &self.schedule {
+            Schedule::Phased(phases) => phases
+                .iter()
+                .map(|p| (p.len() * std::mem::size_of::<CodeletId>()) as u64)
+                .sum(),
+            Schedule::Fine { graph, seeds } => {
+                graph.resident_bytes() + (seeds.len() * std::mem::size_of::<CodeletId>()) as u64
+            }
+            Schedule::Guided { early, late, .. } => early.resident_bytes() + late.resident_bytes(),
+        };
+        let tables: u64 = self.tables.iter().map(StageTable::bytes).sum();
+        self.twiddles.bytes() + (self.bitrev_swaps.len() * 8) as u64 + schedule + tables
+    }
+
+    /// In-place forward transform of one buffer (`data.len()` must equal
+    /// [`Plan::n`]) on `runtime`. Bit-identical to
+    /// [`crate::exec::fft_in_place`] with the same key.
+    pub fn execute(&self, data: &mut [Complex64], runtime: &Runtime) -> ExecStats {
+        assert_eq!(data.len(), self.n(), "buffer length must match the plan");
+        let start = Instant::now();
+        apply_swaps_parallel(data, &self.bitrev_swaps, runtime.workers());
+        let view = SharedData::new(data);
+        // SAFETY: every schedule below upholds the dataflow discipline
+        // documented in `exec::shared`.
+        let body = |id: usize| unsafe { self.run_codelet(&view, id) };
+        let mut stats = self.dispatch(runtime, body);
+        stats.elapsed = start.elapsed();
+        debug_assert_eq!(stats.codelets, self.fft.total_codelets() as u64);
+        stats
+    }
+
+    /// In-place forward transform of a whole **batch** of same-plan buffers
+    /// through one runtime dispatch per schedule phase: worker-scope setup
+    /// and dependence-counter allocation are paid once for the batch, not
+    /// once per request. Every buffer receives exactly the result
+    /// [`Plan::execute`] would produce.
+    pub fn execute_batch(&self, buffers: &mut [&mut [Complex64]], runtime: &Runtime) -> ExecStats {
+        let copies = buffers.len();
+        if copies == 1 {
+            return self.execute(buffers[0], runtime);
+        }
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+        if copies == 0 {
+            stats.elapsed = start.elapsed();
+            return stats;
+        }
+        for buf in buffers.iter_mut() {
+            assert_eq!(buf.len(), self.n(), "buffer length must match the plan");
+            apply_swaps_parallel(buf, &self.bitrev_swaps, runtime.workers());
+        }
+        let views: Vec<SharedData<'_>> = buffers.iter_mut().map(|b| SharedData::new(b)).collect();
+        let total = self.fft.total_codelets();
+        // SAFETY: ids of different copies address disjoint buffers; within a
+        // copy the schedule upholds the usual dataflow discipline.
+        let body = |id: usize| unsafe { self.run_codelet(&views[id / total], id % total) };
+        match &self.schedule {
+            Schedule::Phased(phases) => {
+                // Stage s of every copy forms one barrier phase.
+                let batched: Vec<Vec<CodeletId>> = phases
+                    .iter()
+                    .map(|p| {
+                        let mut ids = Vec::with_capacity(p.len() * copies);
+                        for k in 0..copies {
+                            ids.extend(p.iter().map(|&c| k * total + c));
+                        }
+                        ids
+                    })
+                    .collect();
+                let rs = runtime.run_phased(&batched, body);
+                stats.barriers = rs.barriers;
+                stats.codelets = rs.total_fired;
+                stats.phases.push(rs);
+            }
+            Schedule::Fine { graph, seeds } => {
+                let batch = BatchProgram::new(graph, copies);
+                let batched_seeds = batch.batched_seeds(seeds);
+                let rs =
+                    runtime.run_with_seed_order(&batch, PoolDiscipline::Lifo, &batched_seeds, body);
+                stats.codelets = rs.total_fired;
+                stats.phases.push(rs);
+            }
+            Schedule::Guided {
+                early,
+                early_expected,
+                late,
+                late_expected,
+            } => {
+                let early_batch = BatchProgram::new(early, copies);
+                let rs1 = runtime.run_partial(
+                    &early_batch,
+                    PoolDiscipline::Lifo,
+                    &early_batch.batched_seeds(early.seeds()),
+                    early_expected * copies,
+                    body,
+                );
+                let late_batch = BatchProgram::new(late, copies);
+                let rs2 = runtime.run_partial(
+                    &late_batch,
+                    PoolDiscipline::Lifo,
+                    &late_batch.batched_seeds(late.seeds()),
+                    late_expected * copies,
+                    body,
+                );
+                stats.barriers = 1;
+                stats.codelets = rs1.total_fired + rs2.total_fired;
+                stats.phases.push(rs1);
+                stats.phases.push(rs2);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        debug_assert_eq!(stats.codelets, (total * copies) as u64);
+        stats
+    }
+
+    /// Single-buffer dispatch over the precomputed schedule.
+    fn dispatch(&self, runtime: &Runtime, body: impl Fn(usize) + Sync) -> ExecStats {
+        let mut stats = ExecStats::default();
+        match &self.schedule {
+            Schedule::Phased(phases) => {
+                let rs = runtime.run_phased(phases, body);
+                stats.barriers = rs.barriers;
+                stats.codelets = rs.total_fired;
+                stats.phases.push(rs);
+            }
+            Schedule::Fine { graph, seeds } => {
+                let rs = runtime.run_with_seed_order(graph, PoolDiscipline::Lifo, seeds, body);
+                stats.codelets = rs.total_fired;
+                stats.phases.push(rs);
+            }
+            Schedule::Guided {
+                early,
+                early_expected,
+                late,
+                late_expected,
+            } => {
+                let rs1 = runtime.run_partial(
+                    early,
+                    PoolDiscipline::Lifo,
+                    early.seeds(),
+                    *early_expected,
+                    &body,
+                );
+                // The join of the early phase's worker scope is the barrier.
+                let rs2 = runtime.run_partial(
+                    late,
+                    PoolDiscipline::Lifo,
+                    late.seeds(),
+                    *late_expected,
+                    body,
+                );
+                stats.barriers = 1;
+                stats.codelets = rs1.total_fired + rs2.total_fired;
+                stats.phases.push(rs1);
+                stats.phases.push(rs2);
+            }
+        }
+        stats
+    }
+}
+
+/// One cache slot: a lazily-built plan. `OnceLock` gives single-flight for
+/// free — the first `get_or_init` computes while concurrent callers block
+/// on the slot and then share the `Arc`.
+#[derive(Debug, Default)]
+struct Slot {
+    plan: OnceLock<Arc<Plan>>,
+}
+
+/// Number of independent cache shards. Requests for different keys usually
+/// hash to different shards, so concurrent lookups don't serialize on one
+/// lock; 16 is plenty for the handful of distinct sizes a service sees.
+const SHARD_COUNT: usize = 16;
+
+/// Snapshot of a planner's cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Lookups answered by an already-built plan.
+    pub hits: u64,
+    /// Lookups that found no ready plan (includes single-flight waiters).
+    pub misses: u64,
+    /// Plans actually constructed (≤ misses; exactly one per distinct key).
+    pub built: u64,
+    /// Distinct plans currently cached.
+    pub cached_plans: u64,
+    /// Approximate bytes held by cached plans.
+    pub resident_bytes: u64,
+}
+
+impl PlannerStats {
+    /// Fraction of lookups served warm, in `0.0..=1.0` (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, single-flight plan cache ("wisdom").
+///
+/// ```
+/// use fgfft::planner::Planner;
+/// use fgfft::{TwiddleLayout, Version};
+///
+/// let planner = Planner::new();
+/// let a = planner.plan(1 << 10, Version::FineGuided, TwiddleLayout::Linear);
+/// let b = planner.plan(1 << 10, Version::FineGuided, TwiddleLayout::Linear);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+/// assert_eq!(planner.stats().built, 1);
+/// ```
+#[derive(Debug)]
+pub struct Planner {
+    shards: Vec<Mutex<HashMap<PlanKey, Arc<Slot>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    built: AtomicU64,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Planner {
+    /// New empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            built: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide planner shared by default [`crate::Fft`] engines, so
+    /// independently constructed engines still share warm plans.
+    pub fn shared() -> Arc<Planner> {
+        static GLOBAL: OnceLock<Arc<Planner>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(Planner::new())))
+    }
+
+    fn shard_of(key: &PlanKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    /// The plan for an `n`-point transform (power of two ≥ 2) under
+    /// `version` and `layout`, with the default 64-point codelets — built on
+    /// first request, served from cache afterwards.
+    pub fn plan(&self, n: usize, version: Version, layout: TwiddleLayout) -> Arc<Plan> {
+        self.plan_key(PlanKey::new(n, version, layout))
+    }
+
+    /// The plan for an explicit [`PlanKey`]. Single-flight: when several
+    /// threads miss on the same key simultaneously, exactly one builds while
+    /// the rest block on the slot and share the result.
+    pub fn plan_key(&self, key: PlanKey) -> Arc<Plan> {
+        let slot = {
+            let mut map = self.shards[Self::shard_of(&key)].lock();
+            match map.get(&key) {
+                Some(slot) => {
+                    if slot.plan.get().is_some() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        // Entry exists but the plan is still being built by
+                        // another thread: this lookup did not get warm data.
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Arc::clone(slot)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Slot::default());
+                    map.insert(key, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+        // Out of the shard lock: a slow build must not block lookups of
+        // other keys in the same shard... it holds only the slot.
+        Arc::clone(slot.plan.get_or_init(|| {
+            self.built.fetch_add(1, Ordering::Relaxed);
+            Arc::new(Plan::build(key))
+        }))
+    }
+
+    /// Number of distinct keys cached (built or building).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (in-flight `Arc`s stay valid).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// Cache-behavior snapshot.
+    pub fn stats(&self) -> PlannerStats {
+        let mut cached = 0u64;
+        let mut bytes = 0u64;
+        for shard in &self.shards {
+            for slot in shard.lock().values() {
+                if let Some(plan) = slot.plan.get() {
+                    cached += 1;
+                    bytes += plan.resident_bytes();
+                }
+            }
+        }
+        PlannerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            built: self.built.load(Ordering::Relaxed),
+            cached_plans: cached,
+            resident_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::rms_error;
+    use crate::exec::{fft_in_place, ExecConfig, SeedOrder};
+    use crate::reference::recursive_fft;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.29).sin(), (i as f64 * 0.17).cos()))
+            .collect()
+    }
+
+    fn all_versions() -> Vec<Version> {
+        vec![
+            Version::Coarse,
+            Version::CoarseHash,
+            Version::Fine(SeedOrder::Natural),
+            Version::FineHash(SeedOrder::Reversed),
+            Version::FineGuided,
+        ]
+    }
+
+    #[test]
+    fn plan_execution_is_bit_identical_to_uncached_path() {
+        let n = 1 << 13; // 3 stages at radix 64: guided split exercised
+        let input = signal(n);
+        for version in all_versions() {
+            let mut uncached = input.clone();
+            fft_in_place(
+                &mut uncached,
+                version,
+                &ExecConfig {
+                    workers: 4,
+                    radix_log2: 6,
+                },
+            );
+            let plan = Plan::build(PlanKey::new(n, version, version.layout()));
+            let mut cached = input.clone();
+            let stats = plan.execute(&mut cached, &Runtime::with_workers(4));
+            assert_eq!(cached, uncached, "{}", version.name());
+            assert_eq!(stats.codelets, plan.fft_plan().total_codelets() as u64);
+        }
+    }
+
+    #[test]
+    fn plan_matches_reference_across_sizes_and_radices() {
+        for (n_log2, radix_log2) in [(1u32, 6u32), (5, 3), (7, 6), (10, 4), (13, 6)] {
+            let n = 1usize << n_log2;
+            let input = signal(n);
+            let expect = recursive_fft(&input);
+            let key =
+                PlanKey::with_radix(n, Version::FineGuided, TwiddleLayout::Linear, radix_log2);
+            let plan = Plan::build(key);
+            let mut data = input;
+            plan.execute(&mut data, &Runtime::with_workers(3));
+            assert!(
+                rms_error(&data, &expect) < 1e-9,
+                "n=2^{n_log2} radix=2^{radix_log2}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_execution_matches_single_execution() {
+        let n = 1 << 13;
+        for version in all_versions() {
+            let plan = Plan::build(PlanKey::new(n, version, version.layout()));
+            let rt = Runtime::with_workers(4);
+            // Distinct inputs per batch member.
+            let inputs: Vec<Vec<Complex64>> = (0..5)
+                .map(|k| {
+                    (0..n)
+                        .map(|i| Complex64::new((i + k) as f64 * 0.01, (k as f64) - 2.0))
+                        .collect()
+                })
+                .collect();
+            let singles: Vec<Vec<Complex64>> = inputs
+                .iter()
+                .map(|inp| {
+                    let mut d = inp.clone();
+                    plan.execute(&mut d, &rt);
+                    d
+                })
+                .collect();
+            let mut batch = inputs.clone();
+            {
+                let mut views: Vec<&mut [Complex64]> =
+                    batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+                let stats = plan.execute_batch(&mut views, &rt);
+                assert_eq!(
+                    stats.codelets,
+                    (5 * plan.fft_plan().total_codelets()) as u64,
+                    "{}",
+                    version.name()
+                );
+            }
+            assert_eq!(
+                batch,
+                singles,
+                "{}: batch must be bit-identical",
+                version.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let n = 1 << 7;
+        let plan = Plan::build(PlanKey::new(n, Version::Coarse, TwiddleLayout::Linear));
+        let rt = Runtime::with_workers(2);
+        let stats = plan.execute_batch(&mut [], &rt);
+        assert_eq!(stats.codelets, 0);
+        let input = signal(n);
+        let expect = recursive_fft(&input);
+        let mut solo = input;
+        plan.execute_batch(&mut [&mut solo], &rt);
+        assert!(rms_error(&solo, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn planner_caches_and_counts() {
+        let planner = Planner::new();
+        let a = planner.plan(1 << 9, Version::Coarse, TwiddleLayout::Linear);
+        let b = planner.plan(1 << 9, Version::Coarse, TwiddleLayout::Linear);
+        let c = planner.plan(1 << 10, Version::Coarse, TwiddleLayout::Linear);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = planner.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.built, 2);
+        assert_eq!(stats.cached_plans, 2);
+        assert!(stats.resident_bytes > 0);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(planner.len(), 2);
+        planner.clear();
+        assert!(planner.is_empty());
+        // Cleared: same key builds again.
+        let d = planner.plan(1 << 9, Version::Coarse, TwiddleLayout::Linear);
+        assert!(!Arc::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn equivalent_radices_share_an_entry() {
+        // radix_log2 is clamped to n_log2, so radix 6 and 7 on a 2^3-point
+        // transform are the same plan.
+        let planner = Planner::new();
+        let a = planner.plan_key(PlanKey::with_radix(
+            8,
+            Version::Coarse,
+            TwiddleLayout::Linear,
+            6,
+        ));
+        let b = planner.plan_key(PlanKey::with_radix(
+            8,
+            Version::Coarse,
+            TwiddleLayout::Linear,
+            7,
+        ));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(planner.stats().built, 1);
+    }
+
+    #[test]
+    fn layout_is_part_of_the_key_but_not_the_result() {
+        let planner = Planner::new();
+        let n = 1 << 9;
+        let lin = planner.plan(n, Version::Fine(SeedOrder::Natural), TwiddleLayout::Linear);
+        let hash = planner.plan(
+            n,
+            Version::Fine(SeedOrder::Natural),
+            TwiddleLayout::BitReversedHash,
+        );
+        assert!(!Arc::ptr_eq(&lin, &hash));
+        let input = signal(n);
+        let rt = Runtime::with_workers(2);
+        let mut a = input.clone();
+        let mut b = input;
+        lin.execute(&mut a, &rt);
+        hash.execute(&mut b, &rt);
+        assert_eq!(a, b, "layout changes placement, not values");
+    }
+
+    #[test]
+    fn shared_planner_is_a_singleton() {
+        let a = Planner::shared();
+        let b = Planner::shared();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn key_rejects_non_power_of_two() {
+        PlanKey::new(12, Version::Coarse, TwiddleLayout::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length must match")]
+    fn execute_rejects_wrong_length() {
+        let plan = Plan::build(PlanKey::new(8, Version::Coarse, TwiddleLayout::Linear));
+        let mut data = signal(16);
+        plan.execute(&mut data, &Runtime::with_workers(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Failure modes of the serving layer. All of them are *expected* operating
+//! conditions a client must handle — overload and shutdown are part of the
+//! protocol, not bugs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why the service refused or failed a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded submission queue
+    /// is full. The client should back off and retry — queueing it anyway
+    /// would only grow latency without bound.
+    Overloaded {
+        /// The queue bound that was hit.
+        queue_capacity: usize,
+    },
+    /// The service is draining and no longer accepts new work. In-flight
+    /// requests still complete.
+    ShuttingDown,
+    /// The request is malformed (e.g. a length that is not a power of two,
+    /// or a buffer/`n` mismatch) and can never succeed.
+    BadRequest(String),
+    /// The request's deadline passed before a dispatcher picked it up; the
+    /// transform was not performed.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_capacity } => {
+                write!(f, "overloaded: submission queue full ({queue_capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::Overloaded { queue_capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(ServeError::BadRequest("nope".into())
+            .to_string()
+            .contains("nope"));
+        assert!(!ServeError::ShuttingDown.to_string().is_empty());
+        assert!(!ServeError::DeadlineExceeded.to_string().is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # fgserve — a concurrent FFT serving layer over `fgfft`
+//!
+//! The paper's executors answer "how fast is one transform?"; this crate
+//! answers the systems question that follows: how do you serve a *stream*
+//! of transform requests without re-deriving per-size state, without
+//! unbounded queueing, and with enough telemetry to see what happened?
+//!
+//! Three pieces:
+//!
+//! * **Plan cache** — [`Planner`] (re-exported from
+//!   [`fgfft::planner`]): a sharded, single-flight, wisdom-style cache of
+//!   [`Plan`]s. A plan precomputes everything derivable from
+//!   `(size, version, layout)`: the twiddle table, the bit-reversal
+//!   transposition list, and the codelet dependence graph materialized into
+//!   flat CSR arrays. Concurrent first requests for one key build it exactly
+//!   once.
+//! * **Request pipeline** — [`FftService`]: a bounded submission queue with
+//!   admission control (full queue ⇒ [`ServeError::Overloaded`], never
+//!   silent blocking), dispatcher threads that drain same-size requests into
+//!   one batched codelet-program dispatch, and graceful drain on
+//!   [`FftService::shutdown`].
+//! * **Observability** — [`ServeStats`]: relaxed-atomic counters
+//!   (accepted/rejected/completed/deadline-missed, batches, queue
+//!   high-water), latency percentiles, and the planner's hit/miss/build
+//!   counts, exportable as JSON via [`ServeStats::to_json`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fgserve::{FftService, Request, ServeConfig};
+//! use fgfft::Complex64;
+//!
+//! let service = FftService::start(ServeConfig::default());
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let buffer = vec![Complex64::ONE; 512];
+//!         service.submit(Request::new(buffer)).expect("queue has room")
+//!     })
+//!     .collect();
+//! for ticket in tickets {
+//!     ticket.wait().expect("transform succeeds");
+//! }
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 4);
+//! assert_eq!(stats.planner.built, 1, "one plan served all four");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod metrics;
+pub mod service;
+
+pub use error::ServeError;
+pub use fgfft::planner::{Plan, PlanKey, Planner, PlannerStats};
+pub use metrics::ServeStats;
+pub use service::{FftService, Request, Response, ServeConfig, Ticket};

@@ -1,0 +1,237 @@
+//! Service observability: lock-free counters on the request path, a bounded
+//! latency reservoir, and a JSON-exportable snapshot.
+//!
+//! Counters are plain relaxed atomics — the request path must never contend
+//! on a metrics lock. Only the latency reservoir takes a mutex, once per
+//! *completed* request (not per attempt), and stays bounded by dropping
+//! samples past the cap rather than growing without limit.
+
+use fgfft::planner::PlannerStats;
+use fgsupport::bench::Percentiles;
+use fgsupport::json::Value;
+use fgsupport::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shared mutable metrics state, owned by the service and its dispatchers.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests rejected by admission control (`Overloaded`).
+    pub rejected: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests dropped because their deadline passed before dispatch.
+    pub deadline_missed: AtomicU64,
+    /// Runtime dispatches performed (each serves ≥ 1 request).
+    pub batches: AtomicU64,
+    /// Requests served through a batch of size ≥ 2.
+    pub batched_requests: AtomicU64,
+    /// Highest queue depth observed at admission.
+    pub queue_high_water: AtomicUsize,
+    /// Completed-request latencies in nanoseconds, capped at
+    /// `latency_samples` (earliest kept — the steady-state view a closed
+    /// loop produces is uniform anyway, and dropping is cheaper than
+    /// reservoir resampling here).
+    pub latencies_ns: Mutex<Vec<u64>>,
+    /// Cap for `latencies_ns`.
+    pub latency_cap: usize,
+}
+
+impl Metrics {
+    pub(crate) fn new(latency_cap: usize) -> Self {
+        Self {
+            latency_cap,
+            ..Self::default()
+        }
+    }
+
+    /// Record an admission at post-push queue depth `depth`.
+    pub(crate) fn on_accept(&self, depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Record a completion observed `latency_ns` after submission.
+    pub(crate) fn on_complete(&self, latency_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut samples = self.latencies_ns.lock();
+        if samples.len() < self.latency_cap {
+            samples.push(latency_ns);
+        }
+    }
+
+    /// Record one runtime dispatch serving `requests` requests.
+    pub(crate) fn on_batch(&self, requests: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if requests >= 2 {
+            self.batched_requests
+                .fetch_add(requests as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot everything, folding in the planner's cache stats.
+    pub(crate) fn snapshot(&self, planner: PlannerStats) -> ServeStats {
+        let mut samples: Vec<f64> = self
+            .latencies_ns
+            .lock()
+            .iter()
+            .map(|&ns| ns as f64 / 1e6)
+            .collect();
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_ms: Percentiles::from_unsorted(&mut samples),
+            planner,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service's behavior, safe to take at any
+/// moment (counters are monotonic; the snapshot is not atomic across
+/// fields).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests dropped at dispatch because their deadline had passed.
+    pub deadline_missed: u64,
+    /// Runtime dispatches (each served one same-plan batch).
+    pub batches: u64,
+    /// Requests that shared a dispatch with at least one other request.
+    pub batched_requests: u64,
+    /// Highest submission-queue depth observed.
+    pub queue_high_water: usize,
+    /// Completion latency distribution, milliseconds.
+    pub latency_ms: Percentiles,
+    /// Plan-cache behavior (hits, misses, builds, residency).
+    pub planner: PlannerStats,
+}
+
+impl ServeStats {
+    /// Requests the service has fully accounted for so far:
+    /// `completed + deadline_missed` — equals `accepted` once drained.
+    pub fn settled(&self) -> u64 {
+        self.completed + self.deadline_missed
+    }
+
+    /// Mean batch size over all dispatches (1.0 when nothing batched).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            1.0
+        } else {
+            self.settled() as f64 / self.batches as f64
+        }
+    }
+
+    /// The whole snapshot as a JSON value (stable key names — this is the
+    /// machine-readable surface scripts consume).
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("accepted", Value::Num(self.accepted as f64)),
+            ("rejected", Value::Num(self.rejected as f64)),
+            ("completed", Value::Num(self.completed as f64)),
+            ("deadline_missed", Value::Num(self.deadline_missed as f64)),
+            ("batches", Value::Num(self.batches as f64)),
+            ("batched_requests", Value::Num(self.batched_requests as f64)),
+            ("queue_high_water", Value::Num(self.queue_high_water as f64)),
+            ("mean_batch_size", Value::Num(self.mean_batch_size())),
+            (
+                "latency_ms",
+                Value::obj(vec![
+                    ("count", Value::Num(self.latency_ms.count as f64)),
+                    ("mean", Value::Num(self.latency_ms.mean)),
+                    ("p50", Value::Num(self.latency_ms.p50)),
+                    ("p95", Value::Num(self.latency_ms.p95)),
+                    ("p99", Value::Num(self.latency_ms.p99)),
+                    ("max", Value::Num(self.latency_ms.max)),
+                ]),
+            ),
+            (
+                "planner",
+                Value::obj(vec![
+                    ("hits", Value::Num(self.planner.hits as f64)),
+                    ("misses", Value::Num(self.planner.misses as f64)),
+                    ("built", Value::Num(self.planner.built as f64)),
+                    ("hit_rate", Value::Num(self.planner.hit_rate())),
+                    ("cached_plans", Value::Num(self.planner.cached_plans as f64)),
+                    (
+                        "resident_bytes",
+                        Value::Num(self.planner.resident_bytes as f64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_round_trip_through_snapshot() {
+        let m = Metrics::new(16);
+        m.on_accept(3);
+        m.on_accept(7);
+        m.on_accept(5);
+        m.rejected.fetch_add(2, Ordering::Relaxed);
+        m.on_complete(1_000_000);
+        m.on_complete(3_000_000);
+        m.on_batch(1);
+        m.on_batch(4);
+        let s = m.snapshot(PlannerStats::default());
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.queue_high_water, 7);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.batched_requests, 4);
+        assert_eq!(s.latency_ms.count, 2);
+        assert!((s.latency_ms.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.settled(), 2);
+        assert!((s.mean_batch_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded() {
+        let m = Metrics::new(4);
+        for i in 0..100 {
+            m.on_complete(i);
+        }
+        assert_eq!(m.latencies_ns.lock().len(), 4);
+        assert_eq!(m.snapshot(PlannerStats::default()).completed, 100);
+    }
+
+    #[test]
+    fn json_has_the_stable_keys() {
+        let s = ServeStats::default();
+        let v = s.to_json();
+        for key in [
+            "accepted",
+            "rejected",
+            "completed",
+            "deadline_missed",
+            "batches",
+            "queue_high_water",
+            "latency_ms",
+            "planner",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert!(v.get("latency_ms").unwrap().get("p99").is_some());
+        assert!(v.get("planner").unwrap().get("hit_rate").is_some());
+        // And it parses back.
+        let text = v.to_string_pretty();
+        fgsupport::json::parse(&text).expect("snapshot JSON must parse");
+    }
+}

@@ -1,0 +1,562 @@
+//! The request pipeline: a bounded submission queue with admission control
+//! in front of dispatcher thread(s) that batch same-size requests through
+//! one cached plan and one runtime dispatch.
+//!
+//! ```text
+//!  clients ──submit──▶ [Bounded queue] ──pop──▶ dispatcher ──▶ Runtime
+//!              │            │                      │
+//!         Overloaded     capacity             group by size,
+//!         when full      = backpressure       Planner::plan (cache),
+//!                                             Plan::execute_batch
+//! ```
+//!
+//! Design points, in the spirit of the paper's fine-grain execution model:
+//!
+//! * **Admission control, not buffering.** The queue is bounded; a full
+//!   queue rejects with [`ServeError::Overloaded`] instead of blocking the
+//!   client or growing latency without bound.
+//! * **Batching amortizes scheduling.** Requests for the same transform
+//!   size drained together execute as one batched codelet program
+//!   ([`fgfft::Plan::execute_batch`]): one worker-scope spawn and one set of
+//!   dependence counters for the whole batch. Results are bit-identical to
+//!   serving each request alone — the codelet DAG fixes the arithmetic.
+//! * **Graceful drain.** [`FftService::shutdown`] stops admissions, lets the
+//!   dispatchers drain every queued request, joins them, and returns the
+//!   final stats snapshot.
+
+use crate::error::ServeError;
+use crate::metrics::{Metrics, ServeStats};
+use fgfft::exec::Version;
+use fgfft::planner::Planner;
+use fgfft::Complex64;
+use fgsupport::queue::Bounded;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a dispatcher sleeps on an empty queue before re-checking the
+/// stop flag. Pops are condvar-woken, so this only bounds shutdown latency.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Submission-queue bound: requests beyond this are rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Most requests served by one runtime dispatch.
+    pub max_batch: usize,
+    /// Worker threads per runtime dispatch.
+    pub workers: usize,
+    /// Dispatcher threads draining the queue.
+    pub dispatchers: usize,
+    /// Scheduling algorithm for every transform.
+    pub version: Version,
+    /// Codelet radix exponent (6 = the paper's 64-point codelets).
+    pub radix_log2: u32,
+    /// Cap on retained latency samples.
+    pub latency_samples: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            max_batch: 8,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            dispatchers: 1,
+            version: Version::FineGuided,
+            radix_log2: 6,
+            latency_samples: 1 << 16,
+        }
+    }
+}
+
+/// One transform request: a buffer to transform in place, with an optional
+/// dispatch deadline.
+#[derive(Debug)]
+pub struct Request {
+    /// The data; transformed in place and returned in the [`Response`].
+    pub buffer: Vec<Complex64>,
+    /// Expected transform size; must equal `buffer.len()` and be a power of
+    /// two ≥ 2.
+    pub n: usize,
+    /// If set and already passed when a dispatcher picks the request up,
+    /// the request completes with [`ServeError::DeadlineExceeded`] instead
+    /// of being transformed.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// Request transforming `buffer` (its length is the transform size).
+    pub fn new(buffer: Vec<Complex64>) -> Self {
+        let n = buffer.len();
+        Self {
+            buffer,
+            n,
+            deadline: None,
+        }
+    }
+
+    /// Attach a dispatch deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A completed transform.
+#[derive(Debug)]
+pub struct Response {
+    /// The transformed data.
+    pub buffer: Vec<Complex64>,
+}
+
+/// Completion slot shared between the submitting client and a dispatcher.
+#[derive(Debug, Default)]
+struct TicketState {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn complete(&self, result: Result<Response, ServeError>) {
+        let mut slot = match self.result.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        debug_assert!(slot.is_none(), "ticket completed twice");
+        *slot = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one submitted request; redeem it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the request completes (transform done, deadline missed,
+    /// or drained at shutdown) and return the outcome.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = match self.state.result.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = match self.state.ready.wait(slot) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Non-blocking probe: the outcome if the request already completed.
+    pub fn try_wait(self) -> Result<Result<Response, ServeError>, Ticket> {
+        let taken = {
+            let mut slot = match self.state.result.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            slot.take()
+        };
+        match taken {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+}
+
+/// A queued unit of work.
+#[derive(Debug)]
+struct Job {
+    buffer: Vec<Complex64>,
+    n_log2: u32,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// State shared by the service handle and its dispatcher threads.
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    queue: Bounded<Job>,
+    metrics: Metrics,
+    planner: Arc<Planner>,
+    /// Cleared by shutdown: no new admissions.
+    accepting: AtomicBool,
+    /// Set by shutdown after admissions stop: dispatchers may exit once the
+    /// queue is drained.
+    stop: AtomicBool,
+}
+
+/// A concurrent FFT service: bounded admission, plan-cached batched
+/// execution, metrics.
+///
+/// ```
+/// use fgserve::{FftService, Request, ServeConfig};
+/// use fgfft::Complex64;
+///
+/// let service = FftService::start(ServeConfig::default());
+/// let ticket = service
+///     .submit(Request::new(vec![Complex64::ONE; 1024]))
+///     .expect("queue has room");
+/// let response = ticket.wait().expect("transform succeeds");
+/// assert_eq!(response.buffer.len(), 1024);
+/// let stats = service.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+#[derive(Debug)]
+pub struct FftService {
+    shared: Arc<Shared>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl FftService {
+    /// Start the service with its own private plan cache.
+    pub fn start(config: ServeConfig) -> Self {
+        Self::start_with_planner(config, Arc::new(Planner::new()))
+    }
+
+    /// Start the service against an existing plan cache (e.g.
+    /// [`Planner::shared`], or one pre-warmed by a previous instance).
+    pub fn start_with_planner(config: ServeConfig, planner: Arc<Planner>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            metrics: Metrics::new(config.latency_samples),
+            planner,
+            accepting: AtomicBool::new(true),
+            stop: AtomicBool::new(false),
+            config,
+        });
+        let dispatchers = (0..shared.config.dispatchers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || dispatcher_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            dispatchers,
+        }
+    }
+
+    /// Submit a request. Returns a [`Ticket`] on admission; fails fast with
+    /// [`ServeError::Overloaded`] when the queue is full (admission
+    /// control), [`ServeError::ShuttingDown`] after shutdown began, or
+    /// [`ServeError::BadRequest`] for an invalid transform size.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        if !self.shared.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let n = request.buffer.len();
+        if n != request.n {
+            return Err(ServeError::BadRequest(format!(
+                "buffer length {n} does not match declared n {}",
+                request.n
+            )));
+        }
+        if n < 2 || !n.is_power_of_two() {
+            return Err(ServeError::BadRequest(format!(
+                "length {n} is not a power of two ≥ 2"
+            )));
+        }
+        let state = Arc::new(TicketState::default());
+        let job = Job {
+            buffer: request.buffer,
+            n_log2: n.trailing_zeros(),
+            deadline: request.deadline,
+            submitted: Instant::now(),
+            ticket: Arc::clone(&state),
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(depth) => {
+                self.shared.metrics.on_accept(depth);
+                Ok(Ticket { state })
+            }
+            Err(_job) => {
+                self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded {
+                    queue_capacity: self.shared.queue.capacity(),
+                })
+            }
+        }
+    }
+
+    /// Point-in-time stats snapshot (counters plus the plan cache's view).
+    pub fn serve_stats(&self) -> ServeStats {
+        self.shared.metrics.snapshot(self.shared.planner.stats())
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The plan cache this service resolves against.
+    pub fn planner(&self) -> &Arc<Planner> {
+        &self.shared.planner
+    }
+
+    /// Graceful shutdown: stop admitting, drain every queued request, join
+    /// the dispatchers, and return the final stats. Already-submitted
+    /// tickets all complete (transformed, or `DeadlineExceeded`).
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_shutdown();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+        self.serve_stats()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.stop.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for FftService {
+    fn drop(&mut self) {
+        // `shutdown` already drained `dispatchers`; a plain drop still
+        // drains the queue rather than abandoning tickets.
+        self.begin_shutdown();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Dispatcher: drain batches until told to stop *and* the queue is empty.
+fn dispatcher_loop(shared: &Shared) {
+    let runtime = codelet::runtime::Runtime::with_workers(shared.config.workers);
+    let mut batch: Vec<Job> = Vec::with_capacity(shared.config.max_batch.max(1));
+    loop {
+        batch.clear();
+        match shared.queue.pop_timeout(IDLE_POLL) {
+            Some(job) => {
+                batch.push(job);
+                // Greedy same-size gather: batching only helps when the
+                // requests share a plan, so stop at the first mismatch
+                // (pushing it back would reorder; instead serve it next
+                // round — it is already in `batch`'s successor position).
+                while batch.len() < shared.config.max_batch.max(1) {
+                    match shared.queue.try_pop() {
+                        Some(next) => {
+                            batch.push(next);
+                            if batch[batch.len() - 1].n_log2 != batch[0].n_log2 {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                serve_batch(shared, &runtime, &mut batch);
+            }
+            None => {
+                if shared.stop.load(Ordering::Acquire) && shared.queue.is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Execute a drained batch: drop expired jobs, then run each same-size group
+/// through one plan lookup and one batched dispatch.
+fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut Vec<Job>) {
+    let now = Instant::now();
+    batch.retain(|job| {
+        let expired = job.deadline.is_some_and(|d| d < now);
+        if expired {
+            shared
+                .metrics
+                .deadline_missed
+                .fetch_add(1, Ordering::Relaxed);
+            job.ticket.complete(Err(ServeError::DeadlineExceeded));
+        }
+        !expired
+    });
+    while !batch.is_empty() {
+        // Split off the leading run of equal sizes (the gather above makes
+        // mixed batches rare: at most the final element differs).
+        let n_log2 = batch[0].n_log2;
+        let split = batch
+            .iter()
+            .position(|j| j.n_log2 != n_log2)
+            .unwrap_or(batch.len());
+        let mut group: Vec<Job> = batch.drain(..split).collect();
+        let plan = shared.planner.plan(
+            1usize << n_log2,
+            shared.config.version,
+            shared.config.version.layout(),
+        );
+        {
+            let mut views: Vec<&mut [Complex64]> = group
+                .iter_mut()
+                .map(|job| job.buffer.as_mut_slice())
+                .collect();
+            plan.execute_batch(&mut views, runtime);
+        }
+        shared.metrics.on_batch(group.len());
+        for job in group {
+            let latency_ns = job.submitted.elapsed().as_nanos() as u64;
+            shared.metrics.on_complete(latency_ns);
+            job.ticket.complete(Ok(Response { buffer: job.buffer }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgfft::rms_error;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.13).sin(), (i as f64 * 0.31).cos()))
+            .collect()
+    }
+
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 32,
+            max_batch: 4,
+            workers: 2,
+            dispatchers: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_a_correct_transform() {
+        let n = 1 << 10;
+        let input = signal(n);
+        let expect = fgfft::reference::recursive_fft(&input);
+        let service = FftService::start(small_config());
+        let response = service
+            .submit(Request::new(input))
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+        assert!(rms_error(&response.buffer, &expect) < 1e-9);
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.planner.built, 1);
+    }
+
+    #[test]
+    fn rejects_bad_requests_without_queueing() {
+        let service = FftService::start(small_config());
+        let err = service
+            .submit(Request::new(signal(12)))
+            .expect_err("12 is not a power of two");
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        let mut req = Request::new(signal(16));
+        req.n = 8;
+        assert!(matches!(
+            service.submit(req),
+            Err(ServeError::BadRequest(_))
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.rejected, 0, "bad requests are not overload");
+    }
+
+    #[test]
+    fn mixed_sizes_are_served_in_groups() {
+        let service = FftService::start(small_config());
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                let n = if i % 2 == 0 { 1 << 8 } else { 1 << 9 };
+                service.submit(Request::new(signal(n))).expect("admitted")
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = t.wait().expect("completed");
+            assert_eq!(r.buffer.len(), if i % 2 == 0 { 1 << 8 } else { 1 << 9 });
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.planner.built, 2, "one plan per distinct size");
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_transform() {
+        // Deadline in the past: the dispatcher must report DeadlineExceeded.
+        let service = FftService::start(small_config());
+        let req =
+            Request::new(signal(1 << 8)).with_deadline(Instant::now() - Duration::from_secs(1));
+        let outcome = service.submit(req).expect("admitted").wait();
+        assert_eq!(outcome.unwrap_err(), ServeError::DeadlineExceeded);
+        let stats = service.shutdown();
+        assert_eq!(stats.deadline_missed, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.settled(), stats.accepted);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let service = FftService::start(ServeConfig {
+            queue_capacity: 64,
+            ..small_config()
+        });
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|_| {
+                service
+                    .submit(Request::new(signal(1 << 9)))
+                    .expect("admitted")
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 20, "shutdown must drain, not drop");
+        for t in tickets {
+            t.wait().expect("drained requests still complete");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let service = FftService::start(small_config());
+        service.shared.accepting.store(false, Ordering::Release);
+        assert_eq!(
+            service.submit(Request::new(signal(8))).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn try_wait_probes_without_blocking() {
+        let service = FftService::start(small_config());
+        let ticket = service
+            .submit(Request::new(signal(1 << 8)))
+            .expect("admitted");
+        // Eventually completes; poll until it does.
+        let mut ticket = ticket;
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match ticket.try_wait() {
+                Ok(outcome) => {
+                    outcome.expect("completed fine");
+                    break;
+                }
+                Err(t) => {
+                    assert!(Instant::now() < deadline, "request never completed");
+                    ticket = t;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        service.shutdown();
+    }
+}

@@ -192,6 +192,57 @@ impl Bencher {
     }
 }
 
+/// Linear-interpolated percentile of a **sorted** sample set, `p` in
+/// `0.0..=100.0`. Returns 0.0 for an empty set.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Latency-distribution summary: the percentiles a serving layer reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Summarize `samples` (sorted in place). Units are the caller's.
+    pub fn from_unsorted(samples: &mut [f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_by(f64::total_cmp);
+        Self {
+            count: samples.len() as u64,
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50: percentile(samples, 50.0),
+            p95: percentile(samples, 95.0),
+            p99: percentile(samples, 99.0),
+            max: samples[samples.len() - 1],
+        }
+    }
+}
+
 /// Bundle benchmark functions into one runner, mirroring criterion's macro.
 #[macro_export]
 macro_rules! criterion_group {
@@ -234,5 +285,34 @@ mod tests {
         });
         group.finish();
         assert!(calls >= 4, "warmup + >=3 samples, got {calls}");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 50.0), 25.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentiles_summarize_distribution() {
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // Scramble; from_unsorted must sort.
+        v.reverse();
+        let p = Percentiles::from_unsorted(&mut v);
+        assert_eq!(p.count, 100);
+        assert_eq!(p.max, 100.0);
+        assert!((p.mean - 50.5).abs() < 1e-9);
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!(p.p95 > 90.0 && p.p95 < 100.0);
+        assert!(p.p99 > p.p95 && p.p99 <= 100.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_are_zero() {
+        assert_eq!(Percentiles::from_unsorted(&mut []), Percentiles::default());
     }
 }

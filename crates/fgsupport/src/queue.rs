@@ -1,4 +1,7 @@
-//! An unbounded MPMC FIFO queue mirroring `crossbeam::queue::SegQueue`.
+//! MPMC FIFO queues: an unbounded [`SegQueue`] mirroring
+//! `crossbeam::queue::SegQueue`, and a bounded [`Bounded`] variant with
+//! blocking pops for producer/consumer pipelines that need *admission
+//! control* — a full queue rejects instead of growing without bound.
 //!
 //! The workspace pushes and pops in bursts of at most a few dozen items, so
 //! a mutex-guarded ring buffer is competitive with a lock-free segment
@@ -6,6 +9,8 @@
 
 use crate::sync::Mutex;
 use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
 /// Unbounded FIFO queue usable from many threads.
 #[derive(Debug, Default)]
@@ -42,6 +47,86 @@ impl<T> SegQueue<T> {
     }
 }
 
+/// A bounded MPMC FIFO queue.
+///
+/// `try_push` fails (returning the value) when the queue holds `capacity`
+/// elements — the backpressure signal a submitting thread turns into an
+/// "overloaded" rejection. Consumers use [`Bounded::pop_timeout`] so they
+/// can periodically re-check shutdown flags without busy-waiting.
+#[derive(Debug)]
+pub struct Bounded<T> {
+    inner: StdMutex<VecDeque<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// New empty queue admitting at most `capacity` elements (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: StdMutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            available: Condvar::new(),
+        }
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append at the tail, or give the value back when the queue is full.
+    /// On success returns the queue depth *after* the push (for high-water
+    /// tracking).
+    pub fn try_push(&self, value: T) -> Result<usize, T> {
+        let mut q = self.guard();
+        if q.len() >= self.capacity {
+            return Err(value);
+        }
+        q.push_back(value);
+        let depth = q.len();
+        drop(q);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Remove the head element if one is present, without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.guard().pop_front()
+    }
+
+    /// Remove the head element, waiting up to `timeout` for one to arrive.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut q = self.guard();
+        if let Some(v) = q.pop_front() {
+            return Some(v);
+        }
+        let (mut q, _) = match self.available.wait_timeout(q, timeout) {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.pop_front()
+    }
+
+    /// Number of queued elements at the time of the call.
+    pub fn len(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// Whether the queue was empty at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.guard().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +141,43 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_rejects_when_full() {
+        let q = Bounded::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3), "full queue returns the value");
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2), "space freed by pop");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bounded_pop_timeout_returns_quickly_when_empty() {
+        let q: Bounded<u32> = Bounded::new(4);
+        let start = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(20)), None);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn bounded_pop_timeout_wakes_on_push() {
+        let q = std::sync::Arc::new(Bounded::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(7u32).unwrap();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn bounded_capacity_is_at_least_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(9), Ok(1));
+        assert!(q.try_push(10).is_err());
     }
 }

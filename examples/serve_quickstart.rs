@@ -1,0 +1,97 @@
+//! Serving quickstart: stand up an [`FftService`], push a burst of
+//! requests through it from several client threads, and read the stats —
+//! the five-minute tour of the `fgserve` public API.
+//!
+//! Run with: `cargo run --release -p fgfft-examples --bin serve_quickstart`
+
+use fgfft::Complex64;
+use fgserve::{FftService, Request, ServeConfig, ServeError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tone(n: usize, hz: f64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            Complex64::new((2.0 * std::f64::consts::PI * hz * t).sin(), 0.0)
+        })
+        .collect()
+}
+
+fn main() {
+    // 1. Start a service: bounded queue, same-size batching, one shared
+    //    wisdom-style plan cache behind it.
+    let service = Arc::new(FftService::start(ServeConfig {
+        queue_capacity: 64,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }));
+
+    // 2. Four client threads each submit a burst of same-size transforms.
+    //    The first request builds the plan; every later one is a cache hit,
+    //    and requests that queue up together share one batched dispatch.
+    let n = 1 << 12;
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for r in 0..8 {
+                    let bin = 50 * (c * 8 + r + 1);
+                    let ticket = service
+                        .submit(Request::new(tone(n, bin as f64)))
+                        .expect("queue has room for this offered load");
+                    let response = ticket.wait().expect("transform succeeds");
+                    // Peak bin of a pure tone is the tone's frequency.
+                    let peak = response
+                        .buffer
+                        .iter()
+                        .take(n / 2)
+                        .enumerate()
+                        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    assert_eq!(peak, bin, "client {c} request {r}");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client finished");
+    }
+
+    // 3. Deadlines: a request whose deadline already passed is dropped at
+    //    dispatch instead of wasting a transform.
+    let expired = service
+        .submit(Request::new(tone(n, 440.0)).with_deadline(Instant::now() - Duration::from_secs(1)))
+        .expect("admission still checks only the queue");
+    match expired.wait() {
+        Err(ServeError::DeadlineExceeded) => println!("expired request dropped at dispatch ✓"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // 4. Shut down (drains in-flight work) and read the final stats.
+    let service = Arc::into_inner(service).expect("all clients joined");
+    let stats = service.shutdown();
+    println!(
+        "served {} requests in {} dispatches (mean batch {:.2}), \
+         p50/p99 latency {:.3}/{:.3} ms",
+        stats.completed,
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.latency_ms.p50,
+        stats.latency_ms.p99,
+    );
+    println!(
+        "plan cache: {} built, hit rate {:.4}, {} KiB resident",
+        stats.planner.built,
+        stats.planner.hit_rate(),
+        stats.planner.resident_bytes / 1024,
+    );
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.deadline_missed, 1);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.planner.built, 1, "one size ⇒ one plan");
+
+    // 5. The whole snapshot is JSON-exportable for scrapers.
+    println!("{}", stats.to_json().to_string_pretty());
+}

@@ -1,0 +1,269 @@
+//! Cross-crate serving-layer tests: the plan cache's single-flight
+//! guarantee under thread hammering, admission-control backpressure, and
+//! end-to-end correctness of batched service execution.
+
+use fgfft::exec::Version;
+use fgfft::planner::{Plan, PlanKey, Planner};
+use fgfft::{rms_error, Complex64, TwiddleLayout};
+use fgserve::{FftService, Request, ServeConfig, ServeError, Ticket};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn signal(n: usize, phase: f64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.11 + phase).sin(), (i as f64 * 0.07).cos()))
+        .collect()
+}
+
+/// ≥ 8 threads hammer the planner on a handful of distinct keys through a
+/// start barrier (maximum miss contention): every distinct key must be
+/// built exactly once (single-flight), every thread must get the same
+/// `Arc`, and execution through the cached plan must be bit-identical to an
+/// uncached `Plan::build`.
+#[test]
+fn planner_single_flight_under_hammering() {
+    const THREADS: usize = 12;
+    let keys: Vec<PlanKey> = vec![
+        PlanKey::new(1 << 10, Version::FineGuided, TwiddleLayout::Linear),
+        PlanKey::new(1 << 11, Version::FineGuided, TwiddleLayout::Linear),
+        PlanKey::new(1 << 12, Version::Coarse, TwiddleLayout::Linear),
+        PlanKey::new(1 << 12, Version::CoarseHash, TwiddleLayout::BitReversedHash),
+    ];
+    let planner = Arc::new(Planner::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let planner = Arc::clone(&planner);
+            let barrier = Arc::clone(&barrier);
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Every thread requests every key, repeatedly, starting at a
+                // different offset so all keys see simultaneous first misses.
+                let mut got = Vec::new();
+                for round in 0..20 {
+                    let key = keys[(t + round) % keys.len()];
+                    got.push((key, planner.plan_key(key)));
+                }
+                got
+            })
+        })
+        .collect();
+    let mut by_key: Vec<(PlanKey, Vec<Arc<Plan>>)> =
+        keys.iter().map(|&k| (k, Vec::new())).collect();
+    for h in handles {
+        for (key, plan) in h.join().expect("no panics") {
+            by_key
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+                .expect("known key")
+                .1
+                .push(plan);
+        }
+    }
+    // Exactly one construction per distinct key, shared by everyone.
+    let stats = planner.stats();
+    assert_eq!(stats.built, keys.len() as u64, "single-flight violated");
+    assert_eq!(stats.cached_plans, keys.len() as u64);
+    assert_eq!(stats.hits + stats.misses, (THREADS * 20) as u64);
+    for (key, plans) in &by_key {
+        for plan in plans {
+            assert!(
+                Arc::ptr_eq(plan, &plans[0]),
+                "{key:?}: threads saw different plan instances"
+            );
+        }
+    }
+    // Cached execution is bit-identical to an uncached build.
+    let rt = codelet::runtime::Runtime::with_workers(4);
+    for (key, plans) in &by_key {
+        let input = signal(key.n(), 0.4);
+        let mut cached = input.clone();
+        plans[0].execute(&mut cached, &rt);
+        let mut fresh = input;
+        Plan::build(*key).execute(&mut fresh, &rt);
+        assert_eq!(cached, fresh, "{key:?}: cached path diverged");
+    }
+}
+
+/// Same-key hammering from many threads with *no* pre-population: however
+/// the misses interleave, only one thread may construct.
+#[test]
+fn planner_builds_once_for_one_hot_key() {
+    const THREADS: usize = 16;
+    let planner = Arc::new(Planner::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let planner = Arc::clone(&planner);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                planner.plan(1 << 12, Version::FineGuided, TwiddleLayout::Linear)
+            })
+        })
+        .collect();
+    let plans: Vec<Arc<Plan>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(planner.stats().built, 1, "exactly one construction");
+    assert!(plans.iter().all(|p| Arc::ptr_eq(p, &plans[0])));
+}
+
+/// A saturated service must reject with `Overloaded` instead of blocking,
+/// and `serve_stats` must account for every observed rejection.
+#[test]
+fn saturated_service_rejects_with_overloaded() {
+    // One dispatcher on a tiny queue; the first job is slow enough
+    // (large transform) that submissions outrun the drain.
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 4,
+        max_batch: 1,
+        workers: 1,
+        dispatchers: 1,
+        ..ServeConfig::default()
+    });
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut observed_rejections = 0u64;
+    let start = Instant::now();
+    // Push until we have seen a healthy number of rejections (bounded by
+    // time so a pathologically fast drain cannot hang the test).
+    while observed_rejections < 8 && start.elapsed() < Duration::from_secs(20) {
+        match service.submit(Request::new(signal(1 << 14, 0.0))) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { queue_capacity }) => {
+                assert_eq!(queue_capacity, 4);
+                observed_rejections += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(
+        observed_rejections >= 8,
+        "queue of 4 with a slow consumer must overflow"
+    );
+    let accepted = tickets.len() as u64;
+    for t in tickets {
+        t.wait().expect("accepted requests complete");
+    }
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.rejected, observed_rejections,
+        "stats must match client-observed rejections"
+    );
+    assert_eq!(stats.accepted, accepted);
+    assert_eq!(stats.completed, accepted);
+    assert!(
+        stats.queue_high_water <= 4,
+        "high-water cannot exceed bound"
+    );
+}
+
+/// Concurrent clients through the service: every response is bit-identical
+/// to the engine path, and batching actually happened.
+#[test]
+fn concurrent_clients_get_exact_results() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 6;
+    let n = 1 << 11;
+    let service = Arc::new(FftService::start(ServeConfig {
+        queue_capacity: 128,
+        max_batch: 8,
+        workers: 2,
+        dispatchers: 2,
+        ..ServeConfig::default()
+    }));
+    // Reference results computed through the uncached path.
+    let rt = codelet::runtime::Runtime::with_workers(2);
+    let reference: Vec<Vec<Complex64>> = (0..CLIENTS * PER_CLIENT)
+        .map(|i| {
+            let mut d = signal(n, i as f64);
+            Plan::build(PlanKey::new(n, Version::FineGuided, TwiddleLayout::Linear))
+                .execute(&mut d, &rt);
+            d
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let mismatches = Arc::clone(&mismatches);
+            let reference: Vec<Vec<Complex64>> = (0..PER_CLIENT)
+                .map(|r| reference[c * PER_CLIENT + r].clone())
+                .collect();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for (r, expect) in reference.iter().enumerate() {
+                    let i = c * PER_CLIENT + r;
+                    let response = service
+                        .submit(Request::new(signal(n, i as f64)))
+                        .expect("queue sized for the offered load")
+                        .wait()
+                        .expect("transform succeeds");
+                    if response.buffer != *expect {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+    assert_eq!(mismatches.load(Ordering::Relaxed), 0, "served ≠ uncached");
+    let service = Arc::into_inner(service).expect("all clients done");
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.planner.built, 1, "one size ⇒ one plan");
+    assert!(
+        stats.planner.hit_rate() > 0.9,
+        "steady same-size traffic must be nearly all cache hits (got {})",
+        stats.planner.hit_rate()
+    );
+}
+
+/// The service path and the one-shot `fgfft::forward` agree numerically.
+#[test]
+fn service_matches_reference_fft() {
+    let n = 1 << 9;
+    let input = signal(n, 1.7);
+    let expect = fgfft::reference::recursive_fft(&input);
+    let service = FftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let response = service
+        .submit(Request::new(input))
+        .expect("admitted")
+        .wait()
+        .expect("completed");
+    assert!(rms_error(&response.buffer, &expect) < 1e-9);
+    service.shutdown();
+}
+
+/// Stats JSON export round-trips through the workspace JSON parser with the
+/// documented keys present.
+#[test]
+fn serve_stats_json_is_parseable() {
+    let service = FftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    for _ in 0..3 {
+        service
+            .submit(Request::new(signal(1 << 8, 0.0)))
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+    }
+    let stats = service.shutdown();
+    let json = stats.to_json().to_string_pretty();
+    let parsed = fgsupport::json::parse(&json).expect("valid JSON");
+    assert_eq!(parsed.get("completed").and_then(|v| v.as_u64()), Some(3));
+    assert!(parsed
+        .get("planner")
+        .and_then(|p| p.get("hit_rate"))
+        .is_some());
+}
