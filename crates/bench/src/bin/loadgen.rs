@@ -179,6 +179,7 @@ fn main() {
         version: Version::FineGuided,
         radix_log2: 6,
         latency_samples: 1 << 16,
+        ..ServeConfig::default()
     };
     let t0 = Instant::now();
     let (warm_requests, client_rejections, stats) = run_warm(n_log2, clients, config, duration);

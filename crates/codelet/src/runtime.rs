@@ -12,6 +12,23 @@
 //!
 //! Shared-counter groups ([`crate::counter::SharedCounters`]) are used
 //! automatically when the program declares them.
+//!
+//! # Panic semantics
+//!
+//! A panicking codelet body never hangs a run: the first panic sets a
+//! poison flag, every worker drains out instead of spinning on a
+//! completion count that can no longer be reached, and the original
+//! payload is re-raised on the *calling* thread via
+//! [`std::panic::resume_unwind`] once the worker scope has joined. The
+//! run's partial effects on caller-owned data (e.g. an in-place FFT
+//! buffer) are left as-is — the caller must treat the data as garbage.
+//!
+//! Long-lived callers that must survive a poisoned request — servers
+//! dispatching untrusted or fault-injected work, like `fgserve`'s
+//! dispatcher threads — should wrap the `run*` call in
+//! [`std::panic::catch_unwind`], fail the affected requests, and keep the
+//! thread alive; propagating the unwind instead kills the dispatching
+//! thread and strands everything queued behind it.
 
 use crate::counter::{DepCounters, SharedCounters};
 use crate::graph::{CodeletId, CodeletProgram};
@@ -77,6 +94,11 @@ impl Runtime {
     }
 
     /// Fine-grain execution with the program's default initial-ready order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first codelet-body panic on this thread after all
+    /// workers have drained (see the module docs' *Panic semantics*).
     pub fn run<P>(
         &self,
         program: &P,

@@ -24,6 +24,17 @@ pub enum ServeError {
     /// The request's deadline passed before a dispatcher picked it up; the
     /// transform was not performed.
     DeadlineExceeded,
+    /// The service failed while processing the request — a codelet body or
+    /// plan build panicked, or a dispatcher died while holding it. The
+    /// request's buffer is lost (it may have been partially transformed),
+    /// but the service itself recovers: the dispatcher survives the panic
+    /// (or is respawned by the supervisor) and later requests are served
+    /// normally, so retrying is safe.
+    Internal {
+        /// The panic message (or a fixed description when the panic payload
+        /// was not a string).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -35,6 +46,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            ServeError::Internal { reason } => write!(f, "internal failure: {reason}"),
         }
     }
 }
@@ -55,5 +67,10 @@ mod tests {
             .contains("nope"));
         assert!(!ServeError::ShuttingDown.to_string().is_empty());
         assert!(!ServeError::DeadlineExceeded.to_string().is_empty());
+        assert!(ServeError::Internal {
+            reason: "codelet 7 exploded".into()
+        }
+        .to_string()
+        .contains("exploded"));
     }
 }

@@ -1,0 +1,209 @@
+//! Fault injection for exercising the serving layer's panic-recovery path.
+//!
+//! The dispatcher guards every plan build and runtime dispatch with
+//! `catch_unwind`; proving that guard (and the supervision behind it)
+//! actually works requires making real panics happen at controlled points.
+//! A [`FaultInjector`] is a cloneable handle the test keeps while the
+//! service holds another clone inside its [`ServeConfig`](crate::ServeConfig):
+//! the service trips it on the request path, the test reads
+//! [`FaultInjector::fired`] to assert the fault really happened.
+//!
+//! Injection points:
+//!
+//! * [`FaultInjector::panic_on_batch`] / [`FaultInjector::panic_on_size`]
+//!   panic *inside* the dispatcher's guarded region — the same unwind a
+//!   panicking codelet body produces through
+//!   `codelet::runtime::Runtime::run` — so they exercise ticket failure
+//!   completion ([`ServeError::Internal`](crate::ServeError::Internal)) and
+//!   dispatcher survival.
+//! * [`FaultInjector::kill_dispatcher_on_batch`] panics *outside* the
+//!   guard, killing the dispatcher thread outright, so it exercises the
+//!   defense-in-depth layers: the job drop-guard that still completes
+//!   abandoned tickets, and the supervisor that respawns the thread.
+//!
+//! The default (`FaultInjector::default()` / [`FaultInjector::none`]) is a
+//! no-op with zero cost on the hot path. This module exists for tests and
+//! chaos drills; production configs leave it at the default.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the injector does when its trigger matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    /// Panic inside the guarded dispatch of the k-th same-size group
+    /// (1-based, counted across all dispatchers).
+    PanicOnBatch(u64),
+    /// Panic inside the guarded dispatch whenever the group's transform
+    /// size is `n`, up to the configured number of times.
+    PanicOnSize(usize),
+    /// Panic outside the guard while the k-th drained batch (1-based) is
+    /// held, killing the dispatcher thread itself.
+    KillDispatcherOnBatch(u64),
+}
+
+#[derive(Debug)]
+struct FaultInner {
+    kind: FaultKind,
+    /// Injections still allowed (decremented as faults fire).
+    budget: AtomicU64,
+    /// Trigger-point visits observed so far (groups or drained batches,
+    /// depending on the kind).
+    seen: AtomicU64,
+    /// Faults actually injected.
+    fired: AtomicU64,
+}
+
+/// A controllable fault source the service trips on its dispatch path.
+///
+/// Cloning shares the underlying state: keep one clone in the test, give
+/// the other to [`ServeConfig::fault`](crate::ServeConfig), and observe
+/// [`FaultInjector::fired`] from outside.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<FaultInner>>,
+}
+
+impl FaultInjector {
+    /// The no-op injector (same as `Default`): never fires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn with(kind: FaultKind, budget: u64) -> Self {
+        Self {
+            inner: Some(Arc::new(FaultInner {
+                kind,
+                budget: AtomicU64::new(budget),
+                seen: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Panic inside the guarded dispatch of the `k`-th same-size group
+    /// (1-based). One shot: later groups are served normally.
+    pub fn panic_on_batch(k: u64) -> Self {
+        Self::with(FaultKind::PanicOnBatch(k.max(1)), 1)
+    }
+
+    /// Panic inside the guarded dispatch whenever a group of transform
+    /// size `n` is served, for the first `times` such groups.
+    pub fn panic_on_size(n: usize, times: u64) -> Self {
+        Self::with(FaultKind::PanicOnSize(n), times)
+    }
+
+    /// Panic *outside* the dispatch guard while the `k`-th drained batch
+    /// (1-based) is held, killing the dispatcher thread. One shot.
+    pub fn kill_dispatcher_on_batch(k: u64) -> Self {
+        Self::with(FaultKind::KillDispatcherOnBatch(k.max(1)), 1)
+    }
+
+    /// How many faults have actually been injected so far.
+    pub fn fired(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.fired.load(Ordering::Acquire))
+    }
+
+    /// Trip point inside the guarded region, called once per same-size
+    /// group with the group's transform size. Panics when the configured
+    /// in-guard fault matches.
+    pub(crate) fn before_dispatch(&self, n: usize) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        match inner.kind {
+            FaultKind::PanicOnBatch(k) => {
+                let visit = inner.seen.fetch_add(1, Ordering::AcqRel) + 1;
+                if visit == k && inner.take_budget() {
+                    panic!("injected fault: dispatch group #{visit}");
+                }
+            }
+            FaultKind::PanicOnSize(size) => {
+                if n == size && inner.take_budget() {
+                    panic!("injected fault: transform size {n}");
+                }
+            }
+            FaultKind::KillDispatcherOnBatch(_) => {}
+        }
+    }
+
+    /// Trip point outside the guarded region, called once per drained
+    /// batch before it is served. A panic here unwinds the dispatcher
+    /// thread itself.
+    pub(crate) fn before_batch_unguarded(&self) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if let FaultKind::KillDispatcherOnBatch(k) = inner.kind {
+            let visit = inner.seen.fetch_add(1, Ordering::AcqRel) + 1;
+            if visit == k && inner.take_budget() {
+                panic!("injected fault: dispatcher killed at batch #{visit}");
+            }
+        }
+    }
+}
+
+impl FaultInner {
+    /// Consume one unit of injection budget; true when a fault may fire.
+    fn take_budget(&self) -> bool {
+        let granted = self
+            .budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+            .is_ok();
+        if granted {
+            self.fired.fetch_add(1, Ordering::AcqRel);
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caught(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+        std::panic::catch_unwind(f).is_err()
+    }
+
+    #[test]
+    fn none_never_fires() {
+        let fault = FaultInjector::none();
+        for n in [8usize, 16, 32] {
+            fault.before_dispatch(n);
+            fault.before_batch_unguarded();
+        }
+        assert_eq!(fault.fired(), 0);
+    }
+
+    #[test]
+    fn nth_batch_fires_exactly_once() {
+        let fault = FaultInjector::panic_on_batch(3);
+        let observer = fault.clone();
+        assert!(!caught(|| fault.before_dispatch(64)));
+        assert!(!caught(|| fault.before_dispatch(64)));
+        assert!(caught(|| fault.before_dispatch(64)), "third group panics");
+        assert!(!caught(|| fault.before_dispatch(64)), "one shot");
+        assert_eq!(observer.fired(), 1, "clones share state");
+    }
+
+    #[test]
+    fn size_fault_respects_its_budget() {
+        let fault = FaultInjector::panic_on_size(512, 2);
+        assert!(!caught(|| fault.before_dispatch(256)), "other sizes pass");
+        assert!(caught(|| fault.before_dispatch(512)));
+        assert!(caught(|| fault.before_dispatch(512)));
+        assert!(!caught(|| fault.before_dispatch(512)), "budget exhausted");
+        assert_eq!(fault.fired(), 2);
+    }
+
+    #[test]
+    fn kill_fault_only_trips_the_unguarded_hook() {
+        let fault = FaultInjector::kill_dispatcher_on_batch(1);
+        assert!(!caught(|| fault.before_dispatch(64)), "guarded hook inert");
+        assert!(caught(|| fault.before_batch_unguarded()));
+        assert!(!caught(|| fault.before_batch_unguarded()), "one shot");
+        assert_eq!(fault.fired(), 1);
+    }
+}

@@ -16,13 +16,30 @@
 //!   once.
 //! * **Request pipeline** — [`FftService`]: a bounded submission queue with
 //!   admission control (full queue ⇒ [`ServeError::Overloaded`], never
-//!   silent blocking), dispatcher threads that drain same-size requests into
-//!   one batched codelet-program dispatch, and graceful drain on
-//!   [`FftService::shutdown`].
+//!   silent blocking), supervised dispatcher threads that drain same-size
+//!   requests into one batched codelet-program dispatch, and graceful drain
+//!   on [`FftService::shutdown`].
 //! * **Observability** — [`ServeStats`]: relaxed-atomic counters
-//!   (accepted/rejected/completed/deadline-missed, batches, queue
-//!   high-water), latency percentiles, and the planner's hit/miss/build
-//!   counts, exportable as JSON via [`ServeStats::to_json`].
+//!   (accepted/rejected/completed/deadline-missed/failed, batches, queue
+//!   high-water, dispatcher restarts), latency percentiles over a uniform
+//!   reservoir sample, and the planner's hit/miss/build counts, exportable
+//!   as JSON via [`ServeStats::to_json`].
+//!
+//! ## Failure semantics
+//!
+//! Every admitted ticket completes — the serving analogue of the paper's
+//! "every enabled codelet eventually fires". A panic in a plan build or a
+//! codelet body is caught per same-size group: the affected requests fail
+//! with [`ServeError::Internal`] (counted in [`ServeStats::failed`]) and
+//! the dispatcher keeps serving. Should a dispatcher thread die anyway,
+//! each queued job's drop-guard fails its ticket rather than stranding the
+//! waiting client, and a supervisor respawns the thread (bounded by
+//! [`service::ServeConfig::max_dispatcher_restarts`], counted in
+//! [`ServeStats::dispatcher_restarts`]). [`FftService::shutdown`] drains
+//! even when every dispatcher died, so after drain the accounting identity
+//! `accepted == completed + deadline_missed + failed` always holds.
+//! Clients that cannot block forever use [`Ticket::wait_timeout`]. The
+//! [`fault::FaultInjector`] makes these paths testable on demand.
 //!
 //! ## Quick start
 //!
@@ -48,10 +65,12 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod service;
 
 pub use error::ServeError;
+pub use fault::FaultInjector;
 pub use fgfft::planner::{Plan, PlanKey, Planner, PlannerStats};
 pub use metrics::ServeStats;
 pub use service::{FftService, Request, Response, ServeConfig, Ticket};

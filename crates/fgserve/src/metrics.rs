@@ -3,17 +3,57 @@
 //!
 //! Counters are plain relaxed atomics — the request path must never contend
 //! on a metrics lock. Only the latency reservoir takes a mutex, once per
-//! *completed* request (not per attempt), and stays bounded by dropping
-//! samples past the cap rather than growing without limit.
+//! *completed* request (not per attempt), and stays bounded via reservoir
+//! sampling (Vitter's Algorithm R): after the cap is reached each later
+//! sample replaces a random slot with probability `cap / seen`, so the
+//! retained set is a uniform sample over the whole run — steady-state
+//! percentiles are not frozen at whatever the warmup produced.
 
 use fgfft::planner::PlannerStats;
 use fgsupport::bench::Percentiles;
 use fgsupport::json::Value;
+use fgsupport::rng::Rng64;
 use fgsupport::sync::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+/// Bounded uniform sample of completion latencies (Algorithm R).
+#[derive(Debug)]
+pub(crate) struct Reservoir {
+    samples: Vec<u64>,
+    /// Total values offered, including those not retained.
+    seen: u64,
+    rng: Rng64,
+    cap: usize,
+}
+
+impl Reservoir {
+    fn new(cap: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            seen: 0,
+            // Any fixed seed works: the reservoir needs uniformity across
+            // the offer sequence, not unpredictability.
+            rng: Rng64::seed_from_u64(0x1a7e_5a3b_1e5e_701d),
+            cap,
+        }
+    }
+
+    /// Offer one value; it is retained with probability `cap / seen`.
+    fn offer(&mut self, value: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(value);
+        } else if self.cap > 0 {
+            let slot = self.rng.gen_below(self.seen);
+            if (slot as usize) < self.cap {
+                self.samples[slot as usize] = value;
+            }
+        }
+    }
+}
+
 /// Shared mutable metrics state, owned by the service and its dispatchers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Metrics {
     /// Requests admitted into the queue.
     pub accepted: AtomicU64,
@@ -23,26 +63,39 @@ pub(crate) struct Metrics {
     pub completed: AtomicU64,
     /// Requests dropped because their deadline passed before dispatch.
     pub deadline_missed: AtomicU64,
-    /// Runtime dispatches performed (each serves ≥ 1 request).
+    /// Requests that failed with [`crate::ServeError::Internal`] — a panic
+    /// in their dispatch, or abandonment by a dying dispatcher.
+    pub failed: AtomicU64,
+    /// Runtime dispatches performed to completion (each served ≥ 1 request).
     pub batches: AtomicU64,
+    /// Requests served by those completed dispatches — the numerator of
+    /// the mean batch size (deadline-missed and failed requests never made
+    /// it through a dispatch and must not dilute the mean).
+    pub dispatched: AtomicU64,
     /// Requests served through a batch of size ≥ 2.
     pub batched_requests: AtomicU64,
+    /// Dispatcher threads respawned by the supervisor after dying.
+    pub dispatcher_restarts: AtomicU64,
     /// Highest queue depth observed at admission.
     pub queue_high_water: AtomicUsize,
-    /// Completed-request latencies in nanoseconds, capped at
-    /// `latency_samples` (earliest kept — the steady-state view a closed
-    /// loop produces is uniform anyway, and dropping is cheaper than
-    /// reservoir resampling here).
-    pub latencies_ns: Mutex<Vec<u64>>,
-    /// Cap for `latencies_ns`.
-    pub latency_cap: usize,
+    /// Completed-request latencies in nanoseconds, reservoir-sampled.
+    pub latencies_ns: Mutex<Reservoir>,
 }
 
 impl Metrics {
     pub(crate) fn new(latency_cap: usize) -> Self {
         Self {
-            latency_cap,
-            ..Self::default()
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            dispatcher_restarts: AtomicU64::new(0),
+            queue_high_water: AtomicUsize::new(0),
+            latencies_ns: Mutex::new(Reservoir::new(latency_cap)),
         }
     }
 
@@ -55,15 +108,14 @@ impl Metrics {
     /// Record a completion observed `latency_ns` after submission.
     pub(crate) fn on_complete(&self, latency_ns: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let mut samples = self.latencies_ns.lock();
-        if samples.len() < self.latency_cap {
-            samples.push(latency_ns);
-        }
+        self.latencies_ns.lock().offer(latency_ns);
     }
 
-    /// Record one runtime dispatch serving `requests` requests.
+    /// Record one completed runtime dispatch serving `requests` requests.
     pub(crate) fn on_batch(&self, requests: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.dispatched
+            .fetch_add(requests as u64, Ordering::Relaxed);
         if requests >= 2 {
             self.batched_requests
                 .fetch_add(requests as u64, Ordering::Relaxed);
@@ -75,6 +127,7 @@ impl Metrics {
         let mut samples: Vec<f64> = self
             .latencies_ns
             .lock()
+            .samples
             .iter()
             .map(|&ns| ns as f64 / 1e6)
             .collect();
@@ -83,8 +136,11 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            dispatched: self.dispatched.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            dispatcher_restarts: self.dispatcher_restarts.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_ms: Percentiles::from_unsorted(&mut samples),
             planner,
@@ -105,13 +161,20 @@ pub struct ServeStats {
     pub completed: u64,
     /// Requests dropped at dispatch because their deadline had passed.
     pub deadline_missed: u64,
-    /// Runtime dispatches (each served one same-plan batch).
+    /// Requests that failed with [`crate::ServeError::Internal`].
+    pub failed: u64,
+    /// Runtime dispatches that completed (each served one same-plan batch).
     pub batches: u64,
+    /// Requests served by those completed dispatches.
+    pub dispatched: u64,
     /// Requests that shared a dispatch with at least one other request.
     pub batched_requests: u64,
+    /// Dispatcher threads the supervisor respawned after unexpected death.
+    pub dispatcher_restarts: u64,
     /// Highest submission-queue depth observed.
     pub queue_high_water: usize,
-    /// Completion latency distribution, milliseconds.
+    /// Completion latency distribution, milliseconds, over a uniform
+    /// reservoir sample of the whole run.
     pub latency_ms: Percentiles,
     /// Plan-cache behavior (hits, misses, builds, residency).
     pub planner: PlannerStats,
@@ -119,17 +182,22 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Requests the service has fully accounted for so far:
-    /// `completed + deadline_missed` — equals `accepted` once drained.
+    /// `completed + deadline_missed + failed` — equals `accepted` once the
+    /// service has drained (the accounting identity every shutdown must
+    /// satisfy, panics included).
     pub fn settled(&self) -> u64 {
-        self.completed + self.deadline_missed
+        self.completed + self.deadline_missed + self.failed
     }
 
-    /// Mean batch size over all dispatches (1.0 when nothing batched).
+    /// Mean batch size over all completed dispatches (1.0 when nothing
+    /// dispatched). Only requests that actually went through a dispatch
+    /// count — deadline-missed and failed requests are excluded from the
+    /// numerator.
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
             1.0
         } else {
-            self.settled() as f64 / self.batches as f64
+            self.dispatched as f64 / self.batches as f64
         }
     }
 
@@ -141,8 +209,14 @@ impl ServeStats {
             ("rejected", Value::Num(self.rejected as f64)),
             ("completed", Value::Num(self.completed as f64)),
             ("deadline_missed", Value::Num(self.deadline_missed as f64)),
+            ("failed", Value::Num(self.failed as f64)),
             ("batches", Value::Num(self.batches as f64)),
+            ("dispatched", Value::Num(self.dispatched as f64)),
             ("batched_requests", Value::Num(self.batched_requests as f64)),
+            (
+                "dispatcher_restarts",
+                Value::Num(self.dispatcher_restarts as f64),
+            ),
             ("queue_high_water", Value::Num(self.queue_high_water as f64)),
             ("mean_batch_size", Value::Num(self.mean_batch_size())),
             (
@@ -189,17 +263,26 @@ mod tests {
         m.on_complete(3_000_000);
         m.on_batch(1);
         m.on_batch(4);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        m.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        m.dispatcher_restarts.fetch_add(1, Ordering::Relaxed);
         let s = m.snapshot(PlannerStats::default());
         assert_eq!(s.accepted, 3);
         assert_eq!(s.rejected, 2);
         assert_eq!(s.completed, 2);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.deadline_missed, 1);
+        assert_eq!(s.dispatcher_restarts, 1);
         assert_eq!(s.queue_high_water, 7);
         assert_eq!(s.batches, 2);
+        assert_eq!(s.dispatched, 5);
         assert_eq!(s.batched_requests, 4);
         assert_eq!(s.latency_ms.count, 2);
         assert!((s.latency_ms.mean - 2.0).abs() < 1e-9);
-        assert_eq!(s.settled(), 2);
-        assert!((s.mean_batch_size() - 1.0).abs() < 1e-12);
+        assert_eq!(s.settled(), 4, "completed + deadline_missed + failed");
+        // 5 requests went through 2 dispatches: mean uses what was actually
+        // dispatched, not everything that settled.
+        assert!((s.mean_batch_size() - 2.5).abs() < 1e-12);
     }
 
     #[test]
@@ -208,8 +291,42 @@ mod tests {
         for i in 0..100 {
             m.on_complete(i);
         }
-        assert_eq!(m.latencies_ns.lock().len(), 4);
-        assert_eq!(m.snapshot(PlannerStats::default()).completed, 100);
+        assert_eq!(m.latencies_ns.lock().samples.len(), 4);
+        let s = m.snapshot(PlannerStats::default());
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.latency_ms.count, 4);
+    }
+
+    #[test]
+    fn reservoir_admits_late_samples() {
+        // The old cap-and-stop reservoir kept only the first `cap` samples,
+        // so steady-state percentiles were forever the warmup's. Algorithm R
+        // keeps a uniform sample: with 10_000 offers into 16 slots, the
+        // retained set cannot still be the first 16 values (deterministic —
+        // the RNG is seeded).
+        let m = Metrics::new(16);
+        for i in 0..10_000u64 {
+            m.on_complete(i);
+        }
+        let samples = m.latencies_ns.lock().samples.clone();
+        assert_eq!(samples.len(), 16);
+        assert!(
+            samples.iter().any(|&s| s >= 16),
+            "reservoir still holds only warmup samples: {samples:?}"
+        );
+        // And it stays a sample of the *whole* run, not just the tail.
+        assert!(samples.iter().any(|&s| s < 9_000));
+    }
+
+    #[test]
+    fn zero_capacity_reservoir_counts_without_sampling() {
+        let m = Metrics::new(0);
+        for i in 0..10 {
+            m.on_complete(i);
+        }
+        let s = m.snapshot(PlannerStats::default());
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.latency_ms.count, 0);
     }
 
     #[test]
@@ -221,7 +338,10 @@ mod tests {
             "rejected",
             "completed",
             "deadline_missed",
+            "failed",
             "batches",
+            "dispatched",
+            "dispatcher_restarts",
             "queue_high_water",
             "latency_ms",
             "planner",

@@ -1,13 +1,13 @@
 //! The request pipeline: a bounded submission queue with admission control
-//! in front of dispatcher thread(s) that batch same-size requests through
-//! one cached plan and one runtime dispatch.
+//! in front of supervised dispatcher thread(s) that batch same-size
+//! requests through one cached plan and one runtime dispatch.
 //!
 //! ```text
 //!  clients ──submit──▶ [Bounded queue] ──pop──▶ dispatcher ──▶ Runtime
-//!              │            │                      │
-//!         Overloaded     capacity             group by size,
-//!         when full      = backpressure       Planner::plan (cache),
-//!                                             Plan::execute_batch
+//!              │            │                      │ ▲
+//!         Overloaded     capacity             group by size,   supervisor
+//!         when full      = backpressure       Planner::plan,   (respawn on
+//!                                             execute_batch     death)
 //! ```
 //!
 //! Design points, in the spirit of the paper's fine-grain execution model:
@@ -20,9 +20,20 @@
 //!   ([`fgfft::Plan::execute_batch`]): one worker-scope spawn and one set of
 //!   dependence counters for the whole batch. Results are bit-identical to
 //!   serving each request alone — the codelet DAG fixes the arithmetic.
+//! * **Every admitted ticket completes.** The paper's model assumes every
+//!   enabled codelet eventually fires; the serving layer restores that
+//!   guarantee under panics. Each dispatch runs under `catch_unwind`: a
+//!   panicking plan build or codelet body fails the affected requests with
+//!   [`ServeError::Internal`] and the dispatcher keeps serving. Behind
+//!   that, every queued job carries a drop-guard that fails its ticket if a
+//!   dying thread abandons it, and a supervisor respawns dispatcher
+//!   threads that die despite the guard (up to
+//!   [`ServeConfig::max_dispatcher_restarts`]).
 //! * **Graceful drain.** [`FftService::shutdown`] stops admissions, lets the
 //!   dispatchers drain every queued request, joins them, and returns the
-//!   final stats snapshot.
+//!   final stats snapshot. If every dispatcher died, shutdown serves the
+//!   leftovers inline — after any number of failures the accounting
+//!   identity `accepted == completed + deadline_missed + failed` holds.
 
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServeStats};
@@ -30,13 +41,15 @@ use fgfft::exec::Version;
 use fgfft::planner::Planner;
 use fgfft::Complex64;
 use fgsupport::queue::Bounded;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How long a dispatcher sleeps on an empty queue before re-checking the
-/// stop flag. Pops are condvar-woken, so this only bounds shutdown latency.
+/// stop flag, and how often the supervisor sweeps for dead dispatchers.
+/// Pops are condvar-woken, so this only bounds shutdown/respawn latency.
 const IDLE_POLL: Duration = Duration::from_millis(5);
 
 /// Service configuration.
@@ -51,12 +64,20 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Dispatcher threads draining the queue.
     pub dispatchers: usize,
+    /// How many dispatcher threads the supervisor may respawn over the
+    /// service's lifetime if they die despite the panic guard (defense in
+    /// depth — a guarded panic never kills the thread). Past the budget a
+    /// dead dispatcher stays dead; queued work is then served inline by
+    /// [`FftService::shutdown`].
+    pub max_dispatcher_restarts: usize,
     /// Scheduling algorithm for every transform.
     pub version: Version,
     /// Codelet radix exponent (6 = the paper's 64-point codelets).
     pub radix_log2: u32,
-    /// Cap on retained latency samples.
+    /// Cap on retained latency samples (reservoir-sampled past the cap).
     pub latency_samples: usize,
+    /// Fault injection for tests and chaos drills; defaults to a no-op.
+    pub fault: crate::fault::FaultInjector,
 }
 
 impl Default for ServeConfig {
@@ -68,9 +89,11 @@ impl Default for ServeConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             dispatchers: 1,
+            max_dispatcher_restarts: 4,
             version: Version::FineGuided,
             radix_log2: 6,
             latency_samples: 1 << 16,
+            fault: crate::fault::FaultInjector::none(),
         }
     }
 }
@@ -84,9 +107,9 @@ pub struct Request {
     /// Expected transform size; must equal `buffer.len()` and be a power of
     /// two ≥ 2.
     pub n: usize,
-    /// If set and already passed when a dispatcher picks the request up,
-    /// the request completes with [`ServeError::DeadlineExceeded`] instead
-    /// of being transformed.
+    /// If set and already passed when a dispatcher reaches the request's
+    /// same-size group, the request completes with
+    /// [`ServeError::DeadlineExceeded`] instead of being transformed.
     pub deadline: Option<Instant>,
 }
 
@@ -128,13 +151,19 @@ impl TicketState {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         };
-        debug_assert!(slot.is_none(), "ticket completed twice");
+        if slot.is_some() {
+            // First completion wins; the job drop-guard can only race its
+            // own explicit completion through a bug, never a client.
+            debug_assert!(false, "ticket completed twice");
+            return;
+        }
         *slot = Some(result);
         self.ready.notify_all();
     }
 }
 
-/// Handle to one submitted request; redeem it with [`Ticket::wait`].
+/// Handle to one submitted request; redeem it with [`Ticket::wait`] or
+/// [`Ticket::wait_timeout`].
 #[derive(Debug)]
 pub struct Ticket {
     state: Arc<TicketState>,
@@ -142,7 +171,7 @@ pub struct Ticket {
 
 impl Ticket {
     /// Block until the request completes (transform done, deadline missed,
-    /// or drained at shutdown) and return the outcome.
+    /// failed, or drained at shutdown) and return the outcome.
     pub fn wait(self) -> Result<Response, ServeError> {
         let mut slot = match self.state.result.lock() {
             Ok(g) => g,
@@ -157,6 +186,34 @@ impl Ticket {
                 Err(p) => p.into_inner(),
             };
         }
+    }
+
+    /// Block up to `timeout` for the request to complete. Returns the
+    /// outcome, or the ticket itself when the timeout expires first so the
+    /// caller can keep waiting (or drop it — the service still completes
+    /// and accounts for the request either way).
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Response, ServeError>, Ticket> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut slot = match self.state.result.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                if let Some(result) = slot.take() {
+                    return Ok(result);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                slot = match self.state.ready.wait_timeout(slot, remaining) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+            }
+        }
+        Err(self)
     }
 
     /// Non-blocking probe: the outcome if the request already completed.
@@ -176,6 +233,11 @@ impl Ticket {
 }
 
 /// A queued unit of work.
+///
+/// Completion is mandatory: a job that is dropped without being settled —
+/// e.g. its dispatcher thread died while holding it — fails its ticket
+/// with [`ServeError::Internal`] from the drop-guard, so a client blocked
+/// in [`Ticket::wait`] can never hang on an abandoned request.
 #[derive(Debug)]
 struct Job {
     buffer: Vec<Complex64>,
@@ -183,14 +245,60 @@ struct Job {
     deadline: Option<Instant>,
     submitted: Instant,
     ticket: Arc<TicketState>,
+    metrics: Arc<Metrics>,
+    /// Whether the ticket has been completed (or deliberately disarmed).
+    settled: bool,
 }
 
-/// State shared by the service handle and its dispatcher threads.
+impl Job {
+    /// Complete the ticket successfully, recording the latency.
+    fn succeed(mut self) {
+        let latency_ns = self.submitted.elapsed().as_nanos() as u64;
+        self.metrics.on_complete(latency_ns);
+        let buffer = std::mem::take(&mut self.buffer);
+        self.settled = true;
+        self.ticket.complete(Ok(Response { buffer }));
+    }
+
+    /// Complete the ticket with `error`, counting it under the matching
+    /// metric.
+    fn fail(&mut self, error: ServeError) {
+        match &error {
+            ServeError::DeadlineExceeded => {
+                self.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeError::Internal { .. } => {
+                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        self.settled = true;
+        self.ticket.complete(Err(error));
+    }
+
+    /// Disarm the drop-guard without completing the ticket — for jobs the
+    /// queue refused, whose ticket is never handed to a client.
+    fn discard(mut self) {
+        self.settled = true;
+    }
+}
+
+impl Drop for Job {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.fail(ServeError::Internal {
+                reason: "request abandoned by a dying dispatcher".to_string(),
+            });
+        }
+    }
+}
+
+/// State shared by the service handle, its dispatchers, and the supervisor.
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
     queue: Bounded<Job>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     planner: Arc<Planner>,
     /// Cleared by shutdown: no new admissions.
     accepting: AtomicBool,
@@ -200,7 +308,7 @@ struct Shared {
 }
 
 /// A concurrent FFT service: bounded admission, plan-cached batched
-/// execution, metrics.
+/// execution, panic-safe supervised dispatch, metrics.
 ///
 /// ```
 /// use fgserve::{FftService, Request, ServeConfig};
@@ -214,11 +322,12 @@ struct Shared {
 /// assert_eq!(response.buffer.len(), 1024);
 /// let stats = service.shutdown();
 /// assert_eq!(stats.completed, 1);
+/// assert_eq!(stats.accepted, stats.settled());
 /// ```
 #[derive(Debug)]
 pub struct FftService {
     shared: Arc<Shared>,
-    dispatchers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl FftService {
@@ -232,21 +341,22 @@ impl FftService {
     pub fn start_with_planner(config: ServeConfig, planner: Arc<Planner>) -> Self {
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
-            metrics: Metrics::new(config.latency_samples),
+            metrics: Arc::new(Metrics::new(config.latency_samples)),
             planner,
             accepting: AtomicBool::new(true),
             stop: AtomicBool::new(false),
             config,
         });
-        let dispatchers = (0..shared.config.dispatchers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || dispatcher_loop(&shared))
-            })
+        let dispatchers: Vec<JoinHandle<()>> = (0..shared.config.dispatchers.max(1))
+            .map(|_| spawn_dispatcher(&shared))
             .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervise(&shared, dispatchers))
+        };
         Self {
             shared,
-            dispatchers,
+            supervisor: Some(supervisor),
         }
     }
 
@@ -277,13 +387,18 @@ impl FftService {
             deadline: request.deadline,
             submitted: Instant::now(),
             ticket: Arc::clone(&state),
+            metrics: Arc::clone(&self.shared.metrics),
+            settled: false,
         };
         match self.shared.queue.try_push(job) {
             Ok(depth) => {
                 self.shared.metrics.on_accept(depth);
                 Ok(Ticket { state })
             }
-            Err(_job) => {
+            Err(job) => {
+                // The client never receives this ticket, so the drop-guard
+                // must not complete (and count) it as a failure.
+                job.discard();
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Overloaded {
                     queue_capacity: self.shared.queue.capacity(),
@@ -308,30 +423,86 @@ impl FftService {
     }
 
     /// Graceful shutdown: stop admitting, drain every queued request, join
-    /// the dispatchers, and return the final stats. Already-submitted
-    /// tickets all complete (transformed, or `DeadlineExceeded`).
+    /// the supervisor and dispatchers, and return the final stats.
+    /// Already-submitted tickets all complete — transformed,
+    /// `DeadlineExceeded`, or `Internal` — even if every dispatcher died:
+    /// leftovers are then served inline, so after shutdown
+    /// `accepted == completed + deadline_missed + failed`.
     pub fn shutdown(mut self) -> ServeStats {
-        self.begin_shutdown();
-        for handle in self.dispatchers.drain(..) {
-            let _ = handle.join();
-        }
+        self.halt();
         self.serve_stats()
     }
 
-    fn begin_shutdown(&self) {
+    fn halt(&mut self) {
         self.shared.accepting.store(false, Ordering::Release);
         self.shared.stop.store(true, Ordering::Release);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        // Live dispatchers drain the queue before exiting; this inline
+        // drain only finds work when every dispatcher died past the
+        // restart budget — the last line of the completion guarantee.
+        if !self.shared.queue.is_empty() {
+            let runtime = codelet::runtime::Runtime::with_workers(self.shared.config.workers);
+            let mut leftovers: Vec<Job> = Vec::new();
+            while let Some(job) = self.shared.queue.try_pop() {
+                leftovers.push(job);
+            }
+            serve_batch(&self.shared, &runtime, &mut leftovers);
+        }
     }
 }
 
 impl Drop for FftService {
     fn drop(&mut self) {
-        // `shutdown` already drained `dispatchers`; a plain drop still
-        // drains the queue rather than abandoning tickets.
-        self.begin_shutdown();
-        for handle in self.dispatchers.drain(..) {
-            let _ = handle.join();
+        // `shutdown` already ran `halt`; a plain drop still drains the
+        // queue rather than abandoning tickets.
+        self.halt();
+    }
+}
+
+fn spawn_dispatcher(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || dispatcher_loop(&shared))
+}
+
+/// Supervisor: own the dispatcher handles, respawn any that die while the
+/// service is running (up to the configured budget), and join them all at
+/// shutdown. Guarded panics never kill a dispatcher, so a death here means
+/// a panic outside the guard — defense in depth, observable through
+/// [`ServeStats::dispatcher_restarts`].
+fn supervise(shared: &Arc<Shared>, mut dispatchers: Vec<JoinHandle<()>>) {
+    let budget = shared.config.max_dispatcher_restarts as u64;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            for handle in dispatchers.drain(..) {
+                let _ = handle.join();
+            }
+            return;
         }
+        let mut index = 0;
+        while index < dispatchers.len() {
+            if !dispatchers[index].is_finished() {
+                index += 1;
+                continue;
+            }
+            let restarts = shared.metrics.dispatcher_restarts.load(Ordering::Acquire);
+            if restarts < budget {
+                shared
+                    .metrics
+                    .dispatcher_restarts
+                    .fetch_add(1, Ordering::AcqRel);
+                let dead = std::mem::replace(&mut dispatchers[index], spawn_dispatcher(shared));
+                let _ = dead.join();
+                index += 1;
+            } else {
+                // Budget exhausted: give up on this slot. Queued work is
+                // served by surviving dispatchers, or inline at shutdown.
+                let dead = dispatchers.swap_remove(index);
+                let _ = dead.join();
+            }
+        }
+        std::thread::sleep(IDLE_POLL);
     }
 }
 
@@ -359,6 +530,10 @@ fn dispatcher_loop(shared: &Shared) {
                         None => break,
                     }
                 }
+                // Unguarded trip point: an injected panic here unwinds the
+                // dispatcher thread itself, exercising the job drop-guards
+                // and the supervisor's respawn path.
+                shared.config.fault.before_batch_unguarded();
                 serve_batch(shared, &runtime, &mut batch);
             }
             None => {
@@ -370,21 +545,24 @@ fn dispatcher_loop(shared: &Shared) {
     }
 }
 
-/// Execute a drained batch: drop expired jobs, then run each same-size group
-/// through one plan lookup and one batched dispatch.
+/// Render a `catch_unwind` payload into a `ServeError::Internal` reason.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
+/// Execute a drained batch: split it into same-size groups, re-check
+/// deadlines per group (an earlier slow or panicking group must not let a
+/// later job sail past its deadline unnoticed), and run each group through
+/// one plan lookup and one batched dispatch under a panic guard. A panic
+/// fails exactly that group's tickets with [`ServeError::Internal`]; the
+/// dispatcher — and every other group in the batch — carries on.
 fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut Vec<Job>) {
-    let now = Instant::now();
-    batch.retain(|job| {
-        let expired = job.deadline.is_some_and(|d| d < now);
-        if expired {
-            shared
-                .metrics
-                .deadline_missed
-                .fetch_add(1, Ordering::Relaxed);
-            job.ticket.complete(Err(ServeError::DeadlineExceeded));
-        }
-        !expired
-    });
     while !batch.is_empty() {
         // Split off the leading run of equal sizes (the gather above makes
         // mixed batches rare: at most the final element differs).
@@ -394,23 +572,51 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
             .position(|j| j.n_log2 != n_log2)
             .unwrap_or(batch.len());
         let mut group: Vec<Job> = batch.drain(..split).collect();
-        let plan = shared.planner.plan(
-            1usize << n_log2,
-            shared.config.version,
-            shared.config.version.layout(),
-        );
-        {
+        // Deadline check at the moment *this group* is reached, not once
+        // per drained batch: earlier groups may have consumed the budget.
+        let now = Instant::now();
+        group.retain_mut(|job| {
+            let expired = job.deadline.is_some_and(|d| d < now);
+            if expired {
+                job.fail(ServeError::DeadlineExceeded);
+            }
+            !expired
+        });
+        if group.is_empty() {
+            continue;
+        }
+        let n = 1usize << n_log2;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shared.config.fault.before_dispatch(n);
+            let plan =
+                shared
+                    .planner
+                    .plan(n, shared.config.version, shared.config.version.layout());
             let mut views: Vec<&mut [Complex64]> = group
                 .iter_mut()
                 .map(|job| job.buffer.as_mut_slice())
                 .collect();
             plan.execute_batch(&mut views, runtime);
-        }
-        shared.metrics.on_batch(group.len());
-        for job in group {
-            let latency_ns = job.submitted.elapsed().as_nanos() as u64;
-            shared.metrics.on_complete(latency_ns);
-            job.ticket.complete(Ok(Response { buffer: job.buffer }));
+        }));
+        match outcome {
+            Ok(_) => {
+                shared.metrics.on_batch(group.len());
+                for job in group {
+                    job.succeed();
+                }
+            }
+            Err(payload) => {
+                // The group's buffers may be partially transformed; the
+                // transform is lost but nothing hangs and nothing leaks:
+                // every affected ticket completes with the panic's reason,
+                // and the dispatcher survives to serve the next batch.
+                let reason = panic_reason(payload.as_ref());
+                for mut job in group {
+                    job.fail(ServeError::Internal {
+                        reason: reason.clone(),
+                    });
+                }
+            }
         }
     }
 }
@@ -418,6 +624,7 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultInjector;
     use fgfft::rms_error;
 
     fn signal(n: usize) -> Vec<Complex64> {
@@ -452,6 +659,8 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.dispatcher_restarts, 0);
         assert_eq!(stats.planner.built, 1);
     }
 
@@ -558,5 +767,81 @@ mod tests {
             }
         }
         service.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_ticket_then_the_result() {
+        let service = FftService::start(small_config());
+        let ticket = service
+            .submit(Request::new(signal(1 << 12)))
+            .expect("admitted");
+        // A zero timeout on a just-submitted request virtually always
+        // expires first; either way the contract holds.
+        match ticket.wait_timeout(Duration::ZERO) {
+            Ok(outcome) => {
+                outcome.expect("completed fine");
+            }
+            Err(ticket) => {
+                // The returned ticket still completes.
+                let outcome = ticket
+                    .wait_timeout(Duration::from_secs(30))
+                    .expect("30 s is plenty for one transform");
+                outcome.expect("completed fine");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn injected_panic_fails_tickets_but_not_the_service() {
+        let fault = FaultInjector::panic_on_batch(1);
+        let service = FftService::start(ServeConfig {
+            fault: fault.clone(),
+            ..small_config()
+        });
+        let poisoned = service
+            .submit(Request::new(signal(1 << 8)))
+            .expect("admitted");
+        match poisoned.wait() {
+            Err(ServeError::Internal { reason }) => {
+                assert!(reason.contains("injected fault"), "reason: {reason}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert_eq!(fault.fired(), 1);
+        // The dispatcher survived: the next request is served normally.
+        let input = signal(1 << 8);
+        let expect = fgfft::reference::recursive_fft(&input);
+        let response = service
+            .submit(Request::new(input))
+            .expect("admitted")
+            .wait()
+            .expect("service recovered");
+        assert!(rms_error(&response.buffer, &expect) < 1e-9);
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.dispatcher_restarts, 0, "guarded panic ≠ dead thread");
+        assert_eq!(stats.settled(), stats.accepted);
+    }
+
+    #[test]
+    fn drop_without_shutdown_still_settles_tickets() {
+        let tickets: Vec<Ticket>;
+        {
+            let service = FftService::start(small_config());
+            tickets = (0..6)
+                .map(|_| {
+                    service
+                        .submit(Request::new(signal(1 << 8)))
+                        .expect("admitted")
+                })
+                .collect();
+            // Dropped without shutdown(): Drop must still drain.
+        }
+        for t in tickets {
+            t.wait().expect("drop drains rather than abandons");
+        }
     }
 }

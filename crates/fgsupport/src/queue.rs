@@ -104,16 +104,28 @@ impl<T> Bounded<T> {
     }
 
     /// Remove the head element, waiting up to `timeout` for one to arrive.
+    ///
+    /// Loops on the *remaining* budget: a spurious condvar wakeup, or a
+    /// notification whose element a racing [`Bounded::try_pop`] consumed
+    /// first, puts the caller back to sleep for the rest of the timeout
+    /// instead of returning `None` early. `None` therefore means the full
+    /// timeout elapsed with nothing to take.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
         let mut q = self.guard();
-        if let Some(v) = q.pop_front() {
-            return Some(v);
+        loop {
+            if let Some(v) = q.pop_front() {
+                return Some(v);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            q = match self.available.wait_timeout(q, remaining) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
         }
-        let (mut q, _) = match self.available.wait_timeout(q, timeout) {
-            Ok(r) => r,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        q.pop_front()
     }
 
     /// Number of queued elements at the time of the call.
@@ -171,6 +183,37 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.try_push(7u32).unwrap();
         assert_eq!(t.join().unwrap(), Some(7));
+    }
+
+    /// A competing `try_pop` consumer that steals the element behind a
+    /// notification must not make the blocked `pop_timeout` give up early:
+    /// the waiter keeps its remaining budget and eventually gets an item.
+    #[test]
+    fn bounded_pop_timeout_survives_stolen_notifications() {
+        let q = std::sync::Arc::new(Bounded::new(8));
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // Push-then-steal storm: each push notifies the waiter, and the
+        // same-thread try_pop usually wins the race to the element, so the
+        // waiter repeatedly wakes to an empty queue. The one-shot wait of
+        // the old implementation returned None on the first such wakeup.
+        for i in 0..200u32 {
+            q.try_push(i).unwrap();
+            let _ = q.try_pop();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        // Whatever the interleaving, a final element guarantees the waiter
+        // something to take (a full queue here means elements are already
+        // waiting for it, which is just as good).
+        let _ = q.try_push(u32::MAX);
+        let got = waiter.join().unwrap();
+        assert!(
+            got.is_some(),
+            "pop_timeout returned None with ~30 s of budget left"
+        );
     }
 
     #[test]

@@ -69,6 +69,21 @@ fn main() {
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
 
+    // 3b. Clients that cannot block forever use `wait_timeout`: a timeout
+    //     hands the ticket back so waiting can resume later — the service
+    //     completes and accounts for the request either way.
+    let mut pending = service
+        .submit(Request::new(tone(n, 440.0)))
+        .expect("queue has room");
+    let response = loop {
+        match pending.wait_timeout(Duration::from_millis(50)) {
+            Ok(outcome) => break outcome.expect("transform succeeds"),
+            Err(ticket) => pending = ticket, // not done yet; keep waiting
+        }
+    };
+    assert_eq!(response.buffer.len(), n);
+    println!("wait_timeout polling completed a transform ✓");
+
     // 4. Shut down (drains in-flight work) and read the final stats.
     let service = Arc::into_inner(service).expect("all clients joined");
     let stats = service.shutdown();
@@ -87,9 +102,16 @@ fn main() {
         stats.planner.hit_rate(),
         stats.planner.resident_bytes / 1024,
     );
-    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.completed, 33);
     assert_eq!(stats.deadline_missed, 1);
     assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failed, 0, "no panics on this run");
+    assert_eq!(stats.dispatcher_restarts, 0);
+    assert_eq!(
+        stats.accepted,
+        stats.settled(),
+        "post-drain accounting identity: accepted == completed + deadline_missed + failed"
+    );
     assert_eq!(stats.planner.built, 1, "one size ⇒ one plan");
 
     // 5. The whole snapshot is JSON-exportable for scrapers.

@@ -1,14 +1,35 @@
 //! Cross-crate serving-layer tests: the plan cache's single-flight
-//! guarantee under thread hammering, admission-control backpressure, and
-//! end-to-end correctness of batched service execution.
+//! guarantee under thread hammering, admission-control backpressure,
+//! end-to-end correctness of batched service execution, and the
+//! panic-safety guarantees — injected panics, dispatcher supervision,
+//! and the post-drain accounting identity
+//! `accepted == completed + deadline_missed + failed`.
 
 use fgfft::exec::Version;
 use fgfft::planner::{Plan, PlanKey, Planner};
 use fgfft::{rms_error, Complex64, TwiddleLayout};
-use fgserve::{FftService, Request, ServeConfig, ServeError, Ticket};
+use fgserve::{FaultInjector, FftService, Request, ServeConfig, ServeError, ServeStats, Ticket};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+
+/// Every shutdown, however many faults were injected, must satisfy the
+/// accounting identity: nothing admitted is ever lost or double-counted.
+fn assert_drained(stats: &ServeStats) {
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.deadline_missed + stats.failed,
+        "accounting identity violated: {stats:?}"
+    );
+}
+
+/// Redeem a ticket with a hang guard: a wedged service fails the test
+/// instead of hanging it.
+fn wait_bounded(ticket: Ticket) -> Result<fgserve::Response, ServeError> {
+    ticket
+        .wait_timeout(Duration::from_secs(60))
+        .expect("ticket not completed within 60 s — the no-hang guarantee is broken")
+}
 
 fn signal(n: usize, phase: f64) -> Vec<Complex64> {
     (0..n)
@@ -243,6 +264,301 @@ fn service_matches_reference_fft() {
     service.shutdown();
 }
 
+/// The acceptance scenario for panic-safe serving: one dispatcher, an
+/// injected panic in the first dispatch. Every previously-submitted ticket
+/// must complete (no `wait` hang), `failed` must be positive, the service
+/// must still serve a correct transform afterwards, and after drain the
+/// accounting identity must hold.
+#[test]
+fn injected_panic_never_hangs_tickets_and_service_recovers() {
+    let n = 1 << 9;
+    let fault = FaultInjector::panic_on_batch(1);
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 32,
+        max_batch: 4,
+        workers: 2,
+        dispatchers: 1,
+        fault: fault.clone(),
+        ..ServeConfig::default()
+    });
+    // A burst submitted up front: some land in the poisoned first batch,
+    // the rest are served by the surviving dispatcher.
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| {
+            service
+                .submit(Request::new(signal(n, i as f64)))
+                .expect("admitted")
+        })
+        .collect();
+    let mut failures = 0u64;
+    for t in tickets {
+        match wait_bounded(t) {
+            Ok(response) => assert_eq!(response.buffer.len(), n),
+            Err(ServeError::Internal { reason }) => {
+                assert!(reason.contains("injected fault"), "reason: {reason}");
+                failures += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(failures > 0, "the injected panic must have failed someone");
+    assert_eq!(fault.fired(), 1);
+
+    // Continued correct service after the panic.
+    let input = signal(n, 99.0);
+    let expect = fgfft::reference::recursive_fft(&input);
+    let response = wait_bounded(service.submit(Request::new(input)).expect("admitted"))
+        .expect("service recovered");
+    assert!(rms_error(&response.buffer, &expect) < 1e-9);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, failures);
+    assert!(stats.failed > 0);
+    assert_eq!(
+        stats.dispatcher_restarts, 0,
+        "guarded panic keeps the thread"
+    );
+    assert_drained(&stats);
+}
+
+/// A size-targeted fault fails only that size's groups; other sizes served
+/// by the same dispatchers are untouched.
+#[test]
+fn panic_on_one_size_spares_other_sizes() {
+    let poisoned_n = 1 << 8;
+    let healthy_n = 1 << 10;
+    let fault = FaultInjector::panic_on_size(poisoned_n, u64::MAX);
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        workers: 2,
+        dispatchers: 1,
+        fault,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<(usize, Ticket)> = (0..10)
+        .map(|i| {
+            let n = if i % 2 == 0 { poisoned_n } else { healthy_n };
+            (
+                n,
+                service
+                    .submit(Request::new(signal(n, i as f64)))
+                    .expect("admitted"),
+            )
+        })
+        .collect();
+    for (n, t) in tickets {
+        let outcome = wait_bounded(t);
+        if n == poisoned_n {
+            assert!(
+                matches!(outcome, Err(ServeError::Internal { .. })),
+                "poisoned size must fail, got {outcome:?}"
+            );
+        } else {
+            assert_eq!(outcome.expect("healthy size serves").buffer.len(), n);
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 5);
+    assert_eq!(stats.completed, 5);
+    assert_drained(&stats);
+}
+
+/// Defense in depth: a panic *outside* the dispatch guard kills the
+/// dispatcher thread. The jobs it held must still complete (drop-guard),
+/// the supervisor must respawn the thread within its budget, and service
+/// must continue.
+#[test]
+fn killed_dispatcher_is_respawned_by_supervisor() {
+    let n = 1 << 9;
+    let fault = FaultInjector::kill_dispatcher_on_batch(1);
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 32,
+        max_batch: 4,
+        workers: 2,
+        dispatchers: 1,
+        max_dispatcher_restarts: 2,
+        fault: fault.clone(),
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..6)
+        .map(|i| {
+            service
+                .submit(Request::new(signal(n, i as f64)))
+                .expect("admitted")
+        })
+        .collect();
+    let mut abandoned = 0u64;
+    for t in tickets {
+        match wait_bounded(t) {
+            Ok(_) => {}
+            Err(ServeError::Internal { .. }) => abandoned += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(fault.fired() >= 1, "the kill fault must have tripped");
+    assert!(
+        abandoned >= 1,
+        "the killed dispatcher held at least one job; its drop-guard must fail it"
+    );
+    // The respawned dispatcher keeps serving.
+    let input = signal(n, 7.5);
+    let expect = fgfft::reference::recursive_fft(&input);
+    let response = wait_bounded(service.submit(Request::new(input)).expect("admitted"))
+        .expect("respawned dispatcher serves");
+    assert!(rms_error(&response.buffer, &expect) < 1e-9);
+    let stats = service.shutdown();
+    assert!(
+        stats.dispatcher_restarts >= 1,
+        "supervisor must record the respawn: {stats:?}"
+    );
+    assert_eq!(stats.failed, abandoned);
+    assert_drained(&stats);
+}
+
+/// Repeated injected panics (N faults over the run): the service keeps
+/// recovering, every ticket settles, and the identity holds at drain.
+#[test]
+fn service_survives_repeated_injected_panics() {
+    const FAULTS: u64 = 5;
+    let n = 1 << 8;
+    let fault = FaultInjector::panic_on_size(n, FAULTS);
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 32,
+        max_batch: 1, // one request per dispatch: each fault hits one ticket
+        workers: 2,
+        dispatchers: 1,
+        fault: fault.clone(),
+        ..ServeConfig::default()
+    });
+    let mut failed = 0u64;
+    let mut completed = 0u64;
+    for i in 0..(FAULTS + 3) {
+        let outcome = wait_bounded(
+            service
+                .submit(Request::new(signal(n, i as f64)))
+                .expect("admitted"),
+        );
+        match outcome {
+            Ok(_) => completed += 1,
+            Err(ServeError::Internal { .. }) => failed += 1,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(fault.fired(), FAULTS, "every configured fault fired");
+    assert_eq!(failed, FAULTS);
+    assert_eq!(completed, 3, "requests after the budget are served");
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, FAULTS);
+    assert_drained(&stats);
+}
+
+/// Multi-dispatcher smoke under adversity: several dispatchers, concurrent
+/// clients, mixed sizes, expired deadlines, and injected size-targeted
+/// panics all at once. Every ticket settles, successful responses are
+/// numerically correct, and the drain identity holds.
+#[test]
+fn multi_dispatcher_mixed_load_with_faults_and_deadlines() {
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 8;
+    let poisoned_n = 1 << 8;
+    let sizes = [1 << 8, 1 << 9, 1 << 10];
+    let fault = FaultInjector::panic_on_size(poisoned_n, 3);
+    let service = Arc::new(FftService::start(ServeConfig {
+        queue_capacity: 256,
+        max_batch: 4,
+        workers: 2,
+        dispatchers: 3,
+        fault,
+        ..ServeConfig::default()
+    }));
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut outcomes = Vec::new();
+                for r in 0..PER_CLIENT {
+                    let i = c * PER_CLIENT + r;
+                    let n = sizes[i % sizes.len()];
+                    let input = signal(n, i as f64);
+                    let expect = fgfft::reference::recursive_fft(&input);
+                    let mut request = Request::new(input);
+                    // Every 4th request carries an already-expired deadline.
+                    if i % 4 == 3 {
+                        request = request.with_deadline(Instant::now() - Duration::from_secs(1));
+                    }
+                    let ticket = service.submit(request).expect("queue sized for the load");
+                    let outcome = ticket
+                        .wait_timeout(Duration::from_secs(60))
+                        .expect("no ticket may hang");
+                    if let Ok(response) = &outcome {
+                        assert!(
+                            rms_error(&response.buffer, &expect) < 1e-9,
+                            "client {c} request {r}: wrong result"
+                        );
+                    }
+                    outcomes.push(outcome);
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut missed = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        for outcome in h.join().expect("client panicked") {
+            match outcome {
+                Ok(_) => completed += 1,
+                Err(ServeError::DeadlineExceeded) => missed += 1,
+                Err(ServeError::Internal { .. }) => failed += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+    let service = Arc::into_inner(service).expect("all clients done");
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, completed);
+    assert_eq!(stats.deadline_missed, missed);
+    assert_eq!(stats.failed, failed);
+    assert_eq!(stats.accepted, (CLIENTS * PER_CLIENT) as u64);
+    assert!(failed > 0, "the size fault must have hit someone");
+    assert!(missed > 0, "expired deadlines must have been dropped");
+    assert_drained(&stats);
+}
+
+/// Shutdown with several dispatchers racing a full queue: every admitted
+/// ticket settles and the drain identity holds.
+#[test]
+fn multi_dispatcher_shutdown_drains_under_load() {
+    let service = FftService::start(ServeConfig {
+        queue_capacity: 128,
+        max_batch: 8,
+        workers: 2,
+        dispatchers: 3,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<Ticket> = (0..60)
+        .map(|i| {
+            let n = if i % 2 == 0 { 1 << 8 } else { 1 << 9 };
+            service
+                .submit(Request::new(signal(n, i as f64)))
+                .expect("admitted")
+        })
+        .collect();
+    // Shut down immediately: dispatchers must drain everything first.
+    let stats = service.shutdown();
+    for t in tickets {
+        wait_bounded(t).expect("drained requests complete successfully");
+    }
+    assert_eq!(stats.completed, 60);
+    assert_eq!(stats.failed, 0);
+    assert_drained(&stats);
+}
+
 /// Stats JSON export round-trips through the workspace JSON parser with the
 /// documented keys present.
 #[test]
@@ -262,6 +578,11 @@ fn serve_stats_json_is_parseable() {
     let json = stats.to_json().to_string_pretty();
     let parsed = fgsupport::json::parse(&json).expect("valid JSON");
     assert_eq!(parsed.get("completed").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(parsed.get("failed").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        parsed.get("dispatcher_restarts").and_then(|v| v.as_u64()),
+        Some(0)
+    );
     assert!(parsed
         .get("planner")
         .and_then(|p| p.get("hit_rate"))
