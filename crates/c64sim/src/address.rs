@@ -57,6 +57,22 @@ impl Interleave {
         ((last - first + 1).min(self.banks as u64)) as usize
     }
 
+    /// Visit the bank of every interleave line the byte range `[lo, hi)`
+    /// touches, one call per line — how the memory system actually issues a
+    /// multi-line request. This is the *only* line-splitting rule; analysis
+    /// passes (e.g. the `fgcheck` bank linter) fold footprints through it
+    /// rather than re-implementing the division.
+    pub fn for_each_line_bank(&self, lo: Addr, hi: Addr, mut f: impl FnMut(usize)) {
+        if hi <= lo {
+            return;
+        }
+        let first = lo / self.unit_bytes;
+        let last = (hi - 1) / self.unit_bytes;
+        for line in first..=last {
+            f((line % self.banks as u64) as usize);
+        }
+    }
+
     /// Bank histogram of an access stream with fixed element size and
     /// stride: addresses `base + i*stride_bytes` for `i in 0..count`.
     /// Diagnostic helper used by tests and by the motivation example.
@@ -205,6 +221,41 @@ mod tests {
             let hist = il.stride_histogram(0, 1 << log_stride, 32);
             assert_eq!(hist[0], 32, "stride 2^{log_stride}");
         }
+    }
+
+    #[test]
+    fn cyclops64_constants_are_pinned() {
+        // The machine constants every layer shares: 64-byte interleave
+        // units rotating round-robin over 4 banks. Changing either silently
+        // changes every figure; pin them.
+        let il = Interleave::cyclops64();
+        assert_eq!(il.unit_bytes, 64);
+        assert_eq!(il.banks, 4);
+        for k in 0..16u64 {
+            assert_eq!(il.bank_of(k * 64), (k % 4) as usize, "line {k}");
+        }
+    }
+
+    #[test]
+    fn for_each_line_bank_splits_like_the_memory_system() {
+        let il = Interleave::cyclops64();
+        let collect = |lo, hi| {
+            let mut v = Vec::new();
+            il.for_each_line_bank(lo, hi, |b| v.push(b));
+            v
+        };
+        // Empty and single-line ranges.
+        assert!(collect(0, 0).is_empty());
+        assert!(collect(10, 10).is_empty());
+        assert_eq!(collect(0, 1), vec![0]);
+        assert_eq!(collect(0, 64), vec![0]);
+        assert_eq!(collect(63, 64), vec![0]);
+        // Straddling a line boundary.
+        assert_eq!(collect(60, 68), vec![0, 1]);
+        // A 256-byte range covers one full rotation.
+        assert_eq!(collect(0, 256), vec![0, 1, 2, 3]);
+        // Rotation wraps past bank 3.
+        assert_eq!(collect(192, 320), vec![3, 0]);
     }
 
     #[test]

@@ -50,14 +50,9 @@ impl BankPressure {
             let Some(level) = hb.level(t) else { continue };
             let row = &mut hist[level as usize];
             for r in footprint(t) {
-                if r.is_empty() {
-                    continue;
-                }
-                let first = r.lo / interleave.unit_bytes;
-                let last = (r.hi - 1) / interleave.unit_bytes;
-                for line in first..=last {
-                    row[(line % interleave.banks as u64) as usize] += 1;
-                }
+                // The machine's own line-splitting rule decides how many
+                // bank accesses a range costs — no local copy of the math.
+                interleave.for_each_line_bank(r.lo, r.hi, |bank| row[bank] += 1);
             }
         }
         Self { hist, interleave }

@@ -1,8 +1,11 @@
 //! The FFT driver: run all three passes against one algorithm version.
 //!
-//! [`check_fft`] rebuilds the *exact* schedule `fgfft::simwork::run_sim`
-//! would execute — same graphs, same seeds, same phase structure, including
-//! the small-plan guided fallback — and checks it without running it:
+//! [`check_fft`] takes the schedule and the per-codelet footprints straight
+//! from `fgfft`'s workload layer — the *same* [`ScheduleSpec`] (graphs,
+//! seeds, phase structure, small-plan guided fallback) that
+//! `fgfft::simwork::run_sim` executes and `fgfft::planner::Plan`
+//! materializes, and the same byte addresses the simulator replays — and
+//! checks it without running it:
 //!
 //! 1. the graph contract (`codelet::verify`, codes FG001–FG008),
 //! 2. happens-before races over task footprints (FG101/FG201),
@@ -15,10 +18,10 @@
 use crate::bank::BankPressure;
 use crate::hb::{HbOrder, Segment};
 use crate::race::{find_races, RaceReport};
-use c64sim::{ChipConfig, Interleave};
 use codelet::verify::{self, Diagnostic};
-use fgfft::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
-use fgfft::{FftPlan, FftWorkload, SimVersion, TwiddleLayout};
+use fgfft::graph::FftGraph;
+use fgfft::workload::{self, ScheduleSpec, Workload};
+use fgfft::{FftPlan, SimVersion, TwiddleLayout};
 use fgsupport::json::Value;
 
 /// What to check.
@@ -190,71 +193,50 @@ pub fn layout_name(layout: TwiddleLayout) -> &'static str {
 pub fn check_fft(opts: &FftCheckOptions) -> FftCheckReport {
     let plan = FftPlan::new(opts.n_log2, opts.radix_log2);
     let layout = opts.layout.unwrap_or_else(|| opts.version.layout());
-    let chip = ChipConfig::cyclops64();
-    let workload = FftWorkload::new(plan, layout, &chip);
+    let workload = Workload::new(plan, layout);
     let n_tasks = plan.total_codelets();
-    let cps = plan.codelets_per_stage();
 
-    // Mirror `run_sim_with_layout`'s schedule construction exactly.
-    let (mut contract, hb, coverage) = match opts.version {
-        SimVersion::Coarse | SimVersion::CoarseHash => {
+    // The one schedule every consumer agrees on: the workload layer's spec.
+    let spec = ScheduleSpec::of(plan, opts.version);
+    let (mut contract, hb, coverage) = match &spec {
+        ScheduleSpec::Phased { phases } => {
+            // The phased schedule still has to respect the dependence
+            // structure; verify the full graph's contract.
             let graph = FftGraph::new(plan);
             let contract = verify::check_program(&graph);
-            let stages: Vec<Vec<usize>> = (0..plan.stages())
-                .map(|s| (s * cps..(s + 1) * cps).collect())
-                .collect();
-            let (hb, cov) = HbOrder::build(n_tasks, &[Segment::Stages(stages)]);
+            let (hb, cov) = HbOrder::build(n_tasks, &[Segment::Stages(phases.clone())]);
             (contract, hb, cov)
         }
-        SimVersion::Fine(order) | SimVersion::FineHash(order) => {
-            let graph = FftGraph::new(plan);
-            let seeds = order.order(cps);
-            let contract = verify::check_partial(&graph, &seeds, n_tasks);
+        ScheduleSpec::Fine { graph, seeds } => {
+            let contract = verify::check_partial(graph, seeds, n_tasks);
             let (hb, cov) = HbOrder::build(
                 n_tasks,
                 &[Segment::Graph {
-                    program: &graph,
-                    seeds,
+                    program: graph,
+                    seeds: seeds.clone(),
                 }],
             );
             (contract, hb, cov)
         }
-        SimVersion::FineGuided => {
-            if plan.stages() < 3 {
-                // Small plans fall back to the plain fine schedule.
-                let graph = FftGraph::new(plan);
-                let seeds = graph.stage0_ids();
-                let contract = verify::check_partial(&graph, &seeds, n_tasks);
-                let (hb, cov) = HbOrder::build(
-                    n_tasks,
-                    &[Segment::Graph {
-                        program: &graph,
-                        seeds,
-                    }],
-                );
-                (contract, hb, cov)
-            } else {
-                let early = GuidedEarlyGraph::new(plan, plan.stages() - 3);
-                let late = GuidedLateGraph::new(plan, plan.stages() - 2);
-                let early_seeds = early.seeds();
-                let late_seeds = late.seeds();
-                let mut contract = verify::check_partial(&early, &early_seeds, early.expected());
-                contract.extend(verify::check_partial(&late, &late_seeds, late.expected()));
-                let (hb, cov) = HbOrder::build(
-                    n_tasks,
-                    &[
-                        Segment::Graph {
-                            program: &early,
-                            seeds: early_seeds,
-                        },
-                        Segment::Graph {
-                            program: &late,
-                            seeds: late_seeds,
-                        },
-                    ],
-                );
-                (contract, hb, cov)
-            }
+        ScheduleSpec::Guided { early, late } => {
+            let early_seeds = early.seeds();
+            let late_seeds = late.seeds();
+            let mut contract = verify::check_partial(early, &early_seeds, early.expected());
+            contract.extend(verify::check_partial(late, &late_seeds, late.expected()));
+            let (hb, cov) = HbOrder::build(
+                n_tasks,
+                &[
+                    Segment::Graph {
+                        program: early,
+                        seeds: early_seeds,
+                    },
+                    Segment::Graph {
+                        program: late,
+                        seeds: late_seeds,
+                    },
+                ],
+            );
+            (contract, hb, cov)
         }
     };
     contract.extend(coverage);
@@ -264,7 +246,7 @@ pub fn check_fft(opts: &FftCheckOptions) -> FftCheckReport {
         n_tasks,
         |t| workload.footprint(t),
         &hb,
-        Interleave::cyclops64(),
+        workload::interleave(),
     );
     let bank_lint = bank.lint(opts.threshold);
 

@@ -37,7 +37,7 @@ struct Access {
 /// Result of a race scan.
 pub struct RaceReport {
     /// Distinct unordered conflicting task pairs `(a, b, example address)`
-    /// with `a < b`, capped at [`MAX_RACES`] pairs.
+    /// with `a < b`, capped at `MAX_RACES` (16) pairs.
     pub pairs: Vec<(CodeletId, CodeletId, u64)>,
     /// Total distinct racing pairs found (may exceed `pairs.len()`).
     pub total: usize,

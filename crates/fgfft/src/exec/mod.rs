@@ -19,104 +19,14 @@ pub mod shared;
 
 use crate::complex::Complex64;
 use crate::planner::{Plan, PlanKey};
-use crate::twiddle::TwiddleLayout;
 use codelet::runtime::Runtime;
 use codelet::stats::RunStats;
 use std::time::Duration;
 
-/// Initial ordering of the ready codelets in the pool. The paper observes
-/// ("fine worst" vs "fine best") that this order alone swings performance;
-/// these generators cover the orders the harness sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SeedOrder {
-    /// Ids ascending — with a LIFO pool, execution starts from the *last*
-    /// codelet.
-    Natural,
-    /// Ids descending.
-    Reversed,
-    /// All even positions, then all odd positions — a de-clustered order.
-    EvenOdd,
-    /// Deterministic pseudo-random shuffle of the given seed.
-    Random(u64),
-}
-
-impl SeedOrder {
-    /// Produce the permutation of `0..count`.
-    pub fn order(&self, count: usize) -> Vec<usize> {
-        match *self {
-            SeedOrder::Natural => (0..count).collect(),
-            SeedOrder::Reversed => (0..count).rev().collect(),
-            SeedOrder::EvenOdd => (0..count).step_by(2).chain((1..count).step_by(2)).collect(),
-            SeedOrder::Random(seed) => {
-                let mut v: Vec<usize> = (0..count).collect();
-                // splitmix64-driven Fisher-Yates: deterministic, seedable,
-                // no external dependency.
-                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut next = || {
-                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                    let mut z = state;
-                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                    z ^ (z >> 31)
-                };
-                for i in (1..v.len()).rev() {
-                    let j = (next() % (i as u64 + 1)) as usize;
-                    v.swap(i, j);
-                }
-                v
-            }
-        }
-    }
-}
-
-/// The algorithm versions of the paper's Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Version {
-    /// Coarse-grain synchronization: a barrier after every stage.
-    Coarse,
-    /// Coarse-grain with the hashed twiddle-factor layout.
-    CoarseHash,
-    /// Fine-grain dataflow with the given initial pool order.
-    Fine(SeedOrder),
-    /// Fine-grain with the hashed twiddle layout.
-    FineHash(SeedOrder),
-    /// Guided fine-grain: early stages, barrier, last two stages seeded in
-    /// child-sharing-group order.
-    FineGuided,
-}
-
-impl Version {
-    /// The twiddle layout this version uses.
-    pub fn layout(&self) -> TwiddleLayout {
-        match self {
-            Version::CoarseHash | Version::FineHash(_) => TwiddleLayout::BitReversedHash,
-            _ => TwiddleLayout::Linear,
-        }
-    }
-
-    /// Short name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Version::Coarse => "coarse",
-            Version::CoarseHash => "coarse hash",
-            Version::Fine(_) => "fine",
-            Version::FineHash(_) => "fine hash",
-            Version::FineGuided => "fine guided",
-        }
-    }
-
-    /// All versions as swept by the paper's figures (fine orders chosen by
-    /// the caller).
-    pub fn paper_set(order: SeedOrder) -> [Version; 5] {
-        [
-            Version::Coarse,
-            Version::CoarseHash,
-            Version::Fine(order),
-            Version::FineHash(order),
-            Version::FineGuided,
-        ]
-    }
-}
+// The algorithm versions and pool seed orders are defined in the workload
+// layer (the single authority for the decomposition) and re-exported here,
+// where they have always been part of the executor API.
+pub use crate::workload::{SeedOrder, Version};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]

@@ -10,6 +10,12 @@
 use crate::complex::Complex64;
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::TwiddleTable;
+use crate::workload::low_mask;
+
+// The index-algebra tables the kernel's arithmetic is replayed from live in
+// the workload layer (the single authority); re-exported here because they
+// describe what this kernel does.
+pub use crate::workload::{for_each_twiddle_index, twiddle_loads};
 
 /// Local buffer size: the largest supported codelet.
 const BUF: usize = 1 << MAX_RADIX_LOG2;
@@ -82,110 +88,6 @@ pub(crate) fn compute_in_buffer(
                 buf[hi] = c;
             }
         }
-    }
-}
-
-/// The local butterfly pattern of one stage: `(lo, hi)` buffer-index pairs
-/// in execution order. The pattern depends only on the stage — every codelet
-/// of the stage applies the same pairs to its gathered buffer — while the
-/// twiddle factors differ per codelet (see [`append_twiddle_run`]). Plans
-/// materialize both so the hot path replays flat arrays instead of redoing
-/// this index algebra per call.
-pub(crate) fn butterfly_pairs(plan: &FftPlan, stage: usize) -> Vec<(u32, u32)> {
-    let p = plan.radix_log2();
-    let q = plan.levels(stage);
-    let groups = 1usize << (p - q);
-    let group_size = 1usize << q;
-    let mut pairs = Vec::with_capacity((q as usize) << (p - 1));
-    for ll in 0..q {
-        let ll_mask = (1usize << ll) - 1;
-        for g_rel in 0..groups {
-            let base = g_rel * group_size;
-            for b in 0..group_size / 2 {
-                let x_lo = ((b >> ll) << (ll + 1)) | (b & ll_mask);
-                let lo = base + x_lo;
-                pairs.push((lo as u32, (lo + (1 << ll)) as u32));
-            }
-        }
-    }
-    pairs
-}
-
-/// Append the twiddle factors codelet `(stage, idx)` consumes — one per
-/// butterfly, in [`butterfly_pairs`] order — to `out`. The values are
-/// bitwise the ones [`compute_in_buffer`] would load, so replaying them
-/// against the pair pattern reproduces its arithmetic exactly.
-pub(crate) fn append_twiddle_run(
-    plan: &FftPlan,
-    twiddles: &TwiddleTable,
-    stage: usize,
-    idx: usize,
-    out: &mut Vec<Complex64>,
-) {
-    let p = plan.radix_log2();
-    let q = plan.levels(stage);
-    let pj = p * stage as u32;
-    let n_log2 = plan.n_log2();
-    let groups = 1usize << (p - q);
-    let group_size = 1usize << q;
-    let first_group = idx << (p - q);
-    for ll in 0..q {
-        let l = pj + ll;
-        let shift = n_log2 - l - 1;
-        let ll_mask = (1usize << ll) - 1;
-        for g_rel in 0..groups {
-            let g = first_group + g_rel;
-            let g_low = g & low_mask(pj);
-            for b in 0..group_size / 2 {
-                let o = ((b & ll_mask) << pj) + g_low;
-                out.push(twiddles.get(o << shift));
-            }
-        }
-    }
-}
-
-/// Count the twiddle-factor loads one codelet performs (distinct logical
-/// indices, each loaded once): `P − 1` for a full stage, matching the
-/// paper's "63 twiddle factors" for 64-point codelets.
-pub fn twiddle_loads(plan: &FftPlan, stage: usize) -> usize {
-    let p = plan.radix_log2();
-    let q = plan.levels(stage);
-    // Per level ll: 2^ll distinct (x_lo mod 2^ll) values × one g_low per
-    // group; groups = 2^{p-q}.
-    let groups = 1usize << (p - q);
-    let per_group: usize = (0..q).map(|ll| 1usize << ll).sum();
-    groups * per_group
-}
-
-/// Visit the logical twiddle index of every twiddle load of a codelet, in
-/// load order (used by the simulator workload to emit its address stream).
-pub fn for_each_twiddle_index(plan: &FftPlan, stage: usize, idx: usize, mut f: impl FnMut(usize)) {
-    let p = plan.radix_log2();
-    let q = plan.levels(stage);
-    let pj = p * stage as u32;
-    let n_log2 = plan.n_log2();
-    let groups = 1usize << (p - q);
-    let first_group = idx << (p - q);
-    for ll in 0..q {
-        let l = pj + ll;
-        let shift = n_log2 - l - 1;
-        for g_rel in 0..groups {
-            let g = first_group + g_rel;
-            let g_low = g & low_mask(pj);
-            for t in 0..1usize << ll {
-                let o = (t << pj) + g_low;
-                f(o << shift);
-            }
-        }
-    }
-}
-
-#[inline]
-fn low_mask(bits: u32) -> usize {
-    if bits as usize >= usize::BITS as usize {
-        usize::MAX
-    } else {
-        (1usize << bits) - 1
     }
 }
 
@@ -282,40 +184,8 @@ mod tests {
     }
 
     #[test]
-    fn twiddle_loads_full_stage_is_p_minus_1() {
-        let plan = FftPlan::new(18, 6);
-        for stage in 0..plan.stages() {
-            assert_eq!(twiddle_loads(&plan, stage), 63);
-        }
-        let plan8 = FftPlan::new(9, 3);
-        assert_eq!(twiddle_loads(&plan8, 0), 7);
-    }
-
-    #[test]
-    fn twiddle_loads_partial_stage() {
-        let plan = FftPlan::new(13, 6); // last stage q=1
-        let last = plan.stages() - 1;
-        // 2^{6-1}=32 groups × (2^0) = 32 loads.
-        assert_eq!(twiddle_loads(&plan, last), 32);
-    }
-
-    #[test]
-    fn for_each_twiddle_index_count_and_range() {
-        for (n_log2, p_log2) in [(13u32, 6u32), (12, 6), (9, 3)] {
-            let plan = FftPlan::new(n_log2, p_log2);
-            for stage in 0..plan.stages() {
-                let mut count = 0;
-                for_each_twiddle_index(&plan, stage, 1 % plan.codelets_per_stage(), |t| {
-                    assert!(t < plan.n() / 2, "twiddle index out of table");
-                    count += 1;
-                });
-                assert_eq!(count, twiddle_loads(&plan, stage), "stage {stage}");
-            }
-        }
-    }
-
-    #[test]
     fn tabled_replay_is_bitwise_identical_to_compute_in_buffer() {
+        use crate::workload::{append_twiddle_run, butterfly_pairs};
         for (n_log2, p_log2) in [(13u32, 6u32), (12, 6), (9, 3), (3, 2)] {
             let plan = FftPlan::new(n_log2, p_log2);
             for layout in [TwiddleLayout::Linear, TwiddleLayout::BitReversedHash] {
@@ -346,19 +216,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn early_stage_twiddle_indices_are_coarse_multiples() {
-        // The root cause of the paper: stage-0/1 twiddle indices are
-        // multiples of a large power of two → one DRAM bank under the linear
-        // layout.
-        let plan = FftPlan::new(18, 6);
-        for_each_twiddle_index(&plan, 0, 3, |t| {
-            assert_eq!(t % (1 << 11), 0, "stage-0 indices are multiples of 2^(n-7)");
-        });
-        for_each_twiddle_index(&plan, 1, 3, |t| {
-            assert_eq!(t % (1 << 5), 0);
-        });
     }
 }

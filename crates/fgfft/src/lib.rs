@@ -14,17 +14,24 @@
 //! * [`plan`] — the stage/codelet index algebra: element ownership,
 //!   parent/child formulas, shared dependence-counter groups, and the
 //!   guided algorithm's grouped seeding order.
+//! * [`workload`] — the single authority for the codelet decomposition:
+//!   per-codelet descriptors (butterfly pattern, twiddle run, edges,
+//!   shared-counter group), the exact byte-address footprint of every
+//!   codelet under either twiddle layout, and the schedule each Table-I
+//!   version runs ([`workload::ScheduleSpec`]). Every layer below consumes
+//!   this module rather than re-deriving the structure.
 //! * [`kernel`] — the 2^p-point butterfly work unit.
 //! * [`graph`] — the FFT as a `codelet::CodeletProgram` (full, and the
 //!   guided algorithm's early/late slices).
 //! * [`exec`] — host-parallel executors for all five algorithm versions of
-//!   the paper's Table I.
+//!   the paper's Table I, scheduled by the workload layer's spec.
 //! * [`planner`] — reusable execution plans ([`Plan`]: twiddles, bit-reversal
-//!   swaps, materialized codelet schedule) and the wisdom-style single-flight
-//!   plan cache ([`Planner`]) that the `fgserve` serving layer builds on.
-//! * [`simwork`] — the same codelets as byte-addressed DRAM traffic for the
-//!   `c64sim` Cyclops-64 simulator: this is where the paper's bank-level
-//!   results are reproduced.
+//!   swaps, the workload layer's schedule and tables materialized into flat
+//!   arrays) and the wisdom-style single-flight plan cache ([`Planner`])
+//!   that the `fgserve` serving layer builds on.
+//! * [`simwork`] — the workload layer's footprints lowered to byte-addressed
+//!   DRAM traffic for the `c64sim` Cyclops-64 simulator: this is where the
+//!   paper's bank-level results are reproduced.
 //! * [`model`] — the paper's analytic peak model (Eqs. 1–4: 10 GFLOPS).
 //! * [`mod@reference`] — naive DFT / recursive FFT oracles.
 //! * [`api`] — the high-level [`Fft`] engine, [`convolve`],
@@ -64,6 +71,7 @@ pub mod stft;
 pub mod stockham;
 pub mod twiddle;
 pub mod window;
+pub mod workload;
 
 pub use api::{convolve, forward, inverse, power_spectrum, Fft};
 pub use bluestein::{dft, idft};
@@ -79,3 +87,4 @@ pub use simwork::{
 pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
 pub use twiddle::{TwiddleLayout, TwiddleTable};
 pub use window::Window;
+pub use workload::{CodeletDesc, ScheduleSpec, Workload};

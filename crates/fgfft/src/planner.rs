@@ -28,10 +28,9 @@ use crate::bitrev::{apply_swaps_parallel, bit_reverse_swaps};
 use crate::complex::Complex64;
 use crate::exec::shared::{execute_codelet_tabled, SharedData};
 use crate::exec::{ExecStats, Version};
-use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
-use crate::kernel;
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
+use crate::workload::{self, ScheduleSpec};
 use codelet::graph::{BatchProgram, CodeletId, CsrProgram};
 use codelet::pool::PoolDiscipline;
 use codelet::runtime::Runtime;
@@ -129,15 +128,11 @@ struct StageTable {
 impl StageTable {
     fn build(fft: &FftPlan, twiddles: &TwiddleTable, stage: usize) -> Self {
         let cps = fft.codelets_per_stage();
-        let radix = 1usize << fft.radix_log2();
-        let mut gather = vec![0u32; cps * radix];
-        for idx in 0..cps {
-            fft.for_each_element(stage, idx, |slot, e| gather[idx * radix + slot] = e as u32);
-        }
-        let pairs = kernel::butterfly_pairs(fft, stage);
+        let gather = workload::stage_gather(fft, stage);
+        let pairs = workload::butterfly_pairs(fft, stage);
         let mut tw = Vec::with_capacity(cps * pairs.len());
         for idx in 0..cps {
-            kernel::append_twiddle_run(fft, twiddles, stage, idx, &mut tw);
+            workload::append_twiddle_run(fft, twiddles, stage, idx, &mut tw);
         }
         Self {
             gather,
@@ -151,6 +146,21 @@ impl StageTable {
             + self.pairs.len() * std::mem::size_of::<(u32, u32)>()
             + self.twiddles.len() * std::mem::size_of::<Complex64>()) as u64
     }
+}
+
+/// What one codelet actually touched during a recorded execution
+/// ([`Plan::execute_recorded`]): the observed counterpart of the workload
+/// layer's static footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TouchRecord {
+    /// Global element indices gathered (buffer-slot order).
+    pub reads: Vec<u32>,
+    /// Global element indices scattered (buffer-slot order; the codelet
+    /// writes exactly where it read).
+    pub writes: Vec<u32>,
+    /// Twiddle values consumed, one per butterfly, in pair-pattern order —
+    /// bitwise the values the kernel multiplied by.
+    pub twiddles: Vec<Complex64>,
 }
 
 /// A fully precomputed, immutable, shareable FFT execution plan.
@@ -176,38 +186,20 @@ impl Plan {
         let fft = FftPlan::new(key.n_log2, key.radix_log2);
         let twiddles = TwiddleTable::new(key.n_log2, key.layout);
         let bitrev_swaps = bit_reverse_swaps(key.n());
-        let cps = fft.codelets_per_stage();
-        let schedule = match key.version {
-            Version::Coarse | Version::CoarseHash => Schedule::Phased(
-                (0..fft.stages())
-                    .map(|s| (s * cps..(s + 1) * cps).collect())
-                    .collect(),
-            ),
-            Version::Fine(order) | Version::FineHash(order) => Schedule::Fine {
-                graph: CsrProgram::materialize(&FftGraph::new(fft)),
-                seeds: order.order(cps),
+        // Materialize the workload layer's schedule spec — the same spec the
+        // simulator runs and `fgcheck` verifies — into flat CSR arrays.
+        let schedule = match ScheduleSpec::of(fft, key.version) {
+            ScheduleSpec::Phased { phases } => Schedule::Phased(phases),
+            ScheduleSpec::Fine { graph, seeds } => Schedule::Fine {
+                graph: CsrProgram::materialize(&graph),
+                seeds,
             },
-            Version::FineGuided => {
-                if fft.stages() < 3 {
-                    // Too few stages to split (see `exec::fft_in_place`):
-                    // degrade to plain fine-grain.
-                    let g = FftGraph::new(fft);
-                    let seeds = g.stage0_ids();
-                    Schedule::Fine {
-                        graph: CsrProgram::materialize(&g),
-                        seeds,
-                    }
-                } else {
-                    let early_src = GuidedEarlyGraph::new(fft, fft.stages() - 3);
-                    let late_src = GuidedLateGraph::new(fft, fft.stages() - 2);
-                    Schedule::Guided {
-                        early_expected: early_src.expected(),
-                        early: CsrProgram::materialize(&early_src),
-                        late_expected: late_src.expected(),
-                        late: CsrProgram::materialize(&late_src),
-                    }
-                }
-            }
+            ScheduleSpec::Guided { early, late } => Schedule::Guided {
+                early_expected: early.expected(),
+                early: CsrProgram::materialize(&early),
+                late_expected: late.expected(),
+                late: CsrProgram::materialize(&late),
+            },
         };
         let tables = (0..fft.stages())
             .map(|stage| StageTable::build(&fft, &twiddles, stage))
@@ -298,6 +290,57 @@ impl Plan {
         stats.elapsed = start.elapsed();
         debug_assert_eq!(stats.codelets, self.fft.total_codelets() as u64);
         stats
+    }
+
+    /// As [`Plan::execute`], but with a *recording kernel*: alongside the
+    /// transform, capture per codelet exactly what the hot path touched —
+    /// the element indices it gathered and scattered and the twiddle values
+    /// it consumed, straight from the materialized stage tables the real
+    /// execution streams. The drift test compares these observations against
+    /// the workload layer's static footprints codelet-for-codelet; any
+    /// divergence between what we *say* a codelet touches and what execution
+    /// *actually* touches fails loudly.
+    pub fn execute_recorded(
+        &self,
+        data: &mut [Complex64],
+        runtime: &Runtime,
+    ) -> (ExecStats, Vec<TouchRecord>) {
+        assert_eq!(data.len(), self.n(), "buffer length must match the plan");
+        let start = Instant::now();
+        apply_swaps_parallel(data, &self.bitrev_swaps, runtime.workers());
+        let view = SharedData::new(data);
+        let radix = 1usize << self.fft.radix_log2();
+        let slots: Vec<OnceLock<TouchRecord>> = (0..self.fft.total_codelets())
+            .map(|_| OnceLock::new())
+            .collect();
+        let body = |id: usize| {
+            let stage = self.fft.stage_of(id);
+            let idx = self.fft.idx_of(id);
+            let table = &self.tables[stage];
+            let run = table.pairs.len();
+            let gather = &table.gather[idx * radix..(idx + 1) * radix];
+            let record = TouchRecord {
+                reads: gather.to_vec(),
+                writes: gather.to_vec(),
+                twiddles: table.twiddles[idx * run..(idx + 1) * run].to_vec(),
+            };
+            let set = slots[id].set(record).is_ok();
+            debug_assert!(set, "codelet {id} fired twice");
+            // SAFETY: the schedule upholds the dataflow discipline
+            // documented in `exec::shared`, exactly as in `execute`.
+            unsafe { self.run_codelet(&view, id) };
+        };
+        let mut stats = self.dispatch(runtime, body);
+        stats.elapsed = start.elapsed();
+        let records = slots
+            .into_iter()
+            .enumerate()
+            .map(|(id, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(|| panic!("codelet {id} never fired"))
+            })
+            .collect();
+        (stats, records)
     }
 
     /// In-place forward transform of a whole **batch** of same-plan buffers

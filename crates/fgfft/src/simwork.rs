@@ -1,60 +1,44 @@
 //! Cyclops-64 simulator workloads: the FFT as a stream of byte-addressed
 //! memory operations, and one-call runners for every algorithm version.
 //!
-//! This is the bridge that reproduces the paper's machine-level results:
-//! the same plan/kernel index algebra that drives the host executors is
-//! replayed as DRAM traffic against the simulated 4-bank memory system.
-//! Each codelet issues, exactly as counted in the paper,
+//! This is the bridge that reproduces the paper's machine-level results. It
+//! does not re-derive any addresses or schedules: [`FftWorkload`] *lowers*
+//! the [`crate::workload`] layer's footprint ops to [`MemOp`]s (adding the
+//! chip's cost model — hash cycles, register-spill cycles), and the runners
+//! execute the [`ScheduleSpec`] of each version on the simulated 4-bank
+//! memory system. Each codelet issues, exactly as counted in the paper,
 //! `P` data loads + (`P−1` for full stages) twiddle loads + `P` data
 //! stores of 16 bytes each, plus `5·P·q` flops.
 
-use crate::exec::SeedOrder;
-use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
-use crate::kernel::for_each_twiddle_index;
+use crate::graph::{FftGraph, GuidedEarlyGraph};
 use crate::plan::FftPlan;
-use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use c64sim::address::{Layout, MemRange, Space};
+use crate::twiddle::TwiddleLayout;
+use crate::workload::{Region, ScheduleSpec, SeedOrder, Workload};
+use c64sim::address::{MemRange, Space};
 use c64sim::sched::{PoolScheduler, SequencedScheduler, SimPoolDiscipline};
 use c64sim::{simulate, ChipConfig, MemOp, SimOptions, SimReport, TaskCost, TaskId, TaskModel};
 
-/// Bytes per complex element.
-const ELEM: u64 = 16;
-
-/// Where the data and twiddle arrays live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Residence {
-    /// Off-chip DRAM — the paper's main configuration (large problems).
-    Dram,
-    /// On-chip SRAM — the predecessor study's configuration (Sec. III-B):
-    /// no bank interleave pathology, but codelets larger than the register
-    /// file spill intermediates to the scratchpad.
-    Sram,
-}
+pub use crate::workload::{Residence, Version as SimVersion};
 
 /// The FFT expressed as a [`TaskModel`]: task `t` is codelet `t` of the
-/// plan, and `emit` produces its memory address stream under the chosen
-/// twiddle layout and residence.
+/// plan. `emit` replays the workload layer's footprint — byte-identical
+/// addresses, same issue order — into the simulator's address stream, and
+/// prices it with the chip's hash and spill costs.
 #[derive(Debug, Clone)]
 pub struct FftWorkload {
-    plan: FftPlan,
-    layout: TwiddleLayout,
-    residence: Residence,
-    data_base: u64,
-    twiddle_base: u64,
+    inner: Workload,
     /// Extra cycles charged per twiddle access for evaluating the software
     /// hash (0 for the linear layout).
     hash_cycles_per_access: u64,
     /// Exposed cycles per register-spill scratchpad access.
     spill_cycles_per_op: u64,
-    /// DRAM spill region for codelets larger than the scratchpad (radix
-    /// > 64); `None` when the codelet fits.
-    spill_base: Option<u64>,
 }
 
 impl FftWorkload {
     /// Codelet sizes that fit the C64 scratchpad working set (64 points of
-    /// data + twiddles + temporaries); larger codelets spill.
-    pub const SCRATCHPAD_RADIX_LOG2: u32 = 6;
+    /// data + twiddles + temporaries); larger codelets spill. Defined by the
+    /// workload layer; mirrored here for the cost-model reader.
+    pub const SCRATCHPAD_RADIX_LOG2: u32 = crate::workload::SCRATCHPAD_RADIX_LOG2;
 
     /// Points that fit the C64 register file (64 x 64-bit registers = 32
     /// complex values; 8 data points + twiddles + temporaries is the
@@ -82,20 +66,6 @@ impl FftWorkload {
         residence: Residence,
         chip: &ChipConfig,
     ) -> Self {
-        let space = match residence {
-            Residence::Dram => Space::Dram,
-            Residence::Sram => Space::Sram,
-        };
-        let mut mem = Layout::new();
-        let data_base = mem.alloc(space, plan.n() as u64 * ELEM, 64);
-        let twiddle_base = mem.alloc(space, (plan.n() as u64 / 2) * ELEM, 64);
-        let spill_base = (plan.radix_log2() > Self::SCRATCHPAD_RADIX_LOG2).then(|| {
-            mem.alloc(
-                Space::Dram,
-                plan.total_codelets() as u64 * plan.radix() as u64 * ELEM,
-                64,
-            )
-        });
         let hash_cycles_per_access = match layout {
             TwiddleLayout::Linear => 0,
             // Bit reversal costs grow with the number of index bits (the
@@ -107,108 +77,70 @@ impl FftWorkload {
             TwiddleLayout::MultiplicativeHash => chip.hash_base_cycles + 3,
         };
         Self {
-            plan,
-            layout,
-            residence,
-            data_base,
-            twiddle_base,
+            inner: Workload::with_residence(plan, layout, residence),
             hash_cycles_per_access,
             spill_cycles_per_op: chip.spill_cycles_per_op,
-            spill_base,
         }
     }
 
     /// The plan driving this workload.
     pub fn plan(&self) -> &FftPlan {
-        &self.plan
+        self.inner.plan()
+    }
+
+    /// The address-algebra view this cost model lowers.
+    pub fn workload(&self) -> &Workload {
+        &self.inner
     }
 
     /// DRAM byte address of data element `e`.
     pub fn data_addr(&self, e: usize) -> u64 {
-        self.data_base + e as u64 * ELEM
+        self.inner.data_addr(e)
     }
 
     /// DRAM byte address of logical twiddle index `t` under the layout.
     pub fn twiddle_addr(&self, t: usize) -> u64 {
-        let slot = TwiddleTable::map_index(t, self.plan.n_log2(), self.layout);
-        self.twiddle_base + slot as u64 * ELEM
+        self.inner.twiddle_addr(t)
     }
 
-    /// The memory footprint of codelet `task`: every byte range it touches,
-    /// classified read or write — the address stream of [`TaskModel::emit`]
-    /// reduced to what the `fgcheck` race detector and bank linter need.
-    /// Data loads/stores and twiddle loads carry the same `data_addr` /
-    /// `twiddle_addr` algebra the simulator replays; spill traffic targets a
-    /// per-task private region and so can never conflict across tasks.
+    /// The memory footprint of codelet `task` — delegated to the workload
+    /// layer, so the race detector, bank linter, and this simulator can
+    /// never disagree about what a codelet touches.
     pub fn footprint(&self, task: TaskId) -> Vec<MemRange> {
-        let mut ops = Vec::new();
-        self.emit(task, &mut ops);
-        ops.iter()
-            .map(|op| MemRange {
-                lo: op.addr,
-                hi: op.addr + op.bytes as u64,
-                write: op.write,
-            })
-            .collect()
+        self.inner.footprint(task)
     }
 }
 
 impl TaskModel for FftWorkload {
     fn num_tasks(&self) -> usize {
-        self.plan.total_codelets()
+        self.inner.plan().total_codelets()
     }
 
     fn emit(&self, task: TaskId, ops: &mut Vec<MemOp>) -> TaskCost {
-        let stage = self.plan.stage_of(task);
-        let idx = self.plan.idx_of(task);
-        let q = self.plan.levels(stage);
-        let radix = self.plan.radix() as u64;
-        let space = match self.residence {
+        let plan = self.inner.plan();
+        let q = plan.levels(plan.stage_of(task));
+        let radix = plan.radix() as u64;
+        let space = match self.inner.residence() {
             Residence::Dram => Space::Dram,
             Residence::Sram => Space::Sram,
         };
 
-        // Gather: P element loads.
-        self.plan.for_each_element(stage, idx, |_, e| {
-            ops.push(MemOp {
-                addr: self.data_addr(e),
-                bytes: ELEM as u32,
-                write: false,
-                space,
-            });
-        });
-        // Twiddle loads interleaved with compute; addresses decide banks.
+        // Lower the footprint to the simulator's address stream: data and
+        // twiddle accesses live in the chosen residence, spill traffic is
+        // always DRAM (off-chip residence only).
         let mut n_tw = 0u64;
-        for_each_twiddle_index(&self.plan, stage, idx, |t| {
-            ops.push(MemOp {
-                addr: self.twiddle_addr(t),
-                bytes: ELEM as u32,
-                write: false,
-                space,
-            });
-            n_tw += 1;
-        });
-        // Codelets larger than the scratchpad working set spill to DRAM
-        // (off-chip residence only; on-chip problems fit the scratchpad).
-        if let Some(spill_base) = self.spill_base {
-            let extra_levels = q.saturating_sub(Self::SCRATCHPAD_RADIX_LOG2) as u64;
-            let base = spill_base + task as u64 * radix * ELEM;
-            for _ in 0..extra_levels {
-                for k in 0..radix {
-                    ops.push(MemOp::dram_store(base + k * ELEM, ELEM as u32));
-                }
-                for k in 0..radix {
-                    ops.push(MemOp::dram_load(base + k * ELEM, ELEM as u32));
-                }
+        self.inner.for_each_op(task, |op| {
+            if op.region == Region::Twiddle {
+                n_tw += 1;
             }
-        }
-        // Scatter: P element stores.
-        self.plan.for_each_element(stage, idx, |_, e| {
             ops.push(MemOp {
-                addr: self.data_addr(e),
-                bytes: ELEM as u32,
-                write: true,
-                space,
+                addr: op.range.lo,
+                bytes: op.range.len() as u32,
+                write: op.range.write,
+                space: match op.region {
+                    Region::Spill => Space::Dram,
+                    Region::Data | Region::Twiddle => space,
+                },
             });
         });
 
@@ -224,44 +156,6 @@ impl TaskModel for FftWorkload {
         TaskCost {
             flops: 5 * radix * q as u64,
             extra_cycles: n_tw * self.hash_cycles_per_access + spill_cycles,
-        }
-    }
-}
-
-/// The algorithm versions as simulated schedules (mirrors
-/// [`crate::exec::Version`], with the fine pool order made explicit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SimVersion {
-    /// Barrier after every stage.
-    Coarse,
-    /// Coarse + hashed twiddle layout.
-    CoarseHash,
-    /// Single dataflow pool, LIFO, seeded in the given order.
-    Fine(SeedOrder),
-    /// Fine + hashed twiddle layout.
-    FineHash(SeedOrder),
-    /// Two dataflow phases with one barrier; phase 2 seeded in grouped
-    /// order.
-    FineGuided,
-}
-
-impl SimVersion {
-    /// The twiddle layout this version uses.
-    pub fn layout(&self) -> TwiddleLayout {
-        match self {
-            SimVersion::CoarseHash | SimVersion::FineHash(_) => TwiddleLayout::BitReversedHash,
-            _ => TwiddleLayout::Linear,
-        }
-    }
-
-    /// Legend name matching the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            SimVersion::Coarse => "coarse",
-            SimVersion::CoarseHash => "coarse hash",
-            SimVersion::Fine(_) => "fine",
-            SimVersion::FineHash(_) => "fine hash",
-            SimVersion::FineGuided => "fine guided",
         }
     }
 }
@@ -287,32 +181,19 @@ pub fn run_sim_with_layout(
     options: &SimOptions,
 ) -> SimReport {
     let workload = FftWorkload::new(plan, layout, chip);
-    let cps = plan.codelets_per_stage();
-    match version {
-        SimVersion::Coarse | SimVersion::CoarseHash => {
-            let phases: Vec<Vec<TaskId>> = (0..plan.stages())
-                .map(|s| (s * cps..(s + 1) * cps).collect())
-                .collect();
+    // The schedule comes from the workload layer — the same spec the
+    // planner materializes and `fgcheck` verifies.
+    match ScheduleSpec::of(plan, version) {
+        ScheduleSpec::Phased { phases } => {
             let mut sched = SequencedScheduler::coarse(phases);
             simulate(chip, &workload, &mut sched, options)
         }
-        SimVersion::Fine(order) | SimVersion::FineHash(order) => {
-            let graph = FftGraph::new(plan);
-            let seeds = order.order(cps);
+        ScheduleSpec::Fine { graph, seeds } => {
             let mut sched =
                 SequencedScheduler::fine_with_seeds(&graph, &seeds, SimPoolDiscipline::Lifo);
             simulate(chip, &workload, &mut sched, options)
         }
-        SimVersion::FineGuided => {
-            if plan.stages() < 3 {
-                let graph = FftGraph::new(plan);
-                let seeds = graph.stage0_ids();
-                let mut sched =
-                    SequencedScheduler::fine_with_seeds(&graph, &seeds, SimPoolDiscipline::Lifo);
-                return simulate(chip, &workload, &mut sched, options);
-            }
-            let early = GuidedEarlyGraph::new(plan, plan.stages() - 3);
-            let late = GuidedLateGraph::new(plan, plan.stages() - 2);
+        ScheduleSpec::Guided { early, late } => {
             let early_seeds = early.seeds();
             let late_seeds = late.seeds();
             let mut sched = SequencedScheduler::new(vec![
@@ -475,6 +356,7 @@ impl codelet::graph::CodeletProgram for TailGraph {
 mod tests {
     use super::*;
     use crate::kernel::twiddle_loads;
+    use crate::workload::ELEM_BYTES as ELEM;
 
     fn small_chip() -> ChipConfig {
         ChipConfig::cyclops64().with_thread_units(16)

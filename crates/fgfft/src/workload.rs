@@ -1,0 +1,762 @@
+//! The single authority for the FFT's codelet decomposition.
+//!
+//! Four consumers execute, simulate, cache, or statically analyze the same
+//! codelet graph: [`crate::exec`] runs it on the host, [`crate::simwork`]
+//! replays it as Cyclops-64 DRAM traffic, [`crate::planner`] materializes it
+//! into serving plans, and the `fgcheck` crate verifies it without running
+//! it. The paper's core claim — that the measured bank traffic, the analytic
+//! model, and the executed schedule describe *one* algorithm — only holds if
+//! those views can never drift apart. This module is where each of them gets
+//! its facts:
+//!
+//! * the algorithm versions of Table I ([`Version`], [`SeedOrder`]) and the
+//!   schedule each version runs ([`ScheduleSpec`]), including the small-plan
+//!   guided fallback, defined once;
+//! * per-codelet descriptors ([`CodeletDesc`]) exposing stage, index,
+//!   butterfly pattern, twiddle run, parent/child edges, and shared-counter
+//!   group;
+//! * stage-level tables ([`stage_gather`], [`butterfly_pairs`],
+//!   [`append_twiddle_run`]) from which the planner builds its flat
+//!   hot-path arrays;
+//! * the byte-address algebra ([`Workload`]): where the data, twiddle, and
+//!   spill arrays live in simulated memory, and the exact read/write
+//!   [`MemRange`] footprint of every codelet under either twiddle layout —
+//!   in the order the simulator issues it.
+//!
+//! The drift test (`tests/workload_drift.rs`) closes the loop: it executes a
+//! host run with a recording kernel and asserts the observed touches equal
+//! these static footprints codelet-for-codelet, and that the static per-bank
+//! totals equal the simulated ones, for all five versions × both layouts.
+
+use crate::complex::Complex64;
+use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
+use crate::plan::FftPlan;
+use crate::twiddle::{TwiddleLayout, TwiddleTable};
+use c64sim::address::{Interleave, Layout, MemRange, Space};
+use codelet::graph::{CodeletId, SharedGroup};
+
+/// Bytes per complex element (two f64s) — the unit of every data and
+/// twiddle access.
+pub const ELEM_BYTES: u64 = 16;
+
+/// Codelet sizes that fit the C64 scratchpad working set (64 points of
+/// data + twiddles + temporaries); larger codelets spill to DRAM.
+pub const SCRATCHPAD_RADIX_LOG2: u32 = 6;
+
+/// The machine's DRAM interleave — 64-byte units over 4 banks. Every
+/// consumer of this module (the simulator's bank model and `fgcheck`'s
+/// bank-pressure linter) maps addresses to banks through this one value.
+pub fn interleave() -> Interleave {
+    Interleave::cyclops64()
+}
+
+/// Initial ordering of the ready codelets in the pool. The paper observes
+/// ("fine worst" vs "fine best") that this order alone swings performance;
+/// these generators cover the orders the harness sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeedOrder {
+    /// Ids ascending — with a LIFO pool, execution starts from the *last*
+    /// codelet.
+    Natural,
+    /// Ids descending.
+    Reversed,
+    /// All even positions, then all odd positions — a de-clustered order.
+    EvenOdd,
+    /// Deterministic pseudo-random shuffle of the given seed.
+    Random(u64),
+}
+
+impl SeedOrder {
+    /// Produce the permutation of `0..count`.
+    pub fn order(&self, count: usize) -> Vec<usize> {
+        match *self {
+            SeedOrder::Natural => (0..count).collect(),
+            SeedOrder::Reversed => (0..count).rev().collect(),
+            SeedOrder::EvenOdd => (0..count).step_by(2).chain((1..count).step_by(2)).collect(),
+            SeedOrder::Random(seed) => {
+                let mut v: Vec<usize> = (0..count).collect();
+                // splitmix64-driven Fisher-Yates: deterministic, seedable,
+                // no external dependency.
+                let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut next = || {
+                    state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^ (z >> 31)
+                };
+                for i in (1..v.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    v.swap(i, j);
+                }
+                v
+            }
+        }
+    }
+}
+
+/// The algorithm versions of the paper's Table I. One enum serves every
+/// layer: the host executors, the simulator runners, the planner cache key,
+/// and the static checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Coarse-grain synchronization: a barrier after every stage.
+    Coarse,
+    /// Coarse-grain with the hashed twiddle-factor layout.
+    CoarseHash,
+    /// Fine-grain dataflow with the given initial pool order.
+    Fine(SeedOrder),
+    /// Fine-grain with the hashed twiddle layout.
+    FineHash(SeedOrder),
+    /// Guided fine-grain: early stages, barrier, last two stages seeded in
+    /// child-sharing-group order.
+    FineGuided,
+}
+
+impl Version {
+    /// The twiddle layout this version uses.
+    pub fn layout(&self) -> TwiddleLayout {
+        match self {
+            Version::CoarseHash | Version::FineHash(_) => TwiddleLayout::BitReversedHash,
+            _ => TwiddleLayout::Linear,
+        }
+    }
+
+    /// Short name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Version::Coarse => "coarse",
+            Version::CoarseHash => "coarse hash",
+            Version::Fine(_) => "fine",
+            Version::FineHash(_) => "fine hash",
+            Version::FineGuided => "fine guided",
+        }
+    }
+
+    /// All versions as swept by the paper's figures (fine orders chosen by
+    /// the caller).
+    pub fn paper_set(order: SeedOrder) -> [Version; 5] {
+        [
+            Version::Coarse,
+            Version::CoarseHash,
+            Version::Fine(order),
+            Version::FineHash(order),
+            Version::FineGuided,
+        ]
+    }
+}
+
+/// The schedule a [`Version`] runs, spelled out once for every consumer:
+/// the simulator's schedulers, the planner's materialized CSR programs, and
+/// `fgcheck`'s happens-before order are all built from this value, so they
+/// cannot disagree about phases, seeds, or the small-plan fallback.
+#[derive(Debug, Clone)]
+pub enum ScheduleSpec {
+    /// Barrier after every phase; phase `s` is stage `s` (Alg. 1).
+    Phased {
+        /// Codelet ids of each phase, in issue order.
+        phases: Vec<Vec<CodeletId>>,
+    },
+    /// Single dataflow pool over the full graph, LIFO, seeded in the given
+    /// order (Alg. 2).
+    Fine {
+        /// The full dependence graph.
+        graph: FftGraph,
+        /// Stage-0 codelet ids in initial pool order.
+        seeds: Vec<CodeletId>,
+    },
+    /// Two dataflow phases with one barrier between them (Alg. 3).
+    Guided {
+        /// Stages `0..stages-2`, seeded at stage 0.
+        early: GuidedEarlyGraph,
+        /// The last two stages, seeded in bank-rotated grouped order.
+        late: GuidedLateGraph,
+    },
+}
+
+impl ScheduleSpec {
+    /// The schedule `version` executes over `plan` — including the guided
+    /// fallback to plain fine-grain when there are fewer than 3 stages.
+    pub fn of(plan: FftPlan, version: Version) -> Self {
+        let cps = plan.codelets_per_stage();
+        match version {
+            Version::Coarse | Version::CoarseHash => ScheduleSpec::Phased {
+                phases: (0..plan.stages())
+                    .map(|s| (s * cps..(s + 1) * cps).collect())
+                    .collect(),
+            },
+            Version::Fine(order) | Version::FineHash(order) => ScheduleSpec::Fine {
+                graph: FftGraph::new(plan),
+                seeds: order.order(cps),
+            },
+            Version::FineGuided => {
+                if plan.stages() < 3 {
+                    // Too few stages to split: degrade to plain fine-grain.
+                    let graph = FftGraph::new(plan);
+                    let seeds = graph.stage0_ids();
+                    ScheduleSpec::Fine { graph, seeds }
+                } else {
+                    ScheduleSpec::Guided {
+                        early: GuidedEarlyGraph::new(plan, plan.stages() - 3),
+                        late: GuidedLateGraph::new(plan, plan.stages() - 2),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything one codelet is, in one record: its place in the plan, its
+/// synchronization structure, and accessors for the work it performs.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeletDesc {
+    plan: FftPlan,
+    /// Global codelet id (`stage * codelets_per_stage + idx`).
+    pub id: CodeletId,
+    /// Stage this codelet belongs to.
+    pub stage: usize,
+    /// Index within the stage.
+    pub idx: usize,
+    /// Butterfly levels it applies (`< radix_log2` on a partial last stage).
+    pub levels: u32,
+    /// Parents it waits for (0 at stage 0).
+    pub parent_count: u32,
+    /// Shared dependence-counter group, when the stage uses one.
+    pub shared_group: Option<SharedGroup>,
+}
+
+impl CodeletDesc {
+    /// The descriptor of codelet `id` of `plan`.
+    pub fn of(plan: FftPlan, id: CodeletId) -> Self {
+        let stage = plan.stage_of(id);
+        let idx = plan.idx_of(id);
+        Self {
+            plan,
+            id,
+            stage,
+            idx,
+            levels: plan.levels(stage),
+            parent_count: if stage == 0 {
+                0
+            } else {
+                plan.parent_count(stage, idx)
+            },
+            shared_group: plan.shared_group_of(id),
+        }
+    }
+
+    /// Global indices of the elements this codelet gathers and scatters, in
+    /// buffer-slot order.
+    pub fn elements(&self) -> Vec<usize> {
+        self.plan.elements(self.stage, self.idx)
+    }
+
+    /// The local `(lo, hi)` butterfly pattern it applies (shared by every
+    /// codelet of its stage).
+    pub fn butterfly_pairs(&self) -> Vec<(u32, u32)> {
+        butterfly_pairs(&self.plan, self.stage)
+    }
+
+    /// The twiddle factors it consumes — one per butterfly, in
+    /// [`Self::butterfly_pairs`] order, bitwise the values the kernel loads.
+    pub fn twiddle_run(&self, twiddles: &TwiddleTable) -> Vec<Complex64> {
+        let mut out = Vec::new();
+        append_twiddle_run(&self.plan, twiddles, self.stage, self.idx, &mut out);
+        out
+    }
+
+    /// Ids of the codelets that consume this codelet's outputs.
+    pub fn children(&self) -> Vec<CodeletId> {
+        let mut out = Vec::new();
+        self.plan.children_of(self.stage, self.idx, &mut out);
+        out
+    }
+
+    /// Ids of the codelets whose outputs this codelet consumes.
+    pub fn parents(&self) -> Vec<CodeletId> {
+        let mut out = Vec::new();
+        if self.stage > 0 {
+            self.plan.parents_of(self.stage, self.idx, &mut out);
+        }
+        out
+    }
+}
+
+/// What array a footprint access targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The data array (gather loads and scatter stores).
+    Data,
+    /// The twiddle table (loads only; the layout decides the address).
+    Twiddle,
+    /// The per-codelet DRAM spill region (codelets larger than the
+    /// scratchpad only) — private per task, never shared.
+    Spill,
+}
+
+/// One access of a codelet's footprint: a byte range plus the array it
+/// belongs to, so lowering passes can place each region in its space.
+#[derive(Debug, Clone, Copy)]
+pub struct FootprintOp {
+    /// The byte range, classified read or write.
+    pub range: MemRange,
+    /// The array the range belongs to.
+    pub region: Region,
+}
+
+/// Where the data and twiddle arrays live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residence {
+    /// Off-chip DRAM — the paper's main configuration (large problems).
+    Dram,
+    /// On-chip SRAM — the predecessor study's configuration (Sec. III-B):
+    /// no bank interleave pathology, but codelets larger than the register
+    /// file spill intermediates to the scratchpad.
+    Sram,
+}
+
+/// The byte-address view of the decomposition: array placement and exact
+/// per-codelet memory footprints.
+///
+/// Mirrors the paper's runtime layout — data and twiddle arrays contiguous
+/// and 64-byte aligned in the chosen residence, a DRAM spill region when the
+/// codelet exceeds the scratchpad. [`Workload::for_each_op`] yields every
+/// access of a codelet *in the order the machine issues it*: `P` gather
+/// loads, the twiddle loads, spill store/load rounds for oversized codelets,
+/// then `P` scatter stores.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    plan: FftPlan,
+    layout: TwiddleLayout,
+    residence: Residence,
+    data_base: u64,
+    twiddle_base: u64,
+    spill_base: Option<u64>,
+}
+
+impl Workload {
+    /// DRAM residence (the paper's main configuration).
+    pub fn new(plan: FftPlan, layout: TwiddleLayout) -> Self {
+        Self::with_residence(plan, layout, Residence::Dram)
+    }
+
+    /// Fully explicit constructor.
+    pub fn with_residence(plan: FftPlan, layout: TwiddleLayout, residence: Residence) -> Self {
+        let space = match residence {
+            Residence::Dram => Space::Dram,
+            Residence::Sram => Space::Sram,
+        };
+        let mut mem = Layout::new();
+        let data_base = mem.alloc(space, plan.n() as u64 * ELEM_BYTES, 64);
+        let twiddle_base = mem.alloc(space, (plan.n() as u64 / 2) * ELEM_BYTES, 64);
+        let spill_base = (plan.radix_log2() > SCRATCHPAD_RADIX_LOG2).then(|| {
+            mem.alloc(
+                Space::Dram,
+                plan.total_codelets() as u64 * plan.radix() as u64 * ELEM_BYTES,
+                64,
+            )
+        });
+        Self {
+            plan,
+            layout,
+            residence,
+            data_base,
+            twiddle_base,
+            spill_base,
+        }
+    }
+
+    /// The plan driving this workload.
+    pub fn plan(&self) -> &FftPlan {
+        &self.plan
+    }
+
+    /// The twiddle layout deciding twiddle addresses.
+    pub fn layout(&self) -> TwiddleLayout {
+        self.layout
+    }
+
+    /// Where the data and twiddle arrays live.
+    pub fn residence(&self) -> Residence {
+        self.residence
+    }
+
+    /// The descriptor of codelet `id`.
+    pub fn descriptor(&self, id: CodeletId) -> CodeletDesc {
+        CodeletDesc::of(self.plan, id)
+    }
+
+    /// Byte address of data element `e`.
+    pub fn data_addr(&self, e: usize) -> u64 {
+        self.data_base + e as u64 * ELEM_BYTES
+    }
+
+    /// Byte address of logical twiddle index `t` under the layout.
+    pub fn twiddle_addr(&self, t: usize) -> u64 {
+        let slot = TwiddleTable::map_index(t, self.plan.n_log2(), self.layout);
+        self.twiddle_base + slot as u64 * ELEM_BYTES
+    }
+
+    /// Visit every access of codelet `task`, in machine issue order.
+    pub fn for_each_op(&self, task: CodeletId, mut f: impl FnMut(FootprintOp)) {
+        let stage = self.plan.stage_of(task);
+        let idx = self.plan.idx_of(task);
+        let q = self.plan.levels(stage);
+        let radix = self.plan.radix() as u64;
+
+        // Gather: P element loads.
+        self.plan.for_each_element(stage, idx, |_, e| {
+            f(FootprintOp {
+                range: MemRange::read(self.data_addr(e), ELEM_BYTES),
+                region: Region::Data,
+            });
+        });
+        // Twiddle loads interleaved with compute; addresses decide banks.
+        for_each_twiddle_index(&self.plan, stage, idx, |t| {
+            f(FootprintOp {
+                range: MemRange::read(self.twiddle_addr(t), ELEM_BYTES),
+                region: Region::Twiddle,
+            });
+        });
+        // Codelets larger than the scratchpad working set spill to DRAM
+        // (off-chip residence only; on-chip problems fit the scratchpad).
+        if let Some(spill_base) = self.spill_base {
+            let extra_levels = q.saturating_sub(SCRATCHPAD_RADIX_LOG2) as u64;
+            let base = spill_base + task as u64 * radix * ELEM_BYTES;
+            for _ in 0..extra_levels {
+                for k in 0..radix {
+                    f(FootprintOp {
+                        range: MemRange::write(base + k * ELEM_BYTES, ELEM_BYTES),
+                        region: Region::Spill,
+                    });
+                }
+                for k in 0..radix {
+                    f(FootprintOp {
+                        range: MemRange::read(base + k * ELEM_BYTES, ELEM_BYTES),
+                        region: Region::Spill,
+                    });
+                }
+            }
+        }
+        // Scatter: P element stores.
+        self.plan.for_each_element(stage, idx, |_, e| {
+            f(FootprintOp {
+                range: MemRange::write(self.data_addr(e), ELEM_BYTES),
+                region: Region::Data,
+            });
+        });
+    }
+
+    /// The memory footprint of codelet `task`: every byte range it touches,
+    /// classified read or write — what the `fgcheck` race detector and bank
+    /// linter consume. Spill traffic targets a per-task private region and
+    /// so can never conflict across tasks.
+    pub fn footprint(&self, task: CodeletId) -> Vec<MemRange> {
+        let mut out = Vec::new();
+        self.for_each_op(task, |op| out.push(op.range));
+        out
+    }
+}
+
+/// Element indices of one stage, codelet-major: entry `idx · radix + slot`
+/// is the global index of buffer slot `slot` of codelet `idx` — the flat
+/// gather table the planner's hot path streams.
+pub fn stage_gather(plan: &FftPlan, stage: usize) -> Vec<u32> {
+    let cps = plan.codelets_per_stage();
+    let radix = plan.radix();
+    let mut gather = vec![0u32; cps * radix];
+    for idx in 0..cps {
+        plan.for_each_element(stage, idx, |slot, e| gather[idx * radix + slot] = e as u32);
+    }
+    gather
+}
+
+/// The local butterfly pattern of one stage: `(lo, hi)` buffer-index pairs
+/// in execution order. The pattern depends only on the stage — every codelet
+/// of the stage applies the same pairs to its gathered buffer — while the
+/// twiddle factors differ per codelet (see [`append_twiddle_run`]). Plans
+/// materialize both so the hot path replays flat arrays instead of redoing
+/// this index algebra per call.
+pub fn butterfly_pairs(plan: &FftPlan, stage: usize) -> Vec<(u32, u32)> {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let groups = 1usize << (p - q);
+    let group_size = 1usize << q;
+    let mut pairs = Vec::with_capacity((q as usize) << (p - 1));
+    for ll in 0..q {
+        let ll_mask = (1usize << ll) - 1;
+        for g_rel in 0..groups {
+            let base = g_rel * group_size;
+            for b in 0..group_size / 2 {
+                let x_lo = ((b >> ll) << (ll + 1)) | (b & ll_mask);
+                let lo = base + x_lo;
+                pairs.push((lo as u32, (lo + (1 << ll)) as u32));
+            }
+        }
+    }
+    pairs
+}
+
+/// Append the twiddle factors codelet `(stage, idx)` consumes — one per
+/// butterfly, in [`butterfly_pairs`] order — to `out`. The values are
+/// bitwise the ones the kernel would load, so replaying them against the
+/// pair pattern reproduces its arithmetic exactly.
+pub fn append_twiddle_run(
+    plan: &FftPlan,
+    twiddles: &TwiddleTable,
+    stage: usize,
+    idx: usize,
+    out: &mut Vec<Complex64>,
+) {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let pj = p * stage as u32;
+    let n_log2 = plan.n_log2();
+    let groups = 1usize << (p - q);
+    let group_size = 1usize << q;
+    let first_group = idx << (p - q);
+    for ll in 0..q {
+        let l = pj + ll;
+        let shift = n_log2 - l - 1;
+        let ll_mask = (1usize << ll) - 1;
+        for g_rel in 0..groups {
+            let g = first_group + g_rel;
+            let g_low = g & low_mask(pj);
+            for b in 0..group_size / 2 {
+                let o = ((b & ll_mask) << pj) + g_low;
+                out.push(twiddles.get(o << shift));
+            }
+        }
+    }
+}
+
+/// Count the twiddle-factor loads one codelet performs (distinct logical
+/// indices, each loaded once): `P − 1` for a full stage, matching the
+/// paper's "63 twiddle factors" for 64-point codelets.
+pub fn twiddle_loads(plan: &FftPlan, stage: usize) -> usize {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    // Per level ll: 2^ll distinct (x_lo mod 2^ll) values × one g_low per
+    // group; groups = 2^{p-q}.
+    let groups = 1usize << (p - q);
+    let per_group: usize = (0..q).map(|ll| 1usize << ll).sum();
+    groups * per_group
+}
+
+/// Visit the logical twiddle index of every twiddle load of a codelet, in
+/// load order (the simulator workload emits its address stream from this).
+pub fn for_each_twiddle_index(plan: &FftPlan, stage: usize, idx: usize, mut f: impl FnMut(usize)) {
+    let p = plan.radix_log2();
+    let q = plan.levels(stage);
+    let pj = p * stage as u32;
+    let n_log2 = plan.n_log2();
+    let groups = 1usize << (p - q);
+    let first_group = idx << (p - q);
+    for ll in 0..q {
+        let l = pj + ll;
+        let shift = n_log2 - l - 1;
+        for g_rel in 0..groups {
+            let g = first_group + g_rel;
+            let g_low = g & low_mask(pj);
+            for t in 0..1usize << ll {
+                let o = (t << pj) + g_low;
+                f(o << shift);
+            }
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn low_mask(bits: u32) -> usize {
+    if bits as usize >= usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddle_loads_full_stage_is_p_minus_1() {
+        let plan = FftPlan::new(18, 6);
+        for stage in 0..plan.stages() {
+            assert_eq!(twiddle_loads(&plan, stage), 63);
+        }
+        let plan8 = FftPlan::new(9, 3);
+        assert_eq!(twiddle_loads(&plan8, 0), 7);
+    }
+
+    #[test]
+    fn twiddle_loads_partial_stage() {
+        let plan = FftPlan::new(13, 6); // last stage q=1
+        let last = plan.stages() - 1;
+        // 2^{6-1}=32 groups × (2^0) = 32 loads.
+        assert_eq!(twiddle_loads(&plan, last), 32);
+    }
+
+    #[test]
+    fn for_each_twiddle_index_count_and_range() {
+        for (n_log2, p_log2) in [(13u32, 6u32), (12, 6), (9, 3)] {
+            let plan = FftPlan::new(n_log2, p_log2);
+            for stage in 0..plan.stages() {
+                let mut count = 0;
+                for_each_twiddle_index(&plan, stage, 1 % plan.codelets_per_stage(), |t| {
+                    assert!(t < plan.n() / 2, "twiddle index out of table");
+                    count += 1;
+                });
+                assert_eq!(count, twiddle_loads(&plan, stage), "stage {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_stage_twiddle_indices_are_coarse_multiples() {
+        // The root cause of the paper: stage-0/1 twiddle indices are
+        // multiples of a large power of two → one DRAM bank under the linear
+        // layout.
+        let plan = FftPlan::new(18, 6);
+        for_each_twiddle_index(&plan, 0, 3, |t| {
+            assert_eq!(t % (1 << 11), 0, "stage-0 indices are multiples of 2^(n-7)");
+        });
+        for_each_twiddle_index(&plan, 1, 3, |t| {
+            assert_eq!(t % (1 << 5), 0);
+        });
+    }
+
+    #[test]
+    fn descriptor_matches_plan_algebra() {
+        let plan = FftPlan::new(13, 6);
+        let tw = TwiddleTable::new(13, TwiddleLayout::Linear);
+        for id in [0usize, 5, plan.total_codelets() - 1] {
+            let d = CodeletDesc::of(plan, id);
+            assert_eq!(d.id, id);
+            assert_eq!(d.stage, plan.stage_of(id));
+            assert_eq!(d.idx, plan.idx_of(id));
+            assert_eq!(d.levels, plan.levels(d.stage));
+            assert_eq!(d.elements(), plan.elements(d.stage, d.idx));
+            assert_eq!(
+                d.butterfly_pairs().len(),
+                d.twiddle_run(&tw).len(),
+                "one twiddle per butterfly"
+            );
+            if d.stage == 0 {
+                assert_eq!(d.parent_count, 0);
+                assert!(d.parents().is_empty());
+            } else {
+                assert_eq!(d.parent_count as usize, d.parents().len());
+            }
+        }
+        // Edges are symmetric: every child of id lists id among its parents.
+        let d = CodeletDesc::of(plan, 3);
+        for c in d.children() {
+            assert!(
+                CodeletDesc::of(plan, c).parents().contains(&3),
+                "child {c} must list 3 as parent"
+            );
+        }
+    }
+
+    #[test]
+    fn footprint_has_paper_op_counts_and_order() {
+        let plan = FftPlan::new(12, 6);
+        let w = Workload::new(plan, TwiddleLayout::Linear);
+        let mut ops = Vec::new();
+        w.for_each_op(0, |op| ops.push(op));
+        // 64 gather loads + 63 twiddle loads + 64 scatter stores, in order.
+        assert_eq!(ops.len(), 64 + 63 + 64);
+        assert!(ops[..64]
+            .iter()
+            .all(|o| o.region == Region::Data && !o.range.write));
+        assert!(ops[64..127]
+            .iter()
+            .all(|o| o.region == Region::Twiddle && !o.range.write));
+        assert!(ops[127..]
+            .iter()
+            .all(|o| o.region == Region::Data && o.range.write));
+        assert!(ops.iter().all(|o| o.range.len() == ELEM_BYTES));
+        assert_eq!(w.footprint(0).len(), ops.len());
+    }
+
+    #[test]
+    fn oversized_codelets_spill_privately() {
+        let plan = FftPlan::new(14, 7); // 128-point codelets
+        let w = Workload::new(plan, TwiddleLayout::Linear);
+        let mut spill_a = Vec::new();
+        w.for_each_op(0, |op| {
+            if op.region == Region::Spill {
+                spill_a.push(op.range);
+            }
+        });
+        // One extra level beyond the scratchpad: 128 stores + 128 loads.
+        assert_eq!(spill_a.len(), 256);
+        // Private region: task 1's spill never overlaps task 0's.
+        let mut disjoint = true;
+        w.for_each_op(1, |op| {
+            if op.region == Region::Spill {
+                disjoint &= !spill_a.iter().any(|r| r.overlaps(&op.range));
+            }
+        });
+        assert!(disjoint, "spill regions must be per-task private");
+    }
+
+    #[test]
+    fn schedule_spec_covers_every_codelet_once() {
+        for n_log2 in [12u32, 13] {
+            let plan = FftPlan::new(n_log2, 6);
+            for v in Version::paper_set(SeedOrder::Natural) {
+                let mut seen = vec![0u32; plan.total_codelets()];
+                match ScheduleSpec::of(plan, v) {
+                    ScheduleSpec::Phased { phases } => {
+                        assert_eq!(phases.len(), plan.stages());
+                        for id in phases.into_iter().flatten() {
+                            seen[id] += 1;
+                        }
+                    }
+                    ScheduleSpec::Fine { graph, seeds } => {
+                        assert_eq!(seeds.len(), plan.codelets_per_stage());
+                        for id in codelet::graph::execute_sequential(&graph, |_| {}) {
+                            seen[id] += 1;
+                        }
+                    }
+                    ScheduleSpec::Guided { early, late } => {
+                        assert_eq!(
+                            early.expected() + late.expected(),
+                            plan.total_codelets(),
+                            "phases partition the codelets"
+                        );
+                        for count in seen.iter_mut() {
+                            *count += 1; // partition checked by expected()
+                        }
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "{} n=2^{n_log2}: every codelet exactly once",
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guided_spec_falls_back_below_three_stages() {
+        let plan = FftPlan::new(12, 6); // 2 stages
+        match ScheduleSpec::of(plan, Version::FineGuided) {
+            ScheduleSpec::Fine { seeds, .. } => {
+                assert_eq!(seeds, (0..plan.codelets_per_stage()).collect::<Vec<_>>());
+            }
+            other => panic!("expected fine fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_interleave_is_the_machine_constant() {
+        let il = interleave();
+        assert_eq!(il, Interleave::cyclops64());
+        assert_eq!(il.unit_bytes, 64);
+        assert_eq!(il.banks, 4);
+    }
+}

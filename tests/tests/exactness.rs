@@ -1,0 +1,63 @@
+//! Cross-version bit-exactness: the five Table-I versions are *schedules*
+//! of one and the same arithmetic. Every codelet reads its inputs only
+//! after its parents complete and performs a fixed butterfly sequence with
+//! fixed twiddle values, so the result must be bitwise identical across
+//! versions and across worker counts — any divergence means a schedule
+//! reordered arithmetic it had no right to touch. The shared result must
+//! also agree with the recursive-FFT oracle to an accuracy that scales
+//! with N.
+
+use fgfft::reference::recursive_fft;
+use fgfft::{fft_in_place, rms_error, Complex64, ExecConfig, SeedOrder, Version};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Complex64::new(
+                (t * 0.613).sin() - 0.3 * (t * 0.047).cos(),
+                (t * 0.291).cos(),
+            )
+        })
+        .collect()
+}
+
+fn bits(data: &[Complex64]) -> Vec<(u64, u64)> {
+    data.iter()
+        .map(|c| (c.re.to_bits(), c.im.to_bits()))
+        .collect()
+}
+
+#[test]
+fn paper_versions_are_bit_exact_across_workers() {
+    for n_log2 in [12u32, 18] {
+        let n = 1usize << n_log2;
+        let input = signal(n);
+        let oracle = recursive_fft(&input);
+        let mut baseline: Option<Vec<(u64, u64)>> = None;
+        for version in Version::paper_set(SeedOrder::Natural) {
+            for workers in [1usize, 2, 8] {
+                let mut data = input.clone();
+                fft_in_place(&mut data, version, &ExecConfig::with_workers(workers));
+                let err = rms_error(&data, &oracle);
+                // Round-off grows like sqrt(log N); 1e-12·n is far above
+                // that but far below any algorithmic error.
+                assert!(
+                    err < 1e-12 * n as f64,
+                    "{} @ {workers}w, N=2^{n_log2}: rms {err}",
+                    version.name()
+                );
+                let got = bits(&data);
+                match &baseline {
+                    None => baseline = Some(got),
+                    Some(want) => assert_eq!(
+                        &got,
+                        want,
+                        "{} @ {workers}w, N=2^{n_log2}: bitwise drift from baseline",
+                        version.name()
+                    ),
+                }
+            }
+        }
+    }
+}
