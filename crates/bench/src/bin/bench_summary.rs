@@ -1,0 +1,135 @@
+//! Host-measured wall-time summary: per-version per-N median ns, plus the
+//! tuned-vs-seed speedup `fgtune` finds for each size.
+//!
+//! Unlike the figure regenerators (which replay the paper's C64 simulation)
+//! this bin measures the *host* executor — the numbers a service operator
+//! actually sees — and quantifies what autotuning buys on this machine.
+//!
+//! Usage: `bench_summary [--full] [--json PATH] [budget_ms=1500] [reps=5]`
+//!
+//! Writes `results/bench_summary.json` by default (`--json PATH`
+//! overrides). `--full` sweeps up to the paper's N = 2^18; the default is
+//! a fast subset.
+
+use fft_repro::Cli;
+use fgfft::exec::{SeedOrder, Version};
+use fgfft::wisdom::version_to_string;
+use fgsupport::json::Value;
+use fgtune::{measure_candidate, tune, TuneConfig, TuningSpace};
+use std::time::Duration;
+
+const DEFAULT_OUT: &str = "results/bench_summary.json";
+
+fn all_versions() -> Vec<Version> {
+    vec![
+        Version::Coarse,
+        Version::CoarseHash,
+        Version::Fine(SeedOrder::Natural),
+        Version::FineHash(SeedOrder::Natural),
+        Version::FineGuided,
+    ]
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: Vec<u32> = if cli.full {
+        vec![10, 12, 14, 16, 18]
+    } else {
+        vec![10, 12]
+    };
+    let budget = Duration::from_millis(cli.get("budget_ms", 1500u64));
+    let reps: usize = cli.get("reps", 5);
+    let seed: u64 = cli.get("seed", 0x5EED_F617);
+
+    let mut size_rows: Vec<Value> = Vec::new();
+    println!(
+        "{:>8}  {:>14}  {:>14}  version",
+        "N", "median_ns", "vs fine-guided"
+    );
+    for &n_log2 in &sizes {
+        let space = TuningSpace::new(n_log2, 6);
+
+        // Seed (untuned) medians for every Table-I version.
+        let mut version_rows: Vec<Value> = Vec::new();
+        let mut guided_ns = 0u64;
+        let mut seed_best = u64::MAX;
+        for version in all_versions() {
+            let candidate = space.seed_candidate(version);
+            let median_ns = measure_candidate(&space, &candidate, reps);
+            if version == Version::FineGuided {
+                guided_ns = median_ns;
+            }
+            seed_best = seed_best.min(median_ns);
+            version_rows.push(Value::obj(vec![
+                ("version", Value::Str(version_to_string(version))),
+                ("median_ns", Value::Num(median_ns as f64)),
+            ]));
+        }
+        for row in &version_rows {
+            let name = row.get("version").and_then(Value::as_str).unwrap_or("?");
+            let ns = row.get("median_ns").and_then(Value::as_f64).unwrap_or(0.0);
+            let rel = if guided_ns > 0 {
+                ns / guided_ns as f64
+            } else {
+                f64::NAN
+            };
+            println!("{:>8}  {ns:>14.0}  {rel:>13.2}x  {name}", 1u64 << n_log2);
+        }
+
+        // What tuning buys at this size.
+        let outcome = tune(
+            &space,
+            &TuneConfig {
+                budget,
+                seed,
+                reps,
+                ..TuneConfig::default()
+            },
+        );
+        let tuned_ns = outcome.report.best.median_ns;
+        let speedup = seed_best as f64 / tuned_ns.max(1) as f64;
+        println!(
+            "{:>8}  {tuned_ns:>14}  tuned best ({}) — {speedup:.2}x vs best seed\n",
+            1u64 << n_log2,
+            outcome.report.best.candidate.describe()
+        );
+
+        size_rows.push(Value::obj(vec![
+            ("n_log2", Value::Num(n_log2 as f64)),
+            ("versions", Value::Arr(version_rows)),
+            ("seed_best_ns", Value::Num(seed_best as f64)),
+            ("tuned_best_ns", Value::Num(tuned_ns as f64)),
+            (
+                "tuned_candidate",
+                Value::Str(outcome.report.best.candidate.describe()),
+            ),
+            ("tuned_speedup_vs_seed", Value::Num(speedup)),
+            (
+                "best_worst_spread",
+                Value::Num(outcome.report.best_worst_spread()),
+            ),
+        ]));
+    }
+
+    let doc = Value::obj(vec![
+        ("id", Value::Str("bench_summary".to_string())),
+        (
+            "title",
+            Value::Str("Host wall-time by version and size, with fgtune speedup".to_string()),
+        ),
+        ("machine", Value::Str(fgfft::wisdom::machine_fingerprint())),
+        ("reps", Value::Num(reps as f64)),
+        ("budget_ms", Value::Num(budget.as_millis() as f64)),
+        ("sizes", Value::Arr(size_rows)),
+    ]);
+    let path = cli.json.clone().unwrap_or_else(|| DEFAULT_OUT.to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&path, doc.to_string_pretty() + "\n") {
+        Ok(()) => println!("json written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

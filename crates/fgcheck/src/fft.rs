@@ -191,13 +191,25 @@ pub fn layout_name(layout: TwiddleLayout) -> &'static str {
 
 /// Statically check the schedule of `opts.version` without simulating it.
 pub fn check_fft(opts: &FftCheckOptions) -> FftCheckReport {
+    check_fft_tuned(opts, None)
+}
+
+/// As [`check_fft`], with the autotuner's schedule overrides applied — the
+/// in-loop gate of the `fgtune` search: every candidate pool order / guided
+/// split must pass all three passes before it is ever measured, so the
+/// tuner can never emit a schedule that violates the graph contract or
+/// races.
+pub fn check_fft_tuned(
+    opts: &FftCheckOptions,
+    tuning: Option<&fgfft::workload::ScheduleTuning>,
+) -> FftCheckReport {
     let plan = FftPlan::new(opts.n_log2, opts.radix_log2);
     let layout = opts.layout.unwrap_or_else(|| opts.version.layout());
     let workload = Workload::new(plan, layout);
     let n_tasks = plan.total_codelets();
 
     // The one schedule every consumer agrees on: the workload layer's spec.
-    let spec = ScheduleSpec::of(plan, opts.version);
+    let spec = ScheduleSpec::of_tuned(plan, opts.version, tuning);
     let (mut contract, hb, coverage) = match &spec {
         ScheduleSpec::Phased { phases } => {
             // The phased schedule still has to respect the dependence
@@ -218,21 +230,24 @@ pub fn check_fft(opts: &FftCheckOptions) -> FftCheckReport {
             );
             (contract, hb, cov)
         }
-        ScheduleSpec::Guided { early, late } => {
-            let early_seeds = early.seeds();
-            let late_seeds = late.seeds();
-            let mut contract = verify::check_partial(early, &early_seeds, early.expected());
-            contract.extend(verify::check_partial(late, &late_seeds, late.expected()));
+        ScheduleSpec::Guided {
+            early,
+            early_seeds,
+            late,
+            late_seeds,
+        } => {
+            let mut contract = verify::check_partial(early, early_seeds, early.expected());
+            contract.extend(verify::check_partial(late, late_seeds, late.expected()));
             let (hb, cov) = HbOrder::build(
                 n_tasks,
                 &[
                     Segment::Graph {
                         program: early,
-                        seeds: early_seeds,
+                        seeds: early_seeds.clone(),
                     },
                     Segment::Graph {
                         program: late,
-                        seeds: late_seeds,
+                        seeds: late_seeds.clone(),
                     },
                 ],
             );

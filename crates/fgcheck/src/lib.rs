@@ -32,6 +32,6 @@ pub mod race;
 
 pub use bank::{BankPressure, CODE_BANK_IMBALANCE, DEFAULT_THRESHOLD};
 pub use codelet::verify::{has_errors, render, Diagnostic, Severity};
-pub use fft::{check_fft, layout_name, FftCheckOptions, FftCheckReport};
+pub use fft::{check_fft, check_fft_tuned, layout_name, FftCheckOptions, FftCheckReport};
 pub use hb::{HbOrder, Segment, CODE_COVERAGE};
 pub use race::{find_races, RaceReport, CODE_RACE};

@@ -133,10 +133,13 @@ impl CodeletProgram for GuidedEarlyGraph {
     }
 }
 
-/// Phase two of the guided algorithm: the last two stages. Stage
-/// `first_late` codelets are seeded (their dependencies were satisfied in
-/// phase one) **in child-sharing-group order**, so each completed run of
-/// parents immediately enables a batch of last-stage codelets.
+/// Phase two of the guided algorithm: the tail stages
+/// `first_late..stages`. Stage `first_late` codelets are seeded (their
+/// dependencies were satisfied in phase one) **in child-sharing-group
+/// order**, so each completed run of parents immediately enables a batch of
+/// next-stage codelets. The paper fixes the tail to the last two stages;
+/// any `first_late ≥ 1` is accepted so the autotuner can sweep the split
+/// point.
 #[derive(Debug, Clone, Copy)]
 pub struct GuidedLateGraph {
     plan: FftPlan,
@@ -145,26 +148,35 @@ pub struct GuidedLateGraph {
 
 impl GuidedLateGraph {
     /// Build for `plan`; `first_late` is the first stage of phase two
-    /// (`last_stage − 1` in the paper).
+    /// (`last_stage − 1` in the paper; anywhere in `1..stages` here).
     pub fn new(plan: FftPlan, first_late: usize) -> Self {
         assert!(
-            first_late + 2 == plan.stages(),
-            "late part is the last two stages"
+            first_late >= 1 && first_late < plan.stages(),
+            "late part must start past stage 0 and be non-empty"
         );
         Self { plan, first_late }
     }
 
+    /// First stage of the tail.
+    pub fn first_late(&self) -> usize {
+        self.first_late
+    }
+
     /// Codelets this phase will execute.
     pub fn expected(&self) -> usize {
-        2 * self.plan.codelets_per_stage()
+        (self.plan.stages() - self.first_late) * self.plan.codelets_per_stage()
     }
 
     /// Seeds: stage `first_late` in grouped order (global ids), with the
     /// runs bank-rotated so that consecutive child-enable bursts target
     /// different DRAM data banks (see
-    /// [`FftPlan::grouped_stage_order_bank_rotated`]).
+    /// [`FftPlan::grouped_stage_order_bank_rotated`]). When the tail is a
+    /// single stage there are no children to group by: natural order.
     pub fn seeds(&self) -> Vec<CodeletId> {
         let base = self.first_late * self.plan.codelets_per_stage();
+        if self.first_late + 1 == self.plan.stages() {
+            return (base..base + self.plan.codelets_per_stage()).collect();
+        }
         self.plan
             .grouped_stage_order_bank_rotated(self.first_late)
             .into_iter()
@@ -200,7 +212,7 @@ impl CodeletProgram for GuidedLateGraph {
 
     fn dependents(&self, id: CodeletId, out: &mut Vec<CodeletId>) {
         let stage = self.plan.stage_of(id);
-        if stage == self.first_late {
+        if stage >= self.first_late {
             self.plan.children_of(stage, self.plan.idx_of(id), out);
         }
     }
@@ -211,7 +223,7 @@ impl CodeletProgram for GuidedLateGraph {
 
     fn shared_group(&self, id: CodeletId) -> Option<SharedGroup> {
         let stage = self.plan.stage_of(id);
-        if stage == self.plan.stages() - 1 {
+        if stage > self.first_late {
             self.plan.shared_group_of(id)
         } else {
             None

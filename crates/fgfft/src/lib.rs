@@ -29,6 +29,10 @@
 //!   swaps, the workload layer's schedule and tables materialized into flat
 //!   arrays) and the wisdom-style single-flight plan cache ([`Planner`])
 //!   that the `fgserve` serving layer builds on.
+//! * [`wisdom`] — persistent, machine-scoped autotuning results (FFTW-style
+//!   wisdom): which pool order / guided split / runtime parameters the
+//!   `fgtune` tuner measured fastest per [`PlanKey`], consulted by the
+//!   planner when building plans.
 //! * [`simwork`] — the workload layer's footprints lowered to byte-addressed
 //!   DRAM traffic for the `c64sim` Cyclops-64 simulator: this is where the
 //!   paper's bank-level results are reproduced.
@@ -71,6 +75,7 @@ pub mod stft;
 pub mod stockham;
 pub mod twiddle;
 pub mod window;
+pub mod wisdom;
 pub mod workload;
 
 pub use api::{convolve, forward, inverse, power_spectrum, Fft};
@@ -82,9 +87,11 @@ pub use plan::FftPlan;
 pub use planner::{Plan, PlanKey, Planner, PlannerStats};
 pub use rfft::{irfft, rfft};
 pub use simwork::{
-    run_sim, run_sim_fine, run_sim_guided, FftWorkload, GuidedOptions, Residence, SimVersion,
+    run_sim, run_sim_fine, run_sim_guided, run_sim_spec, FftWorkload, GuidedOptions, Residence,
+    SimVersion,
 };
 pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
 pub use twiddle::{TwiddleLayout, TwiddleTable};
 pub use window::Window;
-pub use workload::{CodeletDesc, ScheduleSpec, Workload};
+pub use wisdom::{machine_fingerprint, Wisdom, WisdomEntry, WisdomStatus};
+pub use workload::{CodeletDesc, ScheduleSpec, ScheduleTuning, Workload};

@@ -30,7 +30,8 @@ use crate::exec::shared::{execute_codelet_tabled, SharedData};
 use crate::exec::{ExecStats, Version};
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use crate::workload::{self, ScheduleSpec};
+use crate::wisdom::{Wisdom, WisdomStatus};
+use crate::workload::{self, ScheduleSpec, ScheduleTuning};
 use codelet::graph::{BatchProgram, CodeletId, CsrProgram};
 use codelet::pool::PoolDiscipline;
 use codelet::runtime::Runtime;
@@ -91,6 +92,7 @@ impl PlanKey {
 
 /// The version-specific precomputed schedule of a plan.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // exactly one per Plan; boxing would cost an indirection on the hot path
 enum Schedule {
     /// Coarse-grain: the per-stage codelet-id lists fed to barrier phases.
     Phased(Vec<Vec<CodeletId>>),
@@ -99,11 +101,15 @@ enum Schedule {
         graph: CsrProgram,
         seeds: Vec<CodeletId>,
     },
-    /// Guided: early slice, barrier, late slice (each materialized).
+    /// Guided: early slice, barrier, late slice (each materialized), with
+    /// the spec's seed orders carried explicitly — the materialized CSR
+    /// embeds the graph's *default* seeds, which a tuned plan overrides.
     Guided {
         early: CsrProgram,
+        early_seeds: Vec<CodeletId>,
         early_expected: usize,
         late: CsrProgram,
+        late_seeds: Vec<CodeletId>,
         late_expected: usize,
     },
 }
@@ -172,6 +178,7 @@ pub struct TouchRecord {
 #[derive(Debug)]
 pub struct Plan {
     key: PlanKey,
+    tuning: Option<ScheduleTuning>,
     fft: FftPlan,
     twiddles: TwiddleTable,
     bitrev_swaps: Vec<(u32, u32)>,
@@ -183,22 +190,38 @@ impl Plan {
     /// Derive the complete plan for `key`. This is the *cold path* a cache
     /// miss pays once — and the per-call path `fft_in_place` pays always.
     pub fn build(key: PlanKey) -> Self {
+        Self::build_tuned(key, None)
+    }
+
+    /// As [`Plan::build`], with the autotuner's schedule overrides applied
+    /// (`None` builds the version's own schedule). Tuning reorders the
+    /// initial codelet pool and may move the guided barrier; it never
+    /// changes the arithmetic, so a tuned plan's results are bit-identical
+    /// to the untuned plan's.
+    pub fn build_tuned(key: PlanKey, tuning: Option<&ScheduleTuning>) -> Self {
         let fft = FftPlan::new(key.n_log2, key.radix_log2);
         let twiddles = TwiddleTable::new(key.n_log2, key.layout);
         let bitrev_swaps = bit_reverse_swaps(key.n());
         // Materialize the workload layer's schedule spec — the same spec the
         // simulator runs and `fgcheck` verifies — into flat CSR arrays.
-        let schedule = match ScheduleSpec::of(fft, key.version) {
+        let schedule = match ScheduleSpec::of_tuned(fft, key.version, tuning) {
             ScheduleSpec::Phased { phases } => Schedule::Phased(phases),
             ScheduleSpec::Fine { graph, seeds } => Schedule::Fine {
                 graph: CsrProgram::materialize(&graph),
                 seeds,
             },
-            ScheduleSpec::Guided { early, late } => Schedule::Guided {
+            ScheduleSpec::Guided {
+                early,
+                early_seeds,
+                late,
+                late_seeds,
+            } => Schedule::Guided {
                 early_expected: early.expected(),
                 early: CsrProgram::materialize(&early),
+                early_seeds,
                 late_expected: late.expected(),
                 late: CsrProgram::materialize(&late),
+                late_seeds,
             },
         };
         let tables = (0..fft.stages())
@@ -206,6 +229,7 @@ impl Plan {
             .collect();
         Self {
             key,
+            tuning: tuning.cloned(),
             fft,
             twiddles,
             bitrev_swaps,
@@ -241,6 +265,12 @@ impl Plan {
     /// The identity this plan was built for.
     pub fn key(&self) -> PlanKey {
         self.key
+    }
+
+    /// The schedule overrides this plan was built with (`None` = the
+    /// version's own schedule).
+    pub fn tuning(&self) -> Option<&ScheduleTuning> {
+        self.tuning.as_ref()
     }
 
     /// Transform size `N`.
@@ -396,15 +426,17 @@ impl Plan {
             }
             Schedule::Guided {
                 early,
+                early_seeds,
                 early_expected,
                 late,
+                late_seeds,
                 late_expected,
             } => {
                 let early_batch = BatchProgram::new(early, copies);
                 let rs1 = runtime.run_partial(
                     &early_batch,
                     PoolDiscipline::Lifo,
-                    &early_batch.batched_seeds(early.seeds()),
+                    &early_batch.batched_seeds(early_seeds),
                     early_expected * copies,
                     body,
                 );
@@ -412,7 +444,7 @@ impl Plan {
                 let rs2 = runtime.run_partial(
                     &late_batch,
                     PoolDiscipline::Lifo,
-                    &late_batch.batched_seeds(late.seeds()),
+                    &late_batch.batched_seeds(late_seeds),
                     late_expected * copies,
                     body,
                 );
@@ -444,14 +476,16 @@ impl Plan {
             }
             Schedule::Guided {
                 early,
+                early_seeds,
                 early_expected,
                 late,
+                late_seeds,
                 late_expected,
             } => {
                 let rs1 = runtime.run_partial(
                     early,
                     PoolDiscipline::Lifo,
-                    early.seeds(),
+                    early_seeds,
                     *early_expected,
                     &body,
                 );
@@ -459,7 +493,7 @@ impl Plan {
                 let rs2 = runtime.run_partial(
                     late,
                     PoolDiscipline::Lifo,
-                    late.seeds(),
+                    late_seeds,
                     *late_expected,
                     body,
                 );
@@ -475,16 +509,24 @@ impl Plan {
 
 /// One cache slot: a lazily-built plan. `OnceLock` gives single-flight for
 /// free — the first `get_or_init` computes while concurrent callers block
-/// on the slot and then share the `Arc`.
+/// on the slot and then share the `Arc`. `last_used` is a logical timestamp
+/// (planner-global tick, not wall time) stamped on every lookup; eviction
+/// drops the smallest.
 #[derive(Debug, Default)]
 struct Slot {
     plan: OnceLock<Arc<Plan>>,
+    last_used: AtomicU64,
 }
 
 /// Number of independent cache shards. Requests for different keys usually
 /// hash to different shards, so concurrent lookups don't serialize on one
 /// lock; 16 is plenty for the handful of distinct sizes a service sees.
 const SHARD_COUNT: usize = 16;
+
+/// Default total plan capacity. Each `(n, version, layout, radix)` key is
+/// one plan; 256 covers every size a realistic service mixes while bounding
+/// worst-case residency (plans for huge N hold multi-megabyte tables).
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
 
 /// Snapshot of a planner's cache behavior.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -499,6 +541,8 @@ pub struct PlannerStats {
     pub cached_plans: u64,
     /// Approximate bytes held by cached plans.
     pub resident_bytes: u64,
+    /// Built plans dropped to keep the cache within its capacity.
+    pub evictions: u64,
 }
 
 impl PlannerStats {
@@ -528,9 +572,17 @@ impl PlannerStats {
 #[derive(Debug)]
 pub struct Planner {
     shards: Vec<Mutex<HashMap<PlanKey, Arc<Slot>>>>,
+    /// Per-shard slot cap (total capacity spread over the shards).
+    shard_capacity: usize,
+    /// Logical clock for LRU stamps; bumped once per lookup.
+    tick: AtomicU64,
+    /// Tuned parameters consulted when building plans; `None` runs every
+    /// version on its seed schedule.
+    wisdom: Mutex<Option<Arc<Wisdom>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     built: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for Planner {
@@ -540,15 +592,29 @@ impl Default for Planner {
 }
 
 impl Planner {
-    /// New empty cache.
+    /// New empty cache with the default capacity
+    /// ([`DEFAULT_PLAN_CAPACITY`] plans).
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+
+    /// New empty cache holding at most `capacity` built plans (≥ 1),
+    /// evicting least-recently-used plans beyond that. The bound is
+    /// approximate: capacity is split across shards, and a shard never
+    /// evicts a plan that is still being built.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "planner capacity must be at least 1");
         Self {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            shard_capacity: capacity.div_ceil(SHARD_COUNT),
+            tick: AtomicU64::new(0),
+            wisdom: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             built: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -574,8 +640,11 @@ impl Planner {
 
     /// The plan for an explicit [`PlanKey`]. Single-flight: when several
     /// threads miss on the same key simultaneously, exactly one builds while
-    /// the rest block on the slot and share the result.
+    /// the rest block on the slot and share the result. When the planner
+    /// holds [`Wisdom`] with an entry for `key`, the plan is built with that
+    /// entry's schedule tuning (same arithmetic, tuned execution order).
     pub fn plan_key(&self, key: PlanKey) -> Arc<Plan> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let slot = {
             let mut map = self.shards[Self::shard_of(&key)].lock();
             match map.get(&key) {
@@ -587,11 +656,16 @@ impl Planner {
                         // another thread: this lookup did not get warm data.
                         self.misses.fetch_add(1, Ordering::Relaxed);
                     }
+                    slot.last_used.store(now, Ordering::Relaxed);
                     Arc::clone(slot)
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    if map.len() >= self.shard_capacity {
+                        self.evict_lru(&mut map);
+                    }
                     let slot = Arc::new(Slot::default());
+                    slot.last_used.store(now, Ordering::Relaxed);
                     map.insert(key, Arc::clone(&slot));
                     slot
                 }
@@ -601,8 +675,56 @@ impl Planner {
         // other keys in the same shard... it holds only the slot.
         Arc::clone(slot.plan.get_or_init(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
-            Arc::new(Plan::build(key))
+            let tuning = self
+                .wisdom
+                .lock()
+                .as_ref()
+                .and_then(|w| w.lookup(&key))
+                .map(|entry| entry.tuning.clone());
+            Arc::new(Plan::build_tuned(key, tuning.as_ref()))
         }))
+    }
+
+    /// Drop the least-recently-used *built* slot from a full shard. Slots
+    /// still being built are never evicted (their builders and waiters hold
+    /// the `Arc`; dropping the map entry would let a racing lookup build the
+    /// same plan twice). If every slot is in-flight the shard briefly
+    /// overshoots its cap instead.
+    fn evict_lru(&self, map: &mut HashMap<PlanKey, Arc<Slot>>) {
+        let victim = map
+            .iter()
+            .filter(|(_, slot)| slot.plan.get().is_some())
+            .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+            .map(|(key, _)| *key);
+        if let Some(key) = victim {
+            map.remove(&key);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Install (or clear) the wisdom consulted when building plans, and
+    /// drop every cached plan so subsequent lookups rebuild with the new
+    /// tunings. In-flight `Arc<Plan>`s stay valid.
+    pub fn set_wisdom(&self, wisdom: Option<Arc<Wisdom>>) {
+        *self.wisdom.lock() = wisdom;
+        self.clear();
+    }
+
+    /// The currently installed wisdom, if any.
+    pub fn wisdom(&self) -> Option<Arc<Wisdom>> {
+        self.wisdom.lock().clone()
+    }
+
+    /// Load a wisdom file and install it when usable. Tolerates every file
+    /// failure mode (see [`Wisdom::load`]): on anything but
+    /// [`WisdomStatus::Loaded`] the planner is left untouched and the
+    /// status says why.
+    pub fn load_wisdom(&self, path: &std::path::Path) -> WisdomStatus {
+        let (wisdom, status) = Wisdom::load(path);
+        if status.is_loaded() {
+            self.set_wisdom(Some(Arc::new(wisdom)));
+        }
+        status
     }
 
     /// Number of distinct keys cached (built or building).
@@ -640,6 +762,7 @@ impl Planner {
             built: self.built.load(Ordering::Relaxed),
             cached_plans: cached,
             resident_bytes: bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -826,6 +949,122 @@ mod tests {
         lin.execute(&mut a, &rt);
         hash.execute(&mut b, &rt);
         assert_eq!(a, b, "layout changes placement, not values");
+    }
+
+    /// Keys that are cheap to build (small N) and numerous enough that any
+    /// shard gets several: every version × layout × size 2^2..2^10.
+    fn cheap_keys() -> Vec<PlanKey> {
+        let mut keys = Vec::new();
+        for n_log2 in 2..=10u32 {
+            for version in all_versions() {
+                for layout in [
+                    TwiddleLayout::Linear,
+                    TwiddleLayout::BitReversedHash,
+                    TwiddleLayout::MultiplicativeHash,
+                ] {
+                    keys.push(PlanKey::new(1 << n_log2, version, layout));
+                }
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn cache_is_bounded_and_counts_evictions() {
+        let planner = Planner::with_capacity(16); // one slot per shard
+        let keys = cheap_keys();
+        for &key in &keys {
+            planner.plan_key(key);
+        }
+        assert!(
+            planner.len() <= SHARD_COUNT,
+            "cap is one per shard, got {}",
+            planner.len()
+        );
+        let stats = planner.stats();
+        assert_eq!(stats.evictions, (keys.len() - planner.len()) as u64);
+        // The most recent key was inserted last, so nothing evicted it.
+        let before = planner.stats().hits;
+        planner.plan_key(*keys.last().unwrap());
+        assert_eq!(planner.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn eviction_prefers_least_recently_used() {
+        // Three cheap keys that share a shard, under a two-per-shard cap.
+        let keys = cheap_keys();
+        let shard = Planner::shard_of(&keys[0]);
+        let same: Vec<PlanKey> = keys
+            .into_iter()
+            .filter(|k| Planner::shard_of(k) == shard)
+            .take(3)
+            .collect();
+        assert_eq!(same.len(), 3, "need three keys in one shard");
+        let (a, b, c) = (same[0], same[1], same[2]);
+
+        let planner = Planner::with_capacity(2 * SHARD_COUNT);
+        planner.plan_key(a);
+        planner.plan_key(b);
+        planner.plan_key(a); // refresh a: b becomes the LRU
+        planner.plan_key(c); // full shard: evicts b, keeps a
+        let built = planner.stats().built;
+        planner.plan_key(a); // still resident
+        assert_eq!(planner.stats().built, built, "refreshed key survived");
+        planner.plan_key(b); // evicted: must rebuild
+        assert_eq!(planner.stats().built, built + 1, "LRU key was dropped");
+        assert_eq!(planner.stats().evictions, 2);
+    }
+
+    #[test]
+    fn planner_builds_tuned_plans_from_wisdom() {
+        let n = 1 << 12;
+        let key = PlanKey::new(n, Version::Fine(SeedOrder::Natural), TwiddleLayout::Linear);
+        let reversed: Vec<usize> = (0..(n >> 6)).rev().collect();
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(crate::wisdom::WisdomEntry {
+            key,
+            tuning: ScheduleTuning {
+                pool_order: Some(reversed.clone()),
+                last_early: None,
+            },
+            workers: 2,
+            batch: 1,
+            median_ns: 1,
+            seed_median_ns: 2,
+        });
+
+        let planner = Planner::new();
+        let untuned = planner.plan_key(key);
+        assert!(untuned.tuning().is_none());
+
+        planner.set_wisdom(Some(Arc::new(wisdom)));
+        assert!(planner.is_empty(), "set_wisdom clears stale plans");
+        let tuned = planner.plan_key(key);
+        assert_eq!(
+            tuned.tuning().and_then(|t| t.pool_order.as_deref()),
+            Some(&reversed[..]),
+            "plan was built with the wisdom entry's tuning"
+        );
+        // Tuning reorders execution, never arithmetic: bit-identical output.
+        let input = signal(n);
+        let rt = Runtime::with_workers(4);
+        let mut plain = input.clone();
+        untuned.execute(&mut plain, &rt);
+        let mut fast = input;
+        tuned.execute(&mut fast, &rt);
+        assert_eq!(plain, fast);
+
+        // Other keys are untouched by wisdom for this one.
+        let other = planner.plan(n, Version::Coarse, TwiddleLayout::Linear);
+        assert!(other.tuning().is_none());
+
+        planner.set_wisdom(None);
+        assert!(planner.wisdom().is_none());
+        let back = planner.plan_key(key);
+        assert!(
+            back.tuning().is_none(),
+            "clearing wisdom restores seed plans"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `P` data loads + (`P−1` for full stages) twiddle loads + `P` data
 //! stores of 16 bytes each, plus `5·P·q` flops.
 
-use crate::graph::{FftGraph, GuidedEarlyGraph};
+use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
 use crate::plan::FftPlan;
 use crate::twiddle::TwiddleLayout;
 use crate::workload::{Region, ScheduleSpec, SeedOrder, Workload};
@@ -180,32 +180,55 @@ pub fn run_sim_with_layout(
     chip: &ChipConfig,
     options: &SimOptions,
 ) -> SimReport {
-    let workload = FftWorkload::new(plan, layout, chip);
     // The schedule comes from the workload layer — the same spec the
     // planner materializes and `fgcheck` verifies.
-    match ScheduleSpec::of(plan, version) {
+    run_sim_spec(
+        plan,
+        layout,
+        &ScheduleSpec::of(plan, version),
+        chip,
+        options,
+    )
+}
+
+/// Simulate an explicit [`ScheduleSpec`] — the entry point behind every
+/// version runner, exposed so the `fgtune` autotuner can replay a *tuned*
+/// spec (pool order, guided split) through the same bank model it will
+/// later measure on the host.
+pub fn run_sim_spec(
+    plan: FftPlan,
+    layout: TwiddleLayout,
+    spec: &ScheduleSpec,
+    chip: &ChipConfig,
+    options: &SimOptions,
+) -> SimReport {
+    let workload = FftWorkload::new(plan, layout, chip);
+    match spec {
         ScheduleSpec::Phased { phases } => {
-            let mut sched = SequencedScheduler::coarse(phases);
+            let mut sched = SequencedScheduler::coarse(phases.clone());
             simulate(chip, &workload, &mut sched, options)
         }
         ScheduleSpec::Fine { graph, seeds } => {
             let mut sched =
-                SequencedScheduler::fine_with_seeds(&graph, &seeds, SimPoolDiscipline::Lifo);
+                SequencedScheduler::fine_with_seeds(graph, seeds, SimPoolDiscipline::Lifo);
             simulate(chip, &workload, &mut sched, options)
         }
-        ScheduleSpec::Guided { early, late } => {
-            let early_seeds = early.seeds();
-            let late_seeds = late.seeds();
+        ScheduleSpec::Guided {
+            early,
+            early_seeds,
+            late,
+            late_seeds,
+        } => {
             let mut sched = SequencedScheduler::new(vec![
                 Box::new(PoolScheduler::new(
-                    &early,
-                    &early_seeds,
+                    early,
+                    early_seeds,
                     SimPoolDiscipline::Lifo,
                     early.expected(),
                 )),
                 Box::new(PoolScheduler::new(
-                    &late,
-                    &late_seeds,
+                    late,
+                    late_seeds,
                     SimPoolDiscipline::Lifo,
                     late.expected(),
                 )),
@@ -271,22 +294,12 @@ pub fn run_sim_guided(
     let early = GuidedEarlyGraph::new(plan, last_early);
     let early_seeds = early.seeds();
     let first_late = last_early + 1;
-    let late = TailGraph { plan, first_late };
-    let base = first_late * plan.codelets_per_stage();
-    let late_seeds: Vec<TaskId> = if first_late + 1 < plan.stages() && guided.bank_rotated_seeds {
-        plan.grouped_stage_order_bank_rotated(first_late)
-            .into_iter()
-            .map(|i| base + i)
-            .collect()
-    } else if first_late + 1 < plan.stages() {
-        plan.grouped_stage_order(first_late)
-            .into_iter()
-            .map(|i| base + i)
-            .collect()
+    let late = GuidedLateGraph::new(plan, first_late);
+    let late_seeds: Vec<TaskId> = if guided.bank_rotated_seeds || first_late + 1 >= plan.stages() {
+        late.seeds()
     } else {
-        (base..base + plan.codelets_per_stage()).collect()
+        late.seeds_paper_order()
     };
-    let expected = (plan.stages() - first_late) * plan.codelets_per_stage();
     let mut sched = SequencedScheduler::new(vec![
         Box::new(PoolScheduler::new(
             &early,
@@ -298,58 +311,10 @@ pub fn run_sim_guided(
             &late,
             &late_seeds,
             guided.discipline,
-            expected,
+            late.expected(),
         )),
     ]);
     simulate(chip, &workload, &mut sched, options)
-}
-
-/// Dataflow graph over the tail stages `first_late..stages`, seeded at
-/// `first_late` (the generalization of [`GuidedLateGraph`] used by the
-/// split-point ablation).
-#[derive(Debug, Clone, Copy)]
-struct TailGraph {
-    plan: FftPlan,
-    first_late: usize,
-}
-
-impl codelet::graph::CodeletProgram for TailGraph {
-    fn num_codelets(&self) -> usize {
-        self.plan.total_codelets()
-    }
-
-    fn dep_count(&self, id: TaskId) -> u32 {
-        let stage = self.plan.stage_of(id);
-        if stage <= self.first_late {
-            0
-        } else {
-            self.plan.parent_count(stage, self.plan.idx_of(id))
-        }
-    }
-
-    fn dependents(&self, id: TaskId, out: &mut Vec<TaskId>) {
-        let stage = self.plan.stage_of(id);
-        if stage >= self.first_late {
-            self.plan.children_of(stage, self.plan.idx_of(id), out);
-        }
-    }
-
-    fn shared_group(&self, id: TaskId) -> Option<codelet::graph::SharedGroup> {
-        let stage = self.plan.stage_of(id);
-        if stage > self.first_late {
-            self.plan.shared_group_of(id)
-        } else {
-            None
-        }
-    }
-
-    fn num_shared_groups(&self) -> usize {
-        self.plan.num_shared_groups()
-    }
-
-    fn shared_group_members(&self, group: usize, out: &mut Vec<TaskId>) {
-        self.plan.shared_group_members(group, out);
-    }
 }
 
 #[cfg(test)]

@@ -146,10 +146,70 @@ impl Version {
     }
 }
 
+/// Tuned overrides for the schedule a [`Version`] runs — what the `fgtune`
+/// autotuner searches over and the wisdom store persists. The overrides
+/// never change the arithmetic (the codelet DAG fixes the values, see the
+/// cross-version bit-exactness tests); they only reorder the initial
+/// codelet pool and move the guided barrier, the two knobs behind the
+/// paper's "fine worst" vs "fine best" spread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTuning {
+    /// Initial pool-order permutation of `0..codelets_per_stage`: the seed
+    /// order of the fine and guided-early pools, and the per-phase issue
+    /// order of the coarse versions. `None` keeps the version's own order.
+    pub pool_order: Option<Vec<usize>>,
+    /// Last stage of the guided early phase (guided version only; `None`
+    /// keeps the paper's `stages − 3`). The late phase covers
+    /// `last_early+1..stages`.
+    pub last_early: Option<usize>,
+}
+
+impl ScheduleTuning {
+    /// No overrides — identical to the version's own schedule.
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Check the overrides against `plan`: the pool order must be a
+    /// permutation of `0..codelets_per_stage`, and the guided split must
+    /// leave both phases non-empty. Returns a description of the first
+    /// violation.
+    pub fn validate(&self, plan: &FftPlan) -> Result<(), String> {
+        if let Some(order) = &self.pool_order {
+            let cps = plan.codelets_per_stage();
+            if order.len() != cps {
+                return Err(format!(
+                    "pool order has {} entries, expected {cps}",
+                    order.len()
+                ));
+            }
+            let mut seen = vec![false; cps];
+            for &idx in order {
+                if idx >= cps || seen[idx] {
+                    return Err(format!(
+                        "pool order is not a permutation of 0..{cps}: entry {idx}"
+                    ));
+                }
+                seen[idx] = true;
+            }
+        }
+        if let Some(last_early) = self.last_early {
+            if plan.stages() >= 3 && last_early + 1 >= plan.stages() {
+                return Err(format!(
+                    "guided split last_early={last_early} leaves no late stage (stages={})",
+                    plan.stages()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The schedule a [`Version`] runs, spelled out once for every consumer:
 /// the simulator's schedulers, the planner's materialized CSR programs, and
-/// `fgcheck`'s happens-before order are all built from this value, so they
-/// cannot disagree about phases, seeds, or the small-plan fallback.
+/// `fgcheck`'s happens-before order are all built from this value — seeds
+/// included — so they cannot disagree about phases, seeds, or the
+/// small-plan fallback.
 #[derive(Debug, Clone)]
 pub enum ScheduleSpec {
     /// Barrier after every phase; phase `s` is stage `s` (Alg. 1).
@@ -167,10 +227,14 @@ pub enum ScheduleSpec {
     },
     /// Two dataflow phases with one barrier between them (Alg. 3).
     Guided {
-        /// Stages `0..stages-2`, seeded at stage 0.
+        /// Stages `0..=last_early`, seeded at stage 0.
         early: GuidedEarlyGraph,
-        /// The last two stages, seeded in bank-rotated grouped order.
+        /// Stage-0 codelet ids in initial early-pool order.
+        early_seeds: Vec<CodeletId>,
+        /// The tail stages, seeded in bank-rotated grouped order.
         late: GuidedLateGraph,
+        /// Stage-`first_late` codelet ids in initial late-pool order.
+        late_seeds: Vec<CodeletId>,
     },
 }
 
@@ -178,27 +242,67 @@ impl ScheduleSpec {
     /// The schedule `version` executes over `plan` — including the guided
     /// fallback to plain fine-grain when there are fewer than 3 stages.
     pub fn of(plan: FftPlan, version: Version) -> Self {
+        Self::of_tuned(plan, version, None)
+    }
+
+    /// As [`ScheduleSpec::of`], with the autotuner's overrides applied on
+    /// top of the version's own schedule. `tuning` must satisfy
+    /// [`ScheduleTuning::validate`]; `None` (or an identity tuning) yields
+    /// exactly [`ScheduleSpec::of`].
+    pub fn of_tuned(plan: FftPlan, version: Version, tuning: Option<&ScheduleTuning>) -> Self {
         let cps = plan.codelets_per_stage();
+        if let Some(t) = tuning {
+            if let Err(why) = t.validate(&plan) {
+                panic!("invalid schedule tuning: {why}");
+            }
+        }
+        let pool_order = tuning.and_then(|t| t.pool_order.as_ref());
         match version {
-            Version::Coarse | Version::CoarseHash => ScheduleSpec::Phased {
-                phases: (0..plan.stages())
-                    .map(|s| (s * cps..(s + 1) * cps).collect())
-                    .collect(),
-            },
+            Version::Coarse | Version::CoarseHash => {
+                // The tuned pool order becomes the issue order within every
+                // barrier phase (phases themselves are fixed by the stages).
+                let order: Vec<usize> = match pool_order {
+                    Some(order) => order.clone(),
+                    None => (0..cps).collect(),
+                };
+                ScheduleSpec::Phased {
+                    phases: (0..plan.stages())
+                        .map(|s| order.iter().map(|&idx| s * cps + idx).collect())
+                        .collect(),
+                }
+            }
             Version::Fine(order) | Version::FineHash(order) => ScheduleSpec::Fine {
                 graph: FftGraph::new(plan),
-                seeds: order.order(cps),
+                seeds: match pool_order {
+                    Some(order) => order.clone(),
+                    None => order.order(cps),
+                },
             },
             Version::FineGuided => {
                 if plan.stages() < 3 {
                     // Too few stages to split: degrade to plain fine-grain.
                     let graph = FftGraph::new(plan);
-                    let seeds = graph.stage0_ids();
+                    let seeds = match pool_order {
+                        Some(order) => order.clone(),
+                        None => graph.stage0_ids(),
+                    };
                     ScheduleSpec::Fine { graph, seeds }
                 } else {
+                    let last_early = tuning
+                        .and_then(|t| t.last_early)
+                        .unwrap_or(plan.stages() - 3);
+                    let early = GuidedEarlyGraph::new(plan, last_early);
+                    let late = GuidedLateGraph::new(plan, last_early + 1);
+                    let early_seeds = match pool_order {
+                        Some(order) => order.clone(),
+                        None => early.seeds(),
+                    };
+                    let late_seeds = late.seeds();
                     ScheduleSpec::Guided {
-                        early: GuidedEarlyGraph::new(plan, plan.stages() - 3),
-                        late: GuidedLateGraph::new(plan, plan.stages() - 2),
+                        early,
+                        early_seeds,
+                        late,
+                        late_seeds,
                     }
                 }
             }
@@ -721,12 +825,19 @@ mod tests {
                             seen[id] += 1;
                         }
                     }
-                    ScheduleSpec::Guided { early, late } => {
+                    ScheduleSpec::Guided {
+                        early,
+                        early_seeds,
+                        late,
+                        late_seeds,
+                    } => {
                         assert_eq!(
                             early.expected() + late.expected(),
                             plan.total_codelets(),
                             "phases partition the codelets"
                         );
+                        assert_eq!(early_seeds.len(), plan.codelets_per_stage());
+                        assert_eq!(late_seeds.len(), plan.codelets_per_stage());
                         for count in seen.iter_mut() {
                             *count += 1; // partition checked by expected()
                         }
@@ -750,6 +861,127 @@ mod tests {
             }
             other => panic!("expected fine fallback, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tuning_validation_catches_bad_overrides() {
+        let plan = FftPlan::new(13, 6);
+        let cps = plan.codelets_per_stage();
+        assert!(ScheduleTuning::identity().validate(&plan).is_ok());
+        let short = ScheduleTuning {
+            pool_order: Some(vec![0, 1]),
+            last_early: None,
+        };
+        assert!(short.validate(&plan).is_err(), "wrong length");
+        let dup = ScheduleTuning {
+            pool_order: Some(vec![0; cps]),
+            last_early: None,
+        };
+        assert!(dup.validate(&plan).is_err(), "not a permutation");
+        let bad_split = ScheduleTuning {
+            pool_order: None,
+            last_early: Some(plan.stages() - 1),
+        };
+        assert!(bad_split.validate(&plan).is_err(), "empty late phase");
+        let good = ScheduleTuning {
+            pool_order: Some((0..cps).rev().collect()),
+            last_early: Some(0),
+        };
+        assert!(good.validate(&plan).is_ok());
+    }
+
+    #[test]
+    fn identity_tuning_matches_untuned_spec() {
+        let plan = FftPlan::new(13, 6);
+        let id = ScheduleTuning::identity();
+        for v in Version::paper_set(SeedOrder::EvenOdd) {
+            let plain = ScheduleSpec::of(plan, v);
+            let tuned = ScheduleSpec::of_tuned(plan, v, Some(&id));
+            match (&plain, &tuned) {
+                (ScheduleSpec::Phased { phases: a }, ScheduleSpec::Phased { phases: b }) => {
+                    assert_eq!(a, b)
+                }
+                (ScheduleSpec::Fine { seeds: a, .. }, ScheduleSpec::Fine { seeds: b, .. }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    ScheduleSpec::Guided {
+                        early_seeds: ea,
+                        late_seeds: la,
+                        ..
+                    },
+                    ScheduleSpec::Guided {
+                        early_seeds: eb,
+                        late_seeds: lb,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(ea, eb);
+                    assert_eq!(la, lb);
+                }
+                _ => panic!("{}: identity tuning changed the spec shape", v.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_pool_order_reaches_every_phase() {
+        let plan = FftPlan::new(18, 6); // 3 full stages
+        let cps = plan.codelets_per_stage();
+        let perm: Vec<usize> = (0..cps).rev().collect();
+        let tuning = ScheduleTuning {
+            pool_order: Some(perm.clone()),
+            last_early: None,
+        };
+        match ScheduleSpec::of_tuned(plan, Version::Coarse, Some(&tuning)) {
+            ScheduleSpec::Phased { phases } => {
+                for (s, phase) in phases.iter().enumerate() {
+                    let expect: Vec<CodeletId> = perm.iter().map(|&i| s * cps + i).collect();
+                    assert_eq!(phase, &expect, "stage {s} issue order permuted");
+                }
+            }
+            other => panic!("expected phased, got {other:?}"),
+        }
+        match ScheduleSpec::of_tuned(plan, Version::Fine(SeedOrder::Natural), Some(&tuning)) {
+            ScheduleSpec::Fine { seeds, .. } => assert_eq!(seeds, perm),
+            other => panic!("expected fine, got {other:?}"),
+        }
+        match ScheduleSpec::of_tuned(plan, Version::FineGuided, Some(&tuning)) {
+            ScheduleSpec::Guided { early_seeds, .. } => assert_eq!(early_seeds, perm),
+            other => panic!("expected guided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuned_guided_split_moves_the_barrier() {
+        let plan = FftPlan::new(24, 6); // 4 full stages
+        let tuning = ScheduleTuning {
+            pool_order: None,
+            last_early: Some(0),
+        };
+        match ScheduleSpec::of_tuned(plan, Version::FineGuided, Some(&tuning)) {
+            ScheduleSpec::Guided { early, late, .. } => {
+                assert_eq!(early.expected(), plan.codelets_per_stage());
+                assert_eq!(late.expected(), 3 * plan.codelets_per_stage());
+                assert_eq!(
+                    early.expected() + late.expected(),
+                    plan.total_codelets(),
+                    "moved barrier still partitions the codelets"
+                );
+            }
+            other => panic!("expected guided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid schedule tuning")]
+    fn of_tuned_rejects_invalid_tuning() {
+        let plan = FftPlan::new(13, 6);
+        let bad = ScheduleTuning {
+            pool_order: Some(vec![1, 2, 3]),
+            last_early: None,
+        };
+        ScheduleSpec::of_tuned(plan, Version::FineGuided, Some(&bad));
     }
 
     #[test]

@@ -76,6 +76,12 @@ pub struct ServeConfig {
     pub radix_log2: u32,
     /// Cap on retained latency samples (reservoir-sampled past the cap).
     pub latency_samples: usize,
+    /// Autotuned wisdom file (written by `fgtune`) loaded into the plan
+    /// cache at startup. Missing, corrupt, or foreign files are tolerated
+    /// — the service starts on seed schedules and records the outcome in
+    /// [`FftService::wisdom_status`]. Tuned plans are bit-identical to
+    /// seed plans; only execution order changes.
+    pub wisdom_path: Option<std::path::PathBuf>,
     /// Fault injection for tests and chaos drills; defaults to a no-op.
     pub fault: crate::fault::FaultInjector,
 }
@@ -93,6 +99,7 @@ impl Default for ServeConfig {
             version: Version::FineGuided,
             radix_log2: 6,
             latency_samples: 1 << 16,
+            wisdom_path: None,
             fault: crate::fault::FaultInjector::none(),
         }
     }
@@ -328,6 +335,9 @@ struct Shared {
 pub struct FftService {
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<()>>,
+    /// Outcome of loading `config.wisdom_path` at startup; `None` when no
+    /// path was configured.
+    wisdom_status: Option<fgfft::wisdom::WisdomStatus>,
 }
 
 impl FftService {
@@ -338,7 +348,17 @@ impl FftService {
 
     /// Start the service against an existing plan cache (e.g.
     /// [`Planner::shared`], or one pre-warmed by a previous instance).
+    ///
+    /// When `config.wisdom_path` is set, the file is loaded into the
+    /// planner before any dispatcher starts, so every plan the service
+    /// ever builds is tuned. A file that fails to load (missing, corrupt,
+    /// wrong machine) leaves the planner untouched; the outcome is
+    /// available from [`FftService::wisdom_status`].
     pub fn start_with_planner(config: ServeConfig, planner: Arc<Planner>) -> Self {
+        let wisdom_status = config
+            .wisdom_path
+            .as_deref()
+            .map(|path| planner.load_wisdom(path));
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
             metrics: Arc::new(Metrics::new(config.latency_samples)),
@@ -357,7 +377,14 @@ impl FftService {
         Self {
             shared,
             supervisor: Some(supervisor),
+            wisdom_status,
         }
+    }
+
+    /// How loading `wisdom_path` went at startup: `None` when no path was
+    /// configured, otherwise the [`fgfft::wisdom::WisdomStatus`].
+    pub fn wisdom_status(&self) -> Option<fgfft::wisdom::WisdomStatus> {
+        self.wisdom_status
     }
 
     /// Submit a request. Returns a [`Ticket`] on admission; fails fast with

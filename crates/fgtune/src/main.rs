@@ -1,0 +1,219 @@
+//! `fgtune` — autotune FFT schedules and persist the winners as wisdom.
+//!
+//! ```text
+//! fgtune [--n N | --n-log2 LOG2] [--radix-log2 P] [--budget DUR]
+//!        [--seed S] [--reps K] [--out PATH] [--report PATH|-] [--smoke]
+//!
+//!   --budget    wall-clock search budget: "10s", "500ms", "2m" (default 10s)
+//!   --out       wisdom file to write (default fgtune-wisdom.json)
+//!   --report    write the JSON report to PATH, or "-" for stdout
+//!   --smoke     tiny self-check run: small N, short budget, then assert
+//!               the wisdom file loads back bit-identically (CI gate)
+//! ```
+//!
+//! Exit status 0 on success; 1 on bad arguments, I/O failure, or a failed
+//! smoke assertion.
+
+use fgfft::wisdom::{Wisdom, WisdomStatus};
+use fgtune::{tune, TuneConfig, TuningSpace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Cli {
+    n_log2: u32,
+    radix_log2: u32,
+    budget: Duration,
+    seed: u64,
+    reps: usize,
+    out: PathBuf,
+    report: Option<PathBuf>,
+    smoke: bool,
+}
+
+const USAGE: &str = "usage: fgtune [--n N | --n-log2 LOG2] [--radix-log2 P] \
+                     [--budget DUR] [--seed S] [--reps K] [--out PATH] \
+                     [--report PATH|-] [--smoke]";
+
+/// Parse "10s", "500ms", "2m", or a bare number of seconds.
+fn parse_budget(s: &str) -> Result<Duration, String> {
+    let (digits, unit) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(pos) => s.split_at(pos),
+        None => (s, "s"),
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad budget {s:?}: expected e.g. 10s, 500ms"))?;
+    match unit {
+        "ms" => Ok(Duration::from_millis(value)),
+        "s" => Ok(Duration::from_secs(value)),
+        "m" => Ok(Duration::from_secs(value * 60)),
+        _ => Err(format!("bad budget unit {unit:?}: use ms, s, or m")),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        n_log2: 12,
+        radix_log2: 6,
+        budget: Duration::from_secs(10),
+        seed: 0x5EED_F617,
+        reps: 5,
+        out: PathBuf::from("fgtune-wisdom.json"),
+        report: None,
+        smoke: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        if flag == "--smoke" {
+            cli.smoke = true;
+            continue;
+        }
+        if !matches!(
+            flag.as_str(),
+            "--n"
+                | "--n-log2"
+                | "--radix-log2"
+                | "--budget"
+                | "--seed"
+                | "--reps"
+                | "--out"
+                | "--report"
+        ) {
+            return Err(format!("unknown flag {flag}\n{USAGE}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        match flag.as_str() {
+            "--n" => {
+                let n: u64 = value.parse().map_err(|_| format!("bad --n {value}"))?;
+                if n < 2 || !n.is_power_of_two() {
+                    return Err(format!("--n {n} is not a power of two ≥ 2"));
+                }
+                cli.n_log2 = n.trailing_zeros();
+            }
+            "--n-log2" => {
+                cli.n_log2 = value.parse().map_err(|_| format!("bad --n-log2 {value}"))?;
+            }
+            "--radix-log2" => {
+                cli.radix_log2 = value
+                    .parse()
+                    .map_err(|_| format!("bad --radix-log2 {value}"))?;
+            }
+            "--budget" => cli.budget = parse_budget(value)?,
+            "--seed" => {
+                cli.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?;
+            }
+            "--reps" => {
+                cli.reps = value.parse().map_err(|_| format!("bad --reps {value}"))?;
+                if cli.reps == 0 {
+                    return Err("--reps must be ≥ 1".to_string());
+                }
+            }
+            "--out" => cli.out = PathBuf::from(value),
+            "--report" => cli.report = Some(PathBuf::from(value)),
+            _ => unreachable!("flag was validated above"),
+        }
+    }
+    if cli.smoke {
+        // Small, fast, deterministic problem so CI stays quick; explicit
+        // flags still win because smoke only shrinks the defaults.
+        cli.n_log2 = cli.n_log2.min(10);
+        cli.budget = cli.budget.min(Duration::from_secs(2));
+        cli.reps = cli.reps.min(3);
+    }
+    Ok(cli)
+}
+
+/// The smoke assertion: the wisdom file just written loads back as
+/// `Loaded`, and re-saving the loaded store reproduces the file byte for
+/// byte (save → load → save is a fixed point).
+fn smoke_check(path: &std::path::Path, written: &Wisdom) -> Result<(), String> {
+    let original =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let (loaded, status) = Wisdom::load(path);
+    if !matches!(status, WisdomStatus::Loaded { .. }) {
+        return Err(format!("wisdom did not load back: {status:?}"));
+    }
+    if &loaded != written {
+        return Err("loaded wisdom differs from the written store".to_string());
+    }
+    let resave = path.with_extension("resave.json");
+    loaded.save(&resave).map_err(|e| format!("re-save: {e}"))?;
+    let roundtrip = std::fs::read_to_string(&resave).map_err(|e| format!("read re-save: {e}"))?;
+    let _ = std::fs::remove_file(&resave);
+    if roundtrip != original {
+        return Err("re-saved wisdom is not bit-identical to the original".to_string());
+    }
+    Ok(())
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let space = TuningSpace::new(cli.n_log2, cli.radix_log2);
+    let config = TuneConfig {
+        budget: cli.budget,
+        seed: cli.seed,
+        reps: cli.reps,
+        ..TuneConfig::default()
+    };
+    let outcome = tune(&space, &config);
+    print!("{}", outcome.report.render_text());
+
+    if let Some(dir) = cli.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    outcome
+        .wisdom
+        .save(&cli.out)
+        .map_err(|e| format!("write {}: {e}", cli.out.display()))?;
+    println!(
+        "wisdom: {} entr{} -> {}",
+        outcome.wisdom.len(),
+        if outcome.wisdom.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        cli.out.display()
+    );
+
+    if let Some(report_path) = &cli.report {
+        let json = outcome.report.to_json().to_string_pretty();
+        if report_path.as_os_str() == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(report_path, json + "\n")
+                .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+        }
+    }
+
+    if cli.smoke {
+        smoke_check(&cli.out, &outcome.wisdom)?;
+        println!("smoke: wisdom reloads bit-identically");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fgtune: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -588,3 +588,125 @@ fn serve_stats_json_is_parseable() {
         .and_then(|p| p.get("hit_rate"))
         .is_some());
 }
+
+/// A service started with `wisdom_path` serves bit-exact results vs an
+/// untuned service: wisdom reorders execution of the same codelet DAG and
+/// the DAG fixes the arithmetic. Also covers the tolerant-startup paths —
+/// a missing or corrupt wisdom file must not stop the service.
+#[test]
+fn wisdom_tuned_service_is_bit_exact_vs_untuned() {
+    let n = 1 << 10;
+    let dir = std::env::temp_dir().join(format!("fgserve-wisdom-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("wisdom.json");
+
+    // Wisdom tuning the exact key the service will use.
+    let version = Version::FineGuided;
+    let key = PlanKey::new(n, version, version.layout());
+    let mut wisdom = fgfft::wisdom::Wisdom::new();
+    wisdom.insert(fgfft::wisdom::WisdomEntry {
+        key,
+        tuning: fgfft::ScheduleTuning {
+            pool_order: Some((0..(n >> 6)).rev().collect()),
+            last_early: None,
+        },
+        workers: 2,
+        batch: 4,
+        median_ns: 1,
+        seed_median_ns: 2,
+    });
+    wisdom.save(&path).expect("save wisdom");
+
+    let inputs: Vec<Vec<Complex64>> = (0..6).map(|i| signal(n, i as f64 * 0.3)).collect();
+    let serve_all = |config: ServeConfig| -> Vec<Vec<Complex64>> {
+        let service = FftService::start(config);
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|input| {
+                service
+                    .submit(Request::new(input.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        let out = tickets
+            .into_iter()
+            .map(|t| wait_bounded(t).expect("completed").buffer)
+            .collect();
+        assert_drained(&service.shutdown());
+        out
+    };
+
+    let untuned = serve_all(ServeConfig {
+        version,
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let tuned_service = FftService::start(ServeConfig {
+        version,
+        workers: 2,
+        wisdom_path: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    assert!(
+        matches!(
+            tuned_service.wisdom_status(),
+            Some(fgfft::wisdom::WisdomStatus::Loaded { entries: 1 })
+        ),
+        "{:?}",
+        tuned_service.wisdom_status()
+    );
+    let tuned: Vec<Vec<Complex64>> = {
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|input| {
+                tuned_service
+                    .submit(Request::new(input.clone()))
+                    .expect("admitted")
+            })
+            .collect();
+        let out = tickets
+            .into_iter()
+            .map(|t| wait_bounded(t).expect("completed").buffer)
+            .collect();
+        assert_drained(&tuned_service.shutdown());
+        out
+    };
+    assert_eq!(tuned, untuned, "wisdom changed results");
+
+    // Tolerant startup: missing and corrupt wisdom files serve fine.
+    let missing = serve_with_status(dir.join("does-not-exist.json"), version, &inputs[0]);
+    assert!(matches!(
+        missing,
+        Some(fgfft::wisdom::WisdomStatus::Missing)
+    ));
+    let corrupt_path = dir.join("corrupt.json");
+    std::fs::write(&corrupt_path, "{ torn").expect("write corrupt file");
+    let corrupt = serve_with_status(corrupt_path, version, &inputs[0]);
+    assert!(matches!(
+        corrupt,
+        Some(fgfft::wisdom::WisdomStatus::Corrupt)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Start a service with `wisdom_path`, serve one request, return the
+/// wisdom status.
+fn serve_with_status(
+    path: std::path::PathBuf,
+    version: Version,
+    input: &[Complex64],
+) -> Option<fgfft::wisdom::WisdomStatus> {
+    let service = FftService::start(ServeConfig {
+        version,
+        workers: 2,
+        wisdom_path: Some(path),
+        ..ServeConfig::default()
+    });
+    let status = service.wisdom_status();
+    let ticket = service
+        .submit(Request::new(input.to_vec()))
+        .expect("admitted");
+    wait_bounded(ticket).expect("completed");
+    assert_drained(&service.shutdown());
+    status
+}
