@@ -1,0 +1,107 @@
+//! Certificate issue and re-check (code FG408).
+//!
+//! [`certify`] is the checker's notary: it runs all four static passes over
+//! a `(options, tuning)` pair and, only if no pass found an error, seals
+//! the evidence into a [`Certificate`] — the schedule and table digests,
+//! the happens-before cover witness, and the bank-pressure bound. `fgtune`
+//! calls this for every wisdom entry it emits; the planner re-verifies the
+//! certificate before trusting the entry on the `unsafe` hot path.
+//!
+//! [`check_certificate`] is the reporting-side inverse: verify a
+//! certificate against a built plan and render any rejection as an FG408
+//! diagnostic, so CLI and CI surfaces speak the same language as the other
+//! passes.
+
+use crate::fft::{check_fft_tuned, FftCheckOptions};
+use codelet::verify::{Diagnostic, Severity};
+use fgfft::cert::Certificate;
+use fgfft::workload::ScheduleTuning;
+use fgfft::Plan;
+
+/// Certificate verification failure.
+pub const CODE_CERT: &str = "FG408";
+
+/// Run every static pass over `(opts, tuning)` and issue a sealed
+/// [`Certificate`] for the schedule — or refuse, returning the diagnostics
+/// that disqualify it. Pass 4 is forced on: a certificate must never vouch
+/// for tables the checker did not inspect.
+pub fn certify(
+    opts: &FftCheckOptions,
+    tuning: Option<&ScheduleTuning>,
+) -> Result<Certificate, Vec<Diagnostic>> {
+    let mut opts = *opts;
+    opts.check_tables = true;
+    let report = check_fft_tuned(&opts, tuning);
+    if report.has_errors() {
+        return Err(report.diagnostics());
+    }
+    Ok(Certificate::new(
+        report.schedule_digest,
+        report.table_digest,
+        report.hb_witness,
+        report.bank_bound_milli,
+    ))
+}
+
+/// Verify `cert` against a built plan, reporting any rejection as an FG408
+/// error diagnostic (empty vec = certificate accepted).
+pub fn check_certificate(cert: &Certificate, plan: &Plan) -> Vec<Diagnostic> {
+    match cert.verify_plan(plan) {
+        Ok(()) => Vec::new(),
+        Err(e) => vec![Diagnostic {
+            code: CODE_CERT,
+            severity: Severity::Error,
+            codelet: None,
+            message: format!("certificate rejected: {e}"),
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgfft::exec::{SeedOrder, Version};
+    use fgfft::planner::PlanKey;
+    use fgfft::TwiddleLayout;
+
+    #[test]
+    fn certified_schedule_verifies_against_its_plan() {
+        let opts = FftCheckOptions::new(10, Version::FineHash(SeedOrder::Natural));
+        let tuning = ScheduleTuning {
+            pool_order: Some((0..16).rev().collect()),
+            last_early: None,
+        };
+        let cert = certify(&opts, Some(&tuning)).expect("valid schedule certifies");
+        assert_ne!(cert.hb_witness, 0, "full certificates carry the witness");
+        let plan = Plan::build_tuned(opts.plan_key(), Some(&tuning));
+        assert!(check_certificate(&cert, &plan).is_empty());
+        // The same certificate against a *different* plan: FG408.
+        let other = Plan::build_tuned(opts.plan_key(), None);
+        let diags = check_certificate(&cert, &other);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, CODE_CERT);
+    }
+
+    #[test]
+    fn certify_covers_every_paper_version() {
+        for version in Version::paper_set(SeedOrder::Natural) {
+            let cert = certify(&FftCheckOptions::new(9, version), None)
+                .unwrap_or_else(|d| panic!("{version:?}: {d:?}"));
+            let key = PlanKey::new(1 << 9, version, version.layout());
+            assert!(check_certificate(&cert, &Plan::build(key)).is_empty());
+        }
+    }
+
+    #[test]
+    fn layout_override_changes_the_certificate() {
+        let base = FftCheckOptions::new(9, Version::Fine(SeedOrder::Natural));
+        let mut hashed = base;
+        hashed.layout = Some(TwiddleLayout::MultiplicativeHash);
+        let a = certify(&base, None).unwrap();
+        let b = certify(&hashed, None).unwrap();
+        assert_ne!(a.schedule, b.schedule, "layout is part of the identity");
+        // The table digest covers the twiddle factor table in stored slot
+        // order, so the layout permutation changes it too.
+        assert_ne!(a.tables, b.tables);
+    }
+}

@@ -18,10 +18,13 @@
 use crate::bank::BankPressure;
 use crate::hb::{HbOrder, Segment};
 use crate::race::{find_races, RaceReport};
+use crate::tables;
 use codelet::verify::{self, Diagnostic};
+use fgfft::cert::{self, Digest};
 use fgfft::graph::FftGraph;
+use fgfft::planner::PlanKey;
 use fgfft::workload::{self, ScheduleSpec, Workload};
-use fgfft::{FftPlan, SimVersion, TwiddleLayout};
+use fgfft::{FftPlan, Plan, SimVersion, TwiddleLayout};
 use fgsupport::json::Value;
 
 /// What to check.
@@ -37,6 +40,10 @@ pub struct FftCheckOptions {
     pub layout: Option<TwiddleLayout>,
     /// Bank-pressure lint threshold (peak/mean).
     pub threshold: f64,
+    /// Run pass 4 (build the [`Plan`] and verify its flattened tables).
+    /// On by default; the tuner's in-loop prescreen turns it off and runs
+    /// it once, at certification time, on the winning schedule only.
+    pub check_tables: bool,
 }
 
 impl FftCheckOptions {
@@ -48,7 +55,14 @@ impl FftCheckOptions {
             version,
             layout: None,
             threshold: crate::bank::DEFAULT_THRESHOLD,
+            check_tables: true,
         }
+    }
+
+    /// The plan identity these options check.
+    pub fn plan_key(&self) -> PlanKey {
+        let layout = self.layout.unwrap_or_else(|| self.version.layout());
+        PlanKey::with_radix(1usize << self.n_log2, self.version, layout, self.radix_log2)
     }
 }
 
@@ -70,6 +84,20 @@ pub struct FftCheckReport {
     pub bank: BankPressure,
     /// Pass-3 lint findings (warnings).
     pub bank_lint: Vec<Diagnostic>,
+    /// Pass-4 flattened-table findings (empty when `check_tables` was off).
+    pub tables: Vec<Diagnostic>,
+    /// Whether pass 4 ran (a clean `tables` list means nothing otherwise).
+    pub tables_checked: bool,
+    /// Digest of the happens-before cover pass 2 established (per-task
+    /// level assignment) — the certificate's HB witness.
+    pub hb_witness: u64,
+    /// [`cert::schedule_digest`] of the checked `(key, tuning)`.
+    pub schedule_digest: u64,
+    /// [`cert::table_digest`] of the built plan (0 when pass 4 was off).
+    pub table_digest: u64,
+    /// Worst per-level bank peak/mean ratio, in thousandths — the
+    /// certificate's bank bound.
+    pub bank_bound_milli: u64,
 }
 
 impl FftCheckReport {
@@ -77,6 +105,7 @@ impl FftCheckReport {
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
         let mut out = self.contract.clone();
         out.extend(self.races.diagnostics());
+        out.extend(self.tables.iter().cloned());
         out.extend(self.bank_lint.iter().cloned());
         out
     }
@@ -118,6 +147,16 @@ impl FftCheckReport {
                 None => "-".to_string(),
             })
             .collect();
+        out.push_str(&format!(
+            "  tables: {}\n",
+            if !self.tables_checked {
+                "skipped".to_string()
+            } else if verify::has_errors(&self.tables) {
+                "VIOLATED".to_string()
+            } else {
+                format!("ok (digest {:016x})", self.table_digest)
+            }
+        ));
         out.push_str(&format!(
             "  bank pressure: per-level peak/mean [{}], {} warning(s)\n",
             imb.join(", "),
@@ -175,6 +214,25 @@ impl FftCheckReport {
             (
                 "bank",
                 Value::obj(vec![("histogram", hist), ("imbalance", imbalance)]),
+            ),
+            (
+                "certificate",
+                Value::obj(vec![
+                    ("tables_checked", Value::Bool(self.tables_checked)),
+                    (
+                        "schedule_digest",
+                        Value::Str(format!("{:016x}", self.schedule_digest)),
+                    ),
+                    (
+                        "table_digest",
+                        Value::Str(format!("{:016x}", self.table_digest)),
+                    ),
+                    (
+                        "hb_witness",
+                        Value::Str(format!("{:016x}", self.hb_witness)),
+                    ),
+                    ("bank_bound_milli", Value::Num(self.bank_bound_milli as f64)),
+                ]),
             ),
         ])
     }
@@ -265,6 +323,34 @@ pub fn check_fft_tuned(
     );
     let bank_lint = bank.lint(opts.threshold);
 
+    // Certificate ingredients. The HB witness digests the level cover pass
+    // 2 established; the bank bound is pass 3's worst per-level ratio.
+    let mut witness = Digest::new_tagged(0x4842_5749); // "HBWI"
+    witness.write_usize(n_tasks);
+    witness.write_usize(hb.num_levels());
+    for t in 0..n_tasks {
+        match hb.level(t) {
+            Some(l) => witness.write_u32(l),
+            None => witness.write_u64(u64::MAX),
+        }
+    }
+    let hb_witness = witness.finish();
+    let bank_bound_milli = (0..bank.hist.len())
+        .filter_map(|l| bank.imbalance(l))
+        .fold(0u64, |acc, r| acc.max((r * 1000.0).ceil() as u64));
+    let key = opts.plan_key();
+    let schedule_digest =
+        cert::schedule_digest(key, tuning).expect("of_tuned already validated the tuning");
+
+    // Pass 4: build the plan this (key, tuning) lowers to and verify its
+    // flattened tables against bounds, disjointness, and the authority.
+    let (tables, table_digest) = if opts.check_tables {
+        let built = Plan::build_tuned(key, tuning);
+        (tables::check_plan(&built), cert::table_digest(&built))
+    } else {
+        (Vec::new(), 0)
+    };
+
     FftCheckReport {
         version: opts.version.name(),
         layout,
@@ -274,5 +360,11 @@ pub fn check_fft_tuned(
         races,
         bank,
         bank_lint,
+        tables,
+        tables_checked: opts.check_tables,
+        hb_witness,
+        schedule_digest,
+        table_digest,
+        bank_bound_milli,
     }
 }

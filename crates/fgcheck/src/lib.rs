@@ -19,19 +19,36 @@
 //!   bank exceeds `threshold ×` the mean draws an FG301 warning. This is
 //!   Fig. 1 of the paper as a lint.
 //!
-//! [`fft::check_fft`] wires all three to the exact schedules that
+//! * **Pass 4 — flattened tables** ([`tables`]): the planner's FFTW-style
+//!   per-stage gather/butterfly/twiddle tables — the second lowering the
+//!   `unsafe` hot path streams without bounds checks — verified for
+//!   bounds, per-stage disjointness, and byte-identity with the workload
+//!   authority. Codes FG401–FG407.
+//!
+//! [`certify()`] seals a clean four-pass run into a portable
+//! `fgfft::cert::Certificate` (FG408 on re-check failure) that `fgtune`
+//! embeds in wisdom entries and the planner re-verifies before trusting.
+//!
+//! [`fft::check_fft`] wires the passes to the exact schedules that
 //! `fgfft::simwork::run_sim` executes; the `fgcheck` binary exposes it on
 //! the command line with text and JSON output.
 
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod certify;
 pub mod fft;
 pub mod hb;
 pub mod race;
+pub mod tables;
 
 pub use bank::{BankPressure, CODE_BANK_IMBALANCE, DEFAULT_THRESHOLD};
+pub use certify::{certify, check_certificate, CODE_CERT};
 pub use codelet::verify::{has_errors, render, Diagnostic, Severity};
 pub use fft::{check_fft, check_fft_tuned, layout_name, FftCheckOptions, FftCheckReport};
 pub use hb::{HbOrder, Segment, CODE_COVERAGE};
 pub use race::{find_races, RaceReport, CODE_RACE};
+pub use tables::{
+    check_plan, check_plan_tables, CODE_BITREV_DRIFT, CODE_GATHER_BOUNDS, CODE_PAIR_BOUNDS,
+    CODE_STAGE_ALIASING, CODE_TABLE_DRIFT, CODE_TABLE_SHAPE, CODE_TWIDDLE_DRIFT,
+};

@@ -3,14 +3,21 @@
 //! ```text
 //! fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] [--version V]
 //!         [--layout L] [--threshold T] [--format text|json]
+//!         [--deny-warnings] [--no-tables] [--all] [--out FILE]
 //!
-//!   --version   coarse | coarse-hash | fine | fine-hash | fine-guided | all
-//!   --layout    linear | bitrev-hash | mult-hash   (default: the version's)
+//!   --version        coarse | coarse-hash | fine | fine-hash | fine-guided | all
+//!   --layout         linear | bitrev-hash | mult-hash   (default: the version's)
+//!   --deny-warnings  promote warnings (FG301 bank imbalance) to failures
+//!   --no-tables      skip pass 4 (plan-table verification)
+//!   --all            full sweep: every version × every layout × the size
+//!                    ladder 2^8..2^14 (ignores --version/--layout/--n)
+//!   --out FILE       also write the JSON report array to FILE
 //! ```
 //!
-//! Exit status 0 when every checked schedule is free of errors (FG101
-//! coverage holes, FG201 races, FG00x contract violations); 1 otherwise.
-//! Bank-pressure findings (FG301) are warnings and do not fail the run.
+//! Exit status 0 when every checked schedule is free of errors (FG00x
+//! contract violations, FG101 coverage holes, FG201 races, FG4xx table
+//! violations); 1 otherwise. Bank-pressure findings (FG301) are warnings
+//! and do not fail the run unless `--deny-warnings` is given.
 
 use fgcheck::{check_fft, FftCheckOptions};
 use fgfft::{SeedOrder, SimVersion, TwiddleLayout};
@@ -24,6 +31,10 @@ struct Cli {
     layout: Option<TwiddleLayout>,
     threshold: f64,
     json: bool,
+    deny_warnings: bool,
+    check_tables: bool,
+    all: bool,
+    out: Option<String>,
 }
 
 const ALL_VERSIONS: [SimVersion; 5] = [
@@ -34,10 +45,21 @@ const ALL_VERSIONS: [SimVersion; 5] = [
     SimVersion::FineGuided,
 ];
 
+const ALL_LAYOUTS: [TwiddleLayout; 3] = [
+    TwiddleLayout::Linear,
+    TwiddleLayout::BitReversedHash,
+    TwiddleLayout::MultiplicativeHash,
+];
+
+/// The `--all` sweep's size ladder: small enough to finish in CI seconds,
+/// spanning the partial-last-stage (8, 10, 14) and exact (12) cases.
+const SWEEP_N_LOG2: [u32; 4] = [8, 10, 12, 14];
+
 const USAGE: &str = "usage: fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] \
                      [--version coarse|coarse-hash|fine|fine-hash|fine-guided|all] \
                      [--layout linear|bitrev-hash|mult-hash] [--threshold T] \
-                     [--format text|json]";
+                     [--format text|json] [--deny-warnings] [--no-tables] \
+                     [--all] [--out FILE]";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -47,23 +69,31 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         layout: None,
         threshold: fgcheck::DEFAULT_THRESHOLD,
         json: false,
+        deny_warnings: false,
+        check_tables: true,
+        all: false,
+        out: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        if flag == "--help" || flag == "-h" {
-            return Err(USAGE.to_string());
-        }
-        if !matches!(
-            flag.as_str(),
-            "--n"
-                | "--n-log2"
-                | "--radix-log2"
-                | "--version"
-                | "--layout"
-                | "--threshold"
-                | "--format"
-        ) {
-            return Err(format!("unknown flag {flag}\n{USAGE}"));
+        // Boolean flags take no value.
+        match flag.as_str() {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--deny-warnings" => {
+                cli.deny_warnings = true;
+                continue;
+            }
+            "--no-tables" => {
+                cli.check_tables = false;
+                continue;
+            }
+            "--all" => {
+                cli.all = true;
+                continue;
+            }
+            "--n" | "--n-log2" | "--radix-log2" | "--version" | "--layout" | "--threshold"
+            | "--format" | "--out" => {}
+            _ => return Err(format!("unknown flag {flag}\n{USAGE}")),
         }
         let value = it
             .next()
@@ -115,10 +145,33 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown format {other}\n{USAGE}")),
                 };
             }
+            "--out" => {
+                cli.out = Some(value.clone());
+            }
             _ => unreachable!("flag was validated above"),
         }
     }
     Ok(cli)
+}
+
+/// The (n_log2, version, layout) combinations one invocation checks.
+fn combinations(cli: &Cli) -> Vec<(u32, SimVersion, Option<TwiddleLayout>)> {
+    if cli.all {
+        let mut out = Vec::new();
+        for &n_log2 in &SWEEP_N_LOG2 {
+            for &version in &ALL_VERSIONS {
+                for &layout in &ALL_LAYOUTS {
+                    out.push((n_log2, version, Some(layout)));
+                }
+            }
+        }
+        out
+    } else {
+        cli.versions
+            .iter()
+            .map(|&v| (cli.n_log2, v, cli.layout))
+            .collect()
+    }
 }
 
 fn main() -> ExitCode {
@@ -133,23 +186,37 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut reports = Vec::new();
-    for &version in &cli.versions {
+    let combos = combinations(&cli);
+    let want_json = cli.json || cli.out.is_some();
+    for (n_log2, version, layout) in combos {
         let report = check_fft(&FftCheckOptions {
-            n_log2: cli.n_log2,
+            n_log2,
             radix_log2: cli.radix_log2,
             version,
-            layout: cli.layout,
+            layout,
             threshold: cli.threshold,
+            check_tables: cli.check_tables,
         });
         failed |= report.has_errors();
-        if cli.json {
+        if cli.deny_warnings {
+            failed |= !report.diagnostics().is_empty();
+        }
+        if want_json {
             reports.push(report.to_json());
-        } else {
+        }
+        if !cli.json {
             print!("{}", report.render_text());
         }
     }
+    let doc = Value::Arr(reports);
     if cli.json {
-        println!("{}", Value::Arr(reports).to_string_pretty());
+        println!("{}", doc.to_string_pretty());
+    }
+    if let Some(path) = &cli.out {
+        if let Err(e) = std::fs::write(path, doc.to_string_pretty()) {
+            eprintln!("fgcheck: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -1,0 +1,401 @@
+//! Pass 4: the flattened-table verifier (codes FG401–FG407).
+//!
+//! The first three passes verify the *workload-level* schedule — the graphs
+//! and footprints `fgfft::simwork` executes. But the serving hot path runs a
+//! second, independent lowering: [`fgfft::Plan`] materializes per-stage
+//! gather/butterfly/twiddle tables that `unsafe` codelet execution streams
+//! through **without bounds checks**, on the strength of two assumptions:
+//!
+//! 1. every table index is in bounds for the plan's buffers, and
+//! 2. codelets that may run concurrently (same stage) have pairwise
+//!    disjoint data footprints — each stage's gather is a *partition* of
+//!    the data array.
+//!
+//! This pass checks both statically, plus — differentially — that the
+//! tables are byte-identical to what [`fgfft::workload`]'s authority
+//! functions derive, so the two lowerings can never drift apart silently.
+//!
+//! | code    | severity | meaning                                               |
+//! |---------|----------|-------------------------------------------------------|
+//! | `FG401` | error    | gather index out of bounds for the data array         |
+//! | `FG402` | error    | butterfly pair index out of bounds or degenerate      |
+//! | `FG403` | error    | table shape mismatch (lengths vs the plan's algebra)  |
+//! | `FG404` | error    | stage gather is not a partition (aliasing under `unsafe`) |
+//! | `FG405` | error    | twiddle run differs bitwise from the workload authority |
+//! | `FG406` | error    | gather/pairs differ from the workload authority       |
+//! | `FG407` | error    | bit-reversal swap list invalid or drifted             |
+//!
+//! All findings are errors: each one is a violated precondition of an
+//! `unsafe` block, not a style concern. To keep reports readable on badly
+//! corrupted tables, at most one diagnostic per (stage, code) is emitted —
+//! the first violation found.
+//!
+//! The checker has two entry points: [`check_plan`] for a built
+//! [`fgfft::Plan`] (what `check_fft` and the CLI run), and the slice-level
+//! [`check_plan_tables`] that fuzz tests feed deliberately mutated tables.
+
+use codelet::verify::{Diagnostic, Severity};
+use fgfft::bitrev::bit_reverse_swaps;
+use fgfft::planner::StageTableView;
+use fgfft::workload::{self};
+use fgfft::{FftPlan, Plan, TwiddleTable};
+
+/// Gather index out of bounds.
+pub const CODE_GATHER_BOUNDS: &str = "FG401";
+/// Butterfly pair out of bounds or degenerate.
+pub const CODE_PAIR_BOUNDS: &str = "FG402";
+/// Table shape mismatch.
+pub const CODE_TABLE_SHAPE: &str = "FG403";
+/// Stage gather is not a partition of the data array.
+pub const CODE_STAGE_ALIASING: &str = "FG404";
+/// Twiddle run drifted from the workload authority.
+pub const CODE_TWIDDLE_DRIFT: &str = "FG405";
+/// Gather/pair tables drifted from the workload authority.
+pub const CODE_TABLE_DRIFT: &str = "FG406";
+/// Bit-reversal swap list invalid or drifted.
+pub const CODE_BITREV_DRIFT: &str = "FG407";
+
+fn error(code: &'static str, codelet: Option<usize>, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: Severity::Error,
+        codelet,
+        message,
+    }
+}
+
+/// Verify the flattened execution tables of a built plan: bounds,
+/// per-stage disjointness, and byte-identity with the workload authority.
+pub fn check_plan(plan: &Plan) -> Vec<Diagnostic> {
+    let fft = plan.fft_plan();
+    let stages: Vec<StageTableView<'_>> = (0..fft.stages()).map(|s| plan.stage_table(s)).collect();
+    check_plan_tables(fft, plan.twiddles(), &stages, plan.bitrev_swaps())
+}
+
+/// Slice-level core of [`check_plan`]: verify `stages` and `swaps` as if
+/// they were the flattened tables of a plan for `fft` under `twiddles`.
+///
+/// Exposed separately so tests can feed *mutated* tables — bit flips,
+/// truncations, off-by-one indices — and assert each mutant draws the
+/// specific code for its violation, which a `Plan`'s encapsulated tables
+/// (correct by construction) could never exercise.
+pub fn check_plan_tables(
+    fft: &FftPlan,
+    twiddles: &TwiddleTable,
+    stages: &[StageTableView<'_>],
+    swaps: &[(u32, u32)],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = 1usize << fft.n_log2();
+    let radix = 1usize << fft.radix_log2();
+    let cps = fft.codelets_per_stage();
+
+    if stages.len() != fft.stages() {
+        out.push(error(
+            CODE_TABLE_SHAPE,
+            None,
+            format!(
+                "plan has {} stage tables, algebra requires {}",
+                stages.len(),
+                fft.stages()
+            ),
+        ));
+        // Per-stage checks below would index the wrong stage's authority.
+        check_swaps(n, swaps, &mut out);
+        return out;
+    }
+
+    // Reused scratch: which global element each stage's gather claims.
+    let mut claimed = vec![u32::MAX; n];
+    let mut authority_tw = Vec::new();
+
+    for (stage, table) in stages.iter().enumerate() {
+        let q = fft.levels(stage);
+        let expect_pairs = (q as usize) << (fft.radix_log2() - 1);
+
+        // FG403 — shapes first: the remaining checks index by them.
+        if table.gather.len() != cps * radix
+            || table.pairs.len() != expect_pairs
+            || table.twiddles.len() != cps * table.pairs.len()
+        {
+            out.push(error(
+                CODE_TABLE_SHAPE,
+                None,
+                format!(
+                    "stage {stage}: gather {} (want {}), pairs {} (want {expect_pairs}), \
+                     twiddles {} (want {})",
+                    table.gather.len(),
+                    cps * radix,
+                    table.pairs.len(),
+                    table.twiddles.len(),
+                    cps * table.pairs.len(),
+                ),
+            ));
+            continue; // indices below would be meaningless
+        }
+
+        // FG401 — every gather index addresses the data array.
+        if let Some((slot, &g)) = table
+            .gather
+            .iter()
+            .enumerate()
+            .find(|&(_, &g)| g as usize >= n)
+        {
+            out.push(error(
+                CODE_GATHER_BOUNDS,
+                Some(stage * cps + slot / radix),
+                format!(
+                    "stage {stage}: gather[{slot}] = {g} out of bounds for N = {n} \
+                     (unsafe scatter/gather would read past the buffer)"
+                ),
+            ));
+        }
+
+        // FG402 — every butterfly pair stays inside the codelet buffer and
+        // names two distinct slots (lo = hi would double-write one slot).
+        if let Some((i, &(lo, hi))) = table
+            .pairs
+            .iter()
+            .enumerate()
+            .find(|&(_, &(lo, hi))| lo >= hi || hi as usize >= radix)
+        {
+            out.push(error(
+                CODE_PAIR_BOUNDS,
+                None,
+                format!(
+                    "stage {stage}: pair[{i}] = ({lo}, {hi}) invalid for radix {radix} \
+                     (want lo < hi < radix)"
+                ),
+            ));
+        }
+
+        // FG404 — the stage's gather must partition 0..N: cps·radix = N
+        // entries, each element claimed exactly once. This *is* the
+        // pairwise-disjointness precondition of running the stage's
+        // codelets concurrently over one buffer without synchronization.
+        let stamp = stage as u32;
+        let mut aliased = None;
+        for (slot, &g) in table.gather.iter().enumerate() {
+            let g = g as usize;
+            if g >= n {
+                continue; // already an FG401
+            }
+            if claimed[g] == stamp {
+                aliased = Some((slot, g));
+                break;
+            }
+            claimed[g] = stamp;
+        }
+        if let Some((slot, g)) = aliased {
+            out.push(error(
+                CODE_STAGE_ALIASING,
+                Some(stage * cps + slot / radix),
+                format!(
+                    "stage {stage}: element {g} gathered twice (second claim by codelet \
+                     buffer slot {slot}) — concurrent codelets of one stage would alias \
+                     under the unsafe execution contract"
+                ),
+            ));
+        }
+
+        // FG406 — differential: byte-identical to the workload authority.
+        let auth_gather = workload::stage_gather(fft, stage);
+        let auth_pairs = workload::butterfly_pairs(fft, stage);
+        if table.gather != auth_gather.as_slice() || table.pairs != auth_pairs.as_slice() {
+            out.push(error(
+                CODE_TABLE_DRIFT,
+                None,
+                format!(
+                    "stage {stage}: gather/pair tables differ from the workload \
+                     authority — the two lowerings have drifted"
+                ),
+            ));
+        }
+
+        // FG405 — twiddles bitwise equal to the authority's runs. Bitwise,
+        // not approximate: the plan is supposed to *copy* these values, and
+        // any rounding difference means it recomputed them another way.
+        authority_tw.clear();
+        for idx in 0..cps {
+            workload::append_twiddle_run(fft, twiddles, stage, idx, &mut authority_tw);
+        }
+        if let Some(i) = (0..table.twiddles.len().min(authority_tw.len())).find(|&i| {
+            let (a, b) = (table.twiddles[i], authority_tw[i]);
+            a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits()
+        }) {
+            let run = table.pairs.len();
+            out.push(error(
+                CODE_TWIDDLE_DRIFT,
+                Some(stage * cps + i / run.max(1)),
+                format!(
+                    "stage {stage}: twiddle[{i}] = {} differs bitwise from the workload \
+                     authority's {}",
+                    table.twiddles[i], authority_tw[i]
+                ),
+            ));
+        }
+    }
+
+    check_swaps(n, swaps, &mut out);
+    out
+}
+
+/// FG407 — the bit-reversal swap list: in bounds and exactly the authority's
+/// transposition list (each swap (a, b) with a < b, applied once).
+fn check_swaps(n: usize, swaps: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    if let Some((i, &(a, b))) = swaps
+        .iter()
+        .enumerate()
+        .find(|&(_, &(a, b))| a as usize >= n || b as usize >= n || a >= b)
+    {
+        out.push(error(
+            CODE_BITREV_DRIFT,
+            None,
+            format!("bitrev swap[{i}] = ({a}, {b}) invalid for N = {n} (want a < b < N)"),
+        ));
+        return;
+    }
+    let authority = bit_reverse_swaps(n);
+    if swaps != authority.as_slice() {
+        out.push(error(
+            CODE_BITREV_DRIFT,
+            None,
+            format!(
+                "bit-reversal swap list ({} swaps) differs from the authority's ({}) — \
+                 the permutation would not be the bit reversal",
+                swaps.len(),
+                authority.len()
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgfft::exec::{SeedOrder, Version};
+    use fgfft::planner::PlanKey;
+    use fgfft::TwiddleLayout;
+
+    fn plan(n_log2: u32, version: Version) -> Plan {
+        Plan::build(PlanKey::new(1usize << n_log2, version, version.layout()))
+    }
+
+    #[test]
+    fn built_plans_pass_for_every_version_and_layout() {
+        for version in Version::paper_set(SeedOrder::Natural) {
+            let p = plan(10, version);
+            let diags = check_plan(&p);
+            assert!(diags.is_empty(), "{version:?}: {diags:?}");
+        }
+        // Layout override changes twiddle storage, not validity.
+        let key = PlanKey::new(
+            1 << 9,
+            Version::Fine(SeedOrder::Reversed),
+            TwiddleLayout::MultiplicativeHash,
+        );
+        assert!(check_plan(&Plan::build(key)).is_empty());
+    }
+
+    #[test]
+    fn mutated_gather_draws_fg401_and_fg404() {
+        let p = plan(9, Version::FineGuided);
+        let fft = p.fft_plan();
+        let mut stages: Vec<StageTableView<'_>> =
+            (0..fft.stages()).map(|s| p.stage_table(s)).collect();
+        let mut gather = stages[1].gather.to_vec();
+        gather[3] = 1 << 9; // one past the end
+        let mutated = StageTableView {
+            gather: &gather,
+            pairs: stages[1].pairs,
+            twiddles: stages[1].twiddles,
+        };
+        stages[1] = mutated;
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, p.bitrev_swaps());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&CODE_GATHER_BOUNDS), "{codes:?}");
+        // The clobbered element is also no longer claimed → not a partition
+        // (reported as drift too; aliasing needs a duplicate).
+        assert!(codes.contains(&CODE_TABLE_DRIFT), "{codes:?}");
+    }
+
+    #[test]
+    fn duplicated_gather_entry_is_stage_aliasing() {
+        let p = plan(9, Version::Fine(SeedOrder::Natural));
+        let fft = p.fft_plan();
+        let mut stages: Vec<StageTableView<'_>> =
+            (0..fft.stages()).map(|s| p.stage_table(s)).collect();
+        let mut gather = stages[0].gather.to_vec();
+        gather[70] = gather[2]; // two codelets now share an element
+        let mutated = StageTableView {
+            gather: &gather,
+            pairs: stages[0].pairs,
+            twiddles: stages[0].twiddles,
+        };
+        stages[0] = mutated;
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, p.bitrev_swaps());
+        assert!(
+            diags.iter().any(|d| d.code == CODE_STAGE_ALIASING),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_tables_and_swapped_twiddles_are_reported() {
+        let p = plan(9, Version::CoarseHash);
+        let fft = p.fft_plan();
+        let full: Vec<StageTableView<'_>> = (0..fft.stages()).map(|s| p.stage_table(s)).collect();
+
+        // Truncated gather: shape error.
+        let mut stages = full.clone();
+        let gather = &full[0].gather[..full[0].gather.len() - 1];
+        stages[0] = StageTableView {
+            gather,
+            pairs: full[0].pairs,
+            twiddles: full[0].twiddles,
+        };
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, p.bitrev_swaps());
+        assert!(
+            diags.iter().any(|d| d.code == CODE_TABLE_SHAPE),
+            "{diags:?}"
+        );
+
+        // One twiddle bit flipped: bitwise drift.
+        let mut stages = full.clone();
+        let mut tw = full[1].twiddles.to_vec();
+        tw[5].re = f64::from_bits(tw[5].re.to_bits() ^ 1);
+        stages[1] = StageTableView {
+            gather: full[1].gather,
+            pairs: full[1].pairs,
+            twiddles: &tw,
+        };
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, p.bitrev_swaps());
+        assert!(
+            diags.iter().any(|d| d.code == CODE_TWIDDLE_DRIFT),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_bitrev_swaps_are_fg407() {
+        let p = plan(9, Version::Coarse);
+        let fft = p.fft_plan();
+        let stages: Vec<StageTableView<'_>> = (0..fft.stages()).map(|s| p.stage_table(s)).collect();
+        // Out-of-bounds swap.
+        let mut swaps = p.bitrev_swaps().to_vec();
+        swaps[0].1 = 1 << 9;
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, &swaps);
+        assert!(
+            diags.iter().any(|d| d.code == CODE_BITREV_DRIFT),
+            "{diags:?}"
+        );
+        // In-bounds but wrong permutation.
+        let mut swaps = p.bitrev_swaps().to_vec();
+        swaps.pop();
+        let diags = check_plan_tables(fft, p.twiddles(), &stages, &swaps);
+        assert!(
+            diags.iter().any(|d| d.code == CODE_BITREV_DRIFT),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Measure certificate verification overhead on the cold plan-build path.
+//!
+//! The acceptance bar for the certificate layer is < 5% added to cold
+//! tuned-plan construction. This example measures the deployed path: a
+//! [`fgfft::planner::Planner`] holding certified wisdom builds a tuned
+//! plan cold, once under the default [`fgfft::cert::CertPolicy::Verify`]
+//! (tuning validation + `Plan::build_tuned` + `Certificate::verify_plan`)
+//! and once under `CertPolicy::Trust` (everything but the verification).
+//! The difference is what certification costs the first caller of each
+//! size; the table also reports the raw `verify_plan` time and the
+//! `O(pool)` static check the wisdom load path runs per entry.
+//!
+//! Run with: `cargo run --release -p fgfft --example cert_overhead`
+
+use fgfft::cert::{CertPolicy, Certificate};
+use fgfft::exec::Version;
+use fgfft::planner::{Plan, PlanKey, Planner};
+use fgfft::wisdom::{Wisdom, WisdomEntry};
+use fgfft::ScheduleTuning;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("certificate overhead on cold tuned planner builds");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>14} {:>14}",
+        "n_log2", "trust_ns", "verified_ns", "overhead", "verify_ns", "static_ns"
+    );
+    for n_log2 in [10u32, 12, 14, 16, 18, 20] {
+        let key = PlanKey::new(
+            1usize << n_log2,
+            Version::FineGuided,
+            Version::FineGuided.layout(),
+        );
+        let tuning = ScheduleTuning {
+            pool_order: Some((0..1usize << (n_log2 - 6)).rev().collect()),
+            last_early: None,
+        };
+        let cert =
+            Certificate::for_plan(&Plan::build_tuned(key, Some(&tuning))).expect("valid tuning");
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(WisdomEntry {
+            key,
+            tuning: tuning.clone(),
+            workers: 1,
+            batch: 1,
+            median_ns: 1,
+            seed_median_ns: 2,
+            cert: Some(cert),
+        });
+        let wisdom = Arc::new(wisdom);
+
+        let cold_build = |policy: CertPolicy| -> u128 {
+            let planner = Planner::new();
+            planner.set_cert_policy(policy);
+            planner.set_wisdom(Some(Arc::clone(&wisdom)));
+            let t0 = Instant::now();
+            let plan = planner.plan_key(key);
+            let ns = t0.elapsed().as_nanos();
+            assert_eq!(plan.tuning(), Some(&tuning), "wisdom applied");
+            ns
+        };
+
+        let reps = if n_log2 <= 14 { 41 } else { 9 };
+        let mut trusted = Vec::with_capacity(reps);
+        let mut verified = Vec::with_capacity(reps);
+        let mut verify = Vec::with_capacity(reps);
+        let mut statics = Vec::with_capacity(reps);
+        let probe = Plan::build_tuned(key, Some(&tuning));
+        for _ in 0..reps {
+            trusted.push(cold_build(CertPolicy::Trust));
+            verified.push(cold_build(CertPolicy::Verify));
+
+            let t0 = Instant::now();
+            cert.verify_plan(&probe).expect("certificate verifies");
+            verify.push(t0.elapsed().as_nanos());
+
+            let t1 = Instant::now();
+            cert.verify_static(key, Some(&tuning))
+                .expect("static verification passes");
+            statics.push(t1.elapsed().as_nanos());
+        }
+        let trusted = median_ns(trusted);
+        let verified = median_ns(verified);
+        let verify = median_ns(verify);
+        // Overhead = the directly measured verification cost relative to
+        // the cold trusted build: subtracting the two cold-build medians
+        // would put two full-build noise terms around a signal smaller
+        // than either (the `verified_ns` column is a sanity check that the
+        // end-to-end difference is consistent, not the estimator).
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.2}% {:>14} {:>14}",
+            n_log2,
+            trusted,
+            verified,
+            100.0 * verify as f64 / trusted as f64,
+            verify,
+            median_ns(statics)
+        );
+    }
+}

@@ -33,6 +33,9 @@
 //!   wisdom): which pool order / guided split / runtime parameters the
 //!   `fgtune` tuner measured fastest per [`PlanKey`], consulted by the
 //!   planner when building plans.
+//! * [`cert`] — schedule certificates: compact digests of a tuned schedule
+//!   and its flattened tables that wisdom entries carry and the planner
+//!   re-verifies before trusting a tuning on the `unsafe` hot path.
 //! * [`simwork`] — the workload layer's footprints lowered to byte-addressed
 //!   DRAM traffic for the `c64sim` Cyclops-64 simulator: this is where the
 //!   paper's bank-level results are reproduced.
@@ -60,6 +63,7 @@
 pub mod api;
 pub mod bitrev;
 pub mod bluestein;
+pub mod cert;
 pub mod complex;
 pub mod exec;
 pub mod fft2d;
@@ -80,6 +84,7 @@ pub mod workload;
 
 pub use api::{convolve, forward, inverse, power_spectrum, Fft};
 pub use bluestein::{dft, idft};
+pub use cert::{CertError, CertPolicy, Certificate, WORKLOAD_REVISION};
 pub use complex::{rms_error, Complex64};
 pub use exec::{fft_in_place, ExecConfig, ExecStats, SeedOrder, Version};
 pub use fft2d::Fft2d;

@@ -25,12 +25,13 @@
 //! codelet DAG fixes the arithmetic, and the plan merely caches the DAG.
 
 use crate::bitrev::{apply_swaps_parallel, bit_reverse_swaps};
+use crate::cert::CertPolicy;
 use crate::complex::Complex64;
 use crate::exec::shared::{execute_codelet_tabled, SharedData};
 use crate::exec::{ExecStats, Version};
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use crate::wisdom::{Wisdom, WisdomStatus};
+use crate::wisdom::{Wisdom, WisdomEntry, WisdomStatus};
 use crate::workload::{self, ScheduleSpec, ScheduleTuning};
 use codelet::graph::{BatchProgram, CodeletId, CsrProgram};
 use codelet::pool::PoolDiscipline;
@@ -152,6 +153,22 @@ impl StageTable {
             + self.pairs.len() * std::mem::size_of::<(u32, u32)>()
             + self.twiddles.len() * std::mem::size_of::<Complex64>()) as u64
     }
+}
+
+/// Borrowed view of one stage's flattened execution tables — the exact
+/// slices the `unsafe` hot path streams through. Exposed so external
+/// verifiers (`fgcheck`'s pass 4) and the certificate digests can inspect
+/// the lowering without re-deriving it.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTableView<'a> {
+    /// Element indices, codelet-major: entry `idx · radix + slot` is the
+    /// global index of buffer slot `slot` of codelet `idx`.
+    pub gather: &'a [u32],
+    /// The stage's local `(lo, hi)` butterfly pattern, shared by every
+    /// codelet of the stage, in execution order.
+    pub pairs: &'a [(u32, u32)],
+    /// Twiddle factors, codelet-major, `pairs.len()` per codelet.
+    pub twiddles: &'a [Complex64],
 }
 
 /// What one codelet actually touched during a recorded execution
@@ -286,6 +303,23 @@ impl Plan {
     /// The precomputed twiddle table.
     pub fn twiddles(&self) -> &TwiddleTable {
         &self.twiddles
+    }
+
+    /// The flattened execution tables of `stage` (`0..fft_plan().stages()`),
+    /// exactly as the hot path streams them.
+    pub fn stage_table(&self, stage: usize) -> StageTableView<'_> {
+        let table = &self.tables[stage];
+        StageTableView {
+            gather: &table.gather,
+            pairs: &table.pairs,
+            twiddles: &table.twiddles,
+        }
+    }
+
+    /// The bit-reversal transposition list applied before the codelet
+    /// stages.
+    pub fn bitrev_swaps(&self) -> &[(u32, u32)] {
+        &self.bitrev_swaps
     }
 
     /// Approximate bytes this plan keeps resident (twiddles, swap table,
@@ -543,6 +577,10 @@ pub struct PlannerStats {
     pub resident_bytes: u64,
     /// Built plans dropped to keep the cache within its capacity.
     pub evictions: u64,
+    /// Wisdom entries the planner refused to apply: ill-formed tunings and
+    /// certificate verification failures (stale, tampered, foreign). Each
+    /// rejection falls back to the seed schedule — never a panic.
+    pub wisdom_rejections: u64,
 }
 
 impl PlannerStats {
@@ -579,10 +617,13 @@ pub struct Planner {
     /// Tuned parameters consulted when building plans; `None` runs every
     /// version on its seed schedule.
     wisdom: Mutex<Option<Arc<Wisdom>>>,
+    /// How much to trust wisdom certificates (see [`CertPolicy`]).
+    cert_policy: Mutex<CertPolicy>,
     hits: AtomicU64,
     misses: AtomicU64,
     built: AtomicU64,
     evictions: AtomicU64,
+    wisdom_rejections: AtomicU64,
 }
 
 impl Default for Planner {
@@ -611,10 +652,12 @@ impl Planner {
             shard_capacity: capacity.div_ceil(SHARD_COUNT),
             tick: AtomicU64::new(0),
             wisdom: Mutex::new(None),
+            cert_policy: Mutex::new(CertPolicy::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             built: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            wisdom_rejections: AtomicU64::new(0),
         }
     }
 
@@ -675,14 +718,42 @@ impl Planner {
         // other keys in the same shard... it holds only the slot.
         Arc::clone(slot.plan.get_or_init(|| {
             self.built.fetch_add(1, Ordering::Relaxed);
-            let tuning = self
+            let entry = self
                 .wisdom
                 .lock()
                 .as_ref()
                 .and_then(|w| w.lookup(&key))
-                .map(|entry| entry.tuning.clone());
-            Arc::new(Plan::build_tuned(key, tuning.as_ref()))
+                .cloned();
+            Arc::new(self.build_checked(key, entry))
         }))
+    }
+
+    /// Build the plan for `key`, applying the wisdom entry's tuning only
+    /// after it survives validation and (policy permitting) certificate
+    /// verification. Every rejection is counted and degrades to the seed
+    /// schedule — wisdom is data, and data must never panic the planner or
+    /// steer the `unsafe` hot path unchecked.
+    fn build_checked(&self, key: PlanKey, entry: Option<WisdomEntry>) -> Plan {
+        let Some(entry) = entry else {
+            return Plan::build(key);
+        };
+        let fft = FftPlan::new(key.n_log2, key.radix_log2);
+        if entry.tuning.validate(&fft).is_err() {
+            // An ill-formed permutation would panic inside
+            // `ScheduleSpec::of_tuned`; refuse it here instead.
+            self.wisdom_rejections.fetch_add(1, Ordering::Relaxed);
+            return Plan::build(key);
+        }
+        let plan = Plan::build_tuned(key, Some(&entry.tuning));
+        if *self.cert_policy.lock() == CertPolicy::Verify {
+            if let Some(cert) = &entry.cert {
+                if cert.verify_plan(&plan).is_err() {
+                    self.wisdom_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Plan::build(key);
+                }
+            }
+        }
+        plan
     }
 
     /// Drop the least-recently-used *built* slot from a full shard. Slots
@@ -718,13 +789,31 @@ impl Planner {
     /// Load a wisdom file and install it when usable. Tolerates every file
     /// failure mode (see [`Wisdom::load`]): on anything but
     /// [`WisdomStatus::Loaded`] the planner is left untouched and the
-    /// status says why.
+    /// status says why. Certificate verification is on by default — every
+    /// entry must carry a certificate that passes
+    /// [`crate::cert::Certificate::verify_static`]; opt out with
+    /// [`Planner::set_cert_policy`]`(CertPolicy::Trust)` before loading.
     pub fn load_wisdom(&self, path: &std::path::Path) -> WisdomStatus {
-        let (wisdom, status) = Wisdom::load(path);
+        let (wisdom, status) = Wisdom::load_with(path, *self.cert_policy.lock());
         if status.is_loaded() {
             self.set_wisdom(Some(Arc::new(wisdom)));
         }
         status
+    }
+
+    /// Set how much to trust wisdom certificates on subsequent
+    /// [`Planner::load_wisdom`] and plan builds. The default is
+    /// [`CertPolicy::Verify`]; [`CertPolicy::Trust`] is the escape hatch
+    /// for wisdom from older tooling. Cached plans are dropped so the new
+    /// policy applies to every plan served afterwards.
+    pub fn set_cert_policy(&self, policy: CertPolicy) {
+        *self.cert_policy.lock() = policy;
+        self.clear();
+    }
+
+    /// The current certificate policy.
+    pub fn cert_policy(&self) -> CertPolicy {
+        *self.cert_policy.lock()
     }
 
     /// Number of distinct keys cached (built or building).
@@ -763,6 +852,7 @@ impl Planner {
             cached_plans: cached,
             resident_bytes: bytes,
             evictions: self.evictions.load(Ordering::Relaxed),
+            wisdom_rejections: self.wisdom_rejections.load(Ordering::Relaxed),
         }
     }
 }
@@ -1031,6 +1121,7 @@ mod tests {
             batch: 1,
             median_ns: 1,
             seed_median_ns: 2,
+            cert: None,
         });
 
         let planner = Planner::new();
@@ -1065,6 +1156,132 @@ mod tests {
             back.tuning().is_none(),
             "clearing wisdom restores seed plans"
         );
+    }
+
+    #[test]
+    fn ill_formed_wisdom_tuning_degrades_to_seed_plan_without_panic() {
+        // The satellite bug: a pool order longer than the plan's pool used
+        // to reach `ScheduleSpec::of_tuned` and panic mid-build. It must be
+        // rejected, counted, and replaced by the seed schedule.
+        let n = 1 << 10;
+        let key = PlanKey::new(n, Version::Fine(SeedOrder::Natural), TwiddleLayout::Linear);
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(crate::wisdom::WisdomEntry {
+            key,
+            tuning: ScheduleTuning {
+                pool_order: Some((0..(n >> 6) + 5).collect()), // too long
+                last_early: None,
+            },
+            workers: 2,
+            batch: 1,
+            median_ns: 1,
+            seed_median_ns: 2,
+            cert: None,
+        });
+        let planner = Planner::new();
+        planner.set_wisdom(Some(Arc::new(wisdom)));
+        let plan = planner.plan_key(key);
+        assert!(plan.tuning().is_none(), "ill-formed tuning must not apply");
+        assert_eq!(planner.stats().wisdom_rejections, 1);
+        // The plan still works.
+        let mut data = signal(n);
+        plan.execute(&mut data, &Runtime::with_workers(2));
+    }
+
+    #[test]
+    fn tampered_certificate_is_rejected_at_build_and_counted() {
+        let n = 1 << 10;
+        let key = PlanKey::new(n, Version::Fine(SeedOrder::Natural), TwiddleLayout::Linear);
+        let tuning = ScheduleTuning {
+            pool_order: Some((0..(n >> 6)).rev().collect()),
+            last_early: None,
+        };
+        let good = crate::cert::Certificate::for_plan(&Plan::build_tuned(key, Some(&tuning)))
+            .expect("valid tuning certifies");
+        let mut bad = good;
+        bad.tables ^= 1; // breaks the seal
+        let entry = |cert| crate::wisdom::WisdomEntry {
+            key,
+            tuning: tuning.clone(),
+            workers: 2,
+            batch: 1,
+            median_ns: 1,
+            seed_median_ns: 2,
+            cert: Some(cert),
+        };
+
+        let planner = Planner::new();
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(entry(bad));
+        planner.set_wisdom(Some(Arc::new(wisdom)));
+        assert!(planner.plan_key(key).tuning().is_none());
+        assert_eq!(planner.stats().wisdom_rejections, 1);
+
+        // The untampered certificate verifies and the tuning applies.
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(entry(good));
+        planner.set_wisdom(Some(Arc::new(wisdom)));
+        assert!(planner.plan_key(key).tuning().is_some());
+        assert_eq!(planner.stats().wisdom_rejections, 1, "no new rejection");
+
+        // Escape hatch: under Trust the tampered certificate is ignored.
+        let mut wisdom = Wisdom::new();
+        wisdom.insert(entry(bad));
+        planner.set_wisdom(Some(Arc::new(wisdom)));
+        planner.set_cert_policy(CertPolicy::Trust);
+        assert!(planner.plan_key(key).tuning().is_some());
+        assert_eq!(planner.stats().wisdom_rejections, 1);
+    }
+
+    /// Table-construction invariants at tiny sizes, single-threaded and
+    /// execution-free on purpose: this is the subset CI runs under Miri
+    /// (filter `miri_`), where every index that feeds the `unsafe` gather
+    /// path is checked under the interpreter's strict provenance rules.
+    #[test]
+    fn miri_table_construction_is_in_bounds_and_partitioned() {
+        for (n_log2, radix_log2) in [(4u32, 2u32), (6, 3), (8, 6)] {
+            let n = 1usize << n_log2;
+            let key = PlanKey::with_radix(
+                n,
+                Version::Fine(SeedOrder::Natural),
+                TwiddleLayout::BitReversedHash,
+                radix_log2,
+            );
+            let plan = Plan::build(key);
+            let fft = plan.fft_plan();
+            let radix = fft.radix();
+            for stage in 0..fft.stages() {
+                let table = plan.stage_table(stage);
+                assert_eq!(table.gather.len(), fft.codelets_per_stage() * radix);
+                assert_eq!(
+                    table.twiddles.len(),
+                    fft.codelets_per_stage() * table.pairs.len()
+                );
+                let mut seen = vec![false; n];
+                for &g in table.gather {
+                    assert!((g as usize) < n, "gather index {g} out of bounds");
+                    assert!(!seen[g as usize], "element {g} gathered twice");
+                    seen[g as usize] = true;
+                }
+                assert!(seen.iter().all(|&s| s), "stage {stage} misses elements");
+                for &(lo, hi) in table.pairs {
+                    assert!((lo as usize) < radix && (hi as usize) < radix);
+                    assert_ne!(lo, hi);
+                }
+            }
+            for &(a, b) in plan.bitrev_swaps() {
+                assert!((a as usize) < n && (b as usize) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn miri_certificate_digests_are_stable_across_rebuilds() {
+        let key = PlanKey::with_radix(1 << 6, Version::Coarse, TwiddleLayout::Linear, 3);
+        let a = crate::cert::Certificate::for_plan(&Plan::build(key)).unwrap();
+        let b = crate::cert::Certificate::for_plan(&Plan::build(key)).unwrap();
+        assert_eq!(a, b, "digests are deterministic");
+        b.verify_plan(&Plan::build(key)).unwrap();
     }
 
     #[test]

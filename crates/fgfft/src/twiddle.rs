@@ -104,6 +104,13 @@ impl TwiddleTable {
     pub fn bytes(&self) -> u64 {
         (self.values.len() * std::mem::size_of::<Complex64>()) as u64
     }
+
+    /// The stored factors in slot order (layout-permuted). The certificate
+    /// layer digests these directly: they are the independent data the
+    /// per-codelet twiddle runs are expanded from.
+    pub fn values(&self) -> &[Complex64] {
+        &self.values
+    }
 }
 
 #[cfg(test)]

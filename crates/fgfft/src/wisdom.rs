@@ -22,7 +22,17 @@
 //! * **Atomic writes.** [`Wisdom::save`] writes a temporary file and
 //!   renames it into place, so a concurrent reader sees either the old or
 //!   the new wisdom, never a torn file.
+//! * **Certified.** A wisdom file steers the planner's `unsafe` hot path,
+//!   so by default every entry must carry a [`Certificate`] that
+//!   re-verifies against the running code ([`CertPolicy::Verify`]):
+//!   entries with semantically invalid tunings load as
+//!   [`WisdomStatus::Invalid`], missing certificates as
+//!   [`WisdomStatus::Uncertified`], and failed verification (stale,
+//!   tampered, or foreign-revision evidence) as
+//!   [`WisdomStatus::CertificateMismatch`] — each ignored wholesale, like
+//!   a fingerprint mismatch. [`CertPolicy::Trust`] is the escape hatch.
 
+use crate::cert::{CertPolicy, Certificate};
 use crate::exec::{SeedOrder, Version};
 use crate::planner::PlanKey;
 use crate::twiddle::TwiddleLayout;
@@ -32,8 +42,8 @@ use std::path::Path;
 
 /// Version of the on-disk JSON schema. Bump on incompatible change; loads
 /// of other formats report [`WisdomStatus::FormatMismatch`] and yield an
-/// empty store.
-pub const WISDOM_FORMAT: u64 = 1;
+/// empty store. Format 2 added the per-entry schedule certificate.
+pub const WISDOM_FORMAT: u64 = 2;
 
 /// A stable identifier of the measuring machine: architecture, OS, and
 /// hardware parallelism. Coarse on purpose — it must be cheap, dependency
@@ -69,6 +79,11 @@ pub struct WisdomEntry {
     /// Median wall time of the version's own (seed) schedule under the
     /// same measurement, nanoseconds — kept so reports can show the gain.
     pub seed_median_ns: u64,
+    /// Static-verification certificate the checker issued for this tuning
+    /// (see [`crate::cert`]). Required on loaded files under
+    /// [`CertPolicy::Verify`]; optional on programmatically installed
+    /// wisdom.
+    pub cert: Option<Certificate>,
 }
 
 /// What [`Wisdom::load`] found.
@@ -87,6 +102,18 @@ pub enum WisdomStatus {
     FormatMismatch,
     /// Parsed, but measured on a different machine — ignored.
     FingerprintMismatch,
+    /// Parsed, but at least one entry's tuning does not fit its plan
+    /// (wrong-length or non-permutation pool order, split past the last
+    /// stage) — ignored wholesale instead of panicking later in
+    /// `ScheduleSpec::of_tuned`.
+    Invalid,
+    /// Parsed, but at least one entry carries no certificate while the
+    /// policy requires one — ignored.
+    Uncertified,
+    /// Parsed, but at least one entry's certificate failed verification
+    /// (tampered fields, foreign workload revision, or a schedule digest
+    /// that does not match the entry's tuning) — ignored.
+    CertificateMismatch,
 }
 
 impl WisdomStatus {
@@ -189,12 +216,20 @@ impl Wisdom {
         Ok(wisdom)
     }
 
+    /// Load from `path` with the default certificate policy
+    /// ([`CertPolicy::Verify`]): every entry must carry a certificate that
+    /// passes [`Certificate::verify_static`]. See [`Wisdom::load_with`].
+    pub fn load(path: &Path) -> (Self, WisdomStatus) {
+        Self::load_with(path, CertPolicy::Verify)
+    }
+
     /// Load from `path`, tolerating every failure mode: the returned store
     /// is always usable (empty on any problem, fingerprinted for this
     /// machine) and the status says what happened. A file measured on a
-    /// different machine or written by a different format version is
-    /// ignored wholesale.
-    pub fn load(path: &Path) -> (Self, WisdomStatus) {
+    /// different machine, written by a different format version, holding an
+    /// ill-formed tuning, or (under [`CertPolicy::Verify`]) missing or
+    /// failing a certificate is ignored wholesale.
+    pub fn load_with(path: &Path, policy: CertPolicy) -> (Self, WisdomStatus) {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -217,6 +252,22 @@ impl Wisdom {
         };
         if wisdom.fingerprint != machine_fingerprint() {
             return (Self::new(), WisdomStatus::FingerprintMismatch);
+        }
+        for entry in &wisdom.entries {
+            // A wisdom file is data: a tuning that does not fit its plan
+            // must degrade here, never panic later in plan construction.
+            let fft = crate::plan::FftPlan::new(entry.key.n_log2, entry.key.radix_log2);
+            if entry.tuning.validate(&fft).is_err() {
+                return (Self::new(), WisdomStatus::Invalid);
+            }
+            if policy == CertPolicy::Verify {
+                let Some(cert) = &entry.cert else {
+                    return (Self::new(), WisdomStatus::Uncertified);
+                };
+                if cert.verify_static(entry.key, Some(&entry.tuning)).is_err() {
+                    return (Self::new(), WisdomStatus::CertificateMismatch);
+                }
+            }
         }
         let entries = wisdom.len();
         (wisdom, WisdomStatus::Loaded { entries })
@@ -334,6 +385,13 @@ fn entry_to_json(entry: &WisdomEntry) -> Value {
         ("batch", Value::Num(entry.batch as f64)),
         ("median_ns", Value::Num(entry.median_ns as f64)),
         ("seed_median_ns", Value::Num(entry.seed_median_ns as f64)),
+        (
+            "cert",
+            match &entry.cert {
+                Some(cert) => cert.to_json(),
+                None => Value::Null,
+            },
+        ),
     ])
 }
 
@@ -384,12 +442,13 @@ fn entry_from_json(value: &Value) -> Result<WisdomEntry, String> {
         pool_order,
         last_early,
     };
-    // A wisdom file is data, not trusted input: a tuning that does not fit
-    // the plan (wrong-length permutation, split past the last stage) is a
-    // schema violation, caught here so the planner never sees it.
-    tuning
-        .validate(&crate::plan::FftPlan::new(key.n_log2, key.radix_log2))
-        .map_err(|e| format!("invalid tuning for n_log2={n_log2}: {e}"))?;
+    // Semantic validity of the tuning (permutation length, split bounds) is
+    // checked by `load_with`, not here: `from_json` stays a pure schema
+    // decoder so callers can distinguish `Corrupt` from `Invalid`.
+    let cert = match value.get("cert") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(Certificate::from_json(v)?),
+    };
     Ok(WisdomEntry {
         key,
         tuning,
@@ -397,6 +456,7 @@ fn entry_from_json(value: &Value) -> Result<WisdomEntry, String> {
         batch: num("batch")? as usize,
         median_ns: num("median_ns")?,
         seed_median_ns: num("seed_median_ns")?,
+        cert,
     })
 }
 
@@ -406,16 +466,21 @@ mod tests {
 
     fn sample_entry(n_log2: u32, version: Version) -> WisdomEntry {
         let cps = 1usize << (n_log2 - 6);
+        let key = PlanKey::with_radix(1usize << n_log2, version, version.layout(), 6);
+        let tuning = ScheduleTuning {
+            pool_order: Some((0..cps).rev().collect()),
+            last_early: None,
+        };
+        let cert = Certificate::for_plan(&crate::planner::Plan::build_tuned(key, Some(&tuning)))
+            .expect("sample tuning is valid");
         WisdomEntry {
-            key: PlanKey::with_radix(1usize << n_log2, version, version.layout(), 6),
-            tuning: ScheduleTuning {
-                pool_order: Some((0..cps).rev().collect()),
-                last_early: None,
-            },
+            key,
+            tuning,
             workers: 4,
             batch: 8,
             median_ns: 123_456,
             seed_median_ns: 234_567,
+            cert: Some(cert),
         }
     }
 
@@ -522,20 +587,66 @@ mod tests {
     }
 
     #[test]
-    fn schema_violations_are_corrupt_not_panics() {
+    fn ill_fitting_tunings_load_as_invalid_not_panics() {
         let dir = std::env::temp_dir().join(format!("fgfft-wisdom-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
-        // Pool order of the wrong length for the plan: rejected at parse.
+        // Pool order of the wrong length for the plan: schema-valid JSON,
+        // semantically invalid tuning — rejected wholesale at load, under
+        // either certificate policy, without reaching plan construction.
         let text = format!(
-            "{{\"format\": 1, \"fingerprint\": {:?}, \"entries\": [{{\
+            "{{\"format\": 2, \"fingerprint\": {:?}, \"entries\": [{{\
              \"n_log2\": 12, \"radix_log2\": 6, \"version\": \"fine-guided\", \
              \"layout\": \"linear\", \"pool_order\": [0, 1], \"last_early\": null, \
              \"workers\": 1, \"batch\": 1, \"median_ns\": 1, \"seed_median_ns\": 1}}]}}",
             machine_fingerprint()
         );
         std::fs::write(&path, text).unwrap();
-        assert_eq!(Wisdom::load(&path).1, WisdomStatus::Corrupt);
+        assert_eq!(Wisdom::load(&path).1, WisdomStatus::Invalid);
+        let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
+        assert_eq!(status, WisdomStatus::Invalid);
+        assert!(loaded.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uncertified_entries_are_rejected_unless_trusted() {
+        let dir = std::env::temp_dir().join(format!("fgfft-wisdom-nocert-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.json");
+        let mut wisdom = Wisdom::new();
+        let mut entry = sample_entry(12, Version::FineGuided);
+        entry.cert = None;
+        wisdom.insert(entry);
+        wisdom.save(&path).unwrap();
+        let (loaded, status) = Wisdom::load(&path);
+        assert_eq!(status, WisdomStatus::Uncertified);
+        assert!(loaded.is_empty());
+        // The escape hatch accepts the same file.
+        let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
+        assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
+        assert_eq!(loaded.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected_at_load() {
+        let dir = std::env::temp_dir().join(format!("fgfft-wisdom-tamper-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.json");
+        let mut wisdom = Wisdom::new();
+        let mut entry = sample_entry(12, Version::FineGuided);
+        // The certificate was issued for a different tuning than the entry
+        // carries: the schedule digest no longer matches.
+        entry.tuning.pool_order = Some((0..64).collect());
+        wisdom.insert(entry);
+        wisdom.save(&path).unwrap();
+        let (loaded, status) = Wisdom::load(&path);
+        assert_eq!(status, WisdomStatus::CertificateMismatch);
+        assert!(loaded.is_empty());
+        // Trust mode skips certificate verification (tuning is still valid).
+        let (_, status) = Wisdom::load_with(&path, CertPolicy::Trust);
+        assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -242,6 +242,10 @@ impl ServeStats {
                         "resident_bytes",
                         Value::Num(self.planner.resident_bytes as f64),
                     ),
+                    (
+                        "wisdom_rejections",
+                        Value::Num(self.planner.wisdom_rejections as f64),
+                    ),
                 ]),
             ),
         ])

@@ -82,6 +82,12 @@ pub struct ServeConfig {
     /// [`FftService::wisdom_status`]. Tuned plans are bit-identical to
     /// seed plans; only execution order changes.
     pub wisdom_path: Option<std::path::PathBuf>,
+    /// Escape hatch: load wisdom under `CertPolicy::Trust`, skipping
+    /// schedule-certificate verification (for wisdom written by older
+    /// tooling or deliberate experiments). Default `false`: entries must
+    /// carry certificates that re-verify against the running code, and
+    /// rejected wisdom shows up in `ServeStats` as `wisdom_rejections`.
+    pub trust_wisdom: bool,
     /// Fault injection for tests and chaos drills; defaults to a no-op.
     pub fault: crate::fault::FaultInjector,
 }
@@ -100,6 +106,7 @@ impl Default for ServeConfig {
             radix_log2: 6,
             latency_samples: 1 << 16,
             wisdom_path: None,
+            trust_wisdom: false,
             fault: crate::fault::FaultInjector::none(),
         }
     }
@@ -355,6 +362,9 @@ impl FftService {
     /// wrong machine) leaves the planner untouched; the outcome is
     /// available from [`FftService::wisdom_status`].
     pub fn start_with_planner(config: ServeConfig, planner: Arc<Planner>) -> Self {
+        if config.trust_wisdom {
+            planner.set_cert_policy(fgfft::cert::CertPolicy::Trust);
+        }
         let wisdom_status = config
             .wisdom_path
             .as_deref()

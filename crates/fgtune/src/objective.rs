@@ -45,6 +45,10 @@ pub fn prescreen(space: &TuningSpace, candidate: &Candidate) -> Screened {
     let mut opts = FftCheckOptions::new(space.n_log2, candidate.version);
     opts.radix_log2 = space.radix_log2;
     opts.layout = Some(candidate.layout);
+    // Pass 4 (plan-table verification) builds a full Plan per call — too
+    // heavy for the in-loop prescreen. The search runs it once per *winner*
+    // when it certifies the emitted wisdom entries.
+    opts.check_tables = false;
     let report = check_fft_tuned(&opts, Some(&candidate.tuning));
     if report.has_errors() {
         let first = report

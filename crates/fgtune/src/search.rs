@@ -258,6 +258,21 @@ pub fn tune(space: &TuningSpace, config: &TuneConfig) -> TuneOutcome {
             .map(|m| m.median_ns)
             .unwrap_or(fallback_seed);
         if best_for_key.is_seed || best_for_key.median_ns <= seed_for_key {
+            // Certify the winner: the full four-pass run (pass 4 included,
+            // which the in-loop prescreen skips) sealed into the entry, so
+            // a verifying planner will accept it. A winner failing here
+            // would mean the prescreen passed an unsound schedule — treat
+            // it as the bug it is rather than emit uncertified wisdom.
+            let mut opts = fgcheck::FftCheckOptions::new(key.n_log2, key.version);
+            opts.radix_log2 = key.radix_log2;
+            opts.layout = Some(key.layout);
+            let cert = fgcheck::certify(&opts, Some(&best_for_key.candidate.tuning))
+                .unwrap_or_else(|diags| {
+                    panic!(
+                        "measured winner {} fails certification: {diags:?}",
+                        best_for_key.candidate.describe()
+                    )
+                });
             wisdom.insert(WisdomEntry {
                 key,
                 tuning: best_for_key.candidate.tuning.clone(),
@@ -265,6 +280,7 @@ pub fn tune(space: &TuningSpace, config: &TuneConfig) -> TuneOutcome {
                 batch: best_for_key.candidate.batch,
                 median_ns: best_for_key.median_ns,
                 seed_median_ns: seed_for_key,
+                cert: Some(cert),
             });
         }
     }
@@ -324,6 +340,14 @@ mod tests {
             let check = fgcheck::check_fft_tuned(&opts, Some(&entry.tuning));
             assert!(!check.has_errors(), "wisdom entry fails static checks");
             assert!(entry.median_ns <= entry.seed_median_ns);
+            // And carries a certificate that verifies against its tuning
+            // and the plan it builds.
+            let cert = entry.cert.as_ref().expect("tuner certifies every entry");
+            cert.verify_static(entry.key, Some(&entry.tuning))
+                .expect("certificate verifies statically");
+            cert.verify_plan(&fgfft::Plan::build_tuned(entry.key, Some(&entry.tuning)))
+                .expect("certificate verifies against the built plan");
+            assert_ne!(cert.hb_witness, 0, "full certificate, not structural");
         }
     }
 

@@ -603,17 +603,22 @@ fn wisdom_tuned_service_is_bit_exact_vs_untuned() {
     // Wisdom tuning the exact key the service will use.
     let version = Version::FineGuided;
     let key = PlanKey::new(n, version, version.layout());
+    let tuning = fgfft::ScheduleTuning {
+        pool_order: Some((0..(n >> 6)).rev().collect()),
+        last_early: None,
+    };
+    // On-disk wisdom must be certified to load under the default policy.
+    let cert = fgfft::cert::Certificate::for_plan(&fgfft::Plan::build_tuned(key, Some(&tuning)))
+        .expect("tuning is valid");
     let mut wisdom = fgfft::wisdom::Wisdom::new();
     wisdom.insert(fgfft::wisdom::WisdomEntry {
         key,
-        tuning: fgfft::ScheduleTuning {
-            pool_order: Some((0..(n >> 6)).rev().collect()),
-            last_early: None,
-        },
+        tuning,
         workers: 2,
         batch: 4,
         median_ns: 1,
         seed_median_ns: 2,
+        cert: Some(cert),
     });
     wisdom.save(&path).expect("save wisdom");
 

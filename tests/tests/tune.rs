@@ -23,16 +23,22 @@ fn scratch(name: &str) -> PathBuf {
 
 fn entry(n_log2: u32, version: Version) -> WisdomEntry {
     let cps = 1usize << (n_log2 - 6);
+    let key = PlanKey::new(1 << n_log2, version, version.layout());
+    let tuning = ScheduleTuning {
+        pool_order: Some((0..cps).rev().collect()),
+        last_early: None,
+    };
+    // Certified, as on-disk wisdom must be under the default load policy.
+    let cert = fgfft::cert::Certificate::for_plan(&fgfft::Plan::build_tuned(key, Some(&tuning)))
+        .expect("tuning is valid");
     WisdomEntry {
-        key: PlanKey::new(1 << n_log2, version, version.layout()),
-        tuning: ScheduleTuning {
-            pool_order: Some((0..cps).rev().collect()),
-            last_early: None,
-        },
+        key,
+        tuning,
         workers: 2,
         batch: 4,
         median_ns: 1_000,
         seed_median_ns: 2_000,
+        cert: Some(cert),
     }
 }
 
