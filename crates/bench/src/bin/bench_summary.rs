@@ -5,15 +5,20 @@
 //! this bin measures the *host* executor — the numbers a service operator
 //! actually sees — and quantifies what autotuning buys on this machine.
 //!
-//! Usage: `bench_summary [--full] [--json PATH] [budget_ms=1500] [reps=5]`
+//! Usage: `bench_summary [--full] [--json PATH] [--backend LIST]
+//!                       [budget_ms=1500] [reps=5]`
 //!
 //! Writes `results/bench_summary.json` by default (`--json PATH`
 //! overrides). `--full` sweeps up to the paper's N = 2^18; the default is
-//! a fast subset.
+//! a fast subset. `--backend` (default `scalar,simd,threaded-simd`)
+//! selects the execution backends measured per size on the fine-guided
+//! seed schedule; the JSON reports each backend's median and the derived
+//! `simd_speedup` / `threaded_speedup` over scalar.
 
 use fft_repro::Cli;
 use fgfft::exec::{SeedOrder, Version};
 use fgfft::wisdom::version_to_string;
+use fgfft::BackendSel;
 use fgsupport::json::Value;
 use fgtune::{measure_candidate, tune, TuneConfig, TuningSpace};
 use std::time::Duration;
@@ -30,6 +35,21 @@ fn all_versions() -> Vec<Version> {
     ]
 }
 
+fn parse_backends(list: &str) -> Vec<BackendSel> {
+    let mut sels = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match BackendSel::parse(name) {
+            Some(sel) if !sels.contains(&sel) => sels.push(sel),
+            Some(_) => {}
+            None => eprintln!("ignoring unknown backend {name:?}"),
+        }
+    }
+    if sels.is_empty() {
+        sels.push(BackendSel::SCALAR);
+    }
+    sels
+}
+
 fn main() {
     let cli = Cli::parse();
     let sizes: Vec<u32> = if cli.full {
@@ -40,6 +60,12 @@ fn main() {
     let budget = Duration::from_millis(cli.get("budget_ms", 1500u64));
     let reps: usize = cli.get("reps", 5);
     let seed: u64 = cli.get("seed", 0x5EED_F617);
+    let backends = parse_backends(
+        cli.kv
+            .get("backend")
+            .map(String::as_str)
+            .unwrap_or("scalar,simd,threaded-simd"),
+    );
 
     let mut size_rows: Vec<Value> = Vec::new();
     println!(
@@ -76,6 +102,48 @@ fn main() {
             println!("{:>8}  {ns:>14.0}  {rel:>13.2}x  {name}", 1u64 << n_log2);
         }
 
+        // Execution backends, measured on the fine-guided seed schedule:
+        // same certified tables, different engines, identical bits.
+        let mut backend_rows: Vec<Value> = Vec::new();
+        let mut scalar_ns = None;
+        let mut simd_ns = None;
+        let mut threaded_ns = None;
+        for &sel in &backends {
+            let mut candidate = space.seed_candidate(Version::FineGuided);
+            candidate.backend = sel;
+            let median_ns = measure_candidate(&space, &candidate, reps);
+            match sel.kind {
+                fgfft::BackendKind::Scalar => scalar_ns = Some(median_ns),
+                fgfft::BackendKind::Simd => {
+                    simd_ns = Some(simd_ns.unwrap_or(u64::MAX).min(median_ns))
+                }
+                fgfft::BackendKind::ThreadedScalar | fgfft::BackendKind::ThreadedSimd => {
+                    threaded_ns = Some(threaded_ns.unwrap_or(u64::MAX).min(median_ns))
+                }
+            }
+            println!("{:>8}  {median_ns:>14}  backend {sel}", 1u64 << n_log2);
+            backend_rows.push(Value::obj(vec![
+                ("backend", Value::Str(sel.to_string())),
+                ("median_ns", Value::Num(median_ns as f64)),
+            ]));
+        }
+        let speedup_over_scalar = |ns: Option<u64>| match (scalar_ns, ns) {
+            (Some(scalar), Some(ns)) => Value::Num(scalar as f64 / ns.max(1) as f64),
+            _ => Value::Null,
+        };
+        let simd_speedup = speedup_over_scalar(simd_ns);
+        let threaded_speedup = speedup_over_scalar(threaded_ns);
+        if let Value::Num(s) = simd_speedup {
+            println!("{:>8}  {:>14}  simd_speedup {s:.2}x", 1u64 << n_log2, "");
+        }
+        if let Value::Num(s) = threaded_speedup {
+            println!(
+                "{:>8}  {:>14}  threaded_speedup {s:.2}x",
+                1u64 << n_log2,
+                ""
+            );
+        }
+
         // What tuning buys at this size.
         let outcome = tune(
             &space,
@@ -97,6 +165,9 @@ fn main() {
         size_rows.push(Value::obj(vec![
             ("n_log2", Value::Num(n_log2 as f64)),
             ("versions", Value::Arr(version_rows)),
+            ("backends", Value::Arr(backend_rows)),
+            ("simd_speedup", simd_speedup),
+            ("threaded_speedup", threaded_speedup),
             ("seed_best_ns", Value::Num(seed_best as f64)),
             ("tuned_best_ns", Value::Num(tuned_ns as f64)),
             (

@@ -147,7 +147,11 @@ impl Figure {
 }
 
 /// Minimal CLI convention shared by the regenerators:
-/// `bin [--full] [--json PATH] [key=value ...]`.
+/// `bin [--full] [--json PATH] [--backend LIST] [key=value ...]`.
+///
+/// `--backend` is sugar for `backend=LIST` — a comma-separated list of
+/// `fgfft::BackendSel` names (`scalar`, `simd[-r4|-r8]`, `threaded-scalar`,
+/// `threaded-simd`) for the bins that measure execution backends.
 #[derive(Debug, Clone, Default)]
 pub struct Cli {
     /// Run the paper-size sweep (otherwise a faster subset).
@@ -167,6 +171,13 @@ impl Cli {
             match a.as_str() {
                 "--full" => cli.full = true,
                 "--json" => cli.json = args.next(),
+                "--backend" => {
+                    if let Some(list) = args.next() {
+                        cli.kv.insert("backend".to_string(), list);
+                    } else {
+                        eprintln!("--backend needs a value (e.g. scalar,simd,threaded-simd)");
+                    }
+                }
                 _ => {
                     if let Some((k, v)) = a.split_once('=') {
                         cli.kv.insert(k.to_string(), v.to_string());

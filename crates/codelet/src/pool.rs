@@ -9,7 +9,7 @@
 //! disciplines behind one trait so schedulers can be swapped and ablated.
 
 use crate::graph::CodeletId;
-use fgsupport::deque::{Injector, Steal, Stealer, Worker};
+use fgsupport::deque::{Injector, Steal, StealOrder, Stealer, Worker};
 use fgsupport::queue::SegQueue;
 use fgsupport::sync::Mutex;
 use std::cmp::Reverse;
@@ -189,6 +189,7 @@ pub struct StealPool {
     injector: Injector<CodeletId>,
     workers: Vec<Mutex<Worker<CodeletId>>>,
     stealers: Vec<Stealer<CodeletId>>,
+    steal_order: StealOrder,
 }
 
 impl StealPool {
@@ -197,6 +198,7 @@ impl StealPool {
         let locals: Vec<Worker<CodeletId>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
         Self {
+            steal_order: StealOrder::new(),
             injector: Injector::new(),
             workers: locals.into_iter().map(Mutex::new).collect(),
             stealers,
@@ -250,9 +252,19 @@ impl ReadyPool for StealPool {
                 Steal::Retry => continue,
             }
         }
+        // Steal from peers, starting at a randomized victim: a fixed
+        // `worker+1, worker+2, …` rotation drains low-offset victims first
+        // and starves the high-offset ones under contention.
         let n = self.stealers.len();
-        for off in 1..=n {
-            let victim = (worker + off) % n;
+        if n == 0 {
+            return None;
+        }
+        let start = self.steal_order.start(n);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == worker {
+                continue;
+            }
             loop {
                 match self.stealers[victim].steal() {
                     Steal::Success(id) => return Some(id),
@@ -355,6 +367,60 @@ mod tests {
             p.pop(0);
             assert_eq!(p.approx_len(), 2);
         }
+    }
+
+    #[test]
+    fn steal_scan_start_is_not_biased_toward_the_next_victim() {
+        // Worker 0 steals repeatedly from a pool where victims 1, 2 and 3
+        // all hold deep backlogs. The old deterministic scan (`worker+1`
+        // first, always) would source every single steal from victim 1
+        // until it ran dry; the randomized start must mix victims well
+        // before that.
+        let p = StealPool::new(4);
+        const PER: usize = 100;
+        for v in 1..4 {
+            for i in 0..PER {
+                p.push(v, v * 1000 + i);
+            }
+        }
+        let mut sources = HashSet::new();
+        for _ in 0..30 {
+            let id = p.pop(0).expect("backlogs are deep");
+            sources.insert(id / 1000);
+        }
+        assert!(
+            sources.len() >= 2,
+            "30 steals all came from victim {sources:?}: scan start is biased"
+        );
+    }
+
+    #[test]
+    fn competing_stealers_drain_one_victim_without_loss() {
+        // All work sits in victim 0's deque; three starving workers
+        // compete to steal it. Every item must surface exactly once.
+        let p = StealPool::new(4);
+        const ITEMS: usize = 3000;
+        for i in 0..ITEMS {
+            p.push(0, i);
+        }
+        let seen: Mutex<Vec<CodeletId>> = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            for w in 1..4 {
+                let p = &p;
+                let seen = &seen;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(id) = p.pop(w) {
+                        mine.push(id);
+                    }
+                    seen.lock().extend(mine);
+                });
+            }
+        });
+        let mut all = seen.lock().clone();
+        all.sort_unstable();
+        let expect: Vec<CodeletId> = (0..ITEMS).collect();
+        assert_eq!(all, expect, "competing stealers lost or duplicated work");
     }
 
     #[test]

@@ -298,6 +298,27 @@ mod tests {
     }
 
     #[test]
+    fn radix8_plans_pass_every_pass4_check() {
+        // The SIMD backend's preferred codelet shape: radix-8 (and radix-4)
+        // gather partitions. FG401–FG407 must accept them exactly like the
+        // paper's radix-64 codelets — the partition property (FG404) is the
+        // aliasing precondition that licenses the backend's vector loads
+        // over each codelet's local buffer.
+        for version in Version::paper_set(SeedOrder::Natural) {
+            for (radix_log2, n_log2) in [(3u32, 6u32), (3, 9), (3, 10), (2, 8)] {
+                let key =
+                    PlanKey::with_radix(1usize << n_log2, version, version.layout(), radix_log2);
+                let p = Plan::build(key);
+                let diags = check_plan(&p);
+                assert!(
+                    diags.is_empty(),
+                    "{version:?} radix 2^{radix_log2} N=2^{n_log2}: {diags:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mutated_gather_draws_fg401_and_fg404() {
         let p = plan(9, Version::FineGuided);
         let fft = p.fft_plan();

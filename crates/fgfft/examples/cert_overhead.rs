@@ -49,6 +49,7 @@ fn main() {
             tuning: tuning.clone(),
             workers: 1,
             batch: 1,
+            backend: Default::default(),
             median_ns: 1,
             seed_median_ns: 2,
             cert: Some(cert),

@@ -1,0 +1,56 @@
+//! The historical scalar hot path, extracted behind [`Backend`].
+
+use super::{Backend, Capabilities, CodeletKernel, ExecMode, PreparedPlan};
+use crate::complex::Complex64;
+use crate::exec::shared::{execute_codelet_tabled, SharedData};
+use crate::planner::Plan;
+use std::sync::Arc;
+
+/// The scalar butterfly kernel: a direct call into
+/// [`execute_codelet_tabled`], exactly what `Plan::execute` has always
+/// run. Zero-sized, so the generic execute paths monomorphize it away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarKernel;
+
+impl CodeletKernel for ScalarKernel {
+    fn label(&self) -> &'static str {
+        "scalar"
+    }
+
+    #[inline(always)]
+    unsafe fn run_codelet(
+        &self,
+        gather: &[u32],
+        pairs: &[(u32, u32)],
+        twiddles: &[Complex64],
+        view: &SharedData<'_>,
+    ) {
+        // SAFETY: forwarded from the trait contract, which matches
+        // `execute_codelet_tabled`'s documented requirements verbatim.
+        unsafe { execute_codelet_tabled(gather, pairs, twiddles, view) }
+    }
+}
+
+/// The current tables-driven scalar path as a [`Backend`]. `prepare` is
+/// the identity — executing a plan prepared by `HostScalar` runs byte-
+/// for-byte the same code as calling [`Plan::execute_batch`] directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostScalar;
+
+impl Backend for HostScalar {
+    fn name(&self) -> &'static str {
+        "host-scalar"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            vector_isa: "scalar",
+            complex_lanes: 1,
+            threaded: false,
+        }
+    }
+
+    fn prepare(&self, plan: &Arc<Plan>) -> PreparedPlan {
+        PreparedPlan::new(plan, ExecMode::Scalar, self)
+    }
+}

@@ -621,6 +621,30 @@ mod tests {
     }
 
     #[test]
+    fn certificates_cover_tables_for_all_backends() {
+        // A backend never builds tables of its own — `prepare` binds the
+        // same Arc'd plan — so one certificate over the plan covers its
+        // prepared form under every backend. Pin that: the plan reachable
+        // through each PreparedPlan verifies against the one certificate.
+        let plan = std::sync::Arc::new(sample_plan());
+        let cert = Certificate::for_plan(&plan).unwrap();
+        for sel in [
+            crate::backend::BackendSel::SCALAR,
+            crate::backend::BackendSel::SIMD,
+            crate::backend::BackendSel::THREADED_SCALAR,
+            crate::backend::BackendSel::THREADED_SIMD,
+        ] {
+            let prepared = sel.build().prepare(&plan);
+            cert.verify_plan(prepared.plan())
+                .unwrap_or_else(|e| panic!("{sel}: {e:?}"));
+            assert!(
+                std::sync::Arc::ptr_eq(prepared.plan(), &plan),
+                "{sel}: prepare must bind the certified plan, not re-lower it"
+            );
+        }
+    }
+
+    #[test]
     fn every_field_edit_is_detected() {
         let plan = sample_plan();
         let cert = Certificate::for_plan(&plan).unwrap();

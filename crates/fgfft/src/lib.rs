@@ -36,6 +36,10 @@
 //! * [`cert`] — schedule certificates: compact digests of a tuned schedule
 //!   and its flattened tables that wisdom entries carry and the planner
 //!   re-verifies before trusting a tuning on the `unsafe` hot path.
+//! * [`backend`] — pluggable execution engines over certified plans:
+//!   [`HostScalar`] (the classic tables path), [`HostSimd`] (AVX2 /
+//!   portable f64x4 butterflies), and [`Threaded`] (work-stealing codelet
+//!   pool), selected per `(N, machine)` by wisdom via [`BackendSel`].
 //! * [`simwork`] — the workload layer's footprints lowered to byte-addressed
 //!   DRAM traffic for the `c64sim` Cyclops-64 simulator: this is where the
 //!   paper's bank-level results are reproduced.
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod backend;
 pub mod bitrev;
 pub mod bluestein;
 pub mod cert;
@@ -83,6 +88,9 @@ pub mod wisdom;
 pub mod workload;
 
 pub use api::{convolve, forward, inverse, power_spectrum, Fft};
+pub use backend::{
+    Backend, BackendKind, BackendSel, Capabilities, HostScalar, HostSimd, PreparedPlan, Threaded,
+};
 pub use bluestein::{dft, idft};
 pub use cert::{CertError, CertPolicy, Certificate, WORKLOAD_REVISION};
 pub use complex::{rms_error, Complex64};

@@ -24,10 +24,11 @@
 //! Execution through a plan is bit-identical to the uncached path: the
 //! codelet DAG fixes the arithmetic, and the plan merely caches the DAG.
 
+use crate::backend::{CodeletKernel, ScalarKernel};
 use crate::bitrev::{apply_swaps_parallel, bit_reverse_swaps};
 use crate::cert::CertPolicy;
 use crate::complex::Complex64;
-use crate::exec::shared::{execute_codelet_tabled, SharedData};
+use crate::exec::shared::SharedData;
 use crate::exec::{ExecStats, Version};
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
@@ -262,6 +263,25 @@ impl Plan {
     /// [`crate::exec::shared`] for codelet `local` over `view`.
     #[inline]
     unsafe fn run_codelet(&self, view: &SharedData<'_>, local: usize) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.run_codelet_with(&ScalarKernel, view, local) }
+    }
+
+    /// As [`Plan::run_codelet`], but through an arbitrary
+    /// [`CodeletKernel`]: the kernel receives exactly the table slices the
+    /// scalar hot path streams, so a backend can swap the butterfly
+    /// arithmetic without touching scheduling or table layout.
+    ///
+    /// # Safety
+    /// The caller upholds the dataflow discipline documented in
+    /// [`crate::exec::shared`] for codelet `local` over `view`.
+    #[inline]
+    pub(crate) unsafe fn run_codelet_with<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        view: &SharedData<'_>,
+        local: usize,
+    ) {
         let stage = self.fft.stage_of(local);
         let idx = self.fft.idx_of(local);
         let table = &self.tables[stage];
@@ -270,7 +290,7 @@ impl Plan {
         // SAFETY: forwarded from the caller's contract; the table slices are
         // in bounds by construction (codelet-major layout).
         unsafe {
-            execute_codelet_tabled(
+            kernel.run_codelet(
                 &table.gather[idx * radix..(idx + 1) * radix],
                 &table.pairs,
                 &table.twiddles[idx * run..(idx + 1) * run],
@@ -343,13 +363,25 @@ impl Plan {
     /// [`Plan::n`]) on `runtime`. Bit-identical to
     /// [`crate::exec::fft_in_place`] with the same key.
     pub fn execute(&self, data: &mut [Complex64], runtime: &Runtime) -> ExecStats {
+        self.execute_with(&ScalarKernel, data, runtime)
+    }
+
+    /// As [`Plan::execute`], but with the butterfly arithmetic supplied by
+    /// `kernel` — the entry point [`crate::backend`] routes through. With
+    /// [`ScalarKernel`] this monomorphizes to exactly the historical path.
+    pub(crate) fn execute_with<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        data: &mut [Complex64],
+        runtime: &Runtime,
+    ) -> ExecStats {
         assert_eq!(data.len(), self.n(), "buffer length must match the plan");
         let start = Instant::now();
         apply_swaps_parallel(data, &self.bitrev_swaps, runtime.workers());
         let view = SharedData::new(data);
         // SAFETY: every schedule below upholds the dataflow discipline
         // documented in `exec::shared`.
-        let body = |id: usize| unsafe { self.run_codelet(&view, id) };
+        let body = |id: usize| unsafe { self.run_codelet_with(kernel, &view, id) };
         let mut stats = self.dispatch(runtime, body);
         stats.elapsed = start.elapsed();
         debug_assert_eq!(stats.codelets, self.fft.total_codelets() as u64);
@@ -413,9 +445,20 @@ impl Plan {
     /// once per request. Every buffer receives exactly the result
     /// [`Plan::execute`] would produce.
     pub fn execute_batch(&self, buffers: &mut [&mut [Complex64]], runtime: &Runtime) -> ExecStats {
+        self.execute_batch_with(&ScalarKernel, buffers, runtime)
+    }
+
+    /// As [`Plan::execute_batch`], but with the butterfly arithmetic
+    /// supplied by `kernel` (see [`Plan::execute_with`]).
+    pub(crate) fn execute_batch_with<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        buffers: &mut [&mut [Complex64]],
+        runtime: &Runtime,
+    ) -> ExecStats {
         let copies = buffers.len();
         if copies == 1 {
-            return self.execute(buffers[0], runtime);
+            return self.execute_with(kernel, buffers[0], runtime);
         }
         let start = Instant::now();
         let mut stats = ExecStats::default();
@@ -431,7 +474,8 @@ impl Plan {
         let total = self.fft.total_codelets();
         // SAFETY: ids of different copies address disjoint buffers; within a
         // copy the schedule upholds the usual dataflow discipline.
-        let body = |id: usize| unsafe { self.run_codelet(&views[id / total], id % total) };
+        let body =
+            |id: usize| unsafe { self.run_codelet_with(kernel, &views[id / total], id % total) };
         match &self.schedule {
             Schedule::Phased(phases) => {
                 // Stage s of every copy forms one barrier phase.
@@ -1119,6 +1163,7 @@ mod tests {
             },
             workers: 2,
             batch: 1,
+            backend: Default::default(),
             median_ns: 1,
             seed_median_ns: 2,
             cert: None,
@@ -1174,6 +1219,7 @@ mod tests {
             },
             workers: 2,
             batch: 1,
+            backend: Default::default(),
             median_ns: 1,
             seed_median_ns: 2,
             cert: None,
@@ -1205,6 +1251,7 @@ mod tests {
             tuning: tuning.clone(),
             workers: 2,
             batch: 1,
+            backend: Default::default(),
             median_ns: 1,
             seed_median_ns: 2,
             cert: Some(cert),

@@ -32,6 +32,7 @@
 //!   [`WisdomStatus::CertificateMismatch`] — each ignored wholesale, like
 //!   a fingerprint mismatch. [`CertPolicy::Trust`] is the escape hatch.
 
+use crate::backend::BackendSel;
 use crate::cert::{CertPolicy, Certificate};
 use crate::exec::{SeedOrder, Version};
 use crate::planner::PlanKey;
@@ -41,9 +42,18 @@ use fgsupport::json::{self, Value};
 use std::path::Path;
 
 /// Version of the on-disk JSON schema. Bump on incompatible change; loads
-/// of other formats report [`WisdomStatus::FormatMismatch`] and yield an
-/// empty store. Format 2 added the per-entry schedule certificate.
-pub const WISDOM_FORMAT: u64 = 2;
+/// of unknown formats report [`WisdomStatus::FormatMismatch`] and yield an
+/// empty store. Format 2 added the per-entry schedule certificate; format 3
+/// added backend selection (`backend` + `simd_radix_log2`). Format-2 files
+/// still decode (backend defaults to scalar) but their measurements predate
+/// backend selection, so under [`CertPolicy::Verify`] they degrade to
+/// [`WisdomStatus::Uncertified`] — never a parse panic.
+pub const WISDOM_FORMAT: u64 = 3;
+
+/// The previous schema version, still accepted by the decoder so an
+/// upgrade never crashes on an existing wisdom file (it degrades; see
+/// [`WISDOM_FORMAT`]).
+const WISDOM_FORMAT_LEGACY: u64 = 2;
 
 /// A stable identifier of the measuring machine: architecture, OS, and
 /// hardware parallelism. Coarse on purpose — it must be cheap, dependency
@@ -74,6 +84,9 @@ pub struct WisdomEntry {
     pub workers: usize,
     /// Measured-best serving batch size.
     pub batch: usize,
+    /// Measured-best execution backend (engine family + SIMD fusion
+    /// radix). Legacy format-2 files decode as [`BackendSel::SCALAR`].
+    pub backend: BackendSel,
     /// Median wall time of the tuned schedule, nanoseconds.
     pub median_ns: u64,
     /// Median wall time of the version's own (seed) schedule under the
@@ -108,7 +121,9 @@ pub enum WisdomStatus {
     /// `ScheduleSpec::of_tuned`.
     Invalid,
     /// Parsed, but at least one entry carries no certificate while the
-    /// policy requires one — ignored.
+    /// policy requires one — ignored. Also the degraded status of a
+    /// legacy format-2 file under [`CertPolicy::Verify`]: it decodes
+    /// fine, but its measurements predate backend selection.
     Uncertified,
     /// Parsed, but at least one entry's certificate failed verification
     /// (tampered fields, foreign workload revision, or a schedule digest
@@ -191,14 +206,16 @@ impl Wisdom {
         ])
     }
 
-    /// Parse the on-disk JSON document. Errors name the first violation —
-    /// callers that must not fail use [`Wisdom::load`] instead.
+    /// Parse the on-disk JSON document (the current format, or the legacy
+    /// format 2 whose entries lack backend fields — those decode with
+    /// [`BackendSel::SCALAR`]). Errors name the first violation — callers
+    /// that must not fail use [`Wisdom::load`] instead.
     pub fn from_json(value: &Value) -> Result<Self, String> {
         let format = value
             .get("format")
             .and_then(Value::as_u64)
             .ok_or("missing format")?;
-        if format != WISDOM_FORMAT {
+        if format != WISDOM_FORMAT && format != WISDOM_FORMAT_LEGACY {
             return Err(format!("format {format} != {WISDOM_FORMAT}"));
         }
         let fingerprint = value
@@ -241,11 +258,11 @@ impl Wisdom {
             Ok(value) => value,
             Err(_) => return (Self::new(), WisdomStatus::Corrupt),
         };
-        match value.get("format").and_then(Value::as_u64) {
-            Some(WISDOM_FORMAT) => {}
+        let format = match value.get("format").and_then(Value::as_u64) {
+            Some(f @ (WISDOM_FORMAT | WISDOM_FORMAT_LEGACY)) => f,
             Some(_) => return (Self::new(), WisdomStatus::FormatMismatch),
             None => return (Self::new(), WisdomStatus::Corrupt),
-        }
+        };
         let wisdom = match Self::from_json(&value) {
             Ok(wisdom) => wisdom,
             Err(_) => return (Self::new(), WisdomStatus::Corrupt),
@@ -260,7 +277,16 @@ impl Wisdom {
             if entry.tuning.validate(&fft).is_err() {
                 return (Self::new(), WisdomStatus::Invalid);
             }
-            if policy == CertPolicy::Verify {
+        }
+        if format == WISDOM_FORMAT_LEGACY && policy == CertPolicy::Verify {
+            // A pre-backend file decodes, but its measurements were taken
+            // before backend selection existed; under the strict policy it
+            // degrades wholesale rather than half-applying. Trust mode
+            // adopts it with every entry pinned to the scalar backend.
+            return (Self::new(), WisdomStatus::Uncertified);
+        }
+        if policy == CertPolicy::Verify {
+            for entry in &wisdom.entries {
                 let Some(cert) = &entry.cert else {
                     return (Self::new(), WisdomStatus::Uncertified);
                 };
@@ -383,6 +409,11 @@ fn entry_to_json(entry: &WisdomEntry) -> Value {
         ("last_early", last_early),
         ("workers", Value::Num(entry.workers as f64)),
         ("batch", Value::Num(entry.batch as f64)),
+        ("backend", Value::Str(entry.backend.kind_str().to_string())),
+        (
+            "simd_radix_log2",
+            Value::Num(entry.backend.simd_radix_log2 as f64),
+        ),
         ("median_ns", Value::Num(entry.median_ns as f64)),
         ("seed_median_ns", Value::Num(entry.seed_median_ns as f64)),
         (
@@ -449,11 +480,34 @@ fn entry_from_json(value: &Value) -> Result<WisdomEntry, String> {
         None | Some(Value::Null) => None,
         Some(v) => Some(Certificate::from_json(v)?),
     };
+    // Backend fields arrived with format 3; their absence (a legacy file)
+    // decodes as the scalar backend, which runs every plan correctly.
+    let backend_kind = match value.get("backend") {
+        None | Some(Value::Null) => crate::backend::BackendKind::Scalar,
+        Some(v) => {
+            let name = v.as_str().ok_or("backend must be a string")?;
+            BackendSel::kind_from_str(name).ok_or_else(|| format!("unknown backend {name:?}"))?
+        }
+    };
+    let simd_radix_log2 = match value.get("simd_radix_log2") {
+        None | Some(Value::Null) => 3,
+        Some(v) => {
+            let r = v.as_u64().ok_or("non-integer simd_radix_log2")? as u32;
+            if !(2..=3).contains(&r) {
+                return Err(format!("simd_radix_log2 {r} out of range"));
+            }
+            r
+        }
+    };
     Ok(WisdomEntry {
         key,
         tuning,
         workers: num("workers")? as usize,
         batch: num("batch")? as usize,
+        backend: BackendSel {
+            kind: backend_kind,
+            simd_radix_log2,
+        },
         median_ns: num("median_ns")?,
         seed_median_ns: num("seed_median_ns")?,
         cert,
@@ -478,6 +532,7 @@ mod tests {
             tuning,
             workers: 4,
             batch: 8,
+            backend: BackendSel::SIMD,
             median_ns: 123_456,
             seed_median_ns: 234_567,
             cert: Some(cert),
@@ -595,7 +650,7 @@ mod tests {
         // semantically invalid tuning — rejected wholesale at load, under
         // either certificate policy, without reaching plan construction.
         let text = format!(
-            "{{\"format\": 2, \"fingerprint\": {:?}, \"entries\": [{{\
+            "{{\"format\": 3, \"fingerprint\": {:?}, \"entries\": [{{\
              \"n_log2\": 12, \"radix_log2\": 6, \"version\": \"fine-guided\", \
              \"layout\": \"linear\", \"pool_order\": [0, 1], \"last_early\": null, \
              \"workers\": 1, \"batch\": 1, \"median_ns\": 1, \"seed_median_ns\": 1}}]}}",
@@ -626,6 +681,44 @@ mod tests {
         let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
         assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
         assert_eq!(loaded.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_format_2_files_degrade_to_uncertified_not_panics() {
+        let dir = std::env::temp_dir().join(format!("fgfft-wisdom-v2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        // A faithful pre-backend (format 2) document: valid tuning, a real
+        // certificate, no backend fields. It must never crash the loader;
+        // under the strict policy it degrades wholesale.
+        let entry = sample_entry(12, Version::FineGuided);
+        let pool: Vec<String> = entry
+            .tuning
+            .pool_order
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        let text = format!(
+            "{{\"format\": 2, \"fingerprint\": {:?}, \"entries\": [{{\
+             \"n_log2\": 12, \"radix_log2\": 6, \"version\": \"fine-guided\", \
+             \"layout\": \"linear\", \"pool_order\": [{}], \"last_early\": null, \
+             \"workers\": 4, \"batch\": 8, \"median_ns\": 123456, \
+             \"seed_median_ns\": 234567, \"cert\": {}}}]}}",
+            machine_fingerprint(),
+            pool.join(", "),
+            entry.cert.as_ref().unwrap().to_json().to_string_pretty(),
+        );
+        std::fs::write(&path, text).unwrap();
+        let (loaded, status) = Wisdom::load(&path);
+        assert_eq!(status, WisdomStatus::Uncertified);
+        assert!(loaded.is_empty(), "legacy entries must not half-apply");
+        // The escape hatch still adopts the file, pinned to scalar.
+        let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
+        assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
+        assert_eq!(loaded.entries()[0].backend, BackendSel::SCALAR);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -74,6 +74,12 @@ pub struct ServeConfig {
     pub version: Version,
     /// Codelet radix exponent (6 = the paper's 64-point codelets).
     pub radix_log2: u32,
+    /// Execution backend for every dispatch. `None` (the default) defers
+    /// to loaded wisdom per plan key — what `fgtune` measured fastest on
+    /// this machine — falling back to the scalar path when wisdom has no
+    /// opinion. Backends change execution strategy only: results are
+    /// bit-identical across all of them.
+    pub backend: Option<fgfft::BackendSel>,
     /// Cap on retained latency samples (reservoir-sampled past the cap).
     pub latency_samples: usize,
     /// Autotuned wisdom file (written by `fgtune`) loaded into the plan
@@ -104,6 +110,7 @@ impl Default for ServeConfig {
             max_dispatcher_restarts: 4,
             version: Version::FineGuided,
             radix_log2: 6,
+            backend: None,
             latency_samples: 1 << 16,
             wisdom_path: None,
             trust_wisdom: false,
@@ -629,11 +636,25 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
                 shared
                     .planner
                     .plan(n, shared.config.version, shared.config.version.layout());
+            // Backend routing: an explicit config choice wins, else the
+            // wisdom entry for this key (what fgtune measured fastest),
+            // else the scalar path. All three produce identical bits.
+            let sel = shared
+                .config
+                .backend
+                .or_else(|| {
+                    shared
+                        .planner
+                        .wisdom()
+                        .and_then(|w| w.lookup(&plan.key()).map(|e| e.backend))
+                })
+                .unwrap_or_default();
+            let prepared = sel.build().prepare(&plan);
             let mut views: Vec<&mut [Complex64]> = group
                 .iter_mut()
                 .map(|job| job.buffer.as_mut_slice())
                 .collect();
-            plan.execute_batch(&mut views, runtime);
+            prepared.execute_batch(&mut views, runtime);
         }));
         match outcome {
             Ok(_) => {
@@ -699,6 +720,38 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.dispatcher_restarts, 0);
         assert_eq!(stats.planner.built, 1);
+    }
+
+    #[test]
+    fn configured_backends_serve_identical_bits() {
+        // Every backend drives the same certified plan tables, so routing
+        // the service through SIMD or the threaded pool must not move a
+        // single bit relative to the default scalar path.
+        let n = 1 << 10;
+        let input = signal(n);
+        let serve_with = |backend: Option<fgfft::BackendSel>| {
+            let service = FftService::start(ServeConfig {
+                backend,
+                ..small_config()
+            });
+            let out = service
+                .submit(Request::new(input.clone()))
+                .expect("admitted")
+                .wait()
+                .expect("completed")
+                .buffer;
+            service.shutdown();
+            out
+        };
+        let scalar = serve_with(Some(fgfft::BackendSel::SCALAR));
+        assert_eq!(serve_with(None), scalar, "default routes to scalar");
+        for sel in [
+            fgfft::BackendSel::SIMD,
+            fgfft::BackendSel::THREADED_SCALAR,
+            fgfft::BackendSel::THREADED_SIMD,
+        ] {
+            assert_eq!(serve_with(Some(sel)), scalar, "{sel}");
+        }
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! runtime's deques see bursts of ≤64 items, where an uncontended lock is
 //! cheaper than the fences of a Chase-Lev deque.
 
+use crate::rng::Rng64;
 use crate::sync::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Result of a steal attempt.
@@ -123,9 +125,41 @@ impl<T> Injector<T> {
     }
 }
 
+/// Victim-scan randomizer for work-stealing pools.
+///
+/// A thief that always scans victims in the same order (e.g. `worker+1,
+/// worker+2, …`) drains low-offset victims first: under contention the
+/// highest-offset workers are systematically stolen from last, so their
+/// backlogs linger while early victims run dry — the exact load imbalance
+/// a stealing pool exists to remove. `StealOrder` hands each steal attempt
+/// a pseudo-random start index (SplitMix64 over a shared counter, the same
+/// generator as [`crate::rng::Rng64`]), so every victim is first in line
+/// equally often while the scan itself stays a deterministic rotation —
+/// each attempt still visits every victim exactly once.
+#[derive(Debug, Default)]
+pub struct StealOrder {
+    ticket: AtomicU64,
+}
+
+impl StealOrder {
+    /// New randomizer starting from ticket zero (deterministic sequence).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start index in `[0, victims)` for the next scan; `victims` must be
+    /// nonzero. Consecutive calls spread starts uniformly over the victims.
+    pub fn start(&self, victims: usize) -> usize {
+        debug_assert!(victims > 0, "start() with no victims");
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        Rng64::seed_from_u64(ticket).gen_below(victims as u64) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn owner_pops_lifo_thief_steals_fifo() {
@@ -150,5 +184,67 @@ mod tests {
         assert_eq!(inj.steal(), Steal::Success('a'));
         assert_eq!(inj.steal(), Steal::Success('b'));
         assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn steal_order_reaches_every_victim() {
+        let order = StealOrder::new();
+        let mut seen = HashSet::new();
+        for _ in 0..256 {
+            let s = order.start(8);
+            assert!(s < 8);
+            seen.insert(s);
+        }
+        // 256 draws over 8 buckets: a scan that still favored a fixed
+        // start would leave most buckets untouched.
+        assert_eq!(seen.len(), 8, "starts {seen:?} never covered all victims");
+    }
+
+    #[test]
+    fn competing_stealers_drain_every_victim_without_loss() {
+        use std::sync::atomic::AtomicUsize;
+
+        const VICTIMS: usize = 4;
+        const ITEMS: usize = 64;
+        let workers: Vec<Worker<usize>> = (0..VICTIMS).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+        for (v, w) in workers.iter().enumerate() {
+            for i in 0..ITEMS {
+                w.push(v * ITEMS + i);
+            }
+        }
+        let order = StealOrder::new();
+        let taken = AtomicUsize::new(0);
+        let mut per_thief: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..VICTIMS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut got = Vec::new();
+                        while taken.load(Ordering::Relaxed) < VICTIMS * ITEMS {
+                            let start = order.start(VICTIMS);
+                            let mut hit = false;
+                            for off in 0..VICTIMS {
+                                if let Steal::Success(v) = stealers[(start + off) % VICTIMS].steal()
+                                {
+                                    taken.fetch_add(1, Ordering::Relaxed);
+                                    got.push(v);
+                                    hit = true;
+                                    break;
+                                }
+                            }
+                            if !hit {
+                                break; // everything claimed by the others
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<usize> = per_thief.drain(..).flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..VICTIMS * ITEMS).collect();
+        assert_eq!(all, expect, "competing stealers lost or duplicated items");
     }
 }

@@ -23,9 +23,14 @@
 //!    [`fgfft::Plan::execute_batch`], median-of-k wall time.
 //!
 //! The driver ([`search`]) mixes random exploration with a greedy
-//! neighborhood walk (pairwise swaps on the pool order, split nudges)
-//! around the best candidate so far, is fully deterministic for a given
-//! `--seed`, and stops on a wall-clock budget.
+//! neighborhood walk (pairwise swaps on the pool order, split nudges,
+//! backend toggles) around the best candidate so far, is fully
+//! deterministic for a given `--seed`, and stops on a wall-clock budget.
+//!
+//! Since wisdom format 3 the space also covers *execution backends*
+//! ([`fgfft::BackendSel`]): the scalar hot path, the SIMD kernel at
+//! radix-4 or radix-8 fusion, and the threaded pool — so wisdom learns
+//! scalar-vs-SIMD-vs-threaded per `(N, machine)`, not just the schedule.
 //!
 //! Crucially, *tuning never changes results*: a [`fgfft::ScheduleTuning`]
 //! reorders execution of the same codelet DAG, and the DAG fixes the
@@ -38,6 +43,8 @@ pub mod objective;
 pub mod search;
 pub mod space;
 
-pub use objective::{measure_candidate, prescreen, Gate, Screened, StaticScreen};
+pub use objective::{
+    measure_candidate, measure_plan, measure_prepared, prescreen, Gate, Screened, StaticScreen,
+};
 pub use search::{tune, Measured, TuneConfig, TuneOutcome, TuneReport};
 pub use space::{Candidate, TuningSpace};

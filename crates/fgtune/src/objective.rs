@@ -161,18 +161,45 @@ impl Gate {
 ///
 /// The buffers are refilled from a pristine signal outside the timed
 /// region each repetition, so the sample is execute-only. The plan is
-/// built here (tuned) and its build cost is likewise untimed — services
-/// pay it once per key, not per transform.
+/// built here (tuned), prepared by the candidate's backend, and both
+/// costs are likewise untimed — services pay them once per key, not per
+/// transform.
 pub fn measure_candidate(space: &TuningSpace, candidate: &Candidate, reps: usize) -> u64 {
     let key = candidate.key(space.n_log2, space.radix_log2);
-    let plan = Plan::build_tuned(key, Some(&candidate.tuning));
+    let plan = std::sync::Arc::new(Plan::build_tuned(key, Some(&candidate.tuning)));
+    let prepared = candidate.backend.build().prepare(&plan);
     let runtime = Runtime::with_workers(candidate.workers);
-    measure_plan(&plan, &runtime, candidate.batch, reps)
+    measure_prepared(&prepared, &runtime, candidate.batch, reps)
 }
 
-/// Median-of-`reps` per-transform wall time of an already-built plan.
+/// Median-of-`reps` per-transform wall time of an already-built plan on
+/// the historical scalar path.
 pub fn measure_plan(plan: &Plan, runtime: &Runtime, batch: usize, reps: usize) -> u64 {
-    let n = plan.n();
+    measure_batches(plan.n(), runtime, batch, reps, |views, rt| {
+        plan.execute_batch(views, rt);
+    })
+}
+
+/// Median-of-`reps` per-transform wall time of a plan already bound to a
+/// backend (see [`fgfft::Backend::prepare`]).
+pub fn measure_prepared(
+    prepared: &fgfft::PreparedPlan,
+    runtime: &Runtime,
+    batch: usize,
+    reps: usize,
+) -> u64 {
+    measure_batches(prepared.plan().n(), runtime, batch, reps, |views, rt| {
+        prepared.execute_batch(views, rt);
+    })
+}
+
+fn measure_batches(
+    n: usize,
+    runtime: &Runtime,
+    batch: usize,
+    reps: usize,
+    mut run: impl FnMut(&mut [&mut [Complex64]], &Runtime),
+) -> u64 {
     let batch = batch.max(1);
     let reps = reps.max(1);
     let pristine: Vec<Complex64> = (0..n)
@@ -187,7 +214,7 @@ pub fn measure_plan(plan: &Plan, runtime: &Runtime, batch: usize, reps: usize) -
         let mut views: Vec<&mut [Complex64]> =
             buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
         let start = Instant::now();
-        plan.execute_batch(&mut views, runtime);
+        run(&mut views, runtime);
         samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
     }
     samples.sort_by(f64::total_cmp);
@@ -228,6 +255,7 @@ mod tests {
             },
             workers: 2,
             batch: 2,
+            backend: fgfft::BackendSel::SIMD,
         };
         assert!(matches!(prescreen(&space, &c), Screened::Passed(_)));
         assert!(measure_candidate(&space, &c, 3) > 0);

@@ -3,7 +3,7 @@
 
 use fgfft::exec::{SeedOrder, Version};
 use fgfft::planner::PlanKey;
-use fgfft::{FftPlan, ScheduleTuning, TwiddleLayout};
+use fgfft::{BackendKind, BackendSel, FftPlan, ScheduleTuning, TwiddleLayout};
 use fgsupport::rng::Rng64;
 
 /// One point in the search space: a complete recipe the service could run.
@@ -19,6 +19,8 @@ pub struct Candidate {
     pub workers: usize,
     /// Batch size used when measuring (and recorded in wisdom).
     pub batch: usize,
+    /// Execution backend used when measuring (and recorded in wisdom).
+    pub backend: BackendSel,
 }
 
 impl Candidate {
@@ -38,13 +40,14 @@ impl Candidate {
             Some(s) => format!(" split@{s}"),
         };
         format!(
-            "{}/{} {}{} w{} b{}",
+            "{}/{} {}{} w{} b{} {}",
             fgfft::wisdom::version_to_string(self.version),
             fgfft::wisdom::layout_to_string(self.layout),
             order,
             split,
             self.workers,
-            self.batch
+            self.batch,
+            self.backend
         )
     }
 }
@@ -69,6 +72,8 @@ pub struct TuningSpace {
     pub workers: Vec<usize>,
     /// Batch sizes to tune over.
     pub batches: Vec<usize>,
+    /// Execution backends to tune over.
+    pub backends: Vec<BackendSel>,
 }
 
 impl TuningSpace {
@@ -97,6 +102,15 @@ impl TuningSpace {
             ],
             workers,
             batches: vec![1, 4, 8],
+            backends: vec![
+                BackendSel::SCALAR,
+                BackendSel::SIMD,
+                BackendSel {
+                    kind: BackendKind::Simd,
+                    simd_radix_log2: 2,
+                },
+                BackendSel::THREADED_SIMD,
+            ],
         }
     }
 
@@ -119,6 +133,7 @@ impl TuningSpace {
             tuning: ScheduleTuning::identity(),
             workers: *self.workers.last().expect("worker list is non-empty"),
             batch: 1,
+            backend: BackendSel::SCALAR,
         }
     }
 
@@ -134,6 +149,7 @@ impl TuningSpace {
             },
             workers: self.workers[rng.gen_range(0..self.workers.len())],
             batch: self.batches[rng.gen_range(0..self.batches.len())],
+            backend: self.backends[rng.gen_range(0..self.backends.len())],
         }
     }
 
@@ -143,8 +159,9 @@ impl TuningSpace {
         let mut c = base.clone();
         let stages = self.plan().stages();
         // Move kinds: 0‒1 swap (most of the space lives in the pool order,
-        // so it gets double weight), 2 split nudge, 3 workers, 4 batch.
-        match rng.gen_range(0..5) {
+        // so it gets double weight), 2 split nudge, 3 workers, 4 batch,
+        // 5 backend.
+        match rng.gen_range(0..6) {
             0 | 1 => self.swap_move(&mut c, rng),
             2 if c.version == Version::FineGuided && stages >= 3 => {
                 let cur = c.tuning.last_early.unwrap_or(stages.saturating_sub(3));
@@ -157,7 +174,8 @@ impl TuningSpace {
             }
             2 => self.swap_move(&mut c, rng),
             3 => c.workers = self.workers[rng.gen_range(0..self.workers.len())],
-            _ => c.batch = self.batches[rng.gen_range(0..self.batches.len())],
+            4 => c.batch = self.batches[rng.gen_range(0..self.batches.len())],
+            _ => c.backend = self.backends[rng.gen_range(0..self.backends.len())],
         }
         c
     }

@@ -253,6 +253,7 @@ fn corrupted_wisdom_files_never_load_silently() {
         tuning,
         workers: 2,
         batch: 4,
+        backend: Default::default(),
         median_ns: 10,
         seed_median_ns: 20,
         cert: Some(cert),

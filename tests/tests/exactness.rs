@@ -6,9 +6,21 @@
 //! reordered arithmetic it had no right to touch. The shared result must
 //! also agree with the recursive-FFT oracle to an accuracy that scales
 //! with N.
+//!
+//! The same argument extends to execution *backends*: scalar, SIMD
+//! (AVX2 or the portable four-lane fallback, radix-4 or radix-8 register
+//! fusion) and the threaded work-stealing pool all drive the identical
+//! certified plan tables, and the SIMD complex multiply deliberately
+//! avoids FMA so each lane rounds exactly like the scalar code. Any bit
+//! of divergence is a kernel bug, not round-off.
 
+use codelet::runtime::Runtime;
 use fgfft::reference::recursive_fft;
-use fgfft::{fft_in_place, rms_error, Complex64, ExecConfig, SeedOrder, Version};
+use fgfft::{
+    fft_in_place, rms_error, Backend, BackendSel, Complex64, ExecConfig, HostSimd, Plan, PlanKey,
+    SeedOrder, Version,
+};
+use std::sync::Arc;
 
 fn signal(n: usize) -> Vec<Complex64> {
     (0..n)
@@ -26,6 +38,75 @@ fn bits(data: &[Complex64]) -> Vec<(u64, u64)> {
     data.iter()
         .map(|c| (c.re.to_bits(), c.im.to_bits()))
         .collect()
+}
+
+#[test]
+fn backends_are_bit_exact_across_versions_sizes_and_batches() {
+    // Every backend × every Table-I version × three sizes × two batch
+    // shapes, all compared bitwise against the plan's own scalar path.
+    // `simd-portable` forces the four-lane fallback even on AVX2 hosts,
+    // so both vector code paths are pinned no matter where this runs.
+    let backends: Vec<(&str, Arc<dyn Backend>)> = vec![
+        ("scalar", BackendSel::SCALAR.build()),
+        ("simd-r4", BackendSel::parse("simd-r4").unwrap().build()),
+        ("simd-r8", BackendSel::SIMD.build()),
+        ("simd-portable", Arc::new(HostSimd::portable(3))),
+        ("threaded-scalar", BackendSel::THREADED_SCALAR.build()),
+        ("threaded-simd", BackendSel::THREADED_SIMD.build()),
+    ];
+    let runtime = Runtime::with_workers(4);
+    for n_log2 in [8u32, 12, 16] {
+        let n = 1usize << n_log2;
+        let input = signal(n);
+        for version in Version::paper_set(SeedOrder::Natural) {
+            let plan = Arc::new(Plan::build(PlanKey::new(n, version, version.layout())));
+            let mut want = input.clone();
+            plan.execute(&mut want, &runtime);
+            let want = bits(&want);
+            for (name, backend) in &backends {
+                let prepared = backend.prepare(&plan);
+                for batch in [1usize, 4] {
+                    let mut buffers = vec![input.clone(); batch];
+                    let mut views: Vec<&mut [Complex64]> =
+                        buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    prepared.execute_batch(&mut views, &runtime);
+                    for (i, buffer) in buffers.iter().enumerate() {
+                        assert!(
+                            bits(buffer) == want,
+                            "{name} {} N=2^{n_log2} batch {batch} buffer {i}: bitwise drift",
+                            version.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_stage_barrier_smoke() {
+    // Churn the threaded backend's per-stage barrier under contention:
+    // four workers, batched buffers, repeated dispatches. The point is
+    // less the (also checked) bits than the memory orderings — CI runs
+    // this test under ThreadSanitizer.
+    let n = 1usize << 8;
+    let version = Version::FineGuided;
+    let plan = Arc::new(Plan::build(PlanKey::new(n, version, version.layout())));
+    let prepared = BackendSel::THREADED_SIMD.build().prepare(&plan);
+    let runtime = Runtime::with_workers(4);
+    let input = signal(n);
+    let mut want = input.clone();
+    plan.execute(&mut want, &runtime);
+    let want = bits(&want);
+    for _ in 0..16 {
+        let mut buffers = vec![input.clone(); 3];
+        let mut views: Vec<&mut [Complex64]> =
+            buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+        prepared.execute_batch(&mut views, &runtime);
+        for buffer in &buffers {
+            assert!(bits(buffer) == want, "barrier smoke: bitwise drift");
+        }
+    }
 }
 
 #[test]

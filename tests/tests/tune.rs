@@ -36,6 +36,7 @@ fn entry(n_log2: u32, version: Version) -> WisdomEntry {
         tuning,
         workers: 2,
         batch: 4,
+        backend: Default::default(),
         median_ns: 1_000,
         seed_median_ns: 2_000,
         cert: Some(cert),
