@@ -18,7 +18,8 @@
 use fft_repro::Cli;
 use fgfft::exec::{SeedOrder, Version};
 use fgfft::wisdom::version_to_string;
-use fgfft::BackendSel;
+use fgfft::{BackendSel, Complex64};
+use fgserve::{ClusterConfig, FftCluster, Request, ServeConfig, Ticket};
 use fgsupport::json::Value;
 use fgtune::{measure_candidate, tune, TuneConfig, TuningSpace};
 use std::time::Duration;
@@ -48,6 +49,84 @@ fn parse_backends(list: &str) -> Vec<BackendSel> {
         sels.push(BackendSel::SCALAR);
     }
     sels
+}
+
+/// Per-shard serving medians: drive a mixed-size pooled workload through a
+/// sharded cluster and report each shard's latency median and load, so the
+/// summary shows how evenly the consistent-hash front door spreads sizes.
+fn cluster_section(shards: usize, reps_per_size: usize) -> Value {
+    let sizes: Vec<u32> = vec![8, 9, 10, 11, 12];
+    let cluster = FftCluster::start(ClusterConfig {
+        shards,
+        base: ServeConfig {
+            queue_capacity: 256,
+            max_batch: 8,
+            workers: 2,
+            dispatchers: 1,
+            version: Version::FineGuided,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    });
+    for &n_log2 in &sizes {
+        let n = 1usize << n_log2;
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        // Warm the plan so the medians measure steady-state serving.
+        cluster
+            .submit(Request::new(input.clone()))
+            .expect("warmup admitted")
+            .wait()
+            .expect("warmup completes");
+        for chunk in 0..reps_per_size.div_ceil(8) {
+            let take = 8.min(reps_per_size - chunk * 8);
+            let tickets: Vec<Ticket> = (0..take)
+                .map(|_| {
+                    let mut lease = cluster.lease(n);
+                    lease.copy_from_slice(&input);
+                    cluster.submit(Request::pooled(lease)).expect("admitted")
+                })
+                .collect();
+            for ticket in tickets {
+                ticket.wait().expect("pooled request completes");
+            }
+        }
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(
+        stats.accepted,
+        stats.settled(),
+        "cluster accounting identity violated in bench_summary"
+    );
+    assert_eq!(stats.pool.outstanding, 0, "pool leaked slabs");
+    let mut shard_rows = Vec::new();
+    for (i, shard) in stats.per_shard.iter().enumerate() {
+        println!(
+            "cluster  shard {i}: {:>6} completed  p50 {:>8.4} ms  p95 {:>8.4} ms  mean batch {:.2}",
+            shard.completed,
+            shard.latency_ms.p50,
+            shard.latency_ms.p95,
+            shard.mean_batch_size()
+        );
+        shard_rows.push(Value::obj(vec![
+            ("shard", Value::Num(i as f64)),
+            ("completed", Value::Num(shard.completed as f64)),
+            ("p50_ms", Value::Num(shard.latency_ms.p50)),
+            ("p95_ms", Value::Num(shard.latency_ms.p95)),
+            ("mean_batch_size", Value::Num(shard.mean_batch_size())),
+        ]));
+    }
+    Value::obj(vec![
+        ("shards", Value::Num(shards as f64)),
+        ("reps_per_size", Value::Num(reps_per_size as f64)),
+        (
+            "sizes_log2",
+            Value::Arr(sizes.iter().map(|&s| Value::Num(s as f64)).collect()),
+        ),
+        ("pool", stats.pool.to_json()),
+        ("per_shard", Value::Arr(shard_rows)),
+    ])
 }
 
 fn main() {
@@ -182,6 +261,11 @@ fn main() {
         ]));
     }
 
+    // Per-shard serving medians through the cluster front door.
+    let cluster_shards: usize = cli.get("cluster_shards", 2usize);
+    let cluster_reps: usize = cli.get("cluster_reps", if cli.full { 64usize } else { 24 });
+    let cluster = cluster_section(cluster_shards, cluster_reps);
+
     let doc = Value::obj(vec![
         ("id", Value::Str("bench_summary".to_string())),
         (
@@ -192,6 +276,7 @@ fn main() {
         ("reps", Value::Num(reps as f64)),
         ("budget_ms", Value::Num(budget.as_millis() as f64)),
         ("sizes", Value::Arr(size_rows)),
+        ("cluster", cluster),
     ]);
     let path = cli.json.clone().unwrap_or_else(|| DEFAULT_OUT.to_string());
     if let Some(dir) = std::path::Path::new(&path).parent() {

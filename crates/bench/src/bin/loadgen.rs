@@ -20,11 +20,26 @@
 //!
 //! `--smoke` runs a short self-checking pass (CI); the default full run
 //! writes `results/serve_throughput.json`.
+//!
+//! **Cluster mode** (`loadgen --cluster [--smoke]`): open-loop,
+//! multi-tenant load against an [`FftCluster`] — each tenant submits at a
+//! paced offered rate (not closed-loop, so queueing delay shows up as
+//! latency, not as reduced offered load) through the consistent-hash
+//! front door, with pooled zero-copy payloads and per-tenant QoS active.
+//! Sweeps shard counts × offered rates and emits the throughput-vs-p50/p99
+//! curve (`results/cluster_latency.json`), including an owned-`Vec`
+//! single-shard baseline so the pooled/sharded gain is measured against
+//! the PR-2 serving path, not assumed.
 
 use fgfft::exec::{fft_in_place, ExecConfig, Version};
 use fgfft::Complex64;
-use fgserve::{FftService, Request, ServeConfig, ServeError, ServeStats};
+use fgserve::{
+    ClusterConfig, ClusterStats, FftCluster, FftService, QosConfig, Request, ServeConfig,
+    ServeError, ServeStats, TenantId, Ticket,
+};
+use fgsupport::bench::Percentiles;
 use fgsupport::json::Value;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -129,15 +144,422 @@ fn run_warm(
     )
 }
 
+// ── cluster mode ─────────────────────────────────────────────────────────
+
+/// Settle one client-observed outcome into the latency/miss/fail tallies.
+fn record_outcome(
+    submitted: Instant,
+    outcome: Result<fgserve::Response, ServeError>,
+    latencies_ms: &mut Vec<f64>,
+    missed: &mut u64,
+    failed: &mut u64,
+) {
+    match outcome {
+        Ok(_response) => latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3),
+        Err(ServeError::DeadlineExceeded) => *missed += 1,
+        Err(_) => *failed += 1,
+    }
+}
+
+/// Non-blocking reap of completed tickets from the head of the pending
+/// queue. Called every pacing tick (≤ ~200 µs apart), so client-observed
+/// latency carries at most that much reap quantization.
+fn reap(
+    pending: &mut VecDeque<(Instant, Ticket)>,
+    latencies_ms: &mut Vec<f64>,
+    missed: &mut u64,
+    failed: &mut u64,
+) {
+    while let Some((submitted, ticket)) = pending.pop_front() {
+        match ticket.try_wait() {
+            Ok(outcome) => record_outcome(submitted, outcome, latencies_ms, missed, failed),
+            Err(ticket) => {
+                pending.push_front((submitted, ticket));
+                break;
+            }
+        }
+    }
+}
+
+/// Closed-loop capacity probe through a one-shard pooled cluster: the
+/// sustainable warm req/s the open-loop sweep scales its offered rates
+/// from, so the curve is machine-independent.
+fn cluster_capacity_probe(
+    n_log2: u32,
+    clients: usize,
+    base: &ServeConfig,
+    duration: Duration,
+) -> f64 {
+    let n = 1usize << n_log2;
+    let cluster = Arc::new(FftCluster::start(ClusterConfig {
+        shards: 1,
+        base: base.clone(),
+        ..ClusterConfig::default()
+    }));
+    cluster
+        .submit(Request::new(signal(n, 0.0)))
+        .expect("warmup admitted")
+        .wait()
+        .expect("warmup completes");
+    let done = Arc::new(AtomicBool::new(false));
+    let count = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let cluster = Arc::clone(&cluster);
+            let done = Arc::clone(&done);
+            let count = Arc::clone(&count);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let input = signal(n, c as f64);
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    let mut lease = cluster.lease(n);
+                    lease.copy_from_slice(&input);
+                    cluster
+                        .submit(Request::pooled(lease))
+                        .expect("closed loop fits the queue")
+                        .wait()
+                        .expect("probe requests complete");
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    std::thread::sleep(duration);
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("probe client panicked");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let cluster = Arc::into_inner(cluster).expect("probe clients joined");
+    let stats = cluster.shutdown();
+    assert_eq!(stats.accepted, stats.settled(), "probe accounting identity");
+    count.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+/// One measured point of the open-loop sweep.
+struct PointOutcome {
+    offered_rps: f64,
+    achieved_rps: f64,
+    latency: Percentiles,
+    client_rejected: u64,
+    client_throttled: u64,
+    client_missed: u64,
+    client_failed: u64,
+    stats: ClusterStats,
+}
+
+/// Open-loop point: `tenants` paced threads offer `offered_rps` total
+/// through the cluster front door (tenant-tagged, deadline-carrying,
+/// pooled or owned payloads) for `duration`, then drain. Latency is
+/// client-observed submit→redeem time.
+#[allow(clippy::too_many_arguments)]
+fn run_cluster_point(
+    shards: usize,
+    pooled: bool,
+    n_log2: u32,
+    tenants: usize,
+    offered_rps: f64,
+    duration: Duration,
+    deadline: Duration,
+    base: &ServeConfig,
+) -> PointOutcome {
+    let n = 1usize << n_log2;
+    let per_tenant = offered_rps / tenants as f64;
+    let cluster = Arc::new(FftCluster::start(ClusterConfig {
+        shards,
+        base: base.clone(),
+        // QoS active but non-binding at the offered rate: a tenant that
+        // honors its pacing is never throttled; a runaway one would be.
+        qos: Some(QosConfig {
+            rate: per_tenant * 4.0,
+            burst: per_tenant.max(8.0),
+            overrides: Vec::new(),
+        }),
+        ..ClusterConfig::default()
+    }));
+    cluster
+        .submit(Request::new(signal(n, 0.0)))
+        .expect("warmup admitted")
+        .wait()
+        .expect("warmup completes");
+    let started = Instant::now();
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let input = signal(n, t as f64);
+                let period = Duration::from_secs_f64(1.0 / per_tenant);
+                let start = Instant::now();
+                let end = start + duration;
+                let mut next = start;
+                let mut pending: VecDeque<(Instant, Ticket)> = VecDeque::new();
+                let mut latencies_ms = Vec::new();
+                let (mut rejected, mut throttled, mut missed, mut failed) =
+                    (0u64, 0u64, 0u64, 0u64);
+                loop {
+                    let now = Instant::now();
+                    if now >= end {
+                        break;
+                    }
+                    if now < next {
+                        reap(&mut pending, &mut latencies_ms, &mut missed, &mut failed);
+                        std::thread::sleep((next - now).min(Duration::from_micros(200)));
+                        continue;
+                    }
+                    next += period;
+                    let submitted = Instant::now();
+                    let request = if pooled {
+                        let mut lease = cluster.lease(n);
+                        lease.copy_from_slice(&input);
+                        Request::pooled(lease)
+                    } else {
+                        Request::new(input.clone())
+                    }
+                    .with_tenant(TenantId(t as u64))
+                    .with_deadline(submitted + deadline);
+                    match cluster.submit(request) {
+                        Ok(ticket) => pending.push_back((submitted, ticket)),
+                        Err(ServeError::Overloaded { .. }) => rejected += 1,
+                        Err(ServeError::Throttled { .. }) => throttled += 1,
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+                for (submitted, ticket) in pending {
+                    match ticket.wait_timeout(Duration::from_secs(60)) {
+                        Ok(outcome) => record_outcome(
+                            submitted,
+                            outcome,
+                            &mut latencies_ms,
+                            &mut missed,
+                            &mut failed,
+                        ),
+                        Err(_stuck) => panic!("ticket not settled within 60 s during drain"),
+                    }
+                }
+                (latencies_ms, rejected, throttled, missed, failed)
+            })
+        })
+        .collect();
+    let mut all_latencies = Vec::new();
+    let (mut rejected, mut throttled, mut missed, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for h in handles {
+        let (lat, r, t, m, f) = h.join().expect("tenant thread panicked");
+        all_latencies.extend(lat);
+        rejected += r;
+        throttled += t;
+        missed += m;
+        failed += f;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let cluster = Arc::into_inner(cluster).expect("tenant threads joined");
+    let stats = cluster.shutdown();
+    PointOutcome {
+        offered_rps,
+        achieved_rps: all_latencies.len() as f64 / elapsed,
+        latency: Percentiles::from_unsorted(&mut all_latencies),
+        client_rejected: rejected,
+        client_throttled: throttled,
+        client_missed: missed,
+        client_failed: failed,
+        stats,
+    }
+}
+
+fn point_json(shards: usize, pooled: bool, point: &PointOutcome) -> Value {
+    let per_shard_p50: Vec<Value> = point
+        .stats
+        .per_shard
+        .iter()
+        .map(|s| Value::Num(s.latency_ms.p50))
+        .collect();
+    let per_shard_completed: Vec<Value> = point
+        .stats
+        .per_shard
+        .iter()
+        .map(|s| Value::Num(s.completed as f64))
+        .collect();
+    Value::obj(vec![
+        ("shards", Value::Num(shards as f64)),
+        ("pooled", Value::Bool(pooled)),
+        ("offered_rps", Value::Num(point.offered_rps)),
+        ("achieved_rps", Value::Num(point.achieved_rps)),
+        ("p50_ms", Value::Num(point.latency.p50)),
+        ("p95_ms", Value::Num(point.latency.p95)),
+        ("p99_ms", Value::Num(point.latency.p99)),
+        ("mean_ms", Value::Num(point.latency.mean)),
+        ("max_ms", Value::Num(point.latency.max)),
+        ("completed", Value::Num(point.stats.completed as f64)),
+        (
+            "deadline_missed",
+            Value::Num(point.stats.deadline_missed as f64),
+        ),
+        ("rejected", Value::Num(point.stats.rejected as f64)),
+        ("throttled", Value::Num(point.stats.throttled as f64)),
+        ("failed", Value::Num(point.stats.failed as f64)),
+        ("per_shard_p50_ms", Value::Arr(per_shard_p50)),
+        ("per_shard_completed", Value::Arr(per_shard_completed)),
+        ("pool", point.stats.pool.to_json()),
+    ])
+}
+
+/// The `--cluster` entry point: capacity-calibrated open-loop sweep over
+/// shard counts × offered rates, plus an owned-payload single-shard
+/// baseline, emitting the throughput-vs-latency curve as JSON.
+fn run_cluster_mode(args: &[String], smoke: bool, json_path: &str) {
+    let get = |key: &str, default: f64| -> f64 {
+        args.iter()
+            .filter_map(|a| a.strip_prefix(&format!("{key}=")))
+            .next_back()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n_log2 = get("n_log2", if smoke { 10.0 } else { 13.0 }) as u32;
+    let tenants = (get("tenants", 4.0) as usize).max(1);
+    let secs = get("secs", if smoke { 0.3 } else { 1.5 });
+    let deadline = Duration::from_secs_f64(get("deadline_ms", 100.0) / 1e3);
+    let workers = get("workers", 2.0) as usize;
+    let batch = get("batch", 8.0) as usize;
+    let duration = Duration::from_secs_f64(secs);
+    let base = ServeConfig {
+        queue_capacity: 1024,
+        max_batch: batch,
+        workers,
+        dispatchers: 1,
+        version: Version::FineGuided,
+        radix_log2: 6,
+        latency_samples: 1 << 14,
+        ..ServeConfig::default()
+    };
+    eprintln!(
+        "loadgen --cluster: n=2^{n_log2}, {tenants} open-loop tenants, {secs}s per point, \
+         deadline {:.0} ms{}",
+        deadline.as_secs_f64() * 1e3,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // Calibration: closed-loop warm capacity (one shard, pooled) and the
+    // cold plan-per-request floor, both at the same size.
+    let probe_secs = Duration::from_secs_f64(if smoke { 0.15 } else { 0.5 });
+    let capacity_rps = cluster_capacity_probe(n_log2, tenants, &base, probe_secs);
+    let cold_rps = {
+        let t0 = Instant::now();
+        let requests = run_cold(n_log2, tenants, workers, probe_secs);
+        requests as f64 / t0.elapsed().as_secs_f64()
+    };
+    eprintln!(
+        "calibration: warm closed-loop {capacity_rps:.0} req/s, cold plan-per-request {cold_rps:.0} req/s"
+    );
+
+    let shard_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let fractions: &[f64] = if smoke { &[0.6] } else { &[0.3, 0.6, 0.9, 1.2] };
+    let mut curve = Vec::new();
+    let mut best_pooled_rps: f64 = 0.0;
+    // Pooled sweep across shard counts, then the owned-payload baseline on
+    // one shard at the same offered rates.
+    let mut runs: Vec<(usize, bool)> = shard_counts.iter().map(|&s| (s, true)).collect();
+    runs.push((1, false));
+    for (shards, pooled) in runs {
+        for &fraction in fractions {
+            let offered = (capacity_rps * fraction).max(tenants as f64);
+            let point = run_cluster_point(
+                shards, pooled, n_log2, tenants, offered, duration, deadline, &base,
+            );
+            println!(
+                "shards={shards} {} offered={:>8.1}/s achieved={:>8.1}/s \
+                 p50={:>7.3}ms p99={:>7.3}ms miss={} rej={} thr={}",
+                if pooled { "pooled" } else { "owned " },
+                point.offered_rps,
+                point.achieved_rps,
+                point.latency.p50,
+                point.latency.p99,
+                point.client_missed,
+                point.client_rejected,
+                point.client_throttled,
+            );
+            // The run is meaningless if any of these fail; both modes assert.
+            assert_eq!(
+                point.stats.accepted,
+                point.stats.settled(),
+                "cluster accounting identity violated"
+            );
+            for (i, shard) in point.stats.per_shard.iter().enumerate() {
+                assert_eq!(
+                    shard.accepted,
+                    shard.completed + shard.deadline_missed + shard.failed,
+                    "shard {i} accounting identity violated"
+                );
+            }
+            assert_eq!(point.stats.pool.outstanding, 0, "pool leaked slabs");
+            assert_eq!(point.stats.rejected, point.client_rejected);
+            assert_eq!(point.stats.throttled, point.client_throttled);
+            assert!(point.stats.completed > 0, "point did no work");
+            assert_eq!(point.client_failed, 0, "unexpected internal failures");
+            if pooled {
+                best_pooled_rps = best_pooled_rps.max(point.achieved_rps);
+            }
+            curve.push(point_json(shards, pooled, &point));
+        }
+    }
+
+    let warm_over_cold = best_pooled_rps / cold_rps;
+    println!("── cluster serving, N = 2^{n_log2} ─────────────────────────");
+    println!("cold (plan per request)    : {cold_rps:>10.1} req/s");
+    println!("best pooled cluster point  : {best_pooled_rps:>10.1} req/s");
+    println!("aggregate warm over cold   : {warm_over_cold:>10.2}×");
+
+    let report = Value::obj(vec![
+        ("id", Value::Str("cluster_latency".into())),
+        (
+            "title",
+            Value::Str("fgserve cluster open-loop throughput vs latency".into()),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("n_log2", Value::Num(n_log2 as f64)),
+        ("tenants", Value::Num(tenants as f64)),
+        ("point_secs", Value::Num(secs)),
+        ("deadline_ms", Value::Num(deadline.as_secs_f64() * 1e3)),
+        ("workers_per_shard", Value::Num(workers as f64)),
+        ("max_batch", Value::Num(batch as f64)),
+        ("capacity_probe_rps", Value::Num(capacity_rps)),
+        ("cold_rps", Value::Num(cold_rps)),
+        ("warm_over_cold", Value::Num(warm_over_cold)),
+        ("curve", Value::Arr(curve)),
+    ]);
+    if let Some(dir) = std::path::Path::new(json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(json_path, report.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("json written to {json_path}");
+    if !smoke && warm_over_cold < 2.0 {
+        eprintln!("WARNING: cluster warm/cold ratio {warm_over_cold:.2} below the 2× target");
+    }
+}
+
 fn main() {
     // Tiny hand-rolled CLI: flags plus key=value pairs.
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let cluster = args.iter().any(|a| a == "--cluster");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "results/serve_throughput.json".to_string());
+        .unwrap_or_else(|| {
+            if cluster {
+                "results/cluster_latency.json".to_string()
+            } else {
+                "results/serve_throughput.json".to_string()
+            }
+        });
+    if cluster {
+        run_cluster_mode(&args, smoke, &json_path);
+        return;
+    }
     let get = |key: &str, default: f64| -> f64 {
         args.iter()
             .filter_map(|a| a.strip_prefix(&format!("{key}=")))

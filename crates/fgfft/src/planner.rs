@@ -725,6 +725,19 @@ impl Planner {
         self.plan_key(PlanKey::new(n, version, layout))
     }
 
+    /// Whether the plan for `(n, version, layout)` under the default
+    /// codelets is already built and cached — a warm lookup. Purely an
+    /// observation: it never builds, never counts as a hit or miss, and
+    /// never touches the LRU stamps. The serving layer's cold-plan gate
+    /// polls this to decide how many requests may ride a cold dispatch.
+    pub fn is_warm(&self, n: usize, version: Version, layout: TwiddleLayout) -> bool {
+        let key = PlanKey::new(n, version, layout);
+        self.shards[Self::shard_of(&key)]
+            .lock()
+            .get(&key)
+            .is_some_and(|slot| slot.plan.get().is_some())
+    }
+
     /// The plan for an explicit [`PlanKey`]. Single-flight: when several
     /// threads miss on the same key simultaneously, exactly one builds while
     /// the rest block on the slot and share the result. When the planner

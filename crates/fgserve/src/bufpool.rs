@@ -1,0 +1,465 @@
+//! Size-classed reusable buffer pool: request/response payloads as leased
+//! slabs instead of per-request `Vec` churn.
+//!
+//! Serving a 2^15-point transform moves a 512 KiB buffer through the
+//! pipeline; allocating and freeing one per request makes the allocator —
+//! not the memory system the paper cares about — the bottleneck under load.
+//! A [`BufferPool`] keeps freed slabs in per-size-class free lists (one
+//! class per power-of-two capacity) and hands them out as [`Lease`]s:
+//!
+//! * [`BufferPool::lease`] pops a recycled slab, or allocates on a class
+//!   miss. The slab's capacity is the class size; its length is the
+//!   requested `n`.
+//! * A [`Lease`] derefs to `[Complex64]` and travels the whole request
+//!   path untouched: the client fills it, [`crate::Request::pooled`] wraps
+//!   it, the dispatcher transforms it in place, and the ticket returns the
+//!   *same allocation* inside the [`crate::Response`] — zero copies, zero
+//!   allocations end to end once the pool is warm.
+//! * Dropping a lease (wherever that happens: client, response, a failed
+//!   job's drop-guard, a dying dispatcher) returns the slab to its class's
+//!   free list, up to a per-class retention cap; beyond the cap the slab is
+//!   freed for real.
+//!
+//! **Leak guard.** The pool counts outstanding leases ([`
+//! BufferPool::outstanding`]); because every lease holds an `Arc` to the
+//! pool's inner state, return-on-drop cannot be skipped by any exit path —
+//! including panics unwinding through the serving layer (the job
+//! drop-guard drops the payload, the payload drops the lease, the lease
+//! returns the slab). Tests assert `outstanding() == 0` after drains; a
+//! nonzero value is a genuine reference leak, not a pool bug.
+
+use fgfft::Complex64;
+use fgsupport::json::Value;
+use fgsupport::sync::Mutex;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Size classes cover capacities `2^0 .. 2^MAX_CLASS_LOG2` — past the
+/// largest transform the workspace ever serves.
+const MAX_CLASS_LOG2: usize = 31;
+
+/// Default slabs retained per size class; beyond this, returned slabs are
+/// freed instead of pooled so one burst cannot pin memory forever.
+pub const DEFAULT_RETENTION: usize = 64;
+
+/// Shared pool state. Lives behind an `Arc` held by the [`BufferPool`]
+/// handle *and every outstanding lease*, so a lease can always find its way
+/// home even if the pool handle was dropped first.
+#[derive(Debug)]
+struct PoolInner {
+    /// Free lists, one per power-of-two capacity class.
+    classes: Vec<Mutex<Vec<Vec<Complex64>>>>,
+    /// Per-class retention cap.
+    retention: usize,
+    /// Leases handed out and not yet dropped.
+    outstanding: AtomicUsize,
+    /// Total leases ever granted.
+    leased: AtomicU64,
+    /// Leases served from a free list (no allocation).
+    reused: AtomicU64,
+    /// Leases that had to allocate a fresh slab.
+    allocated: AtomicU64,
+    /// Slabs returned to a free list on lease drop.
+    returned: AtomicU64,
+    /// Slabs freed on lease drop because the class was at its cap.
+    released: AtomicU64,
+    /// Slabs detached from the pool via [`Payload::into_vec`]-style exits.
+    detached: AtomicU64,
+}
+
+/// A thread-safe, size-classed pool of `Complex64` slabs.
+///
+/// Cloning the handle is cheap and shares the pool; a cluster typically
+/// owns one pool and exposes it to every client thread.
+///
+/// ```
+/// use fgserve::BufferPool;
+///
+/// let pool = BufferPool::new();
+/// let a = pool.lease(1024);
+/// assert_eq!(a.len(), 1024);
+/// assert_eq!(pool.outstanding(), 1);
+/// drop(a);
+/// assert_eq!(pool.outstanding(), 0);
+/// let b = pool.lease(1024); // recycled, not reallocated
+/// assert_eq!(pool.stats().reused, 1);
+/// drop(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufferPool {
+    /// New empty pool with the default per-class retention
+    /// ([`DEFAULT_RETENTION`] slabs).
+    pub fn new() -> Self {
+        Self::with_retention(DEFAULT_RETENTION)
+    }
+
+    /// New empty pool retaining at most `retention` freed slabs per size
+    /// class (0 disables pooling: every lease allocates, every drop frees).
+    pub fn with_retention(retention: usize) -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                classes: (0..=MAX_CLASS_LOG2)
+                    .map(|_| Mutex::new(Vec::new()))
+                    .collect(),
+                retention,
+                outstanding: AtomicUsize::new(0),
+                leased: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+                allocated: AtomicU64::new(0),
+                returned: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                detached: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Lease a slab of length `n` (1 ≤ n ≤ 2^31). Contents are
+    /// unspecified — recycled slabs keep whatever the previous lease wrote
+    /// (the serving layer overwrites every element anyway); use
+    /// [`BufferPool::lease_from`] to start from known data.
+    pub fn lease(&self, n: usize) -> Lease {
+        assert!(n >= 1, "lease length must be at least 1");
+        let class = (n.next_power_of_two().trailing_zeros() as usize).min(MAX_CLASS_LOG2);
+        assert!(
+            n <= 1usize << class,
+            "lease length {n} exceeds the largest size class"
+        );
+        let inner = &self.inner;
+        inner.leased.fetch_add(1, Ordering::Relaxed);
+        inner.outstanding.fetch_add(1, Ordering::AcqRel);
+        let mut buf = match inner.classes[class].lock().pop() {
+            Some(slab) => {
+                inner.reused.fetch_add(1, Ordering::Relaxed);
+                slab
+            }
+            None => {
+                inner.allocated.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(1 << class)
+            }
+        };
+        // Resize within capacity: no reallocation either way.
+        buf.resize(n, Complex64::ZERO);
+        Lease {
+            buf,
+            class,
+            inner: Arc::clone(inner),
+        }
+    }
+
+    /// Lease a slab initialized with a copy of `data`.
+    pub fn lease_from(&self, data: &[Complex64]) -> Lease {
+        let mut lease = self.lease(data.len());
+        lease.copy_from_slice(data);
+        lease
+    }
+
+    /// Leases currently held by clients, requests, or responses.
+    pub fn outstanding(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time behavior counters.
+    pub fn stats(&self) -> PoolStats {
+        let inner = &self.inner;
+        let mut pooled_slabs = 0usize;
+        let mut pooled_bytes = 0u64;
+        for class in &inner.classes {
+            let list = class.lock();
+            pooled_slabs += list.len();
+            pooled_bytes += list
+                .iter()
+                .map(|s| (s.capacity() * std::mem::size_of::<Complex64>()) as u64)
+                .sum::<u64>();
+        }
+        PoolStats {
+            leased: inner.leased.load(Ordering::Relaxed),
+            reused: inner.reused.load(Ordering::Relaxed),
+            allocated: inner.allocated.load(Ordering::Relaxed),
+            returned: inner.returned.load(Ordering::Relaxed),
+            released: inner.released.load(Ordering::Relaxed),
+            detached: inner.detached.load(Ordering::Relaxed),
+            outstanding: inner.outstanding.load(Ordering::Acquire),
+            pooled_slabs,
+            pooled_bytes,
+        }
+    }
+}
+
+/// Counters describing a pool's behavior so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases granted.
+    pub leased: u64,
+    /// Leases served from a free list without allocating.
+    pub reused: u64,
+    /// Leases that allocated a fresh slab.
+    pub allocated: u64,
+    /// Slabs returned to a free list on drop.
+    pub returned: u64,
+    /// Slabs freed on drop because the class was at its retention cap.
+    pub released: u64,
+    /// Slabs permanently detached from the pool ([`Lease::detach`]).
+    pub detached: u64,
+    /// Leases currently outstanding (the leak-guard number).
+    pub outstanding: usize,
+    /// Slabs sitting in free lists right now.
+    pub pooled_slabs: usize,
+    /// Bytes held by those free-list slabs.
+    pub pooled_bytes: u64,
+}
+
+impl PoolStats {
+    /// Fraction of leases served without allocating, in `0.0..=1.0`
+    /// (1.0 when idle).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.leased == 0 {
+            1.0
+        } else {
+            self.reused as f64 / self.leased as f64
+        }
+    }
+
+    /// The counters as a JSON object (stable key names).
+    pub fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("leased", Value::Num(self.leased as f64)),
+            ("reused", Value::Num(self.reused as f64)),
+            ("allocated", Value::Num(self.allocated as f64)),
+            ("returned", Value::Num(self.returned as f64)),
+            ("released", Value::Num(self.released as f64)),
+            ("detached", Value::Num(self.detached as f64)),
+            ("outstanding", Value::Num(self.outstanding as f64)),
+            ("pooled_slabs", Value::Num(self.pooled_slabs as f64)),
+            ("pooled_bytes", Value::Num(self.pooled_bytes as f64)),
+            ("reuse_rate", Value::Num(self.reuse_rate())),
+        ])
+    }
+}
+
+/// An exclusively owned slab on loan from a [`BufferPool`].
+///
+/// Derefs to `[Complex64]` of the requested length. On drop the slab goes
+/// back to its pool's free list (or is freed past the retention cap); the
+/// pool's outstanding count drops either way.
+#[derive(Debug)]
+pub struct Lease {
+    buf: Vec<Complex64>,
+    class: usize,
+    inner: Arc<PoolInner>,
+}
+
+impl Lease {
+    /// Take the slab out of the pool's accounting permanently: the caller
+    /// gets a plain `Vec` and the pool will never see this allocation
+    /// again (counted in [`PoolStats::detached`], not a leak).
+    pub fn detach(mut self) -> Vec<Complex64> {
+        let buf = std::mem::take(&mut self.buf);
+        self.inner.detached.fetch_add(1, Ordering::Relaxed);
+        // Drop still runs, but an empty slab is recognized and skipped.
+        buf
+    }
+}
+
+impl Deref for Lease {
+    type Target = [Complex64];
+    fn deref(&self) -> &[Complex64] {
+        &self.buf
+    }
+}
+
+impl DerefMut for Lease {
+    fn deref_mut(&mut self) -> &mut [Complex64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        self.inner.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if self.buf.capacity() == 0 {
+            // Detached: nothing to return.
+            return;
+        }
+        let slab = std::mem::take(&mut self.buf);
+        let mut list = self.inner.classes[self.class].lock();
+        if list.len() < self.inner.retention {
+            list.push(slab);
+            drop(list);
+            self.inner.returned.fetch_add(1, Ordering::Relaxed);
+        } else {
+            drop(list);
+            self.inner.released.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycles_allocations() {
+        let pool = BufferPool::new();
+        let a = pool.lease(256);
+        assert_eq!(a.len(), 256);
+        assert_eq!(pool.stats().allocated, 1);
+        drop(a);
+        assert_eq!(pool.stats().returned, 1);
+        let b = pool.lease(256);
+        let s = pool.stats();
+        assert_eq!(s.allocated, 1, "second lease reuses the slab");
+        assert_eq!(s.reused, 1);
+        assert!((s.reuse_rate() - 0.5).abs() < 1e-12);
+        drop(b);
+    }
+
+    #[test]
+    fn classes_round_up_to_powers_of_two() {
+        let pool = BufferPool::new();
+        let odd = pool.lease(100);
+        assert_eq!(odd.len(), 100);
+        drop(odd);
+        // 100 rounds to the 128-class, so a 128-lease reuses the slab.
+        let exact = pool.lease(128);
+        assert_eq!(pool.stats().reused, 1);
+        drop(exact);
+    }
+
+    #[test]
+    fn outstanding_tracks_every_live_lease() {
+        let pool = BufferPool::new();
+        let leases: Vec<Lease> = (0..5).map(|i| pool.lease(64 << i)).collect();
+        assert_eq!(pool.outstanding(), 5);
+        drop(leases);
+        assert_eq!(pool.outstanding(), 0, "leak guard: all slabs came home");
+        assert_eq!(pool.stats().returned, 5);
+    }
+
+    #[test]
+    fn retention_cap_frees_the_excess() {
+        let pool = BufferPool::with_retention(2);
+        let leases: Vec<Lease> = (0..4).map(|_| pool.lease(32)).collect();
+        assert_eq!(pool.stats().allocated, 4);
+        drop(leases);
+        let s = pool.stats();
+        assert_eq!(s.returned, 2, "cap keeps two");
+        assert_eq!(s.released, 2, "the rest are freed");
+        assert_eq!(s.pooled_slabs, 2);
+    }
+
+    #[test]
+    fn zero_retention_disables_pooling() {
+        let pool = BufferPool::with_retention(0);
+        drop(pool.lease(16));
+        drop(pool.lease(16));
+        let s = pool.stats();
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.reused, 0);
+        assert_eq!(s.pooled_slabs, 0);
+    }
+
+    #[test]
+    fn lease_from_copies_and_detach_exits_the_pool() {
+        let pool = BufferPool::new();
+        let data: Vec<Complex64> = (0..8).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let lease = pool.lease_from(&data);
+        assert_eq!(&*lease, &data[..]);
+        let vec = lease.detach();
+        assert_eq!(vec, data);
+        let s = pool.stats();
+        assert_eq!(s.detached, 1);
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.returned, 0, "detached slabs never return");
+    }
+
+    #[test]
+    fn leases_survive_the_pool_handle() {
+        let lease = {
+            let pool = BufferPool::new();
+            pool.lease(64)
+        };
+        // The handle is gone; the lease still holds the inner state and
+        // drops cleanly.
+        assert_eq!(lease.len(), 64);
+        drop(lease);
+    }
+
+    #[test]
+    fn recycled_slabs_are_resized_to_the_new_request() {
+        let pool = BufferPool::new();
+        let mut a = pool.lease(128);
+        a[127] = Complex64::new(9.0, 9.0);
+        drop(a);
+        // Smaller request in the same class: length shrinks, capacity stays.
+        let b = pool.lease(100);
+        assert_eq!(b.len(), 100);
+        drop(b);
+        let c = pool.lease(128);
+        assert_eq!(c.len(), 128);
+        drop(c);
+    }
+
+    #[test]
+    fn concurrent_lease_return_hammering_balances() {
+        let pool = BufferPool::with_retention(8);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let n = 64 << (i % 3);
+                        let mut lease = pool.lease(n);
+                        lease[0] = Complex64::new(t as f64, i as f64);
+                        drop(lease);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(s.leased, 800);
+        assert_eq!(s.leased, s.reused + s.allocated);
+        assert_eq!(s.returned + s.released + s.detached, s.leased);
+    }
+
+    #[test]
+    fn stats_json_has_stable_keys() {
+        let pool = BufferPool::new();
+        drop(pool.lease(32));
+        let v = pool.stats().to_json();
+        for key in [
+            "leased",
+            "reused",
+            "allocated",
+            "returned",
+            "released",
+            "detached",
+            "outstanding",
+            "pooled_slabs",
+            "pooled_bytes",
+            "reuse_rate",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_length_lease_is_refused() {
+        BufferPool::new().lease(0);
+    }
+}

@@ -15,6 +15,13 @@ pub enum ServeError {
         /// The queue bound that was hit.
         queue_capacity: usize,
     },
+    /// Per-tenant admission control rejected the request: the tenant's
+    /// token bucket is empty. The tenant should back off to its configured
+    /// rate; other tenants are unaffected (that is the point).
+    Throttled {
+        /// The tenant whose bucket ran dry.
+        tenant: crate::admission::TenantId,
+    },
     /// The service is draining and no longer accepts new work. In-flight
     /// requests still complete.
     ShuttingDown,
@@ -43,6 +50,9 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { queue_capacity } => {
                 write!(f, "overloaded: submission queue full ({queue_capacity})")
             }
+            ServeError::Throttled { tenant } => {
+                write!(f, "throttled: {tenant} exceeded its admission rate")
+            }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
@@ -66,6 +76,11 @@ mod tests {
             .to_string()
             .contains("nope"));
         assert!(!ServeError::ShuttingDown.to_string().is_empty());
+        assert!(ServeError::Throttled {
+            tenant: crate::admission::TenantId(3)
+        }
+        .to_string()
+        .contains("tenant-3"));
         assert!(!ServeError::DeadlineExceeded.to_string().is_empty());
         assert!(ServeError::Internal {
             reason: "codelet 7 exploded".into()

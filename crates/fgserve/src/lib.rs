@@ -5,7 +5,7 @@
 //! of transform requests without re-deriving per-size state, without
 //! unbounded queueing, and with enough telemetry to see what happened?
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * **Plan cache** — [`Planner`] (re-exported from
 //!   [`fgfft::planner`]): a sharded, single-flight, wisdom-style cache of
@@ -24,6 +24,13 @@
 //!   high-water, dispatcher restarts), latency percentiles over a uniform
 //!   reservoir sample, and the planner's hit/miss/build counts, exportable
 //!   as JSON via [`ServeStats::to_json`].
+//! * **Sharded front door** — [`FftCluster`]: consistent-hash routing of
+//!   plan keys across independent shards (plan-locality per shard, stable
+//!   under resizing), a size-classed zero-copy [`BufferPool`] for request
+//!   payloads, per-tenant token-bucket admission ([`QosConfig`]) with two
+//!   EDF deadline lanes ([`Lane`]), and cold-plan slow start — while the
+//!   cluster-wide accounting identity survives shard restarts and fault
+//!   injection.
 //!
 //! ## Failure semantics
 //!
@@ -64,13 +71,19 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
+pub mod bufpool;
 pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod service;
+pub mod shard;
 
+pub use admission::{Lane, QosConfig, TenantId};
+pub use bufpool::{BufferPool, Lease, PoolStats};
 pub use error::ServeError;
 pub use fault::FaultInjector;
 pub use fgfft::planner::{Plan, PlanKey, Planner, PlannerStats};
 pub use metrics::ServeStats;
-pub use service::{FftService, Request, Response, ServeConfig, Ticket};
+pub use service::{FftService, Payload, Request, Response, ServeConfig, Ticket};
+pub use shard::{ClusterConfig, ClusterStats, FftCluster};

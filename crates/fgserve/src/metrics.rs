@@ -59,13 +59,22 @@ pub(crate) struct Metrics {
     pub accepted: AtomicU64,
     /// Requests rejected by admission control (`Overloaded`).
     pub rejected: AtomicU64,
-    /// Requests completed successfully.
+    /// Requests rejected by per-tenant QoS (`Throttled`) before queueing.
+    pub throttled: AtomicU64,
+    /// Requests completed successfully. Incremented with `Release` (see
+    /// [`Metrics::snapshot`]); use [`Metrics::on_complete`].
     pub completed: AtomicU64,
-    /// Requests dropped because their deadline passed before dispatch.
+    /// Requests dropped because their deadline passed before dispatch (or
+    /// expired during it — checked again at settlement). Incremented with
+    /// `Release`; use [`Metrics::on_deadline_missed`].
     pub deadline_missed: AtomicU64,
     /// Requests that failed with [`crate::ServeError::Internal`] — a panic
     /// in their dispatch, or abandonment by a dying dispatcher.
+    /// Incremented with `Release`; use [`Metrics::on_failed`].
     pub failed: AtomicU64,
+    /// Cold-plan requests the slow-start gate deferred back to the queue
+    /// (served later; never dropped, never recounted as accepted).
+    pub cold_deferred: AtomicU64,
     /// Runtime dispatches performed to completion (each served ≥ 1 request).
     pub batches: AtomicU64,
     /// Requests served by those completed dispatches — the numerator of
@@ -87,9 +96,11 @@ impl Metrics {
         Self {
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cold_deferred: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
@@ -106,9 +117,26 @@ impl Metrics {
     }
 
     /// Record a completion observed `latency_ns` after submission.
+    ///
+    /// The `Release` increment pairs with the `Acquire` load in
+    /// [`Metrics::snapshot`]: a snapshot that observes this settlement also
+    /// observes the `accepted` increment that preceded it, so
+    /// `settled() <= accepted` holds in every snapshot, not just quiescent
+    /// ones.
     pub(crate) fn on_complete(&self, latency_ns: u64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Release);
         self.latencies_ns.lock().offer(latency_ns);
+    }
+
+    /// Record a deadline miss (see [`Metrics::on_complete`] for ordering).
+    pub(crate) fn on_deadline_missed(&self) {
+        self.deadline_missed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Record an internal failure (see [`Metrics::on_complete`] for
+    /// ordering).
+    pub(crate) fn on_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Release);
     }
 
     /// Record one completed runtime dispatch serving `requests` requests.
@@ -123,7 +151,22 @@ impl Metrics {
     }
 
     /// Snapshot everything, folding in the planner's cache stats.
+    ///
+    /// **Load order is the correctness fix for torn snapshots.** Every
+    /// settlement is preceded (in real time and by a happens-before chain
+    /// through the queue) by its request's `accepted` increment. Loading
+    /// the settlement counters *first* (`Acquire`, pairing with the
+    /// `Release` increments) and `accepted` *after* therefore yields
+    /// `settled() <= accepted` in every snapshot: any settlement we
+    /// observed has its admission visible by the time `accepted` is read,
+    /// and admissions that settle between the two loads only push
+    /// `accepted` higher. The old order (accepted first) allowed a
+    /// mid-flight snapshot to see `settled() > accepted`.
     pub(crate) fn snapshot(&self, planner: PlannerStats) -> ServeStats {
+        let completed = self.completed.load(Ordering::Acquire);
+        let deadline_missed = self.deadline_missed.load(Ordering::Acquire);
+        let failed = self.failed.load(Ordering::Acquire);
+        let accepted = self.accepted.load(Ordering::Relaxed);
         let mut samples: Vec<f64> = self
             .latencies_ns
             .lock()
@@ -132,11 +175,13 @@ impl Metrics {
             .map(|&ns| ns as f64 / 1e6)
             .collect();
         ServeStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
+            accepted,
             rejected: self.rejected.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            completed,
+            deadline_missed,
+            failed,
+            cold_deferred: self.cold_deferred.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             dispatched: self.dispatched.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
@@ -157,12 +202,17 @@ pub struct ServeStats {
     pub accepted: u64,
     /// Requests rejected by admission control.
     pub rejected: u64,
+    /// Requests rejected by per-tenant QoS before queueing.
+    pub throttled: u64,
     /// Requests completed successfully.
     pub completed: u64,
-    /// Requests dropped at dispatch because their deadline had passed.
+    /// Requests dropped because their deadline had passed at dispatch or
+    /// at settlement.
     pub deadline_missed: u64,
     /// Requests that failed with [`crate::ServeError::Internal`].
     pub failed: u64,
+    /// Cold-plan requests deferred by the slow-start gate (later served).
+    pub cold_deferred: u64,
     /// Runtime dispatches that completed (each served one same-plan batch).
     pub batches: u64,
     /// Requests served by those completed dispatches.
@@ -207,9 +257,11 @@ impl ServeStats {
         Value::obj(vec![
             ("accepted", Value::Num(self.accepted as f64)),
             ("rejected", Value::Num(self.rejected as f64)),
+            ("throttled", Value::Num(self.throttled as f64)),
             ("completed", Value::Num(self.completed as f64)),
             ("deadline_missed", Value::Num(self.deadline_missed as f64)),
             ("failed", Value::Num(self.failed as f64)),
+            ("cold_deferred", Value::Num(self.cold_deferred as f64)),
             ("batches", Value::Num(self.batches as f64)),
             ("dispatched", Value::Num(self.dispatched as f64)),
             ("batched_requests", Value::Num(self.batched_requests as f64)),
@@ -267,12 +319,16 @@ mod tests {
         m.on_complete(3_000_000);
         m.on_batch(1);
         m.on_batch(4);
-        m.failed.fetch_add(1, Ordering::Relaxed);
-        m.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        m.on_failed();
+        m.on_deadline_missed();
+        m.throttled.fetch_add(3, Ordering::Relaxed);
+        m.cold_deferred.fetch_add(2, Ordering::Relaxed);
         m.dispatcher_restarts.fetch_add(1, Ordering::Relaxed);
         let s = m.snapshot(PlannerStats::default());
         assert_eq!(s.accepted, 3);
         assert_eq!(s.rejected, 2);
+        assert_eq!(s.throttled, 3);
+        assert_eq!(s.cold_deferred, 2);
         assert_eq!(s.completed, 2);
         assert_eq!(s.failed, 1);
         assert_eq!(s.deadline_missed, 1);
@@ -333,6 +389,59 @@ mod tests {
         assert_eq!(s.latency_ms.count, 0);
     }
 
+    /// The torn-snapshot bug: `snapshot` used to load `accepted` before the
+    /// settlement counters, so a snapshot racing a settle could observe the
+    /// settlement but not the admission that preceded it —
+    /// `settled() > accepted`, a transient violation of the accounting
+    /// identity that no quiescent check could catch. With settlement
+    /// counters loaded first (Acquire, against Release increments), every
+    /// snapshot satisfies `settled() <= accepted`. Hammer it: one thread
+    /// does accept→settle pairs as fast as it can, the observer snapshots
+    /// continuously and asserts the invariant on every single one.
+    #[test]
+    fn snapshot_is_never_torn_under_hammering() {
+        let m = std::sync::Arc::new(Metrics::new(0));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let m = std::sync::Arc::clone(&m);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        m.on_accept(1);
+                        match (w + i) % 3 {
+                            0 => m.on_complete(10),
+                            1 => m.on_deadline_missed(),
+                            _ => m.on_failed(),
+                        }
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        let mut snapshots = 0u64;
+        while std::time::Instant::now() < deadline {
+            let s = m.snapshot(PlannerStats::default());
+            assert!(
+                s.settled() <= s.accepted,
+                "torn snapshot: settled {} > accepted {}",
+                s.settled(),
+                s.accepted
+            );
+            snapshots += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        assert!(snapshots > 100, "observer must actually have hammered");
+        // Quiescent: the identity is exact.
+        let s = m.snapshot(PlannerStats::default());
+        assert_eq!(s.settled(), s.accepted);
+    }
+
     #[test]
     fn json_has_the_stable_keys() {
         let s = ServeStats::default();
@@ -340,6 +449,8 @@ mod tests {
         for key in [
             "accepted",
             "rejected",
+            "throttled",
+            "cold_deferred",
             "completed",
             "deadline_missed",
             "failed",

@@ -1,20 +1,32 @@
-//! The request pipeline: a bounded submission queue with admission control
-//! in front of supervised dispatcher thread(s) that batch same-size
-//! requests through one cached plan and one runtime dispatch.
+//! The request pipeline: per-tenant admission in front of a bounded,
+//! deadline-ordered submission queue, drained by supervised dispatcher
+//! thread(s) that batch same-size requests through one cached plan and one
+//! runtime dispatch.
 //!
 //! ```text
-//!  clients ──submit──▶ [Bounded queue] ──pop──▶ dispatcher ──▶ Runtime
-//!              │            │                      │ ▲
-//!         Overloaded     capacity             group by size,   supervisor
-//!         when full      = backpressure       Planner::plan,   (respawn on
-//!                                             execute_batch     death)
+//!  clients ──submit──▶ governor ──▶ [EDF lanes] ──pop──▶ dispatcher ──▶ Runtime
+//!              │           │            │                   │ ▲
+//!         Overloaded   Throttled    capacity          group by size,  supervisor
+//!         when full    per tenant   = backpressure    cold-plan gate, (respawn on
+//!                                                     execute_batch    death)
 //! ```
 //!
 //! Design points, in the spirit of the paper's fine-grain execution model:
 //!
 //! * **Admission control, not buffering.** The queue is bounded; a full
 //!   queue rejects with [`ServeError::Overloaded`] instead of blocking the
-//!   client or growing latency without bound.
+//!   client or growing latency without bound. In front of the queue an
+//!   optional [`TenantGovernor`] polices per-tenant token buckets
+//!   ([`ServeError::Throttled`]), so one misbehaving tenant burns its own
+//!   budget rather than the shared capacity.
+//! * **Deadline-aware ordering.** The queue is an [`EdfQueue`]: two strict
+//!   priority lanes ([`Lane`]), earliest deadline first within a lane.
+//!   Cold plans dispatch under a slow-start [`ColdGate`] so one cache-miss
+//!   burst cannot stall warm traffic behind plan construction.
+//! * **Zero-copy payloads.** A [`Request`] carries a [`Payload`] — either
+//!   an owned `Vec` or a [`Lease`] from a [`crate::BufferPool`] — that is
+//!   transformed in place and handed back in the [`Response`] untouched:
+//!   no copies, and with a pool, no per-request allocation either.
 //! * **Batching amortizes scheduling.** Requests for the same transform
 //!   size drained together execute as one batched codelet program
 //!   ([`fgfft::Plan::execute_batch`]): one worker-scope spawn and one set of
@@ -35,12 +47,13 @@
 //!   leftovers inline — after any number of failures the accounting
 //!   identity `accepted == completed + deadline_missed + failed` holds.
 
+use crate::admission::{ColdGate, EdfQueue, Lane, QosConfig, TenantGovernor, TenantId};
+use crate::bufpool::Lease;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServeStats};
 use fgfft::exec::Version;
 use fgfft::planner::Planner;
 use fgfft::Complex64;
-use fgsupport::queue::Bounded;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -96,6 +109,10 @@ pub struct ServeConfig {
     pub trust_wisdom: bool,
     /// Fault injection for tests and chaos drills; defaults to a no-op.
     pub fault: crate::fault::FaultInjector,
+    /// Per-tenant QoS admission (token buckets in front of the queue).
+    /// `None` (the default) disables policing: tagged tenants are admitted
+    /// exactly like untagged traffic.
+    pub qos: Option<QosConfig>,
 }
 
 impl Default for ServeConfig {
@@ -115,33 +132,147 @@ impl Default for ServeConfig {
             wisdom_path: None,
             trust_wisdom: false,
             fault: crate::fault::FaultInjector::none(),
+            qos: None,
         }
     }
 }
 
-/// One transform request: a buffer to transform in place, with an optional
-/// dispatch deadline.
+/// A request/response buffer: an ordinary owned `Vec`, or a slab leased
+/// from a [`crate::BufferPool`]. Either way the data is transformed in
+/// place and the same allocation travels from [`Request`] through the
+/// dispatcher into the [`Response`] — the pooled variant additionally
+/// returns its slab to the pool when the response (or any intermediate
+/// owner, including a failed job's drop-guard) is dropped.
+#[derive(Debug)]
+pub enum Payload {
+    /// A plain heap allocation owned by the request.
+    Owned(Vec<Complex64>),
+    /// A pooled slab; goes home to its [`crate::BufferPool`] on drop.
+    Leased(Lease),
+}
+
+impl Payload {
+    /// Number of complex samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Owned(v) => v.len(),
+            Payload::Leased(l) => l.len(),
+        }
+    }
+
+    /// Whether the payload holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View the samples mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        match self {
+            Payload::Owned(v) => v.as_mut_slice(),
+            Payload::Leased(l) => &mut l[..],
+        }
+    }
+
+    /// Extract an owned `Vec`. Free for [`Payload::Owned`]; a leased slab
+    /// is detached from its pool (counted, not leaked — see
+    /// [`crate::bufpool::Lease::detach`]).
+    pub fn into_vec(self) -> Vec<Complex64> {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Leased(l) => l.detach(),
+        }
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [Complex64];
+    fn deref(&self) -> &[Complex64] {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Leased(l) => l,
+        }
+    }
+}
+
+impl std::ops::DerefMut for Payload {
+    fn deref_mut(&mut self) -> &mut [Complex64] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<Vec<Complex64>> for Payload {
+    fn from(v: Vec<Complex64>) -> Self {
+        Payload::Owned(v)
+    }
+}
+
+impl From<Lease> for Payload {
+    fn from(l: Lease) -> Self {
+        Payload::Leased(l)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Vec<Complex64>> for Payload {
+    fn eq(&self, other: &Vec<Complex64>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<[Complex64]> for Payload {
+    fn eq(&self, other: &[Complex64]) -> bool {
+        self[..] == *other
+    }
+}
+
+/// One transform request: a buffer to transform in place, with optional
+/// deadline, tenant tag, and priority lane.
 #[derive(Debug)]
 pub struct Request {
     /// The data; transformed in place and returned in the [`Response`].
-    pub buffer: Vec<Complex64>,
+    pub buffer: Payload,
     /// Expected transform size; must equal `buffer.len()` and be a power of
     /// two ≥ 2.
     pub n: usize,
-    /// If set and already passed when a dispatcher reaches the request's
-    /// same-size group, the request completes with
-    /// [`ServeError::DeadlineExceeded`] instead of being transformed.
+    /// If set and already passed when a dispatcher reaches the request —
+    /// at batch formation or at settlement after the transform ran — the
+    /// request completes with [`ServeError::DeadlineExceeded`].
     pub deadline: Option<Instant>,
+    /// Who is asking. `None` bypasses per-tenant QoS (single-user tools);
+    /// tagged requests drain their tenant's token bucket when
+    /// [`ServeConfig::qos`] is set.
+    pub tenant: Option<TenantId>,
+    /// Which priority lane the request rides; defaults to
+    /// [`Lane::Interactive`].
+    pub lane: Lane,
 }
 
 impl Request {
     /// Request transforming `buffer` (its length is the transform size).
     pub fn new(buffer: Vec<Complex64>) -> Self {
+        Self::from_payload(Payload::Owned(buffer))
+    }
+
+    /// Request transforming a pooled slab leased from a
+    /// [`crate::BufferPool`] — the zero-copy, zero-allocation path: the
+    /// same slab is transformed in place and returned in the [`Response`].
+    pub fn pooled(lease: Lease) -> Self {
+        Self::from_payload(Payload::Leased(lease))
+    }
+
+    fn from_payload(buffer: Payload) -> Self {
         let n = buffer.len();
         Self {
             buffer,
             n,
             deadline: None,
+            tenant: None,
+            lane: Lane::default(),
         }
     }
 
@@ -150,13 +281,25 @@ impl Request {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Tag the request with its tenant for QoS accounting.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// Choose the priority lane.
+    pub fn with_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
 }
 
 /// A completed transform.
 #[derive(Debug)]
 pub struct Response {
-    /// The transformed data.
-    pub buffer: Vec<Complex64>,
+    /// The transformed data — the same allocation the [`Request`] carried.
+    pub buffer: Payload,
 }
 
 /// Completion slot shared between the submitting client and a dispatcher.
@@ -226,6 +369,14 @@ impl Ticket {
                 }
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
+                    // Lost-wakeup guard: a completion racing this timeout
+                    // posts its result under the same lock we hold, so one
+                    // final take under the lock is authoritative — the
+                    // caller never gets a ticket back while its result is
+                    // already sitting in the slot.
+                    if let Some(result) = slot.take() {
+                        return Ok(result);
+                    }
                     break;
                 }
                 slot = match self.state.ready.wait_timeout(slot, remaining) {
@@ -261,9 +412,10 @@ impl Ticket {
 /// in [`Ticket::wait`] can never hang on an abandoned request.
 #[derive(Debug)]
 struct Job {
-    buffer: Vec<Complex64>,
+    buffer: Payload,
     n_log2: u32,
     deadline: Option<Instant>,
+    lane: Lane,
     submitted: Instant,
     ticket: Arc<TicketState>,
     metrics: Arc<Metrics>,
@@ -276,20 +428,22 @@ impl Job {
     fn succeed(mut self) {
         let latency_ns = self.submitted.elapsed().as_nanos() as u64;
         self.metrics.on_complete(latency_ns);
-        let buffer = std::mem::take(&mut self.buffer);
+        let buffer = std::mem::replace(&mut self.buffer, Payload::Owned(Vec::new()));
         self.settled = true;
         self.ticket.complete(Ok(Response { buffer }));
     }
 
     /// Complete the ticket with `error`, counting it under the matching
-    /// metric.
+    /// metric. The settlement counters use the release-ordered metric
+    /// helpers so a stats snapshot can never observe a settlement without
+    /// the admission that preceded it (`settled() <= accepted`, always).
     fn fail(&mut self, error: ServeError) {
         match &error {
             ServeError::DeadlineExceeded => {
-                self.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.on_deadline_missed();
             }
             ServeError::Internal { .. } => {
-                self.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.on_failed();
             }
             _ => {}
         }
@@ -318,9 +472,13 @@ impl Drop for Job {
 #[derive(Debug)]
 struct Shared {
     config: ServeConfig,
-    queue: Bounded<Job>,
+    queue: EdfQueue<Job>,
     metrics: Arc<Metrics>,
     planner: Arc<Planner>,
+    /// Per-tenant token buckets; `None` when QoS is not configured.
+    governor: Option<TenantGovernor>,
+    /// Slow-start window for dispatches whose plan is not yet cached.
+    cold_gate: ColdGate,
     /// Cleared by shutdown: no new admissions.
     accepting: AtomicBool,
     /// Set by shutdown after admissions stop: dispatchers may exit once the
@@ -377,9 +535,11 @@ impl FftService {
             .as_deref()
             .map(|path| planner.load_wisdom(path));
         let shared = Arc::new(Shared {
-            queue: Bounded::new(config.queue_capacity),
+            queue: EdfQueue::new(config.queue_capacity),
             metrics: Arc::new(Metrics::new(config.latency_samples)),
             planner,
+            governor: config.qos.clone().map(TenantGovernor::new),
+            cold_gate: ColdGate::new(config.max_batch.max(1)),
             accepting: AtomicBool::new(true),
             stop: AtomicBool::new(false),
             config,
@@ -406,7 +566,8 @@ impl FftService {
 
     /// Submit a request. Returns a [`Ticket`] on admission; fails fast with
     /// [`ServeError::Overloaded`] when the queue is full (admission
-    /// control), [`ServeError::ShuttingDown`] after shutdown began, or
+    /// control), [`ServeError::Throttled`] when the tenant's token bucket
+    /// is empty, [`ServeError::ShuttingDown`] after shutdown began, or
     /// [`ServeError::BadRequest`] for an invalid transform size.
     pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
         if !self.shared.accepting.load(Ordering::Acquire) {
@@ -424,17 +585,35 @@ impl FftService {
                 "length {n} is not a power of two ≥ 2"
             )));
         }
+        // QoS after validation: malformed requests are not charged to the
+        // tenant's bucket, throttled ones never touch the queue.
+        if let Some(governor) = &self.shared.governor {
+            if let Err(err) = governor.admit(request.tenant) {
+                self.shared
+                    .metrics
+                    .throttled
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(err);
+            }
+        }
+        let Request {
+            buffer,
+            deadline,
+            lane,
+            ..
+        } = request;
         let state = Arc::new(TicketState::default());
         let job = Job {
-            buffer: request.buffer,
+            buffer,
             n_log2: n.trailing_zeros(),
-            deadline: request.deadline,
+            deadline,
+            lane,
             submitted: Instant::now(),
             ticket: Arc::clone(&state),
             metrics: Arc::clone(&self.shared.metrics),
             settled: false,
         };
-        match self.shared.queue.try_push(job) {
+        match self.shared.queue.try_push(job, lane, deadline) {
             Ok(depth) => {
                 self.shared.metrics.on_accept(depth);
                 Ok(Ticket { state })
@@ -618,9 +797,12 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
         let mut group: Vec<Job> = batch.drain(..split).collect();
         // Deadline check at the moment *this group* is reached, not once
         // per drained batch: earlier groups may have consumed the budget.
+        // `<=` — a deadline of exactly now is already missed; `<` used to
+        // admit the boundary instant and transform a request whose budget
+        // was gone.
         let now = Instant::now();
         group.retain_mut(|job| {
-            let expired = job.deadline.is_some_and(|d| d < now);
+            let expired = job.deadline.is_some_and(|d| d <= now);
             if expired {
                 job.fail(ServeError::DeadlineExceeded);
             }
@@ -630,6 +812,30 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
             continue;
         }
         let n = 1usize << n_log2;
+        // Cold-plan slow start: a size whose plan is not cached yet serves
+        // at most the gate's window this dispatch; the excess goes back on
+        // the queue (already admitted, so the capacity bound does not
+        // apply, and it is not re-counted as accepted) and is served as
+        // soon as the plan is warm. Skipped during shutdown drain — there
+        // is no warm traffic left to protect, and deferring would spin.
+        let cold =
+            !shared
+                .planner
+                .is_warm(n, shared.config.version, shared.config.version.layout());
+        if cold && !shared.stop.load(Ordering::Acquire) {
+            let window = shared.cold_gate.window();
+            if group.len() > window {
+                let deferred = group.split_off(window);
+                shared
+                    .metrics
+                    .cold_deferred
+                    .fetch_add(deferred.len() as u64, Ordering::Relaxed);
+                for job in deferred {
+                    let (lane, deadline) = (job.lane, job.deadline);
+                    shared.queue.requeue(job, lane, deadline);
+                }
+            }
+        }
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             shared.config.fault.before_dispatch(n);
             let plan =
@@ -658,9 +864,22 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
         }));
         match outcome {
             Ok(_) => {
+                if cold {
+                    shared.cold_gate.on_cold_built();
+                }
                 shared.metrics.on_batch(group.len());
-                for job in group {
-                    job.succeed();
+                // Deadline re-check at settlement: the transform itself may
+                // have consumed the remaining budget. A request whose
+                // deadline passed while it executed is a miss, not a
+                // completion — the batch-formation check alone let these
+                // through uncounted.
+                let settled_at = Instant::now();
+                for mut job in group {
+                    if job.deadline.is_some_and(|d| d <= settled_at) {
+                        job.fail(ServeError::DeadlineExceeded);
+                    } else {
+                        job.succeed();
+                    }
                 }
             }
             Err(payload) => {

@@ -636,7 +636,7 @@ fn wisdom_tuned_service_is_bit_exact_vs_untuned() {
             .collect();
         let out = tickets
             .into_iter()
-            .map(|t| wait_bounded(t).expect("completed").buffer)
+            .map(|t| wait_bounded(t).expect("completed").buffer.into_vec())
             .collect();
         assert_drained(&service.shutdown());
         out
@@ -672,7 +672,7 @@ fn wisdom_tuned_service_is_bit_exact_vs_untuned() {
             .collect();
         let out = tickets
             .into_iter()
-            .map(|t| wait_bounded(t).expect("completed").buffer)
+            .map(|t| wait_bounded(t).expect("completed").buffer.into_vec())
             .collect();
         assert_drained(&tuned_service.shutdown());
         out
