@@ -13,7 +13,9 @@
 //! a fast subset. `--backend` (default `scalar,simd,threaded-simd`)
 //! selects the execution backends measured per size on the fine-guided
 //! seed schedule; the JSON reports each backend's median and the derived
-//! `simd_speedup` / `threaded_speedup` over scalar.
+//! `simd_speedup` / `threaded_speedup` over scalar. Each size also carries
+//! a `kinds` section: the packed r2c/c2r medians (with the r2c speedup
+//! over the promote-to-complex route) and the composite 2D plan.
 
 use fft_repro::Cli;
 use fgfft::exec::{SeedOrder, Version};
@@ -129,6 +131,48 @@ fn cluster_section(shards: usize, reps_per_size: usize) -> Value {
     ])
 }
 
+/// Per-kind wall time at one size: the packed real transforms against the
+/// promote-to-complex route they replace, and the composite 2D plan —
+/// every kind on its fine-guided seed schedule through the same
+/// measurement harness as the C2C rows.
+fn kind_section(n_log2: u32, reps: usize) -> Value {
+    let measure = |kind: fgfft::TransformKind| {
+        let space = TuningSpace::new(n_log2, 6).with_kind(kind);
+        measure_candidate(&space, &space.seed_candidate(Version::FineGuided), reps)
+    };
+    let promote_ns = measure(fgfft::TransformKind::C2C);
+    let r2c_ns = measure(fgfft::TransformKind::R2C);
+    let c2r_ns = measure(fgfft::TransformKind::C2R);
+    let (rows_log2, cols_log2) = (n_log2 / 2, n_log2 - n_log2 / 2);
+    let d2_ns = measure(fgfft::TransformKind::C2C2D {
+        rows_log2,
+        cols_log2,
+    });
+    let r2c_speedup = promote_ns as f64 / r2c_ns.max(1) as f64;
+    println!(
+        "{:>8}  {r2c_ns:>14}  r2c ({r2c_speedup:.2}x vs promote-to-complex {promote_ns} ns)",
+        1u64 << n_log2
+    );
+    println!("{:>8}  {c2r_ns:>14}  c2r", 1u64 << n_log2);
+    println!(
+        "{:>8}  {d2_ns:>14}  c2c2d:{}x{}",
+        1u64 << n_log2,
+        1u64 << rows_log2,
+        1u64 << cols_log2
+    );
+    Value::obj(vec![
+        ("promote_to_complex_ns", Value::Num(promote_ns as f64)),
+        ("r2c_ns", Value::Num(r2c_ns as f64)),
+        ("r2c_speedup", Value::Num(r2c_speedup)),
+        ("c2r_ns", Value::Num(c2r_ns as f64)),
+        (
+            "c2c2d",
+            Value::Str(format!("{}x{}", 1u64 << rows_log2, 1u64 << cols_log2)),
+        ),
+        ("c2c2d_ns", Value::Num(d2_ns as f64)),
+    ])
+}
+
 fn main() {
     let cli = Cli::parse();
     let sizes: Vec<u32> = if cli.full {
@@ -241,9 +285,13 @@ fn main() {
             outcome.report.best.candidate.describe()
         );
 
+        // The non-C2C kinds at the same size, same harness.
+        let kinds = kind_section(n_log2, reps);
+
         size_rows.push(Value::obj(vec![
             ("n_log2", Value::Num(n_log2 as f64)),
             ("versions", Value::Arr(version_rows)),
+            ("kinds", kinds),
             ("backends", Value::Arr(backend_rows)),
             ("simd_speedup", simd_speedup),
             ("threaded_speedup", threaded_speedup),

@@ -70,6 +70,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: Some((0..16).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         let cert = certify(&opts, Some(&tuning)).expect("valid schedule certifies");
         assert_ne!(cert.hb_witness, 0, "full certificates carry the witness");
@@ -90,6 +91,39 @@ mod tests {
             let key = PlanKey::new(1 << 9, version, version.layout());
             assert!(check_certificate(&cert, &Plan::build(key)).is_empty());
         }
+    }
+
+    #[test]
+    fn composite_kinds_certify_and_reverify() {
+        use fgfft::workload::TransformKind;
+        let kinds = [
+            TransformKind::R2C,
+            TransformKind::C2R,
+            TransformKind::C2C2D {
+                rows_log2: 4,
+                cols_log2: 5,
+            },
+        ];
+        let mut schedules = Vec::new();
+        for kind in kinds {
+            let mut opts = FftCheckOptions::new(9, Version::CoarseHash);
+            opts.kind = kind;
+            let cert = certify(&opts, None).unwrap_or_else(|d| panic!("{kind:?}: {d:?}"));
+            assert_ne!(cert.hb_witness, 0, "{kind:?} carries an HB witness");
+            let plan = Plan::build(opts.plan_key());
+            assert!(
+                check_certificate(&cert, &plan).is_empty(),
+                "{kind:?} certificate must re-verify against its own plan"
+            );
+            schedules.push(cert.schedule);
+        }
+        schedules.sort_unstable();
+        schedules.dedup();
+        assert_eq!(
+            schedules.len(),
+            kinds.len(),
+            "kinds have distinct identities"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use codelet::verify::{self, Diagnostic};
 use fgfft::cert::{self, Digest};
 use fgfft::graph::FftGraph;
 use fgfft::planner::PlanKey;
-use fgfft::workload::{self, ScheduleSpec, Workload};
+use fgfft::workload::{self, KindWorkload, ScheduleSpec, TransformKind, Workload};
 use fgfft::{FftPlan, Plan, SimVersion, TwiddleLayout};
 use fgsupport::json::Value;
 
@@ -34,6 +34,10 @@ pub struct FftCheckOptions {
     pub n_log2: u32,
     /// Codelet radix exponent (64-point codelets = 6, the paper's choice).
     pub radix_log2: u32,
+    /// Transform kind to check. `C2C` runs the classic single-wave passes;
+    /// real and 2D kinds check the composite barrier-phase schedule from
+    /// [`KindWorkload`] (pack/untangle/transpose stages included).
+    pub kind: TransformKind,
     /// Algorithm version whose schedule to check.
     pub version: SimVersion,
     /// Twiddle layout override; `None` uses the version's own layout.
@@ -52,6 +56,7 @@ impl FftCheckOptions {
         Self {
             n_log2,
             radix_log2: 6,
+            kind: TransformKind::C2C,
             version,
             layout: None,
             threshold: crate::bank::DEFAULT_THRESHOLD,
@@ -62,7 +67,13 @@ impl FftCheckOptions {
     /// The plan identity these options check.
     pub fn plan_key(&self) -> PlanKey {
         let layout = self.layout.unwrap_or_else(|| self.version.layout());
-        PlanKey::with_radix(1usize << self.n_log2, self.version, layout, self.radix_log2)
+        PlanKey::with_kind(
+            self.kind,
+            1usize << self.n_log2,
+            self.version,
+            layout,
+            self.radix_log2,
+        )
     }
 }
 
@@ -70,6 +81,8 @@ impl FftCheckOptions {
 pub struct FftCheckReport {
     /// Version legend name (paper Table I).
     pub version: &'static str,
+    /// Transform kind the schedule computes.
+    pub kind: TransformKind,
     /// Twiddle layout actually checked.
     pub layout: TwiddleLayout,
     /// Problem size exponent.
@@ -118,9 +131,10 @@ impl FftCheckReport {
     /// Human-readable multi-line report.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "fgcheck: {} / {} layout, N = 2^{} ({} codelets)\n",
+            "fgcheck: {} / {} layout, kind {}, N = 2^{} ({} codelets)\n",
             self.version,
             layout_name(self.layout),
+            self.kind.as_string(),
             self.n_log2,
             self.tasks
         );
@@ -196,6 +210,7 @@ impl FftCheckReport {
         );
         Value::obj(vec![
             ("version", Value::Str(self.version.to_string())),
+            ("kind", Value::Str(self.kind.as_string())),
             ("layout", Value::Str(layout_name(self.layout).to_string())),
             ("n_log2", Value::Num(self.n_log2 as f64)),
             ("tasks", Value::Num(self.tasks as f64)),
@@ -261,6 +276,9 @@ pub fn check_fft_tuned(
     opts: &FftCheckOptions,
     tuning: Option<&fgfft::workload::ScheduleTuning>,
 ) -> FftCheckReport {
+    if !opts.kind.is_c2c() {
+        return check_fft_kind(opts, tuning);
+    }
     let plan = FftPlan::new(opts.n_log2, opts.radix_log2);
     let layout = opts.layout.unwrap_or_else(|| opts.version.layout());
     let workload = Workload::new(plan, layout);
@@ -353,6 +371,82 @@ pub fn check_fft_tuned(
 
     FftCheckReport {
         version: opts.version.name(),
+        kind: opts.kind,
+        layout,
+        n_log2: opts.n_log2,
+        tasks: n_tasks,
+        contract,
+        races,
+        bank,
+        bank_lint,
+        tables,
+        tables_checked: opts.check_tables,
+        hb_witness,
+        schedule_digest,
+        table_digest,
+        bank_bound_milli,
+    }
+}
+
+/// The composite-kind leg of [`check_fft_tuned`]: real and 2D transforms
+/// run as barrier-phased [`KindWorkload`] schedules (inner complex waves
+/// plus pack/untangle/transpose stages), so pass 1 verifies the inner
+/// graph contract per wave, passes 2–3 run over the composite task list
+/// and its real byte footprints, and pass 4 additionally checks the
+/// untangle table and the recursive column plan.
+fn check_fft_kind(
+    opts: &FftCheckOptions,
+    tuning: Option<&fgfft::workload::ScheduleTuning>,
+) -> FftCheckReport {
+    let layout = opts.layout.unwrap_or_else(|| opts.version.layout());
+    let key = opts.plan_key(); // composite kinds clamp the radix here
+    let block = tuning
+        .and_then(|t| t.transpose_block_log2)
+        .unwrap_or(workload::DEFAULT_TRANSPOSE_BLOCK_LOG2);
+    let kw = KindWorkload::with_block(opts.kind, opts.n_log2, key.radix_log2, layout, block);
+    let n_tasks = kw.n_tasks();
+
+    // Pass 1: each complex wave inside the composite still honors the full
+    // graph contract (the row/packed wave, and the column wave for 2D).
+    let mut contract = verify::check_program(&FftGraph::new(*kw.inner().plan()));
+    if let Some(col) = kw.col_inner() {
+        contract.extend(verify::check_program(&FftGraph::new(*col.plan())));
+    }
+    let (hb, coverage) = HbOrder::build(n_tasks, &[Segment::Stages(kw.phases())]);
+    contract.extend(coverage);
+
+    let races = find_races(n_tasks, |t| kw.footprint(t), &hb);
+    let bank = BankPressure::collect(n_tasks, |t| kw.footprint(t), &hb, workload::interleave());
+    let bank_lint = bank.lint(opts.threshold);
+
+    let mut witness = Digest::new_tagged(0x4842_5749); // "HBWI"
+    witness.write_usize(n_tasks);
+    witness.write_usize(hb.num_levels());
+    for t in 0..n_tasks {
+        match hb.level(t) {
+            Some(l) => witness.write_u32(l),
+            None => witness.write_u64(u64::MAX),
+        }
+    }
+    let hb_witness = witness.finish();
+    let bank_bound_milli = (0..bank.hist.len())
+        .filter_map(|l| bank.imbalance(l))
+        .fold(0u64, |acc, r| acc.max((r * 1000.0).ceil() as u64));
+    let schedule_digest =
+        cert::schedule_digest(key, tuning).expect("tuning must fit the composite inner plan");
+
+    let (tables, table_digest) = if opts.check_tables {
+        let built = Plan::build_tuned(key, tuning);
+        let mut diags = tables::check_plan(&built);
+        diags.extend(tables::check_kind_extensions(&built));
+        (diags, cert::table_digest(&built))
+    } else {
+        (Vec::new(), 0)
+    };
+
+    FftCheckReport {
+        version: opts.version.name(),
+        kind: opts.kind,
         layout,
         n_log2: opts.n_log2,
         tasks: n_tasks,

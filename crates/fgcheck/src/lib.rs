@@ -23,7 +23,8 @@
 //!   per-stage gather/butterfly/twiddle tables — the second lowering the
 //!   `unsafe` hot path streams without bounds checks — verified for
 //!   bounds, per-stage disjointness, and byte-identity with the workload
-//!   authority. Codes FG401–FG407.
+//!   authority. Codes FG401–FG407, plus FG409 for composite-kind
+//!   extension tables (real untangle factors, the 2D column plan).
 //!
 //! [`certify()`] seals a clean four-pass run into a portable
 //! `fgfft::cert::Certificate` (FG408 on re-check failure) that `fgtune`
@@ -49,6 +50,7 @@ pub use fft::{check_fft, check_fft_tuned, layout_name, FftCheckOptions, FftCheck
 pub use hb::{HbOrder, Segment, CODE_COVERAGE};
 pub use race::{find_races, RaceReport, CODE_RACE};
 pub use tables::{
-    check_plan, check_plan_tables, CODE_BITREV_DRIFT, CODE_GATHER_BOUNDS, CODE_PAIR_BOUNDS,
-    CODE_STAGE_ALIASING, CODE_TABLE_DRIFT, CODE_TABLE_SHAPE, CODE_TWIDDLE_DRIFT,
+    check_kind_extensions, check_plan, check_plan_tables, CODE_BITREV_DRIFT, CODE_GATHER_BOUNDS,
+    CODE_KIND_DRIFT, CODE_PAIR_BOUNDS, CODE_STAGE_ALIASING, CODE_TABLE_DRIFT, CODE_TABLE_SHAPE,
+    CODE_TWIDDLE_DRIFT,
 };

@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] [--version V]
-//!         [--layout L] [--threshold T] [--format text|json]
+//!         [--kind K] [--layout L] [--threshold T] [--format text|json]
 //!         [--deny-warnings] [--no-tables] [--all] [--out FILE]
 //!
 //!   --version        coarse | coarse-hash | fine | fine-hash | fine-guided | all
+//!   --kind           c2c | r2c | c2r | c2c2d:<rows_log2>x<cols_log2>
+//!                    (default c2c; composite kinds check the barrier-phase
+//!                    KindWorkload schedule and the extension tables)
 //!   --layout         linear | bitrev-hash | mult-hash   (default: the version's)
 //!   --deny-warnings  promote warnings (FG301 bank imbalance) to failures
 //!   --no-tables      skip pass 4 (plan-table verification)
 //!   --all            full sweep: every version × every layout × the size
-//!                    ladder 2^8..2^14 (ignores --version/--layout/--n)
+//!                    ladder 2^8..2^14, plus an r2c and a square-ish 2D leg
+//!                    per size × layout (ignores --version/--layout/--n/--kind)
 //!   --out FILE       also write the JSON report array to FILE
 //! ```
 //!
@@ -20,13 +24,14 @@
 //! and do not fail the run unless `--deny-warnings` is given.
 
 use fgcheck::{check_fft, FftCheckOptions};
-use fgfft::{SeedOrder, SimVersion, TwiddleLayout};
+use fgfft::{SeedOrder, SimVersion, TransformKind, TwiddleLayout};
 use fgsupport::json::Value;
 use std::process::ExitCode;
 
 struct Cli {
     n_log2: u32,
     radix_log2: u32,
+    kind: TransformKind,
     versions: Vec<SimVersion>,
     layout: Option<TwiddleLayout>,
     threshold: f64,
@@ -57,6 +62,7 @@ const SWEEP_N_LOG2: [u32; 4] = [8, 10, 12, 14];
 
 const USAGE: &str = "usage: fgcheck [--n N | --n-log2 LOG2] [--radix-log2 P] \
                      [--version coarse|coarse-hash|fine|fine-hash|fine-guided|all] \
+                     [--kind c2c|r2c|c2r|c2c2d:<rows_log2>x<cols_log2>] \
                      [--layout linear|bitrev-hash|mult-hash] [--threshold T] \
                      [--format text|json] [--deny-warnings] [--no-tables] \
                      [--all] [--out FILE]";
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         n_log2: 15,
         radix_log2: 6,
+        kind: TransformKind::C2C,
         versions: ALL_VERSIONS.to_vec(),
         layout: None,
         threshold: fgcheck::DEFAULT_THRESHOLD,
@@ -91,8 +98,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.all = true;
                 continue;
             }
-            "--n" | "--n-log2" | "--radix-log2" | "--version" | "--layout" | "--threshold"
-            | "--format" | "--out" => {}
+            "--n" | "--n-log2" | "--radix-log2" | "--version" | "--kind" | "--layout"
+            | "--threshold" | "--format" | "--out" => {}
             _ => return Err(format!("unknown flag {flag}\n{USAGE}")),
         }
         let value = it
@@ -125,6 +132,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown version {other}\n{USAGE}")),
                 };
             }
+            "--kind" => {
+                cli.kind = TransformKind::parse(value)
+                    .ok_or_else(|| format!("unknown kind {value}\n{USAGE}"))?;
+            }
             "--layout" => {
                 cli.layout = Some(match value.as_str() {
                     "linear" => TwiddleLayout::Linear,
@@ -154,14 +165,25 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-/// The (n_log2, version, layout) combinations one invocation checks.
-fn combinations(cli: &Cli) -> Vec<(u32, SimVersion, Option<TwiddleLayout>)> {
+/// The (n_log2, kind, version, layout) combinations one invocation checks.
+fn combinations(cli: &Cli) -> Vec<(u32, TransformKind, SimVersion, Option<TwiddleLayout>)> {
     if cli.all {
         let mut out = Vec::new();
         for &n_log2 in &SWEEP_N_LOG2 {
             for &version in &ALL_VERSIONS {
                 for &layout in &ALL_LAYOUTS {
-                    out.push((n_log2, version, Some(layout)));
+                    out.push((n_log2, TransformKind::C2C, version, Some(layout)));
+                }
+            }
+            // Composite kinds run one barrier-phased schedule regardless of
+            // version, so one representative version per layout suffices.
+            let two_d = TransformKind::C2C2D {
+                rows_log2: n_log2 / 2,
+                cols_log2: n_log2 - n_log2 / 2,
+            };
+            for kind in [TransformKind::R2C, two_d] {
+                for &layout in &ALL_LAYOUTS {
+                    out.push((n_log2, kind, SimVersion::CoarseHash, Some(layout)));
                 }
             }
         }
@@ -169,7 +191,7 @@ fn combinations(cli: &Cli) -> Vec<(u32, SimVersion, Option<TwiddleLayout>)> {
     } else {
         cli.versions
             .iter()
-            .map(|&v| (cli.n_log2, v, cli.layout))
+            .map(|&v| (cli.n_log2, cli.kind, v, cli.layout))
             .collect()
     }
 }
@@ -188,10 +210,11 @@ fn main() -> ExitCode {
     let mut reports = Vec::new();
     let combos = combinations(&cli);
     let want_json = cli.json || cli.out.is_some();
-    for (n_log2, version, layout) in combos {
+    for (n_log2, kind, version, layout) in combos {
         let report = check_fft(&FftCheckOptions {
             n_log2,
             radix_log2: cli.radix_log2,
+            kind,
             version,
             layout,
             threshold: cli.threshold,

@@ -24,6 +24,7 @@
 //! | `FG405` | error    | twiddle run differs bitwise from the workload authority |
 //! | `FG406` | error    | gather/pairs differ from the workload authority       |
 //! | `FG407` | error    | bit-reversal swap list invalid or drifted             |
+//! | `FG409` | error    | composite-kind extension tables (untangle / column plan) drifted |
 //!
 //! All findings are errors: each one is a violated precondition of an
 //! `unsafe` block, not a style concern. To keep reports readable on badly
@@ -54,6 +55,9 @@ pub const CODE_TWIDDLE_DRIFT: &str = "FG405";
 pub const CODE_TABLE_DRIFT: &str = "FG406";
 /// Bit-reversal swap list invalid or drifted.
 pub const CODE_BITREV_DRIFT: &str = "FG407";
+/// Composite-kind extension tables (untangle / column plan) invalid or
+/// drifted from the workload authority.
+pub const CODE_KIND_DRIFT: &str = "FG409";
 
 fn error(code: &'static str, codelet: Option<usize>, message: String) -> Diagnostic {
     Diagnostic {
@@ -70,6 +74,49 @@ pub fn check_plan(plan: &Plan) -> Vec<Diagnostic> {
     let fft = plan.fft_plan();
     let stages: Vec<StageTableView<'_>> = (0..fft.stages()).map(|s| plan.stage_table(s)).collect();
     check_plan_tables(fft, plan.twiddles(), &stages, plan.bitrev_swaps())
+}
+
+/// Pass 4's composite-kind extension: verify a plan's untangle twiddle
+/// table bitwise against [`workload::untangle_table`] (real kinds) and run
+/// the full [`check_plan`] recursively over the column plan (2D). A no-op
+/// (empty vec) on plain C2C plans.
+pub fn check_kind_extensions(plan: &Plan) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some(table) = plan.untangle() {
+        let authority = workload::untangle_table(plan.key().n_log2);
+        if table.len() != authority.len() {
+            out.push(error(
+                CODE_KIND_DRIFT,
+                None,
+                format!(
+                    "untangle table holds {} factors, authority requires {}",
+                    table.len(),
+                    authority.len()
+                ),
+            ));
+        } else if let Some(k) = (0..table.len()).find(|&k| {
+            table[k].re.to_bits() != authority[k].re.to_bits()
+                || table[k].im.to_bits() != authority[k].im.to_bits()
+        }) {
+            out.push(error(
+                CODE_KIND_DRIFT,
+                None,
+                format!(
+                    "untangle factor {k} differs bitwise from the workload \
+                     authority: plan {:?}, authority {:?}",
+                    table[k], authority[k]
+                ),
+            ));
+        }
+    }
+    if let Some(col) = plan.col_plan() {
+        for mut d in check_plan(col) {
+            d.message = format!("column plan: {}", d.message);
+            out.push(d);
+        }
+        out.extend(check_kind_extensions(col));
+    }
+    out
 }
 
 /// Slice-level core of [`check_plan`]: verify `stages` and `swaps` as if

@@ -40,6 +40,7 @@ fn main() {
         let tuning = ScheduleTuning {
             pool_order: Some((0..1usize << (n_log2 - 6)).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         let cert =
             Certificate::for_plan(&Plan::build_tuned(key, Some(&tuning))).expect("valid tuning");

@@ -85,6 +85,27 @@ impl Fft {
         &self.planner
     }
 
+    /// Resolve the plan for `kind` at logical size `n` against this
+    /// engine's planner — the veneer hook `rfft`/`fft2d` route through.
+    pub(crate) fn plan_kind(
+        &self,
+        kind: crate::workload::TransformKind,
+        n: usize,
+    ) -> std::sync::Arc<crate::planner::Plan> {
+        self.planner.plan_key(PlanKey::with_kind(
+            kind,
+            n,
+            self.version,
+            self.version.layout(),
+            self.config.radix_log2,
+        ))
+    }
+
+    /// A runtime sized to this engine's worker count.
+    pub(crate) fn runtime(&self) -> Runtime {
+        Runtime::with_workers(self.config.workers)
+    }
+
     /// In-place forward transform. Length must be a power of two ≥ 2.
     pub fn forward(&self, data: &mut [Complex64]) -> ExecStats {
         let key = PlanKey::with_radix(

@@ -174,7 +174,16 @@ impl PreparedPlan {
             ExecMode::Scalar => self.plan.execute(data, runtime),
             ExecMode::Kernel(k) => self.plan.execute_with(&**k, data, runtime),
             ExecMode::Threaded(k) => {
-                threaded::execute_batch_threaded(&self.plan, &**k, &mut [data], runtime)
+                if self.plan.kind().is_c2c() {
+                    threaded::execute_batch_threaded(&self.plan, &**k, &mut [data], runtime)
+                } else {
+                    // Composite kinds (real, 2-D) orchestrate their
+                    // pack/untangle/transpose stages inside `Plan`; the
+                    // threaded wave driver only understands the flat C2C
+                    // stage schedule, so run the composite through the plan
+                    // with this backend's kernel — same bits, same tables.
+                    self.plan.execute_with(&**k, data, runtime)
+                }
             }
         }
     }
@@ -186,7 +195,13 @@ impl PreparedPlan {
             ExecMode::Scalar => self.plan.execute_batch(buffers, runtime),
             ExecMode::Kernel(k) => self.plan.execute_batch_with(&**k, buffers, runtime),
             ExecMode::Threaded(k) => {
-                threaded::execute_batch_threaded(&self.plan, &**k, buffers, runtime)
+                if self.plan.kind().is_c2c() {
+                    threaded::execute_batch_threaded(&self.plan, &**k, buffers, runtime)
+                } else {
+                    // See `execute`: composite kinds run through the plan's
+                    // own orchestration with this backend's kernel.
+                    self.plan.execute_batch_with(&**k, buffers, runtime)
+                }
             }
         }
     }

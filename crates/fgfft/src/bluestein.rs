@@ -7,6 +7,11 @@
 //! evaluated with three power-of-two FFTs of length ≥ 2N−1. This closes
 //! the library's only size restriction: every other entry point needs a
 //! power of two.
+//!
+//! All three inner FFTs resolve through the engine's plan cache
+//! ([`crate::Planner::shared`] by default), so they share one cached plan
+//! per chirp length: the first arbitrary-length call of a size pays one
+//! plan derivation, replays pay none.
 
 use crate::api::Fft;
 use crate::complex::Complex64;
@@ -164,6 +169,25 @@ mod tests {
         let y = dft(&x);
         let back = idft(&y);
         assert!(rms_error(&back, &x) < 1e-9);
+    }
+
+    #[test]
+    fn inner_convolution_ffts_share_one_cached_plan() {
+        // n = 241 chirps up to m = 512: the a-FFT, b-FFT, and the inverse
+        // all hit the same (512, version, layout) plan-cache entry.
+        let planner = std::sync::Arc::new(crate::planner::Planner::new());
+        let engine = Fft::new().with_planner(std::sync::Arc::clone(&planner));
+        let x = signal(241);
+        let first = dft_with(&x, &engine);
+        assert_eq!(
+            planner.stats().built,
+            1,
+            "three inner FFTs share one 512-point plan"
+        );
+        for _ in 0..3 {
+            assert_eq!(dft_with(&x, &engine), first, "replays are bit-identical");
+        }
+        assert_eq!(planner.stats().built, 1, "replays build nothing");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use crate::plan::FftPlan;
 use crate::planner::{Plan, PlanKey};
 use crate::twiddle::TwiddleLayout;
-use crate::workload::ScheduleTuning;
+use crate::workload::{ScheduleTuning, TransformKind};
 use fgsupport::json::Value;
 
 /// Revision of the codelet decomposition authority ([`crate::workload`]).
@@ -45,7 +45,11 @@ use fgsupport::json::Value;
 /// gather layout, a different twiddle-run order, a changed seed derivation —
 /// so certificates issued against the old lowering are rejected as foreign
 /// instead of vouching for tables they never saw.
-pub const WORKLOAD_REVISION: u64 = 1;
+///
+/// Revision 2: transform kinds (R2C / C2R / 2-D) became part of the plan
+/// identity — the schedule digest streams the kind and the transpose block
+/// size, and the table digest covers the column plan and untangle table.
+pub const WORKLOAD_REVISION: u64 = 2;
 
 /// Multi-lane FNV-style digest (keyless, dependency-free).
 ///
@@ -333,7 +337,10 @@ impl std::fmt::Display for CertError {
 /// pin the inputs a wisdom file can actually vary. `O(pool)`, no plan
 /// build, no graph materialization.
 pub fn schedule_digest(key: PlanKey, tuning: Option<&ScheduleTuning>) -> Result<u64, CertError> {
-    let fft = FftPlan::new(key.n_log2, key.radix_log2);
+    // Composite kinds lower to an inner complex FFT of the kind's inner
+    // size; the tuning-controlled pool/split apply to that inner plan.
+    let inner_log2 = key.kind.inner_n_log2(key.n_log2);
+    let fft = FftPlan::new(inner_log2, key.radix_log2.min(inner_log2));
     if let Some(t) = tuning {
         t.validate(&fft).map_err(CertError::InvalidTuning)?;
     }
@@ -342,6 +349,14 @@ pub fn schedule_digest(key: PlanKey, tuning: Option<&ScheduleTuning>) -> Result<
     d.write_u32(key.radix_log2);
     write_version(&mut d, key.version);
     d.write_u64(layout_tag(key.layout));
+    write_kind(&mut d, key.kind);
+    match tuning.and_then(|t| t.transpose_block_log2) {
+        Some(block) => {
+            d.write_u64(1);
+            d.write_u32(block);
+        }
+        None => d.write_u64(0),
+    }
     d.write_usize(fft.stages());
     d.write_usize(fft.codelets_per_stage());
     match tuning.and_then(|t| t.pool_order.as_ref()) {
@@ -412,6 +427,31 @@ pub fn table_digest(plan: &Plan) -> u64 {
     } else {
         d.write_pair_slice(plan.bitrev_swaps());
     }
+    // Kind extensions: the untangle twiddle table of a real plan is hot-path
+    // data exactly like the main twiddle table, so it is covered bitwise;
+    // a 2-D plan folds in its column plan's full table digest recursively.
+    match plan.untangle() {
+        Some(table) => {
+            d.write_u64(1);
+            d.write_usize(table.len());
+            d.write_complex_slice(table);
+        }
+        None => d.write_u64(0),
+    }
+    match plan.transpose_block_log2() {
+        Some(block) => {
+            d.write_u64(1);
+            d.write_u32(block);
+        }
+        None => d.write_u64(0),
+    }
+    match plan.col_plan() {
+        Some(col) => {
+            d.write_u64(1);
+            d.write_u64(table_digest(col));
+        }
+        None => d.write_u64(0),
+    }
     d.finish()
 }
 
@@ -439,6 +479,22 @@ fn write_version(d: &mut Digest, version: crate::exec::Version) {
     d.write_u64(tag);
     d.write_u64(a);
     d.write_u64(b);
+}
+
+fn write_kind(d: &mut Digest, kind: TransformKind) {
+    match kind {
+        TransformKind::C2C => d.write_u64(0),
+        TransformKind::R2C => d.write_u64(1),
+        TransformKind::C2R => d.write_u64(2),
+        TransformKind::C2C2D {
+            rows_log2,
+            cols_log2,
+        } => {
+            d.write_u64(3);
+            d.write_u32(rows_log2);
+            d.write_u32(cols_log2);
+        }
+    }
 }
 
 fn layout_tag(layout: TwiddleLayout) -> u64 {
@@ -605,6 +661,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: Some((0..16).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         Plan::build_tuned(key, Some(&tuning))
     }
@@ -728,10 +785,86 @@ mod tests {
         let tuned = ScheduleTuning {
             pool_order: Some((0..8).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         assert_ne!(
             schedule_digest(key, None).unwrap(),
             schedule_digest(key, Some(&tuned)).unwrap()
+        );
+    }
+
+    #[test]
+    fn kind_plans_carry_distinct_verifiable_certificates() {
+        let n = 1 << 8;
+        let keys = [
+            PlanKey::with_kind(
+                TransformKind::R2C,
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            ),
+            PlanKey::with_kind(
+                TransformKind::C2R,
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            ),
+            PlanKey::with_kind(
+                TransformKind::C2C2D {
+                    rows_log2: 4,
+                    cols_log2: 4,
+                },
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            ),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            let plan = Plan::build(key);
+            let cert = Certificate::for_plan(&plan).unwrap();
+            cert.verify_plan(&plan).unwrap();
+            // R2C and C2R build byte-identical tables (same inner plan and
+            // untangle values) — the *schedule* digest is what separates
+            // kinds, so that is what must be collision-free.
+            assert!(
+                seen.insert(cert.schedule),
+                "{:?} schedule digest collides",
+                key.kind
+            );
+        }
+        let c2c = Plan::build(PlanKey::new(n, Version::FineGuided, TwiddleLayout::Linear));
+        let base = Certificate::for_plan(&c2c).unwrap();
+        assert!(
+            seen.insert(base.schedule),
+            "C2C digest must differ from every composite kind"
+        );
+    }
+
+    #[test]
+    fn transpose_block_tuning_changes_schedule_digest() {
+        let key = PlanKey::with_kind(
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 5,
+            },
+            1 << 10,
+            Version::FineGuided,
+            TwiddleLayout::Linear,
+            6,
+        );
+        let tuned = ScheduleTuning {
+            pool_order: None,
+            last_early: None,
+            transpose_block_log2: Some(3),
+        };
+        assert_ne!(
+            schedule_digest(key, None).unwrap(),
+            schedule_digest(key, Some(&tuned)).unwrap(),
+            "transpose block size is a certified degree of freedom"
         );
     }
 
@@ -741,6 +874,7 @@ mod tests {
         let bad = ScheduleTuning {
             pool_order: Some(vec![0, 1, 2]), // wrong length for cps = 16
             last_early: None,
+            transpose_block_log2: None,
         };
         assert!(matches!(
             schedule_digest(key, Some(&bad)),

@@ -1,43 +1,18 @@
-//! 2-D FFT by row–column decomposition, parallelized through the codelet
-//! runtime — the second workload of Chen et al.'s Cyclops-64 FFT study
-//! (the paper's Sec. III-B background), and the shape used by the image-
-//! filtering example.
+//! 2-D FFT by row–column decomposition — a thin veneer over the plan
+//! pipeline: the transform is a [`TransformKind::C2C2D`] plan resolved
+//! through the engine's [`crate::planner::Planner`], so the row wave, the
+//! blocked transpose, and the column wave all run on certified stage
+//! tables, are visible to `fgcheck`'s passes and the bank linter through
+//! `fgfft::workload`, and share the process-wide plan cache.
 //!
-//! Layout: row-major `rows × cols`, both powers of two. The transform runs
-//! one 1-D FFT per row (each row is one codelet), transposes, runs one FFT
-//! per former column, and transposes back — cache-friendly unit-stride
-//! inner loops in every phase.
+//! Layout: row-major `rows × cols`, both powers of two. The plan runs one
+//! batched 1-D FFT wave over the rows, transposes in `block × block` tiles,
+//! runs the column wave, and transposes back.
 
-use crate::bitrev::bit_reverse_permute;
+use crate::api::Fft;
 use crate::complex::Complex64;
-use crate::twiddle::{TwiddleLayout, TwiddleTable};
-use codelet::graph::ExplicitGraph;
-use codelet::runtime::{Runtime, RuntimeConfig};
+use crate::workload::TransformKind;
 use std::f64::consts::PI;
-
-/// Serial in-place radix-2 FFT over one contiguous row, using a
-/// precomputed table (shared across rows).
-pub fn fft_row(data: &mut [Complex64], table: &TwiddleTable) {
-    let n = data.len();
-    debug_assert_eq!(n, 1usize << table.n_log2());
-    bit_reverse_permute(data);
-    let log_n = table.n_log2();
-    for l in 0..log_n {
-        let span = 1usize << l;
-        let stride = 1usize << (log_n - l - 1);
-        for base in (0..n).step_by(span * 2) {
-            for j in 0..span {
-                let w = table.get(j * stride);
-                let lo = base + j;
-                let hi = lo + span;
-                let t = w * data[hi];
-                let u = data[lo];
-                data[lo] = u + t;
-                data[hi] = u - t;
-            }
-        }
-    }
-}
 
 /// A 2-D FFT engine for a fixed shape.
 ///
@@ -53,9 +28,7 @@ pub fn fft_row(data: &mut [Complex64], table: &TwiddleTable) {
 pub struct Fft2d {
     rows: usize,
     cols: usize,
-    row_table: TwiddleTable,
-    col_table: TwiddleTable,
-    runtime: Runtime,
+    engine: Fft,
 }
 
 impl Fft2d {
@@ -77,12 +50,18 @@ impl Fft2d {
             rows >= 2 && cols >= 2 && rows.is_power_of_two() && cols.is_power_of_two(),
             "rows and cols must be powers of two >= 2"
         );
-        Self {
-            rows,
-            cols,
-            row_table: TwiddleTable::new(cols.trailing_zeros(), TwiddleLayout::Linear),
-            col_table: TwiddleTable::new(rows.trailing_zeros(), TwiddleLayout::Linear),
-            runtime: Runtime::new(RuntimeConfig::with_workers(workers)),
+        let engine = Fft::new().with_workers(workers);
+        let this = Self { rows, cols, engine };
+        // Resolve (and thereby cache) the plan eagerly: construction is the
+        // planning step, exactly as before the veneer refactor.
+        this.engine.plan_kind(this.kind(), rows * cols);
+        this
+    }
+
+    fn kind(&self) -> TransformKind {
+        TransformKind::C2C2D {
+            rows_log2: self.rows.trailing_zeros(),
+            cols_log2: self.cols.trailing_zeros(),
         }
     }
 
@@ -95,13 +74,8 @@ impl Fft2d {
     /// (`data.len() == rows·cols`).
     pub fn forward(&self, data: &mut [Complex64]) {
         assert_eq!(data.len(), self.rows * self.cols, "shape mismatch");
-        // Row pass.
-        self.parallel_rows(data, self.rows, self.cols, &self.row_table);
-        // Column pass via transpose.
-        let mut t = vec![Complex64::ZERO; data.len()];
-        transpose(data, &mut t, self.rows, self.cols);
-        self.parallel_rows(&mut t, self.cols, self.rows, &self.col_table);
-        transpose(&t, data, self.cols, self.rows);
+        let plan = self.engine.plan_kind(self.kind(), data.len());
+        plan.execute(data, &self.engine.runtime());
     }
 
     /// In-place inverse 2-D transform (normalized by `1/(rows·cols)`).
@@ -114,33 +88,6 @@ impl Fft2d {
         for v in data.iter_mut() {
             *v = v.conj().scale(scale);
         }
-    }
-
-    /// Transform `height` rows of `width` in parallel: one codelet per row.
-    fn parallel_rows(
-        &self,
-        data: &mut [Complex64],
-        height: usize,
-        width: usize,
-        table: &TwiddleTable,
-    ) {
-        // Rows are disjoint `&mut` chunks; hand each codelet its own slice
-        // through a raw base pointer (same discipline as exec::shared).
-        struct RowView(*mut Complex64, usize);
-        unsafe impl Sync for RowView {}
-        let view = RowView(data.as_mut_ptr(), width);
-        // Capture the whole view by reference (2021 disjoint capture would
-        // otherwise capture the raw pointer field, which is not Sync).
-        let view = &view;
-        let graph = ExplicitGraph::new(height);
-        self.runtime
-            .run(&graph, codelet::pool::PoolDiscipline::WorkSteal, |row| {
-                // SAFETY: codelet `row` is the only accessor of
-                // rows[row*width .. (row+1)*width]; rows partition `data`.
-                let slice =
-                    unsafe { std::slice::from_raw_parts_mut(view.0.add(row * view.1), view.1) };
-                fft_row(slice, table);
-            });
     }
 }
 
@@ -185,6 +132,7 @@ pub fn naive_dft2d(input: &[Complex64], rows: usize, cols: usize) -> Vec<Complex
 mod tests {
     use super::*;
     use crate::complex::rms_error;
+    use crate::reference::recursive_fft;
 
     fn image(rows: usize, cols: usize) -> Vec<Complex64> {
         (0..rows * cols)
@@ -232,18 +180,17 @@ mod tests {
     fn separability_matches_1d_rows_then_cols() {
         let (r, c) = (8, 16);
         let x = image(r, c);
-        // Manual: FFT each row, then each column, serially.
-        let row_t = TwiddleTable::new(4, TwiddleLayout::Linear);
-        let col_t = TwiddleTable::new(3, TwiddleLayout::Linear);
+        // Reference: 1-D FFT each row, then each column, serially.
         let mut manual = x.clone();
-        for row in manual.chunks_mut(c) {
-            fft_row(row, &row_t);
+        for row in manual.chunks_exact_mut(c) {
+            let out = recursive_fft(row);
+            row.copy_from_slice(&out);
         }
         for col in 0..c {
-            let mut column: Vec<Complex64> = (0..r).map(|i| manual[i * c + col]).collect();
-            fft_row(&mut column, &col_t);
-            for i in 0..r {
-                manual[i * c + col] = column[i];
+            let column: Vec<Complex64> = (0..r).map(|i| manual[i * c + col]).collect();
+            let out = recursive_fft(&column);
+            for (i, v) in out.into_iter().enumerate() {
+                manual[i * c + col] = v;
             }
         }
         let mut got = x;
@@ -273,6 +220,23 @@ mod tests {
             Fft2d::with_workers(r, c, workers).forward(&mut b);
             assert_eq!(a, b, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn shares_the_process_wide_plan_cache() {
+        let (r, c) = (4, 8);
+        let warm = crate::planner::Planner::shared().stats().built;
+        let mut x = image(r, c);
+        Fft2d::with_workers(r, c, 1).forward(&mut x);
+        let built = crate::planner::Planner::shared().stats().built;
+        let mut y = image(r, c);
+        Fft2d::with_workers(r, c, 1).forward(&mut y);
+        assert_eq!(
+            crate::planner::Planner::shared().stats().built,
+            built,
+            "second engine reuses the cached 2D plan"
+        );
+        let _ = warm;
     }
 
     #[test]

@@ -100,11 +100,14 @@ pub use plan::FftPlan;
 pub use planner::{Plan, PlanKey, Planner, PlannerStats};
 pub use rfft::{irfft, rfft};
 pub use simwork::{
-    run_sim, run_sim_fine, run_sim_guided, run_sim_spec, FftWorkload, GuidedOptions, Residence,
-    SimVersion,
+    run_sim, run_sim_fine, run_sim_guided, run_sim_kind, run_sim_spec, FftWorkload, GuidedOptions,
+    KindSim, Residence, SimVersion,
 };
 pub use stft::{spectrogram, stft, Spectrogram, StftConfig};
 pub use twiddle::{TwiddleLayout, TwiddleTable};
 pub use window::Window;
 pub use wisdom::{machine_fingerprint, Wisdom, WisdomEntry, WisdomStatus};
-pub use workload::{CodeletDesc, ScheduleSpec, ScheduleTuning, Workload};
+pub use workload::{
+    untangle_table, CodeletDesc, KindTaskClass, KindWorkload, ScheduleSpec, ScheduleTuning,
+    TransformKind, Workload, DEFAULT_TRANSPOSE_BLOCK_LOG2,
+};

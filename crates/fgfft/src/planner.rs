@@ -33,7 +33,10 @@ use crate::exec::{ExecStats, Version};
 use crate::plan::{FftPlan, MAX_RADIX_LOG2};
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
 use crate::wisdom::{Wisdom, WisdomEntry, WisdomStatus};
-use crate::workload::{self, ScheduleSpec, ScheduleTuning};
+use crate::workload::{
+    self, ScheduleSpec, ScheduleTuning, TransformKind, DEFAULT_TRANSPOSE_BLOCK_LOG2,
+    SCRATCHPAD_RADIX_LOG2,
+};
 use codelet::graph::{BatchProgram, CodeletId, CsrProgram};
 use codelet::pool::PoolDiscipline;
 use codelet::runtime::Runtime;
@@ -48,7 +51,7 @@ use std::time::Instant;
 /// the same [`Plan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// Transform size exponent (`N = 2^n_log2`).
+    /// Transform size exponent (`N = 2^n_log2`; `rows · cols` for 2D).
     pub n_log2: u32,
     /// Codelet radix exponent, clamped to the transform size.
     pub radix_log2: u32,
@@ -56,6 +59,8 @@ pub struct PlanKey {
     pub version: Version,
     /// Twiddle-table memory layout.
     pub layout: TwiddleLayout,
+    /// What is being transformed (complex 1D, real, 2D).
+    pub kind: TransformKind,
 }
 
 impl PlanKey {
@@ -83,12 +88,46 @@ impl PlanKey {
             radix_log2: radix_log2.min(n_log2),
             version,
             layout,
+            kind: TransformKind::C2C,
         }
     }
 
-    /// Transform size `N`.
+    /// Key for a non-C2C transform kind of logical size `n` (`2^rows_log2 ·
+    /// 2^cols_log2` for 2D, the real length for r2c/c2r). Panics when the
+    /// kind does not fit the size (see [`TransformKind::validate`]).
+    /// Composite kinds clamp the radix to the scratchpad and the inner FFT
+    /// size, so equivalent configurations share one cache entry.
+    pub fn with_kind(
+        kind: TransformKind,
+        n: usize,
+        version: Version,
+        layout: TwiddleLayout,
+        radix_log2: u32,
+    ) -> Self {
+        let mut key = Self::with_radix(n, version, layout, radix_log2);
+        if let Err(why) = kind.validate(key.n_log2) {
+            panic!("invalid transform kind: {why}");
+        }
+        if !kind.is_c2c() {
+            key.radix_log2 = key
+                .radix_log2
+                .min(SCRATCHPAD_RADIX_LOG2)
+                .min(kind.inner_n_log2(key.n_log2));
+        }
+        key.kind = kind;
+        key
+    }
+
+    /// Transform size `N` (logical: the real length for real kinds,
+    /// `rows · cols` for 2D).
     pub fn n(&self) -> usize {
         1 << self.n_log2
+    }
+
+    /// Complex slots of the execution buffer: `N` for C2C/2D, `N/2` packed
+    /// slots for the real kinds.
+    pub fn buffer_len(&self) -> usize {
+        self.kind.buffer_len(self.n_log2)
     }
 }
 
@@ -187,12 +226,40 @@ pub struct TouchRecord {
     pub twiddles: Vec<Complex64>,
 }
 
+/// The kind-specific extension of a composite plan: everything a non-C2C
+/// transform needs beyond its inner complex FFT. `None` on 1D complex
+/// plans, so the historical hot path pays nothing.
+#[derive(Debug)]
+enum KindExt {
+    /// r2c/c2r: the precomputed untangle factors `e^{-2πik/N}` for
+    /// `k = 0..=N/4` (satellite: derived once at build, reused across every
+    /// call and batch member), and the direction.
+    Real {
+        untangle: Vec<Complex64>,
+        inverse: bool,
+    },
+    /// 2D row–column: the plane shape, the transpose tile edge, and the
+    /// column-wave plan (the outer plan's own tables drive the row wave).
+    TwoD {
+        rows_log2: u32,
+        cols_log2: u32,
+        block_log2: u32,
+        col_plan: Box<Plan>,
+    },
+}
+
 /// A fully precomputed, immutable, shareable FFT execution plan.
 ///
 /// Construction ([`Plan::build`]) does all per-size derivation work;
 /// [`Plan::execute`] only moves data. Plans are `Sync` and meant to live in
 /// an `Arc` inside a [`Planner`] cache, shared by every thread transforming
 /// that size.
+///
+/// A plan's [`TransformKind`] decides what the buffer holds and how the
+/// inner complex FFT is wrapped: real kinds run the packed half-size FFT
+/// plus an untangle/tangle pass, 2D runs a row wave, a blocked transpose, a
+/// column wave, and a transpose back — all through the same certified
+/// tables.
 #[derive(Debug)]
 pub struct Plan {
     key: PlanKey,
@@ -202,6 +269,7 @@ pub struct Plan {
     bitrev_swaps: Vec<(u32, u32)>,
     schedule: Schedule,
     tables: Vec<StageTable>,
+    ext: Option<Box<KindExt>>,
 }
 
 impl Plan {
@@ -217,9 +285,44 @@ impl Plan {
     /// changes the arithmetic, so a tuned plan's results are bit-identical
     /// to the untuned plan's.
     pub fn build_tuned(key: PlanKey, tuning: Option<&ScheduleTuning>) -> Self {
-        let fft = FftPlan::new(key.n_log2, key.radix_log2);
-        let twiddles = TwiddleTable::new(key.n_log2, key.layout);
-        let bitrev_swaps = bit_reverse_swaps(key.n());
+        // The primary inner complex FFT: the whole transform for C2C, the
+        // packed half for real kinds, the row transform for 2D.
+        let inner_log2 = key.kind.inner_n_log2(key.n_log2);
+        let fft = FftPlan::new(inner_log2, key.radix_log2.min(inner_log2));
+        let twiddles = TwiddleTable::new(inner_log2, key.layout);
+        let bitrev_swaps = bit_reverse_swaps(1usize << inner_log2);
+        let ext = match key.kind {
+            TransformKind::C2C => None,
+            TransformKind::R2C | TransformKind::C2R => Some(Box::new(KindExt::Real {
+                untangle: workload::untangle_table(key.n_log2),
+                inverse: key.kind == TransformKind::C2R,
+            })),
+            TransformKind::C2C2D {
+                rows_log2,
+                cols_log2,
+            } => {
+                let block_log2 = tuning
+                    .and_then(|t| t.transpose_block_log2)
+                    .unwrap_or(DEFAULT_TRANSPOSE_BLOCK_LOG2)
+                    .min(rows_log2)
+                    .min(cols_log2);
+                // The column wave runs on the seed schedule of its own size;
+                // the outer tuning's pool order is shaped for the row plan.
+                let col_key = PlanKey {
+                    n_log2: rows_log2,
+                    radix_log2: key.radix_log2.min(rows_log2),
+                    version: key.version,
+                    layout: key.layout,
+                    kind: TransformKind::C2C,
+                };
+                Some(Box::new(KindExt::TwoD {
+                    rows_log2,
+                    cols_log2,
+                    block_log2,
+                    col_plan: Box::new(Plan::build(col_key)),
+                }))
+            }
+        };
         // Materialize the workload layer's schedule spec — the same spec the
         // simulator runs and `fgcheck` verifies — into flat CSR arrays.
         let schedule = match ScheduleSpec::of_tuned(fft, key.version, tuning) {
@@ -253,6 +356,7 @@ impl Plan {
             bitrev_swaps,
             schedule,
             tables,
+            ext,
         }
     }
 
@@ -310,12 +414,53 @@ impl Plan {
         self.tuning.as_ref()
     }
 
-    /// Transform size `N`.
+    /// Logical transform size `N` (the real length for real kinds,
+    /// `rows · cols` for 2D). The execution buffer holds
+    /// [`Plan::buffer_len`] complex slots.
     pub fn n(&self) -> usize {
         self.key.n()
     }
 
-    /// The stage/codelet index algebra.
+    /// The transform kind this plan lowers.
+    pub fn kind(&self) -> TransformKind {
+        self.key.kind
+    }
+
+    /// Complex slots [`Plan::execute`] expects: `N` for C2C/2D, `N/2`
+    /// packed slots for the real kinds.
+    pub fn buffer_len(&self) -> usize {
+        self.key.buffer_len()
+    }
+
+    /// The column-wave plan of a 2D transform (`None` for 1D kinds). The
+    /// plan's own tables drive the row wave.
+    pub fn col_plan(&self) -> Option<&Plan> {
+        match self.ext.as_deref() {
+            Some(KindExt::TwoD { col_plan, .. }) => Some(col_plan),
+            _ => None,
+        }
+    }
+
+    /// The precomputed untangle factors of a real-kind plan
+    /// (`e^{-2πik/N}` for `k = 0..=N/4`; `None` for complex kinds).
+    pub fn untangle(&self) -> Option<&[Complex64]> {
+        match self.ext.as_deref() {
+            Some(KindExt::Real { untangle, .. }) => Some(untangle),
+            _ => None,
+        }
+    }
+
+    /// Effective transpose tile edge exponent of a 2D plan (`None` for 1D
+    /// kinds).
+    pub fn transpose_block_log2(&self) -> Option<u32> {
+        match self.ext.as_deref() {
+            Some(KindExt::TwoD { block_log2, .. }) => Some(*block_log2),
+            _ => None,
+        }
+    }
+
+    /// The stage/codelet index algebra of the primary inner complex FFT
+    /// (the row transform for 2D, the packed half-size FFT for real kinds).
     pub fn fft_plan(&self) -> &FftPlan {
         &self.fft
     }
@@ -356,7 +501,14 @@ impl Plan {
             Schedule::Guided { early, late, .. } => early.resident_bytes() + late.resident_bytes(),
         };
         let tables: u64 = self.tables.iter().map(StageTable::bytes).sum();
-        self.twiddles.bytes() + (self.bitrev_swaps.len() * 8) as u64 + schedule + tables
+        let ext = match self.ext.as_deref() {
+            None => 0,
+            Some(KindExt::Real { untangle, .. }) => {
+                (untangle.len() * std::mem::size_of::<Complex64>()) as u64
+            }
+            Some(KindExt::TwoD { col_plan, .. }) => col_plan.resident_bytes(),
+        };
+        self.twiddles.bytes() + (self.bitrev_swaps.len() * 8) as u64 + schedule + tables + ext
     }
 
     /// In-place forward transform of one buffer (`data.len()` must equal
@@ -375,16 +527,92 @@ impl Plan {
         data: &mut [Complex64],
         runtime: &Runtime,
     ) -> ExecStats {
-        assert_eq!(data.len(), self.n(), "buffer length must match the plan");
+        assert_eq!(
+            data.len(),
+            self.buffer_len(),
+            "buffer length must match the plan"
+        );
         let start = Instant::now();
+        let mut stats = match self.ext.as_deref() {
+            None => self.execute_c2c_with(kernel, data, runtime),
+            Some(KindExt::Real { untangle, inverse }) => {
+                if *inverse {
+                    tangle_span(data, untangle, 0, untangle.len());
+                    let stats = self.execute_c2c_with(kernel, data, runtime);
+                    finalize_span(data, 0, data.len());
+                    stats
+                } else {
+                    let stats = self.execute_c2c_with(kernel, data, runtime);
+                    untangle_span(data, untangle, 0, untangle.len());
+                    stats
+                }
+            }
+            Some(KindExt::TwoD {
+                rows_log2,
+                cols_log2,
+                block_log2,
+                col_plan,
+            }) => self.execute_2d(
+                kernel,
+                data,
+                runtime,
+                1usize << rows_log2,
+                1usize << cols_log2,
+                1usize << block_log2,
+                col_plan,
+            ),
+        };
+        stats.elapsed = start.elapsed();
+        stats
+    }
+
+    /// The inner complex wave of one buffer — the historical C2C hot path.
+    fn execute_c2c_with<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        data: &mut [Complex64],
+        runtime: &Runtime,
+    ) -> ExecStats {
+        debug_assert_eq!(data.len(), self.fft.n());
         apply_swaps_parallel(data, &self.bitrev_swaps, runtime.workers());
         let view = SharedData::new(data);
         // SAFETY: every schedule below upholds the dataflow discipline
         // documented in `exec::shared`.
         let body = |id: usize| unsafe { self.run_codelet_with(kernel, &view, id) };
-        let mut stats = self.dispatch(runtime, body);
-        stats.elapsed = start.elapsed();
+        let stats = self.dispatch(runtime, body);
         debug_assert_eq!(stats.codelets, self.fft.total_codelets() as u64);
+        stats
+    }
+
+    /// Row wave → blocked transpose → column wave → transpose back. Both
+    /// waves run as batches over the plane's rows through the standard
+    /// batched dispatch; the transposes move `block × block` tiles, the
+    /// granularity the workload layer footprints.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_2d<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        data: &mut [Complex64],
+        runtime: &Runtime,
+        rows: usize,
+        cols: usize,
+        block: usize,
+        col_plan: &Plan,
+    ) -> ExecStats {
+        let mut stats = {
+            let mut row_views: Vec<&mut [Complex64]> = data.chunks_exact_mut(cols).collect();
+            self.execute_c2c_batch_with(kernel, &mut row_views, runtime)
+        };
+        let mut scratch = vec![Complex64::ZERO; data.len()];
+        transpose_blocked(data, &mut scratch, rows, cols, block);
+        let col_stats = {
+            let mut col_views: Vec<&mut [Complex64]> = scratch.chunks_exact_mut(rows).collect();
+            col_plan.execute_c2c_batch_with(kernel, &mut col_views, runtime)
+        };
+        transpose_blocked(&scratch, data, cols, rows, block);
+        stats.codelets += col_stats.codelets;
+        stats.barriers += col_stats.barriers + 2;
+        stats.phases.extend(col_stats.phases);
         stats
     }
 
@@ -401,8 +629,95 @@ impl Plan {
         data: &mut [Complex64],
         runtime: &Runtime,
     ) -> (ExecStats, Vec<TouchRecord>) {
-        assert_eq!(data.len(), self.n(), "buffer length must match the plan");
+        assert_eq!(
+            data.len(),
+            self.buffer_len(),
+            "buffer length must match the plan"
+        );
         let start = Instant::now();
+        let mut records = Vec::new();
+        let mut stats = match self.ext.as_deref() {
+            None => self.record_c2c_into(data, runtime, 0, &mut records),
+            Some(KindExt::Real { untangle, inverse }) => {
+                let radix = self.fft.radix();
+                let quarter = untangle.len() - 1;
+                let pair_tasks = (quarter + 1).div_ceil(radix);
+                if *inverse {
+                    for u in 0..pair_tasks {
+                        let (lo, hi) = (u * radix, ((u + 1) * radix).min(quarter + 1));
+                        records.push(record_pair_task(data, untangle, lo, hi, true));
+                    }
+                    let stats = self.record_c2c_into(data, runtime, 0, &mut records);
+                    let final_tasks = data.len().div_ceil(radix);
+                    for u in 0..final_tasks {
+                        let (lo, hi) = (u * radix, ((u + 1) * radix).min(data.len()));
+                        finalize_span(data, lo, hi);
+                        records.push(TouchRecord {
+                            reads: (lo as u32..hi as u32).collect(),
+                            writes: (lo as u32..hi as u32).collect(),
+                            twiddles: Vec::new(),
+                        });
+                    }
+                    stats
+                } else {
+                    let stats = self.record_c2c_into(data, runtime, 0, &mut records);
+                    for u in 0..pair_tasks {
+                        let (lo, hi) = (u * radix, ((u + 1) * radix).min(quarter + 1));
+                        records.push(record_pair_task(data, untangle, lo, hi, false));
+                    }
+                    stats
+                }
+            }
+            Some(KindExt::TwoD {
+                rows_log2,
+                cols_log2,
+                block_log2,
+                col_plan,
+            }) => {
+                let (rows, cols) = (1usize << rows_log2, 1usize << cols_log2);
+                let (b, len) = (1usize << block_log2, data.len());
+                let mut stats = ExecStats::default();
+                for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+                    let s = self.record_c2c_into(row, runtime, (r * cols) as u32, &mut records);
+                    stats.codelets += s.codelets;
+                    stats.barriers += s.barriers;
+                }
+                let mut scratch = vec![Complex64::ZERO; len];
+                record_transpose(
+                    data,
+                    &mut scratch,
+                    rows,
+                    cols,
+                    b,
+                    0,
+                    len as u32,
+                    &mut records,
+                );
+                for (c, col) in scratch.chunks_exact_mut(rows).enumerate() {
+                    let shift = (len + c * rows) as u32;
+                    let s = col_plan.record_c2c_into(col, runtime, shift, &mut records);
+                    stats.codelets += s.codelets;
+                    stats.barriers += s.barriers;
+                }
+                record_transpose(&scratch, data, cols, rows, b, len as u32, 0, &mut records);
+                stats
+            }
+        };
+        stats.elapsed = start.elapsed();
+        (stats, records)
+    }
+
+    /// Run the inner complex wave while recording, per codelet, exactly
+    /// what the hot path streamed from the stage tables; records land in
+    /// `out` in codelet-id order with every element index shifted by
+    /// `shift` (the composite plane/copy offset).
+    fn record_c2c_into(
+        &self,
+        data: &mut [Complex64],
+        runtime: &Runtime,
+        shift: u32,
+        out: &mut Vec<TouchRecord>,
+    ) -> ExecStats {
         apply_swaps_parallel(data, &self.bitrev_swaps, runtime.workers());
         let view = SharedData::new(data);
         let radix = 1usize << self.fft.radix_log2();
@@ -414,10 +729,13 @@ impl Plan {
             let idx = self.fft.idx_of(id);
             let table = &self.tables[stage];
             let run = table.pairs.len();
-            let gather = &table.gather[idx * radix..(idx + 1) * radix];
+            let gather: Vec<u32> = table.gather[idx * radix..(idx + 1) * radix]
+                .iter()
+                .map(|&g| g + shift)
+                .collect();
             let record = TouchRecord {
-                reads: gather.to_vec(),
-                writes: gather.to_vec(),
+                reads: gather.clone(),
+                writes: gather,
                 twiddles: table.twiddles[idx * run..(idx + 1) * run].to_vec(),
             };
             let set = slots[id].set(record).is_ok();
@@ -426,17 +744,12 @@ impl Plan {
             // documented in `exec::shared`, exactly as in `execute`.
             unsafe { self.run_codelet(&view, id) };
         };
-        let mut stats = self.dispatch(runtime, body);
-        stats.elapsed = start.elapsed();
-        let records = slots
-            .into_iter()
-            .enumerate()
-            .map(|(id, slot)| {
-                slot.into_inner()
-                    .unwrap_or_else(|| panic!("codelet {id} never fired"))
-            })
-            .collect();
-        (stats, records)
+        let stats = self.dispatch(runtime, body);
+        out.extend(slots.into_iter().enumerate().map(|(id, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(|| panic!("codelet {id} never fired"))
+        }));
+        stats
     }
 
     /// In-place forward transform of a whole **batch** of same-plan buffers
@@ -456,9 +769,65 @@ impl Plan {
         buffers: &mut [&mut [Complex64]],
         runtime: &Runtime,
     ) -> ExecStats {
+        match self.ext.as_deref() {
+            None => self.execute_c2c_batch_with(kernel, buffers, runtime),
+            Some(KindExt::Real { untangle, inverse }) => {
+                let start = Instant::now();
+                for buf in buffers.iter_mut() {
+                    assert_eq!(
+                        buf.len(),
+                        self.buffer_len(),
+                        "buffer length must match the plan"
+                    );
+                }
+                let mut stats;
+                if *inverse {
+                    for buf in buffers.iter_mut() {
+                        tangle_span(buf, untangle, 0, untangle.len());
+                    }
+                    stats = self.execute_c2c_batch_with(kernel, buffers, runtime);
+                    for buf in buffers.iter_mut() {
+                        finalize_span(buf, 0, buf.len());
+                    }
+                } else {
+                    stats = self.execute_c2c_batch_with(kernel, buffers, runtime);
+                    for buf in buffers.iter_mut() {
+                        untangle_span(buf, untangle, 0, untangle.len());
+                    }
+                }
+                stats.elapsed = start.elapsed();
+                stats
+            }
+            Some(KindExt::TwoD { .. }) => {
+                // Each 2D member is already a batched row/column wave; run
+                // the members back to back.
+                let start = Instant::now();
+                let mut stats = ExecStats::default();
+                for buf in buffers.iter_mut() {
+                    let s = self.execute_with(kernel, buf, runtime);
+                    stats.codelets += s.codelets;
+                    stats.barriers += s.barriers;
+                    stats.phases.extend(s.phases);
+                }
+                stats.elapsed = start.elapsed();
+                stats
+            }
+        }
+    }
+
+    /// Batched inner complex wave — the historical C2C batch hot path.
+    fn execute_c2c_batch_with<K: CodeletKernel + ?Sized>(
+        &self,
+        kernel: &K,
+        buffers: &mut [&mut [Complex64]],
+        runtime: &Runtime,
+    ) -> ExecStats {
         let copies = buffers.len();
         if copies == 1 {
-            return self.execute_with(kernel, buffers[0], runtime);
+            let start = Instant::now();
+            let mut stats = self.execute_c2c_with(kernel, buffers[0], runtime);
+            stats.elapsed = start.elapsed();
+            return stats;
         }
         let start = Instant::now();
         let mut stats = ExecStats::default();
@@ -467,7 +836,7 @@ impl Plan {
             return stats;
         }
         for buf in buffers.iter_mut() {
-            assert_eq!(buf.len(), self.n(), "buffer length must match the plan");
+            assert_eq!(buf.len(), self.fft.n(), "buffer length must match the plan");
             apply_swaps_parallel(buf, &self.bitrev_swaps, runtime.workers());
         }
         let views: Vec<SharedData<'_>> = buffers.iter_mut().map(|b| SharedData::new(b)).collect();
@@ -582,6 +951,168 @@ impl Plan {
             }
         }
         stats
+    }
+}
+
+/// Untangle bins `lo..hi` of a packed half-complex forward result, in
+/// place: `Z[k] = E[k] + i·O[k]` → `X[k] = E[k] + W_N^k·O[k]` for the pair
+/// `(k, N/2−k)`, with `X[0]`/`X[N/2]` packed into slot 0. `table[k]` holds
+/// `W_N^k = e^{-2πik/N}`; bins are the pair indices `0..=N/4`.
+fn untangle_span(data: &mut [Complex64], table: &[Complex64], lo: usize, hi: usize) {
+    let half = data.len();
+    for k in lo..hi {
+        if k == 0 {
+            // DC and Nyquist are real; pack X[0] into .re and X[N/2] into .im.
+            let z0 = data[0];
+            data[0] = Complex64::new(z0.re + z0.im, z0.re - z0.im);
+            continue;
+        }
+        let m = half - k;
+        let zk = data[k];
+        let zm = data[m];
+        let e = (zk + zm.conj()).scale(0.5);
+        let ot = (zk - zm.conj()).scale(0.5);
+        // ot holds i·O[k]; fold the −i into the twiddle product.
+        let o = Complex64::new(ot.im, -ot.re);
+        let t = table[k] * o;
+        data[k] = e + t;
+        // X[N/2−k] = conj(E[k] − W_N^k·O[k]); for the self-paired bin
+        // k = N/4 this coincides with the line above.
+        data[m] = (e - t).conj();
+    }
+}
+
+/// Inverse of [`untangle_span`], pre-conjugated for the conj-forward-conj
+/// inverse: rebuilds `conj(Z[k])` from the packed half spectrum so a
+/// *forward* inner FFT followed by [`finalize_span`] yields the real
+/// signal (even samples in `.re`, odd in `.im`).
+fn tangle_span(data: &mut [Complex64], table: &[Complex64], lo: usize, hi: usize) {
+    let half = data.len();
+    for k in lo..hi {
+        if k == 0 {
+            let v0 = data[0];
+            // Z[0] = ((X[0]+X[N/2])/2, (X[0]−X[N/2])/2), conjugated.
+            data[0] = Complex64::new((v0.re + v0.im) * 0.5, -(v0.re - v0.im) * 0.5);
+            continue;
+        }
+        let m = half - k;
+        let xk = data[k];
+        let xm = data[m];
+        let e = (xk + xm.conj()).scale(0.5);
+        let ot = (xk - xm.conj()).scale(0.5);
+        let w = table[k];
+        // Z[k] = E + i·(conj(W)·ot); Z[N/2−k] = conj(E) + i·(W·conj(ot)).
+        let ok = w.conj() * ot;
+        let om = w * ot.conj();
+        let zk = e + Complex64::new(-ok.im, ok.re);
+        let zm = e.conj() + Complex64::new(-om.im, om.re);
+        data[k] = zk.conj();
+        // Self-paired bin k = N/4: zm == zk, so the second write is benign.
+        data[m] = zm.conj();
+    }
+}
+
+/// The c2r epilogue over elements `lo..hi`: conjugate and normalize by
+/// `1/(N/2)` (the inner inverse's scale; the real-signal packing absorbs
+/// the rest).
+fn finalize_span(data: &mut [Complex64], lo: usize, hi: usize) {
+    let scale = 1.0 / data.len() as f64;
+    for v in &mut data[lo..hi] {
+        *v = v.conj().scale(scale);
+    }
+}
+
+/// Perform the untangle (or tangle) of one composite pair task — bins
+/// `lo..hi` — while recording exactly the element and twiddle traffic the
+/// workload layer footprints for it.
+fn record_pair_task(
+    data: &mut [Complex64],
+    table: &[Complex64],
+    lo: usize,
+    hi: usize,
+    inverse: bool,
+) -> TouchRecord {
+    let half = data.len();
+    let mut touched = Vec::new();
+    for k in lo..hi {
+        touched.push(k as u32);
+        let m = (half - k) % half;
+        if m != k {
+            touched.push(m as u32);
+        }
+    }
+    let twiddles: Vec<Complex64> = (lo.max(1)..hi).map(|k| table[k]).collect();
+    if inverse {
+        tangle_span(data, table, lo, hi);
+    } else {
+        untangle_span(data, table, lo, hi);
+    }
+    TouchRecord {
+        reads: touched.clone(),
+        writes: touched,
+        twiddles,
+    }
+}
+
+/// Out-of-place transpose of a row-major `rows × cols` plane in
+/// `block × block` tiles — the exact tile walk the workload layer
+/// footprints, so the bank linter's model is the executed access pattern.
+fn transpose_blocked(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    block: usize,
+) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for rb in (0..rows).step_by(block) {
+        for cb in (0..cols).step_by(block) {
+            for r in rb..rb + block {
+                for c in cb..cb + block {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// As [`transpose_blocked`], recording one [`TouchRecord`] per tile in
+/// tile-id order (`bi · cols/b + bj`): reads in source row-segment order,
+/// writes in destination row-segment order, with the planes' element
+/// offsets applied.
+#[allow(clippy::too_many_arguments)]
+fn record_transpose(
+    src: &[Complex64],
+    dst: &mut [Complex64],
+    rows: usize,
+    cols: usize,
+    block: usize,
+    src_shift: u32,
+    dst_shift: u32,
+    out: &mut Vec<TouchRecord>,
+) {
+    for rb in (0..rows).step_by(block) {
+        for cb in (0..cols).step_by(block) {
+            let mut reads = Vec::with_capacity(block * block);
+            let mut writes = Vec::with_capacity(block * block);
+            for r in rb..rb + block {
+                for c in cb..cb + block {
+                    reads.push(src_shift + (r * cols + c) as u32);
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            for c in cb..cb + block {
+                for r in rb..rb + block {
+                    writes.push(dst_shift + (c * rows + r) as u32);
+                }
+            }
+            out.push(TouchRecord {
+                reads,
+                writes,
+                twiddles: Vec::new(),
+            });
+        }
     }
 }
 
@@ -725,16 +1256,34 @@ impl Planner {
         self.plan_key(PlanKey::new(n, version, layout))
     }
 
+    /// The plan for a non-C2C transform kind of logical size `n` under
+    /// `version` and `layout` with the default codelets (see
+    /// [`PlanKey::with_kind`]).
+    pub fn plan_kind(
+        &self,
+        kind: TransformKind,
+        n: usize,
+        version: Version,
+        layout: TwiddleLayout,
+    ) -> Arc<Plan> {
+        self.plan_key(PlanKey::with_kind(kind, n, version, layout, 6))
+    }
+
     /// Whether the plan for `(n, version, layout)` under the default
     /// codelets is already built and cached — a warm lookup. Purely an
     /// observation: it never builds, never counts as a hit or miss, and
     /// never touches the LRU stamps. The serving layer's cold-plan gate
     /// polls this to decide how many requests may ride a cold dispatch.
     pub fn is_warm(&self, n: usize, version: Version, layout: TwiddleLayout) -> bool {
-        let key = PlanKey::new(n, version, layout);
-        self.shards[Self::shard_of(&key)]
+        self.is_warm_key(&PlanKey::new(n, version, layout))
+    }
+
+    /// As [`Planner::is_warm`] for an explicit [`PlanKey`] (any transform
+    /// kind) — the kind-aware serving layer's cold-plan probe.
+    pub fn is_warm_key(&self, key: &PlanKey) -> bool {
+        self.shards[Self::shard_of(key)]
             .lock()
-            .get(&key)
+            .get(key)
             .is_some_and(|slot| slot.plan.get().is_some())
     }
 
@@ -794,7 +1343,11 @@ impl Planner {
         let Some(entry) = entry else {
             return Plan::build(key);
         };
-        let fft = FftPlan::new(key.n_log2, key.radix_log2);
+        // Validate against the primary *inner* plan — the pool the tuning's
+        // permutation reorders (the packed half for real kinds, the row
+        // transform for 2D).
+        let inner_log2 = key.kind.inner_n_log2(key.n_log2);
+        let fft = FftPlan::new(inner_log2, key.radix_log2.min(inner_log2));
         if entry.tuning.validate(&fft).is_err() {
             // An ill-formed permutation would panic inside
             // `ScheduleSpec::of_tuned`; refuse it here instead.
@@ -1173,6 +1726,7 @@ mod tests {
             tuning: ScheduleTuning {
                 pool_order: Some(reversed.clone()),
                 last_early: None,
+                transpose_block_log2: None,
             },
             workers: 2,
             batch: 1,
@@ -1229,6 +1783,7 @@ mod tests {
             tuning: ScheduleTuning {
                 pool_order: Some((0..(n >> 6) + 5).collect()), // too long
                 last_early: None,
+                transpose_block_log2: None,
             },
             workers: 2,
             batch: 1,
@@ -1254,6 +1809,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: Some((0..(n >> 6)).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         let good = crate::cert::Certificate::for_plan(&Plan::build_tuned(key, Some(&tuning)))
             .expect("valid tuning certifies");
@@ -1342,6 +1898,219 @@ mod tests {
         let b = crate::cert::Certificate::for_plan(&Plan::build(key)).unwrap();
         assert_eq!(a, b, "digests are deterministic");
         b.verify_plan(&Plan::build(key)).unwrap();
+    }
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.4 * (i as f64 * 1.1).cos())
+            .collect()
+    }
+
+    fn pack_real(signal: &[f64]) -> Vec<Complex64> {
+        signal
+            .chunks_exact(2)
+            .map(|p| Complex64::new(p[0], p[1]))
+            .collect()
+    }
+
+    #[test]
+    fn r2c_plan_matches_promoted_complex_dft() {
+        for n in [4usize, 64, 1 << 12] {
+            let x = real_signal(n);
+            let promoted: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+            let expect = recursive_fft(&promoted);
+            let key = PlanKey::with_kind(
+                TransformKind::R2C,
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            );
+            let plan = Plan::build(key);
+            assert_eq!(plan.buffer_len(), n / 2);
+            let mut packed = pack_real(&x);
+            plan.execute(&mut packed, &Runtime::with_workers(3));
+            // Halfcomplex: slot 0 packs the (real) DC and Nyquist bins.
+            assert!(
+                (packed[0].re - expect[0].re).abs() < 1e-9 * n as f64,
+                "n={n} DC"
+            );
+            assert!(
+                (packed[0].im - expect[n / 2].re).abs() < 1e-9 * n as f64,
+                "n={n} Nyquist"
+            );
+            for k in 1..n / 2 {
+                assert!(
+                    packed[k].dist(expect[k]) < 1e-9 * n as f64,
+                    "n={n} bin {k}: {} vs {}",
+                    packed[k],
+                    expect[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c2r_inverts_r2c_through_plans() {
+        for n in [8usize, 256, 1 << 12] {
+            let x = real_signal(n);
+            let fwd = Plan::build(PlanKey::with_kind(
+                TransformKind::R2C,
+                n,
+                Version::Coarse,
+                TwiddleLayout::Linear,
+                6,
+            ));
+            let inv = Plan::build(PlanKey::with_kind(
+                TransformKind::C2R,
+                n,
+                Version::Coarse,
+                TwiddleLayout::Linear,
+                6,
+            ));
+            let rt = Runtime::with_workers(2);
+            let mut buf = pack_real(&x);
+            fwd.execute(&mut buf, &rt);
+            inv.execute(&mut buf, &rt);
+            let err: f64 = buf
+                .iter()
+                .flat_map(|v| [v.re, v.im])
+                .zip(&x)
+                .map(|(a, &b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+                / n as f64;
+            assert!(err < 1e-12, "n={n}: roundtrip error {err}");
+        }
+    }
+
+    #[test]
+    fn plan_2d_matches_row_column_reference() {
+        for (rows_log2, cols_log2) in [(2u32, 3u32), (4, 4), (3, 6)] {
+            let (rows, cols) = (1usize << rows_log2, 1usize << cols_log2);
+            let n = rows * cols;
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.23).sin(), (i as f64 * 0.31).cos()))
+                .collect();
+            // Reference: 1D FFT each row, then each column.
+            let mut expect = input.clone();
+            for row in expect.chunks_exact_mut(cols) {
+                let out = recursive_fft(row);
+                row.copy_from_slice(&out);
+            }
+            for c in 0..cols {
+                let col: Vec<Complex64> = (0..rows).map(|r| expect[r * cols + c]).collect();
+                let out = recursive_fft(&col);
+                for (r, v) in out.into_iter().enumerate() {
+                    expect[r * cols + c] = v;
+                }
+            }
+            let key = PlanKey::with_kind(
+                TransformKind::C2C2D {
+                    rows_log2,
+                    cols_log2,
+                },
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            );
+            let plan = Plan::build(key);
+            assert_eq!(plan.buffer_len(), n);
+            assert!(plan.col_plan().is_some());
+            let mut got = input;
+            plan.execute(&mut got, &Runtime::with_workers(3));
+            assert!(rms_error(&got, &expect) < 1e-9, "{rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn kind_batch_matches_single_execution() {
+        let n = 1 << 10;
+        let rt = Runtime::with_workers(3);
+        for kind in [
+            TransformKind::R2C,
+            TransformKind::C2R,
+            TransformKind::C2C2D {
+                rows_log2: 4,
+                cols_log2: 6,
+            },
+        ] {
+            let plan = Plan::build(PlanKey::with_kind(
+                kind,
+                n,
+                Version::FineGuided,
+                TwiddleLayout::Linear,
+                6,
+            ));
+            let len = plan.buffer_len();
+            let inputs: Vec<Vec<Complex64>> = (0..4)
+                .map(|k| {
+                    (0..len)
+                        .map(|i| Complex64::new((i + k) as f64 * 0.01, (i * k) as f64 * 0.003))
+                        .collect()
+                })
+                .collect();
+            let singles: Vec<Vec<Complex64>> = inputs
+                .iter()
+                .map(|inp| {
+                    let mut d = inp.clone();
+                    plan.execute(&mut d, &rt);
+                    d
+                })
+                .collect();
+            let mut batch = inputs.clone();
+            let mut views: Vec<&mut [Complex64]> =
+                batch.iter_mut().map(|b| b.as_mut_slice()).collect();
+            plan.execute_batch(&mut views, &rt);
+            drop(views);
+            assert_eq!(batch, singles, "{kind:?}: batch must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn tuned_transpose_block_changes_footprint_not_values() {
+        let key = PlanKey::with_kind(
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 5,
+            },
+            1 << 10,
+            Version::Coarse,
+            TwiddleLayout::Linear,
+            6,
+        );
+        let seed = Plan::build(key);
+        assert_eq!(seed.transpose_block_log2(), Some(5));
+        let tuning = ScheduleTuning {
+            pool_order: None,
+            last_early: None,
+            transpose_block_log2: Some(3),
+        };
+        let tuned = Plan::build_tuned(key, Some(&tuning));
+        assert_eq!(tuned.transpose_block_log2(), Some(3));
+        let input = signal(1 << 10);
+        let rt = Runtime::with_workers(2);
+        let mut a = input.clone();
+        let mut b = input;
+        seed.execute(&mut a, &rt);
+        tuned.execute(&mut b, &rt);
+        assert_eq!(a, b, "tile size changes traffic shape, not values");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transform kind")]
+    fn with_kind_rejects_mismatched_2d_shape() {
+        PlanKey::with_kind(
+            TransformKind::C2C2D {
+                rows_log2: 3,
+                cols_log2: 3,
+            },
+            1 << 10,
+            Version::Coarse,
+            TwiddleLayout::Linear,
+            6,
+        );
     }
 
     #[test]

@@ -3,10 +3,20 @@
 //! pass — half the work and half the memory traffic of the naive
 //! promote-to-complex route, which matters doubly on a machine whose
 //! bottleneck is off-chip bandwidth.
+//!
+//! These functions are thin veneers over the plan pipeline: the packed
+//! transform and the untangling stage are a [`TransformKind::R2C`] /
+//! [`TransformKind::C2R`] plan resolved through the engine's planner, so
+//! the untangle twiddles are precomputed once per plan (not per call), the
+//! stage runs as footprinted codelet tasks visible to `fgcheck` and the
+//! bank simulator, and repeated calls of one size reuse a cached plan.
+//!
+//! [`TransformKind::R2C`]: crate::workload::TransformKind::R2C
+//! [`TransformKind::C2R`]: crate::workload::TransformKind::C2R
 
 use crate::api::Fft;
 use crate::complex::Complex64;
-use std::f64::consts::PI;
+use crate::workload::TransformKind;
 
 /// Forward FFT of a real sequence. `signal.len()` must be an even power of
 /// two ≥ 4. Returns the `N/2 + 1` nonredundant spectrum bins `X[0..=N/2]`
@@ -35,21 +45,14 @@ pub fn rfft_with(signal: &[f64], engine: &Fft) -> Vec<Complex64> {
     let mut packed: Vec<Complex64> = (0..half)
         .map(|i| Complex64::new(signal[2 * i], signal[2 * i + 1]))
         .collect();
-    engine.forward(&mut packed);
-
-    // Untangle: Z[k] = E[k] + i·O[k] with E/O the spectra of the even/odd
-    // subsequences; then X[k] = E[k] + e^{-2πik/N}·O[k].
+    let plan = engine.plan_kind(TransformKind::R2C, n);
+    plan.execute(&mut packed, &engine.runtime());
+    // The plan leaves the packed halfcomplex spectrum: X[k] in slot k for
+    // 1 ≤ k < N/2, and the (real) X[0], X[N/2] sharing slot 0.
     let mut out = Vec::with_capacity(half + 1);
-    for k in 0..=half {
-        let zk = if k == half { packed[0] } else { packed[k] };
-        let zn = if k == 0 { packed[0] } else { packed[half - k] };
-        let e = (zk + zn.conj()).scale(0.5);
-        let o = (zk - zn.conj()).scale(0.5);
-        // o currently holds i·O[k]; fold the -i and the twiddle together.
-        let w = Complex64::expi(-2.0 * PI * k as f64 / n as f64);
-        let o = Complex64::new(o.im, -o.re); // -i · (i·O[k]) = O[k]
-        out.push(e + w * o);
-    }
+    out.push(Complex64::new(packed[0].re, 0.0));
+    out.extend_from_slice(&packed[1..]);
+    out.push(Complex64::new(packed[0].im, 0.0));
     out
 }
 
@@ -67,20 +70,14 @@ pub fn irfft_with(spectrum: &[Complex64], engine: &Fft) -> Vec<f64> {
         "spectrum must hold 2^k + 1 bins with 2^k >= 2"
     );
     let n = 2 * half;
-    // Repack the half spectrum into the N/2-point complex spectrum of the
-    // packed sequence (inverse of the untangling above).
+    // Repack into the plan's halfcomplex convention: X[0] and X[N/2] are
+    // real and share slot 0; slots 1..N/2 hold X[1..N/2].
     let mut packed = Vec::with_capacity(half);
-    for k in 0..half {
-        let xk = spectrum[k];
-        let xn = spectrum[half - k].conj();
-        let e = (xk + xn).scale(0.5);
-        let o_tw = (xk - xn).scale(0.5);
-        let w = Complex64::expi(2.0 * PI * k as f64 / n as f64);
-        let o = w * o_tw;
-        // Z[k] = E[k] + i·O[k].
-        packed.push(e + Complex64::new(-o.im, o.re));
-    }
-    engine.inverse(&mut packed);
+    packed.push(Complex64::new(spectrum[0].re, spectrum[half].re));
+    packed.extend_from_slice(&spectrum[1..half]);
+    let plan = engine.plan_kind(TransformKind::C2R, n);
+    plan.execute(&mut packed, &engine.runtime());
+    // Even samples come back in the real parts, odd in the imaginary.
     let mut out = Vec::with_capacity(n);
     for z in packed {
         out.push(z.re);
@@ -93,6 +90,7 @@ pub fn irfft_with(spectrum: &[Complex64], engine: &Fft) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::reference::naive_dft;
+    use std::f64::consts::PI;
 
     fn signal(n: usize) -> Vec<f64> {
         (0..n)
@@ -160,6 +158,25 @@ mod tests {
                 assert!(v.abs() < 1e-8, "leak at {k}");
             }
         }
+    }
+
+    #[test]
+    fn explicit_engine_reuses_one_plan() {
+        use crate::planner::Planner;
+        use std::sync::Arc;
+        let planner = Arc::new(Planner::new());
+        let engine = Fft::new()
+            .with_workers(2)
+            .with_planner(Arc::clone(&planner));
+        let x = signal(256);
+        let a = rfft_with(&x, &engine);
+        let b = rfft_with(&x, &engine);
+        assert_eq!(a, b, "cached second call must be bit-identical");
+        // One R2C plan and its embedded inner complex plan at most; the
+        // second call must not build anything new.
+        let built = planner.stats().built;
+        let _ = rfft_with(&x, &engine);
+        assert_eq!(planner.stats().built, built);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use crate::graph::{FftGraph, GuidedEarlyGraph, GuidedLateGraph};
 use crate::plan::FftPlan;
 use crate::twiddle::TwiddleLayout;
-use crate::workload::{Region, ScheduleSpec, SeedOrder, Workload};
+use crate::workload::{
+    KindTaskClass, KindWorkload, Region, ScheduleSpec, SeedOrder, TransformKind, Workload,
+};
 use c64sim::address::{MemRange, Space};
 use c64sim::sched::{PoolScheduler, SequencedScheduler, SimPoolDiscipline};
 use c64sim::{simulate, ChipConfig, MemOp, SimOptions, SimReport, TaskCost, TaskId, TaskModel};
@@ -139,7 +141,7 @@ impl TaskModel for FftWorkload {
                 write: op.range.write,
                 space: match op.region {
                     Region::Spill => Space::Dram,
-                    Region::Data | Region::Twiddle => space,
+                    Region::Data | Region::Twiddle | Region::Scratch => space,
                 },
             });
         });
@@ -158,6 +160,117 @@ impl TaskModel for FftWorkload {
             extra_cycles: n_tw * self.hash_cycles_per_access + spill_cycles,
         }
     }
+}
+
+/// A composite transform (real-packed or 2-D) as a [`TaskModel`]: task `t`
+/// is composite task `t` of the [`KindWorkload`] — inner FFT codelets are
+/// priced exactly as [`FftWorkload`] prices them (flops, hash, spill), and
+/// the extra stages (untangle pairs, transpose tiles, finalize spans) are
+/// priced as the data movement they are. Everything lives in simulated
+/// DRAM, including the 2-D scratch plane, so the bank linter and this
+/// simulator agree on every byte of transpose traffic.
+#[derive(Debug, Clone)]
+pub struct KindSim {
+    inner: KindWorkload,
+    hash_cycles_per_access: u64,
+    spill_cycles_per_op: u64,
+}
+
+impl KindSim {
+    /// Lay out the composite transform in simulated DRAM and derive the
+    /// chip's hash cost from the inner plan size.
+    pub fn new(
+        kind: TransformKind,
+        n_log2: u32,
+        radix_log2: u32,
+        layout: TwiddleLayout,
+        chip: &ChipConfig,
+    ) -> Self {
+        let inner = KindWorkload::new(kind, n_log2, radix_log2, layout);
+        let inner_log2 = inner.inner().plan().n_log2();
+        let hash_cycles_per_access = match layout {
+            TwiddleLayout::Linear => 0,
+            TwiddleLayout::BitReversedHash => {
+                chip.hash_base_cycles + chip.hash_cycles_per_bit * (inner_log2 as u64 - 1)
+            }
+            TwiddleLayout::MultiplicativeHash => chip.hash_base_cycles + 3,
+        };
+        Self {
+            inner,
+            hash_cycles_per_access,
+            spill_cycles_per_op: chip.spill_cycles_per_op,
+        }
+    }
+
+    /// The composite address-algebra view this cost model lowers.
+    pub fn workload(&self) -> &KindWorkload {
+        &self.inner
+    }
+}
+
+impl TaskModel for KindSim {
+    fn num_tasks(&self) -> usize {
+        self.inner.n_tasks()
+    }
+
+    fn emit(&self, task: TaskId, ops: &mut Vec<MemOp>) -> TaskCost {
+        let mut n_tw = 0u64;
+        self.inner.for_each_op(task, |op| {
+            if op.region == Region::Twiddle {
+                n_tw += 1;
+            }
+            ops.push(MemOp {
+                addr: op.range.lo,
+                bytes: op.range.len() as u32,
+                write: op.range.write,
+                space: Space::Dram,
+            });
+        });
+        match self.inner.task_class(task) {
+            KindTaskClass::Inner { q } => {
+                let radix = self.inner.inner().plan().radix() as u64;
+                let spill_levels = q.saturating_sub(FftWorkload::REGISTER_RADIX_LOG2) as u64;
+                TaskCost {
+                    flops: 5 * radix * q as u64,
+                    extra_cycles: n_tw * self.hash_cycles_per_access
+                        + spill_levels * 2 * radix * self.spill_cycles_per_op,
+                }
+            }
+            // ~10 flops per conjugate-symmetric bin pair (two half-sums,
+            // one complex multiply, two writes); untangle factors are
+            // direct-indexed, so no hash cost.
+            KindTaskClass::Pair { bins } => TaskCost {
+                flops: 10 * bins as u64,
+                extra_cycles: 0,
+            },
+            // Pure data movement.
+            KindTaskClass::Tile { .. } => TaskCost {
+                flops: 0,
+                extra_cycles: 0,
+            },
+            // Conjugate + scale: 2 flops per element.
+            KindTaskClass::Finalize { elems } => TaskCost {
+                flops: 2 * elems as u64,
+                extra_cycles: 0,
+            },
+        }
+    }
+}
+
+/// Simulate one composite transform (any [`TransformKind`]) on the
+/// configured chip, barrier-phased over [`KindWorkload::phases`] — the
+/// entry point the per-kind drift test and the bench harness drive.
+pub fn run_sim_kind(
+    kind: TransformKind,
+    n_log2: u32,
+    radix_log2: u32,
+    layout: TwiddleLayout,
+    chip: &ChipConfig,
+    options: &SimOptions,
+) -> SimReport {
+    let model = KindSim::new(kind, n_log2, radix_log2, layout, chip);
+    let mut sched = SequencedScheduler::coarse(model.workload().phases());
+    simulate(chip, &model, &mut sched, options)
 }
 
 /// Simulate one FFT run on the configured chip; returns the machine-level
@@ -497,6 +610,25 @@ mod tests {
         let b = run_sim(plan, SimVersion::FineGuided, &chip, &opts());
         assert_eq!(a.makespan_cycles, b.makespan_cycles);
         assert_eq!(a.bank_accesses, b.bank_accesses);
+    }
+
+    #[test]
+    fn kind_sims_complete_for_every_kind() {
+        let chip = small_chip();
+        for kind in [
+            TransformKind::R2C,
+            TransformKind::C2R,
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 6,
+            },
+        ] {
+            let r = run_sim_kind(kind, 11, 6, TwiddleLayout::Linear, &chip, &opts());
+            let model = KindSim::new(kind, 11, 6, TwiddleLayout::Linear, &chip);
+            assert_eq!(r.tasks as usize, model.workload().n_tasks(), "{kind:?}");
+            assert!(r.gflops > 0.0, "{kind:?}");
+            assert!(r.bank_accesses.iter().sum::<u64>() > 0, "{kind:?}");
+        }
     }
 
     #[test]

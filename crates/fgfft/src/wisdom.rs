@@ -44,16 +44,18 @@ use std::path::Path;
 /// Version of the on-disk JSON schema. Bump on incompatible change; loads
 /// of unknown formats report [`WisdomStatus::FormatMismatch`] and yield an
 /// empty store. Format 2 added the per-entry schedule certificate; format 3
-/// added backend selection (`backend` + `simd_radix_log2`). Format-2 files
-/// still decode (backend defaults to scalar) but their measurements predate
-/// backend selection, so under [`CertPolicy::Verify`] they degrade to
-/// [`WisdomStatus::Uncertified`] — never a parse panic.
-pub const WISDOM_FORMAT: u64 = 3;
+/// added backend selection (`backend` + `simd_radix_log2`); format 4 added
+/// transform kinds (`kind`, absent means `c2c`) and the 2-D transpose block
+/// axis (`transpose_block_log2`). Legacy files still decode (kind defaults
+/// to complex, backend to scalar) but their certificates were issued
+/// against an older workload revision, so under [`CertPolicy::Verify`]
+/// they degrade to [`WisdomStatus::Uncertified`] — never a parse panic.
+pub const WISDOM_FORMAT: u64 = 4;
 
-/// The previous schema version, still accepted by the decoder so an
-/// upgrade never crashes on an existing wisdom file (it degrades; see
+/// Previous schema versions, still accepted by the decoder so an upgrade
+/// never crashes on an existing wisdom file (they degrade; see
 /// [`WISDOM_FORMAT`]).
-const WISDOM_FORMAT_LEGACY: u64 = 2;
+const LEGACY_FORMATS: [u64; 2] = [2, 3];
 
 /// A stable identifier of the measuring machine: architecture, OS, and
 /// hardware parallelism. Coarse on purpose — it must be cheap, dependency
@@ -215,7 +217,7 @@ impl Wisdom {
             .get("format")
             .and_then(Value::as_u64)
             .ok_or("missing format")?;
-        if format != WISDOM_FORMAT && format != WISDOM_FORMAT_LEGACY {
+        if format != WISDOM_FORMAT && !LEGACY_FORMATS.contains(&format) {
             return Err(format!("format {format} != {WISDOM_FORMAT}"));
         }
         let fingerprint = value
@@ -259,7 +261,7 @@ impl Wisdom {
             Err(_) => return (Self::new(), WisdomStatus::Corrupt),
         };
         let format = match value.get("format").and_then(Value::as_u64) {
-            Some(f @ (WISDOM_FORMAT | WISDOM_FORMAT_LEGACY)) => f,
+            Some(f) if f == WISDOM_FORMAT || LEGACY_FORMATS.contains(&f) => f,
             Some(_) => return (Self::new(), WisdomStatus::FormatMismatch),
             None => return (Self::new(), WisdomStatus::Corrupt),
         };
@@ -273,16 +275,19 @@ impl Wisdom {
         for entry in &wisdom.entries {
             // A wisdom file is data: a tuning that does not fit its plan
             // must degrade here, never panic later in plan construction.
-            let fft = crate::plan::FftPlan::new(entry.key.n_log2, entry.key.radix_log2);
+            // Composite kinds tune their inner complex plan.
+            let inner = entry.key.kind.inner_n_log2(entry.key.n_log2);
+            let fft = crate::plan::FftPlan::new(inner, entry.key.radix_log2.min(inner));
             if entry.tuning.validate(&fft).is_err() {
                 return (Self::new(), WisdomStatus::Invalid);
             }
         }
-        if format == WISDOM_FORMAT_LEGACY && policy == CertPolicy::Verify {
-            // A pre-backend file decodes, but its measurements were taken
-            // before backend selection existed; under the strict policy it
-            // degrades wholesale rather than half-applying. Trust mode
-            // adopts it with every entry pinned to the scalar backend.
+        if LEGACY_FORMATS.contains(&format) && policy == CertPolicy::Verify {
+            // A legacy file decodes, but its measurements (and certificates)
+            // predate the current plan identity — backend selection for
+            // format 2, transform kinds for format 3; under the strict
+            // policy it degrades wholesale rather than half-applying. Trust
+            // mode adopts it with the decoder's defaults.
             return (Self::new(), WisdomStatus::Uncertified);
         }
         if policy == CertPolicy::Verify {
@@ -397,6 +402,10 @@ fn entry_to_json(entry: &WisdomEntry) -> Value {
         Some(s) => Value::Num(s as f64),
         None => Value::Null,
     };
+    let transpose_block_log2 = match entry.tuning.transpose_block_log2 {
+        Some(b) => Value::Num(b as f64),
+        None => Value::Null,
+    };
     Value::obj(vec![
         ("n_log2", Value::Num(entry.key.n_log2 as f64)),
         ("radix_log2", Value::Num(entry.key.radix_log2 as f64)),
@@ -405,8 +414,10 @@ fn entry_to_json(entry: &WisdomEntry) -> Value {
             "layout",
             Value::Str(layout_to_string(entry.key.layout).to_string()),
         ),
+        ("kind", Value::Str(entry.key.kind.as_string())),
         ("pool_order", pool_order),
         ("last_early", last_early),
+        ("transpose_block_log2", transpose_block_log2),
         ("workers", Value::Num(entry.workers as f64)),
         ("batch", Value::Num(entry.batch as f64)),
         ("backend", Value::Str(entry.backend.kind_str().to_string())),
@@ -453,7 +464,21 @@ fn entry_from_json(value: &Value) -> Result<WisdomEntry, String> {
             .and_then(Value::as_str)
             .ok_or("missing layout")?,
     )?;
-    let key = PlanKey::with_radix(1usize << n_log2, version, layout, radix_log2);
+    // Transform kind arrived with format 4; its absence (a legacy file)
+    // decodes as the plain complex transform. Validate before constructing
+    // the key: `PlanKey::with_kind` panics on a kind/size mismatch, and a
+    // wisdom file is data that must degrade, not crash.
+    let kind = match value.get("kind") {
+        None | Some(Value::Null) => crate::workload::TransformKind::C2C,
+        Some(v) => {
+            let name = v.as_str().ok_or("kind must be a string")?;
+            crate::workload::TransformKind::parse(name)
+                .ok_or_else(|| format!("unknown kind {name:?}"))?
+        }
+    };
+    kind.validate(n_log2)
+        .map_err(|why| format!("kind does not fit plan: {why}"))?;
+    let key = PlanKey::with_kind(kind, 1usize << n_log2, version, layout, radix_log2);
     let pool_order = match value.get("pool_order") {
         None | Some(Value::Null) => None,
         Some(Value::Arr(items)) => {
@@ -469,9 +494,14 @@ fn entry_from_json(value: &Value) -> Result<WisdomEntry, String> {
         None | Some(Value::Null) => None,
         Some(v) => Some(v.as_u64().ok_or("non-integer last_early")? as usize),
     };
+    let transpose_block_log2 = match value.get("transpose_block_log2") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(v.as_u64().ok_or("non-integer transpose_block_log2")? as u32),
+    };
     let tuning = ScheduleTuning {
         pool_order,
         last_early,
+        transpose_block_log2,
     };
     // Semantic validity of the tuning (permutation length, split bounds) is
     // checked by `load_with`, not here: `from_json` stays a pure schema
@@ -524,6 +554,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: Some((0..cps).rev().collect()),
             last_early: None,
+            transpose_block_log2: None,
         };
         let cert = Certificate::for_plan(&crate::planner::Plan::build_tuned(key, Some(&tuning)))
             .expect("sample tuning is valid");
@@ -650,7 +681,7 @@ mod tests {
         // semantically invalid tuning — rejected wholesale at load, under
         // either certificate policy, without reaching plan construction.
         let text = format!(
-            "{{\"format\": 3, \"fingerprint\": {:?}, \"entries\": [{{\
+            "{{\"format\": 4, \"fingerprint\": {:?}, \"entries\": [{{\
              \"n_log2\": 12, \"radix_log2\": 6, \"version\": \"fine-guided\", \
              \"layout\": \"linear\", \"pool_order\": [0, 1], \"last_early\": null, \
              \"workers\": 1, \"batch\": 1, \"median_ns\": 1, \"seed_median_ns\": 1}}]}}",
@@ -719,6 +750,103 @@ mod tests {
         let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
         assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
         assert_eq!(loaded.entries()[0].backend, BackendSel::SCALAR);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_entries_round_trip_and_load() {
+        use crate::workload::TransformKind;
+        let dir = std::env::temp_dir().join(format!("fgfft-wisdom-kind-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.json");
+        let mut wisdom = Wisdom::new();
+        for kind in [
+            TransformKind::R2C,
+            TransformKind::C2R,
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 7,
+            },
+        ] {
+            let key =
+                PlanKey::with_kind(kind, 1 << 12, Version::FineGuided, TwiddleLayout::Linear, 6);
+            let tuning = ScheduleTuning {
+                pool_order: None,
+                last_early: None,
+                transpose_block_log2: matches!(kind, TransformKind::C2C2D { .. }).then_some(4),
+            };
+            let cert =
+                Certificate::for_plan(&crate::planner::Plan::build_tuned(key, Some(&tuning)))
+                    .unwrap();
+            wisdom.insert(WisdomEntry {
+                key,
+                tuning,
+                workers: 2,
+                batch: 4,
+                backend: BackendSel::SCALAR,
+                median_ns: 111,
+                seed_median_ns: 222,
+                cert: Some(cert),
+            });
+        }
+        wisdom.save(&path).unwrap();
+        let (loaded, status) = Wisdom::load(&path);
+        assert_eq!(status, WisdomStatus::Loaded { entries: 3 });
+        assert_eq!(loaded, wisdom);
+        let key2d = PlanKey::with_kind(
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 7,
+            },
+            1 << 12,
+            Version::FineGuided,
+            TwiddleLayout::Linear,
+            6,
+        );
+        assert_eq!(
+            loaded.lookup(&key2d).unwrap().tuning.transpose_block_log2,
+            Some(4)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_format_3_files_degrade_to_uncertified_not_panics() {
+        let dir = std::env::temp_dir().join(format!("fgfft-wisdom-v3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy3.json");
+        // A faithful pre-kind (format 3) document: backend fields present,
+        // no kind or transpose fields. Decodes as a C2C entry; under the
+        // strict policy the whole file degrades (its certificates were
+        // issued against the previous workload revision).
+        let entry = sample_entry(12, Version::FineGuided);
+        let pool: Vec<String> = entry
+            .tuning
+            .pool_order
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        let text = format!(
+            "{{\"format\": 3, \"fingerprint\": {:?}, \"entries\": [{{\
+             \"n_log2\": 12, \"radix_log2\": 6, \"version\": \"fine-guided\", \
+             \"layout\": \"linear\", \"pool_order\": [{}], \"last_early\": null, \
+             \"workers\": 4, \"batch\": 8, \"backend\": \"simd\", \
+             \"simd_radix_log2\": 3, \"median_ns\": 123456, \
+             \"seed_median_ns\": 234567, \"cert\": {}}}]}}",
+            machine_fingerprint(),
+            pool.join(", "),
+            entry.cert.as_ref().unwrap().to_json().to_string_pretty(),
+        );
+        std::fs::write(&path, text).unwrap();
+        let (loaded, status) = Wisdom::load(&path);
+        assert_eq!(status, WisdomStatus::Uncertified);
+        assert!(loaded.is_empty(), "legacy entries must not half-apply");
+        // The escape hatch adopts it; the entry decodes as plain complex.
+        let (loaded, status) = Wisdom::load_with(&path, CertPolicy::Trust);
+        assert_eq!(status, WisdomStatus::Loaded { entries: 1 });
+        assert!(loaded.entries()[0].key.kind.is_c2c());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,6 +34,7 @@ use crate::plan::FftPlan;
 use crate::twiddle::{TwiddleLayout, TwiddleTable};
 use c64sim::address::{Interleave, Layout, MemRange, Space};
 use codelet::graph::{CodeletId, SharedGroup};
+use std::f64::consts::PI;
 
 /// Bytes per complex element (two f64s) — the unit of every data and
 /// twiddle access.
@@ -146,6 +147,148 @@ impl Version {
     }
 }
 
+/// Which transform a plan computes. The workload module lowers every kind
+/// onto the same complex codelet machinery:
+///
+/// * [`TransformKind::C2C`] — the paper's 1D complex transform, unchanged.
+/// * [`TransformKind::R2C`] / [`TransformKind::C2R`] — a real transform of
+///   `N` samples packed into an `N/2`-point complex FFT plus a pairwise
+///   untangle (resp. tangle) stage with its own twiddle table.
+/// * [`TransformKind::C2C2D`] — the row–column decomposition: a wave of
+///   row FFTs, a blocked transpose into a scratch plane, a wave of column
+///   FFTs, and the transpose back. The transposes are first-class codelets
+///   with byte footprints, so the bank linter sees their traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransformKind {
+    /// 1D complex-to-complex (the default; `n_log2` is the transform size).
+    #[default]
+    C2C,
+    /// Real-to-complex: `n_log2` is the *real* length `N`; the plan runs on
+    /// the packed buffer of `N/2` complex slots.
+    R2C,
+    /// Complex-to-real inverse of [`TransformKind::R2C`], same packing.
+    C2R,
+    /// 2D complex transform over a `rows × cols` row-major plane;
+    /// `n_log2 = rows_log2 + cols_log2`.
+    C2C2D {
+        /// Row-count exponent (`rows = 2^rows_log2`).
+        rows_log2: u32,
+        /// Column-count exponent (`cols = 2^cols_log2`).
+        cols_log2: u32,
+    },
+}
+
+impl TransformKind {
+    /// Check the kind against a transform-size exponent. Real kinds need
+    /// `N ≥ 4` (a non-trivial packed half); 2D needs both axes ≥ 2 points
+    /// and a consistent total size.
+    pub fn validate(&self, n_log2: u32) -> Result<(), String> {
+        match *self {
+            TransformKind::C2C => Ok(()),
+            TransformKind::R2C | TransformKind::C2R => {
+                if n_log2 < 2 {
+                    Err(format!("real transforms need N >= 4, got 2^{n_log2}"))
+                } else {
+                    Ok(())
+                }
+            }
+            TransformKind::C2C2D {
+                rows_log2,
+                cols_log2,
+            } => {
+                if rows_log2 < 1 || cols_log2 < 1 {
+                    Err(format!(
+                        "2D transforms need both axes >= 2, got {rows_log2}x{cols_log2}"
+                    ))
+                } else if rows_log2 + cols_log2 != n_log2 {
+                    Err(format!(
+                        "2D shape {rows_log2}+{cols_log2} does not match n_log2={n_log2}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Size exponent of the *primary* inner complex FFT the kind lowers to:
+    /// the transform itself (C2C), the packed half (real kinds), or the row
+    /// transform (2D).
+    pub fn inner_n_log2(&self, n_log2: u32) -> u32 {
+        match *self {
+            TransformKind::C2C => n_log2,
+            TransformKind::R2C | TransformKind::C2R => n_log2 - 1,
+            TransformKind::C2C2D { cols_log2, .. } => cols_log2,
+        }
+    }
+
+    /// Complex slots the execution buffer must hold: `N` for C2C and 2D,
+    /// `N/2` for the packed real kinds.
+    pub fn buffer_len(&self, n_log2: u32) -> usize {
+        match *self {
+            TransformKind::R2C | TransformKind::C2R => 1usize << (n_log2 - 1),
+            _ => 1usize << n_log2,
+        }
+    }
+
+    /// Whether this is the plain 1D complex transform.
+    pub fn is_c2c(&self) -> bool {
+        matches!(self, TransformKind::C2C)
+    }
+
+    /// Stable text form used by wisdom files and CLI flags:
+    /// `c2c`, `r2c`, `c2r`, or `c2c2d:<rows_log2>x<cols_log2>`.
+    pub fn as_string(&self) -> String {
+        match *self {
+            TransformKind::C2C => "c2c".to_string(),
+            TransformKind::R2C => "r2c".to_string(),
+            TransformKind::C2R => "c2r".to_string(),
+            TransformKind::C2C2D {
+                rows_log2,
+                cols_log2,
+            } => format!("c2c2d:{rows_log2}x{cols_log2}"),
+        }
+    }
+
+    /// Parse the [`TransformKind::as_string`] form.
+    pub fn parse(s: &str) -> Option<TransformKind> {
+        match s {
+            "c2c" => Some(TransformKind::C2C),
+            "r2c" => Some(TransformKind::R2C),
+            "c2r" => Some(TransformKind::C2R),
+            _ => {
+                let dims = s.strip_prefix("c2c2d:")?;
+                let (r, c) = dims.split_once('x')?;
+                Some(TransformKind::C2C2D {
+                    rows_log2: r.parse().ok()?,
+                    cols_log2: c.parse().ok()?,
+                })
+            }
+        }
+    }
+}
+
+/// Default transpose tile edge exponent for 2D plans (32×32 element tiles —
+/// each tile row is half a DRAM stripe, so a tile's reads and writes both
+/// stripe across banks). Clamped to the plane's smaller axis.
+pub const DEFAULT_TRANSPOSE_BLOCK_LOG2: u32 = 5;
+
+/// The untangle twiddle table of an `N`-point real transform: the factors
+/// `W_N^k = e^{-2πik/N}` for `k = 0..=N/4`, one per conjugate-symmetric bin
+/// pair. The forward untangle consumes them directly; the inverse tangle
+/// consumes their conjugates. Plans precompute this table once
+/// ([`crate::Plan`]) and the drift test holds executions to these exact
+/// bits.
+pub fn untangle_table(n_log2: u32) -> Vec<Complex64> {
+    assert!(n_log2 >= 2, "real transforms need N >= 4");
+    let n = 1u64 << n_log2;
+    let quarter = 1usize << (n_log2 - 2);
+    let step = -2.0 * PI / n as f64;
+    (0..=quarter)
+        .map(|k| Complex64::expi(step * k as f64))
+        .collect()
+}
+
 /// Tuned overrides for the schedule a [`Version`] runs — what the `fgtune`
 /// autotuner searches over and the wisdom store persists. The overrides
 /// never change the arithmetic (the codelet DAG fixes the values, see the
@@ -162,6 +305,10 @@ pub struct ScheduleTuning {
     /// keeps the paper's `stages − 3`). The late phase covers
     /// `last_early+1..stages`.
     pub last_early: Option<usize>,
+    /// Transpose tile edge exponent for 2D plans (`None` keeps
+    /// [`DEFAULT_TRANSPOSE_BLOCK_LOG2`]). Clamped to the plane's smaller
+    /// axis at build time; ignored by 1D kinds.
+    pub transpose_block_log2: Option<u32>,
 }
 
 impl ScheduleTuning {
@@ -396,6 +543,9 @@ pub enum Region {
     /// The per-codelet DRAM spill region (codelets larger than the
     /// scratchpad only) — private per task, never shared.
     Spill,
+    /// The transpose scratch plane of a 2D transform (transpose-tile writes
+    /// and column-FFT traffic) — a second full plane in DRAM.
+    Scratch,
 }
 
 /// One access of a codelet's footprint: a byte range plus the array it
@@ -464,6 +614,35 @@ impl Workload {
             plan,
             layout,
             residence,
+            data_base,
+            twiddle_base,
+            spill_base,
+        }
+    }
+
+    /// Place this workload inside a caller-managed address map: the data
+    /// region lives at `data_base` (allocated by the caller), while the
+    /// twiddle (and, for oversized codelets, spill) regions are allocated
+    /// from `mem`. Composite transforms ([`KindWorkload`]) embed several
+    /// inner FFTs in one address space this way.
+    pub fn embedded(
+        plan: FftPlan,
+        layout: TwiddleLayout,
+        mem: &mut Layout,
+        data_base: u64,
+    ) -> Self {
+        let twiddle_base = mem.alloc(Space::Dram, (plan.n() as u64 / 2) * ELEM_BYTES, 64);
+        let spill_base = (plan.radix_log2() > SCRATCHPAD_RADIX_LOG2).then(|| {
+            mem.alloc(
+                Space::Dram,
+                plan.total_codelets() as u64 * plan.radix() as u64 * ELEM_BYTES,
+                64,
+            )
+        });
+        Self {
+            plan,
+            layout,
+            residence: Residence::Dram,
             data_base,
             twiddle_base,
             spill_base,
@@ -560,6 +739,553 @@ impl Workload {
         self.for_each_op(task, |op| out.push(op.range));
         out
     }
+}
+
+/// The byte-address view of a *composite* transform: how a
+/// [`TransformKind`] lowers onto the complex codelet machinery, with every
+/// extra stage — untangle/tangle bin pairs, transpose tiles, the final
+/// conjugate-scale of `c2r` — expressed as tasks with real byte footprints.
+///
+/// One address map covers the whole composite: the packed data buffer, the
+/// inner FFT's twiddle table(s), the untangle table (real kinds), and the
+/// transpose scratch plane (2D). Composite task ids are contiguous in
+/// execution order:
+///
+/// * `C2C` — the inner codelets, unchanged.
+/// * `R2C` — `[inner FFT tasks][untangle tasks]`.
+/// * `C2R` — `[tangle tasks][inner FFT tasks][finalize tasks]`.
+/// * `C2C2D` — `[row-FFT tasks, row-major][transpose tiles][column-FFT
+///   tasks, column-major][transpose-back tiles]`.
+///
+/// [`KindWorkload::phases`] gives the barrier phases execution honors, and
+/// [`KindWorkload::footprint`] the per-task byte traffic — what the
+/// `fgcheck` race detector, the bank linter, the simulator, and the
+/// per-kind drift tests all consume. Composite kinds clamp the codelet
+/// radix to the scratchpad ([`SCRATCHPAD_RADIX_LOG2`]) so inner FFTs never
+/// spill.
+#[derive(Debug, Clone)]
+pub struct KindWorkload {
+    kind: TransformKind,
+    n_log2: u32,
+    inner: Workload,
+    col: Option<Workload>,
+    data_base: u64,
+    untangle_base: u64,
+    scratch_base: u64,
+    block_log2: u32,
+}
+
+impl KindWorkload {
+    /// The composite workload of `kind` at size `2^n_log2` with the default
+    /// transpose tiling. Panics when the kind does not fit the size (see
+    /// [`TransformKind::validate`]).
+    pub fn new(kind: TransformKind, n_log2: u32, radix_log2: u32, layout: TwiddleLayout) -> Self {
+        Self::with_block(
+            kind,
+            n_log2,
+            radix_log2,
+            layout,
+            DEFAULT_TRANSPOSE_BLOCK_LOG2,
+        )
+    }
+
+    /// As [`KindWorkload::new`] with an explicit transpose tile edge
+    /// exponent (2D only; clamped to the plane's smaller axis).
+    pub fn with_block(
+        kind: TransformKind,
+        n_log2: u32,
+        radix_log2: u32,
+        layout: TwiddleLayout,
+        block_log2: u32,
+    ) -> Self {
+        if let Err(why) = kind.validate(n_log2) {
+            panic!("invalid transform kind: {why}");
+        }
+        // Composite kinds keep codelets scratchpad-resident: spill regions
+        // are per-inner-task, which would alias across the 2D row wave.
+        let radix_log2 = if kind.is_c2c() {
+            radix_log2
+        } else {
+            radix_log2.min(SCRATCHPAD_RADIX_LOG2)
+        };
+        let mut mem = Layout::new();
+        let buffer_len = kind.buffer_len(n_log2) as u64;
+        let data_base = mem.alloc(Space::Dram, buffer_len * ELEM_BYTES, 64);
+        let inner_log2 = kind.inner_n_log2(n_log2);
+        let inner = Workload::embedded(
+            FftPlan::new(inner_log2, radix_log2.min(inner_log2)),
+            layout,
+            &mut mem,
+            data_base,
+        );
+        let (col, scratch_base) = match kind {
+            TransformKind::C2C2D { rows_log2, .. } => {
+                let scratch_base = mem.alloc(Space::Dram, (1u64 << n_log2) * ELEM_BYTES, 64);
+                let col = Workload::embedded(
+                    FftPlan::new(rows_log2, radix_log2.min(rows_log2)),
+                    layout,
+                    &mut mem,
+                    scratch_base,
+                );
+                (Some(col), scratch_base)
+            }
+            _ => (None, 0),
+        };
+        let untangle_base = match kind {
+            TransformKind::R2C | TransformKind::C2R => {
+                mem.alloc(Space::Dram, ((1u64 << (n_log2 - 2)) + 1) * ELEM_BYTES, 64)
+            }
+            _ => 0,
+        };
+        let block_log2 = match kind {
+            TransformKind::C2C2D {
+                rows_log2,
+                cols_log2,
+            } => block_log2.min(rows_log2).min(cols_log2),
+            _ => 0,
+        };
+        Self {
+            kind,
+            n_log2,
+            inner,
+            col,
+            data_base,
+            untangle_base,
+            scratch_base,
+            block_log2,
+        }
+    }
+
+    /// The transform kind this workload lowers.
+    pub fn kind(&self) -> TransformKind {
+        self.kind
+    }
+
+    /// Transform size exponent (real length for real kinds, `rows · cols`
+    /// for 2D).
+    pub fn n_log2(&self) -> u32 {
+        self.n_log2
+    }
+
+    /// Complex slots of the execution buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.kind.buffer_len(self.n_log2)
+    }
+
+    /// The primary inner complex FFT workload (the row transform for 2D).
+    pub fn inner(&self) -> &Workload {
+        &self.inner
+    }
+
+    /// The column-FFT workload over the scratch plane (2D only).
+    pub fn col_inner(&self) -> Option<&Workload> {
+        self.col.as_ref()
+    }
+
+    /// Effective transpose tile edge exponent (2D only; 0 otherwise).
+    pub fn block_log2(&self) -> u32 {
+        self.block_log2
+    }
+
+    fn rows(&self) -> usize {
+        match self.kind {
+            TransformKind::C2C2D { rows_log2, .. } => 1usize << rows_log2,
+            _ => 1,
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self.kind {
+            TransformKind::C2C2D { cols_log2, .. } => 1usize << cols_log2,
+            _ => 1,
+        }
+    }
+
+    /// Packed half length of a real transform (`N/2`).
+    fn half(&self) -> usize {
+        1usize << (self.n_log2 - 1)
+    }
+
+    /// Untangle/tangle tasks: conjugate-symmetric bin pairs `k = 0..=N/4`,
+    /// chunked `radix` pairs per task.
+    fn n_pair_tasks(&self) -> usize {
+        let quarter = 1usize << (self.n_log2 - 2);
+        (quarter + 1).div_ceil(self.inner.plan().radix())
+    }
+
+    /// `c2r` finalize tasks: `radix`-element conjugate-scale chunks.
+    fn n_final_tasks(&self) -> usize {
+        self.half().div_ceil(self.inner.plan().radix())
+    }
+
+    /// Transpose tiles per direction.
+    fn n_tiles(&self) -> usize {
+        let b = 1usize << self.block_log2;
+        (self.rows() / b) * (self.cols() / b)
+    }
+
+    /// Total composite tasks.
+    pub fn n_tasks(&self) -> usize {
+        let t_in = self.inner.plan().total_codelets();
+        match self.kind {
+            TransformKind::C2C => t_in,
+            TransformKind::R2C => t_in + self.n_pair_tasks(),
+            TransformKind::C2R => self.n_pair_tasks() + t_in + self.n_final_tasks(),
+            TransformKind::C2C2D { .. } => {
+                let t_col = self.col.as_ref().unwrap().plan().total_codelets();
+                self.rows() * t_in + self.cols() * t_col + 2 * self.n_tiles()
+            }
+        }
+    }
+
+    /// The barrier phases execution honors, over composite task ids: inner
+    /// FFT stages stay stages (all rows of a 2D wave share each stage
+    /// phase), and every extra stage — tangle, untangle, each transpose,
+    /// finalize — is one phase of mutually disjoint tasks.
+    pub fn phases(&self) -> Vec<Vec<CodeletId>> {
+        let t_in = self.inner.plan().total_codelets();
+        let inner_stages = |offset: usize, copies: usize, per_copy: usize| {
+            let plan = self.inner.plan();
+            let cps = plan.codelets_per_stage();
+            (0..plan.stages())
+                .map(|s| {
+                    let mut ids = Vec::with_capacity(cps * copies);
+                    for r in 0..copies {
+                        ids.extend((0..cps).map(|idx| offset + r * per_copy + s * cps + idx));
+                    }
+                    ids
+                })
+                .collect::<Vec<_>>()
+        };
+        match self.kind {
+            TransformKind::C2C => inner_stages(0, 1, t_in),
+            TransformKind::R2C => {
+                let mut phases = inner_stages(0, 1, t_in);
+                phases.push((t_in..t_in + self.n_pair_tasks()).collect());
+                phases
+            }
+            TransformKind::C2R => {
+                let np = self.n_pair_tasks();
+                let mut phases = vec![(0..np).collect::<Vec<_>>()];
+                phases.extend(inner_stages(np, 1, t_in));
+                phases.push((np + t_in..np + t_in + self.n_final_tasks()).collect());
+                phases
+            }
+            TransformKind::C2C2D { .. } => {
+                let col_plan = *self.col.as_ref().unwrap().plan();
+                let t_col = col_plan.total_codelets();
+                let (rows, cols, tiles) = (self.rows(), self.cols(), self.n_tiles());
+                let mut phases = inner_stages(0, rows, t_in);
+                let base = rows * t_in;
+                phases.push((base..base + tiles).collect());
+                let col_base = base + tiles;
+                let col_cps = col_plan.codelets_per_stage();
+                for s in 0..col_plan.stages() {
+                    let mut ids = Vec::with_capacity(col_cps * cols);
+                    for c in 0..cols {
+                        ids.extend(
+                            (0..col_cps).map(|idx| col_base + c * t_col + s * col_cps + idx),
+                        );
+                    }
+                    phases.push(ids);
+                }
+                let back = col_base + cols * t_col;
+                phases.push((back..back + tiles).collect());
+                phases
+            }
+        }
+    }
+
+    /// Byte address of buffer element `e` — elements `0..buffer_len` are
+    /// the data buffer, `buffer_len..2·buffer_len` the 2D scratch plane
+    /// (the element-index convention recorded executions report).
+    pub fn element_addr(&self, e: usize) -> u64 {
+        let len = self.buffer_len();
+        if e < len {
+            self.data_base + e as u64 * ELEM_BYTES
+        } else {
+            assert!(
+                self.col.is_some() && e < 2 * len,
+                "element {e} outside data and scratch planes"
+            );
+            self.scratch_base + (e - len) as u64 * ELEM_BYTES
+        }
+    }
+
+    /// Byte address of untangle factor `k` (real kinds).
+    pub fn untangle_addr(&self, k: usize) -> u64 {
+        self.untangle_base + k as u64 * ELEM_BYTES
+    }
+
+    /// The `k` range (bin pairs) of untangle/tangle task `u`.
+    fn pair_range(&self, u: usize) -> (usize, usize) {
+        let chunk = self.inner.plan().radix();
+        let quarter = 1usize << (self.n_log2 - 2);
+        (u * chunk, ((u + 1) * chunk).min(quarter + 1))
+    }
+
+    fn emit_pair_stage(&self, u: usize, f: &mut impl FnMut(FootprintOp)) {
+        let half = self.half();
+        let (lo, hi) = self.pair_range(u);
+        let each = |k: usize, write: bool, f: &mut dyn FnMut(FootprintOp)| {
+            let emit = |slot: usize, f: &mut dyn FnMut(FootprintOp)| {
+                let addr = self.data_base + slot as u64 * ELEM_BYTES;
+                f(FootprintOp {
+                    range: if write {
+                        MemRange::write(addr, ELEM_BYTES)
+                    } else {
+                        MemRange::read(addr, ELEM_BYTES)
+                    },
+                    region: Region::Data,
+                });
+            };
+            emit(k, f);
+            // Bin 0 packs DC and Nyquist into slot 0; bin N/4 is its own
+            // mirror — both touch a single slot.
+            let mirror = (half - k) % half;
+            if mirror != k {
+                emit(mirror, f);
+            }
+        };
+        for k in lo..hi {
+            each(k, false, f);
+        }
+        // One untangle factor per pair; bin 0 combines real parts without
+        // a factor.
+        for k in lo.max(1)..hi {
+            f(FootprintOp {
+                range: MemRange::read(self.untangle_addr(k), ELEM_BYTES),
+                region: Region::Twiddle,
+            });
+        }
+        for k in lo..hi {
+            each(k, true, f);
+        }
+    }
+
+    fn emit_finalize(&self, u: usize, f: &mut impl FnMut(FootprintOp)) {
+        let radix = self.inner.plan().radix();
+        let (lo, hi) = (u * radix, ((u + 1) * radix).min(self.half()));
+        for e in lo..hi {
+            f(FootprintOp {
+                range: MemRange::read(self.data_base + e as u64 * ELEM_BYTES, ELEM_BYTES),
+                region: Region::Data,
+            });
+        }
+        for e in lo..hi {
+            f(FootprintOp {
+                range: MemRange::write(self.data_base + e as u64 * ELEM_BYTES, ELEM_BYTES),
+                region: Region::Data,
+            });
+        }
+    }
+
+    /// One transpose tile: `b` contiguous row-segment reads from the
+    /// source plane, `b` contiguous row-segment writes to the destination.
+    fn emit_transpose(&self, tile: usize, forward: bool, f: &mut impl FnMut(FootprintOp)) {
+        let (rows, cols) = (self.rows(), self.cols());
+        let b = 1usize << self.block_log2;
+        let (src_cols, dst_cols, src_base, src_region, dst_base, dst_region) = if forward {
+            (
+                cols,
+                rows,
+                self.data_base,
+                Region::Data,
+                self.scratch_base,
+                Region::Scratch,
+            )
+        } else {
+            (
+                rows,
+                cols,
+                self.scratch_base,
+                Region::Scratch,
+                self.data_base,
+                Region::Data,
+            )
+        };
+        let tiles_across = src_cols / b;
+        let bi = tile / tiles_across;
+        let bj = tile % tiles_across;
+        let seg = b as u64 * ELEM_BYTES;
+        for rr in 0..b {
+            let e = (bi * b + rr) * src_cols + bj * b;
+            f(FootprintOp {
+                range: MemRange::read(src_base + e as u64 * ELEM_BYTES, seg),
+                region: src_region,
+            });
+        }
+        for cc in 0..b {
+            let e = (bj * b + cc) * dst_cols + bi * b;
+            f(FootprintOp {
+                range: MemRange::write(dst_base + e as u64 * ELEM_BYTES, seg),
+                region: dst_region,
+            });
+        }
+    }
+
+    /// Inner FFT ops with the data plane offset to copy `copy` of a wave
+    /// (and, for the column wave, retargeted to the scratch plane).
+    fn emit_inner(
+        &self,
+        workload: &Workload,
+        copy: usize,
+        task: CodeletId,
+        scratch: bool,
+        f: &mut impl FnMut(FootprintOp),
+    ) {
+        let offset = (copy * workload.plan().n()) as u64 * ELEM_BYTES;
+        workload.for_each_op(task, |op| {
+            if op.region == Region::Data {
+                f(FootprintOp {
+                    range: MemRange {
+                        lo: op.range.lo + offset,
+                        hi: op.range.hi + offset,
+                        write: op.range.write,
+                    },
+                    region: if scratch {
+                        Region::Scratch
+                    } else {
+                        Region::Data
+                    },
+                });
+            } else {
+                f(op);
+            }
+        });
+    }
+
+    /// Visit every access of composite task `task`, in machine issue order.
+    pub fn for_each_op(&self, task: CodeletId, mut f: impl FnMut(FootprintOp)) {
+        let t_in = self.inner.plan().total_codelets();
+        match self.kind {
+            TransformKind::C2C => self.inner.for_each_op(task, f),
+            TransformKind::R2C => {
+                if task < t_in {
+                    self.inner.for_each_op(task, f);
+                } else {
+                    assert!(task < self.n_tasks(), "task {task} out of range");
+                    self.emit_pair_stage(task - t_in, &mut f);
+                }
+            }
+            TransformKind::C2R => {
+                let np = self.n_pair_tasks();
+                if task < np {
+                    self.emit_pair_stage(task, &mut f);
+                } else if task < np + t_in {
+                    self.inner.for_each_op(task - np, f);
+                } else {
+                    assert!(task < self.n_tasks(), "task {task} out of range");
+                    self.emit_finalize(task - np - t_in, &mut f);
+                }
+            }
+            TransformKind::C2C2D { .. } => {
+                let col = self.col.as_ref().unwrap();
+                let t_col = col.plan().total_codelets();
+                let (rows, cols, tiles) = (self.rows(), self.cols(), self.n_tiles());
+                let row_end = rows * t_in;
+                let t1_end = row_end + tiles;
+                let col_end = t1_end + cols * t_col;
+                if task < row_end {
+                    self.emit_inner(&self.inner, task / t_in, task % t_in, false, &mut f);
+                } else if task < t1_end {
+                    self.emit_transpose(task - row_end, true, &mut f);
+                } else if task < col_end {
+                    let t = task - t1_end;
+                    self.emit_inner(col, t / t_col, t % t_col, true, &mut f);
+                } else {
+                    assert!(task < col_end + tiles, "task {task} out of range");
+                    self.emit_transpose(task - col_end, false, &mut f);
+                }
+            }
+        }
+    }
+
+    /// Classify composite task `task` — the same decode
+    /// [`KindWorkload::for_each_op`] performs, exposed so cost models (the
+    /// simulator) and reports can price a task without re-deriving the
+    /// numbering.
+    pub fn task_class(&self, task: CodeletId) -> KindTaskClass {
+        let t_in = self.inner.plan().total_codelets();
+        let inner_q = |w: &Workload, t: CodeletId| KindTaskClass::Inner {
+            q: w.plan().levels(w.plan().stage_of(t)),
+        };
+        match self.kind {
+            TransformKind::C2C => inner_q(&self.inner, task),
+            TransformKind::R2C => {
+                if task < t_in {
+                    inner_q(&self.inner, task)
+                } else {
+                    let (lo, hi) = self.pair_range(task - t_in);
+                    KindTaskClass::Pair { bins: hi - lo }
+                }
+            }
+            TransformKind::C2R => {
+                let np = self.n_pair_tasks();
+                if task < np {
+                    let (lo, hi) = self.pair_range(task);
+                    KindTaskClass::Pair { bins: hi - lo }
+                } else if task < np + t_in {
+                    inner_q(&self.inner, task - np)
+                } else {
+                    let radix = self.inner.plan().radix();
+                    let u = task - np - t_in;
+                    let (lo, hi) = (u * radix, ((u + 1) * radix).min(self.half()));
+                    KindTaskClass::Finalize { elems: hi - lo }
+                }
+            }
+            TransformKind::C2C2D { .. } => {
+                let col = self.col.as_ref().unwrap();
+                let t_col = col.plan().total_codelets();
+                let (rows, cols, tiles) = (self.rows(), self.cols(), self.n_tiles());
+                let row_end = rows * t_in;
+                let t1_end = row_end + tiles;
+                let col_end = t1_end + cols * t_col;
+                if task < row_end {
+                    inner_q(&self.inner, task % t_in)
+                } else if task < t1_end || task >= col_end {
+                    let b = 1usize << self.block_log2;
+                    KindTaskClass::Tile { elems: b * b }
+                } else {
+                    inner_q(col, (task - t1_end) % t_col)
+                }
+            }
+        }
+    }
+
+    /// The memory footprint of composite task `task` — every byte range it
+    /// touches, classified read or write.
+    pub fn footprint(&self, task: CodeletId) -> Vec<MemRange> {
+        let mut out = Vec::new();
+        self.for_each_op(task, |op| out.push(op.range));
+        out
+    }
+}
+
+/// Coarse class of one composite task — what work it does, for cost models
+/// and reports. Obtained from [`KindWorkload::task_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindTaskClass {
+    /// A codelet of an inner complex FFT wave.
+    Inner {
+        /// Butterfly levels of the codelet's stage.
+        q: u32,
+    },
+    /// An untangle/tangle task over conjugate-symmetric bin pairs.
+    Pair {
+        /// Bin pairs processed.
+        bins: usize,
+    },
+    /// A transpose tile move.
+    Tile {
+        /// Elements moved.
+        elems: usize,
+    },
+    /// A `c2r` finalize span (conjugate + scale).
+    Finalize {
+        /// Elements scaled.
+        elems: usize,
+    },
 }
 
 /// Element indices of one stage, codelet-major: entry `idx · radix + slot`
@@ -871,21 +1597,25 @@ mod tests {
         let short = ScheduleTuning {
             pool_order: Some(vec![0, 1]),
             last_early: None,
+            transpose_block_log2: None,
         };
         assert!(short.validate(&plan).is_err(), "wrong length");
         let dup = ScheduleTuning {
             pool_order: Some(vec![0; cps]),
             last_early: None,
+            transpose_block_log2: None,
         };
         assert!(dup.validate(&plan).is_err(), "not a permutation");
         let bad_split = ScheduleTuning {
             pool_order: None,
             last_early: Some(plan.stages() - 1),
+            transpose_block_log2: None,
         };
         assert!(bad_split.validate(&plan).is_err(), "empty late phase");
         let good = ScheduleTuning {
             pool_order: Some((0..cps).rev().collect()),
             last_early: Some(0),
+            transpose_block_log2: None,
         };
         assert!(good.validate(&plan).is_ok());
     }
@@ -932,6 +1662,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: Some(perm.clone()),
             last_early: None,
+            transpose_block_log2: None,
         };
         match ScheduleSpec::of_tuned(plan, Version::Coarse, Some(&tuning)) {
             ScheduleSpec::Phased { phases } => {
@@ -958,6 +1689,7 @@ mod tests {
         let tuning = ScheduleTuning {
             pool_order: None,
             last_early: Some(0),
+            transpose_block_log2: None,
         };
         match ScheduleSpec::of_tuned(plan, Version::FineGuided, Some(&tuning)) {
             ScheduleSpec::Guided { early, late, .. } => {
@@ -980,6 +1712,7 @@ mod tests {
         let bad = ScheduleTuning {
             pool_order: Some(vec![1, 2, 3]),
             last_early: None,
+            transpose_block_log2: None,
         };
         ScheduleSpec::of_tuned(plan, Version::FineGuided, Some(&bad));
     }

@@ -52,7 +52,8 @@ use crate::bufpool::Lease;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, ServeStats};
 use fgfft::exec::Version;
-use fgfft::planner::Planner;
+use fgfft::planner::{PlanKey, Planner};
+use fgfft::workload::TransformKind;
 use fgfft::Complex64;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -236,9 +237,14 @@ impl PartialEq<[Complex64]> for Payload {
 pub struct Request {
     /// The data; transformed in place and returned in the [`Response`].
     pub buffer: Payload,
-    /// Expected transform size; must equal `buffer.len()` and be a power of
-    /// two ≥ 2.
+    /// Logical transform size; must be a power of two ≥ 2, and
+    /// `buffer.len()` must equal the kind's buffer length for it (`n` for
+    /// C2C and 2D, `n/2` packed samples for the real kinds).
     pub n: usize,
+    /// Which transform to run on the buffer; defaults to
+    /// [`TransformKind::C2C`]. Requests of different kinds never share a
+    /// batch — each kind resolves its own plan-cache entry.
+    pub kind: TransformKind,
     /// If set and already passed when a dispatcher reaches the request —
     /// at batch formation or at settlement after the transform ran — the
     /// request completes with [`ServeError::DeadlineExceeded`].
@@ -270,10 +276,23 @@ impl Request {
         Self {
             buffer,
             n,
+            kind: TransformKind::C2C,
             deadline: None,
             tenant: None,
             lane: Lane::default(),
         }
+    }
+
+    /// Choose the transform kind. For the real kinds the buffer holds the
+    /// packed half-size complex samples, so `n` (which
+    /// [`Request::new`] inferred from the buffer length) is re-derived as
+    /// twice the buffer length.
+    pub fn with_kind(mut self, kind: TransformKind) -> Self {
+        if matches!(kind, TransformKind::R2C | TransformKind::C2R) {
+            self.n = self.buffer.len() * 2;
+        }
+        self.kind = kind;
+        self
     }
 
     /// Attach a dispatch deadline.
@@ -414,6 +433,7 @@ impl Ticket {
 struct Job {
     buffer: Payload,
     n_log2: u32,
+    kind: TransformKind,
     deadline: Option<Instant>,
     lane: Lane,
     submitted: Instant,
@@ -573,16 +593,26 @@ impl FftService {
         if !self.shared.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let n = request.buffer.len();
-        if n != request.n {
+        let declared = request.n;
+        if declared < 2 || !declared.is_power_of_two() {
             return Err(ServeError::BadRequest(format!(
-                "buffer length {n} does not match declared n {}",
-                request.n
+                "length {declared} is not a power of two ≥ 2"
             )));
         }
-        if n < 2 || !n.is_power_of_two() {
+        let n_log2 = declared.trailing_zeros();
+        if let Err(why) = request.kind.validate(n_log2) {
             return Err(ServeError::BadRequest(format!(
-                "length {n} is not a power of two ≥ 2"
+                "kind {} does not fit n {declared}: {why}",
+                request.kind.as_string()
+            )));
+        }
+        let expected = request.kind.buffer_len(n_log2);
+        if request.buffer.len() != expected {
+            return Err(ServeError::BadRequest(format!(
+                "buffer length {} does not match declared n {declared} (kind {} \
+                 takes {expected} complex samples)",
+                request.buffer.len(),
+                request.kind.as_string()
             )));
         }
         // QoS after validation: malformed requests are not charged to the
@@ -598,6 +628,7 @@ impl FftService {
         }
         let Request {
             buffer,
+            kind,
             deadline,
             lane,
             ..
@@ -605,7 +636,8 @@ impl FftService {
         let state = Arc::new(TicketState::default());
         let job = Job {
             buffer,
-            n_log2: n.trailing_zeros(),
+            n_log2,
+            kind,
             deadline,
             lane,
             submitted: Instant::now(),
@@ -746,7 +778,8 @@ fn dispatcher_loop(shared: &Shared) {
                     match shared.queue.try_pop() {
                         Some(next) => {
                             batch.push(next);
-                            if batch[batch.len() - 1].n_log2 != batch[0].n_log2 {
+                            let last = &batch[batch.len() - 1];
+                            if last.n_log2 != batch[0].n_log2 || last.kind != batch[0].kind {
                                 break;
                             }
                         }
@@ -790,9 +823,10 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
         // Split off the leading run of equal sizes (the gather above makes
         // mixed batches rare: at most the final element differs).
         let n_log2 = batch[0].n_log2;
+        let kind = batch[0].kind;
         let split = batch
             .iter()
-            .position(|j| j.n_log2 != n_log2)
+            .position(|j| j.n_log2 != n_log2 || j.kind != kind)
             .unwrap_or(batch.len());
         let mut group: Vec<Job> = batch.drain(..split).collect();
         // Deadline check at the moment *this group* is reached, not once
@@ -812,16 +846,20 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
             continue;
         }
         let n = 1usize << n_log2;
+        let key = PlanKey::with_kind(
+            kind,
+            n,
+            shared.config.version,
+            shared.config.version.layout(),
+            6,
+        );
         // Cold-plan slow start: a size whose plan is not cached yet serves
         // at most the gate's window this dispatch; the excess goes back on
         // the queue (already admitted, so the capacity bound does not
         // apply, and it is not re-counted as accepted) and is served as
         // soon as the plan is warm. Skipped during shutdown drain — there
         // is no warm traffic left to protect, and deferring would spin.
-        let cold =
-            !shared
-                .planner
-                .is_warm(n, shared.config.version, shared.config.version.layout());
+        let cold = !shared.planner.is_warm_key(&key);
         if cold && !shared.stop.load(Ordering::Acquire) {
             let window = shared.cold_gate.window();
             if group.len() > window {
@@ -838,10 +876,7 @@ fn serve_batch(shared: &Shared, runtime: &codelet::runtime::Runtime, batch: &mut
         }
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             shared.config.fault.before_dispatch(n);
-            let plan =
-                shared
-                    .planner
-                    .plan(n, shared.config.version, shared.config.version.layout());
+            let plan = shared.planner.plan_key(key);
             // Backend routing: an explicit config choice wins, else the
             // wisdom entry for this key (what fgtune measured fastest),
             // else the scalar path. All three produce identical bits.
@@ -989,6 +1024,75 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.accepted, 0);
         assert_eq!(stats.rejected, 0, "bad requests are not overload");
+    }
+
+    #[test]
+    fn serves_transform_kinds_through_their_own_plans() {
+        // An r2c request (packed half-size buffer) and a 2D request of the
+        // same logical size ride the same service but resolve distinct
+        // plan-cache entries, and both match the library veneers bit for
+        // bit.
+        let n = 1 << 8;
+        let real: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let packed: Vec<Complex64> = (0..n / 2)
+            .map(|i| Complex64::new(real[2 * i], real[2 * i + 1]))
+            .collect();
+        let plane = signal(n);
+
+        let service = FftService::start(small_config());
+        let r2c = service
+            .submit(Request::new(packed.clone()).with_kind(TransformKind::R2C))
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+        let two_d = service
+            .submit(Request::new(plane.clone()).with_kind(TransformKind::C2C2D {
+                rows_log2: 4,
+                cols_log2: 4,
+            }))
+            .expect("admitted")
+            .wait()
+            .expect("completed");
+
+        // Oracles: the in-process veneers over the same planner machinery.
+        let spectrum = fgfft::rfft(&real);
+        assert_eq!(r2c.buffer.len(), n / 2);
+        assert_eq!(r2c.buffer[0].re, spectrum[0].re);
+        assert_eq!(r2c.buffer[0].im, spectrum[n / 2].re);
+        for (k, bin) in spectrum.iter().enumerate().take(n / 2).skip(1) {
+            assert_eq!(r2c.buffer[k], *bin, "bin {k}");
+        }
+        let mut expect_2d = plane;
+        fgfft::Fft2d::new(16, 16).forward(&mut expect_2d);
+        assert_eq!(&two_d.buffer[..], &expect_2d[..]);
+
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.planner.built, 2, "one plan per kind");
+    }
+
+    #[test]
+    fn rejects_kind_buffer_mismatches() {
+        let service = FftService::start(small_config());
+        // A full-length buffer declared r2c: the kind takes n/2 samples.
+        let mut req = Request::new(signal(16)).with_kind(TransformKind::R2C);
+        req.n = 16;
+        req.buffer = Payload::Owned(signal(16));
+        assert!(matches!(
+            service.submit(req),
+            Err(ServeError::BadRequest(_))
+        ));
+        // A 2D kind whose axes do not multiply out to n.
+        let req = Request::new(signal(16)).with_kind(TransformKind::C2C2D {
+            rows_log2: 3,
+            cols_log2: 3,
+        });
+        assert!(matches!(
+            service.submit(req),
+            Err(ServeError::BadRequest(_))
+        ));
+        let stats = service.shutdown();
+        assert_eq!(stats.accepted, 0);
     }
 
     #[test]

@@ -336,10 +336,18 @@ impl FftCluster {
         self.wisdom_status
     }
 
-    /// Which shard serves `n`-point transforms — routing introspection for
-    /// tests and load reports.
+    /// Which shard serves `n`-point C2C transforms — routing introspection
+    /// for tests and load reports.
     pub fn shard_for(&self, n: usize) -> usize {
-        let key = PlanKey::new(n, self.version, self.version.layout());
+        self.shard_for_kind(fgfft::TransformKind::C2C, n)
+    }
+
+    /// Which shard serves `n`-point transforms of `kind`: requests route
+    /// on the full extended [`PlanKey`], so e.g. the r2c and c2c plans of
+    /// the same size may live on different shards, each keeping its own
+    /// cache warm.
+    pub fn shard_for_kind(&self, kind: fgfft::TransformKind, n: usize) -> usize {
+        let key = PlanKey::with_kind(kind, n, self.version, self.version.layout(), 6);
         self.ring.route(hash_of(&key))
     }
 
@@ -350,18 +358,29 @@ impl FftCluster {
     /// the front door's ([`ServeError::Throttled`],
     /// [`ServeError::BadRequest`]).
     pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
-        // Validate before routing: `PlanKey::new` asserts on bad sizes, and
-        // a malformed request must come back as `BadRequest`, not a panic.
-        let n = request.buffer.len();
-        if n != request.n {
+        // Validate before routing: `PlanKey::with_kind` asserts on bad
+        // sizes and ill-fitting kinds, and a malformed request must come
+        // back as `BadRequest`, not a panic.
+        let declared = request.n;
+        if declared < 2 || !declared.is_power_of_two() {
             return Err(ServeError::BadRequest(format!(
-                "buffer length {n} does not match declared n {}",
-                request.n
+                "length {declared} is not a power of two ≥ 2"
             )));
         }
-        if n < 2 || !n.is_power_of_two() {
+        let n_log2 = declared.trailing_zeros();
+        if let Err(why) = request.kind.validate(n_log2) {
             return Err(ServeError::BadRequest(format!(
-                "length {n} is not a power of two ≥ 2"
+                "kind {} does not fit n {declared}: {why}",
+                request.kind.as_string()
+            )));
+        }
+        let expected = request.kind.buffer_len(n_log2);
+        if request.buffer.len() != expected {
+            return Err(ServeError::BadRequest(format!(
+                "buffer length {} does not match declared n {declared} (kind {} \
+                 takes {expected} complex samples)",
+                request.buffer.len(),
+                request.kind.as_string()
             )));
         }
         if let Some(governor) = &self.governor {
@@ -370,7 +389,7 @@ impl FftCluster {
                 return Err(err);
             }
         }
-        let shard = &self.shards[self.shard_for(n)];
+        let shard = &self.shards[self.shard_for_kind(request.kind, declared)];
         match shard.service.read() {
             Ok(service) => service.submit(request),
             Err(poisoned) => poisoned.into_inner().submit(request),

@@ -1,9 +1,11 @@
 //! `fgtune` — autotune FFT schedules and persist the winners as wisdom.
 //!
 //! ```text
-//! fgtune [--n N | --n-log2 LOG2] [--radix-log2 P] [--budget DUR]
+//! fgtune [--n N | --n-log2 LOG2] [--radix-log2 P] [--kind K] [--budget DUR]
 //!        [--seed S] [--reps K] [--out PATH] [--report PATH|-] [--smoke]
 //!
+//!   --kind      c2c | r2c | c2r | c2c2d:<rows_log2>x<cols_log2> (default c2c;
+//!               2D kinds add the transpose tile edge as a search axis)
 //!   --budget    wall-clock search budget: "10s", "500ms", "2m" (default 10s)
 //!   --out       wisdom file to write (default fgtune-wisdom.json)
 //!   --report    write the JSON report to PATH, or "-" for stdout
@@ -23,6 +25,7 @@ use std::time::Duration;
 struct Cli {
     n_log2: u32,
     radix_log2: u32,
+    kind: fgfft::TransformKind,
     budget: Duration,
     seed: u64,
     reps: usize,
@@ -32,6 +35,7 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: fgtune [--n N | --n-log2 LOG2] [--radix-log2 P] \
+                     [--kind c2c|r2c|c2r|c2c2d:<rows_log2>x<cols_log2>] \
                      [--budget DUR] [--seed S] [--reps K] [--out PATH] \
                      [--report PATH|-] [--smoke]";
 
@@ -56,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         n_log2: 12,
         radix_log2: 6,
+        kind: fgfft::TransformKind::C2C,
         budget: Duration::from_secs(10),
         seed: 0x5EED_F617,
         reps: 5,
@@ -77,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--n"
                 | "--n-log2"
                 | "--radix-log2"
+                | "--kind"
                 | "--budget"
                 | "--seed"
                 | "--reps"
@@ -104,6 +110,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| format!("bad --radix-log2 {value}"))?;
             }
+            "--kind" => {
+                cli.kind = fgfft::TransformKind::parse(value)
+                    .ok_or_else(|| format!("unknown kind {value}\n{USAGE}"))?;
+            }
             "--budget" => cli.budget = parse_budget(value)?,
             "--seed" => {
                 cli.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?;
@@ -125,6 +135,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cli.n_log2 = cli.n_log2.min(10);
         cli.budget = cli.budget.min(Duration::from_secs(2));
         cli.reps = cli.reps.min(3);
+    }
+    if let Err(why) = cli.kind.validate(cli.n_log2) {
+        return Err(format!("--kind does not fit the size: {why}"));
     }
     Ok(cli)
 }
@@ -153,7 +166,7 @@ fn smoke_check(path: &std::path::Path, written: &Wisdom) -> Result<(), String> {
 }
 
 fn run(cli: &Cli) -> Result<(), String> {
-    let space = TuningSpace::new(cli.n_log2, cli.radix_log2);
+    let space = TuningSpace::new(cli.n_log2, cli.radix_log2).with_kind(cli.kind);
     let config = TuneConfig {
         budget: cli.budget,
         seed: cli.seed,

@@ -44,6 +44,7 @@ pub enum Screened {
 pub fn prescreen(space: &TuningSpace, candidate: &Candidate) -> Screened {
     let mut opts = FftCheckOptions::new(space.n_log2, candidate.version);
     opts.radix_log2 = space.radix_log2;
+    opts.kind = space.kind;
     opts.layout = Some(candidate.layout);
     // Pass 4 (plan-table verification) builds a full Plan per call — too
     // heavy for the in-loop prescreen. The search runs it once per *winner*
@@ -63,15 +64,30 @@ pub fn prescreen(space: &TuningSpace, candidate: &Candidate) -> Screened {
         .filter_map(|level| report.bank.imbalance(level))
         .fold(1.0f64, f64::max);
 
-    let plan = space.plan();
-    let spec = ScheduleSpec::of_tuned(plan, candidate.version, Some(&candidate.tuning));
-    let sim = run_sim_spec(
-        plan,
-        candidate.layout,
-        &spec,
-        &ChipConfig::default(),
-        &SimOptions::default(),
-    );
+    let sim = if space.kind.is_c2c() {
+        let plan = space.plan();
+        let spec = ScheduleSpec::of_tuned(plan, candidate.version, Some(&candidate.tuning));
+        run_sim_spec(
+            plan,
+            candidate.layout,
+            &spec,
+            &ChipConfig::default(),
+            &SimOptions::default(),
+        )
+    } else {
+        // Composite kinds replay the full barrier-phased schedule
+        // (pack/untangle/transpose included); the pool-order override only
+        // permutes the inner waves, which the coarse replay absorbs, so the
+        // makespan is per-(kind, layout) rather than per-permutation.
+        fgfft::run_sim_kind(
+            space.kind,
+            space.n_log2,
+            space.plan().radix_log2(),
+            candidate.layout,
+            &ChipConfig::default(),
+            &SimOptions::default(),
+        )
+    };
     Screened::Passed(StaticScreen {
         makespan_cycles: sim.makespan_cycles,
         bank_imbalance: sim.bank_imbalance(),
@@ -165,7 +181,7 @@ impl Gate {
 /// costs are likewise untimed — services pay them once per key, not per
 /// transform.
 pub fn measure_candidate(space: &TuningSpace, candidate: &Candidate, reps: usize) -> u64 {
-    let key = candidate.key(space.n_log2, space.radix_log2);
+    let key = candidate.key(space.kind, space.n_log2, space.radix_log2);
     let plan = std::sync::Arc::new(Plan::build_tuned(key, Some(&candidate.tuning)));
     let prepared = candidate.backend.build().prepare(&plan);
     let runtime = Runtime::with_workers(candidate.workers);
@@ -175,7 +191,7 @@ pub fn measure_candidate(space: &TuningSpace, candidate: &Candidate, reps: usize
 /// Median-of-`reps` per-transform wall time of an already-built plan on
 /// the historical scalar path.
 pub fn measure_plan(plan: &Plan, runtime: &Runtime, batch: usize, reps: usize) -> u64 {
-    measure_batches(plan.n(), runtime, batch, reps, |views, rt| {
+    measure_batches(plan.buffer_len(), runtime, batch, reps, |views, rt| {
         plan.execute_batch(views, rt);
     })
 }
@@ -188,9 +204,15 @@ pub fn measure_prepared(
     batch: usize,
     reps: usize,
 ) -> u64 {
-    measure_batches(prepared.plan().n(), runtime, batch, reps, |views, rt| {
-        prepared.execute_batch(views, rt);
-    })
+    measure_batches(
+        prepared.plan().buffer_len(),
+        runtime,
+        batch,
+        reps,
+        |views, rt| {
+            prepared.execute_batch(views, rt);
+        },
+    )
 }
 
 fn measure_batches(
@@ -252,6 +274,7 @@ mod tests {
             tuning: ScheduleTuning {
                 pool_order: Some((0..cps).rev().collect()),
                 last_early: None,
+                transpose_block_log2: None,
             },
             workers: 2,
             batch: 2,

@@ -241,7 +241,7 @@ pub fn tune(space: &TuningSpace, config: &TuneConfig) -> TuneOutcome {
     let fallback_seed = seeds.iter().map(|m| m.median_ns).min().unwrap_or(u64::MAX);
     let mut keys: Vec<PlanKey> = Vec::new();
     for m in &all {
-        let key = m.candidate.key(space.n_log2, space.radix_log2);
+        let key = m.candidate.key(space.kind, space.n_log2, space.radix_log2);
         if !keys.contains(&key) {
             keys.push(key);
         }
@@ -249,12 +249,12 @@ pub fn tune(space: &TuningSpace, config: &TuneConfig) -> TuneOutcome {
     for key in keys {
         let best_for_key = all
             .iter()
-            .filter(|m| m.candidate.key(space.n_log2, space.radix_log2) == key)
+            .filter(|m| m.candidate.key(space.kind, space.n_log2, space.radix_log2) == key)
             .min_by_key(|m| m.median_ns)
             .expect("key came from this list");
         let seed_for_key = seeds
             .iter()
-            .find(|m| m.candidate.key(space.n_log2, space.radix_log2) == key)
+            .find(|m| m.candidate.key(space.kind, space.n_log2, space.radix_log2) == key)
             .map(|m| m.median_ns)
             .unwrap_or(fallback_seed);
         if best_for_key.is_seed || best_for_key.median_ns <= seed_for_key {
@@ -265,6 +265,7 @@ pub fn tune(space: &TuningSpace, config: &TuneConfig) -> TuneOutcome {
             // it as the bug it is rather than emit uncertified wisdom.
             let mut opts = fgcheck::FftCheckOptions::new(key.n_log2, key.version);
             opts.radix_log2 = key.radix_log2;
+            opts.kind = key.kind;
             opts.layout = Some(key.layout);
             let cert = fgcheck::certify(&opts, Some(&best_for_key.candidate.tuning))
                 .unwrap_or_else(|diags| {
@@ -337,6 +338,7 @@ mod tests {
         for entry in outcome.wisdom.entries() {
             let mut opts = FftCheckOptions::new(entry.key.n_log2, entry.key.version);
             opts.radix_log2 = entry.key.radix_log2;
+            opts.kind = entry.key.kind;
             opts.layout = Some(entry.key.layout);
             let check = fgcheck::check_fft_tuned(&opts, Some(&entry.tuning));
             assert!(!check.has_errors(), "wisdom entry fails static checks");

@@ -3,7 +3,8 @@
 
 use fgfft::exec::{SeedOrder, Version};
 use fgfft::planner::PlanKey;
-use fgfft::{BackendKind, BackendSel, FftPlan, ScheduleTuning, TwiddleLayout};
+use fgfft::workload::SCRATCHPAD_RADIX_LOG2;
+use fgfft::{BackendKind, BackendSel, FftPlan, ScheduleTuning, TransformKind, TwiddleLayout};
 use fgsupport::rng::Rng64;
 
 /// One point in the search space: a complete recipe the service could run.
@@ -25,8 +26,8 @@ pub struct Candidate {
 
 impl Candidate {
     /// The plan-cache key this candidate tunes.
-    pub fn key(&self, n_log2: u32, radix_log2: u32) -> PlanKey {
-        PlanKey::with_radix(1 << n_log2, self.version, self.layout, radix_log2)
+    pub fn key(&self, kind: TransformKind, n_log2: u32, radix_log2: u32) -> PlanKey {
+        PlanKey::with_kind(kind, 1 << n_log2, self.version, self.layout, radix_log2)
     }
 
     /// Short human label for logs and reports.
@@ -39,12 +40,17 @@ impl Candidate {
             None => String::new(),
             Some(s) => format!(" split@{s}"),
         };
+        let block = match self.tuning.transpose_block_log2 {
+            None => String::new(),
+            Some(b) => format!(" tb{b}"),
+        };
         format!(
-            "{}/{} {}{} w{} b{} {}",
+            "{}/{} {}{}{} w{} b{} {}",
             fgfft::wisdom::version_to_string(self.version),
             fgfft::wisdom::layout_to_string(self.layout),
             order,
             split,
+            block,
             self.workers,
             self.batch,
             self.backend
@@ -64,6 +70,9 @@ pub struct TuningSpace {
     pub n_log2: u32,
     /// Codelet radix exponent.
     pub radix_log2: u32,
+    /// Transform kind the space tunes. Composite kinds tune the *inner*
+    /// complex schedule (plus, for 2D, the transpose tile edge).
+    pub kind: TransformKind,
     /// Versions to tune over.
     pub versions: Vec<Version>,
     /// Layouts to tune over.
@@ -90,6 +99,7 @@ impl TuningSpace {
         Self {
             n_log2,
             radix_log2,
+            kind: TransformKind::C2C,
             versions: vec![
                 Version::Fine(SeedOrder::Natural),
                 Version::FineHash(SeedOrder::Natural),
@@ -114,9 +124,27 @@ impl TuningSpace {
         }
     }
 
-    /// The index-algebra plan of this problem size.
+    /// As [`TuningSpace::new`] for a non-C2C transform kind. Panics when
+    /// the kind does not fit the size.
+    pub fn with_kind(mut self, kind: TransformKind) -> Self {
+        if let Err(why) = kind.validate(self.n_log2) {
+            panic!("invalid transform kind: {why}");
+        }
+        self.kind = kind;
+        self
+    }
+
+    /// The index-algebra plan the schedule axes range over: the transform
+    /// itself for C2C, the packed/row inner complex plan for composite
+    /// kinds (with the composite radix clamp applied, mirroring
+    /// [`PlanKey::with_kind`]).
     pub fn plan(&self) -> FftPlan {
-        FftPlan::new(self.n_log2, self.radix_log2.min(self.n_log2))
+        let inner = self.kind.inner_n_log2(self.n_log2);
+        let mut radix = self.radix_log2.min(inner);
+        if !self.kind.is_c2c() {
+            radix = radix.min(SCRATCHPAD_RADIX_LOG2);
+        }
+        FftPlan::new(inner, radix)
     }
 
     /// Codelets per stage — the length of a pool-order permutation.
@@ -146,6 +174,7 @@ impl TuningSpace {
             tuning: ScheduleTuning {
                 pool_order: self.random_pool_order(rng),
                 last_early: self.random_split(version, rng),
+                transpose_block_log2: self.random_block(rng),
             },
             workers: self.workers[rng.gen_range(0..self.workers.len())],
             batch: self.batches[rng.gen_range(0..self.batches.len())],
@@ -160,8 +189,8 @@ impl TuningSpace {
         let stages = self.plan().stages();
         // Move kinds: 0‒1 swap (most of the space lives in the pool order,
         // so it gets double weight), 2 split nudge, 3 workers, 4 batch,
-        // 5 backend.
-        match rng.gen_range(0..6) {
+        // 5 backend, 6 transpose-block nudge (2D only; swap otherwise).
+        match rng.gen_range(0..7) {
             0 | 1 => self.swap_move(&mut c, rng),
             2 if c.version == Version::FineGuided && stages >= 3 => {
                 let cur = c.tuning.last_early.unwrap_or(stages.saturating_sub(3));
@@ -175,9 +204,38 @@ impl TuningSpace {
             2 => self.swap_move(&mut c, rng),
             3 => c.workers = self.workers[rng.gen_range(0..self.workers.len())],
             4 => c.batch = self.batches[rng.gen_range(0..self.batches.len())],
-            _ => c.backend = self.backends[rng.gen_range(0..self.backends.len())],
+            5 => c.backend = self.backends[rng.gen_range(0..self.backends.len())],
+            _ => match self.block_choices() {
+                Some(blocks) => {
+                    c.tuning.transpose_block_log2 = blocks[rng.gen_range(0..blocks.len())];
+                }
+                None => self.swap_move(&mut c, rng),
+            },
         }
         c
+    }
+
+    /// The transpose tile-edge exponents worth trying: `None` = the
+    /// planner's default, plus every power of two from 2^2 up to the 2D
+    /// plane's smaller axis (capped at 2^6 — past that a tile no longer
+    /// fits any plausible cache). Empty for non-2D kinds.
+    fn block_choices(&self) -> Option<Vec<Option<u32>>> {
+        let TransformKind::C2C2D {
+            rows_log2,
+            cols_log2,
+        } = self.kind
+        else {
+            return None;
+        };
+        let max = rows_log2.min(cols_log2).min(6);
+        let mut out = vec![None];
+        out.extend((2..=max).map(Some));
+        Some(out)
+    }
+
+    fn random_block(&self, rng: &mut Rng64) -> Option<u32> {
+        let blocks = self.block_choices()?;
+        blocks[rng.gen_range(0..blocks.len())]
     }
 
     fn swap_move(&self, c: &mut Candidate, rng: &mut Rng64) {
@@ -255,6 +313,39 @@ mod tests {
                     space.neighbor(&c, &mut rng)
                 };
             }
+        }
+    }
+
+    #[test]
+    fn kind_spaces_sample_valid_candidates() {
+        let two_d = TransformKind::C2C2D {
+            rows_log2: 5,
+            cols_log2: 7,
+        };
+        for kind in [TransformKind::R2C, two_d] {
+            let space = TuningSpace::new(12, 6).with_kind(kind);
+            let plan = space.plan();
+            assert_eq!(plan.n_log2(), kind.inner_n_log2(12));
+            let mut rng = Rng64::seed_from_u64(11);
+            let mut c = space.random_candidate(&mut rng);
+            let mut saw_block = false;
+            for step in 0..200 {
+                c.tuning
+                    .validate(&plan)
+                    .unwrap_or_else(|e| panic!("{kind:?} step {step}: {e}"));
+                saw_block |= c.tuning.transpose_block_log2.is_some();
+                assert_eq!(c.key(kind, space.n_log2, space.radix_log2).kind, kind);
+                c = if step % 3 == 0 {
+                    space.random_candidate(&mut rng)
+                } else {
+                    space.neighbor(&c, &mut rng)
+                };
+            }
+            assert_eq!(
+                saw_block,
+                matches!(kind, TransformKind::C2C2D { .. }),
+                "{kind:?}: only 2D walks explore the transpose-block axis"
+            );
         }
     }
 

@@ -33,6 +33,7 @@ fn tuned_plan(n_log2: u32, version: Version, layout: TwiddleLayout, rng: &mut Rn
     let tuning = ScheduleTuning {
         pool_order: Some(order),
         last_early: None,
+        transpose_block_log2: None,
     };
     Plan::build_tuned(PlanKey::new(1 << n_log2, version, layout), Some(&tuning))
 }
@@ -245,6 +246,7 @@ fn corrupted_wisdom_files_never_load_silently() {
     let tuning = ScheduleTuning {
         pool_order: Some((0..8).rev().collect()),
         last_early: None,
+        transpose_block_log2: None,
     };
     let cert = Certificate::for_plan(&Plan::build_tuned(key, Some(&tuning))).unwrap();
     let mut wisdom = Wisdom::new();
@@ -314,4 +316,160 @@ fn corrupted_wisdom_files_never_load_silently() {
         "fuzzing should reject most mutants, rejected only {rejected}/60"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The composite kinds through the same gauntlet, clean side: every
+/// unmodified r2c/c2r/2D plan — all versions, both layouts — passes pass 4
+/// plus the FG409 kind extension and verifies its own certificate.
+#[test]
+fn unmutated_composite_plans_have_no_false_positives() {
+    use fgfft::workload::TransformKind;
+    let kinds = [
+        TransformKind::R2C,
+        TransformKind::C2R,
+        TransformKind::C2C2D {
+            rows_log2: 4,
+            cols_log2: 5,
+        },
+    ];
+    for kind in kinds {
+        for &version in &VERSIONS {
+            for &layout in &LAYOUTS {
+                let plan = Plan::build(PlanKey::with_kind(kind, 1 << 9, version, layout, 6));
+                let mut diags = check_plan(&plan);
+                diags.extend(fgcheck::check_kind_extensions(&plan));
+                assert!(
+                    diags.is_empty(),
+                    "{kind:?}/{version:?}/{layout:?}: {diags:?}"
+                );
+                let cert = Certificate::for_plan(&plan).expect("untuned plan");
+                cert.verify_plan(&plan)
+                    .unwrap_or_else(|e| panic!("{kind:?}/{version:?}/{layout:?}: {e}"));
+            }
+        }
+    }
+}
+
+/// A certificate sealed for one transform kind never verifies another
+/// kind's plan of the same size/version/layout: the schedule digest binds
+/// the kind (and the transpose tiling), so kind confusion is caught before
+/// any table comparison — r2c vs c2r included, whose table digests collide
+/// by design.
+#[test]
+fn composite_certificates_do_not_transfer_across_kinds() {
+    use fgfft::workload::TransformKind;
+    let version = Version::CoarseHash;
+    let layout = TwiddleLayout::Linear;
+    let kinds = [
+        TransformKind::C2C,
+        TransformKind::R2C,
+        TransformKind::C2R,
+        TransformKind::C2C2D {
+            rows_log2: 4,
+            cols_log2: 5,
+        },
+        TransformKind::C2C2D {
+            rows_log2: 5,
+            cols_log2: 4,
+        },
+    ];
+    let plans: Vec<Plan> = kinds
+        .iter()
+        .map(|&kind| Plan::build(PlanKey::with_kind(kind, 1 << 9, version, layout, 6)))
+        .collect();
+    let certs: Vec<Certificate> = plans
+        .iter()
+        .map(|p| Certificate::for_plan(p).expect("clean plan"))
+        .collect();
+    for (i, cert) in certs.iter().enumerate() {
+        for (j, plan) in plans.iter().enumerate() {
+            if i == j {
+                cert.verify_plan(plan).expect("own plan verifies");
+            } else {
+                assert_eq!(
+                    cert.verify_plan(plan),
+                    Err(CertError::ScheduleMismatch),
+                    "cert of {:?} accepted by plan of {:?}",
+                    kinds[i],
+                    kinds[j]
+                );
+            }
+        }
+    }
+
+    // A tuned transpose tiling re-seals the 2D schedule: the default-block
+    // certificate must not verify the retiled plan.
+    let key2d = PlanKey::with_kind(
+        TransformKind::C2C2D {
+            rows_log2: 4,
+            cols_log2: 5,
+        },
+        1 << 9,
+        version,
+        layout,
+        6,
+    );
+    let tuning = ScheduleTuning {
+        pool_order: None,
+        last_early: None,
+        transpose_block_log2: Some(3),
+    };
+    let retiled = Plan::build_tuned(key2d, Some(&tuning));
+    let cert = Certificate::for_plan(&retiled).expect("tuned 2D plan");
+    cert.verify_plan(&retiled).expect("own plan verifies");
+    assert_eq!(
+        certs[3].verify_plan(&retiled),
+        Err(CertError::ScheduleMismatch),
+        "default-block certificate accepted a retiled plan"
+    );
+}
+
+/// The 64-round certificate bit-flip campaign repeated over composite
+/// plans: every corrupted field draws a specific `CertError`, never a
+/// panic, for r2c and 2D alike.
+#[test]
+fn every_mutated_composite_certificate_is_rejected() {
+    use fgfft::workload::TransformKind;
+    let mut rng = Rng64::seed_from_u64(0x00FE_ED2D);
+    for kind in [
+        TransformKind::R2C,
+        TransformKind::C2C2D {
+            rows_log2: 4,
+            cols_log2: 5,
+        },
+    ] {
+        let plan = Plan::build(PlanKey::with_kind(
+            kind,
+            1 << 9,
+            Version::FineGuided,
+            TwiddleLayout::Linear,
+            6,
+        ));
+        let cert = Certificate::for_plan(&plan).expect("clean plan");
+        for round in 0..64 {
+            let mut bad = cert;
+            let bit = 1u64 << rng.gen_below(64);
+            match rng.gen_below(6) {
+                0 => bad.workload_rev ^= bit,
+                1 => bad.schedule ^= bit,
+                2 => bad.tables ^= bit,
+                3 => bad.hb_witness ^= bit,
+                4 => bad.bank_bound_milli ^= bit,
+                _ => bad.seal ^= bit,
+            }
+            let err = bad
+                .verify_plan(&plan)
+                .expect_err(&format!("{kind:?} round {round}: corrupted cert accepted"));
+            assert!(
+                matches!(
+                    err,
+                    CertError::Tampered
+                        | CertError::ForeignRevision { .. }
+                        | CertError::ScheduleMismatch
+                        | CertError::TableMismatch
+                ),
+                "{kind:?} round {round}: unexpected error {err:?}"
+            );
+        }
+    }
 }

@@ -142,3 +142,69 @@ fn paper_versions_are_bit_exact_across_workers() {
         }
     }
 }
+
+#[test]
+fn backends_are_bit_exact_for_composite_kinds() {
+    // The composite kinds (r2c/c2r untangle stages, 2D transposes) wrap
+    // the same certified inner wave every backend drives, so the bitwise
+    // argument extends unchanged: every backend × R2C and 2D × two sizes
+    // × two batch shapes against the plan's own scalar path.
+    use fgfft::TransformKind;
+    let backends: Vec<(&str, Arc<dyn Backend>)> = vec![
+        ("scalar", BackendSel::SCALAR.build()),
+        ("simd-r8", BackendSel::SIMD.build()),
+        ("simd-portable", Arc::new(HostSimd::portable(3))),
+        ("threaded-simd", BackendSel::THREADED_SIMD.build()),
+    ];
+    let cases = [
+        (TransformKind::R2C, 10u32),
+        (TransformKind::R2C, 14),
+        (
+            TransformKind::C2C2D {
+                rows_log2: 5,
+                cols_log2: 5,
+            },
+            10,
+        ),
+        (
+            TransformKind::C2C2D {
+                rows_log2: 7,
+                cols_log2: 7,
+            },
+            14,
+        ),
+    ];
+    let runtime = Runtime::with_workers(4);
+    for (kind, n_log2) in cases {
+        for version in Version::paper_set(SeedOrder::Natural) {
+            let plan = Arc::new(Plan::build(PlanKey::with_kind(
+                kind,
+                1usize << n_log2,
+                version,
+                version.layout(),
+                6,
+            )));
+            let input = signal(plan.buffer_len());
+            let mut want = input.clone();
+            plan.execute(&mut want, &runtime);
+            let want = bits(&want);
+            for (name, backend) in &backends {
+                let prepared = backend.prepare(&plan);
+                for batch in [1usize, 3] {
+                    let mut buffers = vec![input.clone(); batch];
+                    let mut views: Vec<&mut [Complex64]> =
+                        buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    prepared.execute_batch(&mut views, &runtime);
+                    for (i, buffer) in buffers.iter().enumerate() {
+                        assert!(
+                            bits(buffer) == want,
+                            "{name} {} {kind:?} N=2^{n_log2} batch {batch} buffer {i}: \
+                             bitwise drift",
+                            version.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

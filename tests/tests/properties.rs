@@ -244,3 +244,78 @@ fn seed_orders_are_permutations() {
         }
     }
 }
+
+/// `irfft ∘ rfft` is the identity on random real signals: the packed
+/// half-size plan pipeline (r2c untangle, then c2r tangle + finalize)
+/// reconstructs every sample to near machine precision.
+#[test]
+fn real_roundtrip() {
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(700 + case);
+        for n in [16usize, 256, 2048] {
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0..1.0)).collect();
+            let back = fgfft::irfft(&fgfft::rfft(&x));
+            assert_eq!(back.len(), n, "case {case} n={n}");
+            let worst = x
+                .iter()
+                .zip(&back)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(worst < 1e-12, "case {case} n={n}: max err {worst}");
+        }
+    }
+}
+
+/// Parseval for the real transform: the nonredundant half spectrum carries
+/// the signal's whole energy once the conjugate-symmetric interior bins are
+/// double-counted.
+#[test]
+fn real_parseval() {
+    let n = 1024usize;
+    for case in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(800 + case);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1.0..1.0)).collect();
+        let spec = fgfft::rfft(&x);
+        let sq = |v: &Complex64| v.re * v.re + v.im * v.im;
+        let mut lhs = sq(&spec[0]) + sq(&spec[n / 2]);
+        for v in &spec[1..n / 2] {
+            lhs += 2.0 * sq(v);
+        }
+        let rhs = n as f64 * x.iter().map(|&s| s * s).sum::<f64>();
+        assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0), "case {case}");
+    }
+}
+
+/// The composite 2D plan (row wave → blocked transpose → column wave →
+/// transpose back) is *bitwise* the nested formulation with explicit 1D
+/// FFTs and plain transposes: the lowering reorders data movement, never
+/// arithmetic.
+#[test]
+fn fft2d_matches_nested_rows_and_cols() {
+    use fgfft::fft2d::transpose;
+    use fgfft::{Fft, Fft2d};
+    for (rows, cols) in [(16usize, 16usize), (8, 64)] {
+        let mut rng = Rng64::seed_from_u64(900 + rows as u64);
+        let data = complex_vec(&mut rng, rows * cols);
+        let mut got = data.clone();
+        Fft2d::new(rows, cols).forward(&mut got);
+
+        let engine = Fft::new();
+        let mut nested = data.clone();
+        for row in nested.chunks_exact_mut(cols) {
+            engine.forward(row);
+        }
+        let mut t = vec![Complex64::ZERO; rows * cols];
+        transpose(&nested, &mut t, rows, cols);
+        for col in t.chunks_exact_mut(rows) {
+            engine.forward(col);
+        }
+        transpose(&t, &mut nested, cols, rows);
+        for (i, (a, b)) in got.iter().zip(&nested).enumerate() {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "{rows}x{cols} element {i}: {a:?} != {b:?}"
+            );
+        }
+    }
+}

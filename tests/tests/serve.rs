@@ -606,6 +606,7 @@ fn wisdom_tuned_service_is_bit_exact_vs_untuned() {
     let tuning = fgfft::ScheduleTuning {
         pool_order: Some((0..(n >> 6)).rev().collect()),
         last_early: None,
+        transpose_block_log2: None,
     };
     // On-disk wisdom must be certified to load under the default policy.
     let cert = fgfft::cert::Certificate::for_plan(&fgfft::Plan::build_tuned(key, Some(&tuning)))

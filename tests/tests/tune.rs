@@ -27,6 +27,7 @@ fn entry(n_log2: u32, version: Version) -> WisdomEntry {
     let tuning = ScheduleTuning {
         pool_order: Some((0..cps).rev().collect()),
         last_early: None,
+        transpose_block_log2: None,
     };
     // Certified, as on-disk wisdom must be under the default load policy.
     let cert = fgfft::cert::Certificate::for_plan(&fgfft::Plan::build_tuned(key, Some(&tuning)))
@@ -199,6 +200,7 @@ fn tuned_schedules_pass_all_three_fgcheck_passes() {
             } else {
                 None
             },
+            transpose_block_log2: None,
         };
         let report = check_fft_tuned(&FftCheckOptions::new(n_log2, version), Some(&tuning));
         assert!(

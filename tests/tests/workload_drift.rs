@@ -76,7 +76,9 @@ fn recorded_execution_matches_static_footprints() {
                         Region::Data if op.range.write => data_writes.push(op.range.lo),
                         Region::Data => data_reads.push(op.range.lo),
                         Region::Twiddle => twiddle_reads.push(op.range.lo),
-                        Region::Spill => panic!("{ctx}: radix-6 codelets never spill"),
+                        Region::Spill | Region::Scratch => {
+                            panic!("{ctx}: 1D C2C codelets never spill or touch scratch")
+                        }
                     });
 
                     let observed_reads: Vec<u64> = rec
