@@ -30,6 +30,13 @@
 //! curve (`results/cluster_latency.json`), including an owned-`Vec`
 //! single-shard baseline so the pooled/sharded gain is measured against
 //! the PR-2 serving path, not assumed.
+//!
+//! **Wire mode** (`loadgen --wire [--smoke]`): closed-loop warm-path
+//! latency over the `fgwire` shared-memory protocol (real Unix socket,
+//! SCM_RIGHTS segment handoff, eventfd doorbells, zero-copy slot leases)
+//! vs the same cluster driven in-process, emitting
+//! `results/wire_latency.json` with the `wire_p50 / inproc_p50` ratio
+//! (target ≤ 1.5×).
 
 use fgfft::exec::{fft_in_place, ExecConfig, Version};
 use fgfft::Complex64;
@@ -142,6 +149,278 @@ fn run_warm(
         rejections.load(Ordering::Relaxed),
         stats,
     )
+}
+
+// ── wire mode ────────────────────────────────────────────────────────────
+
+/// Closed-loop latency measurement through an in-process [`FftCluster`]
+/// with pooled zero-copy payloads — the baseline the wire path is judged
+/// against. Returns (client-observed ms latencies, final stats).
+fn wire_baseline_inproc(
+    n_log2: u32,
+    clients: usize,
+    config: ClusterConfig,
+    duration: Duration,
+) -> (Vec<f64>, ClusterStats) {
+    let n = 1usize << n_log2;
+    let cluster = Arc::new(FftCluster::start(config));
+    cluster
+        .submit(Request::new(signal(n, 0.0)))
+        .expect("warmup admitted")
+        .wait()
+        .expect("warmup completes");
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let cluster = Arc::clone(&cluster);
+            let done = Arc::clone(&done);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let input = signal(n, c as f64);
+                let mut latencies_ms = Vec::new();
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let mut lease = cluster.lease(n);
+                    lease.copy_from_slice(&input);
+                    cluster
+                        .submit(Request::pooled(lease))
+                        .expect("closed loop fits the queue")
+                        .wait()
+                        .expect("baseline requests complete");
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(duration);
+    done.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("baseline client panicked"));
+    }
+    let cluster = Arc::into_inner(cluster).expect("baseline clients joined");
+    (all, cluster.shutdown())
+}
+
+/// Closed-loop latency measurement over the wire: each client thread owns
+/// its own `fgwire` session (segment, doorbells, credits) against one
+/// shared `WireServer`, and drives lease→submit→wait round trips.
+fn wire_measured(
+    n_log2: u32,
+    clients: usize,
+    cluster: ClusterConfig,
+    duration: Duration,
+) -> (Vec<f64>, ClusterStats) {
+    use fgwire::client::{Client as WireClient, ClientConfig as WireClientConfig};
+    use fgwire::proto::{SegmentConfig, SlotClass};
+    use fgwire::server::{WireServer, WireServerConfig};
+    use fgwire::session::SubmitOpts;
+
+    let n = 1usize << n_log2;
+    let socket = std::env::temp_dir().join(format!("fgwire-loadgen-{}.sock", std::process::id()));
+    let server = WireServer::start(WireServerConfig {
+        socket_path: socket.clone(),
+        cluster,
+        acceptors: 2,
+        credits_per_session: 32,
+        max_sessions: clients.max(1),
+    })
+    .expect("wire server starts");
+    let classes = SegmentConfig {
+        classes: vec![SlotClass {
+            len_log2: n_log2,
+            count: 8,
+        }],
+    };
+    let done = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let socket = socket.clone();
+            let classes = classes.clone();
+            let done = Arc::clone(&done);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let client = WireClient::connect(WireClientConfig {
+                    socket_path: socket,
+                    classes,
+                    tenant: None,
+                })
+                .expect("wire client connects");
+                let input = signal(n, c as f64);
+                // Warm the path (plan build, first doorbell) off the clock.
+                let mut lease = client
+                    .alloc(fgfft::workload::TransformKind::C2C, n)
+                    .expect("warmup lease");
+                lease.copy_from_slice(&input);
+                client
+                    .submit(lease, SubmitOpts::default())
+                    .expect("warmup submit")
+                    .wait()
+                    .expect("warmup completes");
+                let mut latencies_ms = Vec::new();
+                barrier.wait();
+                while !done.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    let mut lease = client
+                        .alloc(fgfft::workload::TransformKind::C2C, n)
+                        .expect("closed loop never exhausts its slots");
+                    lease.copy_from_slice(&input);
+                    client
+                        .submit(lease, SubmitOpts::default())
+                        .expect("closed loop never exhausts its credits")
+                        .wait()
+                        .expect("wire requests complete");
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    barrier.wait();
+    std::thread::sleep(duration);
+    done.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("wire client panicked"));
+    }
+    (all, server.shutdown())
+}
+
+/// The `--wire` entry point: closed-loop warm-path latency over the
+/// shared-memory wire protocol vs the same cluster driven in-process,
+/// emitting `results/wire_latency.json`. The headline number is
+/// `p50_ratio = wire_p50 / inproc_p50` (target ≤ 1.5×).
+fn run_wire_mode(args: &[String], smoke: bool, json_path: &str) {
+    let get = |key: &str, default: f64| -> f64 {
+        args.iter()
+            .filter_map(|a| a.strip_prefix(&format!("{key}=")))
+            .next_back()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n_log2 = get("n_log2", if smoke { 10.0 } else { 12.0 }) as u32;
+    let clients = (get("clients", 4.0) as usize).max(1);
+    let secs = get("secs", if smoke { 0.3 } else { 1.5 });
+    let workers = get("workers", 2.0) as usize;
+    let batch = get("batch", 8.0) as usize;
+    let duration = Duration::from_secs_f64(secs);
+    let base = ServeConfig {
+        queue_capacity: 256,
+        max_batch: batch,
+        workers,
+        dispatchers: 1,
+        version: Version::FineGuided,
+        radix_log2: 6,
+        latency_samples: 1 << 14,
+        ..ServeConfig::default()
+    };
+    let cluster_config = || ClusterConfig {
+        shards: 2,
+        base: base.clone(),
+        ..ClusterConfig::default()
+    };
+    eprintln!(
+        "loadgen --wire: n=2^{n_log2}, {clients} closed-loop clients, {secs}s per phase{}",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let (mut inproc_lat, inproc_stats) =
+        wire_baseline_inproc(n_log2, clients, cluster_config(), duration);
+    let inproc = Percentiles::from_unsorted(&mut inproc_lat);
+    eprintln!(
+        "in-process: {} requests, p50 {:.3} ms, p99 {:.3} ms",
+        inproc_lat.len(),
+        inproc.p50,
+        inproc.p99
+    );
+    let (mut wire_lat, wire_stats) = wire_measured(n_log2, clients, cluster_config(), duration);
+    let wire = Percentiles::from_unsorted(&mut wire_lat);
+    eprintln!(
+        "wire      : {} requests, p50 {:.3} ms, p99 {:.3} ms",
+        wire_lat.len(),
+        wire.p50,
+        wire.p99
+    );
+    let p50_ratio = wire.p50 / inproc.p50;
+
+    println!("── wire vs in-process, N = 2^{n_log2} ──────────────────────");
+    println!(
+        "in-process p50 : {:>8.3} ms  ({} requests)",
+        inproc.p50,
+        inproc_lat.len()
+    );
+    println!(
+        "wire p50       : {:>8.3} ms  ({} requests)",
+        wire.p50,
+        wire_lat.len()
+    );
+    println!("p50 ratio      : {p50_ratio:>8.2}×  (target ≤ 1.50×)");
+
+    // Correctness gates: both phases must do work and balance their books.
+    assert!(!inproc_lat.is_empty(), "in-process phase did no work");
+    assert!(!wire_lat.is_empty(), "wire phase did no work");
+    assert_eq!(
+        inproc_stats.accepted,
+        inproc_stats.settled(),
+        "in-process accounting identity"
+    );
+    assert_eq!(
+        wire_stats.accepted,
+        wire_stats.settled(),
+        "wire accounting identity"
+    );
+    assert_eq!(wire_stats.pool.outstanding, 0, "pool leaked slabs");
+    assert_eq!(wire_stats.failed, 0, "wire requests must not fail");
+    assert_eq!(
+        wire_stats.wire_rejections, 0,
+        "honest load saw wire rejections"
+    );
+
+    let phase_json = |p: &Percentiles, count: usize, stats: &ClusterStats| {
+        Value::obj(vec![
+            ("requests", Value::Num(count as f64)),
+            ("p50_ms", Value::Num(p.p50)),
+            ("p95_ms", Value::Num(p.p95)),
+            ("p99_ms", Value::Num(p.p99)),
+            ("mean_ms", Value::Num(p.mean)),
+            ("max_ms", Value::Num(p.max)),
+            ("cluster_stats", stats.to_json()),
+        ])
+    };
+    let report = Value::obj(vec![
+        ("id", Value::Str("wire_latency".into())),
+        (
+            "title",
+            Value::Str("fgwire shared-memory wire vs in-process cluster latency".into()),
+        ),
+        ("smoke", Value::Bool(smoke)),
+        ("n_log2", Value::Num(n_log2 as f64)),
+        ("clients", Value::Num(clients as f64)),
+        ("phase_secs", Value::Num(secs)),
+        ("workers_per_shard", Value::Num(workers as f64)),
+        ("max_batch", Value::Num(batch as f64)),
+        (
+            "inproc",
+            phase_json(&inproc, inproc_lat.len(), &inproc_stats),
+        ),
+        ("wire", phase_json(&wire, wire_lat.len(), &wire_stats)),
+        ("p50_ratio", Value::Num(p50_ratio)),
+        ("p50_ratio_target", Value::Num(1.5)),
+    ]);
+    if let Some(dir) = std::path::Path::new(json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(json_path, report.to_string_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("json written to {json_path}");
+    if p50_ratio > 1.5 {
+        eprintln!("WARNING: wire p50 {p50_ratio:.2}× in-process, above the 1.5× target");
+    }
 }
 
 // ── cluster mode ─────────────────────────────────────────────────────────
@@ -545,17 +824,24 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let cluster = args.iter().any(|a| a == "--cluster");
+    let wire = args.iter().any(|a| a == "--wire");
     let json_path = args
         .iter()
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| {
-            if cluster {
+            if wire {
+                "results/wire_latency.json".to_string()
+            } else if cluster {
                 "results/cluster_latency.json".to_string()
             } else {
                 "results/serve_throughput.json".to_string()
             }
         });
+    if wire {
+        run_wire_mode(&args, smoke, &json_path);
+        return;
+    }
     if cluster {
         run_cluster_mode(&args, smoke, &json_path);
         return;

@@ -14,6 +14,11 @@ pub enum ServeError {
     Overloaded {
         /// The queue bound that was hit.
         queue_capacity: usize,
+        /// Advisory backoff before retrying, in microseconds. `0` means
+        /// "unspecified — use your own backoff policy". The wire layer
+        /// fills this in from its completion-latency estimate so remote
+        /// clients get a concrete retry-after credit instead of a guess.
+        retry_after_us: u64,
     },
     /// Per-tenant admission control rejected the request: the tenant's
     /// token bucket is empty. The tenant should back off to its configured
@@ -42,13 +47,30 @@ pub enum ServeError {
         /// was not a string).
         reason: String,
     },
+    /// The cross-process wire protocol was violated — an unknown session,
+    /// a malformed frame, a slot header that fails validation, or a peer
+    /// that disappeared mid-conversation. Unlike [`ServeError::BadRequest`]
+    /// (a well-formed submission with impossible parameters), `Protocol`
+    /// means the *transport* itself cannot be trusted; the session is torn
+    /// down and the client must reconnect.
+    Protocol {
+        /// What was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Overloaded { queue_capacity } => {
-                write!(f, "overloaded: submission queue full ({queue_capacity})")
+            ServeError::Overloaded {
+                queue_capacity,
+                retry_after_us,
+            } => {
+                write!(f, "overloaded: submission queue full ({queue_capacity})")?;
+                if *retry_after_us > 0 {
+                    write!(f, ", retry after {retry_after_us}us")?;
+                }
+                Ok(())
             }
             ServeError::Throttled { tenant } => {
                 write!(f, "throttled: {tenant} exceeded its admission rate")
@@ -57,6 +79,7 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
             ServeError::Internal { reason } => write!(f, "internal failure: {reason}"),
+            ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
         }
     }
 }
@@ -69,9 +92,18 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        assert!(ServeError::Overloaded { queue_capacity: 8 }
-            .to_string()
-            .contains('8'));
+        assert!(ServeError::Overloaded {
+            queue_capacity: 8,
+            retry_after_us: 0
+        }
+        .to_string()
+        .contains('8'));
+        assert!(ServeError::Overloaded {
+            queue_capacity: 8,
+            retry_after_us: 250
+        }
+        .to_string()
+        .contains("250us"));
         assert!(ServeError::BadRequest("nope".into())
             .to_string()
             .contains("nope"));
@@ -87,5 +119,10 @@ mod tests {
         }
         .to_string()
         .contains("exploded"));
+        assert!(ServeError::Protocol {
+            reason: "stale sequence".into()
+        }
+        .to_string()
+        .contains("stale sequence"));
     }
 }

@@ -85,6 +85,12 @@ pub(crate) struct Metrics {
     pub batched_requests: AtomicU64,
     /// Dispatcher threads respawned by the supervisor after dying.
     pub dispatcher_restarts: AtomicU64,
+    /// Wire-protocol submissions rejected before reaching admission — bad
+    /// slot headers, unknown sessions, ring violations. These never become
+    /// `accepted`, so they sit outside the settlement identity (like
+    /// `rejected`/`throttled`), but they are first-class signal for
+    /// operators watching a misbehaving remote client.
+    pub wire_rejections: AtomicU64,
     /// Highest queue depth observed at admission.
     pub queue_high_water: AtomicUsize,
     /// Completed-request latencies in nanoseconds, reservoir-sampled.
@@ -105,6 +111,7 @@ impl Metrics {
             dispatched: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             dispatcher_restarts: AtomicU64::new(0),
+            wire_rejections: AtomicU64::new(0),
             queue_high_water: AtomicUsize::new(0),
             latencies_ns: Mutex::new(Reservoir::new(latency_cap)),
         }
@@ -186,6 +193,7 @@ impl Metrics {
             dispatched: self.dispatched.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             dispatcher_restarts: self.dispatcher_restarts.load(Ordering::Relaxed),
+            wire_rejections: self.wire_rejections.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_ms: Percentiles::from_unsorted(&mut samples),
             planner,
@@ -221,6 +229,9 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Dispatcher threads the supervisor respawned after unexpected death.
     pub dispatcher_restarts: u64,
+    /// Wire-protocol submissions rejected before admission (bad headers,
+    /// unknown sessions, ring violations); zero for in-process services.
+    pub wire_rejections: u64,
     /// Highest submission-queue depth observed.
     pub queue_high_water: usize,
     /// Completion latency distribution, milliseconds, over a uniform
@@ -269,6 +280,7 @@ impl ServeStats {
                 "dispatcher_restarts",
                 Value::Num(self.dispatcher_restarts as f64),
             ),
+            ("wire_rejections", Value::Num(self.wire_rejections as f64)),
             ("queue_high_water", Value::Num(self.queue_high_water as f64)),
             ("mean_batch_size", Value::Num(self.mean_batch_size())),
             (
@@ -457,6 +469,7 @@ mod tests {
             "batches",
             "dispatched",
             "dispatcher_restarts",
+            "wire_rejections",
             "queue_high_water",
             "latency_ms",
             "planner",

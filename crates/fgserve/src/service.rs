@@ -23,10 +23,12 @@
 //!   priority lanes ([`Lane`]), earliest deadline first within a lane.
 //!   Cold plans dispatch under a slow-start [`ColdGate`] so one cache-miss
 //!   burst cannot stall warm traffic behind plan construction.
-//! * **Zero-copy payloads.** A [`Request`] carries a [`Payload`] — either
-//!   an owned `Vec` or a [`Lease`] from a [`crate::BufferPool`] — that is
+//! * **Zero-copy payloads.** A [`Request`] carries a [`Payload`] — an
+//!   owned `Vec`, a [`Lease`] from a [`crate::BufferPool`], or a
+//!   [`SharedSlice`] over another process's shared-memory slot — that is
 //!   transformed in place and handed back in the [`Response`] untouched:
-//!   no copies, and with a pool, no per-request allocation either.
+//!   no copies, and with a pool or a shared slot, no per-request
+//!   allocation either.
 //! * **Batching amortizes scheduling.** Requests for the same transform
 //!   size drained together execute as one batched codelet program
 //!   ([`fgfft::Plan::execute_batch`]): one worker-scope spawn and one set of
@@ -138,18 +140,99 @@ impl Default for ServeConfig {
     }
 }
 
-/// A request/response buffer: an ordinary owned `Vec`, or a slab leased
-/// from a [`crate::BufferPool`]. Either way the data is transformed in
-/// place and the same allocation travels from [`Request`] through the
-/// dispatcher into the [`Response`] — the pooled variant additionally
-/// returns its slab to the pool when the response (or any intermediate
-/// owner, including a failed job's drop-guard) is dropped.
+/// A mutable view of sample memory owned by another subsystem — in
+/// practice a payload slot inside an `fgwire` shared-memory segment — plus
+/// an opaque owner guard. The guard's `Drop` is the release hook: when the
+/// [`Payload::Shared`] travels through the dispatcher into a [`Response`]
+/// (or dies in a failed job's drop-guard), dropping it runs the guard,
+/// which returns the slot to its ring and settles the wire-side
+/// accounting. `fgserve` deliberately knows nothing about segments or
+/// rings; it sees exclusive memory with a destructor.
+///
+/// This is the zero-copy half of the cross-process path: the transform
+/// runs *in place on the client's shared pages*, so the only bytes that
+/// ever move are the ones the FFT itself writes.
+pub struct SharedSlice {
+    ptr: *mut Complex64,
+    len: usize,
+    /// Dropped last (declaration order): releases the memory `ptr` views.
+    #[allow(dead_code)]
+    owner: Box<dyn std::any::Any + Send>,
+}
+
+impl SharedSlice {
+    /// Wrap externally owned sample memory.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads and writes of `len` `Complex64`
+    /// values for as long as `owner` is alive, properly aligned, and not
+    /// aliased by any other reader or writer for that whole lifetime —
+    /// the caller is promising this `SharedSlice` has *exclusive* access
+    /// until `owner` drops. (The wire layer enforces that through slot
+    /// ownership states: a slot is handed to the service only in the
+    /// `EXECUTING` state, which the client must not touch.)
+    pub unsafe fn new(
+        ptr: *mut Complex64,
+        len: usize,
+        owner: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        Self { ptr, len, owner }
+    }
+
+    /// Base pointer of the viewed memory — lets tests assert pointer
+    /// identity across the submit/execute path (the zero-copy proof).
+    pub fn as_ptr(&self) -> *const Complex64 {
+        self.ptr
+    }
+}
+
+// SAFETY: the constructor contract gives this value exclusive access to
+// the viewed memory, and the owner guard is itself `Send`, so moving the
+// whole bundle across threads is sound.
+unsafe impl Send for SharedSlice {}
+
+impl std::fmt::Debug for SharedSlice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSlice")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::ops::Deref for SharedSlice {
+    type Target = [Complex64];
+    fn deref(&self) -> &[Complex64] {
+        // SAFETY: constructor contract — valid, aligned, exclusive.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl std::ops::DerefMut for SharedSlice {
+    fn deref_mut(&mut self) -> &mut [Complex64] {
+        // SAFETY: constructor contract — valid, aligned, exclusive.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+/// A request/response buffer: an ordinary owned `Vec`, a slab leased from
+/// a [`crate::BufferPool`], or a [`SharedSlice`] viewing another process's
+/// shared-memory slot. Either way the data is transformed in place and the
+/// same allocation travels from [`Request`] through the dispatcher into
+/// the [`Response`] — the pooled variant additionally returns its slab to
+/// the pool when the response (or any intermediate owner, including a
+/// failed job's drop-guard) is dropped, and the shared variant releases
+/// its slot through its owner guard the same way.
 #[derive(Debug)]
 pub enum Payload {
     /// A plain heap allocation owned by the request.
     Owned(Vec<Complex64>),
     /// A pooled slab; goes home to its [`crate::BufferPool`] on drop.
     Leased(Lease),
+    /// A view of another owner's memory (an `fgwire` slot); its guard
+    /// releases the slot on drop.
+    Shared(SharedSlice),
 }
 
 impl Payload {
@@ -158,6 +241,7 @@ impl Payload {
         match self {
             Payload::Owned(v) => v.len(),
             Payload::Leased(l) => l.len(),
+            Payload::Shared(s) => s.len,
         }
     }
 
@@ -171,16 +255,19 @@ impl Payload {
         match self {
             Payload::Owned(v) => v.as_mut_slice(),
             Payload::Leased(l) => &mut l[..],
+            Payload::Shared(s) => &mut s[..],
         }
     }
 
     /// Extract an owned `Vec`. Free for [`Payload::Owned`]; a leased slab
     /// is detached from its pool (counted, not leaked — see
-    /// [`crate::bufpool::Lease::detach`]).
+    /// [`crate::bufpool::Lease::detach`]); a shared slot is *copied* (the
+    /// memory belongs to another process) and then released.
     pub fn into_vec(self) -> Vec<Complex64> {
         match self {
             Payload::Owned(v) => v,
             Payload::Leased(l) => l.detach(),
+            Payload::Shared(s) => s.to_vec(),
         }
     }
 }
@@ -191,6 +278,7 @@ impl std::ops::Deref for Payload {
         match self {
             Payload::Owned(v) => v,
             Payload::Leased(l) => l,
+            Payload::Shared(s) => s,
         }
     }
 }
@@ -657,6 +745,7 @@ impl FftService {
                 self.shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::Overloaded {
                     queue_capacity: self.shared.queue.capacity(),
+                    retry_after_us: 0,
                 })
             }
         }

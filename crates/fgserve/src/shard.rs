@@ -154,6 +154,7 @@ fn fold_counters(mut live: ServeStats, retired: &ServeStats) -> ServeStats {
     live.dispatched += retired.dispatched;
     live.batched_requests += retired.batched_requests;
     live.dispatcher_restarts += retired.dispatcher_restarts;
+    live.wire_rejections += retired.wire_rejections;
     live.queue_high_water = live.queue_high_water.max(retired.queue_high_water);
     live
 }
@@ -176,6 +177,10 @@ pub struct ClusterStats {
     pub failed: u64,
     /// Cold-plan requests deferred by shard slow-start gates.
     pub cold_deferred: u64,
+    /// Wire-protocol submissions rejected before admission, summed across
+    /// shards plus the cluster front door (see
+    /// [`FftCluster::record_wire_rejection`]).
+    pub wire_rejections: u64,
     /// Times [`FftCluster::restart_shard`] replaced a shard's service.
     pub shard_restarts: u64,
     /// The per-shard snapshots the totals were summed from (retired
@@ -205,6 +210,7 @@ impl ClusterStats {
             ("deadline_missed", Value::Num(self.deadline_missed as f64)),
             ("failed", Value::Num(self.failed as f64)),
             ("cold_deferred", Value::Num(self.cold_deferred as f64)),
+            ("wire_rejections", Value::Num(self.wire_rejections as f64)),
             ("shard_restarts", Value::Num(self.shard_restarts as f64)),
             ("shards", Value::Num(self.per_shard.len() as f64)),
             (
@@ -244,6 +250,10 @@ pub struct FftCluster {
     governor: Option<TenantGovernor>,
     /// Front-door throttles (shards run with QoS off).
     throttled: AtomicU64,
+    /// Wire-protocol rejections recorded against the cluster by the wire
+    /// layer (which validates slot headers before anything reaches
+    /// [`FftCluster::submit`]).
+    wire_rejections: AtomicU64,
     restarts: AtomicU64,
     pool: BufferPool,
     /// Routing fields of the plan key (shared by every shard).
@@ -307,6 +317,7 @@ impl FftCluster {
             shards,
             governor: config.qos.map(TenantGovernor::new),
             throttled: AtomicU64::new(0),
+            wire_rejections: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
             pool: BufferPool::with_retention(config.pool_retention),
             version: config.base.version,
@@ -423,6 +434,15 @@ impl FftCluster {
         final_stats
     }
 
+    /// Count one wire-protocol rejection against the cluster. Called by
+    /// the wire layer when it refuses a submission before admission — a
+    /// garbage slot header, an unknown session, a ring violation — so the
+    /// `wire_rejections` counter in [`ClusterStats`] (and its JSON) covers
+    /// everything a remote client was bounced for.
+    pub fn record_wire_rejection(&self) {
+        self.wire_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Per-shard snapshots (retired incarnations folded in), indexed by
     /// shard.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
@@ -444,6 +464,8 @@ impl FftCluster {
             deadline_missed: sum(|s| s.deadline_missed),
             failed: sum(|s| s.failed),
             cold_deferred: sum(|s| s.cold_deferred),
+            wire_rejections: self.wire_rejections.load(Ordering::Relaxed)
+                + sum(|s| s.wire_rejections),
             shard_restarts: self.restarts.load(Ordering::Relaxed),
             per_shard,
             pool: self.pool.stats(),
@@ -699,6 +721,7 @@ mod tests {
             "deadline_missed",
             "failed",
             "cold_deferred",
+            "wire_rejections",
             "shard_restarts",
             "shards",
             "per_shard",

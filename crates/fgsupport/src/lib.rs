@@ -13,4 +13,5 @@ pub mod deque;
 pub mod json;
 pub mod queue;
 pub mod rng;
+pub mod shm;
 pub mod sync;

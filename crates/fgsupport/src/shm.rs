@@ -1,0 +1,603 @@
+//! Shared-memory and file-descriptor plumbing for cross-process serving.
+//!
+//! The wire layer (`fgwire`) needs four OS facilities that `std` does not
+//! expose: anonymous shared memory (`memfd_create` + `mmap(MAP_SHARED)`),
+//! eventfd doorbells, `poll(2)` multiplexing, and SCM_RIGHTS fd passing
+//! over Unix-domain sockets. The workspace builds in hermetic environments
+//! with no crates.io access, so — in the same spirit as the rest of
+//! `fgsupport` — this module declares the handful of libc entry points it
+//! needs directly instead of pulling in the `libc` crate. Everything here
+//! is Linux-only (LP64 layouts for `msghdr`/`cmsghdr`/`pollfd`), which is
+//! what the workspace targets.
+//!
+//! Pieces:
+//!
+//! * [`MemorySegment`] — a file-backed `MAP_SHARED` mapping. Created from
+//!   a fresh `memfd` (falling back to an unlinked temp file on kernels or
+//!   architectures without it) or from a received fd, so two processes
+//!   mapping the same fd see the same physical pages.
+//! * [`EventFd`] — a futex-free doorbell: one side [`EventFd::signal`]s,
+//!   the other [`EventFd::wait`]s (level-triggered via `poll`).
+//! * [`poll`] over [`PollFd`] — readiness multiplexing across doorbells
+//!   and control sockets (including `POLLHUP` death detection).
+//! * [`send_with_fds`] / [`recv_with_fds`] — SCM_RIGHTS ancillary
+//!   payloads on a `UnixStream`, used by the control channel to hand the
+//!   segment and doorbell fds to the server.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[allow(non_camel_case_types)]
+type c_void = std::ffi::c_void;
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type c_long = i64;
+
+#[repr(C)]
+struct IoVec {
+    base: *mut c_void,
+    len: usize,
+}
+
+/// Linux LP64 `struct msghdr` (x86_64 and aarch64 share this layout; the
+/// `repr(C)` padding after `name_len` and `flags` matches glibc/musl).
+#[repr(C)]
+struct MsgHdr {
+    name: *mut c_void,
+    name_len: u32,
+    iov: *mut IoVec,
+    iov_len: usize,
+    control: *mut c_void,
+    control_len: usize,
+    flags: c_int,
+}
+
+/// One entry for [`poll`]: mirrors `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch (negative entries are ignored by the
+    /// kernel, which is handy for fixed-shape sets).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`], ...).
+    pub events: i16,
+    /// Returned events ([`POLLIN`] | [`POLLHUP`] | [`POLLERR`] | ...).
+    pub revents: i16,
+}
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Error condition (always checked, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up — the other process closed its end (or died).
+pub const POLLHUP: i16 = 0x010;
+/// The fd is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+const PROT_READ: c_int = 1;
+const PROT_WRITE: c_int = 2;
+const MAP_SHARED: c_int = 1;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const MFD_CLOEXEC: u32 = 1;
+const SOL_SOCKET: c_int = 1;
+const SCM_RIGHTS: c_int = 1;
+const MSG_CMSG_CLOEXEC: c_int = 0x4000_0000;
+const MSG_NOSIGNAL: c_int = 0x4000;
+const EINTR: i32 = 4;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    #[link_name = "poll"]
+    fn c_poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    fn sendmsg(fd: c_int, msg: *const MsgHdr, flags: c_int) -> isize;
+    fn recvmsg(fd: c_int, msg: *mut MsgHdr, flags: c_int) -> isize;
+    fn syscall(num: c_long, ...) -> c_long;
+}
+
+/// `memfd_create(2)` syscall number for the architectures the workspace
+/// builds on; other targets fall back to the temp-file path.
+#[cfg(target_arch = "x86_64")]
+const SYS_MEMFD_CREATE: c_long = 319;
+#[cfg(target_arch = "aarch64")]
+const SYS_MEMFD_CREATE: c_long = 279;
+
+fn last_err() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Try `memfd_create`; `None` when the syscall is unavailable here.
+fn memfd_create_fd() -> Option<OwnedFd> {
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    {
+        let name = b"fgwire-segment\0";
+        // SAFETY: `name` is a valid NUL-terminated string and the flag
+        // word is a plain bitmask; memfd_create creates a new fd or
+        // returns -1.
+        let fd = unsafe { syscall(SYS_MEMFD_CREATE, name.as_ptr(), MFD_CLOEXEC) };
+        if fd >= 0 {
+            // SAFETY: a fresh, owned descriptor straight from the kernel.
+            return Some(unsafe { OwnedFd::from_raw_fd(fd as RawFd) });
+        }
+        None
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        None
+    }
+}
+
+/// Unlinked temp file fallback when `memfd_create` is unavailable: the
+/// file is removed from the filesystem immediately, so — like a memfd —
+/// the pages live exactly as long as the fds referencing them.
+fn tmpfile_fd() -> io::Result<OwnedFd> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir();
+    for _ in 0..64 {
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("fgwire-seg-{}-{unique}.tmp", std::process::id()));
+        match std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(file) => {
+                let _ = std::fs::remove_file(&path);
+                return Ok(OwnedFd::from(file));
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::other("could not create a unique temp file"))
+}
+
+/// A shared, file-backed memory mapping.
+///
+/// Two processes that map the same fd (one created it, the other received
+/// it over SCM_RIGHTS) see the same physical pages: writes on one side are
+/// reads on the other, with ordering governed entirely by the atomics the
+/// caller places *inside* the segment. The mapping is valid for the life
+/// of this value regardless of what the peer does — a peer crashing or
+/// unmapping never invalidates our pages.
+#[derive(Debug)]
+pub struct MemorySegment {
+    ptr: *mut u8,
+    len: usize,
+    file: File,
+}
+
+// SAFETY: the mapping is plain memory owned by this value; all concurrent
+// access goes through raw pointers/atomics whose safety the *user* of the
+// segment reasons about (the segment itself hands out no references).
+unsafe impl Send for MemorySegment {}
+// SAFETY: see above — `&MemorySegment` only exposes the base pointer and
+// metadata, never data references.
+unsafe impl Sync for MemorySegment {}
+
+impl MemorySegment {
+    /// Create a fresh anonymous segment of `len` bytes (memfd, or an
+    /// unlinked temp file where memfd is unavailable), zero-filled.
+    pub fn create(len: usize) -> io::Result<Self> {
+        let fd = match memfd_create_fd() {
+            Some(fd) => fd,
+            None => tmpfile_fd()?,
+        };
+        let file = File::from(fd);
+        file.set_len(len as u64)?;
+        Self::map(file, len)
+    }
+
+    /// Map an fd received from a peer. The fd's size must be at least
+    /// `len` bytes — mapping pages past EOF would turn peer truncation
+    /// into `SIGBUS`, so a short file is rejected here instead.
+    pub fn from_fd(fd: OwnedFd, len: usize) -> io::Result<Self> {
+        let file = File::from(fd);
+        let actual = file.metadata()?.len();
+        if actual < len as u64 {
+            return Err(io::Error::other(format!(
+                "segment fd holds {actual} bytes, need {len}"
+            )));
+        }
+        Self::map(file, len)
+    }
+
+    fn map(file: File, len: usize) -> io::Result<Self> {
+        if len == 0 {
+            return Err(io::Error::other("zero-length segment"));
+        }
+        // SAFETY: fd is a valid open file of at least `len` bytes; a
+        // MAP_SHARED read/write mapping of it has no alignment or
+        // lifetime preconditions beyond those.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(last_err());
+        }
+        Ok(Self {
+            ptr: ptr as *mut u8,
+            len,
+            file,
+        })
+    }
+
+    /// Base address of the mapping.
+    pub fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true: construction rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing fd, for sending to a peer via [`send_with_fds`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+}
+
+impl Drop for MemorySegment {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are unmapped
+        // exactly once; the File closes the fd afterwards.
+        unsafe {
+            munmap(self.ptr as *mut c_void, self.len);
+        }
+    }
+}
+
+/// A futex-free park/unpark doorbell over `eventfd(2)`.
+///
+/// Non-blocking by construction: [`EventFd::signal`] never blocks (the
+/// counter saturates), [`EventFd::drain`] never blocks (empty reads return
+/// immediately), and waiting happens through [`poll`] / [`EventFd::wait`]
+/// with a timeout — so a dead peer can never wedge a waiter forever.
+#[derive(Debug)]
+pub struct EventFd {
+    file: File,
+}
+
+impl EventFd {
+    /// A fresh doorbell (close-on-exec, non-blocking).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall; returns a new fd or -1.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        // SAFETY: a fresh, owned descriptor.
+        let file = unsafe { File::from_raw_fd(fd) };
+        Ok(Self { file })
+    }
+
+    /// Adopt a doorbell fd received from a peer.
+    pub fn from_fd(fd: OwnedFd) -> Self {
+        Self {
+            file: File::from(fd),
+        }
+    }
+
+    /// The raw fd, for [`poll`] sets and [`send_with_fds`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Ring the bell: add 1 to the counter, waking any poller.
+    pub fn signal(&self) {
+        let one = 1u64.to_ne_bytes();
+        // A full (saturated) counter returns EAGAIN, which is fine — the
+        // peer is already as woken as it can get.
+        let _ = (&self.file).write(&one);
+    }
+
+    /// Clear the counter so the next [`poll`] blocks until a new signal.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.file).read(&mut buf);
+    }
+
+    /// Block up to `timeout` for a signal; returns whether one arrived.
+    /// The counter is drained on success (level-triggered → edge).
+    pub fn wait(&self, timeout: Duration) -> io::Result<bool> {
+        let mut fds = [PollFd {
+            fd: self.raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll(&mut fds, Some(timeout))?;
+        if n > 0 && fds[0].revents & POLLIN != 0 {
+            self.drain();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+}
+
+/// `poll(2)` over a set of fds. Returns the number of ready entries;
+/// `timeout == None` blocks indefinitely. `EINTR` retries internally.
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+    };
+    loop {
+        // SAFETY: `fds` is a valid slice of pollfd-layout entries for the
+        // duration of the call.
+        let n = unsafe { c_poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = last_err();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+/// Maximum fds a single [`send_with_fds`] / [`recv_with_fds`] carries.
+pub const MAX_FDS: usize = 4;
+
+const CMSG_HDR: usize = std::mem::size_of::<usize>() + 2 * std::mem::size_of::<c_int>();
+
+/// Ancillary buffer: header + `MAX_FDS` ints, aligned like `cmsghdr`.
+#[repr(C, align(8))]
+struct CmsgBuf {
+    bytes: [u8; CMSG_HDR + MAX_FDS * std::mem::size_of::<c_int>()],
+}
+
+/// Send `bytes` over `stream`, attaching `fds` as SCM_RIGHTS ancillary
+/// data to the first byte. Short writes are completed with plain sends
+/// (the fds ride only the first chunk, which is how SCM_RIGHTS works).
+pub fn send_with_fds(stream: &UnixStream, bytes: &[u8], fds: &[RawFd]) -> io::Result<()> {
+    assert!(fds.len() <= MAX_FDS, "at most {MAX_FDS} fds per message");
+    assert!(!bytes.is_empty(), "ancillary data needs at least one byte");
+    let mut control = CmsgBuf {
+        bytes: [0; CMSG_HDR + MAX_FDS * std::mem::size_of::<c_int>()],
+    };
+    let control_len = CMSG_HDR + std::mem::size_of_val(fds);
+    let mut iov = IoVec {
+        base: bytes.as_ptr() as *mut c_void,
+        len: bytes.len(),
+    };
+    let mut msg = MsgHdr {
+        name: std::ptr::null_mut(),
+        name_len: 0,
+        iov: &mut iov,
+        iov_len: 1,
+        control: std::ptr::null_mut(),
+        control_len: 0,
+        flags: 0,
+    };
+    if !fds.is_empty() {
+        // cmsghdr { len, level, type } followed by the fd array.
+        control.bytes[..std::mem::size_of::<usize>()].copy_from_slice(&control_len.to_ne_bytes());
+        let lvl_off = std::mem::size_of::<usize>();
+        control.bytes[lvl_off..lvl_off + 4].copy_from_slice(&SOL_SOCKET.to_ne_bytes());
+        control.bytes[lvl_off + 4..lvl_off + 8].copy_from_slice(&SCM_RIGHTS.to_ne_bytes());
+        for (i, fd) in fds.iter().enumerate() {
+            let off = CMSG_HDR + i * 4;
+            control.bytes[off..off + 4].copy_from_slice(&fd.to_ne_bytes());
+        }
+        msg.control = control.bytes.as_mut_ptr() as *mut c_void;
+        msg.control_len = control_len;
+    }
+    let sent = loop {
+        // SAFETY: msg points at valid iovec/control buffers that outlive
+        // the call.
+        let n = unsafe { sendmsg(stream.as_raw_fd(), &msg, MSG_NOSIGNAL) };
+        if n >= 0 {
+            break n as usize;
+        }
+        let err = last_err();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    };
+    // Any remainder is plain stream data (the fds went with byte 0).
+    if sent < bytes.len() {
+        (&mut (&*stream)).write_all(&bytes[sent..])?;
+    }
+    Ok(())
+}
+
+/// Receive into `buf`, collecting any SCM_RIGHTS fds (close-on-exec).
+/// Returns `(bytes_read, fds)`; `bytes_read == 0` means the peer closed.
+pub fn recv_with_fds(stream: &UnixStream, buf: &mut [u8]) -> io::Result<(usize, Vec<OwnedFd>)> {
+    let mut control = CmsgBuf {
+        bytes: [0; CMSG_HDR + MAX_FDS * std::mem::size_of::<c_int>()],
+    };
+    let mut iov = IoVec {
+        base: buf.as_mut_ptr() as *mut c_void,
+        len: buf.len(),
+    };
+    let mut msg = MsgHdr {
+        name: std::ptr::null_mut(),
+        name_len: 0,
+        iov: &mut iov,
+        iov_len: 1,
+        control: control.bytes.as_mut_ptr() as *mut c_void,
+        control_len: control.bytes.len(),
+        flags: 0,
+    };
+    let got = loop {
+        // SAFETY: msg points at valid iovec/control buffers.
+        let n = unsafe { recvmsg(stream.as_raw_fd(), &mut msg, MSG_CMSG_CLOEXEC) };
+        if n >= 0 {
+            break n as usize;
+        }
+        let err = last_err();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    };
+    let mut fds = Vec::new();
+    if msg.control_len >= CMSG_HDR {
+        let mut len_bytes = [0u8; std::mem::size_of::<usize>()];
+        len_bytes.copy_from_slice(&control.bytes[..std::mem::size_of::<usize>()]);
+        let cmsg_len = usize::from_ne_bytes(len_bytes);
+        let lvl_off = std::mem::size_of::<usize>();
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&control.bytes[lvl_off..lvl_off + 4]);
+        let level = c_int::from_ne_bytes(word);
+        word.copy_from_slice(&control.bytes[lvl_off + 4..lvl_off + 8]);
+        let kind = c_int::from_ne_bytes(word);
+        if level == SOL_SOCKET && kind == SCM_RIGHTS && cmsg_len > CMSG_HDR {
+            let count = (cmsg_len - CMSG_HDR) / 4;
+            for i in 0..count.min(MAX_FDS) {
+                let off = CMSG_HDR + i * 4;
+                word.copy_from_slice(&control.bytes[off..off + 4]);
+                let fd = c_int::from_ne_bytes(word);
+                if fd >= 0 {
+                    // SAFETY: the kernel installed a fresh descriptor for
+                    // this process; we are its sole owner.
+                    fds.push(unsafe { OwnedFd::from_raw_fd(fd) });
+                }
+            }
+        }
+    }
+    Ok((got, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn segment_is_shared_between_two_mappings() {
+        let a = MemorySegment::create(8192).expect("create");
+        // Duplicate the fd the way a peer would receive it.
+        let dup = a.file.try_clone().expect("dup");
+        let b = MemorySegment::from_fd(OwnedFd::from(dup), 8192).expect("map");
+        assert_ne!(a.ptr(), b.ptr(), "two distinct mappings");
+        // SAFETY: both mappings cover offset 0..8192 of the same pages.
+        unsafe {
+            let word_a = &*(a.ptr() as *const AtomicU32);
+            let word_b = &*(b.ptr() as *const AtomicU32);
+            word_a.store(0xdead_beef, Ordering::Release);
+            assert_eq!(word_b.load(Ordering::Acquire), 0xdead_beef);
+            word_b.store(7, Ordering::Release);
+            assert_eq!(word_a.load(Ordering::Acquire), 7);
+        }
+    }
+
+    #[test]
+    fn short_segments_are_rejected() {
+        let seg = MemorySegment::create(4096).expect("create");
+        let dup = seg.file.try_clone().expect("dup");
+        let err = MemorySegment::from_fd(OwnedFd::from(dup), 1 << 20)
+            .expect_err("mapping past EOF must fail");
+        assert!(err.to_string().contains("4096"), "{err}");
+    }
+
+    #[test]
+    fn eventfd_signals_and_times_out() {
+        let ev = EventFd::new().expect("eventfd");
+        assert!(
+            !ev.wait(Duration::from_millis(1)).expect("poll"),
+            "no signal yet"
+        );
+        ev.signal();
+        assert!(ev.wait(Duration::from_millis(100)).expect("poll"));
+        // Drained: waits again.
+        assert!(!ev.wait(Duration::from_millis(1)).expect("poll"));
+    }
+
+    #[test]
+    fn eventfd_wakes_a_parked_thread() {
+        let ev = std::sync::Arc::new(EventFd::new().expect("eventfd"));
+        let ev2 = std::sync::Arc::clone(&ev);
+        let waiter = std::thread::spawn(move || ev2.wait(Duration::from_secs(10)).expect("poll"));
+        std::thread::sleep(Duration::from_millis(20));
+        ev.signal();
+        assert!(
+            waiter.join().expect("no panic"),
+            "signal must wake the waiter"
+        );
+    }
+
+    #[test]
+    fn fds_ride_the_socket() {
+        let (left, right) = UnixStream::pair().expect("socketpair");
+        let seg = MemorySegment::create(4096).expect("create");
+        let ev = EventFd::new().expect("eventfd");
+        // SAFETY: writes to our own fresh mapping.
+        unsafe {
+            (*(seg.ptr() as *const AtomicU32)).store(42, Ordering::Release);
+        }
+        send_with_fds(&left, b"hello", &[seg.raw_fd(), ev.raw_fd()]).expect("send");
+        let mut buf = [0u8; 16];
+        let (n, fds) = recv_with_fds(&right, &mut buf).expect("recv");
+        assert_eq!(&buf[..n], b"hello");
+        assert_eq!(fds.len(), 2);
+        let mut it = fds.into_iter();
+        let remote = MemorySegment::from_fd(it.next().unwrap(), 4096).expect("map received");
+        // SAFETY: same pages as `seg`.
+        let seen = unsafe { (*(remote.ptr() as *const AtomicU32)).load(Ordering::Acquire) };
+        assert_eq!(seen, 42, "received fd maps the same pages");
+        let bell = EventFd::from_fd(it.next().unwrap());
+        bell.signal();
+        assert!(
+            ev.wait(Duration::from_millis(100)).expect("poll"),
+            "same eventfd object"
+        );
+    }
+
+    #[test]
+    fn hup_is_visible_through_poll() {
+        let (left, right) = UnixStream::pair().expect("socketpair");
+        drop(left);
+        let mut fds = [PollFd {
+            fd: right.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        let n = poll(&mut fds, Some(Duration::from_millis(500))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(
+            fds[0].revents & (POLLHUP | POLLIN) != 0,
+            "peer death must be visible: revents {:#x}",
+            fds[0].revents
+        );
+    }
+
+    #[test]
+    fn plain_messages_carry_no_fds() {
+        let (left, right) = UnixStream::pair().expect("socketpair");
+        send_with_fds(&left, b"nofd", &[]).expect("send");
+        let mut buf = [0u8; 8];
+        let (n, fds) = recv_with_fds(&right, &mut buf).expect("recv");
+        assert_eq!(&buf[..n], b"nofd");
+        assert!(fds.is_empty());
+    }
+}

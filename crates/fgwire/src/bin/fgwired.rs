@@ -1,0 +1,157 @@
+//! `fgwired`: the standalone wire server.
+//!
+//! Binds a Unix-domain socket, serves transforms out of an embedded
+//! [`fgserve::shard::FftCluster`] over shared-memory rings, and runs
+//! until stdin reaches EOF (so a parent process, test harness, or CI
+//! step owns its lifetime with plain pipes). On startup it prints one
+//! `ready` JSON line; on shutdown it prints the final cluster stats.
+//!
+//! ```text
+//! fgwired --socket /tmp/fgwired.sock --shards 2 --workers 2
+//! ```
+//!
+//! A hidden `--crash-client <socket>` mode connects, submits a request,
+//! and immediately aborts the process — the crash-reclaim integration
+//! test forks it to prove that a dying client leaks nothing.
+
+use fgserve::shard::ClusterConfig;
+use fgserve::ServeConfig;
+use fgwire::client::{Client, ClientConfig};
+use fgwire::server::{WireServer, WireServerConfig};
+use fgwire::session::SubmitOpts;
+use std::io::Read;
+use std::path::PathBuf;
+
+struct Args {
+    socket: PathBuf,
+    shards: usize,
+    workers: usize,
+    dispatchers: usize,
+    queue_capacity: usize,
+    acceptors: usize,
+    credits: u64,
+    crash_client: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            socket: std::env::temp_dir().join("fgwired.sock"),
+            shards: 2,
+            workers: 2,
+            dispatchers: 1,
+            queue_capacity: 256,
+            acceptors: 2,
+            credits: 64,
+            crash_client: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fgwired [--socket PATH] [--shards N] [--workers N] \
+         [--dispatchers N] [--queue N] [--acceptors N] [--credits N]\n\
+         Runs until stdin reaches EOF."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = PathBuf::from(take("--socket")),
+            "--shards" => args.shards = parse_num(&take("--shards")),
+            "--workers" => args.workers = parse_num(&take("--workers")),
+            "--dispatchers" => args.dispatchers = parse_num(&take("--dispatchers")),
+            "--queue" => args.queue_capacity = parse_num(&take("--queue")),
+            "--acceptors" => args.acceptors = parse_num(&take("--acceptors")),
+            "--credits" => args.credits = parse_num::<u64>(&take("--credits")),
+            "--crash-client" => args.crash_client = Some(PathBuf::from(take("--crash-client"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str) -> T {
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("bad numeric value {raw:?}");
+            usage()
+        }
+    }
+}
+
+/// Connect, lease, submit, abort — mid-request client death on demand.
+fn crash_client(socket: PathBuf) -> ! {
+    let client = Client::connect(ClientConfig::at(socket)).expect("connect");
+    let n = 1 << 10;
+    let mut lease = client
+        .alloc(fgfft::workload::TransformKind::C2C, n)
+        .expect("lease");
+    for (i, slot) in lease.iter_mut().enumerate() {
+        *slot = fgfft::Complex64::new(i as f64, 0.0);
+    }
+    let _ticket = client.submit(lease, SubmitOpts::default()).expect("submit");
+    // Die without releasing anything: no Drop impls run past this point.
+    std::process::abort();
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(socket) = args.crash_client {
+        crash_client(socket);
+    }
+    let config = WireServerConfig {
+        socket_path: args.socket.clone(),
+        cluster: ClusterConfig {
+            shards: args.shards,
+            base: ServeConfig {
+                queue_capacity: args.queue_capacity,
+                workers: args.workers,
+                dispatchers: args.dispatchers,
+                ..ServeConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+        acceptors: args.acceptors,
+        credits_per_session: args.credits,
+        ..WireServerConfig::default()
+    };
+    let server = match WireServer::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fgwired: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{{\"ready\": true, \"socket\": {:?}}}",
+        args.socket.display().to_string()
+    );
+    // Run until the parent closes our stdin (or sends EOF interactively).
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    loop {
+        match stdin.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let stats = server.shutdown();
+    println!("{}", stats.to_json().to_string_pretty());
+}

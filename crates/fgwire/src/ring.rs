@@ -1,0 +1,370 @@
+//! Raw shared-memory structures: the atomic slot header and the SPSC
+//! entry rings, viewed through a mapped segment.
+//!
+//! Everything in the segment that both processes touch is an atomic —
+//! there is not a single plain load or store to shared bytes outside the
+//! payload areas (whose exclusivity the slot state machine guarantees).
+//! That is what makes the handoff clean under ThreadSanitizer and sound
+//! under a hostile peer: a racing or garbage write by the other process
+//! can produce a *wrong value*, which validation catches, but never UB.
+//!
+//! Ring discipline: each ring is single-producer / single-consumer across
+//! the process boundary — the client produces submits and consumes
+//! completions, the server the reverse. Multi-threaded producers on one
+//! side serialize through a process-local mutex (the peer cannot tell).
+//! `tail` is written only by the producer (`Release`), `head` only by the
+//! consumer (`Release`); each side `Acquire`-loads the other's counter,
+//! which carries the happens-before for the entry word.
+
+use crate::proto::{SegmentLayout, MAGIC, SLOT_HEADER_BYTES};
+use fgfft::Complex64;
+use fgsupport::shm::MemorySegment;
+use std::io;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One slot's control block, living at a 64-byte-aligned offset inside
+/// the shared segment. All fields are atomics (see module docs); the
+/// comments note which side writes each field and in which state.
+#[repr(C, align(64))]
+pub struct SlotHeader {
+    /// Ownership state ([`crate::proto::state`]); written by both sides
+    /// at their respective transitions.
+    pub state: AtomicU32,
+    /// Submission sequence number; client bumps it once per `alloc`, the
+    /// submit entry carries it, the server checks it. Detects stale or
+    /// replayed entries.
+    pub seq: AtomicU32,
+    /// `log2` of the declared transform size; client, while WRITING.
+    pub n_log2: AtomicU32,
+    /// Transform kind tag ([`crate::proto::kind_tag`]); client.
+    pub kind_tag: AtomicU32,
+    /// 2-D rows exponent (zero for 1-D kinds); client.
+    pub rows_log2: AtomicU32,
+    /// 2-D cols exponent (zero for 1-D kinds); client.
+    pub cols_log2: AtomicU32,
+    /// Priority lane (0 interactive, 1 bulk); client.
+    pub lane: AtomicU32,
+    /// Completion code mirror for post-claim outcomes; server, before
+    /// marking DONE. (Pre-claim rejections never touch the header — the
+    /// code rides the completion entry alone.)
+    pub error_code: AtomicU32,
+    /// Deadline budget relative to submission, in microseconds (0 =
+    /// none); client. The server anchors it at claim time, so queueing
+    /// delay on the wire counts against the budget.
+    pub deadline_rel_us: AtomicU64,
+    /// Advisory backoff accompanying an `OVERLOADED` completion; server.
+    pub retry_after_us: AtomicU64,
+}
+
+const _: () = assert!(std::mem::size_of::<SlotHeader>() == SLOT_HEADER_BYTES);
+
+/// Pack a submit-ring entry: the slot index and the full 32-bit sequence.
+pub fn pack_submit(slot: u32, seq: u32) -> u64 {
+    ((seq as u64) << 32) | slot as u64
+}
+
+/// Unpack a submit-ring entry into `(slot, seq)`.
+pub fn unpack_submit(entry: u64) -> (u32, u32) {
+    (entry as u32, (entry >> 32) as u32)
+}
+
+/// Pack a completion-ring entry: slot index, the low 16 bits of the
+/// sequence (enough to pair a completion with the live op on that slot),
+/// and the completion code.
+pub fn pack_complete(slot: u32, seq: u32, code: u16) -> u64 {
+    ((code as u64) << 48) | (((seq & 0xffff) as u64) << 32) | slot as u64
+}
+
+/// Unpack a completion-ring entry into `(slot, seq16, code)`.
+pub fn unpack_complete(entry: u64) -> (u32, u16, u16) {
+    (entry as u32, (entry >> 32) as u16, (entry >> 48) as u16)
+}
+
+struct SegmentInner {
+    segment: MemorySegment,
+    layout: SegmentLayout,
+}
+
+/// A mapped segment plus its (locally computed) layout — the safe façade
+/// every higher layer goes through. Cloning shares the mapping.
+#[derive(Clone)]
+pub struct SharedSegment {
+    inner: Arc<SegmentInner>,
+}
+
+impl std::fmt::Debug for SharedSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSegment")
+            .field("total_len", &self.inner.layout.total_len)
+            .field("slots", &self.inner.layout.total_slots())
+            .finish()
+    }
+}
+
+impl SharedSegment {
+    /// Wrap a mapping. The segment must be at least as large as the
+    /// layout demands — rejected here once rather than bounds-checked on
+    /// every access.
+    pub fn new(segment: MemorySegment, layout: SegmentLayout) -> io::Result<Self> {
+        if segment.len() < layout.total_len {
+            return Err(io::Error::other(format!(
+                "segment holds {} bytes, layout needs {}",
+                segment.len(),
+                layout.total_len
+            )));
+        }
+        Ok(Self {
+            inner: Arc::new(SegmentInner { segment, layout }),
+        })
+    }
+
+    /// The layout this view was built from.
+    pub fn layout(&self) -> &SegmentLayout {
+        &self.inner.layout
+    }
+
+    /// The backing fd (for SCM_RIGHTS handoff).
+    pub fn raw_fd(&self) -> std::os::fd::RawFd {
+        self.inner.segment.raw_fd()
+    }
+
+    fn atomic_u64_at(&self, offset: usize) -> &AtomicU64 {
+        debug_assert!(offset + 8 <= self.inner.segment.len());
+        debug_assert_eq!(offset % 8, 0);
+        // SAFETY: in-bounds (checked at construction against the layout),
+        // aligned, and the mapping lives as long as `self`. AtomicU64 has
+        // no validity requirements on the underlying bytes.
+        unsafe { &*(self.inner.segment.ptr().add(offset) as *const AtomicU64) }
+    }
+
+    /// Stamp the magic word (creator side, before sharing the fd).
+    pub fn init_magic(&self) {
+        self.atomic_u64_at(0).store(MAGIC, Ordering::Release);
+    }
+
+    /// Check the magic word (receiver side, before any slot traffic).
+    pub fn magic_ok(&self) -> bool {
+        self.atomic_u64_at(0).load(Ordering::Acquire) == MAGIC
+    }
+
+    /// The submit ring (client produces, server consumes).
+    pub fn submit_ring(&self) -> Ring {
+        Ring {
+            seg: self.clone(),
+            base: self.inner.layout.submit_ring,
+            capacity: self.inner.layout.ring_capacity as u64,
+        }
+    }
+
+    /// The completion ring (server produces, client consumes).
+    pub fn complete_ring(&self) -> Ring {
+        Ring {
+            seg: self.clone(),
+            base: self.inner.layout.complete_ring,
+            capacity: self.inner.layout.ring_capacity as u64,
+        }
+    }
+
+    /// Slot `index`'s header. Panics on an out-of-range index — callers
+    /// validate indices from the wire before coming here.
+    pub fn header(&self, index: usize) -> &SlotHeader {
+        assert!(
+            index < self.inner.layout.total_slots(),
+            "slot {index} out of range"
+        );
+        let offset = self.inner.layout.header_offset(index);
+        // SAFETY: in-bounds by the assert + construction check, 64-byte
+        // aligned by layout construction, all fields atomics.
+        unsafe { &*(self.inner.segment.ptr().add(offset) as *const SlotHeader) }
+    }
+
+    /// Base pointer of slot `index`'s payload area.
+    pub fn payload_ptr(&self, index: usize) -> *mut Complex64 {
+        assert!(
+            index < self.inner.layout.total_slots(),
+            "slot {index} out of range"
+        );
+        let offset = self.inner.layout.payload_offsets[index];
+        // In-bounds by construction; 64-byte aligned, which over-satisfies
+        // Complex64's 8-byte alignment.
+        unsafe { self.inner.segment.ptr().add(offset) as *mut Complex64 }
+    }
+
+    /// Slot `index`'s capacity in complex samples.
+    pub fn slot_capacity(&self, index: usize) -> usize {
+        self.inner.layout.slot_capacity[index]
+    }
+}
+
+/// One SPSC ring over the segment. The producer and consumer roles are a
+/// *protocol* property (one per side of the process boundary); this type
+/// does not enforce them — [`crate::session`] does, via process-local
+/// locks where a side is multi-threaded.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    seg: SharedSegment,
+    base: usize,
+    capacity: u64,
+}
+
+impl Ring {
+    fn head(&self) -> &AtomicU64 {
+        self.seg.atomic_u64_at(self.base)
+    }
+
+    fn tail(&self) -> &AtomicU64 {
+        // Own cache line, so producer and consumer counters don't bounce.
+        self.seg.atomic_u64_at(self.base + 64)
+    }
+
+    fn entry(&self, index: u64) -> &AtomicU64 {
+        self.seg
+            .atomic_u64_at(self.base + 128 + ((index & (self.capacity - 1)) as usize) * 8)
+    }
+
+    /// Entries the ring can hold.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Producer side: append `entry`; `false` when the ring is full (the
+    /// caller surfaces backpressure — never blocks, never overwrites).
+    pub fn try_push(&self, entry: u64) -> bool {
+        let tail = self.tail().load(Ordering::Relaxed);
+        let head = self.head().load(Ordering::Acquire);
+        // A hostile peer can scribble on `head`; saturating logic means
+        // the worst it achieves is refusing its own traffic.
+        if tail.wrapping_sub(head) >= self.capacity {
+            return false;
+        }
+        self.entry(tail).store(entry, Ordering::Relaxed);
+        self.tail().store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: take the oldest entry, if any.
+    pub fn try_pop(&self) -> Option<u64> {
+        let head = self.head().load(Ordering::Relaxed);
+        let tail = self.tail().load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let entry = self.entry(head).load(Ordering::Relaxed);
+        self.head().store(head.wrapping_add(1), Ordering::Release);
+        Some(entry)
+    }
+
+    /// Drain up to `limit` entries into `out`. The limit bounds the work
+    /// a hostile peer can force per wakeup by scribbling a huge `tail`.
+    pub fn drain_into(&self, out: &mut Vec<u64>, limit: usize) {
+        for _ in 0..limit {
+            match self.try_pop() {
+                Some(entry) => out.push(entry),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::SegmentConfig;
+
+    fn seg() -> SharedSegment {
+        let layout = crate::proto::SegmentLayout::new(SegmentConfig::default_classes());
+        let mem = MemorySegment::create(layout.total_len).expect("segment");
+        SharedSegment::new(mem, layout).expect("view")
+    }
+
+    #[test]
+    fn entries_round_trip_packing() {
+        let (slot, seq) = unpack_submit(pack_submit(17, 0xdead_beef));
+        assert_eq!((slot, seq), (17, 0xdead_beef));
+        let (slot, seq16, code) = unpack_complete(pack_complete(5, 0x1_0042, 9));
+        assert_eq!((slot, seq16, code), (5, 0x0042, 9));
+    }
+
+    #[test]
+    fn ring_pushes_pops_and_reports_full() {
+        let seg = seg();
+        let ring = seg.submit_ring();
+        let cap = ring.capacity();
+        for i in 0..cap {
+            assert!(ring.try_push(i), "push {i} of {cap}");
+        }
+        assert!(!ring.try_push(999), "full ring must refuse, not block");
+        for i in 0..cap {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+        // Wraparound: capacity more entries through the same storage.
+        for round in 0..3u64 {
+            for i in 0..cap {
+                assert!(ring.try_push(round * cap + i));
+            }
+            let mut out = Vec::new();
+            ring.drain_into(&mut out, usize::MAX);
+            assert_eq!(out.len(), cap as usize);
+            assert_eq!(out[0], round * cap);
+        }
+    }
+
+    #[test]
+    fn rings_are_independent() {
+        let seg = seg();
+        seg.submit_ring().try_push(1);
+        assert_eq!(seg.complete_ring().try_pop(), None, "separate storage");
+        assert_eq!(seg.submit_ring().try_pop(), Some(1));
+    }
+
+    #[test]
+    fn magic_guards_the_segment() {
+        let seg = seg();
+        assert!(!seg.magic_ok(), "fresh segment is zeroed");
+        seg.init_magic();
+        assert!(seg.magic_ok());
+    }
+
+    #[test]
+    fn header_fields_are_visible_across_clones() {
+        let seg = seg();
+        let other = seg.clone();
+        seg.header(3).seq.store(41, Ordering::Release);
+        assert_eq!(other.header(3).seq.load(Ordering::Acquire), 41);
+        // Payload pointers are stable and distinct per slot.
+        assert_ne!(seg.payload_ptr(0), seg.payload_ptr(1));
+        assert_eq!(seg.payload_ptr(2), other.payload_ptr(2));
+    }
+
+    #[test]
+    fn ring_handoff_across_threads() {
+        // The SPSC pattern exactly as the protocol uses it: one producer
+        // thread, one consumer thread, mapped memory in between. Run a
+        // few thousand entries through and check sequencing. (The CI tsan
+        // leg runs this under ThreadSanitizer.)
+        let seg = seg();
+        let ring = seg.submit_ring();
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for i in 0..5000u64 {
+                    while !ring.try_push(i) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut expect = 0u64;
+        while expect < 5000 {
+            if let Some(entry) = ring.try_pop() {
+                assert_eq!(entry, expect, "FIFO order");
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().expect("producer");
+    }
+}

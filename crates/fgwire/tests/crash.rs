@@ -1,0 +1,109 @@
+//! The leak-guard: kill a client process mid-request and prove the
+//! server reclaims everything.
+//!
+//! The child is the `fgwired` binary in its hidden `--crash-client`
+//! mode: it connects, leases a slot, submits, and immediately
+//! `abort()`s — no destructor runs, the socket drops with requests in
+//! flight. The server must notice the hangup, retire the session, let
+//! the in-flight work settle, and end with balanced accounting:
+//! `accepted == completed + deadline_missed + failed`, zero outstanding
+//! pool leases, and zero live payload references.
+
+use fgfft::workload::TransformKind;
+use fgfft::Complex64;
+use fgserve::shard::ClusterConfig;
+use fgserve::ServeConfig;
+use fgwire::client::{Client, ClientConfig};
+use fgwire::server::{WireServer, WireServerConfig};
+use fgwire::session::SubmitOpts;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+#[test]
+fn client_death_mid_request_reclaims_all_slots() {
+    let path = std::env::temp_dir().join(format!("fgwire-crash-{}.sock", std::process::id()));
+    let server = WireServer::start(WireServerConfig {
+        socket_path: path.clone(),
+        cluster: ClusterConfig {
+            shards: 2,
+            base: ServeConfig {
+                queue_capacity: 128,
+                max_batch: 4,
+                workers: 2,
+                dispatchers: 1,
+                ..ServeConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+        acceptors: 2,
+        credits_per_session: 16,
+        max_sessions: 8,
+    })
+    .expect("server starts");
+
+    // Three rounds of clients dying mid-request.
+    for round in 0..3 {
+        let child = Command::new(env!("CARGO_BIN_EXE_fgwired"))
+            .arg("--crash-client")
+            .arg(&path)
+            .spawn()
+            .expect("spawn crash client");
+        let status = child.wait_with_output().expect("child reaped").status;
+        assert!(
+            !status.success(),
+            "round {round}: the crash client must die by abort, got {status:?}"
+        );
+        // The server notices the hangup and retires the session.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.active_sessions() != 0 {
+            assert!(
+                Instant::now() < deadline,
+                "round {round}: session not retired within 10s of client death"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // The server still serves honest clients after all that carnage.
+    let client = Client::connect(ClientConfig::at(&path)).expect("connect after crashes");
+    let n = 1 << 10;
+    let mut lease = client.alloc(TransformKind::C2C, n).expect("lease");
+    for (i, slot) in lease.iter_mut().enumerate() {
+        *slot = Complex64::new((i as f64 * 0.23).sin(), (i as f64 * 0.71).cos());
+    }
+    let response = client
+        .submit(lease, SubmitOpts::default())
+        .expect("submit")
+        .wait()
+        .expect("honest request completes");
+    assert_eq!(response.len(), n);
+    drop(response);
+    drop(client);
+
+    // In-flight work from the dead clients has fully settled: every
+    // accepted request reached exactly one terminal state, no pool lease
+    // is outstanding, and the payload guards are all released (the
+    // session Drop debug-asserts inflight == 0 under cfg(debug)).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let stats = server.stats();
+        if stats.accepted == stats.completed + stats.deadline_missed + stats.failed
+            && stats.pool.outstanding == 0
+        {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "accounting still unbalanced after 10s: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(stats.accepted >= 1, "the honest request was accepted");
+    let final_stats = server.shutdown();
+    assert_eq!(
+        final_stats.accepted,
+        final_stats.completed + final_stats.deadline_missed + final_stats.failed,
+        "final accounting balanced across client crashes"
+    );
+    assert_eq!(final_stats.pool.outstanding, 0, "no leaked pool leases");
+}

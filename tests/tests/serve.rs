@@ -151,7 +151,7 @@ fn saturated_service_rejects_with_overloaded() {
     while observed_rejections < 8 && start.elapsed() < Duration::from_secs(20) {
         match service.submit(Request::new(signal(1 << 14, 0.0))) {
             Ok(t) => tickets.push(t),
-            Err(ServeError::Overloaded { queue_capacity }) => {
+            Err(ServeError::Overloaded { queue_capacity, .. }) => {
                 assert_eq!(queue_capacity, 4);
                 observed_rejections += 1;
             }
